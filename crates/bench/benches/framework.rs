@@ -1,0 +1,112 @@
+//! Criterion microbenchmarks of the Enoki framework mechanisms: hint-queue
+//! ring throughput, record codec, dispatch-call overhead, and live-upgrade
+//! blackout. These measure the real (wall-clock) cost of the framework
+//! code, complementing the virtual-time experiment harnesses.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use enoki_core::queue::RingBuffer;
+use enoki_core::record::{CallArgs, FuncId, Rec};
+use enoki_core::EnokiClass;
+use enoki_sched::Wfq;
+use enoki_sim::behavior::{Op, ProgramBehavior};
+use enoki_sim::{CostModel, HintVal, Machine, Ns, TaskSpec, Topology};
+use std::rc::Rc;
+
+fn ring_buffer(c: &mut Criterion) {
+    let q: RingBuffer<HintVal> = RingBuffer::with_capacity(1024);
+    let msg = HintVal {
+        kind: 1,
+        a: 2,
+        b: 3,
+        c: 4,
+    };
+    c.bench_function("ring_push_pop", |b| {
+        b.iter(|| {
+            q.push(std::hint::black_box(msg)).unwrap();
+            std::hint::black_box(q.pop())
+        })
+    });
+}
+
+fn codec(c: &mut Criterion) {
+    let rec = Rec::Call {
+        tid: 3,
+        func: FuncId::PickNextTask,
+        args: CallArgs {
+            now: 123,
+            pid: 45,
+            runtime: 678,
+            delta: 90,
+            cpu: 1,
+            prev_cpu: 2,
+            weight: 1024,
+            nice: 0,
+            flags: 1,
+            aff_lo: u64::MAX,
+            aff_hi: 0,
+        },
+    };
+    let mut buf = Vec::with_capacity(128);
+    c.bench_function("record_encode", |b| {
+        b.iter(|| {
+            buf.clear();
+            rec.encode(&mut buf);
+            std::hint::black_box(buf.len())
+        })
+    });
+    rec.encode(&mut buf);
+    c.bench_function("record_decode", |b| {
+        b.iter(|| std::hint::black_box(Rec::decode(&buf)))
+    });
+}
+
+/// Wall-clock cost of simulated schedule operations through the full
+/// framework (the paper's per-invocation overhead is virtual time; this is
+/// the real cost of the message-passing dispatch machinery).
+fn dispatch_pipe(c: &mut Criterion) {
+    c.bench_function("simulated_pipe_100_roundtrips_wfq", |b| {
+        b.iter_batched(
+            || {
+                let mut m = Machine::new(Topology::i7_9700(), CostModel::calibrated());
+                m.add_class(Rc::new(EnokiClass::load("wfq", 8, Box::new(Wfq::new(8)))));
+                let ab = m.create_pipe();
+                let ba = m.create_pipe();
+                m.spawn(TaskSpec::new(
+                    "ping",
+                    0,
+                    Box::new(ProgramBehavior::repeat(
+                        vec![Op::PipeWrite(ab), Op::PipeRead(ba)],
+                        100,
+                    )),
+                ));
+                m.spawn(TaskSpec::new(
+                    "pong",
+                    0,
+                    Box::new(ProgramBehavior::repeat(
+                        vec![Op::PipeRead(ab), Op::PipeWrite(ba)],
+                        100,
+                    )),
+                ));
+                m
+            },
+            |mut m| {
+                m.run_to_completion(Ns::from_secs(10)).unwrap();
+                std::hint::black_box(m.now())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn live_upgrade(c: &mut Criterion) {
+    let class = EnokiClass::load("wfq", 8, Box::new(Wfq::new(8)));
+    c.bench_function("live_upgrade_blackout", |b| {
+        b.iter(|| {
+            let report = class.upgrade(Box::new(Wfq::new(8)));
+            std::hint::black_box(report.blackout)
+        })
+    });
+}
+
+criterion_group!(benches, ring_buffer, codec, dispatch_pipe, live_upgrade);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Criterion benchmarks comparing scheduler implementations on identical
+//! simulated workloads: events-per-second of the whole kernel+scheduler
+//! stack, per scheduler. The ratios track each policy's bookkeeping cost
+//! (vruntime trees vs FIFO queues vs agent emulation).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use enoki_sim::behavior::{Op, ProgramBehavior};
+use enoki_sim::{CostModel, Topology};
+use enoki_sim::{Ns, TaskSpec};
+use enoki_workloads::testbed::{build, BedOptions, SchedKind};
+
+fn wake_storm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wake_storm_16_tasks");
+    for kind in [
+        SchedKind::Cfs,
+        SchedKind::Wfq,
+        SchedKind::Fifo,
+        SchedKind::Shinjuku,
+        SchedKind::Locality,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter_batched(
+                    || {
+                        let mut bed = build(
+                            Topology::i7_9700(),
+                            CostModel::calibrated(),
+                            kind,
+                            BedOptions::default(),
+                        );
+                        for i in 0..16 {
+                            bed.machine.spawn(TaskSpec::new(
+                                format!("t{i}"),
+                                bed.class_idx,
+                                Box::new(ProgramBehavior::repeat(
+                                    vec![Op::Compute(Ns::from_us(5)), Op::Sleep(Ns::from_us(20))],
+                                    50,
+                                )),
+                            ));
+                        }
+                        bed
+                    },
+                    |mut bed| {
+                        bed.machine.run_to_completion(Ns::from_secs(10)).unwrap();
+                        std::hint::black_box(bed.machine.stats().nr_context_switches)
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn compute_spread(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spread_32_tasks");
+    for kind in [SchedKind::Cfs, SchedKind::Wfq] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter_batched(
+                    || {
+                        let mut bed = build(
+                            Topology::i7_9700(),
+                            CostModel::calibrated(),
+                            kind,
+                            BedOptions::default(),
+                        );
+                        for i in 0..32 {
+                            bed.machine.spawn(TaskSpec::new(
+                                format!("t{i}"),
+                                bed.class_idx,
+                                Box::new(ProgramBehavior::once(vec![Op::Compute(Ns::from_ms(2))])),
+                            ));
+                        }
+                        bed
+                    },
+                    |mut bed| {
+                        bed.machine.run_to_completion(Ns::from_secs(10)).unwrap();
+                        std::hint::black_box(bed.machine.now())
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, wake_storm, compute_spread);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Ablation: how the framework's per-call overhead shapes the pipe
+//! benchmark (paper §5.2 attributes Enoki's 0.4–0.6 µs/message cost to
+//! "100-150 ns of overhead per invocation", invoked four times per
+//! schedule operation). Sweeping the per-call overhead verifies that the
+//! model reproduces exactly that sensitivity — and shows what a faster or
+//! slower FFI layer would buy.
+
+use enoki_bench::header;
+use enoki_core::EnokiClass;
+use enoki_sched::Wfq;
+use enoki_sim::behavior::{Op, ProgramBehavior};
+use enoki_sim::{CostModel, Machine, Ns, TaskSpec, Topology};
+use std::rc::Rc;
+
+fn pipe_with_overhead(overhead: Ns, rounds: u64) -> f64 {
+    let mut m = Machine::new(Topology::i7_9700(), CostModel::calibrated());
+    m.add_class(Rc::new(EnokiClass::with_overhead(
+        "wfq",
+        8,
+        Box::new(Wfq::new(8)),
+        overhead,
+    )));
+    let ab = m.create_pipe();
+    let ba = m.create_pipe();
+    m.spawn(TaskSpec::new(
+        "ping",
+        0,
+        Box::new(ProgramBehavior::repeat(
+            vec![Op::PipeWrite(ab), Op::PipeRead(ba)],
+            rounds,
+        )),
+    ));
+    m.spawn(TaskSpec::new(
+        "pong",
+        0,
+        Box::new(ProgramBehavior::repeat(
+            vec![Op::PipeRead(ab), Op::PipeWrite(ba)],
+            rounds,
+        )),
+    ));
+    m.run_to_completion(Ns::from_secs(120)).expect("completes");
+    let end = (0..2)
+        .filter_map(|p| m.task(p).exited_at)
+        .max()
+        .expect("done");
+    end.as_nanos() as f64 / (rounds * 2) as f64 / 1000.0
+}
+
+fn main() {
+    let rounds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+    println!("Ablation: per-call framework overhead vs pipe latency ({rounds} round trips)\n");
+    header(&["per-call ns", "µs/msg", "delta vs native"], &[12, 9, 16]);
+    let native = pipe_with_overhead(Ns::ZERO, rounds);
+    for oh in [0u64, 50, 100, 125, 150, 250, 500, 1000] {
+        let us = pipe_with_overhead(Ns(oh), rounds);
+        println!("{:>12} {:>9.2} {:>15.2}µs", oh, us, us - native);
+    }
+    println!();
+    println!("paper: ~125 ns/call × 4-5 calls per schedule op = 0.4-0.6 µs per message,");
+    println!("the 12-20% WFQ-over-CFS overhead in Table 3.");
+}

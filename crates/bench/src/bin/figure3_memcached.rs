@@ -1,0 +1,33 @@
+//! Figure 3: tail latency of memcached requests under CFS, original
+//! Arachne, and Arachne with the Enoki core arbiter.
+
+use enoki_bench::header;
+use enoki_workloads::memcached::{run_memcached, MemcachedConfig, MemcachedServer};
+
+fn main() {
+    let loads: Vec<u64> = std::env::args()
+        .nth(1)
+        .map(|s| s.split(',').filter_map(|v| v.parse().ok()).collect())
+        .unwrap_or_else(|| vec![100_000, 150_000, 200_000, 250_000, 300_000, 330_000]);
+
+    println!("Figure 3: memcached p99 latency (µs) vs offered load (kreq/s)\n");
+    header(
+        &["load", "CFS", "Arachne", "Enoki-Arachne"],
+        &[7, 12, 12, 14],
+    );
+    for &l in &loads {
+        print!("{:>7}", l / 1000);
+        for server in [
+            MemcachedServer::Cfs,
+            MemcachedServer::Arachne,
+            MemcachedServer::EnokiArachne,
+        ] {
+            let r = run_memcached(server, MemcachedConfig::at(l));
+            print!(" {:>12.1}", r.p99.as_us_f64());
+        }
+        println!();
+    }
+    println!();
+    println!("paper shape: the Enoki version of Arachne achieves similar performance to the");
+    println!("original Arachne scheduler, better than CFS at high load.");
+}

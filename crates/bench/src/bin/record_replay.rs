@@ -1,0 +1,110 @@
+//! §5.8: record and replay overhead on the WFQ scheduler, using the
+//! `perf bench sched pipe` workload.
+//!
+//! The paper reports ~4 s live, ~30 s under record, and ~3 min for replay
+//! (dominated by lock-order sequencing). The simulated workload completes
+//! in much less wall time, so what we compare is the *relative* cost of
+//! the three modes on identical work.
+
+use enoki_core::record;
+use enoki_core::EnokiClass;
+use enoki_replay::{replay_file, start_recording, stop_recording};
+use enoki_sched::Wfq;
+use enoki_sim::behavior::{Op, ProgramBehavior};
+use enoki_sim::{CostModel, Machine, Ns, TaskSpec, Topology};
+use std::rc::Rc;
+use std::time::Instant;
+
+fn build_machine() -> Machine {
+    record::reset_lock_ids();
+    let mut m = Machine::new(Topology::i7_9700(), CostModel::calibrated());
+    m.add_class(Rc::new(EnokiClass::load("wfq", 8, Box::new(Wfq::new(8)))));
+    m
+}
+
+fn run_pipe(m: &mut Machine, rounds: u64) {
+    let ab = m.create_pipe();
+    let ba = m.create_pipe();
+    m.spawn(TaskSpec::new(
+        "ping",
+        0,
+        Box::new(ProgramBehavior::repeat(
+            vec![Op::PipeWrite(ab), Op::PipeRead(ba)],
+            rounds,
+        )),
+    ));
+    m.spawn(TaskSpec::new(
+        "pong",
+        0,
+        Box::new(ProgramBehavior::repeat(
+            vec![Op::PipeRead(ab), Op::PipeWrite(ba)],
+            rounds,
+        )),
+    ));
+    m.run_to_completion(Ns::from_secs(600)).expect("completes");
+}
+
+fn main() {
+    let rounds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
+    println!("§5.8: record/replay overhead, pipe benchmark with {rounds} round trips\n");
+
+    // 1. Regular operation.
+    let mut m = build_machine();
+    let t0 = Instant::now();
+    run_pipe(&mut m, rounds);
+    let live = t0.elapsed();
+    println!(
+        "live execution:   {:>8.3}s  (paper: ~4s)",
+        live.as_secs_f64()
+    );
+
+    // 2. Record mode.
+    let dir = std::env::temp_dir().join(format!("enoki-rr-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let log_path = dir.join("pipe-wfq.log");
+    let mut m = build_machine();
+    let t0 = Instant::now();
+    let session = start_recording(&log_path, 1 << 22).expect("recorder");
+    run_pipe(&mut m, rounds);
+    let written = stop_recording(session).expect("log flushed");
+    let rec = t0.elapsed();
+    let size = std::fs::metadata(&log_path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "record mode:      {:>8.3}s  ({written} records, {:.1} MiB; paper: ~30s)",
+        rec.as_secs_f64(),
+        size as f64 / (1 << 20) as f64
+    );
+
+    // 3. Replay at userspace.
+    let t0 = Instant::now();
+    let report = replay_file(&log_path, 8, || Wfq::new(8)).expect("replay");
+    let rep = t0.elapsed();
+    println!(
+        "replay:           {:>8.3}s  ({} calls on {} threads; paper: ~3min)",
+        rep.as_secs_f64(),
+        report.calls,
+        report.threads
+    );
+    println!();
+    println!(
+        "record/live = {:.1}x, replay/live = {:.1}x (paper: ~7x and ~45x)",
+        rec.as_secs_f64() / live.as_secs_f64(),
+        rep.as_secs_f64() / live.as_secs_f64()
+    );
+    if report.faithful() {
+        println!(
+            "replay faithful: all {} responses matched the recording",
+            report.calls
+        );
+    } else {
+        println!(
+            "replay divergences: {} (sequencing timeouts: {})",
+            report.divergences.len(),
+            report.sequencing_timeouts
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,79 @@
+//! schedviz: runs a small scenario under a chosen scheduler with event
+//! tracing armed and prints a per-cpu text timeline — the debugging view
+//! the record/replay workflow complements (paper §2's "slow debugging"
+//! pain point).
+//!
+//! Usage: `schedviz [cfs|wfq|fifo|shinjuku|locality] [bucket-µs]`
+
+use enoki_sim::behavior::{Op, ProgramBehavior};
+use enoki_sim::{Ns, TaskSpec};
+use enoki_workloads::testbed::{build, BedOptions, SchedKind};
+use enoki_sim::{CostModel, Topology};
+
+fn main() {
+    let kind = match std::env::args().nth(1).as_deref() {
+        Some("wfq") => SchedKind::Wfq,
+        Some("fifo") => SchedKind::Fifo,
+        Some("shinjuku") => SchedKind::Shinjuku,
+        Some("locality") => SchedKind::Locality,
+        _ => SchedKind::Cfs,
+    };
+    let bucket_us: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(100);
+
+    let mut bed = build(
+        Topology::i7_9700(),
+        CostModel::calibrated(),
+        kind,
+        BedOptions::default(),
+    );
+    bed.machine.enable_trace(1 << 16);
+
+    // A mixed scene: four cpu hogs, four sleepy services, one latecomer.
+    for i in 0..4 {
+        bed.machine.spawn(TaskSpec::new(
+            format!("hog{i}"),
+            bed.class_idx,
+            Box::new(ProgramBehavior::once(vec![Op::Compute(Ns::from_ms(6))])),
+        ));
+    }
+    for i in 0..4 {
+        bed.machine.spawn(TaskSpec::new(
+            format!("svc{i}"),
+            bed.class_idx,
+            Box::new(ProgramBehavior::repeat(
+                vec![Op::Compute(Ns::from_us(300)), Op::Sleep(Ns::from_us(500))],
+                8,
+            )),
+        ));
+    }
+    bed.machine.spawn(
+        TaskSpec::new(
+            "late",
+            bed.class_idx,
+            Box::new(ProgramBehavior::once(vec![Op::Compute(Ns::from_ms(3))])),
+        )
+        .at(Ns::from_ms(2)),
+    );
+
+    bed.machine
+        .run_to_completion(Ns::from_secs(1))
+        .expect("no kernel panic");
+
+    let tracer = bed.machine.tracer().expect("tracing armed");
+    println!(
+        "{} timeline, one column per {} µs, glyph = pid, '.' = idle\n",
+        kind.label(),
+        bucket_us
+    );
+    print!("{}", tracer.render_timeline(8, Ns::from_us(bucket_us)));
+    println!(
+        "\n{} events traced ({} dropped by the ring bound)",
+        tracer.len(),
+        tracer.dropped()
+    );
+    let stats = bed.machine.stats();
+    println!(
+        "{} context switches, {} migrations, {} IPIs",
+        stats.nr_context_switches, stats.nr_migrations, stats.nr_ipis
+    );
+}

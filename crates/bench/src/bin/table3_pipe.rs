@@ -1,0 +1,41 @@
+//! Table 3: scheduler latency for `perf bench sched pipe`, µs per wakeup.
+
+use enoki_bench::header;
+use enoki_workloads::pipe::{run_pipe, PipeConfig};
+use enoki_workloads::testbed::SchedKind;
+
+fn main() {
+    let rounds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    println!("Table 3: perf bench sched pipe (µs per wakeup), {rounds} round trips\n");
+    header(&["scheduler", "one core", "two cores"], &[16, 10, 10]);
+    let mut all = SchedKind::table3_row().to_vec();
+    all.push(SchedKind::Arbiter);
+    for kind in all {
+        let one = run_pipe(
+            kind,
+            PipeConfig {
+                round_trips: rounds,
+                one_core: true,
+            },
+        );
+        let two = run_pipe(
+            kind,
+            PipeConfig {
+                round_trips: rounds,
+                one_core: false,
+            },
+        );
+        println!(
+            "{:>16} {:>10.1} {:>10.1}",
+            kind.label(),
+            one.us_per_msg,
+            two.us_per_msg
+        );
+    }
+    println!();
+    println!("paper Table 3:  CFS 3.0/3.6 | GhOSt SOL 6.0/5.8 | GhOSt FIFO 9.1/7.0");
+    println!("                WFQ 3.6/4.0 | Shinjuku 4.0/4.4 | Locality 3.5/3.9 | Arachne 0.1/0.2");
+}

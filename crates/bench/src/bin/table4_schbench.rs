@@ -1,0 +1,45 @@
+//! Table 4: schbench scalability on the 80-core machine — p50/p99 thread
+//! wakeup latencies with 2 message threads and 2 or 40 workers each.
+
+use enoki_bench::{header, us};
+use enoki_sim::{CostModel, Ns, Topology};
+use enoki_workloads::schbench::{run_schbench, SchbenchConfig};
+use enoki_workloads::testbed::{build, BedOptions, SchedKind};
+
+fn main() {
+    let secs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    println!("Table 4: schbench on the 80-core machine (µs), {secs}s window\n");
+    header(
+        &["scheduler", "2w p50", "2w p99", "40w p50", "40w p99"],
+        &[16, 9, 9, 9, 9],
+    );
+    for kind in SchedKind::table3_row() {
+        let mut row = vec![kind.label().to_string()];
+        for workers in [2usize, 40] {
+            let mut cfg = SchbenchConfig::table4(2, workers);
+            cfg.warmup = Ns::from_secs(1);
+            cfg.duration = Ns::from_secs(secs);
+            let mut bed = build(
+                Topology::xeon_6138_2s(),
+                CostModel::calibrated(),
+                kind,
+                BedOptions::default(),
+            );
+            let r = run_schbench(&mut bed, cfg);
+            row.push(us(r.p50));
+            row.push(us(r.p99));
+        }
+        println!(
+            "{:>16} {:>9} {:>9} {:>9} {:>9}",
+            row[0], row[1], row[2], row[3], row[4]
+        );
+    }
+    println!();
+    println!(
+        "paper Table 4 (µs): CFS 74/101 139/320 | SOL 66/132 192/1354 | FIFO 101/170 152/1806"
+    );
+    println!("                    WFQ 78/104 170/323 | Shinjuku 79/109 168/307 | Locality 80/105 175/324");
+}

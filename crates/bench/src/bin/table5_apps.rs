@@ -1,0 +1,56 @@
+//! Table 5: NAS Parallel Benchmarks and the Phoronix multicore selection,
+//! CFS vs the Enoki WFQ scheduler. Reported as the WFQ slowdown relative
+//! to CFS (positive = WFQ slower), with the geometric mean of the
+//! magnitudes, matching the paper's presentation.
+
+use enoki_bench::{geomean, header, pct};
+use enoki_workloads::apps::{nas_benchmarks, phoronix_benchmarks, run_app};
+use enoki_workloads::testbed::SchedKind;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    println!("Table 5: application benchmarks, CFS vs Enoki WFQ (seed {seed})\n");
+    header(&["benchmark", "CFS", "WFQ", "slowdown"], &[26, 10, 10, 9]);
+
+    let mut ratios = Vec::new();
+    let mut max_slowdown: f64 = 0.0;
+
+    let mut section = |title: &str, benches: &[enoki_workloads::apps::AppBench]| {
+        println!("{title}");
+        for b in benches {
+            let cfs = run_app(SchedKind::Cfs, b, seed);
+            let wfq = run_app(SchedKind::Wfq, b, seed);
+            // Slowdown by completion time (WFQ / CFS).
+            let ratio = wfq.elapsed.as_nanos() as f64 / cfs.elapsed.as_nanos() as f64;
+            ratios.push(ratio);
+            max_slowdown = max_slowdown.max(ratio - 1.0);
+            println!(
+                "{:>26} {:>10.2} {:>10.2} {:>9}",
+                b.name,
+                cfs.throughput,
+                wfq.throughput,
+                pct(ratio)
+            );
+        }
+    };
+
+    section(
+        "NAS Parallel Benchmarks (effective parallelism)",
+        &nas_benchmarks(),
+    );
+    section(
+        "Phoronix Multicore (effective parallelism)",
+        &phoronix_benchmarks(),
+    );
+
+    let gm = geomean(&ratios);
+    println!();
+    println!(
+        "geometric-mean slowdown: {} (paper: +0.74%); max slowdown: {:+.2}% (paper: +8.57%)",
+        pct(gm),
+        max_slowdown * 100.0
+    );
+}

@@ -1,0 +1,54 @@
+//! Table 6: wakeup latency for the modified schbench under the
+//! locality-aware scheduler — CFS, CFS pinned to one core (cgroup),
+//! locality with random placement (no hints), and locality with hints.
+
+use enoki_bench::{header, us};
+use enoki_sim::{CostModel, Ns, Topology};
+use enoki_workloads::schbench::{run_schbench, SchbenchConfig};
+use enoki_workloads::testbed::{build, BedOptions, SchedKind};
+
+fn main() {
+    let secs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    println!("Table 6: modified schbench wake-to-response latency (µs), {secs}s window\n");
+    header(&["config", "p50", "p99"], &[16, 9, 9]);
+
+    let run = |kind: SchedKind, hints: bool, one_core: bool| {
+        let mut cfg = SchbenchConfig::table6();
+        cfg.warmup = Ns::from_secs(1);
+        cfg.duration = Ns::from_secs(secs);
+        cfg.hints = hints;
+        cfg.one_core = one_core;
+        let mut bed = build(
+            Topology::i7_9700(),
+            CostModel::calibrated(),
+            kind,
+            BedOptions::default(),
+        );
+        run_schbench(&mut bed, cfg)
+    };
+
+    let cfs = run(SchedKind::Cfs, false, false);
+    println!("{:>16} {:>9} {:>9}", "CFS", us(cfs.p50), us(cfs.p99));
+    let pinned = run(SchedKind::Cfs, false, true);
+    println!(
+        "{:>16} {:>9} {:>9}",
+        "CFS One Core",
+        us(pinned.p50),
+        us(pinned.p99)
+    );
+    let random = run(SchedKind::Locality, false, false);
+    println!(
+        "{:>16} {:>9} {:>9}",
+        "Random",
+        us(random.p50),
+        us(random.p99)
+    );
+    let hints = run(SchedKind::Locality, true, false);
+    println!("{:>16} {:>9} {:>9}", "Hints", us(hints.p50), us(hints.p99));
+
+    println!();
+    println!("paper Table 6 (µs): CFS 33/50 | CFS One Core 17/32032 | Random 46/49 | Hints 2/4");
+}

@@ -1,0 +1,73 @@
+//! §5.7: live-upgrade service blackout, measured with wall-clock timing
+//! around the quiesce/transfer/swap sequence while schbench runs.
+//!
+//! The paper measures 1.5 µs on the 8-core machine and ~10 µs on the
+//! 80-core machine (2 and 40 workers per message thread).
+
+use enoki_bench::header;
+use enoki_sched::Wfq;
+use enoki_sim::{CostModel, Ns, Topology};
+use enoki_workloads::schbench::{run_schbench, SchbenchConfig};
+use enoki_workloads::testbed::{build, BedOptions, SchedKind};
+
+fn measure(topo: Topology, workers: usize, runs: usize) -> (f64, bool) {
+    let nr = topo.nr_cpus();
+    let mut bed = build(
+        topo,
+        CostModel::calibrated(),
+        SchedKind::Wfq,
+        BedOptions::default(),
+    );
+    // Start schbench so the upgrade happens under live scheduling load.
+    let mut cfg = SchbenchConfig::table4(2, workers);
+    cfg.warmup = Ns::from_ms(50);
+    cfg.duration = Ns::from_ms(100);
+    let _ = run_schbench(&mut bed, cfg);
+
+    let class = bed.enoki.clone().expect("wfq is an Enoki scheduler");
+    let mut total_us = 0.0;
+    let mut transferred = true;
+    for _ in 0..runs {
+        // Advance the machine between upgrades so state keeps changing.
+        let next = bed.machine.now() + Ns::from_ms(20);
+        bed.machine.run_until(next).expect("no kernel panic");
+        let report = class.upgrade(Box::new(Wfq::new(nr)));
+        transferred &= report.transferred;
+        total_us += report.blackout.as_secs_f64() * 1e6;
+    }
+    // Scheduling still works after the upgrades.
+    let next = bed.machine.now() + Ns::from_ms(50);
+    bed.machine
+        .run_until(next)
+        .expect("post-upgrade scheduling works");
+    (total_us / runs as f64, transferred)
+}
+
+fn main() {
+    let runs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25);
+    println!("§5.7: live-upgrade blackout (wall-clock µs, mean of {runs} upgrades)\n");
+    header(
+        &["machine", "workers", "blackout µs", "state moved"],
+        &[22, 8, 12, 12],
+    );
+    let (us, ok) = measure(Topology::i7_9700(), 2, runs);
+    println!(
+        "{:>22} {:>8} {:>12.2} {:>12}",
+        "8-core (1 socket)", 2, us, ok
+    );
+    let (us, ok) = measure(Topology::xeon_6138_2s(), 2, runs);
+    println!(
+        "{:>22} {:>8} {:>12.2} {:>12}",
+        "80-core (2 socket)", 2, us, ok
+    );
+    let (us, ok) = measure(Topology::xeon_6138_2s(), 40, runs);
+    println!(
+        "{:>22} {:>8} {:>12.2} {:>12}",
+        "80-core (2 socket)", 40, us, ok
+    );
+    println!();
+    println!("paper §5.7: 1.5 µs (one socket); 9.9 µs / 10.1 µs (two socket, 2 / 40 workers)");
+}

@@ -1,0 +1,243 @@
+//! The safe scheduler API: the [`EnokiScheduler`] trait (paper Table 1).
+//!
+//! A scheduler module implements this trait — in 100% safe Rust — and is
+//! loaded behind the framework's dispatch layer ([`crate::dispatch`]).
+//! Most functions track task state; `reregister_*` handle live upgrade;
+//! the queue functions and `parse_hint` carry user↔kernel communication.
+
+use crate::queue::RingBuffer;
+use crate::schedulable::{PickError, Schedulable};
+use enoki_sim::sched_class::KernelCtx;
+use enoki_sim::{CpuId, Ns, Pid, TaskView, Topology, WakeFlags};
+use std::any::Any;
+
+/// Task information passed in scheduler messages.
+///
+/// This is the data Enoki-C pulls out of `task_struct` on the scheduler's
+/// behalf: identity, runtimes, current cpu, weight, and affinity.
+pub type TaskInfo = TaskView;
+
+/// Type-erased state handed from an old scheduler version to its upgrade
+/// (paper §3.2). The old and new versions must agree on the concrete type;
+/// the framework passes the memory through directly.
+pub type TransferOut = Box<dyn Any + Send>;
+
+/// Type-erased state received by the new scheduler version during upgrade.
+pub type TransferIn = Box<dyn Any + Send>;
+
+/// Safe kernel-facilities handle passed to every scheduler call.
+///
+/// Wraps the simulated kernel's context: current time, topology, and the
+/// deferred-action interface (resched flags, preemption timers, wakeups).
+pub struct SchedCtx<'a> {
+    k: &'a KernelCtx,
+}
+
+impl<'a> SchedCtx<'a> {
+    /// Wraps a kernel context (framework-internal).
+    pub(crate) fn new(k: &'a KernelCtx) -> SchedCtx<'a> {
+        SchedCtx { k }
+    }
+
+    /// Current time.
+    pub fn now(&self) -> Ns {
+        self.k.now()
+    }
+
+    /// Number of cpus on the machine.
+    pub fn nr_cpus(&self) -> usize {
+        self.k.nr_cpus()
+    }
+
+    /// Machine topology (NUMA structure).
+    pub fn topology(&self) -> &Topology {
+        self.k.topology()
+    }
+
+    /// Requests that `cpu` reschedule soon (sets its resched flag or sends
+    /// an IPI).
+    pub fn resched(&self, cpu: CpuId) {
+        self.k.resched(cpu);
+    }
+
+    /// Arms (or re-arms) a preemption timer on `cpu`; when it fires the
+    /// kernel reschedules that cpu (used by µs-scale schedulers such as
+    /// Shinjuku).
+    pub fn start_preempt_timer(&self, cpu: CpuId, delay: Ns) {
+        self.k.start_hrtimer(cpu, delay);
+    }
+
+    /// Wakes up to `n` tasks blocked on futex `key` (used by schedulers
+    /// that cooperate with userspace runtimes, e.g. the core arbiter).
+    pub fn futex_wake(&self, key: u64, n: u32) {
+        self.k.futex_wake(key, n);
+    }
+
+    /// Wakes a specific blocked task.
+    pub fn wake_task(&self, pid: Pid) {
+        self.k.wake_task(pid);
+    }
+}
+
+/// The API a scheduler module must implement to be loadable as an Enoki
+/// scheduler (paper Table 1).
+///
+/// All task-state functions take `&self`; schedulers synchronize internal
+/// state with the shim locks in [`crate::sync`] (which is what makes record
+/// and replay deterministic). `reregister_prepare` / `reregister_init` take
+/// `&mut self` because the framework has quiesced the module — no other
+/// call can be executing (paper §3.2).
+///
+/// `Schedulable` arguments transfer ownership of runnability proofs to the
+/// scheduler; `pick_next_task` transfers one back.
+#[allow(unused_variables)]
+pub trait EnokiScheduler: Send + Sync {
+    /// Hint type received from userspace (must be plain data that can be
+    /// read-shared across the user/kernel boundary).
+    type UserMsg: Copy + Send + 'static;
+    /// Hint type sent to userspace.
+    type RevMsg: Copy + Send + 'static;
+
+    /// Returns the scheduler's policy number (its registration identity).
+    fn get_policy(&self) -> i32;
+
+    /// A new task joined the scheduler; it is runnable on `sched.cpu()`.
+    fn task_new(&self, ctx: &SchedCtx<'_>, t: &TaskInfo, sched: Schedulable);
+
+    /// A task woke up; it is runnable on `sched.cpu()`.
+    ///
+    /// `deep_sleep` distinguishes wakes after long blocking (Linux passes
+    /// similar hints for vruntime placement).
+    fn task_wakeup(&self, ctx: &SchedCtx<'_>, t: &TaskInfo, flags: WakeFlags, sched: Schedulable);
+
+    /// The task blocked. No token is passed: the task is not runnable, so
+    /// there is nothing to prove (paper §3.1).
+    fn task_blocked(&self, ctx: &SchedCtx<'_>, t: &TaskInfo);
+
+    /// The task was involuntarily preempted; the kernel returns its token.
+    fn task_preempt(&self, ctx: &SchedCtx<'_>, t: &TaskInfo, sched: Schedulable);
+
+    /// The task voluntarily yielded; the kernel returns its token.
+    fn task_yield(&self, ctx: &SchedCtx<'_>, t: &TaskInfo, sched: Schedulable);
+
+    /// A task died.
+    fn task_dead(&self, ctx: &SchedCtx<'_>, pid: Pid);
+
+    /// A task left this scheduler (policy switch). The scheduler must
+    /// return the task's token if it holds one.
+    fn task_departed(&self, ctx: &SchedCtx<'_>, t: &TaskInfo) -> Option<Schedulable>;
+
+    /// A task's allowed-cpu mask changed.
+    fn task_affinity_changed(&self, ctx: &SchedCtx<'_>, t: &TaskInfo) {}
+
+    /// A task's priority changed.
+    fn task_prio_changed(&self, ctx: &SchedCtx<'_>, t: &TaskInfo) {}
+
+    /// Periodic timer tick while `t` runs on `cpu`. Request preemption
+    /// with [`SchedCtx::resched`].
+    fn task_tick(&self, ctx: &SchedCtx<'_>, cpu: CpuId, t: &TaskInfo);
+
+    /// Chooses the cpu for a waking (or new) task.
+    fn select_task_rq(
+        &self,
+        ctx: &SchedCtx<'_>,
+        t: &TaskInfo,
+        prev_cpu: CpuId,
+        flags: WakeFlags,
+    ) -> CpuId;
+
+    /// The task is moving to `new.cpu()`; the scheduler takes the new
+    /// token and must return the old one (the framework cannot verify at
+    /// compile time that it returns the *right* one — paper §3.1).
+    fn migrate_task_rq(
+        &self,
+        ctx: &SchedCtx<'_>,
+        t: &TaskInfo,
+        new: Schedulable,
+    ) -> Option<Schedulable>;
+
+    /// Offers a migration: return the pid of a task to pull to `cpu`.
+    fn balance(&self, ctx: &SchedCtx<'_>, cpu: CpuId) -> Option<u64> {
+        None
+    }
+
+    /// The migration requested by `balance` failed; if the framework had
+    /// already minted a token it is returned here.
+    fn balance_err(&self, ctx: &SchedCtx<'_>, cpu: CpuId, pid: Pid, sched: Option<Schedulable>) {}
+
+    /// Picks the next task for `cpu`, returning its token as proof.
+    ///
+    /// `curr` carries the current task's token when the kernel offers the
+    /// scheduler the chance to keep it running.
+    fn pick_next_task(
+        &self,
+        ctx: &SchedCtx<'_>,
+        cpu: CpuId,
+        curr: Option<Schedulable>,
+    ) -> Option<Schedulable>;
+
+    /// The token returned from `pick_next_task` failed validation; its
+    /// ownership comes back to the scheduler (paper §3.1).
+    fn pnt_err(&self, ctx: &SchedCtx<'_>, cpu: CpuId, err: PickError, sched: Option<Schedulable>);
+
+    // --- Live upgrade (paper §3.2) ---
+
+    /// Prepare for an upgrade: the module is quiesced; export any state
+    /// the next version should inherit.
+    fn reregister_prepare(&mut self) -> Option<TransferOut> {
+        None
+    }
+
+    /// Initialize during an upgrade from the previous version's state.
+    fn reregister_init(&mut self, state: Option<TransferIn>) {}
+
+    // --- User ↔ kernel communication (paper §3.3) ---
+
+    /// Registers a user→kernel hint queue; returns a queue id (negative on
+    /// refusal).
+    fn register_queue(&self, q: RingBuffer<Self::UserMsg>) -> i32 {
+        -1
+    }
+
+    /// Registers a kernel→user queue; returns a queue id (negative on
+    /// refusal).
+    fn register_reverse_queue(&self, q: RingBuffer<Self::RevMsg>) -> i32 {
+        -1
+    }
+
+    /// Tells the scheduler that hints may be pending on queue `id`.
+    fn enter_queue(&self, ctx: &SchedCtx<'_>, id: i32) {}
+
+    /// Unregisters the user→kernel queue, returning it.
+    fn unregister_queue(&self, id: i32) -> Option<RingBuffer<Self::UserMsg>> {
+        None
+    }
+
+    /// Unregisters the kernel→user queue, returning it.
+    fn unregister_rev_queue(&self, id: i32) -> Option<RingBuffer<Self::RevMsg>> {
+        None
+    }
+
+    /// Synchronously parses one hint (used when no queue is registered).
+    fn parse_hint(&self, ctx: &SchedCtx<'_>, from: Pid, hint: Self::UserMsg) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enoki_sim::Topology;
+    use std::rc::Rc;
+
+    #[test]
+    fn sched_ctx_wraps_kernel_ctx() {
+        let k = KernelCtx::new(Ns::from_us(9), Rc::new(Topology::i7_9700()));
+        let ctx = SchedCtx::new(&k);
+        assert_eq!(ctx.now(), Ns::from_us(9));
+        assert_eq!(ctx.nr_cpus(), 8);
+        ctx.resched(2);
+        ctx.start_preempt_timer(1, Ns::from_us(10));
+        ctx.futex_wake(5, 1);
+        ctx.wake_task(3);
+        assert_eq!(k.take_commands().len(), 4);
+    }
+}

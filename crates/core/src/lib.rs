@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # enoki-core — the Enoki framework
+//!
+//! A reproduction of the Enoki framework for high-velocity Linux kernel
+//! scheduler development (Miller et al., EuroSys 2024), running against the
+//! `enoki-sim` kernel substrate:
+//!
+//! - [`api::EnokiScheduler`] — the safe scheduler API (paper Table 1).
+//!   Schedulers implement this trait in 100% safe Rust.
+//! - [`schedulable::Schedulable`] — the non-clonable ownership token that
+//!   proves a task is runnable on a core; wrong-core picks are caught by
+//!   the framework (`pnt_err`) instead of crashing the kernel (§3.1).
+//! - [`dispatch::EnokiClass`] — the dispatch layer (the Enoki-C/libEnoki
+//!   pair): message passing, the per-scheduler quiescing lock, token
+//!   minting/validation, per-call overhead, and record hooks.
+//! - Live upgrade (§3.2): [`dispatch::EnokiClass::upgrade`] quiesces the
+//!   module, transfers custom state, and swaps the module pointer with a
+//!   µs-scale measured blackout.
+//! - [`queue::RingBuffer`] — bidirectional user↔kernel hint queues (§3.3).
+//! - [`record`] / [`replay`] — record each call, hint, and lock
+//!   acquisition through a ring drained by a userspace writer thread, then
+//!   re-run the *same scheduler code* in userspace with the recorded lock
+//!   order enforced, validating every response (§3.4).
+
+pub mod api;
+pub mod dispatch;
+pub mod queue;
+pub mod record;
+pub mod registry;
+pub mod replay;
+pub mod schedulable;
+pub mod sync;
+
+pub use api::{EnokiScheduler, SchedCtx, TaskInfo, TransferIn, TransferOut};
+pub use dispatch::{DispatchStats, EnokiClass, UpgradeReport, ENOKI_CALL_OVERHEAD};
+pub use queue::RingBuffer;
+pub use registry::Registry;
+pub use schedulable::{PickError, Schedulable};

@@ -1,0 +1,224 @@
+//! Shared ring buffers for user↔kernel communication (paper §3.3).
+//!
+//! Enoki supports custom scheduler-defined hints in both directions. Each
+//! queue is a bounded single-producer / single-consumer ring shared across
+//! the user/kernel boundary: the element type must be `Copy + Send`
+//! (read-shareable across the boundary without violating memory safety —
+//! the same restriction the paper enforces).
+//!
+//! The ring is lock-free: a producer index and a consumer index, each
+//! owned by one side, with release/acquire publication of slots.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct Inner<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    capacity: usize,
+    head: AtomicU64, // next slot to write (producer-owned)
+    tail: AtomicU64, // next slot to read (consumer-owned)
+    dropped: AtomicU64,
+}
+
+// SAFETY: the ring hands each slot to exactly one side at a time: the
+// producer writes a slot strictly before publishing it by advancing `head`
+// (release), and the consumer reads it strictly after observing `head`
+// (acquire); the producer never rewrites a slot until the consumer has
+// advanced `tail` past it (acquire on the producer side). `T: Copy` means
+// no drop obligations remain in abandoned slots.
+unsafe impl<T: Copy + Send> Send for Inner<T> {}
+// SAFETY: see `Send` above; all cross-thread slot access is synchronized
+// through the head/tail indices.
+unsafe impl<T: Copy + Send> Sync for Inner<T> {}
+
+/// A bounded SPSC ring buffer carrying `Copy` messages.
+///
+/// Cloning the handle shares the same ring (one side keeps a clone across
+/// the user/kernel "boundary"). The SPSC discipline — at most one thread
+/// pushing and one popping at a time — is the caller's contract, exactly
+/// as it is for the shared-memory queues in the paper.
+///
+/// # Examples
+///
+/// ```
+/// use enoki_core::queue::RingBuffer;
+/// let q: RingBuffer<u64> = RingBuffer::with_capacity(4);
+/// assert!(q.push(1).is_ok());
+/// assert!(q.push(2).is_ok());
+/// assert_eq!(q.pop(), Some(1));
+/// assert_eq!(q.pop(), Some(2));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct RingBuffer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for RingBuffer<T> {
+    fn clone(&self) -> Self {
+        RingBuffer {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T: Copy + Send> Default for RingBuffer<T> {
+    fn default() -> Self {
+        RingBuffer::with_capacity(DEFAULT_QUEUE_CAPACITY)
+    }
+}
+
+/// Default hint-queue capacity.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
+
+impl<T: Copy + Send> RingBuffer<T> {
+    /// Creates a ring holding up to `capacity` messages.
+    pub fn with_capacity(capacity: usize) -> RingBuffer<T> {
+        assert!(capacity > 0);
+        let slots = (0..capacity)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        RingBuffer {
+            inner: Arc::new(Inner {
+                slots,
+                capacity,
+                head: AtomicU64::new(0),
+                tail: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Pushes a message; returns `Err(msg)` if the ring is full.
+    ///
+    /// A full ring also bumps the dropped-message counter, mirroring the
+    /// paper's record buffer ("if the buffer overruns, events may be
+    /// dropped").
+    pub fn push(&self, msg: T) -> Result<(), T> {
+        let inner = &*self.inner;
+        let head = inner.head.load(Ordering::Relaxed);
+        let tail = inner.tail.load(Ordering::Acquire);
+        if head - tail >= inner.capacity as u64 {
+            inner.dropped.fetch_add(1, Ordering::Relaxed);
+            return Err(msg);
+        }
+        let idx = (head % inner.capacity as u64) as usize;
+        // SAFETY: `head - tail < capacity`, so the consumer cannot be
+        // reading this slot; we are the only producer (SPSC contract).
+        unsafe {
+            (*inner.slots[idx].get()).write(msg);
+        }
+        inner.head.store(head + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Pops the oldest message, if any.
+    pub fn pop(&self) -> Option<T> {
+        let inner = &*self.inner;
+        let tail = inner.tail.load(Ordering::Relaxed);
+        let head = inner.head.load(Ordering::Acquire);
+        if tail == head {
+            return None;
+        }
+        let idx = (tail % inner.capacity as u64) as usize;
+        // SAFETY: `tail < head`, so the producer published this slot with a
+        // release store; we are the only consumer (SPSC contract).
+        let msg = unsafe { (*inner.slots[idx].get()).assume_init_read() };
+        inner.tail.store(tail + 1, Ordering::Release);
+        Some(msg)
+    }
+
+    /// Number of messages currently buffered.
+    pub fn len(&self) -> usize {
+        let head = self.inner.head.load(Ordering::Acquire);
+        let tail = self.inner.tail.load(Ordering::Acquire);
+        (head - tail) as usize
+    }
+
+    /// True if no messages are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Messages dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order() {
+        let q = RingBuffer::with_capacity(8);
+        for i in 0..8 {
+            q.push(i).unwrap();
+        }
+        for i in 0..8 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_ring_drops() {
+        let q = RingBuffer::with_capacity(2);
+        q.push(1u32).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn wraparound() {
+        let q = RingBuffer::with_capacity(3);
+        for round in 0..10u64 {
+            q.push(round).unwrap();
+            assert_eq!(q.pop(), Some(round));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clone_shares_ring() {
+        let q = RingBuffer::with_capacity(4);
+        let q2 = q.clone();
+        q.push(99u8).unwrap();
+        assert_eq!(q2.pop(), Some(99));
+    }
+
+    #[test]
+    fn cross_thread_spsc() {
+        let q: RingBuffer<u64> = RingBuffer::with_capacity(64);
+        let producer = q.clone();
+        let n = 100_000u64;
+        let h = thread::spawn(move || {
+            let mut sent = 0;
+            while sent < n {
+                if producer.push(sent).is_ok() {
+                    sent += 1;
+                }
+            }
+        });
+        let mut expect = 0;
+        while expect < n {
+            if let Some(v) = q.pop() {
+                assert_eq!(v, expect);
+                expect += 1;
+            }
+        }
+        h.join().unwrap();
+        assert_eq!(q.dropped() >= 0, true);
+    }
+}

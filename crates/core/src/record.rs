@@ -1,0 +1,745 @@
+//! Record support for scheduler debugging (paper §3.4).
+//!
+//! In record mode, libEnoki records every call and hint sent to the
+//! scheduler plus the order of lock acquisitions, so the exact same
+//! scheduler code can later be replayed at userspace. Records are pushed
+//! into a shared ring buffer drained by a separate "userspace" writer
+//! thread, because scheduler context cannot block on file I/O; if the ring
+//! overruns, events are dropped (and counted).
+//!
+//! The log format is a hand-rolled length-free fixed-layout little-endian
+//! binary codec (one tag byte + fixed fields per record).
+
+use crate::queue::RingBuffer;
+use std::fs::File;
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Identifies which scheduler entry point a [`Rec::Call`] belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum FuncId {
+    /// `select_task_rq`
+    SelectTaskRq = 1,
+    /// `task_new`
+    TaskNew = 2,
+    /// `task_wakeup`
+    TaskWakeup = 3,
+    /// `task_blocked`
+    TaskBlocked = 4,
+    /// `task_yield`
+    TaskYield = 5,
+    /// `task_preempt`
+    TaskPreempt = 6,
+    /// `task_dead`
+    TaskDead = 7,
+    /// `task_departed`
+    TaskDeparted = 8,
+    /// `task_tick`
+    TaskTick = 9,
+    /// `balance`
+    Balance = 10,
+    /// `pick_next_task`
+    PickNextTask = 11,
+    /// `migrate_task_rq`
+    MigrateTaskRq = 12,
+    /// `task_prio_changed`
+    TaskPrioChanged = 13,
+    /// `task_affinity_changed`
+    TaskAffinityChanged = 14,
+    /// `balance_err`
+    BalanceErr = 15,
+    /// `pnt_err`
+    PntErr = 16,
+}
+
+impl FuncId {
+    /// Decodes a tag byte.
+    pub fn from_u8(v: u8) -> Option<FuncId> {
+        Some(match v {
+            1 => FuncId::SelectTaskRq,
+            2 => FuncId::TaskNew,
+            3 => FuncId::TaskWakeup,
+            4 => FuncId::TaskBlocked,
+            5 => FuncId::TaskYield,
+            6 => FuncId::TaskPreempt,
+            7 => FuncId::TaskDead,
+            8 => FuncId::TaskDeparted,
+            9 => FuncId::TaskTick,
+            10 => FuncId::Balance,
+            11 => FuncId::PickNextTask,
+            12 => FuncId::MigrateTaskRq,
+            13 => FuncId::TaskPrioChanged,
+            14 => FuncId::TaskAffinityChanged,
+            15 => FuncId::BalanceErr,
+            16 => FuncId::PntErr,
+            _ => return None,
+        })
+    }
+}
+
+/// How a lock was acquired (for the lock-order log).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum LockOp {
+    /// Mutex lock.
+    Mutex = 0,
+    /// Read-write lock, shared mode.
+    Read = 1,
+    /// Read-write lock, exclusive mode.
+    Write = 2,
+}
+
+/// The message-call argument bundle recorded for every scheduler call.
+///
+/// Mirrors the per-function "message" data structures Enoki-C fills from
+/// kernel state: all timing and task information the scheduler may consult
+/// is captured here, which is what makes the replay deterministic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CallArgs {
+    /// Virtual time of the call.
+    pub now: u64,
+    /// Subject task (or -1).
+    pub pid: i64,
+    /// Accumulated runtime of the task.
+    pub runtime: u64,
+    /// Runtime since last pick.
+    pub delta: u64,
+    /// The cpu argument (target cpu / task's cpu).
+    pub cpu: i32,
+    /// Previous cpu (select/migrate).
+    pub prev_cpu: i32,
+    /// Task load weight.
+    pub weight: u32,
+    /// Task nice value.
+    pub nice: i32,
+    /// Wake flags (bit 0 = sync, bit 1 = fork).
+    pub flags: u32,
+    /// Affinity mask, low half.
+    pub aff_lo: u64,
+    /// Affinity mask, high half.
+    pub aff_hi: u64,
+}
+
+/// One record-log event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Rec {
+    /// A shim lock was created.
+    LockCreate {
+        /// Kernel thread (cpu) creating the lock.
+        tid: u32,
+        /// Framework-assigned lock id (creation order).
+        lock: u64,
+    },
+    /// A shim lock was acquired.
+    LockAcquire {
+        /// Acquiring kernel thread.
+        tid: u32,
+        /// Lock id.
+        lock: u64,
+        /// Acquisition mode.
+        op: LockOp,
+    },
+    /// A shim lock was released.
+    LockRelease {
+        /// Releasing kernel thread.
+        tid: u32,
+        /// Lock id.
+        lock: u64,
+    },
+    /// A call into the scheduler.
+    Call {
+        /// Calling kernel thread (cpu).
+        tid: u32,
+        /// Which scheduler function.
+        func: FuncId,
+        /// Argument bundle.
+        args: CallArgs,
+    },
+    /// The scheduler's response to the preceding call on this thread.
+    /// Encodes cpu ids, `Option<pid>` (`-1` = None), etc.
+    Ret {
+        /// Responding kernel thread.
+        tid: u32,
+        /// Which scheduler function returned.
+        func: FuncId,
+        /// Encoded return value.
+        val: i64,
+    },
+    /// A userspace hint delivered to the scheduler.
+    Hint {
+        /// Kernel thread delivering the hint.
+        tid: u32,
+        /// Sending task.
+        pid: i64,
+        /// Hint discriminator.
+        kind: u32,
+        /// Hint payload.
+        a: i64,
+        /// Hint payload.
+        b: i64,
+        /// Hint payload.
+        c: i64,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Codec
+// ---------------------------------------------------------------------
+
+const TAG_LOCK_CREATE: u8 = 0xC0;
+const TAG_LOCK_ACQUIRE: u8 = 0xC1;
+const TAG_LOCK_RELEASE: u8 = 0xC2;
+const TAG_CALL: u8 = 0xC3;
+const TAG_RET: u8 = 0xC4;
+const TAG_HINT: u8 = 0xC5;
+
+impl Rec {
+    /// Appends the binary encoding of this record to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            Rec::LockCreate { tid, lock } => {
+                out.push(TAG_LOCK_CREATE);
+                out.extend_from_slice(&tid.to_le_bytes());
+                out.extend_from_slice(&lock.to_le_bytes());
+            }
+            Rec::LockAcquire { tid, lock, op } => {
+                out.push(TAG_LOCK_ACQUIRE);
+                out.extend_from_slice(&tid.to_le_bytes());
+                out.extend_from_slice(&lock.to_le_bytes());
+                out.push(op as u8);
+            }
+            Rec::LockRelease { tid, lock } => {
+                out.push(TAG_LOCK_RELEASE);
+                out.extend_from_slice(&tid.to_le_bytes());
+                out.extend_from_slice(&lock.to_le_bytes());
+            }
+            Rec::Call { tid, func, args } => {
+                out.push(TAG_CALL);
+                out.extend_from_slice(&tid.to_le_bytes());
+                out.push(func as u8);
+                out.extend_from_slice(&args.now.to_le_bytes());
+                out.extend_from_slice(&args.pid.to_le_bytes());
+                out.extend_from_slice(&args.runtime.to_le_bytes());
+                out.extend_from_slice(&args.delta.to_le_bytes());
+                out.extend_from_slice(&args.cpu.to_le_bytes());
+                out.extend_from_slice(&args.prev_cpu.to_le_bytes());
+                out.extend_from_slice(&args.weight.to_le_bytes());
+                out.extend_from_slice(&args.nice.to_le_bytes());
+                out.extend_from_slice(&args.flags.to_le_bytes());
+                out.extend_from_slice(&args.aff_lo.to_le_bytes());
+                out.extend_from_slice(&args.aff_hi.to_le_bytes());
+            }
+            Rec::Ret { tid, func, val } => {
+                out.push(TAG_RET);
+                out.extend_from_slice(&tid.to_le_bytes());
+                out.push(func as u8);
+                out.extend_from_slice(&val.to_le_bytes());
+            }
+            Rec::Hint {
+                tid,
+                pid,
+                kind,
+                a,
+                b,
+                c,
+            } => {
+                out.push(TAG_HINT);
+                out.extend_from_slice(&tid.to_le_bytes());
+                out.extend_from_slice(&pid.to_le_bytes());
+                out.extend_from_slice(&kind.to_le_bytes());
+                out.extend_from_slice(&a.to_le_bytes());
+                out.extend_from_slice(&b.to_le_bytes());
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+    }
+
+    /// Decodes one record from `buf`, returning it and the bytes consumed.
+    pub fn decode(buf: &[u8]) -> Option<(Rec, usize)> {
+        fn u32_at(b: &[u8], o: usize) -> u32 {
+            u32::from_le_bytes(b[o..o + 4].try_into().unwrap())
+        }
+        fn i32_at(b: &[u8], o: usize) -> i32 {
+            i32::from_le_bytes(b[o..o + 4].try_into().unwrap())
+        }
+        fn u64_at(b: &[u8], o: usize) -> u64 {
+            u64::from_le_bytes(b[o..o + 8].try_into().unwrap())
+        }
+        fn i64_at(b: &[u8], o: usize) -> i64 {
+            i64::from_le_bytes(b[o..o + 8].try_into().unwrap())
+        }
+        let tag = *buf.first()?;
+        match tag {
+            TAG_LOCK_CREATE => {
+                if buf.len() < 13 {
+                    return None;
+                }
+                Some((
+                    Rec::LockCreate {
+                        tid: u32_at(buf, 1),
+                        lock: u64_at(buf, 5),
+                    },
+                    13,
+                ))
+            }
+            TAG_LOCK_ACQUIRE => {
+                if buf.len() < 14 {
+                    return None;
+                }
+                let op = match buf[13] {
+                    0 => LockOp::Mutex,
+                    1 => LockOp::Read,
+                    2 => LockOp::Write,
+                    _ => return None,
+                };
+                Some((
+                    Rec::LockAcquire {
+                        tid: u32_at(buf, 1),
+                        lock: u64_at(buf, 5),
+                        op,
+                    },
+                    14,
+                ))
+            }
+            TAG_LOCK_RELEASE => {
+                if buf.len() < 13 {
+                    return None;
+                }
+                Some((
+                    Rec::LockRelease {
+                        tid: u32_at(buf, 1),
+                        lock: u64_at(buf, 5),
+                    },
+                    13,
+                ))
+            }
+            TAG_CALL => {
+                // tag + tid + func + 4×u64 + 5×u32/i32 + 2×u64 affinity.
+                let need = 1 + 4 + 1 + 8 * 4 + 4 * 5 + 8 * 2;
+                if buf.len() < need {
+                    return None;
+                }
+                let func = FuncId::from_u8(buf[5])?;
+                let mut o = 6;
+                let mut rd8 = || {
+                    let v = u64_at(buf, o);
+                    o += 8;
+                    v
+                };
+                let now = rd8();
+                let pid = rd8() as i64;
+                let runtime = rd8();
+                let delta = rd8();
+                let cpu = i32_at(buf, o);
+                let prev_cpu = i32_at(buf, o + 4);
+                let weight = u32_at(buf, o + 8);
+                let nice = i32_at(buf, o + 12);
+                let flags = u32_at(buf, o + 16);
+                let aff_lo = u64_at(buf, o + 20);
+                let aff_hi = u64_at(buf, o + 28);
+                Some((
+                    Rec::Call {
+                        tid: u32_at(buf, 1),
+                        func,
+                        args: CallArgs {
+                            now,
+                            pid,
+                            runtime,
+                            delta,
+                            cpu,
+                            prev_cpu,
+                            weight,
+                            nice,
+                            flags,
+                            aff_lo,
+                            aff_hi,
+                        },
+                    },
+                    need,
+                ))
+            }
+            TAG_RET => {
+                if buf.len() < 14 {
+                    return None;
+                }
+                let func = FuncId::from_u8(buf[5])?;
+                Some((
+                    Rec::Ret {
+                        tid: u32_at(buf, 1),
+                        func,
+                        val: i64_at(buf, 6),
+                    },
+                    14,
+                ))
+            }
+            TAG_HINT => {
+                if buf.len() < 41 {
+                    return None;
+                }
+                Some((
+                    Rec::Hint {
+                        tid: u32_at(buf, 1),
+                        pid: i64_at(buf, 5),
+                        kind: u32_at(buf, 13),
+                        a: i64_at(buf, 17),
+                        b: i64_at(buf, 25),
+                        c: i64_at(buf, 33),
+                    },
+                    41,
+                ))
+            }
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Recorder: ring buffer + userspace writer thread
+// ---------------------------------------------------------------------
+
+/// Shared handle used by the framework and lock shims to emit records.
+#[derive(Clone)]
+pub struct Recorder {
+    ring: RingBuffer<Rec>,
+    dropped: Arc<AtomicU64>,
+}
+
+impl Recorder {
+    /// Creates a recorder with the given ring capacity.
+    pub fn new(capacity: usize) -> Recorder {
+        Recorder {
+            ring: RingBuffer::with_capacity(capacity),
+            dropped: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Emits one record (drops it if the ring is full).
+    pub fn emit(&self, rec: Rec) {
+        if self.ring.push(rec).is_err() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records dropped due to ring overrun.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed) + self.ring.dropped()
+    }
+}
+
+/// The "userspace record task": a real thread that drains the recorder's
+/// ring and writes the log file asynchronously.
+pub struct RecordWriter {
+    handle: Option<JoinHandle<std::io::Result<u64>>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl RecordWriter {
+    /// Spawns the writer thread draining `recorder` into `path`.
+    pub fn spawn(recorder: &Recorder, path: &Path) -> std::io::Result<RecordWriter> {
+        let file = File::create(path)?;
+        let ring = recorder.ring.clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("enoki-record".into())
+            .spawn(move || {
+                let mut w = BufWriter::new(file);
+                let mut buf = Vec::with_capacity(64);
+                let mut written = 0u64;
+                loop {
+                    let mut idle = true;
+                    while let Some(rec) = ring.pop() {
+                        idle = false;
+                        buf.clear();
+                        rec.encode(&mut buf);
+                        w.write_all(&buf)?;
+                        written += 1;
+                    }
+                    if idle {
+                        if stop2.load(Ordering::Acquire) && ring.is_empty() {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+                w.flush()?;
+                Ok(written)
+            })?;
+        Ok(RecordWriter {
+            handle: Some(handle),
+            stop,
+        })
+    }
+
+    /// Stops the writer after the ring drains; returns records written.
+    pub fn finish(mut self) -> std::io::Result<u64> {
+        self.stop.store(true, Ordering::Release);
+        self.handle
+            .take()
+            .expect("finish called once")
+            .join()
+            .expect("record writer panicked")
+    }
+}
+
+impl Drop for RecordWriter {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Parses an entire record log from a reader.
+pub fn parse_log<R: Read>(mut r: R) -> std::io::Result<Vec<Rec>> {
+    let mut data = Vec::new();
+    r.read_to_end(&mut data)?;
+    let mut out = Vec::new();
+    let mut off = 0;
+    while off < data.len() {
+        match Rec::decode(&data[off..]) {
+            Some((rec, used)) => {
+                out.push(rec);
+                off += used;
+            }
+            None => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("corrupt record at offset {off}"),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Global record/replay mode for the lock shims
+// ---------------------------------------------------------------------
+
+/// Replay-side lock sequencing hooks (implemented in `crate::replay`).
+pub trait LockSequencer: Send + Sync {
+    /// Blocks the calling thread until it is its turn to acquire `lock`.
+    fn wait_turn(&self, lock: u64, tid: u32);
+    /// Notes that `lock` was released.
+    fn released(&self, lock: u64, tid: u32);
+}
+
+const MODE_OFF: u8 = 0;
+const MODE_RECORD: u8 = 1;
+const MODE_REPLAY: u8 = 2;
+
+static MODE_TAG: AtomicU8 = AtomicU8::new(MODE_OFF);
+static NEXT_LOCK_ID: AtomicU64 = AtomicU64::new(1);
+
+static GLOBAL: parking_lot::RwLock<GlobalMode> = parking_lot::RwLock::new(GlobalMode::Off);
+
+enum GlobalMode {
+    Off,
+    Record(Recorder),
+    Replay(Arc<dyn LockSequencer>),
+}
+
+thread_local! {
+    static TID: AtomicU32 = const { AtomicU32::new(0) };
+}
+
+/// Sets the current thread's kernel-thread id used for tagging records
+/// (the cpu id in kernel context, the replayed tid in replay threads).
+pub fn set_tid(tid: u32) {
+    TID.with(|t| t.store(tid, Ordering::Relaxed));
+}
+
+/// The current thread's kernel-thread id.
+pub fn current_tid() -> u32 {
+    TID.with(|t| t.load(Ordering::Relaxed))
+}
+
+/// Switches the process into record mode; all shim locks and framework
+/// dispatch calls start emitting records.
+pub fn enable_record(recorder: Recorder) {
+    *GLOBAL.write() = GlobalMode::Record(recorder);
+    MODE_TAG.store(MODE_RECORD, Ordering::Release);
+}
+
+/// Switches the process into replay mode with the given lock sequencer.
+pub fn enable_replay(seq: Arc<dyn LockSequencer>) {
+    *GLOBAL.write() = GlobalMode::Replay(seq);
+    MODE_TAG.store(MODE_REPLAY, Ordering::Release);
+}
+
+/// Turns record/replay off (the default).
+pub fn disable() {
+    MODE_TAG.store(MODE_OFF, Ordering::Release);
+    *GLOBAL.write() = GlobalMode::Off;
+}
+
+/// True when recording.
+pub fn recording() -> bool {
+    MODE_TAG.load(Ordering::Acquire) == MODE_RECORD
+}
+
+/// Emits a record if recording (cheap no-op otherwise).
+pub fn emit(rec: Rec) {
+    if MODE_TAG.load(Ordering::Acquire) != MODE_RECORD {
+        return;
+    }
+    if let GlobalMode::Record(r) = &*GLOBAL.read() {
+        r.emit(rec);
+    }
+}
+
+/// Allocates a fresh shim-lock id (creation order is the replay identity).
+pub fn next_lock_id() -> u64 {
+    NEXT_LOCK_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Resets lock-id allocation. Call before constructing the scheduler in
+/// both record and replay runs so creation orders line up.
+pub fn reset_lock_ids() {
+    NEXT_LOCK_ID.store(1, Ordering::Relaxed);
+}
+
+/// Invokes `f` with the active sequencer if replaying.
+pub fn with_sequencer(f: impl FnOnce(&dyn LockSequencer)) {
+    if MODE_TAG.load(Ordering::Acquire) != MODE_REPLAY {
+        return;
+    }
+    if let GlobalMode::Replay(s) = &*GLOBAL.read() {
+        f(&**s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(rec: Rec) {
+        let mut buf = Vec::new();
+        rec.encode(&mut buf);
+        let (got, used) = Rec::decode(&buf).expect("decodes");
+        assert_eq!(used, buf.len(), "consumed everything for {rec:?}");
+        assert_eq!(got, rec);
+    }
+
+    #[test]
+    fn codec_round_trips_all_variants() {
+        roundtrip(Rec::LockCreate { tid: 3, lock: 77 });
+        roundtrip(Rec::LockAcquire {
+            tid: 1,
+            lock: 2,
+            op: LockOp::Write,
+        });
+        roundtrip(Rec::LockAcquire {
+            tid: 1,
+            lock: 2,
+            op: LockOp::Read,
+        });
+        roundtrip(Rec::LockAcquire {
+            tid: 1,
+            lock: 2,
+            op: LockOp::Mutex,
+        });
+        roundtrip(Rec::LockRelease {
+            tid: 9,
+            lock: u64::MAX,
+        });
+        roundtrip(Rec::Call {
+            tid: 5,
+            func: FuncId::PickNextTask,
+            args: CallArgs {
+                now: 123456789,
+                pid: -1,
+                runtime: 42,
+                delta: 7,
+                cpu: 3,
+                prev_cpu: -1,
+                weight: 1024,
+                nice: -20,
+                flags: 0b11,
+                aff_lo: u64::MAX,
+                aff_hi: 1,
+            },
+        });
+        roundtrip(Rec::Ret {
+            tid: 2,
+            func: FuncId::Balance,
+            val: -1,
+        });
+        roundtrip(Rec::Hint {
+            tid: 0,
+            pid: 12,
+            kind: 2,
+            a: -5,
+            b: 6,
+            c: 7,
+        });
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Rec::decode(&[0xFFu8, 0, 0]).is_none());
+        assert!(Rec::decode(&[]).is_none());
+        // Truncated call.
+        let mut buf = Vec::new();
+        Rec::Call {
+            tid: 0,
+            func: FuncId::TaskNew,
+            args: CallArgs::default(),
+        }
+        .encode(&mut buf);
+        assert!(Rec::decode(&buf[..buf.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn recorder_writer_round_trip() {
+        let dir = std::env::temp_dir().join(format!("enoki-rec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.bin");
+        let rec = Recorder::new(1024);
+        let writer = RecordWriter::spawn(&rec, &path).unwrap();
+        let events: Vec<Rec> = (0..100)
+            .map(|i| Rec::Ret {
+                tid: i % 4,
+                func: FuncId::Balance,
+                val: i as i64,
+            })
+            .collect();
+        for e in &events {
+            rec.emit(*e);
+        }
+        let written = writer.finish().unwrap();
+        assert_eq!(written, 100);
+        let parsed = parse_log(File::open(&path).unwrap()).unwrap();
+        assert_eq!(parsed, events);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn overrun_drops_and_counts() {
+        let rec = Recorder::new(2);
+        for i in 0..10 {
+            rec.emit(Rec::LockRelease { tid: 0, lock: i });
+        }
+        assert!(rec.dropped() >= 8);
+    }
+
+    #[test]
+    fn tid_is_thread_local() {
+        set_tid(7);
+        assert_eq!(current_tid(), 7);
+        std::thread::spawn(|| {
+            assert_eq!(current_tid(), 0);
+            set_tid(9);
+            assert_eq!(current_tid(), 9);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(current_tid(), 7);
+    }
+}

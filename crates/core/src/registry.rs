@@ -1,0 +1,181 @@
+//! The scheduler registry (paper §3): Enoki-C "registers the ID of the
+//! scheduler being loaded ... User tasks can switch to using the new
+//! scheduler using its defined ID value."
+//!
+//! The registry maps policy numbers to loaded scheduling classes, so
+//! userspace can attach tasks by policy id (the analogue of
+//! `sched_setscheduler(2)` with a custom policy), enumerate what is
+//! loaded, and deregister modules once no new tasks should attach.
+
+use std::collections::HashMap;
+
+/// Errors from registry operations.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The policy number is already registered.
+    PolicyInUse(i32),
+    /// No scheduler is registered under this policy number.
+    UnknownPolicy(i32),
+    /// The policy exists but was deregistered (no new attachments).
+    Deregistered(i32),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::PolicyInUse(p) => write!(f, "policy {p} is already registered"),
+            RegistryError::UnknownPolicy(p) => write!(f, "no scheduler registered for policy {p}"),
+            RegistryError::Deregistered(p) => {
+                write!(f, "policy {p} is deregistered; no new tasks may attach")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    class_idx: usize,
+    name: String,
+    active: bool,
+    attached: u64,
+}
+
+/// Maps policy numbers to machine scheduling-class indices.
+///
+/// # Examples
+///
+/// ```
+/// use enoki_core::registry::Registry;
+/// let mut reg = Registry::new();
+/// reg.register(10, 0, "wfq").unwrap();
+/// assert_eq!(reg.attach(10).unwrap(), 0);
+/// reg.deregister(10).unwrap();
+/// assert!(reg.attach(10).is_err());
+/// ```
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: HashMap<i32, Entry>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Registers a scheduler's policy number against a machine class
+    /// index.
+    pub fn register(
+        &mut self,
+        policy: i32,
+        class_idx: usize,
+        name: impl Into<String>,
+    ) -> Result<(), RegistryError> {
+        if let Some(e) = self.entries.get(&policy) {
+            if e.active {
+                return Err(RegistryError::PolicyInUse(policy));
+            }
+        }
+        self.entries.insert(
+            policy,
+            Entry {
+                class_idx,
+                name: name.into(),
+                active: true,
+                attached: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// Resolves a policy to its class index for a task attaching to it,
+    /// bumping the attachment count.
+    pub fn attach(&mut self, policy: i32) -> Result<usize, RegistryError> {
+        match self.entries.get_mut(&policy) {
+            None => Err(RegistryError::UnknownPolicy(policy)),
+            Some(e) if !e.active => Err(RegistryError::Deregistered(policy)),
+            Some(e) => {
+                e.attached += 1;
+                Ok(e.class_idx)
+            }
+        }
+    }
+
+    /// Marks a policy as deregistered: existing tasks keep running, but no
+    /// new tasks can attach (paper: "when the module is unloaded ... no
+    /// new tasks can be attached to the scheduler").
+    pub fn deregister(&mut self, policy: i32) -> Result<(), RegistryError> {
+        match self.entries.get_mut(&policy) {
+            None => Err(RegistryError::UnknownPolicy(policy)),
+            Some(e) => {
+                e.active = false;
+                Ok(())
+            }
+        }
+    }
+
+    /// Looks up a policy without attaching.
+    pub fn lookup(&self, policy: i32) -> Option<usize> {
+        self.entries
+            .get(&policy)
+            .filter(|e| e.active)
+            .map(|e| e.class_idx)
+    }
+
+    /// Lists `(policy, name, class_idx, attached)` for every active entry.
+    pub fn list(&self) -> Vec<(i32, String, usize, u64)> {
+        let mut out: Vec<_> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.active)
+            .map(|(&p, e)| (p, e.name.clone(), e.class_idx, e.attached))
+            .collect();
+        out.sort_by_key(|(p, _, _, _)| *p);
+        out
+    }
+
+    /// Tasks attached through a policy so far.
+    pub fn attached(&self, policy: i32) -> u64 {
+        self.entries.get(&policy).map_or(0, |e| e.attached)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_attach_deregister_cycle() {
+        let mut reg = Registry::new();
+        reg.register(10, 0, "wfq").unwrap();
+        reg.register(30, 1, "shinjuku").unwrap();
+        assert_eq!(reg.attach(10).unwrap(), 0);
+        assert_eq!(reg.attach(10).unwrap(), 0);
+        assert_eq!(reg.attach(30).unwrap(), 1);
+        assert_eq!(reg.attached(10), 2);
+        reg.deregister(10).unwrap();
+        assert_eq!(reg.attach(10), Err(RegistryError::Deregistered(10)));
+        // Existing registrations remain queryable via list (only active).
+        assert_eq!(reg.list().len(), 1);
+        // A new version may re-register the freed policy number.
+        reg.register(10, 2, "wfq-v2").unwrap();
+        assert_eq!(reg.attach(10).unwrap(), 2);
+    }
+
+    #[test]
+    fn duplicate_policy_rejected() {
+        let mut reg = Registry::new();
+        reg.register(5, 0, "a").unwrap();
+        assert_eq!(reg.register(5, 1, "b"), Err(RegistryError::PolicyInUse(5)));
+    }
+
+    #[test]
+    fn unknown_policy_errors() {
+        let mut reg = Registry::new();
+        assert_eq!(reg.attach(42), Err(RegistryError::UnknownPolicy(42)));
+        assert_eq!(reg.deregister(42), Err(RegistryError::UnknownPolicy(42)));
+        assert_eq!(reg.lookup(42), None);
+    }
+}

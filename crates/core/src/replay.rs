@@ -1,0 +1,487 @@
+//! Replay: re-runs recorded scheduler traces in userspace (paper §3.4).
+//!
+//! The replay system consumes the record log, reconstructs the per-lock
+//! acquisition orders, then drives the *exact same scheduler code* that ran
+//! in the kernel: one real thread per recorded kernel thread, each
+//! replaying its message stream in order, with the shim locks blocking
+//! each thread until it is its turn to acquire. Responses are validated
+//! against the recorded ones and any divergence is reported.
+//!
+//! Like the paper's replayer, threads that arrive at a lock out of turn
+//! block and retry; this sequencing (not the scheduler logic) dominates
+//! replay time, which is why replay is much slower than live execution
+//! (paper §5.8).
+
+use crate::api::{EnokiScheduler, SchedCtx};
+use crate::record::{self, CallArgs, FuncId, LockSequencer, Rec};
+use crate::schedulable::{PickError, Schedulable};
+use enoki_sim::sched_class::KernelCtx;
+use enoki_sim::{CpuSet, Ns, TaskView, Topology, WakeFlags};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Result of a replay run.
+#[derive(Debug, Default)]
+pub struct ReplayReport {
+    /// Scheduler calls replayed.
+    pub calls: u64,
+    /// Hints replayed.
+    pub hints: u64,
+    /// Lock acquisitions sequenced.
+    pub lock_acquires: u64,
+    /// Kernel threads replayed (each becomes one real thread).
+    pub threads: usize,
+    /// Responses that differed from the recording, with context.
+    pub divergences: Vec<String>,
+    /// Times a thread timed out waiting for its recorded lock turn
+    /// (indicates a truncated or drop-lossy log) and proceeded anyway.
+    pub sequencing_timeouts: u64,
+}
+
+impl ReplayReport {
+    /// True when the replayed scheduler matched the recording everywhere.
+    pub fn faithful(&self) -> bool {
+        self.divergences.is_empty() && self.sequencing_timeouts == 0
+    }
+}
+
+struct CoordState {
+    /// Remaining recorded acquisition order per lock.
+    order: HashMap<u64, VecDeque<u32>>,
+    /// Locks currently held by a replay thread.
+    held: HashSet<u64>,
+}
+
+/// Enforces the recorded lock-acquisition order across replay threads.
+pub struct ReplayCoordinator {
+    state: Mutex<CoordState>,
+    cv: Condvar,
+    timeouts: AtomicU64,
+    /// After this many sequencing timeouts the coordinator gives up on
+    /// ordering (the log has clearly diverged) and only provides mutual
+    /// exclusion, so a diverged replay still terminates quickly.
+    give_up_after: u64,
+}
+
+impl ReplayCoordinator {
+    /// Builds the coordinator from a record log.
+    pub fn from_log(log: &[Rec]) -> Arc<ReplayCoordinator> {
+        let mut order: HashMap<u64, VecDeque<u32>> = HashMap::new();
+        for rec in log {
+            if let Rec::LockAcquire { tid, lock, .. } = rec {
+                order.entry(*lock).or_default().push_back(*tid);
+            }
+        }
+        Arc::new(ReplayCoordinator {
+            state: Mutex::new(CoordState {
+                order,
+                held: HashSet::new(),
+            }),
+            cv: Condvar::new(),
+            timeouts: AtomicU64::new(0),
+            give_up_after: 50,
+        })
+    }
+
+    /// Number of out-of-order timeouts that occurred.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+}
+
+impl LockSequencer for ReplayCoordinator {
+    fn wait_turn(&self, lock: u64, tid: u32) {
+        let gave_up = self.timeouts.load(Ordering::Relaxed) >= self.give_up_after;
+        let mut st = self.state.lock().expect("coordinator poisoned");
+        loop {
+            let my_turn = if gave_up {
+                !st.held.contains(&lock)
+            } else {
+                match st.order.get(&lock) {
+                    // Locks with no recorded history (fresh in replay) only
+                    // need mutual exclusion.
+                    None => !st.held.contains(&lock),
+                    Some(q) => match q.front() {
+                        None => !st.held.contains(&lock),
+                        Some(&next) => next == tid && !st.held.contains(&lock),
+                    },
+                }
+            };
+            if my_turn {
+                if let Some(q) = st.order.get_mut(&lock) {
+                    q.pop_front();
+                }
+                st.held.insert(lock);
+                return;
+            }
+            let (next_st, timeout) = self
+                .cv
+                .wait_timeout(st, Duration::from_millis(100))
+                .expect("coordinator poisoned");
+            st = next_st;
+            if timeout.timed_out() {
+                // The recorded predecessor never showed up (dropped
+                // events); proceed to avoid deadlocking the replay.
+                self.timeouts.fetch_add(1, Ordering::Relaxed);
+                if let Some(q) = st.order.get_mut(&lock) {
+                    q.pop_front();
+                }
+            }
+        }
+    }
+
+    fn released(&self, lock: u64, _tid: u32) {
+        let mut st = self.state.lock().expect("coordinator poisoned");
+        st.held.remove(&lock);
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+fn view_from_args(a: &CallArgs) -> TaskView {
+    let mask = (a.aff_lo as u128) | ((a.aff_hi as u128) << 64);
+    TaskView {
+        pid: a.pid.max(0) as usize,
+        runtime: Ns(a.runtime),
+        delta_runtime: Ns(a.delta),
+        cpu: a.cpu.max(0) as usize,
+        weight: a.weight,
+        nice: a.nice,
+        affinity: CpuSet::from_mask(mask),
+    }
+}
+
+fn flags_from(a: &CallArgs) -> WakeFlags {
+    let waker = if a.flags >= 256 {
+        Some((a.flags >> 8) as usize - 1)
+    } else {
+        None
+    };
+    WakeFlags {
+        sync: a.flags & 1 != 0,
+        fork: a.flags & 2 != 0,
+        waker,
+    }
+}
+
+/// Events routed to a single replay thread.
+enum ThreadEvent {
+    Call {
+        func: FuncId,
+        args: CallArgs,
+        ret: Option<i64>,
+    },
+    Hint {
+        pid: i64,
+        hint: enoki_sim::HintVal,
+    },
+}
+
+/// Replays a record log against a fresh instance of the same scheduler.
+///
+/// `make` is called (after lock-id reset) to build the scheduler exactly as
+/// the recorded kernel module was built; `nr_cpus` must match the recorded
+/// machine. One real thread is spawned per recorded kernel thread; shim
+/// locks enforce the recorded acquisition order across them.
+pub fn replay<S, F>(log: &[Rec], nr_cpus: usize, make: F) -> ReplayReport
+where
+    S: EnokiScheduler + 'static,
+    S::UserMsg: From<enoki_sim::HintVal>,
+    F: FnOnce() -> S,
+{
+    // Phase 1 (paper: "the first 30 seconds are spent reading the file and
+    // parsing lock operations"): split the log into per-thread message
+    // streams and per-lock acquisition orders.
+    let mut per_tid: HashMap<u32, Vec<ThreadEvent>> = HashMap::new();
+    let mut pending_ret: HashMap<u32, usize> = HashMap::new(); // tid -> index of call awaiting ret
+    let mut lock_acquires = 0u64;
+    for rec in log {
+        match *rec {
+            Rec::Call { tid, func, args } => {
+                let stream = per_tid.entry(tid).or_default();
+                if returns_value(func) {
+                    pending_ret.insert(tid, stream.len());
+                }
+                stream.push(ThreadEvent::Call {
+                    func,
+                    args,
+                    ret: None,
+                });
+            }
+            Rec::Ret { tid, func, val } => {
+                if let Some(idx) = pending_ret.remove(&tid) {
+                    if let Some(ThreadEvent::Call { func: f, ret, .. }) =
+                        per_tid.get_mut(&tid).and_then(|s| s.get_mut(idx))
+                    {
+                        if *f == func {
+                            *ret = Some(val);
+                        }
+                    }
+                }
+            }
+            Rec::Hint {
+                tid,
+                pid,
+                kind,
+                a,
+                b,
+                c,
+            } => {
+                per_tid.entry(tid).or_default().push(ThreadEvent::Hint {
+                    pid,
+                    hint: enoki_sim::HintVal { kind, a, b, c },
+                });
+            }
+            Rec::LockAcquire { .. } => lock_acquires += 1,
+            Rec::LockCreate { .. } | Rec::LockRelease { .. } => {}
+        }
+    }
+
+    // Phase 2: rebuild the scheduler with matching lock identities, arm the
+    // sequencer, and replay each kernel thread's stream on its own thread.
+    record::reset_lock_ids();
+    let scheduler = make();
+    let coord = ReplayCoordinator::from_log(log);
+    record::enable_replay(coord.clone());
+
+    let scheduler = Arc::new(scheduler);
+    let divergences = Arc::new(Mutex::new(Vec::new()));
+    let mut calls = 0u64;
+    let mut hints = 0u64;
+    let threads = per_tid.len();
+
+    std::thread::scope(|scope| {
+        for (tid, stream) in per_tid {
+            calls += stream
+                .iter()
+                .filter(|e| matches!(e, ThreadEvent::Call { .. }))
+                .count() as u64;
+            hints += stream
+                .iter()
+                .filter(|e| matches!(e, ThreadEvent::Hint { .. }))
+                .count() as u64;
+            let sched = scheduler.clone();
+            let div = divergences.clone();
+            scope.spawn(move || {
+                record::set_tid(tid);
+                let topo = std::rc::Rc::new(Topology::new(nr_cpus.max(1), 1));
+                for ev in stream {
+                    match ev {
+                        ThreadEvent::Call { func, args, ret } => {
+                            replay_call(&*sched, &topo, tid, func, &args, ret, &div);
+                        }
+                        ThreadEvent::Hint { pid, hint } => {
+                            let k = KernelCtx::new(Ns::ZERO, topo.clone());
+                            let ctx = SchedCtx::new(&k);
+                            sched.parse_hint(&ctx, pid.max(0) as usize, hint.into());
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    record::disable();
+    let report = ReplayReport {
+        calls,
+        hints,
+        lock_acquires,
+        threads,
+        divergences: Arc::try_unwrap(divergences)
+            .map(|m| m.into_inner().expect("not poisoned"))
+            .unwrap_or_default(),
+        sequencing_timeouts: coord.timeouts(),
+    };
+    report
+}
+
+fn returns_value(func: FuncId) -> bool {
+    matches!(
+        func,
+        FuncId::SelectTaskRq | FuncId::Balance | FuncId::PickNextTask | FuncId::MigrateTaskRq
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn replay_call<S: EnokiScheduler>(
+    sched: &S,
+    topo: &std::rc::Rc<Topology>,
+    tid: u32,
+    func: FuncId,
+    args: &CallArgs,
+    expected: Option<i64>,
+    divergences: &Mutex<Vec<String>>,
+) {
+    let k = KernelCtx::new(Ns(args.now), topo.clone());
+    let ctx = SchedCtx::new(&k);
+    let t = view_from_args(args);
+    let mut got: Option<i64> = None;
+    match func {
+        FuncId::SelectTaskRq => {
+            let cpu =
+                sched.select_task_rq(&ctx, &t, args.prev_cpu.max(0) as usize, flags_from(args));
+            got = Some(cpu as i64);
+        }
+        FuncId::TaskNew => sched.task_new(&ctx, &t, Schedulable::mint(t.pid, t.cpu)),
+        FuncId::TaskWakeup => {
+            sched.task_wakeup(&ctx, &t, flags_from(args), Schedulable::mint(t.pid, t.cpu))
+        }
+        FuncId::TaskBlocked => sched.task_blocked(&ctx, &t),
+        FuncId::TaskYield => sched.task_yield(&ctx, &t, Schedulable::mint(t.pid, t.cpu)),
+        FuncId::TaskPreempt => sched.task_preempt(&ctx, &t, Schedulable::mint(t.pid, t.cpu)),
+        FuncId::TaskDead => sched.task_dead(&ctx, args.pid.max(0) as usize),
+        FuncId::TaskDeparted => {
+            let _ = sched.task_departed(&ctx, &t);
+        }
+        FuncId::TaskTick => sched.task_tick(&ctx, args.cpu.max(0) as usize, &t),
+        FuncId::Balance => {
+            let res = sched.balance(&ctx, args.cpu.max(0) as usize);
+            got = Some(res.map_or(-1, |p| p as i64));
+        }
+        FuncId::PickNextTask => {
+            let cpu = args.cpu.max(0) as usize;
+            let res = sched.pick_next_task(&ctx, cpu, None);
+            got = Some(res.as_ref().map_or(-1, |s| s.pid() as i64));
+            // Mirror the dispatch layer's token validation so scheduler
+            // state stays consistent through recorded pnt_err paths.
+            if let Some(tok) = res {
+                if tok.cpu() != cpu {
+                    let err = PickError::WrongCpu {
+                        wanted: cpu,
+                        got: tok.cpu(),
+                    };
+                    sched.pnt_err(&ctx, cpu, err, Some(tok));
+                }
+            }
+        }
+        FuncId::MigrateTaskRq => {
+            let old = sched.migrate_task_rq(&ctx, &t, Schedulable::mint(t.pid, t.cpu));
+            got = Some(old.as_ref().map_or(-1, |s| s.pid() as i64));
+        }
+        FuncId::TaskPrioChanged => sched.task_prio_changed(&ctx, &t),
+        FuncId::TaskAffinityChanged => sched.task_affinity_changed(&ctx, &t),
+        // pnt_err / balance_err calls are regenerated by the validation
+        // mirror above, not replayed directly.
+        FuncId::PntErr | FuncId::BalanceErr => {}
+    }
+    if let (Some(exp), Some(got)) = (expected, got) {
+        if exp != got {
+            divergences.lock().expect("not poisoned").push(format!(
+                "tid {tid}: {func:?} returned {got}, recorded {exp} (now={})",
+                args.now
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::LockOp;
+
+    #[test]
+    fn coordinator_orders_two_threads() {
+        let log = vec![
+            Rec::LockAcquire {
+                tid: 1,
+                lock: 10,
+                op: LockOp::Mutex,
+            },
+            Rec::LockAcquire {
+                tid: 2,
+                lock: 10,
+                op: LockOp::Mutex,
+            },
+            Rec::LockAcquire {
+                tid: 1,
+                lock: 10,
+                op: LockOp::Mutex,
+            },
+        ];
+        let coord = ReplayCoordinator::from_log(&log);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        std::thread::scope(|s| {
+            // Thread 2 tries first but must wait for thread 1's turn.
+            let c2 = coord.clone();
+            let o2 = order.clone();
+            let h2 = s.spawn(move || {
+                c2.wait_turn(10, 2);
+                o2.lock().unwrap().push(2);
+                c2.released(10, 2);
+            });
+            std::thread::sleep(Duration::from_millis(50));
+            let c1 = coord.clone();
+            let o1 = order.clone();
+            let h1 = s.spawn(move || {
+                c1.wait_turn(10, 1);
+                o1.lock().unwrap().push(1);
+                c1.released(10, 1);
+                c1.wait_turn(10, 1);
+                o1.lock().unwrap().push(1);
+                c1.released(10, 1);
+            });
+            h1.join().unwrap();
+            h2.join().unwrap();
+        });
+        assert_eq!(*order.lock().unwrap(), vec![1, 2, 1]);
+        assert_eq!(coord.timeouts(), 0);
+    }
+
+    #[test]
+    fn coordinator_times_out_on_missing_predecessor() {
+        // Recorded order says tid 9 goes first, but tid 9 never arrives.
+        let log = vec![
+            Rec::LockAcquire {
+                tid: 9,
+                lock: 5,
+                op: LockOp::Mutex,
+            },
+            Rec::LockAcquire {
+                tid: 1,
+                lock: 5,
+                op: LockOp::Mutex,
+            },
+        ];
+        let coord = ReplayCoordinator::from_log(&log);
+        coord.wait_turn(5, 1);
+        coord.released(5, 1);
+        assert!(coord.timeouts() >= 1);
+    }
+
+    #[test]
+    fn unknown_locks_need_only_mutual_exclusion() {
+        let coord = ReplayCoordinator::from_log(&[]);
+        coord.wait_turn(42, 1);
+        coord.released(42, 1);
+        coord.wait_turn(42, 2);
+        coord.released(42, 2);
+        assert_eq!(coord.timeouts(), 0);
+    }
+
+    #[test]
+    fn view_reconstruction_round_trips() {
+        let args = CallArgs {
+            now: 5,
+            pid: 12,
+            runtime: 100,
+            delta: 10,
+            cpu: 3,
+            prev_cpu: 1,
+            weight: 1024,
+            nice: -5,
+            flags: 1,
+            aff_lo: 0xFF,
+            aff_hi: 0,
+        };
+        let v = view_from_args(&args);
+        assert_eq!(v.pid, 12);
+        assert_eq!(v.cpu, 3);
+        assert_eq!(v.weight, 1024);
+        assert!(v.affinity.contains(7));
+        assert!(!v.affinity.contains(8));
+        assert!(flags_from(&args).sync);
+        assert!(!flags_from(&args).fork);
+    }
+}

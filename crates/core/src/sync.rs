@@ -1,0 +1,281 @@
+//! Lock shims for Enoki schedulers.
+//!
+//! Schedulers synchronize internal state with these wrappers instead of raw
+//! `parking_lot` types. The shims are the record/replay hook points the
+//! paper describes: recording captures lock creation, acquisition, and
+//! release order (tagged with the kernel thread id); replay blocks each
+//! thread until it is its turn to acquire, reproducing the recorded
+//! interleaving. Because schedulers are safe Rust, lock order is the *only*
+//! source of nondeterminism that must be captured (paper §6).
+
+use crate::record::{self, LockOp, Rec};
+use std::ops::{Deref, DerefMut};
+
+/// A mutex whose acquisition order is recorded and replayed.
+pub struct Mutex<T> {
+    id: u64,
+    inner: parking_lot::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex around `value`.
+    pub fn new(value: T) -> Mutex<T> {
+        let id = record::next_lock_id();
+        record::emit(Rec::LockCreate {
+            tid: record::current_tid(),
+            lock: id,
+        });
+        Mutex {
+            id,
+            inner: parking_lot::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the mutex.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let tid = record::current_tid();
+        record::with_sequencer(|s| s.wait_turn(self.id, tid));
+        let guard = self.inner.lock();
+        record::emit(Rec::LockAcquire {
+            tid,
+            lock: self.id,
+            op: LockOp::Mutex,
+        });
+        MutexGuard { id: self.id, guard }
+    }
+
+    /// The framework-assigned lock id (stable across record/replay by
+    /// creation order).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// Guard for [`Mutex`].
+pub struct MutexGuard<'a, T> {
+    id: u64,
+    guard: parking_lot::MutexGuard<'a, T>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let tid = record::current_tid();
+        record::emit(Rec::LockRelease { tid, lock: self.id });
+        record::with_sequencer(|s| s.released(self.id, tid));
+    }
+}
+
+/// A read-write lock whose acquisition order is recorded and replayed.
+///
+/// Replay serializes read acquisitions too: read/read concurrency cannot
+/// produce divergent scheduler state (readers do not mutate), so replaying
+/// reads in recorded order is sufficient and simpler.
+pub struct RwLock<T> {
+    id: u64,
+    inner: parking_lot::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new read-write lock around `value`.
+    pub fn new(value: T) -> RwLock<T> {
+        let id = record::next_lock_id();
+        record::emit(Rec::LockCreate {
+            tid: record::current_tid(),
+            lock: id,
+        });
+        RwLock {
+            id,
+            inner: parking_lot::RwLock::new(value),
+        }
+    }
+
+    /// Acquires the lock in shared mode.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let tid = record::current_tid();
+        record::with_sequencer(|s| s.wait_turn(self.id, tid));
+        let guard = self.inner.read();
+        record::emit(Rec::LockAcquire {
+            tid,
+            lock: self.id,
+            op: LockOp::Read,
+        });
+        RwLockReadGuard { id: self.id, guard }
+    }
+
+    /// Acquires the lock in exclusive mode.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let tid = record::current_tid();
+        record::with_sequencer(|s| s.wait_turn(self.id, tid));
+        let guard = self.inner.write();
+        record::emit(Rec::LockAcquire {
+            tid,
+            lock: self.id,
+            op: LockOp::Write,
+        });
+        RwLockWriteGuard { id: self.id, guard }
+    }
+
+    /// The framework-assigned lock id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// Shared guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T> {
+    id: u64,
+    guard: parking_lot::RwLockReadGuard<'a, T>,
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        let tid = record::current_tid();
+        record::emit(Rec::LockRelease { tid, lock: self.id });
+        record::with_sequencer(|s| s.released(self.id, tid));
+    }
+}
+
+/// Exclusive guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T> {
+    id: u64,
+    guard: parking_lot::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        let tid = record::current_tid();
+        record::emit(Rec::LockRelease { tid, lock: self.id });
+        record::with_sequencer(|s| s.released(self.id, tid));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{parse_log, RecordWriter, Recorder};
+
+    #[test]
+    fn mutex_basic() {
+        let m = Mutex::new(5);
+        {
+            let mut g = m.lock();
+            *g += 1;
+        }
+        assert_eq!(*m.lock(), 6);
+    }
+
+    #[test]
+    fn rwlock_basic() {
+        let l = RwLock::new(vec![1, 2]);
+        assert_eq!(l.read().len(), 2);
+        l.write().push(3);
+        assert_eq!(l.read().len(), 3);
+    }
+
+    #[test]
+    fn lock_ids_monotonic() {
+        let a = Mutex::new(());
+        let b = RwLock::new(());
+        assert!(b.id() > a.id());
+    }
+
+    #[test]
+    fn record_mode_logs_lock_ops() {
+        // This test mutates process-global record state; keep it
+        // self-contained and restore Off at the end.
+        let dir = std::env::temp_dir().join(format!("enoki-sync-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("locks.bin");
+        let recorder = Recorder::new(1024);
+        let writer = RecordWriter::spawn(&recorder, &path).unwrap();
+        record::set_tid(3);
+        record::enable_record(recorder);
+        let m = Mutex::new(0u32);
+        {
+            let _g = m.lock();
+        }
+        record::disable();
+        writer.finish().unwrap();
+        let log = parse_log(std::fs::File::open(&path).unwrap()).unwrap();
+        let id = m.id();
+        assert!(log.contains(&Rec::LockCreate { tid: 3, lock: id }));
+        assert!(log.contains(&Rec::LockAcquire {
+            tid: 3,
+            lock: id,
+            op: LockOp::Mutex
+        }));
+        assert!(log.contains(&Rec::LockRelease { tid: 3, lock: id }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[cfg(test)]
+mod rwlock_record_tests {
+    use super::*;
+    use crate::record::{parse_log, LockOp, Rec, RecordWriter, Recorder};
+
+    #[test]
+    fn rwlock_modes_are_distinguished_in_the_log() {
+        let dir = std::env::temp_dir().join(format!("enoki-rw-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rw.bin");
+        let recorder = Recorder::new(256);
+        let writer = RecordWriter::spawn(&recorder, &path).unwrap();
+        record::set_tid(5);
+        record::enable_record(recorder);
+        let l = RwLock::new(1u32);
+        {
+            let _r = l.read();
+        }
+        {
+            let mut w = l.write();
+            *w = 2;
+        }
+        record::disable();
+        writer.finish().unwrap();
+        let log = parse_log(std::fs::File::open(&path).unwrap()).unwrap();
+        let id = l.id();
+        assert!(log.contains(&Rec::LockAcquire { tid: 5, lock: id, op: LockOp::Read }));
+        assert!(log.contains(&Rec::LockAcquire { tid: 5, lock: id, op: LockOp::Write }));
+        // Two releases, one per guard.
+        let releases = log
+            .iter()
+            .filter(|r| matches!(r, Rec::LockRelease { lock, .. } if *lock == id))
+            .count();
+        assert_eq!(releases, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

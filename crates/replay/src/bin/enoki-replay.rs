@@ -1,0 +1,121 @@
+//! The `enoki-replay` command: replays a recorded scheduler log at
+//! userspace and reports divergences.
+//!
+//! Usage:
+//! - `enoki-replay <log-file> <scheduler> [nr-cpus]` — replay against a
+//!   fresh instance of `wfq`, `cfs`, `fifo`, `shinjuku`, or `locality`;
+//! - `enoki-replay --stats <log-file>` — print the log's composition
+//!   (events per kind, calls per function, threads, locks) without
+//!   replaying.
+
+use enoki_core::record::Rec;
+use enoki_replay::{load_log, replay_file};
+use enoki_sched::{Cfs, Fifo, Locality, Shinjuku, Wfq};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn print_stats(path: &Path) -> ExitCode {
+    let log = match load_log(path) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut calls: BTreeMap<String, u64> = BTreeMap::new();
+    let mut tids: BTreeSet<u32> = BTreeSet::new();
+    let mut locks: BTreeSet<u64> = BTreeSet::new();
+    let (mut n_call, mut n_ret, mut n_hint, mut n_lock) = (0u64, 0u64, 0u64, 0u64);
+    for rec in &log {
+        match rec {
+            Rec::Call { tid, func, .. } => {
+                n_call += 1;
+                tids.insert(*tid);
+                *calls.entry(format!("{func:?}")).or_default() += 1;
+            }
+            Rec::Ret { .. } => n_ret += 1,
+            Rec::Hint { tid, .. } => {
+                n_hint += 1;
+                tids.insert(*tid);
+            }
+            Rec::LockAcquire { tid, lock, .. } => {
+                n_lock += 1;
+                tids.insert(*tid);
+                locks.insert(*lock);
+            }
+            Rec::LockCreate { lock, .. } => {
+                locks.insert(*lock);
+            }
+            Rec::LockRelease { .. } => {}
+        }
+    }
+    println!("{} records total", log.len());
+    println!(
+        "  {n_call} calls, {n_ret} returns, {n_hint} hints, {n_lock} lock acquisitions"
+    );
+    println!("  {} kernel threads, {} locks", tids.len(), locks.len());
+    println!("calls by function:");
+    for (func, count) in calls {
+        println!("  {func:<22} {count}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let first = args.next();
+    if first.as_deref() == Some("--stats") {
+        let Some(path) = args.next() else {
+            eprintln!("usage: enoki-replay --stats <log-file>");
+            return ExitCode::from(2);
+        };
+        return print_stats(&PathBuf::from(path));
+    }
+    let (Some(path), Some(sched)) = (first, args.next()) else {
+        eprintln!("usage: enoki-replay <log-file> <wfq|cfs|fifo|shinjuku|locality> [nr-cpus]");
+        eprintln!("       enoki-replay --stats <log-file>");
+        return ExitCode::from(2);
+    };
+    let nr_cpus: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let path = PathBuf::from(path);
+
+    let report = match sched.as_str() {
+        "wfq" => replay_file(&path, nr_cpus, || Wfq::new(nr_cpus)),
+        "cfs" => replay_file(&path, nr_cpus, || Cfs::new(nr_cpus)),
+        "fifo" => replay_file(&path, nr_cpus, || Fifo::new(nr_cpus)),
+        "shinjuku" => replay_file(&path, nr_cpus, || Shinjuku::new(nr_cpus)),
+        "locality" => replay_file(&path, nr_cpus, || Locality::new(nr_cpus)),
+        other => {
+            eprintln!("unknown scheduler '{other}'");
+            return ExitCode::from(2);
+        }
+    };
+
+    match report {
+        Ok(r) => {
+            println!(
+                "replayed {} calls, {} hints, {} lock acquisitions on {} threads",
+                r.calls, r.hints, r.lock_acquires, r.threads
+            );
+            if r.faithful() {
+                println!("replay faithful: all responses matched the recording");
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "{} divergences, {} sequencing timeouts",
+                    r.divergences.len(),
+                    r.sequencing_timeouts
+                );
+                for d in r.divergences.iter().take(20) {
+                    println!("  {d}");
+                }
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Shared weighted-fair-queuing machinery used by the CFS and WFQ
+//! schedulers: per-core vruntime-ordered run queues.
+//!
+//! The vruntime of a task advances by `delta_exec * NICE_0_WEIGHT /
+//! weight`, so higher-weight (higher-priority) tasks accrue vruntime more
+//! slowly and therefore receive proportionally more cpu time. Queues are
+//! ordered by `(vruntime, pid)` in a balanced tree, mirroring CFS's
+//! red-black tree.
+
+use enoki_core::Schedulable;
+use enoki_sim::{Ns, Pid};
+use std::collections::BTreeMap;
+
+/// The weight of a nice-0 task; the vruntime scaling anchor.
+pub const NICE_0_WEIGHT: u64 = 1024;
+
+/// Target scheduling latency: every runnable task should run once per
+/// period (Linux `sysctl_sched_latency`, paper §4.2.1's "minimum of 6ms").
+pub const SCHED_LATENCY: Ns = Ns::from_ms(6);
+
+/// Minimum slice granularity (Linux `sysctl_sched_min_granularity`).
+pub const MIN_GRANULARITY: Ns = Ns::from_us(750);
+
+/// Wakeup preemption granularity (Linux `sysctl_sched_wakeup_granularity`).
+pub const WAKEUP_GRANULARITY: Ns = Ns::from_ms(1);
+
+/// Sleeper credit: a newly woken task's vruntime is clamped to no less
+/// than `min_vruntime - SLEEPER_CREDIT` ("a several millisecond
+/// threshold", paper §4.2.1).
+pub const SLEEPER_CREDIT: u64 = 3_000_000;
+
+/// Rebases a vruntime from one queue's frame into another's.
+///
+/// The carried lag (how far past the source queue's floor the task had
+/// run) is clamped to twice the scheduling latency: a migrated task keeps
+/// its relative position but can neither carry a giant debt nor — when
+/// source-queue bookkeeping is stale — explode the destination's vruntime
+/// space (CFS normalizes migrating entities the same way).
+///
+/// # Examples
+///
+/// ```
+/// use enoki_sched::fair::{rebase_vruntime, SCHED_LATENCY};
+/// // Normal case: the relative lag is preserved.
+/// assert_eq!(rebase_vruntime(1_500, 1_000, 10_000), 10_500);
+/// // Runaway lag is clamped.
+/// let clamped = rebase_vruntime(u64::MAX, 0, 10_000);
+/// assert_eq!(clamped, 10_000 + 2 * SCHED_LATENCY.as_nanos());
+/// ```
+pub fn rebase_vruntime(vruntime: u64, from_min: u64, to_min: u64) -> u64 {
+    let lag = vruntime
+        .saturating_sub(from_min)
+        .min(2 * SCHED_LATENCY.as_nanos());
+    to_min + lag
+}
+
+/// Scales an execution delta into vruntime units for a given weight.
+///
+/// # Examples
+///
+/// ```
+/// use enoki_sched::fair::scale_vruntime;
+/// use enoki_sim::Ns;
+/// // A nice-0 task's vruntime advances 1:1 with wall time.
+/// assert_eq!(scale_vruntime(Ns(1000), 1024), 1000);
+/// // A heavier task accrues vruntime more slowly.
+/// assert_eq!(scale_vruntime(Ns(1000), 2048), 500);
+/// ```
+pub fn scale_vruntime(delta: Ns, weight: u32) -> u64 {
+    (delta.as_nanos() as u128 * NICE_0_WEIGHT as u128 / weight.max(1) as u128) as u64
+}
+
+/// A queued scheduling entity: the task's runnability token plus its fair
+/// bookkeeping.
+#[derive(Debug)]
+pub struct Entity {
+    /// The token proving the task is runnable on this queue's cpu.
+    pub sched: Schedulable,
+    /// Current virtual runtime.
+    pub vruntime: u64,
+    /// Load weight.
+    pub weight: u32,
+}
+
+/// Information about the entity currently running on this queue's cpu.
+#[derive(Debug, Clone, Copy)]
+pub struct Current {
+    /// The running task.
+    pub pid: Pid,
+    /// Its vruntime as of the last update.
+    pub vruntime: u64,
+    /// Its weight.
+    pub weight: u32,
+    /// Cpu time consumed since it was picked.
+    pub ran: Ns,
+}
+
+/// One per-core fair run queue.
+#[derive(Debug, Default)]
+pub struct FairRq {
+    tree: BTreeMap<(u64, Pid), Entity>,
+    /// Monotonic floor of vruntime on this queue.
+    pub min_vruntime: u64,
+    /// The running entity, if this queue's cpu is executing one of ours.
+    pub current: Option<Current>,
+    /// Sum of queued weights (excluding current).
+    pub load: u64,
+}
+
+impl FairRq {
+    /// Creates an empty queue.
+    pub fn new() -> FairRq {
+        FairRq::default()
+    }
+
+    /// Number of queued (not running) entities.
+    pub fn nr_queued(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Total runnable entities including the running one.
+    pub fn nr_running(&self) -> usize {
+        self.tree.len() + usize::from(self.current.is_some())
+    }
+
+    /// Queued load plus the running entity's weight.
+    pub fn total_load(&self) -> u64 {
+        self.load + self.current.map_or(0, |c| c.weight as u64)
+    }
+
+    /// Inserts an entity.
+    pub fn enqueue(&mut self, e: Entity) {
+        self.load += e.weight as u64;
+        let key = (e.vruntime, e.sched.pid());
+        let prev = self.tree.insert(key, e);
+        debug_assert!(prev.is_none(), "duplicate entity");
+    }
+
+    /// Removes and returns the entity with the smallest vruntime.
+    pub fn pop_leftmost(&mut self) -> Option<Entity> {
+        let key = *self.tree.keys().next()?;
+        let e = self.tree.remove(&key).expect("key just seen");
+        self.load -= e.weight as u64;
+        self.update_min();
+        Some(e)
+    }
+
+    /// Smallest queued vruntime.
+    pub fn leftmost_vruntime(&self) -> Option<u64> {
+        self.tree.keys().next().map(|(v, _)| *v)
+    }
+
+    /// Pid of the entity with the *largest* vruntime (the best candidate
+    /// to steal: it has the longest wait ahead of it).
+    pub fn rightmost_pid(&self) -> Option<Pid> {
+        self.tree.keys().next_back().map(|(_, p)| *p)
+    }
+
+    /// Removes a specific entity by pid, returning it.
+    pub fn remove(&mut self, pid: Pid) -> Option<Entity> {
+        let key = self.tree.keys().find(|(_, p)| *p == pid).copied()?;
+        let e = self.tree.remove(&key).expect("key just seen");
+        self.load -= e.weight as u64;
+        self.update_min();
+        Some(e)
+    }
+
+    /// Whether a pid is queued here.
+    pub fn contains(&self, pid: Pid) -> bool {
+        self.tree.keys().any(|(_, p)| *p == pid)
+    }
+
+    /// Advances `min_vruntime` monotonically to track the queue floor.
+    pub fn update_min(&mut self) {
+        let mut min = self.current.map(|c| c.vruntime);
+        if let Some(left) = self.leftmost_vruntime() {
+            min = Some(min.map_or(left, |m| m.min(left)));
+        }
+        if let Some(m) = min {
+            self.min_vruntime = self.min_vruntime.max(m);
+        }
+    }
+
+    /// Clamps a waking task's vruntime: it keeps its old vruntime unless
+    /// that would hand it an unfair backlog of cpu time, in which case it
+    /// is placed just behind the queue floor (paper §4.2.1).
+    pub fn place_woken(&self, old_vruntime: u64) -> u64 {
+        old_vruntime.max(self.min_vruntime.saturating_sub(SLEEPER_CREDIT))
+    }
+
+    /// The fair time slice for the running entity given the number of
+    /// runnable tasks: `period / nr`, with the period stretched so no
+    /// slice goes below the minimum granularity.
+    pub fn slice(&self) -> Ns {
+        let nr = self.nr_running().max(1) as u64;
+        let period = SCHED_LATENCY.max(MIN_GRANULARITY * nr);
+        (period / nr).max(MIN_GRANULARITY)
+    }
+
+    /// Drains all entities (for live-upgrade state transfer).
+    pub fn drain(&mut self) -> Vec<Entity> {
+        self.load = 0;
+        std::mem::take(&mut self.tree).into_values().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tests construct tokens through a helper the framework exposes only
+    // inside this workspace's test builds: we go through a real dispatch
+    // round instead. For pure rq math we fabricate entities via the
+    // public-but-crate-internal mint path using a tiny Enoki scheduler.
+    // Simpler: FairRq math that needs no token.
+
+    #[test]
+    fn vruntime_scaling() {
+        assert_eq!(scale_vruntime(Ns(0), 1024), 0);
+        assert_eq!(scale_vruntime(Ns(1_000_000), 1024), 1_000_000);
+        // nice 19 (weight 15): vruntime advances ~68x faster.
+        let v = scale_vruntime(Ns(1_000_000), 15);
+        assert!((60_000_000..80_000_000).contains(&v), "v={v}");
+    }
+
+    #[test]
+    fn slice_respects_granularity() {
+        let rq = FairRq::new();
+        assert_eq!(rq.slice(), SCHED_LATENCY);
+        let mut rq = FairRq::new();
+        rq.current = Some(Current {
+            pid: 0,
+            vruntime: 0,
+            weight: 1024,
+            ran: Ns::ZERO,
+        });
+        // 1 runnable: whole period.
+        assert_eq!(rq.slice(), SCHED_LATENCY);
+    }
+
+    #[test]
+    fn place_woken_clamps() {
+        let mut rq = FairRq::new();
+        rq.min_vruntime = 10_000_000;
+        // A long sleeper is placed just behind the floor.
+        assert_eq!(rq.place_woken(0), 10_000_000 - SLEEPER_CREDIT);
+        // A recently run task keeps its vruntime.
+        assert_eq!(rq.place_woken(12_000_000), 12_000_000);
+    }
+
+    #[test]
+    fn min_vruntime_is_monotonic() {
+        let mut rq = FairRq::new();
+        rq.current = Some(Current {
+            pid: 1,
+            vruntime: 500,
+            weight: 1024,
+            ran: Ns::ZERO,
+        });
+        rq.update_min();
+        assert_eq!(rq.min_vruntime, 500);
+        rq.current = Some(Current {
+            pid: 1,
+            vruntime: 100,
+            weight: 1024,
+            ran: Ns::ZERO,
+        });
+        rq.update_min();
+        // Never goes backwards.
+        assert_eq!(rq.min_vruntime, 500);
+    }
+}

@@ -1,0 +1,373 @@
+//! The locality-aware scheduler (paper §4.2.3).
+//!
+//! Co-locates tasks that communicate heavily or share cache state, driven
+//! by userspace hints: the application sends `(task id, locality value)`
+//! pairs through the Enoki user→kernel queue, and the scheduler places all
+//! tasks with the same locality value on the same core. Unlike `taskset` /
+//! cgroup pinning, hints name *co-location groups*, not cores, and the
+//! scheduler is free to ignore them when a core is oversubscribed.
+//!
+//! Within each core the scheduler round-robins in FIFO order with tick
+//! preemption — deliberately simple (the paper's version is 203 lines).
+
+use enoki_core::queue::RingBuffer;
+use enoki_core::sync::Mutex;
+use enoki_core::{
+    EnokiScheduler, PickError, SchedCtx, Schedulable, TaskInfo, TransferIn, TransferOut,
+};
+use enoki_sim::{CpuId, HintVal, Pid, WakeFlags};
+use std::collections::{HashMap, VecDeque};
+
+/// Hint kind: `a` = task id, `b` = locality group.
+pub const HINT_LOCALITY: u32 = 1;
+
+/// Maximum tasks the scheduler will co-locate on one core before ignoring
+/// further hints for it ("which the scheduler can ignore if non-optimal,
+/// such as when there are too many tasks on a given core").
+pub const MAX_GROUP_TASKS_PER_CORE: usize = 8;
+
+struct State {
+    queues: Vec<VecDeque<Schedulable>>,
+    /// locality value -> core chosen for the group.
+    group_core: HashMap<i64, CpuId>,
+    /// task -> locality value.
+    task_group: HashMap<Pid, i64>,
+    /// Tasks placed per core (for overload refusal).
+    placed: Vec<usize>,
+    /// Next core for a fresh group (round robin).
+    next_core: CpuId,
+    /// The registered hint queue, if any.
+    hint_queue: Option<RingBuffer<HintVal>>,
+}
+
+/// The locality-aware scheduler.
+pub struct Locality {
+    state: Mutex<State>,
+}
+
+impl Locality {
+    /// Policy number registered for the locality scheduler.
+    pub const POLICY: i32 = 40;
+
+    /// Creates a locality scheduler for `nr_cpus` cores.
+    pub fn new(nr_cpus: usize) -> Locality {
+        Locality {
+            state: Mutex::new(State {
+                queues: (0..nr_cpus).map(|_| VecDeque::new()).collect(),
+                group_core: HashMap::new(),
+                task_group: HashMap::new(),
+                placed: vec![0; nr_cpus],
+                next_core: 0,
+                hint_queue: None,
+            }),
+        }
+    }
+
+    fn apply_hint(st: &mut State, hint: HintVal) {
+        if hint.kind != HINT_LOCALITY || hint.a < 0 {
+            return;
+        }
+        let pid = hint.a as Pid;
+        let group = hint.b;
+        st.task_group.insert(pid, group);
+        let nr = st.queues.len();
+        st.group_core.entry(group).or_insert_with(|| {
+            let core = st.next_core;
+            st.next_core = (st.next_core + 1) % nr;
+            core
+        });
+    }
+
+    fn remove_anywhere(st: &mut State, pid: Pid) -> Option<Schedulable> {
+        for q in st.queues.iter_mut() {
+            if let Some(pos) = q.iter().position(|s| s.pid() == pid) {
+                return q.remove(pos);
+            }
+        }
+        None
+    }
+}
+
+impl EnokiScheduler for Locality {
+    type UserMsg = HintVal;
+    type RevMsg = HintVal;
+
+    fn get_policy(&self) -> i32 {
+        Self::POLICY
+    }
+
+    fn select_task_rq(
+        &self,
+        _ctx: &SchedCtx<'_>,
+        t: &TaskInfo,
+        prev: CpuId,
+        flags: WakeFlags,
+    ) -> CpuId {
+        let st = self.state.lock();
+        // Hinted tasks go to their group's core, unless it is saturated.
+        if let Some(core) = st.task_group.get(&t.pid).and_then(|g| st.group_core.get(g)) {
+            if t.affinity.contains(*core) && st.placed[*core] < MAX_GROUP_TASKS_PER_CORE {
+                return *core;
+            }
+        }
+        // Unhinted: spread forks; otherwise previous core.
+        if flags.fork || !t.affinity.contains(prev) {
+            (0..st.queues.len())
+                .filter(|&c| t.affinity.contains(c))
+                .min_by_key(|&c| (st.placed[c], st.queues[c].len()))
+                .unwrap_or(prev)
+        } else {
+            prev
+        }
+    }
+
+    fn task_new(&self, _ctx: &SchedCtx<'_>, _t: &TaskInfo, sched: Schedulable) {
+        let mut st = self.state.lock();
+        let cpu = sched.cpu();
+        st.placed[cpu] += 1;
+        st.queues[cpu].push_back(sched);
+    }
+
+    fn task_wakeup(
+        &self,
+        _ctx: &SchedCtx<'_>,
+        _t: &TaskInfo,
+        _flags: WakeFlags,
+        sched: Schedulable,
+    ) {
+        let mut st = self.state.lock();
+        let cpu = sched.cpu();
+        st.placed[cpu] += 1;
+        st.queues[cpu].push_back(sched);
+    }
+
+    fn task_blocked(&self, _ctx: &SchedCtx<'_>, t: &TaskInfo) {
+        let mut st = self.state.lock();
+        st.placed[t.cpu] = st.placed[t.cpu].saturating_sub(1);
+        let _ = Self::remove_anywhere(&mut st, t.pid);
+    }
+
+    fn task_preempt(&self, _ctx: &SchedCtx<'_>, t: &TaskInfo, sched: Schedulable) {
+        self.state.lock().queues[t.cpu].push_back(sched);
+    }
+
+    fn task_yield(&self, ctx: &SchedCtx<'_>, t: &TaskInfo, sched: Schedulable) {
+        self.task_preempt(ctx, t, sched);
+    }
+
+    fn task_dead(&self, _ctx: &SchedCtx<'_>, pid: Pid) {
+        let mut st = self.state.lock();
+        let _ = Self::remove_anywhere(&mut st, pid);
+        st.task_group.remove(&pid);
+    }
+
+    fn task_departed(&self, _ctx: &SchedCtx<'_>, t: &TaskInfo) -> Option<Schedulable> {
+        let mut st = self.state.lock();
+        st.task_group.remove(&t.pid);
+        Self::remove_anywhere(&mut st, t.pid)
+    }
+
+    fn task_tick(&self, ctx: &SchedCtx<'_>, cpu: CpuId, _t: &TaskInfo) {
+        // Round-robin co-located tasks at tick granularity.
+        if !self.state.lock().queues[cpu].is_empty() {
+            ctx.resched(cpu);
+        }
+    }
+
+    fn pick_next_task(
+        &self,
+        _ctx: &SchedCtx<'_>,
+        cpu: CpuId,
+        _curr: Option<Schedulable>,
+    ) -> Option<Schedulable> {
+        self.state.lock().queues[cpu].pop_front()
+    }
+
+    fn pnt_err(
+        &self,
+        _ctx: &SchedCtx<'_>,
+        _cpu: CpuId,
+        _err: PickError,
+        sched: Option<Schedulable>,
+    ) {
+        if let Some(s) = sched {
+            let cpu = s.cpu();
+            self.state.lock().queues[cpu].push_front(s);
+        }
+    }
+
+    fn migrate_task_rq(
+        &self,
+        _ctx: &SchedCtx<'_>,
+        t: &TaskInfo,
+        new: Schedulable,
+    ) -> Option<Schedulable> {
+        let mut st = self.state.lock();
+        let old = Self::remove_anywhere(&mut st, t.pid);
+        let cpu = new.cpu();
+        st.queues[cpu].push_back(new);
+        old
+    }
+
+    fn register_queue(&self, q: RingBuffer<HintVal>) -> i32 {
+        self.state.lock().hint_queue = Some(q);
+        1
+    }
+
+    fn enter_queue(&self, _ctx: &SchedCtx<'_>, id: i32) {
+        if id != 1 {
+            return;
+        }
+        let mut st = self.state.lock();
+        while let Some(hint) = st.hint_queue.as_ref().and_then(|q| q.pop()) {
+            Self::apply_hint(&mut st, hint);
+        }
+    }
+
+    fn unregister_queue(&self, id: i32) -> Option<RingBuffer<HintVal>> {
+        if id != 1 {
+            return None;
+        }
+        self.state.lock().hint_queue.take()
+    }
+
+    fn parse_hint(&self, _ctx: &SchedCtx<'_>, _from: Pid, hint: HintVal) {
+        Self::apply_hint(&mut self.state.lock(), hint);
+    }
+
+    fn reregister_prepare(&mut self) -> Option<TransferOut> {
+        let mut st = self.state.lock();
+        let queues = std::mem::take(&mut st.queues);
+        let group_core = std::mem::take(&mut st.group_core);
+        let task_group = std::mem::take(&mut st.task_group);
+        let hint_queue = st.hint_queue.take();
+        Some(Box::new((queues, group_core, task_group, hint_queue)))
+    }
+
+    fn reregister_init(&mut self, state: Option<TransferIn>) {
+        let Some(state) = state else { return };
+        type T = (
+            Vec<VecDeque<Schedulable>>,
+            HashMap<i64, CpuId>,
+            HashMap<Pid, i64>,
+            Option<RingBuffer<HintVal>>,
+        );
+        let Ok(s) = state.downcast::<T>() else { return };
+        let (queues, group_core, task_group, hint_queue) = *s;
+        let mut st = self.state.lock();
+        if !queues.is_empty() {
+            st.placed = queues.iter().map(|q| q.len()).collect();
+            st.queues = queues;
+        }
+        st.group_core = group_core;
+        st.task_group = task_group;
+        st.hint_queue = hint_queue;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enoki_core::EnokiClass;
+    use enoki_sim::behavior::{Op, ProgramBehavior};
+    use enoki_sim::{CostModel, Machine, Ns, TaskSpec, Topology};
+    use std::rc::Rc;
+
+    #[test]
+    fn hints_colocate_tasks() {
+        let mut m = Machine::new(Topology::i7_9700(), CostModel::calibrated());
+        let class = Rc::new(EnokiClass::load("locality", 8, Box::new(Locality::new(8))));
+        m.add_class(class.clone());
+        class.register_user_queue(64);
+        // Task 0 sends hints placing tasks 1 and 2 in group 7, then all
+        // three do wake-sleep cycles; tasks 1 and 2 must end up on the
+        // same core.
+        m.spawn(TaskSpec::new(
+            "hinter",
+            0,
+            Box::new(ProgramBehavior::with_prelude(
+                vec![
+                    Op::Hint(HintVal {
+                        kind: HINT_LOCALITY,
+                        a: 1,
+                        b: 7,
+                        c: 0,
+                    }),
+                    Op::Hint(HintVal {
+                        kind: HINT_LOCALITY,
+                        a: 2,
+                        b: 7,
+                        c: 0,
+                    }),
+                ],
+                vec![Op::Compute(Ns::from_us(10)), Op::Sleep(Ns::from_us(100))],
+                Some(50),
+            )),
+        ));
+        for pid in 1..3 {
+            m.spawn(
+                TaskSpec::new(
+                    format!("w{pid}"),
+                    0,
+                    Box::new(ProgramBehavior::repeat(
+                        vec![Op::Compute(Ns::from_us(10)), Op::Sleep(Ns::from_us(100))],
+                        50,
+                    )),
+                )
+                .at(Ns::from_us(50)),
+            );
+        }
+        assert!(m.run_to_completion(Ns::from_secs(2)).unwrap());
+        assert_eq!(
+            m.task(1).cpu,
+            m.task(2).cpu,
+            "group members must share a core"
+        );
+        assert!(class.stats().hints_delivered >= 2);
+    }
+
+    #[test]
+    fn hint_for_unknown_kind_is_ignored() {
+        let l = Locality::new(4);
+        let mut st = l.state.lock();
+        Locality::apply_hint(
+            &mut st,
+            HintVal {
+                kind: 99,
+                a: 1,
+                b: 1,
+                c: 0,
+            },
+        );
+        assert!(st.task_group.is_empty());
+        Locality::apply_hint(
+            &mut st,
+            HintVal {
+                kind: HINT_LOCALITY,
+                a: -1,
+                b: 1,
+                c: 0,
+            },
+        );
+        assert!(st.task_group.is_empty());
+    }
+
+    #[test]
+    fn groups_round_robin_over_cores() {
+        let l = Locality::new(4);
+        let mut st = l.state.lock();
+        for g in 0..6 {
+            Locality::apply_hint(
+                &mut st,
+                HintVal {
+                    kind: HINT_LOCALITY,
+                    a: g,
+                    b: g,
+                    c: 0,
+                },
+            );
+        }
+        let cores: Vec<CpuId> = (0..6).map(|g| st.group_core[&(g as i64)]).collect();
+        assert_eq!(cores, vec![0, 1, 2, 3, 0, 1]);
+    }
+}

@@ -1,0 +1,261 @@
+//! Task behaviors: the programs simulated tasks execute.
+//!
+//! A [`Behavior`] is a small state machine that the machine consults each
+//! time a task reaches a decision point. It emits [`Op`]s — compute bursts,
+//! blocking syscalls, hints — which the machine executes with calibrated
+//! costs. Workload generators implement `Behavior` to reproduce the
+//! scheduling footprint of the paper's benchmark applications.
+
+use crate::time::Ns;
+use crate::topology::CpuId;
+
+/// Identifier of a pipe created with `Machine::create_pipe`.
+pub type PipeId = usize;
+
+/// A scheduler hint flowing from "userspace" to the kernel.
+///
+/// The Enoki framework's hint queues are generic over scheduler-defined
+/// types; all schedulers in this repository use this small POD so the
+/// simulator can carry hints without knowing the policy. The fields are
+/// interpreted per scheduler: the locality scheduler reads `(kind=LOCALITY,
+/// a=pid, b=locality_group)`, the Arachne arbiter reads `(kind=CORE_REQUEST,
+/// a=process, b=priority, c=core_count)`, etc.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct HintVal {
+    /// Scheduler-defined discriminator.
+    pub kind: u32,
+    /// First argument.
+    pub a: i64,
+    /// Second argument.
+    pub b: i64,
+    /// Third argument.
+    pub c: i64,
+}
+
+/// One step of a task's program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Run on the cpu for the given duration.
+    Compute(Ns),
+    /// Read one message from a pipe, blocking if empty.
+    PipeRead(PipeId),
+    /// Write one message to a pipe, waking a blocked reader.
+    PipeWrite(PipeId),
+    /// Sleep for a fixed duration.
+    Sleep(Ns),
+    /// Block on a futex word until woken.
+    FutexWait(u64),
+    /// Wake up to `n` waiters blocked on a futex word.
+    FutexWake(u64, u32),
+    /// Send a hint to this task's scheduler through its Enoki hint queue.
+    Hint(HintVal),
+    /// Voluntarily yield the cpu.
+    Yield,
+    /// Change this task's nice value.
+    SetNice(i32),
+    /// Restrict this task to a set of cpus (as a bitmask of cpu ids).
+    SetAffinity(u128),
+    /// Exit the task.
+    Exit,
+}
+
+/// Context available to a behavior when deciding its next op.
+#[derive(Clone, Copy, Debug)]
+pub struct BehaviorCtx {
+    /// Current virtual time.
+    pub now: Ns,
+    /// This task's pid.
+    pub pid: usize,
+    /// The cpu the task is running on.
+    pub cpu: CpuId,
+}
+
+/// A task's program.
+///
+/// `next_op` is called when the task starts and after each op completes;
+/// returning [`Op::Exit`] terminates the task. Behaviors run on the single
+/// simulator thread, so they may freely share state through `Rc<RefCell<_>>`
+/// with their workload harness.
+pub trait Behavior {
+    /// Produces the next operation for this task.
+    fn next_op(&mut self, ctx: &BehaviorCtx) -> Op;
+}
+
+/// A behavior driven by a closure; convenient for tests and small workloads.
+///
+/// # Examples
+///
+/// ```
+/// use enoki_sim::behavior::{closure_behavior, Op};
+/// use enoki_sim::time::Ns;
+/// let mut left = 3;
+/// let _b = closure_behavior(move |_ctx| {
+///     if left == 0 {
+///         Op::Exit
+///     } else {
+///         left -= 1;
+///         Op::Compute(Ns::from_us(10))
+///     }
+/// });
+/// ```
+pub fn closure_behavior<F>(f: F) -> Box<dyn Behavior>
+where
+    F: FnMut(&BehaviorCtx) -> Op + 'static,
+{
+    struct ClosureBehavior<F>(F);
+    impl<F: FnMut(&BehaviorCtx) -> Op> Behavior for ClosureBehavior<F> {
+        fn next_op(&mut self, ctx: &BehaviorCtx) -> Op {
+            (self.0)(ctx)
+        }
+    }
+    Box::new(ClosureBehavior(f))
+}
+
+/// A straight-line program of ops, optionally repeated.
+///
+/// Executes `prelude` once, then `body` for `iterations` rounds (or forever
+/// if `iterations` is `None`), then exits.
+pub struct ProgramBehavior {
+    prelude: Vec<Op>,
+    body: Vec<Op>,
+    iterations: Option<u64>,
+    pos: usize,
+    in_prelude: bool,
+    done_iters: u64,
+}
+
+impl ProgramBehavior {
+    /// Creates a program that runs `body` `iterations` times.
+    pub fn repeat(body: Vec<Op>, iterations: u64) -> ProgramBehavior {
+        ProgramBehavior {
+            prelude: Vec::new(),
+            body,
+            iterations: Some(iterations),
+            pos: 0,
+            in_prelude: false,
+            done_iters: 0,
+        }
+    }
+
+    /// Creates a program that runs `prelude` once, then repeats `body`.
+    pub fn with_prelude(
+        prelude: Vec<Op>,
+        body: Vec<Op>,
+        iterations: Option<u64>,
+    ) -> ProgramBehavior {
+        let in_prelude = !prelude.is_empty();
+        ProgramBehavior {
+            prelude,
+            body,
+            iterations,
+            pos: 0,
+            in_prelude,
+            done_iters: 0,
+        }
+    }
+
+    /// Creates a program that runs `ops` once then exits.
+    pub fn once(ops: Vec<Op>) -> ProgramBehavior {
+        ProgramBehavior::repeat(ops, 1)
+    }
+}
+
+impl Behavior for ProgramBehavior {
+    fn next_op(&mut self, _ctx: &BehaviorCtx) -> Op {
+        if self.in_prelude {
+            if self.pos < self.prelude.len() {
+                let op = self.prelude[self.pos];
+                self.pos += 1;
+                return op;
+            }
+            self.in_prelude = false;
+            self.pos = 0;
+        }
+        if self.body.is_empty() {
+            return Op::Exit;
+        }
+        loop {
+            if self.pos < self.body.len() {
+                let op = self.body[self.pos];
+                self.pos += 1;
+                return op;
+            }
+            self.pos = 0;
+            self.done_iters += 1;
+            if let Some(n) = self.iterations {
+                if self.done_iters >= n {
+                    return Op::Exit;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> BehaviorCtx {
+        BehaviorCtx {
+            now: Ns::ZERO,
+            pid: 0,
+            cpu: 0,
+        }
+    }
+
+    #[test]
+    fn program_repeats_then_exits() {
+        let mut p = ProgramBehavior::repeat(vec![Op::Compute(Ns(1)), Op::Yield], 2);
+        let got: Vec<Op> = (0..5).map(|_| p.next_op(&ctx())).collect();
+        assert_eq!(
+            got,
+            vec![
+                Op::Compute(Ns(1)),
+                Op::Yield,
+                Op::Compute(Ns(1)),
+                Op::Yield,
+                Op::Exit
+            ]
+        );
+    }
+
+    #[test]
+    fn prelude_runs_once() {
+        let mut p =
+            ProgramBehavior::with_prelude(vec![Op::SetNice(5)], vec![Op::Compute(Ns(1))], Some(2));
+        assert_eq!(p.next_op(&ctx()), Op::SetNice(5));
+        assert_eq!(p.next_op(&ctx()), Op::Compute(Ns(1)));
+        assert_eq!(p.next_op(&ctx()), Op::Compute(Ns(1)));
+        assert_eq!(p.next_op(&ctx()), Op::Exit);
+    }
+
+    #[test]
+    fn empty_body_exits_immediately() {
+        let mut p = ProgramBehavior::once(vec![]);
+        assert_eq!(p.next_op(&ctx()), Op::Exit);
+    }
+
+    #[test]
+    fn infinite_program_never_exits() {
+        let mut p = ProgramBehavior::with_prelude(vec![], vec![Op::Yield], None);
+        for _ in 0..100 {
+            assert_eq!(p.next_op(&ctx()), Op::Yield);
+        }
+    }
+
+    #[test]
+    fn closure_behavior_counts_down() {
+        let mut left = 2;
+        let mut b = closure_behavior(move |_| {
+            if left == 0 {
+                Op::Exit
+            } else {
+                left -= 1;
+                Op::Yield
+            }
+        });
+        assert_eq!(b.next_op(&ctx()), Op::Yield);
+        assert_eq!(b.next_op(&ctx()), Op::Yield);
+        assert_eq!(b.next_op(&ctx()), Op::Exit);
+    }
+}

@@ -1,0 +1,129 @@
+//! A simple cpu energy model, for warm-core experiments.
+//!
+//! Nest's headline claim (cited in the paper's motivation, §2) is energy
+//! efficiency: concentrating work on few warm cores lets unused cores
+//! reach deep idle states. This module estimates energy from a finished
+//! run's per-core busy times: cores that ran anything alternate between
+//! active and shallow-idle power (frequent wakeups prevent deep C-states),
+//! while completely unused cores stay in deep idle for the whole run.
+
+use crate::stats::MachineStats;
+use crate::time::Ns;
+
+/// Per-core power levels in watts.
+#[derive(Clone, Copy, Debug)]
+pub struct EnergyModel {
+    /// Power while executing a task.
+    pub active_w: f64,
+    /// Power while idling on a core that keeps getting woken (shallow
+    /// C-state residency).
+    pub shallow_idle_w: f64,
+    /// Power of a core that was never used (deep C-state for the run).
+    pub deep_idle_w: f64,
+}
+
+impl EnergyModel {
+    /// Rough desktop-core defaults (per-core share of package power).
+    pub fn default_core() -> EnergyModel {
+        EnergyModel {
+            active_w: 8.0,
+            shallow_idle_w: 1.5,
+            deep_idle_w: 0.3,
+        }
+    }
+}
+
+/// Energy estimate for a run.
+#[derive(Clone, Debug)]
+pub struct EnergyEstimate {
+    /// Total energy over the run, in joules.
+    pub joules: f64,
+    /// Energy per core, in joules.
+    pub per_core: Vec<f64>,
+    /// Cores that executed at least one task.
+    pub cores_used: usize,
+}
+
+/// Estimates energy for a run of `elapsed` virtual time.
+///
+/// # Examples
+///
+/// ```
+/// use enoki_sim::energy::{estimate, EnergyModel};
+/// use enoki_sim::stats::MachineStats;
+/// use enoki_sim::time::Ns;
+/// let mut stats = MachineStats::new(2);
+/// stats.cpu_busy[0] = Ns::from_secs(1);
+/// let e = estimate(&stats, Ns::from_secs(1), EnergyModel::default_core());
+/// assert_eq!(e.cores_used, 1);
+/// // Core 0 fully active (8 J), core 1 deep idle (0.3 J).
+/// assert!((e.joules - 8.3).abs() < 1e-9);
+/// ```
+pub fn estimate(stats: &MachineStats, elapsed: Ns, model: EnergyModel) -> EnergyEstimate {
+    let t = elapsed.as_secs_f64();
+    let mut per_core = Vec::with_capacity(stats.cpu_busy.len());
+    let mut cores_used = 0;
+    for &busy in &stats.cpu_busy {
+        let b = busy.as_secs_f64().min(t);
+        let joules = if busy.is_zero() {
+            t * model.deep_idle_w
+        } else {
+            cores_used += 1;
+            b * model.active_w + (t - b) * model.shallow_idle_w
+        };
+        per_core.push(joules);
+    }
+    EnergyEstimate {
+        joules: per_core.iter().sum(),
+        per_core,
+        cores_used,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unused_cores_sleep_deeply() {
+        let mut stats = MachineStats::new(4);
+        stats.cpu_busy[0] = Ns::from_ms(500);
+        stats.cpu_busy[1] = Ns::from_ms(500);
+        let e = estimate(&stats, Ns::from_secs(1), EnergyModel::default_core());
+        assert_eq!(e.cores_used, 2);
+        // Two half-active cores + two deep-idle cores.
+        let expect = 2.0 * (0.5 * 8.0 + 0.5 * 1.5) + 2.0 * 0.3;
+        assert!((e.joules - expect).abs() < 1e-9, "{}", e.joules);
+    }
+
+    #[test]
+    fn concentrating_work_saves_energy() {
+        // Same total work, spread over 8 cores vs packed onto 2: the
+        // packed layout wins because 6 cores stay in deep idle.
+        let model = EnergyModel::default_core();
+        let total_busy = Ns::from_secs(1);
+        let mut spread = MachineStats::new(8);
+        for b in spread.cpu_busy.iter_mut() {
+            *b = total_busy / 8;
+        }
+        let mut packed = MachineStats::new(8);
+        packed.cpu_busy[0] = total_busy / 2;
+        packed.cpu_busy[1] = total_busy / 2;
+        let e_spread = estimate(&spread, Ns::from_secs(1), model);
+        let e_packed = estimate(&packed, Ns::from_secs(1), model);
+        assert!(
+            e_packed.joules < e_spread.joules,
+            "packed {} vs spread {}",
+            e_packed.joules,
+            e_spread.joules
+        );
+    }
+
+    #[test]
+    fn busy_clamps_to_elapsed() {
+        let mut stats = MachineStats::new(1);
+        stats.cpu_busy[0] = Ns::from_secs(5);
+        let e = estimate(&stats, Ns::from_secs(1), EnergyModel::default_core());
+        assert!((e.joules - 8.0).abs() < 1e-9);
+    }
+}

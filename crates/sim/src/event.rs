@@ -1,0 +1,186 @@
+//! The discrete-event queue.
+//!
+//! Events are ordered by virtual time with a monotonically increasing
+//! sequence number as a tie-breaker, making the simulation fully
+//! deterministic for a given input.
+
+use crate::time::Ns;
+use crate::topology::CpuId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled simulator event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A task created with a future start time becomes runnable.
+    TaskArrival {
+        /// The arriving task.
+        pid: usize,
+    },
+    /// The running task on `cpu` finishes its current op's cpu burst.
+    OpDone {
+        /// The cpu running the task.
+        cpu: CpuId,
+        /// The running task.
+        pid: usize,
+        /// Generation guard against stale events after preemption.
+        gen: u64,
+    },
+    /// A freshly switched-in task starts executing its program. Deferring
+    /// this through the queue keeps long syscall chains iterative.
+    RunTask {
+        /// The cpu running the task.
+        cpu: CpuId,
+        /// The task to advance.
+        pid: usize,
+        /// Generation guard against stale events.
+        gen: u64,
+    },
+    /// Periodic scheduler tick on a cpu (HZ timer).
+    Tick {
+        /// The ticking cpu.
+        cpu: CpuId,
+    },
+    /// A sleeping task's timer fires.
+    SleepTimer {
+        /// The sleeping task.
+        pid: usize,
+        /// Generation guard: the task may have been woken another way.
+        gen: u64,
+    },
+    /// A scheduler-requested high-resolution preemption timer fires.
+    HrTimer {
+        /// The cpu whose timer fired.
+        cpu: CpuId,
+        /// Generation guard: re-arming invalidates older timers.
+        gen: u64,
+    },
+    /// A remote reschedule interrupt arrives at a cpu.
+    ReschedIpi {
+        /// The interrupted cpu.
+        cpu: CpuId,
+    },
+    /// Periodic load-balancing trigger for a cpu.
+    BalanceTick {
+        /// The balancing cpu.
+        cpu: CpuId,
+    },
+    /// A workload-registered callback.
+    External {
+        /// Workload-defined tag.
+        tag: u64,
+    },
+}
+
+#[derive(Debug)]
+struct QueuedEvent {
+    at: Ns,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic time-ordered event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<QueuedEvent>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    pub fn push(&mut self, at: Ns, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(QueuedEvent { at, seq, event });
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Ns, Event)> {
+        self.heap.pop().map(|q| (q.at, q.event))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Ns> {
+        self.heap.peek().map(|q| q.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Ns(30), Event::Tick { cpu: 3 });
+        q.push(Ns(10), Event::Tick { cpu: 1 });
+        q.push(Ns(20), Event::Tick { cpu: 2 });
+        let order: Vec<Ns> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(order, vec![Ns(10), Ns(20), Ns(30)]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(Ns(5), Event::Tick { cpu: 0 });
+        q.push(Ns(5), Event::Tick { cpu: 1 });
+        q.push(Ns(5), Event::Tick { cpu: 2 });
+        let cpus: Vec<usize> = std::iter::from_fn(|| {
+            q.pop().map(|(_, e)| match e {
+                Event::Tick { cpu } => cpu,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(cpus, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert!(q.peek_time().is_none());
+        q.push(Ns(7), Event::External { tag: 1 });
+        assert_eq!(q.peek_time(), Some(Ns(7)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

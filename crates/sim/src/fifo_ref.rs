@@ -1,0 +1,569 @@
+//! A minimal reference per-cpu FIFO scheduling class.
+//!
+//! This is the simulator's built-in smoke-test scheduler: per-cpu FIFO
+//! queues, least-loaded placement, no balancing. It doubles as executable
+//! documentation of the [`SchedClass`] contract and as the baseline class
+//! used by the machine's own tests.
+
+use crate::behavior::HintVal;
+use crate::sched_class::{KernelCtx, SchedClass};
+use crate::task::{Pid, TaskView, WakeFlags};
+use crate::topology::CpuId;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+
+/// Per-cpu FIFO queues with least-loaded wake placement.
+pub struct RefFifo {
+    queues: RefCell<Vec<VecDeque<Pid>>>,
+}
+
+impl RefFifo {
+    /// Creates queues for `nr_cpus` cpus.
+    pub fn new(nr_cpus: usize) -> RefFifo {
+        RefFifo {
+            queues: RefCell::new(vec![VecDeque::new(); nr_cpus]),
+        }
+    }
+
+    fn remove(&self, cpu: CpuId, pid: Pid) {
+        self.queues.borrow_mut()[cpu].retain(|&p| p != pid);
+    }
+}
+
+impl SchedClass for RefFifo {
+    fn name(&self) -> &str {
+        "ref-fifo"
+    }
+
+    fn select_task_rq(&self, k: &KernelCtx, t: &TaskView, prev: CpuId, flags: WakeFlags) -> CpuId {
+        // Prefer the waker's pattern: sync wakes stay put; otherwise pick
+        // the allowed cpu with the shortest queue, preferring prev on ties.
+        if flags.sync && t.affinity.contains(prev) {
+            return prev;
+        }
+        let queues = self.queues.borrow();
+        let mut best = prev;
+        let mut best_len = usize::MAX;
+        for cpu in 0..k.nr_cpus() {
+            if !t.affinity.contains(cpu) {
+                continue;
+            }
+            let len = queues[cpu].len();
+            if len < best_len || (len == best_len && cpu == prev) {
+                best = cpu;
+                best_len = len;
+            }
+        }
+        best
+    }
+
+    fn task_new(&self, _k: &KernelCtx, t: &TaskView) {
+        self.queues.borrow_mut()[t.cpu].push_back(t.pid);
+    }
+
+    fn task_wakeup(&self, _k: &KernelCtx, t: &TaskView, _flags: WakeFlags) {
+        self.queues.borrow_mut()[t.cpu].push_back(t.pid);
+    }
+
+    fn task_blocked(&self, _k: &KernelCtx, t: &TaskView) {
+        self.remove(t.cpu, t.pid);
+    }
+
+    fn task_yield(&self, _k: &KernelCtx, t: &TaskView) {
+        self.remove(t.cpu, t.pid);
+        self.queues.borrow_mut()[t.cpu].push_back(t.pid);
+    }
+
+    fn task_preempt(&self, _k: &KernelCtx, t: &TaskView) {
+        self.remove(t.cpu, t.pid);
+        self.queues.borrow_mut()[t.cpu].push_back(t.pid);
+    }
+
+    fn task_dead(&self, _k: &KernelCtx, pid: Pid) {
+        for q in self.queues.borrow_mut().iter_mut() {
+            q.retain(|&p| p != pid);
+        }
+    }
+
+    fn task_departed(&self, _k: &KernelCtx, t: &TaskView) {
+        self.task_dead(_k, t.pid);
+    }
+
+    fn task_affinity_changed(&self, _k: &KernelCtx, _t: &TaskView) {}
+
+    fn task_prio_changed(&self, _k: &KernelCtx, _t: &TaskView) {}
+
+    fn task_tick(&self, _k: &KernelCtx, _cpu: CpuId, _t: &TaskView) {
+        // Pure FIFO: run to block/yield; no time slicing.
+    }
+
+    fn pick_next_task(&self, _k: &KernelCtx, cpu: CpuId, curr: Option<&TaskView>) -> Option<Pid> {
+        // FIFO: keep running the current task if it is still runnable.
+        if let Some(c) = curr {
+            return Some(c.pid);
+        }
+        self.queues.borrow()[cpu].front().copied()
+    }
+
+    fn migrate_task_rq(&self, _k: &KernelCtx, t: &TaskView, from: CpuId, to: CpuId) {
+        self.remove(from, t.pid);
+        self.queues.borrow_mut()[to].push_back(t.pid);
+    }
+
+    fn deliver_hint(&self, _k: &KernelCtx, _pid: Pid, _hint: HintVal) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::{closure_behavior, Op, ProgramBehavior};
+    use crate::costs::CostModel;
+    use crate::machine::{Machine, TaskSpec};
+    use crate::task::TaskState;
+    use crate::time::Ns;
+    use crate::topology::{CpuSet, Topology};
+    use std::rc::Rc;
+
+    fn machine() -> Machine {
+        let mut m = Machine::new(Topology::i7_9700(), CostModel::calibrated());
+        let nr = m.topology().nr_cpus();
+        m.add_class(Rc::new(RefFifo::new(nr)));
+        m
+    }
+
+    #[test]
+    fn single_task_computes_and_exits() {
+        let mut m = machine();
+        let pid = m.spawn(TaskSpec::new(
+            "worker",
+            0,
+            Box::new(ProgramBehavior::once(vec![Op::Compute(Ns::from_ms(5))])),
+        ));
+        let done = m.run_to_completion(Ns::from_secs(1)).unwrap();
+        assert!(done);
+        let t = m.task(pid);
+        assert_eq!(t.state, TaskState::Dead);
+        assert_eq!(t.runtime, Ns::from_ms(5));
+        assert!(t.exited_at.unwrap() >= Ns::from_ms(5));
+    }
+
+    #[test]
+    fn tasks_spread_across_cpus() {
+        let mut m = machine();
+        for i in 0..8 {
+            m.spawn(TaskSpec::new(
+                format!("t{i}"),
+                0,
+                Box::new(ProgramBehavior::once(vec![Op::Compute(Ns::from_ms(10))])),
+            ));
+        }
+        assert!(m.run_to_completion(Ns::from_secs(1)).unwrap());
+        // Each of 8 tasks should land on its own cpu and finish in ~10ms,
+        // not 80ms.
+        for pid in 0..8 {
+            assert!(m.task(pid).exited_at.unwrap() < Ns::from_ms(12));
+        }
+    }
+
+    #[test]
+    fn pinned_tasks_serialize() {
+        let mut m = machine();
+        for i in 0..2 {
+            m.spawn(
+                TaskSpec::new(
+                    format!("t{i}"),
+                    0,
+                    Box::new(ProgramBehavior::once(vec![Op::Compute(Ns::from_ms(10))])),
+                )
+                .affinity(CpuSet::single(3)),
+            );
+        }
+        assert!(m.run_to_completion(Ns::from_secs(1)).unwrap());
+        // FIFO without preemption: the second task runs after the first.
+        let last = (0..2).map(|p| m.task(p).exited_at.unwrap()).max().unwrap();
+        assert!(last >= Ns::from_ms(20));
+        assert!(m.stats().cpu_busy[3] >= Ns::from_ms(20));
+    }
+
+    #[test]
+    fn pipe_ping_pong_round_trips() {
+        let mut m = machine();
+        let ab = m.create_pipe();
+        let ba = m.create_pipe();
+        let rounds = 100u64;
+        m.spawn(TaskSpec::new(
+            "ping",
+            0,
+            Box::new(ProgramBehavior::repeat(
+                vec![Op::PipeWrite(ab), Op::PipeRead(ba)],
+                rounds,
+            )),
+        ));
+        m.spawn(TaskSpec::new(
+            "pong",
+            0,
+            Box::new(ProgramBehavior::repeat(
+                vec![Op::PipeRead(ab), Op::PipeWrite(ba)],
+                rounds,
+            )),
+        ));
+        assert!(m.run_to_completion(Ns::from_secs(1)).unwrap());
+        // Both exited, and the machine context-switched plenty.
+        assert!(m.stats().nr_context_switches >= rounds);
+    }
+
+    #[test]
+    fn sleep_wakes_after_duration_plus_slack() {
+        let mut m = machine();
+        let pid = m.spawn(TaskSpec::new(
+            "sleeper",
+            0,
+            Box::new(ProgramBehavior::once(vec![Op::Sleep(Ns::from_ms(2))])),
+        ));
+        assert!(m.run_to_completion(Ns::from_secs(1)).unwrap());
+        let t = m.task(pid);
+        let slack = m.costs().timer_slack;
+        assert!(t.exited_at.unwrap() >= Ns::from_ms(2));
+        assert!(t.exited_at.unwrap() <= Ns::from_ms(2) + slack + Ns::from_us(100));
+    }
+
+    #[test]
+    fn precise_sleep_has_no_slack() {
+        let mut m = machine();
+        let pid = m.spawn(
+            TaskSpec::new(
+                "sleeper",
+                0,
+                Box::new(ProgramBehavior::once(vec![Op::Sleep(Ns::from_ms(2))])),
+            )
+            .precise(),
+        );
+        assert!(m.run_to_completion(Ns::from_secs(1)).unwrap());
+        assert!(m.task(pid).exited_at.unwrap() < Ns::from_ms(2) + Ns::from_us(20));
+    }
+
+    #[test]
+    fn futex_wait_wake_pair() {
+        let mut m = machine();
+        let waiter = m.spawn(TaskSpec::new(
+            "waiter",
+            0,
+            Box::new(ProgramBehavior::once(vec![
+                Op::FutexWait(0xf00),
+                Op::Compute(Ns::from_us(10)),
+            ])),
+        ));
+        m.spawn(
+            TaskSpec::new(
+                "waker",
+                0,
+                Box::new(ProgramBehavior::once(vec![
+                    Op::Compute(Ns::from_ms(1)),
+                    Op::FutexWake(0xf00, 1),
+                ])),
+            )
+            .at(Ns::from_us(1)),
+        );
+        assert!(m.run_to_completion(Ns::from_secs(1)).unwrap());
+        // Waiter exits shortly after the waker's 1ms compute.
+        let done = m.task(waiter).exited_at.unwrap();
+        assert!(done >= Ns::from_ms(1), "done={done}");
+        assert!(done < Ns::from_ms(2), "done={done}");
+    }
+
+    #[test]
+    fn yield_alternates_tasks() {
+        let mut m = machine();
+        let spec = |name: &str| {
+            TaskSpec::new(
+                name,
+                0,
+                Box::new(ProgramBehavior::repeat(
+                    vec![Op::Compute(Ns::from_us(100)), Op::Yield],
+                    50,
+                )),
+            )
+            .affinity(CpuSet::single(0))
+        };
+        let a = m.spawn(spec("a"));
+        let b = m.spawn(spec("b"));
+        assert!(m.run_to_completion(Ns::from_secs(1)).unwrap());
+        // Both got their full runtime on the single shared cpu.
+        assert_eq!(m.task(a).runtime, Ns::from_ms(5));
+        assert_eq!(m.task(b).runtime, Ns::from_ms(5));
+        assert!(m.task(a).nr_voluntary >= 50);
+    }
+
+    #[test]
+    fn wakeup_latency_recorded() {
+        let mut m = machine();
+        m.spawn(
+            TaskSpec::new(
+                "sleeper",
+                0,
+                Box::new(ProgramBehavior::repeat(
+                    vec![Op::Sleep(Ns::from_us(100))],
+                    10,
+                )),
+            )
+            .tag(7),
+        );
+        assert!(m.run_to_completion(Ns::from_secs(1)).unwrap());
+        assert!(m.stats().wakeup_latency.count() >= 10);
+        assert!(m.stats().wakeup_by_tag.get(&7).unwrap().count() >= 10);
+    }
+
+    #[test]
+    fn bad_pick_crashes_native_kernel() {
+        // A buggy class that returns a pid queued on a different cpu.
+        struct Buggy;
+        impl SchedClass for Buggy {
+            fn name(&self) -> &str {
+                "buggy"
+            }
+            fn select_task_rq(
+                &self,
+                _k: &KernelCtx,
+                t: &TaskView,
+                _p: CpuId,
+                _f: WakeFlags,
+            ) -> CpuId {
+                // Queue task 0 on cpu 1 and everything else on cpu 0, so a
+                // pick on cpu 0 claiming task 0 is invalid.
+                if t.pid == 0 {
+                    1
+                } else {
+                    0
+                }
+            }
+            fn task_new(&self, _k: &KernelCtx, _t: &TaskView) {}
+            fn task_wakeup(&self, _k: &KernelCtx, _t: &TaskView, _f: WakeFlags) {}
+            fn task_blocked(&self, _k: &KernelCtx, _t: &TaskView) {}
+            fn task_yield(&self, _k: &KernelCtx, _t: &TaskView) {}
+            fn task_preempt(&self, _k: &KernelCtx, _t: &TaskView) {}
+            fn task_dead(&self, _k: &KernelCtx, _pid: Pid) {}
+            fn task_departed(&self, _k: &KernelCtx, _t: &TaskView) {}
+            fn task_affinity_changed(&self, _k: &KernelCtx, _t: &TaskView) {}
+            fn task_prio_changed(&self, _k: &KernelCtx, _t: &TaskView) {}
+            fn task_tick(&self, _k: &KernelCtx, _cpu: CpuId, _t: &TaskView) {}
+            fn pick_next_task(
+                &self,
+                _k: &KernelCtx,
+                cpu: CpuId,
+                _c: Option<&TaskView>,
+            ) -> Option<Pid> {
+                // Always claim task 0 regardless of which cpu asks: wrong
+                // on every cpu but the one the task is queued on.
+                if cpu != 1 {
+                    Some(0)
+                } else {
+                    None
+                }
+            }
+            fn migrate_task_rq(&self, _k: &KernelCtx, _t: &TaskView, _f: CpuId, _to: CpuId) {}
+        }
+        let mut m = Machine::new(Topology::i7_9700(), CostModel::calibrated());
+        m.add_class(Rc::new(Buggy));
+        m.spawn(TaskSpec::new(
+            "victim",
+            0,
+            Box::new(ProgramBehavior::once(vec![Op::Compute(Ns::from_ms(1))])),
+        ));
+        // Another waking task on cpu 0 forces a pick there.
+        m.spawn(
+            TaskSpec::new(
+                "other",
+                0,
+                Box::new(ProgramBehavior::once(vec![Op::Compute(Ns::from_ms(1))])),
+            )
+            .at(Ns::from_us(10)),
+        );
+        let err = m.run_until(Ns::from_secs(1)).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("kernel panic"), "{msg}");
+    }
+
+    #[test]
+    fn hint_reaches_class() {
+        use std::cell::Cell;
+        thread_local! {
+            static GOT: Cell<i64> = const { Cell::new(0) };
+        }
+        struct HintFifo(RefFifo);
+        impl SchedClass for HintFifo {
+            fn name(&self) -> &str {
+                "hint-fifo"
+            }
+            fn select_task_rq(&self, k: &KernelCtx, t: &TaskView, p: CpuId, f: WakeFlags) -> CpuId {
+                self.0.select_task_rq(k, t, p, f)
+            }
+            fn task_new(&self, k: &KernelCtx, t: &TaskView) {
+                self.0.task_new(k, t)
+            }
+            fn task_wakeup(&self, k: &KernelCtx, t: &TaskView, f: WakeFlags) {
+                self.0.task_wakeup(k, t, f)
+            }
+            fn task_blocked(&self, k: &KernelCtx, t: &TaskView) {
+                self.0.task_blocked(k, t)
+            }
+            fn task_yield(&self, k: &KernelCtx, t: &TaskView) {
+                self.0.task_yield(k, t)
+            }
+            fn task_preempt(&self, k: &KernelCtx, t: &TaskView) {
+                self.0.task_preempt(k, t)
+            }
+            fn task_dead(&self, k: &KernelCtx, pid: Pid) {
+                self.0.task_dead(k, pid)
+            }
+            fn task_departed(&self, k: &KernelCtx, t: &TaskView) {
+                self.0.task_departed(k, t)
+            }
+            fn task_affinity_changed(&self, _k: &KernelCtx, _t: &TaskView) {}
+            fn task_prio_changed(&self, _k: &KernelCtx, _t: &TaskView) {}
+            fn task_tick(&self, _k: &KernelCtx, _c: CpuId, _t: &TaskView) {}
+            fn pick_next_task(
+                &self,
+                k: &KernelCtx,
+                c: CpuId,
+                cur: Option<&TaskView>,
+            ) -> Option<Pid> {
+                self.0.pick_next_task(k, c, cur)
+            }
+            fn migrate_task_rq(&self, k: &KernelCtx, t: &TaskView, f: CpuId, to: CpuId) {
+                self.0.migrate_task_rq(k, t, f, to)
+            }
+            fn deliver_hint(&self, _k: &KernelCtx, _pid: Pid, hint: HintVal) {
+                GOT.with(|g| g.set(hint.a));
+            }
+        }
+        let mut m = Machine::new(Topology::i7_9700(), CostModel::calibrated());
+        m.add_class(Rc::new(HintFifo(RefFifo::new(8))));
+        m.spawn(TaskSpec::new(
+            "hinting",
+            0,
+            Box::new(ProgramBehavior::once(vec![Op::Hint(HintVal {
+                kind: 1,
+                a: 42,
+                b: 0,
+                c: 0,
+            })])),
+        ));
+        assert!(m.run_to_completion(Ns::from_secs(1)).unwrap());
+        assert_eq!(GOT.with(|g| g.get()), 42);
+    }
+
+    #[test]
+    fn class_preemption_over_lower_class() {
+        // Class 0 (high) task wakes while a class 1 (low) task runs on the
+        // same single-cpu machine: the kernel preempts by class priority.
+        let mut m = Machine::new(Topology::new(1, 1), CostModel::calibrated());
+        m.add_class(Rc::new(RefFifo::new(1)));
+        m.add_class(Rc::new(RefFifo::new(1)));
+        let low = m.spawn(TaskSpec::new(
+            "low",
+            1,
+            Box::new(ProgramBehavior::once(vec![Op::Compute(Ns::from_ms(100))])),
+        ));
+        let high = m.spawn(
+            TaskSpec::new(
+                "high",
+                0,
+                Box::new(ProgramBehavior::once(vec![Op::Compute(Ns::from_ms(1))])),
+            )
+            .at(Ns::from_ms(10)),
+        );
+        assert!(m.run_to_completion(Ns::from_secs(1)).unwrap());
+        // High-priority task finishes long before the low one despite
+        // arriving while it ran.
+        assert!(m.task(high).exited_at.unwrap() < Ns::from_ms(15));
+        assert!(m.task(low).exited_at.unwrap() > Ns::from_ms(100));
+        assert!(m.task(low).nr_preemptions >= 1);
+    }
+
+    #[test]
+    fn switch_class_moves_task() {
+        let mut m = Machine::new(Topology::new(2, 1), CostModel::calibrated());
+        m.add_class(Rc::new(RefFifo::new(2)));
+        m.add_class(Rc::new(RefFifo::new(2)));
+        let mut phase = 0;
+        let pid = m.spawn(TaskSpec::new(
+            "mover",
+            0,
+            closure_behavior(move |_| {
+                phase += 1;
+                match phase {
+                    1 => Op::Compute(Ns::from_us(100)),
+                    2 => Op::Sleep(Ns::from_ms(5)),
+                    3 => Op::Compute(Ns::from_us(100)),
+                    _ => Op::Exit,
+                }
+            }),
+        ));
+        m.run_until(Ns::from_ms(2)).unwrap();
+        // Task is now asleep; switch it to class 1.
+        m.switch_class(pid, 1).unwrap();
+        assert!(m.run_to_completion(Ns::from_secs(1)).unwrap());
+        assert_eq!(m.task(pid).class, 1);
+        assert_eq!(m.task(pid).state, TaskState::Dead);
+    }
+
+    #[test]
+    fn set_affinity_migrates_running_task() {
+        let mut m = machine();
+        let pid = m.spawn(
+            TaskSpec::new(
+                "pinner",
+                0,
+                Box::new(ProgramBehavior::once(vec![
+                    Op::Compute(Ns::from_us(100)),
+                    Op::SetAffinity(1 << 5),
+                    Op::Compute(Ns::from_ms(1)),
+                ])),
+            )
+            .on_cpu(0),
+        );
+        assert!(m.run_to_completion(Ns::from_secs(1)).unwrap());
+        assert_eq!(m.task(pid).cpu, 5);
+        assert!(m.stats().cpu_busy[5] >= Ns::from_ms(1));
+    }
+
+    #[test]
+    fn run_until_is_deterministic() {
+        let run = || {
+            let mut m = machine();
+            let ab = m.create_pipe();
+            let ba = m.create_pipe();
+            m.spawn(TaskSpec::new(
+                "ping",
+                0,
+                Box::new(ProgramBehavior::repeat(
+                    vec![
+                        Op::Compute(Ns::from_us(3)),
+                        Op::PipeWrite(ab),
+                        Op::PipeRead(ba),
+                    ],
+                    500,
+                )),
+            ));
+            m.spawn(TaskSpec::new(
+                "pong",
+                0,
+                Box::new(ProgramBehavior::repeat(
+                    vec![
+                        Op::PipeRead(ab),
+                        Op::Compute(Ns::from_us(2)),
+                        Op::PipeWrite(ba),
+                    ],
+                    500,
+                )),
+            ));
+            m.run_to_completion(Ns::from_secs(10)).unwrap();
+            (
+                m.now().as_nanos(),
+                m.stats().nr_context_switches,
+                m.task(0).runtime.as_nanos(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,271 @@
+//! Blocking IPC primitives: pipes and futexes.
+//!
+//! These are pure data structures; the machine drives the wakeups. A pipe
+//! carries unit messages (payload contents never affect scheduling); a
+//! futex is a wait queue keyed by an abstract word address.
+
+use crate::task::Pid;
+use std::collections::{HashMap, VecDeque};
+
+/// Maximum messages buffered in a pipe before writers block.
+pub const PIPE_CAPACITY: usize = 16;
+
+/// A unidirectional message pipe.
+#[derive(Debug, Default)]
+pub struct Pipe {
+    /// Number of buffered messages.
+    messages: usize,
+    /// Tasks blocked waiting to read.
+    readers: VecDeque<Pid>,
+    /// Tasks blocked waiting for space to write.
+    writers: VecDeque<Pid>,
+    /// Last cpu that touched the pipe (cacheline-bounce modelling).
+    last_user_cpu: Option<usize>,
+}
+
+/// Result of attempting a pipe operation.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PipeOpResult {
+    /// The operation completed; the contained pid (if any) should be woken.
+    Done(Option<Pid>),
+    /// The caller must block.
+    WouldBlock,
+}
+
+impl Pipe {
+    /// Creates an empty pipe.
+    pub fn new() -> Pipe {
+        Pipe::default()
+    }
+
+    /// Attempts to write one message.
+    ///
+    /// If a reader is blocked, the message is handed to it directly (the
+    /// reader's blocked `read` completes when it wakes): returns
+    /// `Done(Some(reader))` without buffering. Otherwise the message is
+    /// buffered, or `WouldBlock` if the pipe is full.
+    pub fn write(&mut self) -> PipeOpResult {
+        if let Some(reader) = self.readers.pop_front() {
+            return PipeOpResult::Done(Some(reader));
+        }
+        if self.messages >= PIPE_CAPACITY {
+            return PipeOpResult::WouldBlock;
+        }
+        self.messages += 1;
+        PipeOpResult::Done(None)
+    }
+
+    /// Attempts to read one message.
+    ///
+    /// Returns `Done(writer)` on success; if a writer was blocked on a
+    /// full pipe, its pending message enters the buffer and the writer is
+    /// woken (its blocked `write` completes). Returns `WouldBlock` if the
+    /// pipe is empty.
+    pub fn read(&mut self) -> PipeOpResult {
+        if self.messages == 0 {
+            return PipeOpResult::WouldBlock;
+        }
+        self.messages -= 1;
+        if let Some(writer) = self.writers.pop_front() {
+            // The blocked writer's message takes the freed slot.
+            self.messages += 1;
+            return PipeOpResult::Done(Some(writer));
+        }
+        PipeOpResult::Done(None)
+    }
+
+    /// Registers a blocked reader.
+    pub fn add_reader(&mut self, pid: Pid) {
+        self.readers.push_back(pid);
+    }
+
+    /// Registers a blocked writer.
+    pub fn add_writer(&mut self, pid: Pid) {
+        self.writers.push_back(pid);
+    }
+
+    /// Records that `cpu` touched the pipe; returns `true` if the previous
+    /// toucher was a *different* cpu (the shared cachelines must bounce).
+    pub fn touch(&mut self, cpu: usize) -> bool {
+        let bounced = self.last_user_cpu.is_some_and(|c| c != cpu);
+        self.last_user_cpu = Some(cpu);
+        bounced
+    }
+
+    /// Number of buffered messages.
+    pub fn len(&self) -> usize {
+        self.messages
+    }
+
+    /// True if no messages are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.messages == 0
+    }
+}
+
+/// The futex table: wait queues keyed by word address.
+///
+/// Unlike a raw kernel futex, a wake with no waiters is remembered (one
+/// pending wake per waker, accumulated per key) and consumed by the next
+/// wait. Real code avoids lost wakeups by re-checking the futex word; our
+/// behaviors are straight-line programs, so the table provides the
+/// equivalent guarantee directly.
+#[derive(Debug, Default)]
+pub struct FutexTable {
+    queues: HashMap<u64, VecDeque<Pid>>,
+    pending: HashMap<u64, u32>,
+}
+
+impl FutexTable {
+    /// Creates an empty table.
+    pub fn new() -> FutexTable {
+        FutexTable::default()
+    }
+
+    /// Queues `pid` as a waiter on `key`.
+    ///
+    /// Returns `true` if a pending wake was consumed and the task should
+    /// NOT block.
+    pub fn wait(&mut self, key: u64, pid: Pid) -> bool {
+        if let Some(p) = self.pending.get_mut(&key) {
+            *p -= 1;
+            if *p == 0 {
+                self.pending.remove(&key);
+            }
+            return true;
+        }
+        self.queues.entry(key).or_default().push_back(pid);
+        false
+    }
+
+    /// Dequeues up to `n` waiters on `key`, in FIFO order. Unconsumed wake
+    /// counts are remembered for future waiters.
+    pub fn wake(&mut self, key: u64, n: u32) -> Vec<Pid> {
+        let mut out = Vec::new();
+        if let Some(q) = self.queues.get_mut(&key) {
+            for _ in 0..n {
+                match q.pop_front() {
+                    Some(p) => out.push(p),
+                    None => break,
+                }
+            }
+            if q.is_empty() {
+                self.queues.remove(&key);
+            }
+        }
+        let surplus = n - out.len() as u32;
+        if surplus > 0 {
+            *self.pending.entry(key).or_insert(0) += surplus;
+        }
+        out
+    }
+
+    /// Removes a specific waiter (e.g. a task being killed).
+    pub fn remove_waiter(&mut self, key: u64, pid: Pid) {
+        if let Some(q) = self.queues.get_mut(&key) {
+            q.retain(|&p| p != pid);
+            if q.is_empty() {
+                self.queues.remove(&key);
+            }
+        }
+    }
+
+    /// Number of waiters on `key`.
+    pub fn waiters(&self, key: u64) -> usize {
+        self.queues.get(&key).map_or(0, |q| q.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipe_read_empty_blocks_and_handoff() {
+        let mut p = Pipe::new();
+        assert_eq!(p.read(), PipeOpResult::WouldBlock);
+        p.add_reader(1);
+        // Direct hand-off: the message goes to the blocked reader, not
+        // into the buffer.
+        assert_eq!(p.write(), PipeOpResult::Done(Some(1)));
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.write(), PipeOpResult::Done(None));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.read(), PipeOpResult::Done(None));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn pipe_write_full_blocks() {
+        let mut p = Pipe::new();
+        for _ in 0..PIPE_CAPACITY {
+            assert_eq!(p.write(), PipeOpResult::Done(None));
+        }
+        assert_eq!(p.write(), PipeOpResult::WouldBlock);
+        p.add_writer(9);
+        // Reading frees a slot; the blocked writer's message fills it.
+        assert_eq!(p.read(), PipeOpResult::Done(Some(9)));
+        assert_eq!(p.len(), PIPE_CAPACITY);
+    }
+
+    #[test]
+    fn pipe_touch_detects_cross_cpu() {
+        let mut p = Pipe::new();
+        assert!(!p.touch(0));
+        assert!(!p.touch(0));
+        assert!(p.touch(1));
+        assert!(p.touch(0));
+    }
+
+    #[test]
+    fn futex_fifo_wake_order() {
+        let mut t = FutexTable::new();
+        assert!(!t.wait(0xdead, 1));
+        assert!(!t.wait(0xdead, 2));
+        assert!(!t.wait(0xdead, 3));
+        assert_eq!(t.wake(0xdead, 2), vec![1, 2]);
+        assert_eq!(t.waiters(0xdead), 1);
+        assert_eq!(t.wake(0xdead, 1), vec![3]);
+        assert_eq!(t.waiters(0xdead), 0);
+    }
+
+    #[test]
+    fn futex_wake_before_wait_is_remembered() {
+        let mut t = FutexTable::new();
+        assert!(t.wake(42, 1).is_empty());
+        // The next waiter consumes the pending wake instead of blocking.
+        assert!(t.wait(42, 5));
+        // And it is consumed exactly once.
+        assert!(!t.wait(42, 6));
+        assert_eq!(t.wake(42, 1), vec![6]);
+    }
+
+    #[test]
+    fn futex_surplus_wakes_accumulate() {
+        let mut t = FutexTable::new();
+        assert!(!t.wait(7, 1));
+        assert_eq!(t.wake(7, 3), vec![1]);
+        // Two surplus wakes were remembered.
+        assert!(t.wait(7, 2));
+        assert!(t.wait(7, 3));
+        assert!(!t.wait(7, 4));
+    }
+
+    #[test]
+    fn futex_remove_waiter() {
+        let mut t = FutexTable::new();
+        t.wait(1, 10);
+        t.wait(1, 11);
+        t.remove_waiter(1, 10);
+        assert_eq!(t.wake(1, 1), vec![11]);
+    }
+
+    #[test]
+    fn futex_keys_independent() {
+        let mut t = FutexTable::new();
+        t.wait(1, 10);
+        t.wait(2, 20);
+        assert_eq!(t.wake(1, 1), vec![10]);
+        assert_eq!(t.wake(2, 1), vec![20]);
+    }
+}

@@ -1,0 +1,285 @@
+//! Measurement utilities: latency histograms and run summaries.
+
+use crate::time::Ns;
+
+const SUB_BUCKET_BITS: u32 = 4;
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS; // 16 linear sub-buckets per power of two
+const MAX_EXP: usize = 48; // covers up to ~78 hours in ns
+const NR_BUCKETS: usize = MAX_EXP * SUB_BUCKETS;
+
+/// A log-linear latency histogram (HdrHistogram-style).
+///
+/// Values are bucketed by power of two with 16 linear sub-buckets per
+/// decade-of-two, giving ~6% relative error — plenty for p50/p99/p999
+/// scheduling-latency reporting.
+///
+/// # Examples
+///
+/// ```
+/// use enoki_sim::stats::Histogram;
+/// use enoki_sim::time::Ns;
+/// let mut h = Histogram::new();
+/// for us in 1..=100u64 {
+///     h.record(Ns::from_us(us));
+/// }
+/// let p50 = h.quantile(0.50).unwrap().as_us_f64();
+/// assert!((45.0..=56.0).contains(&p50));
+/// ```
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: Ns,
+    min: Ns,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: vec![0; NR_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: Ns::ZERO,
+            min: Ns::MAX,
+        }
+    }
+
+    fn index_of(v: u64) -> usize {
+        if v < SUB_BUCKETS as u64 {
+            return v as usize;
+        }
+        let exp = 63 - v.leading_zeros();
+        let shift = exp - SUB_BUCKET_BITS;
+        let sub = ((v >> shift) & (SUB_BUCKETS as u64 - 1)) as usize;
+        let bucket = (exp - SUB_BUCKET_BITS + 1) as usize;
+        let idx = bucket * SUB_BUCKETS + sub;
+        idx.min(NR_BUCKETS - 1)
+    }
+
+    fn lower_bound_of(idx: usize) -> u64 {
+        let bucket = idx / SUB_BUCKETS;
+        let sub = (idx % SUB_BUCKETS) as u64;
+        if bucket == 0 {
+            return sub;
+        }
+        let shift = (bucket - 1) as u32;
+        ((SUB_BUCKETS as u64) + sub) << shift
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: Ns) {
+        self.buckets[Self::index_of(v.0)] += 1;
+        self.count += 1;
+        self.sum += v.0 as u128;
+        self.max = self.max.max(v);
+        self.min = self.min.min(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, or `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<Ns> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let v = Self::lower_bound_of(idx);
+                return Some(Ns(v.min(self.max.0)).max(self.min));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Arithmetic mean of the samples, or `None` if empty.
+    pub fn mean(&self) -> Option<Ns> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(Ns((self.sum / self.count as u128) as u64))
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Ns {
+        self.max
+    }
+
+    /// Smallest recorded sample (`Ns::MAX` when empty).
+    pub fn min(&self) -> Ns {
+        self.min
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+
+    /// Clears all samples.
+    pub fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.max = Ns::ZERO;
+        self.min = Ns::MAX;
+    }
+}
+
+impl core::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("p50", &self.quantile(0.5))
+            .field("p99", &self.quantile(0.99))
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+/// Aggregate counters for a completed simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct MachineStats {
+    /// Total context switches performed.
+    pub nr_context_switches: u64,
+    /// Total task migrations between cpus.
+    pub nr_migrations: u64,
+    /// Total scheduler-class invocations (per-call overhead accounting).
+    pub nr_class_calls: u64,
+    /// Total reschedule IPIs sent.
+    pub nr_ipis: u64,
+    /// Total timer ticks handled.
+    pub nr_ticks: u64,
+    /// Picks that found no task (idle entries).
+    pub nr_idle_picks: u64,
+    /// Picks rejected because the chosen task was not runnable on the cpu.
+    pub nr_pick_rejects: u64,
+    /// Per-cpu busy time (task execution only).
+    pub cpu_busy: Vec<Ns>,
+    /// Per-cpu time spent in kernel scheduling paths.
+    pub cpu_sched_overhead: Vec<Ns>,
+    /// Per-class cpu time (indexed by class registration order).
+    pub class_busy: Vec<Ns>,
+    /// Wakeup-to-run latency across all tasks.
+    pub wakeup_latency: Histogram,
+    /// Wakeup-to-run latency grouped by task tag.
+    pub wakeup_by_tag: std::collections::HashMap<u32, Histogram>,
+}
+
+impl MachineStats {
+    /// Creates stats sized for `nr_cpus` cpus.
+    pub fn new(nr_cpus: usize) -> MachineStats {
+        MachineStats {
+            cpu_busy: vec![Ns::ZERO; nr_cpus],
+            cpu_sched_overhead: vec![Ns::ZERO; nr_cpus],
+            wakeup_latency: Histogram::new(),
+            ..MachineStats::default()
+        }
+    }
+
+    /// Overall cpu utilization in `[0, 1]` over `elapsed` virtual time.
+    pub fn utilization(&self, elapsed: Ns) -> f64 {
+        if elapsed.is_zero() || self.cpu_busy.is_empty() {
+            return 0.0;
+        }
+        let busy: Ns = self.cpu_busy.iter().copied().sum();
+        busy.0 as f64 / (elapsed.0 as f64 * self.cpu_busy.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_quantiles() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(Ns(i * 1000));
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5).unwrap().0 as f64;
+        let p99 = h.quantile(0.99).unwrap().0 as f64;
+        assert!((450_000.0..=560_000.0).contains(&p50), "p50={p50}");
+        assert!((930_000.0..=1_000_000.0).contains(&p99), "p99={p99}");
+        assert_eq!(h.max(), Ns(1_000_000));
+        assert_eq!(h.min(), Ns(1000));
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        h.record(Ns(3));
+        h.record(Ns(3));
+        h.record(Ns(7));
+        assert_eq!(h.quantile(0.5), Some(Ns(3)));
+        assert_eq!(h.quantile(1.0), Some(Ns(7)));
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(Ns(10));
+        b.record(Ns(1_000_000));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), Ns(1_000_000));
+        assert_eq!(a.min(), Ns(10));
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        h.record(Ns(100));
+        h.record(Ns(300));
+        assert_eq!(h.mean(), Some(Ns(200)));
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        // Bucketing error must stay under ~7% for large values.
+        let mut h = Histogram::new();
+        let v = 123_456_789u64;
+        h.record(Ns(v));
+        let q = h.quantile(1.0).unwrap().0 as f64;
+        let err = (q - v as f64).abs() / v as f64;
+        assert!(err < 0.07, "err={err}");
+    }
+
+    #[test]
+    fn utilization_math() {
+        let mut s = MachineStats::new(2);
+        s.cpu_busy[0] = Ns::from_ms(5);
+        s.cpu_busy[1] = Ns::from_ms(15);
+        let u = s.utilization(Ns::from_ms(10));
+        assert!((u - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,257 @@
+//! Task control blocks and scheduling attributes.
+
+use crate::time::Ns;
+use crate::topology::{CpuId, CpuSet};
+
+/// Process identifier. Dense, assigned by the machine at spawn time.
+pub type Pid = usize;
+
+/// Linux's `sched_prio_to_weight` table: CFS load weight per nice level.
+///
+/// Index 0 corresponds to nice -20, index 39 to nice 19. Nice 0 has weight
+/// 1024 and every step changes CPU share by ~1.25x.
+pub const NICE_TO_WEIGHT: [u32; 40] = [
+    88761, 71755, 56483, 46273, 36291, // -20..-16
+    29154, 23254, 18705, 14949, 11916, // -15..-11
+    9548, 7620, 6100, 4904, 3906, // -10..-6
+    3121, 2501, 1991, 1586, 1277, // -5..-1
+    1024, 820, 655, 526, 423, // 0..4
+    335, 272, 215, 172, 137, // 5..9
+    110, 87, 70, 56, 45, // 10..14
+    36, 29, 23, 18, 15, // 15..19
+];
+
+/// Converts a nice value (-20..=19) to a CFS load weight.
+///
+/// # Examples
+///
+/// ```
+/// use enoki_sim::task::weight_of_nice;
+/// assert_eq!(weight_of_nice(0), 1024);
+/// assert_eq!(weight_of_nice(-20), 88761);
+/// assert_eq!(weight_of_nice(19), 15);
+/// ```
+pub fn weight_of_nice(nice: i32) -> u32 {
+    let idx = (nice.clamp(-20, 19) + 20) as usize;
+    NICE_TO_WEIGHT[idx]
+}
+
+/// Lifecycle state of a task, mirroring the kernel's task states.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TaskState {
+    /// Created but not yet started (start time in the future).
+    New,
+    /// On a run queue, waiting to be picked.
+    Runnable,
+    /// Currently executing on a cpu.
+    Running,
+    /// Blocked: sleeping, waiting on a pipe, or waiting on a futex.
+    Blocked,
+    /// Exited.
+    Dead,
+}
+
+/// What a blocked task is waiting for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BlockReason {
+    /// Sleeping until a timer fires.
+    Sleep,
+    /// Waiting for data on a pipe.
+    PipeRead(usize),
+    /// Waiting for buffer space on a pipe.
+    PipeWrite(usize),
+    /// Waiting on a futex word.
+    Futex(u64),
+    /// Parked until explicitly woken by the workload or a scheduler.
+    Parked,
+}
+
+/// Wake-up flags passed to `select_task_rq`, mirroring Linux's `WF_*` bits.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct WakeFlags {
+    /// `WF_SYNC`: the waker is about to sleep, so its cpu is a good target.
+    /// Pipes set this; the schbench futex path famously does not (paper 5.5).
+    pub sync: bool,
+    /// `WF_FORK`: the task was just created.
+    pub fork: bool,
+    /// The cpu the wakeup originated from (`smp_processor_id()` in the
+    /// kernel's wake path); `None` for timer wakeups.
+    pub waker: Option<usize>,
+}
+
+/// Snapshot of task information passed to schedulers.
+///
+/// This mirrors the "message" data Enoki-C pulls out of `task_struct` on
+/// behalf of the scheduler: identity, accumulated runtime, current cpu,
+/// weight, and affinity. Schedulers never see the task control block itself.
+#[derive(Clone, Copy, Debug)]
+pub struct TaskView {
+    /// Task identifier.
+    pub pid: Pid,
+    /// Total accumulated cpu time.
+    pub runtime: Ns,
+    /// Runtime accumulated since the task was last picked.
+    pub delta_runtime: Ns,
+    /// The cpu the task is (or was last) assigned to.
+    pub cpu: CpuId,
+    /// CFS load weight derived from the nice value.
+    pub weight: u32,
+    /// Nice value (-20..=19).
+    pub nice: i32,
+    /// Allowed cpus.
+    pub affinity: CpuSet,
+}
+
+/// The simulator-internal task control block.
+#[derive(Debug)]
+pub struct Task {
+    /// Task identifier (index into the machine's task table).
+    pub pid: Pid,
+    /// Human-readable name for traces and debugging.
+    pub name: String,
+    /// Index of the sched class this task belongs to.
+    pub class: usize,
+    /// Lifecycle state.
+    pub state: TaskState,
+    /// Why the task is blocked, when it is.
+    pub block_reason: Option<BlockReason>,
+    /// The cpu whose run queue the task is on (or last ran on).
+    pub cpu: CpuId,
+    /// Whether the task is currently accounted on a kernel run queue.
+    pub on_rq: bool,
+    /// Nice value.
+    pub nice: i32,
+    /// Load weight (derived from nice).
+    pub weight: u32,
+    /// Allowed cpus.
+    pub affinity: CpuSet,
+    /// Total accumulated cpu time.
+    pub runtime: Ns,
+    /// Runtime accumulated since last pick (reported in task views).
+    pub delta_runtime: Ns,
+    /// Virtual time when the task last became runnable (for wakeup latency).
+    pub last_wake: Option<Ns>,
+    /// Virtual time when the task last started running.
+    pub last_ran_at: Ns,
+    /// Number of involuntary preemptions suffered.
+    pub nr_preemptions: u64,
+    /// Number of voluntary context switches (blocks + yields).
+    pub nr_voluntary: u64,
+    /// Number of cross-cpu migrations.
+    pub nr_migrations: u64,
+    /// Generation counter guarding stale per-task events.
+    pub gen: u64,
+    /// Remaining nanoseconds of the compute op being executed, if any.
+    pub pending_compute: Ns,
+    /// Virtual time at which the task exited, if it has.
+    pub exited_at: Option<Ns>,
+    /// Virtual time at which the task first ran.
+    pub first_ran_at: Option<Ns>,
+    /// True while the task is inside a compute burst (used to resume after
+    /// preemption).
+    pub in_burst: bool,
+    /// Whether timed sleeps bypass kernel timer slack (load generators).
+    pub precise_timers: bool,
+    /// Whether this task pays the cold-shared-data penalty on remote
+    /// wakeups (cache-sensitive workloads, paper §5.5).
+    pub cache_sensitive: bool,
+    /// Extra compute time to charge at the start of the next burst
+    /// (cache refill after migration / cold wake).
+    pub cache_penalty_pending: Ns,
+    /// Workload-defined grouping tag for statistics.
+    pub tag: u32,
+    /// Whether this class has seen `task_new` for this task.
+    pub seen_by_class: bool,
+}
+
+impl Task {
+    /// Creates a fresh task control block.
+    pub fn new(pid: Pid, name: String, class: usize, nice: i32, affinity: CpuSet) -> Task {
+        Task {
+            pid,
+            name,
+            class,
+            state: TaskState::New,
+            block_reason: None,
+            cpu: 0,
+            on_rq: false,
+            nice,
+            weight: weight_of_nice(nice),
+            affinity,
+            runtime: Ns::ZERO,
+            delta_runtime: Ns::ZERO,
+            last_wake: None,
+            last_ran_at: Ns::ZERO,
+            nr_preemptions: 0,
+            nr_voluntary: 0,
+            nr_migrations: 0,
+            gen: 0,
+            pending_compute: Ns::ZERO,
+            exited_at: None,
+            first_ran_at: None,
+            in_burst: false,
+            precise_timers: false,
+            cache_sensitive: false,
+            cache_penalty_pending: Ns::ZERO,
+            tag: 0,
+            seen_by_class: false,
+        }
+    }
+
+    /// Produces the message snapshot schedulers receive.
+    pub fn view(&self) -> TaskView {
+        TaskView {
+            pid: self.pid,
+            runtime: self.runtime,
+            delta_runtime: self.delta_runtime,
+            cpu: self.cpu,
+            weight: self.weight,
+            nice: self.nice,
+            affinity: self.affinity,
+        }
+    }
+
+    /// Updates the nice value and derived weight.
+    pub fn set_nice(&mut self, nice: i32) {
+        self.nice = nice.clamp(-20, 19);
+        self.weight = weight_of_nice(self.nice);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_table_shape() {
+        // Each nice step is ~1.25x; check the anchor and monotonicity.
+        assert_eq!(weight_of_nice(0), 1024);
+        for n in -20..19 {
+            assert!(weight_of_nice(n) > weight_of_nice(n + 1));
+        }
+        // Out-of-range values clamp.
+        assert_eq!(weight_of_nice(-100), weight_of_nice(-20));
+        assert_eq!(weight_of_nice(100), weight_of_nice(19));
+    }
+
+    #[test]
+    fn task_view_snapshot() {
+        let mut t = Task::new(7, "t".into(), 0, 5, CpuSet::all(8));
+        t.runtime = Ns::from_us(10);
+        t.cpu = 3;
+        let v = t.view();
+        assert_eq!(v.pid, 7);
+        assert_eq!(v.cpu, 3);
+        assert_eq!(v.runtime, Ns::from_us(10));
+        assert_eq!(v.weight, weight_of_nice(5));
+    }
+
+    #[test]
+    fn set_nice_updates_weight() {
+        let mut t = Task::new(0, "t".into(), 0, 0, CpuSet::all(1));
+        t.set_nice(19);
+        assert_eq!(t.weight, 15);
+        t.set_nice(-20);
+        assert_eq!(t.weight, 88761);
+    }
+}

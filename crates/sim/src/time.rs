@@ -1,0 +1,208 @@
+//! Virtual time.
+//!
+//! The simulator runs on a monotonic virtual clock measured in nanoseconds.
+//! [`Ns`] is a transparent newtype over `u64` so arithmetic on durations and
+//! instants cannot be confused with unrelated integers (pids, core ids).
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A duration or instant in virtual nanoseconds.
+///
+/// Instants are nanoseconds since simulation start; durations are plain
+/// nanosecond counts. The same type is used for both, mirroring how the
+/// kernel treats `ktime_t`.
+///
+/// # Examples
+///
+/// ```
+/// use enoki_sim::time::Ns;
+/// let t = Ns::from_us(3) + Ns::from_us(1);
+/// assert_eq!(t, Ns::from_us(4));
+/// assert_eq!(t.as_us_f64(), 4.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ns(pub u64);
+
+impl Ns {
+    /// The zero instant / empty duration.
+    pub const ZERO: Ns = Ns(0);
+    /// The maximum representable time.
+    pub const MAX: Ns = Ns(u64::MAX);
+
+    /// Creates a duration from microseconds.
+    pub const fn from_us(us: u64) -> Ns {
+        Ns(us * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_ms(ms: u64) -> Ns {
+        Ns(ms * 1_000_000)
+    }
+
+    /// Creates a duration from seconds.
+    pub const fn from_secs(s: u64) -> Ns {
+        Ns(s * 1_000_000_000)
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This time expressed in fractional microseconds.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This time expressed in fractional milliseconds.
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// This time expressed in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating subtraction; clamps at zero instead of wrapping.
+    pub fn saturating_sub(self, rhs: Ns) -> Ns {
+        Ns(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the smaller of two times.
+    pub fn min(self, rhs: Ns) -> Ns {
+        if self <= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Returns the larger of two times.
+    pub fn max(self, rhs: Ns) -> Ns {
+        if self >= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// True if this is the zero duration.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for Ns {
+    type Output = Ns;
+    fn add(self, rhs: Ns) -> Ns {
+        Ns(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Ns {
+    fn add_assign(&mut self, rhs: Ns) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Ns {
+    type Output = Ns;
+    fn sub(self, rhs: Ns) -> Ns {
+        Ns(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Ns {
+    fn sub_assign(&mut self, rhs: Ns) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Ns {
+    type Output = Ns;
+    fn mul(self, rhs: u64) -> Ns {
+        Ns(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Ns {
+    type Output = Ns;
+    fn div(self, rhs: u64) -> Ns {
+        Ns(self.0 / rhs)
+    }
+}
+
+impl Sum for Ns {
+    fn sum<I: Iterator<Item = Ns>>(iter: I) -> Ns {
+        Ns(iter.map(|n| n.0).sum())
+    }
+}
+
+impl fmt::Debug for Ns {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for Ns {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_ms_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Ns::from_us(1).as_nanos(), 1_000);
+        assert_eq!(Ns::from_ms(1).as_nanos(), 1_000_000);
+        assert_eq!(Ns::from_secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(Ns::from_secs(2).as_secs_f64(), 2.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let mut t = Ns::from_us(10);
+        t += Ns::from_us(5);
+        assert_eq!(t, Ns::from_us(15));
+        t -= Ns::from_us(5);
+        assert_eq!(t, Ns::from_us(10));
+        assert_eq!(t * 2, Ns::from_us(20));
+        assert_eq!(t / 2, Ns::from_us(5));
+        assert_eq!(Ns::from_us(1).saturating_sub(Ns::from_us(2)), Ns::ZERO);
+    }
+
+    #[test]
+    fn ordering_and_min_max() {
+        assert!(Ns(1) < Ns(2));
+        assert_eq!(Ns(1).min(Ns(2)), Ns(1));
+        assert_eq!(Ns(1).max(Ns(2)), Ns(2));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", Ns(500)), "500ns");
+        assert_eq!(format!("{}", Ns::from_us(5)), "5.000us");
+        assert_eq!(format!("{}", Ns::from_ms(5)), "5.000ms");
+        assert_eq!(format!("{}", Ns::from_secs(5)), "5.000s");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Ns = [Ns(1), Ns(2), Ns(3)].into_iter().sum();
+        assert_eq!(total, Ns(6));
+    }
+}

@@ -1,0 +1,212 @@
+//! Scheduling-event tracing: a lightweight, bounded event log for
+//! debugging scheduler behavior (in the spirit of `sched_switch`
+//! tracepoints and SchedViz-style timelines).
+//!
+//! Disabled by default; `Machine::enable_trace` arms it. Events are kept
+//! in a bounded ring (oldest dropped first) so long simulations cannot
+//! exhaust memory.
+
+use crate::task::Pid;
+use crate::time::Ns;
+use crate::topology::CpuId;
+use std::collections::VecDeque;
+
+/// One traced scheduling event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A task started running on a cpu.
+    SwitchIn {
+        /// Time of the switch.
+        at: Ns,
+        /// The cpu.
+        cpu: CpuId,
+        /// The task.
+        pid: Pid,
+    },
+    /// A cpu entered the idle loop.
+    Idle {
+        /// Time the cpu went idle.
+        at: Ns,
+        /// The cpu.
+        cpu: CpuId,
+    },
+    /// A task became runnable.
+    Wakeup {
+        /// Time of the wakeup.
+        at: Ns,
+        /// The woken task.
+        pid: Pid,
+        /// The cpu it was placed on.
+        cpu: CpuId,
+    },
+    /// A task was migrated between run queues.
+    Migrate {
+        /// Time of the migration.
+        at: Ns,
+        /// The task.
+        pid: Pid,
+        /// Source cpu.
+        from: CpuId,
+        /// Destination cpu.
+        to: CpuId,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    pub fn at(&self) -> Ns {
+        match *self {
+            TraceEvent::SwitchIn { at, .. }
+            | TraceEvent::Idle { at, .. }
+            | TraceEvent::Wakeup { at, .. }
+            | TraceEvent::Migrate { at, .. } => at,
+        }
+    }
+}
+
+/// A bounded scheduling-event trace.
+#[derive(Debug)]
+pub struct Tracer {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// Creates a tracer holding up to `capacity` events.
+    pub fn new(capacity: usize) -> Tracer {
+        Tracer {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event, evicting the oldest when full.
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders a per-cpu text timeline of the trace: one row per cpu,
+    /// one column per `bucket` of virtual time, showing the last task to
+    /// run there in that bucket (`.` = idle the whole bucket).
+    pub fn render_timeline(&self, nr_cpus: usize, bucket: Ns) -> String {
+        if self.events.is_empty() || bucket.is_zero() {
+            return String::new();
+        }
+        let start = self.events.front().expect("non-empty").at();
+        let end = self.events.back().expect("non-empty").at();
+        let nr_buckets = ((end.saturating_sub(start).as_nanos() / bucket.as_nanos()) + 1) as usize;
+        let nr_buckets = nr_buckets.min(160);
+        let mut grid: Vec<Vec<Option<Pid>>> = vec![vec![None; nr_buckets]; nr_cpus];
+        for ev in &self.events {
+            let b = ((ev.at().saturating_sub(start)).as_nanos() / bucket.as_nanos()) as usize;
+            if b >= nr_buckets {
+                continue;
+            }
+            match *ev {
+                TraceEvent::SwitchIn { cpu, pid, .. } if cpu < nr_cpus => {
+                    grid[cpu][b] = Some(pid);
+                }
+                TraceEvent::Idle { cpu, .. } if cpu < nr_cpus => {
+                    grid[cpu][b] = None;
+                }
+                _ => {}
+            }
+        }
+        let mut out = String::new();
+        for (cpu, row) in grid.iter().enumerate() {
+            out.push_str(&format!("cpu{cpu:<3} "));
+            let mut last: Option<Pid> = None;
+            for cell in row {
+                let c = match cell.or(last) {
+                    // One glyph per task, cycling through 62 symbols.
+                    Some(pid) => {
+                        const GLYPHS: &[u8] =
+                            b"0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+                        GLYPHS[pid % GLYPHS.len()] as char
+                    }
+                    None => '.',
+                };
+                if cell.is_some() {
+                    last = *cell;
+                }
+                out.push(c);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_ring_drops_oldest() {
+        let mut t = Tracer::new(3);
+        for i in 0..5 {
+            t.record(TraceEvent::Idle { at: Ns(i), cpu: 0 });
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.events().next().unwrap().at(), Ns(2));
+    }
+
+    #[test]
+    fn timeline_renders_rows_per_cpu() {
+        let mut t = Tracer::new(64);
+        t.record(TraceEvent::SwitchIn {
+            at: Ns(0),
+            cpu: 0,
+            pid: 1,
+        });
+        t.record(TraceEvent::SwitchIn {
+            at: Ns(1000),
+            cpu: 1,
+            pid: 2,
+        });
+        t.record(TraceEvent::Idle {
+            at: Ns(2000),
+            cpu: 0,
+        });
+        let text = t.render_timeline(2, Ns(1000));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("cpu0"));
+        assert!(lines[0].contains('1'), "{text}");
+        assert!(lines[1].contains('2'), "{text}");
+    }
+
+    #[test]
+    fn empty_trace_renders_nothing() {
+        let t = Tracer::new(8);
+        assert_eq!(t.render_timeline(4, Ns(1000)), "");
+        assert!(t.is_empty());
+    }
+}

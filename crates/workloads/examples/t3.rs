@@ -1,0 +1,47 @@
+use enoki_workloads::pipe::{run_pipe, PipeConfig};
+use enoki_workloads::testbed::SchedKind;
+
+fn main() {
+    println!("{:<16} {:>9} {:>9}", "sched", "one-core", "two-core");
+    for kind in SchedKind::table3_row() {
+        let one = run_pipe(
+            kind,
+            PipeConfig {
+                round_trips: 10_000,
+                one_core: true,
+            },
+        );
+        let two = run_pipe(
+            kind,
+            PipeConfig {
+                round_trips: 10_000,
+                one_core: false,
+            },
+        );
+        println!(
+            "{:<16} {:>9.2} {:>9.2}",
+            kind.label(),
+            one.us_per_msg,
+            two.us_per_msg
+        );
+    }
+    let ar1 = run_pipe(
+        SchedKind::Arbiter,
+        PipeConfig {
+            round_trips: 10_000,
+            one_core: true,
+        },
+    );
+    let ar2 = run_pipe(
+        SchedKind::Arbiter,
+        PipeConfig {
+            round_trips: 10_000,
+            one_core: false,
+        },
+    );
+    println!(
+        "{:<16} {:>9.2} {:>9.2}",
+        "Arachne", ar1.us_per_msg, ar2.us_per_msg
+    );
+    println!("paper: CFS 3.0/3.6  SOL 6.0/5.8  FIFO 9.1/7.0  WFQ 3.6/4.0  Shinjuku 4.0/4.4  Locality 3.5/3.9  Arachne 0.1/0.2");
+}

@@ -1,0 +1,741 @@
+//! Application benchmark models: NAS Parallel Benchmarks and the Phoronix
+//! multicore selection (paper Table 5).
+//!
+//! Schedulers see applications only through their parallelism structure
+//! and blocking pattern, so each benchmark is modelled as one of a few
+//! patterns with benchmark-specific parameters:
+//!
+//! - `BarrierCompute` — the NAS kernels: one task per core, jittered
+//!   compute iterations separated by barriers;
+//! - `Throughput` — cpuminer-style embarrassingly parallel chunk mills;
+//! - `ForkJoinWaves` — wave-parallel tools (GraphicsMagick, ffmpeg);
+//! - `Pipeline` — staged producers/consumers over pipes (zstd long-mode,
+//!   libgav1);
+//! - `BurstySleep` — I/O-interleaved servers (Cassandra writes, ASKAP);
+//! - `Oversubscribed` — more threads than cores with frequent yields
+//!   (OIDN, oneDNN RNN training).
+//!
+//! The reported metric is throughput (work per second), so the harness
+//! compares schedulers by ratio exactly as the paper's Table 5 does.
+
+use crate::testbed::{build, BedOptions, SchedKind, TestBed};
+use enoki_sim::behavior::{closure_behavior, Op};
+use enoki_sim::{CostModel, Ns, TaskSpec, Topology};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::metrics::SharedCell;
+
+/// How a benchmark exercises the machine.
+#[derive(Clone, Copy, Debug)]
+pub enum Pattern {
+    /// `tasks` compute `iters` jittered iterations with a barrier between
+    /// iterations.
+    BarrierCompute {
+        /// Parallel tasks (NAS uses one per core).
+        tasks: usize,
+        /// Iterations.
+        iters: u64,
+        /// Nominal per-iteration compute.
+        iter: Ns,
+        /// Uniform jitter fraction applied per task per iteration.
+        jitter: f64,
+    },
+    /// Independent workers each milling `chunks` chunks of `chunk` work.
+    Throughput {
+        /// Parallel tasks.
+        tasks: usize,
+        /// Chunks per task.
+        chunks: u64,
+        /// Work per chunk.
+        chunk: Ns,
+    },
+    /// `waves` sequential waves, each forked as `tasks` jobs of skewed
+    /// sizes that must all finish before the next wave.
+    ForkJoinWaves {
+        /// Jobs per wave.
+        tasks: usize,
+        /// Number of waves.
+        waves: u64,
+        /// Nominal job size.
+        work: Ns,
+        /// Skew fraction: job sizes spread uniformly ±skew.
+        skew: f64,
+    },
+    /// A pipeline of stages connected by pipes; `items` flow through.
+    Pipeline {
+        /// Stage count (each stage is one task).
+        stages: usize,
+        /// Items pushed through the pipeline.
+        items: u64,
+        /// Per-item work at each stage (the first stage is the heaviest:
+        /// `work`, later stages `work/2`).
+        work: Ns,
+    },
+    /// Tasks alternating compute bursts and sleeps (I/O waits).
+    BurstySleep {
+        /// Parallel tasks.
+        tasks: usize,
+        /// Burst+sleep rounds per task.
+        rounds: u64,
+        /// Compute burst length.
+        burst: Ns,
+        /// Sleep (I/O) length.
+        sleep: Ns,
+    },
+    /// More tasks than cores, yielding between chunks.
+    Oversubscribed {
+        /// Parallel tasks (typically 2x cores).
+        tasks: usize,
+        /// Chunks per task.
+        chunks: u64,
+        /// Work per chunk.
+        chunk: Ns,
+    },
+}
+
+/// A named benchmark: the pattern plus its identity in the paper's table.
+#[derive(Clone, Copy, Debug)]
+pub struct AppBench {
+    /// Table row name.
+    pub name: &'static str,
+    /// Reported unit (descriptive only; comparisons are ratios).
+    pub unit: &'static str,
+    /// Workload shape.
+    pub pattern: Pattern,
+}
+
+const US: u64 = 1_000;
+
+/// The nine NAS kernels run in the paper (DC excluded there too). The
+/// compute/barrier parameters encode each kernel's granularity: EP almost
+/// never synchronizes; CG/IS/MG barrier frequently.
+pub fn nas_benchmarks() -> Vec<AppBench> {
+    let b = |name, iters, iter_us, jitter| AppBench {
+        name,
+        unit: "Mops/s",
+        pattern: Pattern::BarrierCompute {
+            tasks: 8,
+            iters,
+            iter: Ns::from_us(iter_us),
+            jitter,
+        },
+    };
+    vec![
+        b("BT", 60, 2_000, 0.02),
+        b("CG", 300, 150, 0.06),
+        b("EP", 12, 8_000, 0.01),
+        b("FT", 80, 900, 0.03),
+        b("IS", 400, 80, 0.08),
+        b("LU", 120, 1_000, 0.05),
+        b("MG", 250, 250, 0.05),
+        b("SP", 100, 1_200, 0.03),
+        b("UA", 150, 600, 0.07),
+    ]
+}
+
+/// The 27 Phoronix multicore benchmarks reported in the paper (names per
+/// its appendix Table 7).
+pub fn phoronix_benchmarks() -> Vec<AppBench> {
+    use Pattern::*;
+    let ms = |v: u64| Ns::from_ms(v);
+    let us = |v: u64| Ns(v * US);
+    vec![
+        AppBench {
+            name: "Arrayfire BLAS",
+            unit: "GFLOPS",
+            pattern: ForkJoinWaves {
+                tasks: 8,
+                waves: 40,
+                work: us(800),
+                skew: 0.3,
+            },
+        },
+        AppBench {
+            name: "Arrayfire CG",
+            unit: "ms",
+            pattern: BarrierCompute {
+                tasks: 8,
+                iters: 100,
+                iter: us(400),
+                jitter: 0.05,
+            },
+        },
+        AppBench {
+            name: "Cassandra Writes",
+            unit: "Op/s",
+            pattern: BurstySleep {
+                tasks: 16,
+                rounds: 150,
+                burst: us(350),
+                sleep: us(500),
+            },
+        },
+        AppBench {
+            name: "ASKAP Hogbom",
+            unit: "Iter/s",
+            pattern: BarrierCompute {
+                tasks: 8,
+                iters: 120,
+                iter: us(700),
+                jitter: 0.04,
+            },
+        },
+        AppBench {
+            name: "Cpuminer Triple SHA-256",
+            unit: "kH/s",
+            pattern: Throughput {
+                tasks: 8,
+                chunks: 50,
+                chunk: ms(1),
+            },
+        },
+        AppBench {
+            name: "Cpuminer Quad SHA-256",
+            unit: "kH/s",
+            pattern: Throughput {
+                tasks: 8,
+                chunks: 45,
+                chunk: ms(1),
+            },
+        },
+        AppBench {
+            name: "Cpuminer Myriad-Groestl",
+            unit: "kH/s",
+            pattern: Throughput {
+                tasks: 8,
+                chunks: 40,
+                chunk: ms(1),
+            },
+        },
+        AppBench {
+            name: "Cpuminer Blake-2 S",
+            unit: "kH/s",
+            pattern: Throughput {
+                tasks: 8,
+                chunks: 60,
+                chunk: us(700),
+            },
+        },
+        AppBench {
+            name: "Cpuminer Skeincoin",
+            unit: "kH/s",
+            pattern: Throughput {
+                tasks: 8,
+                chunks: 55,
+                chunk: us(900),
+            },
+        },
+        AppBench {
+            name: "Ffmpeg libx264 Live",
+            unit: "s",
+            pattern: ForkJoinWaves {
+                tasks: 10,
+                waves: 60,
+                work: us(500),
+                skew: 0.5,
+            },
+        },
+        AppBench {
+            name: "GraphicsMagick Resizing",
+            unit: "Iter/m",
+            pattern: ForkJoinWaves {
+                tasks: 8,
+                waves: 80,
+                work: us(600),
+                skew: 0.2,
+            },
+        },
+        AppBench {
+            name: "OIDN RT.hdr_alb_nrm",
+            unit: "Images/s",
+            pattern: Oversubscribed {
+                tasks: 16,
+                chunks: 40,
+                chunk: us(600),
+            },
+        },
+        AppBench {
+            name: "OIDN RT.ldr_alb_nrm",
+            unit: "Images/s",
+            pattern: Oversubscribed {
+                tasks: 16,
+                chunks: 40,
+                chunk: us(550),
+            },
+        },
+        AppBench {
+            name: "OIDN RTLightmap",
+            unit: "Images/s",
+            pattern: Oversubscribed {
+                tasks: 16,
+                chunks: 55,
+                chunk: us(650),
+            },
+        },
+        AppBench {
+            name: "Rodinia Leukocyte",
+            unit: "s",
+            pattern: BarrierCompute {
+                tasks: 8,
+                iters: 150,
+                iter: us(550),
+                jitter: 0.06,
+            },
+        },
+        AppBench {
+            name: "Zstd 3 Long",
+            unit: "MB/s",
+            pattern: Pipeline {
+                stages: 6,
+                items: 400,
+                work: us(300),
+            },
+        },
+        AppBench {
+            name: "Zstd 8 Long",
+            unit: "MB/s",
+            pattern: Pipeline {
+                stages: 6,
+                items: 200,
+                work: us(900),
+            },
+        },
+        AppBench {
+            name: "AVIFEnc 6 Lossless",
+            unit: "s",
+            pattern: ForkJoinWaves {
+                tasks: 8,
+                waves: 50,
+                work: us(900),
+                skew: 0.4,
+            },
+        },
+        AppBench {
+            name: "Libgav1 Summer 1080p",
+            unit: "FPS",
+            pattern: Pipeline {
+                stages: 4,
+                items: 500,
+                work: us(250),
+            },
+        },
+        AppBench {
+            name: "Libgav1 Summer 4k",
+            unit: "FPS",
+            pattern: Pipeline {
+                stages: 4,
+                items: 250,
+                work: us(800),
+            },
+        },
+        AppBench {
+            name: "Libgav1 Chimera 1080p",
+            unit: "FPS",
+            pattern: Pipeline {
+                stages: 4,
+                items: 450,
+                work: us(300),
+            },
+        },
+        AppBench {
+            name: "Libgav1 Chimera 10bit",
+            unit: "FPS",
+            pattern: Pipeline {
+                stages: 4,
+                items: 300,
+                work: us(500),
+            },
+        },
+        AppBench {
+            name: "OneDNN IP 1D",
+            unit: "ms",
+            pattern: BarrierCompute {
+                tasks: 8,
+                iters: 200,
+                iter: us(200),
+                jitter: 0.1,
+            },
+        },
+        AppBench {
+            name: "OneDNN IP 3D",
+            unit: "ms",
+            pattern: BarrierCompute {
+                tasks: 8,
+                iters: 180,
+                iter: us(300),
+                jitter: 0.1,
+            },
+        },
+        AppBench {
+            name: "OneDNN RNN f32",
+            unit: "ms",
+            pattern: Oversubscribed {
+                tasks: 16,
+                chunks: 60,
+                chunk: us(400),
+            },
+        },
+        AppBench {
+            name: "OneDNN RNN u8s8f32",
+            unit: "ms",
+            pattern: Oversubscribed {
+                tasks: 16,
+                chunks: 55,
+                chunk: us(400),
+            },
+        },
+        AppBench {
+            name: "OneDNN RNN bf16",
+            unit: "ms",
+            pattern: Oversubscribed {
+                tasks: 16,
+                chunks: 50,
+                chunk: us(450),
+            },
+        },
+    ]
+}
+
+/// Result of one application run.
+#[derive(Clone, Copy, Debug)]
+pub struct AppResult {
+    /// Completion time of the whole benchmark.
+    pub elapsed: Ns,
+    /// Total useful compute performed.
+    pub total_work: Ns,
+    /// Throughput metric: useful-work seconds per second (effective
+    /// parallelism). Higher is better; ratios match completion-time
+    /// ratios, which is what Table 5 compares.
+    pub throughput: f64,
+}
+
+/// Runs one application benchmark on a scheduler.
+pub fn run_app(kind: SchedKind, bench: &AppBench, seed: u64) -> AppResult {
+    let mut bed = build(
+        Topology::i7_9700(),
+        CostModel::calibrated(),
+        kind,
+        BedOptions::default(),
+    );
+    run_app_on(&mut bed, bench, seed)
+}
+
+/// Runs one application benchmark on a prepared testbed.
+pub fn run_app_on(bed: &mut TestBed, bench: &AppBench, seed: u64) -> AppResult {
+    let class = bed.class_idx;
+    let m = &mut bed.machine;
+    let mut pids = Vec::new();
+    let mut total_work = Ns::ZERO;
+
+    match bench.pattern {
+        Pattern::BarrierCompute {
+            tasks,
+            iters,
+            iter,
+            jitter,
+        } => {
+            // Futex-based barrier shared by all tasks.
+            let barrier = SharedCell::with((0usize, 0u64)); // (arrived, generation)
+            const BKEY: u64 = 0xBA44;
+            for i in 0..tasks {
+                let mut rng = SmallRng::seed_from_u64(seed ^ (i as u64) << 8);
+                let bar = barrier.clone();
+                let mut it = 0u64;
+                let mut at_barrier = false;
+                let behavior = closure_behavior(move |_ctx| {
+                    if at_barrier {
+                        at_barrier = false;
+                        let last = bar.with_mut(|(arrived, gen)| {
+                            *arrived += 1;
+                            if *arrived == tasks {
+                                *arrived = 0;
+                                *gen += 1;
+                                true
+                            } else {
+                                false
+                            }
+                        });
+                        if last {
+                            return Op::FutexWake(BKEY, (tasks - 1) as u32);
+                        }
+                        return Op::FutexWait(BKEY);
+                    }
+                    if it >= iters {
+                        return Op::Exit;
+                    }
+                    it += 1;
+                    at_barrier = true;
+                    let j = 1.0 + rng.gen_range(-jitter..=jitter);
+                    Op::Compute(Ns((iter.as_nanos() as f64 * j) as u64))
+                });
+                pids.push(m.spawn(TaskSpec::new(
+                    format!("{}.{i}", bench.name),
+                    class,
+                    behavior,
+                )));
+            }
+            total_work = iter * iters * tasks as u64;
+        }
+        Pattern::Throughput {
+            tasks,
+            chunks,
+            chunk,
+        } => {
+            for i in 0..tasks {
+                pids.push(m.spawn(TaskSpec::new(
+                    format!("{}.{i}", bench.name),
+                    class,
+                    Box::new(enoki_sim::behavior::ProgramBehavior::repeat(
+                        vec![Op::Compute(chunk)],
+                        chunks,
+                    )),
+                )));
+            }
+            total_work = chunk * chunks * tasks as u64;
+        }
+        Pattern::ForkJoinWaves {
+            tasks,
+            waves,
+            work,
+            skew,
+        } => {
+            // Wave barrier: same futex trick, but job sizes are skewed so
+            // balancing quality matters.
+            let barrier = SharedCell::with((0usize, 0u64));
+            const WKEY: u64 = 0xF04C;
+            for i in 0..tasks {
+                let mut rng = SmallRng::seed_from_u64(seed ^ 0xF00 ^ (i as u64) << 8);
+                let bar = barrier.clone();
+                let mut wave = 0u64;
+                let mut at_barrier = false;
+                let behavior = closure_behavior(move |_ctx| {
+                    if at_barrier {
+                        at_barrier = false;
+                        let last = bar.with_mut(|(arrived, gen)| {
+                            *arrived += 1;
+                            if *arrived == tasks {
+                                *arrived = 0;
+                                *gen += 1;
+                                true
+                            } else {
+                                false
+                            }
+                        });
+                        if last {
+                            return Op::FutexWake(WKEY, (tasks - 1) as u32);
+                        }
+                        return Op::FutexWait(WKEY);
+                    }
+                    if wave >= waves {
+                        return Op::Exit;
+                    }
+                    wave += 1;
+                    at_barrier = true;
+                    let f = 1.0 + rng.gen_range(-skew..=skew);
+                    Op::Compute(Ns((work.as_nanos() as f64 * f) as u64))
+                });
+                pids.push(m.spawn(TaskSpec::new(
+                    format!("{}.{i}", bench.name),
+                    class,
+                    behavior,
+                )));
+            }
+            total_work = work * waves * tasks as u64;
+        }
+        Pattern::Pipeline {
+            stages,
+            items,
+            work,
+        } => {
+            let mut links = Vec::new();
+            for _ in 0..stages.saturating_sub(1) {
+                links.push(m.create_pipe());
+            }
+            for s in 0..stages {
+                let inp = if s > 0 { Some(links[s - 1]) } else { None };
+                let out = if s + 1 < stages { Some(links[s]) } else { None };
+                let stage_work = if s == 0 {
+                    work
+                } else {
+                    Ns(work.as_nanos() / 2)
+                };
+                let mut done = 0u64;
+                let mut step = 0u8;
+                let behavior = closure_behavior(move |_ctx| {
+                    // Cycle per item: read input (if any), compute, write
+                    // output (if any).
+                    loop {
+                        match step {
+                            0 => {
+                                if done >= items {
+                                    return Op::Exit;
+                                }
+                                step = 1;
+                                if let Some(p) = inp {
+                                    return Op::PipeRead(p);
+                                }
+                            }
+                            1 => {
+                                step = 2;
+                                return Op::Compute(stage_work);
+                            }
+                            _ => {
+                                step = 0;
+                                done += 1;
+                                if let Some(p) = out {
+                                    return Op::PipeWrite(p);
+                                }
+                            }
+                        }
+                    }
+                });
+                pids.push(m.spawn(TaskSpec::new(
+                    format!("{}.s{s}", bench.name),
+                    class,
+                    behavior,
+                )));
+                total_work += stage_work * items;
+            }
+        }
+        Pattern::BurstySleep {
+            tasks,
+            rounds,
+            burst,
+            sleep,
+        } => {
+            for i in 0..tasks {
+                let mut rng = SmallRng::seed_from_u64(seed ^ 0xB0B ^ (i as u64) << 8);
+                let mut left = rounds;
+                let mut sleeping = false;
+                let behavior = closure_behavior(move |_ctx| {
+                    if sleeping {
+                        sleeping = false;
+                        let s = (sleep.as_nanos() as f64 * rng.gen_range(0.5..1.5)) as u64;
+                        return Op::Sleep(Ns(s));
+                    }
+                    if left == 0 {
+                        return Op::Exit;
+                    }
+                    left -= 1;
+                    sleeping = true;
+                    let b = (burst.as_nanos() as f64 * rng.gen_range(0.7..1.3)) as u64;
+                    Op::Compute(Ns(b))
+                });
+                pids.push(m.spawn(TaskSpec::new(
+                    format!("{}.{i}", bench.name),
+                    class,
+                    behavior,
+                )));
+            }
+            total_work = burst * rounds * tasks as u64;
+        }
+        Pattern::Oversubscribed {
+            tasks,
+            chunks,
+            chunk,
+        } => {
+            for i in 0..tasks {
+                pids.push(m.spawn(TaskSpec::new(
+                    format!("{}.{i}", bench.name),
+                    class,
+                    Box::new(enoki_sim::behavior::ProgramBehavior::repeat(
+                        vec![Op::Compute(chunk), Op::Yield],
+                        chunks,
+                    )),
+                )));
+            }
+            total_work = chunk * chunks * tasks as u64;
+        }
+    }
+
+    crate::run_until_dead(m, &pids, Ns::from_secs(120));
+    let elapsed = pids
+        .iter()
+        .filter_map(|&p| m.task(p).exited_at)
+        .max()
+        .unwrap_or_else(|| m.now());
+    let throughput = total_work.as_nanos() as f64 / elapsed.as_nanos().max(1) as f64;
+    AppResult {
+        elapsed,
+        total_work,
+        throughput,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nas_list_matches_paper() {
+        let nas = nas_benchmarks();
+        assert_eq!(nas.len(), 9);
+        assert_eq!(nas[0].name, "BT");
+    }
+
+    #[test]
+    fn phoronix_list_has_27_rows() {
+        assert_eq!(phoronix_benchmarks().len(), 27);
+    }
+
+    #[test]
+    fn nas_ep_parallelizes_fully() {
+        let ep = &nas_benchmarks()[2];
+        let r = run_app(SchedKind::Cfs, ep, 1);
+        // 8 tasks, ~96ms total work on 8 cores: near-8x parallelism.
+        assert!(r.throughput > 7.0, "throughput {}", r.throughput);
+    }
+
+    #[test]
+    fn cfs_and_wfq_within_a_few_percent_on_nas() {
+        let cg = &nas_benchmarks()[1];
+        let cfs = run_app(SchedKind::Cfs, cg, 42);
+        let wfq = run_app(SchedKind::Wfq, cg, 42);
+        let delta = (cfs.elapsed.as_nanos() as f64 / wfq.elapsed.as_nanos() as f64 - 1.0).abs();
+        assert!(delta < 0.08, "CFS vs WFQ delta {delta}");
+    }
+
+    #[test]
+    fn pipeline_flows_all_items() {
+        let zstd = AppBench {
+            name: "pipe-test",
+            unit: "x",
+            pattern: Pattern::Pipeline {
+                stages: 3,
+                items: 50,
+                work: Ns::from_us(100),
+            },
+        };
+        let r = run_app(SchedKind::Cfs, &zstd, 7);
+        assert!(r.elapsed > Ns::ZERO);
+        // All stages ran: elapsed at least items * heaviest stage.
+        assert!(r.elapsed >= Ns::from_us(100) * 50);
+    }
+
+    #[test]
+    fn bursty_sleep_overlaps_io() {
+        let cass = AppBench {
+            name: "bursty-test",
+            unit: "x",
+            pattern: Pattern::BurstySleep {
+                tasks: 16,
+                rounds: 30,
+                burst: Ns::from_us(300),
+                sleep: Ns::from_us(500),
+            },
+        };
+        let r = run_app(SchedKind::Cfs, &cass, 3);
+        // 16 tasks × 30 × 0.3ms = 144ms of work; with sleeps overlapping
+        // on 8 cores it must finish far sooner than serially.
+        assert!(r.elapsed < Ns::from_ms(60), "elapsed {}", r.elapsed);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let bt = &nas_benchmarks()[0];
+        let a = run_app(SchedKind::Wfq, bt, 9);
+        let b = run_app(SchedKind::Wfq, bt, 9);
+        assert_eq!(a.elapsed, b.elapsed);
+    }
+}

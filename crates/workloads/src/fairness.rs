@@ -1,0 +1,231 @@
+//! WFQ functional-equivalence benchmarks (paper Appendix A.1).
+//!
+//! Three experiments verify that the Enoki WFQ scheduler implements the
+//! behavior expected of a weighted-fair-queuing scheduler, compared to
+//! CFS: equal sharing of cpu time, priority weighting, and task placement.
+
+use crate::testbed::{build, BedOptions, SchedKind};
+use enoki_sim::behavior::{Op, ProgramBehavior};
+use enoki_sim::{CostModel, CpuSet, Ns, TaskSpec, Topology};
+
+/// Result of the fair-share experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct ShareResult {
+    /// Mean completion time across the five tasks.
+    pub mean: Ns,
+    /// Spread between the first and last completion.
+    pub spread: Ns,
+}
+
+/// Five equal CPU-bound tasks; returns completions when spread over cores
+/// and when pinned to one core (paper: ~4.6 s spread vs ~22.2 s pinned).
+pub fn equal_share(kind: SchedKind, work: Ns, colocated: bool) -> ShareResult {
+    let mut bed = build(
+        Topology::i7_9700(),
+        CostModel::calibrated(),
+        kind,
+        BedOptions::default(),
+    );
+    let m = &mut bed.machine;
+    let mut pids = Vec::new();
+    for i in 0..5 {
+        let mut spec = TaskSpec::new(
+            format!("t{i}"),
+            bed.class_idx,
+            Box::new(ProgramBehavior::once(vec![Op::Compute(work)])),
+        );
+        if colocated {
+            spec = spec.affinity(CpuSet::single(0));
+        }
+        pids.push(m.spawn(spec));
+    }
+    crate::run_until_dead(m, &pids, Ns::from_secs(600));
+    let finishes: Vec<Ns> = pids
+        .iter()
+        .map(|&p| m.task(p).exited_at.expect("done"))
+        .collect();
+    let max = *finishes.iter().max().expect("non-empty");
+    let min = *finishes.iter().min().expect("non-empty");
+    let mean = Ns(finishes.iter().map(|f| f.as_nanos()).sum::<u64>() / finishes.len() as u64);
+    ShareResult {
+        mean,
+        spread: max - min,
+    }
+}
+
+/// Result of the weighting experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct WeightResult {
+    /// Latest completion among the four normal-priority tasks.
+    pub others_done: Ns,
+    /// Completion of the minimum-priority task.
+    pub low_done: Ns,
+    /// Spread among the four normal tasks.
+    pub others_spread: Ns,
+}
+
+/// Four nice-0 tasks plus one nice-19 task pinned to one core (paper: the
+/// four finish together; the low-priority task finishes after).
+pub fn weighted_share(kind: SchedKind, work: Ns) -> WeightResult {
+    let mut bed = build(
+        Topology::i7_9700(),
+        CostModel::calibrated(),
+        kind,
+        BedOptions::default(),
+    );
+    let m = &mut bed.machine;
+    let mut pids = Vec::new();
+    for i in 0..4 {
+        pids.push(
+            m.spawn(
+                TaskSpec::new(
+                    format!("t{i}"),
+                    bed.class_idx,
+                    Box::new(ProgramBehavior::once(vec![Op::Compute(work)])),
+                )
+                .affinity(CpuSet::single(0)),
+            ),
+        );
+    }
+    let low = m.spawn(
+        TaskSpec::new(
+            "low",
+            bed.class_idx,
+            Box::new(ProgramBehavior::once(vec![Op::Compute(work)])),
+        )
+        .nice(19)
+        .affinity(CpuSet::single(0)),
+    );
+    let mut all = pids.clone();
+    all.push(low);
+    crate::run_until_dead(m, &all, Ns::from_secs(600));
+    let finishes: Vec<Ns> = pids
+        .iter()
+        .map(|&p| m.task(p).exited_at.expect("done"))
+        .collect();
+    WeightResult {
+        others_done: *finishes.iter().max().expect("non-empty"),
+        low_done: m.task(low).exited_at.expect("done"),
+        others_spread: *finishes.iter().max().expect("non-empty")
+            - *finishes.iter().min().expect("non-empty"),
+    }
+}
+
+/// Result of the placement experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct PlacementResult {
+    /// Mean completion time.
+    pub mean: Ns,
+    /// Standard deviation of completion times.
+    pub stddev: Ns,
+}
+
+/// One CPU-bound task per core; optionally one task is forced to change
+/// cores mid-run (paper: CFS shows unchanged variance; WFQ's variance
+/// grows because its rebalancing is less sophisticated).
+pub fn placement(kind: SchedKind, work: Ns, force_move: bool) -> PlacementResult {
+    let mut bed = build(
+        Topology::i7_9700(),
+        CostModel::calibrated(),
+        kind,
+        BedOptions::default(),
+    );
+    let m = &mut bed.machine;
+    let mut pids = Vec::new();
+    for i in 0..8 {
+        let behavior: Box<dyn enoki_sim::Behavior> = if force_move && i == 0 {
+            Box::new(ProgramBehavior::once(vec![
+                Op::Compute(Ns(work.as_nanos() / 2)),
+                // Force the task onto cpu 4's half of the machine, then
+                // release the restriction.
+                Op::SetAffinity(0xF0),
+                Op::Compute(Ns(work.as_nanos() / 2)),
+            ]))
+        } else {
+            Box::new(ProgramBehavior::once(vec![Op::Compute(work)]))
+        };
+        pids.push(m.spawn(TaskSpec::new(format!("t{i}"), bed.class_idx, behavior)));
+    }
+    crate::run_until_dead(m, &pids, Ns::from_secs(600));
+    let finishes: Vec<f64> = pids
+        .iter()
+        .map(|&p| m.task(p).exited_at.expect("done").as_nanos() as f64)
+        .collect();
+    let mean = finishes.iter().sum::<f64>() / finishes.len() as f64;
+    let var = finishes
+        .iter()
+        .map(|f| (f - mean) * (f - mean))
+        .sum::<f64>()
+        / finishes.len() as f64;
+    PlacementResult {
+        mean: Ns(mean as u64),
+        stddev: Ns(var.sqrt() as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WORK: Ns = Ns::from_ms(100);
+
+    #[test]
+    fn equal_share_matches_expectations() {
+        for kind in [SchedKind::Cfs, SchedKind::Wfq] {
+            let spread = equal_share(kind, WORK, false);
+            let pinned = equal_share(kind, WORK, true);
+            // Spread: ~work each. Pinned: ~5x work each, finishing close
+            // together.
+            assert!(
+                spread.mean < Ns::from_ms(115),
+                "{kind:?} spread mean {}",
+                spread.mean
+            );
+            assert!(
+                pinned.mean > Ns::from_ms(400),
+                "{kind:?} pinned mean {}",
+                pinned.mean
+            );
+            assert!(
+                pinned.spread < Ns::from_ms(115),
+                "{kind:?} pinned spread {}",
+                pinned.spread
+            );
+        }
+    }
+
+    #[test]
+    fn weighting_delays_low_priority() {
+        for kind in [SchedKind::Cfs, SchedKind::Wfq] {
+            let r = weighted_share(kind, WORK);
+            assert!(
+                r.low_done > r.others_done,
+                "{kind:?}: low {} should finish after others {}",
+                r.low_done,
+                r.others_done
+            );
+            assert!(
+                r.others_spread < Ns::from_ms(115),
+                "{kind:?} spread {}",
+                r.others_spread
+            );
+        }
+    }
+
+    #[test]
+    fn placement_variance_grows_when_moved_on_wfq() {
+        let cfs_moved = placement(SchedKind::Cfs, WORK, true);
+        let wfq_moved = placement(SchedKind::Wfq, WORK, true);
+        let wfq_still = placement(SchedKind::Wfq, WORK, false);
+        // All complete in about the same time.
+        assert!(cfs_moved.mean < Ns::from_ms(130));
+        assert!(wfq_moved.mean < Ns::from_ms(130));
+        // Moving a task perturbs WFQ more than leaving everything alone.
+        assert!(
+            wfq_moved.stddev >= wfq_still.stddev,
+            "moved {} vs still {}",
+            wfq_moved.stddev,
+            wfq_still.stddev
+        );
+    }
+}

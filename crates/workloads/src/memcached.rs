@@ -1,0 +1,557 @@
+//! The memcached + Mutilate benchmark (paper Figure 3, §5.6).
+//!
+//! A memcached-like server handles an ETC-style request mix (3% updates)
+//! from an open-loop load generator. Three server architectures are
+//! compared:
+//!
+//! - [`MemcachedServer::Cfs`]: a kernel-thread pool under CFS — one thread
+//!   per core, each request waking a blocked thread;
+//! - [`MemcachedServer::Arachne`]: the original Arachne — a userspace core
+//!   arbiter manages activations with `cpuset`-style pinning; activations
+//!   poll for work with user-level dispatch;
+//! - [`MemcachedServer::EnokiArachne`]: the same runtime, but core
+//!   arbitration through the Enoki core-arbiter scheduler and its
+//!   bidirectional hint queues.
+//!
+//! Both Arachne variants scale between [`MIN_CORES`] and [`MAX_CORES`]
+//! cores based on offered load, reserving one core for background work
+//! (paper: "automatically scale between two and seven cores").
+
+use crate::metrics::{SharedCell, SharedHist};
+use crate::testbed::{build, BedOptions, SchedKind, TestBed};
+use enoki_sched::arbiter::{park_key, HINT_CORE_REQUEST, HINT_JOIN, REV_RECLAIM};
+use enoki_sim::behavior::{closure_behavior, HintVal, Op};
+use enoki_sim::{CostModel, CpuSet, Ns, TaskSpec, Topology};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// GET service time (ETC-like small reads dominate).
+pub const GET_SERVICE: Ns = Ns::from_us(18);
+/// Update service time (3% of requests).
+pub const UPDATE_SERVICE: Ns = Ns::from_us(30);
+/// Update fraction (paper: 3% updates).
+pub const UPDATE_FRACTION: f64 = 0.03;
+/// Minimum cores the Arachne runtimes hold.
+pub const MIN_CORES: usize = 2;
+/// Maximum cores the Arachne runtimes hold (one reserved for background).
+pub const MAX_CORES: usize = 7;
+/// User-level dispatch cost per request inside the Arachne runtime.
+pub const USER_DISPATCH: Ns = Ns(200);
+/// Activation poll interval when idle.
+pub const POLL: Ns = Ns::from_us(2);
+
+const WORK_KEY: u64 = 0x3E3C_0000;
+
+/// The server architecture under test.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemcachedServer {
+    /// Thread pool on CFS using all cores.
+    Cfs,
+    /// Original Arachne (userspace arbiter, pinned activations).
+    Arachne,
+    /// Arachne with the Enoki core arbiter.
+    EnokiArachne,
+}
+
+impl MemcachedServer {
+    /// Label matching Figure 3's legend.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MemcachedServer::Cfs => "CFS",
+            MemcachedServer::Arachne => "Arachne",
+            MemcachedServer::EnokiArachne => "Enoki-Arachne",
+        }
+    }
+}
+
+/// Configuration for one measurement point.
+#[derive(Clone, Copy, Debug)]
+pub struct MemcachedConfig {
+    /// Offered load, requests per second.
+    pub load_rps: u64,
+    /// Warmup excluded from percentiles.
+    pub warmup: Ns,
+    /// Measurement window.
+    pub duration: Ns,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MemcachedConfig {
+    /// A point at `load_rps`.
+    pub fn at(load_rps: u64) -> MemcachedConfig {
+        MemcachedConfig {
+            load_rps,
+            warmup: Ns::from_ms(300),
+            duration: Ns::from_secs(1),
+            seed: 0x3E3C,
+        }
+    }
+}
+
+/// Result of one measurement point.
+#[derive(Clone, Copy, Debug)]
+pub struct MemcachedResult {
+    /// 99th percentile request latency.
+    pub p99: Ns,
+    /// Median request latency.
+    pub p50: Ns,
+    /// Requests completed in the window.
+    pub completed: u64,
+}
+
+/// Runs one memcached measurement point.
+pub fn run_memcached(server: MemcachedServer, cfg: MemcachedConfig) -> MemcachedResult {
+    match server {
+        MemcachedServer::Cfs => run_cfs_pool(cfg),
+        MemcachedServer::Arachne => run_arachne(cfg, false),
+        MemcachedServer::EnokiArachne => run_arachne(cfg, true),
+    }
+}
+
+fn spawn_dispatcher(
+    bed: &mut TestBed,
+    class: usize,
+    cfg: MemcachedConfig,
+    queue: SharedCell<VecDeque<(Ns, Ns)>>,
+    arrivals: SharedCell<u64>,
+    wake_per_request: bool,
+) {
+    let inter = 1_000_000_000.0 / cfg.load_rps as f64;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    // Self-correcting pacing: arrivals follow an absolute Poisson clock,
+    // so the dispatcher's own execution overhead does not dilute the
+    // offered load; requests are published at their arrival instant.
+    let mut next_at = Ns::ZERO;
+    let mut sleeping_done = false;
+    let dispatcher = closure_behavior(move |ctx| {
+        if sleeping_done {
+            sleeping_done = false;
+            let service = if rng.gen_bool(UPDATE_FRACTION) {
+                UPDATE_SERVICE
+            } else {
+                GET_SERVICE
+            };
+            queue.with_mut(|q| q.push_back((ctx.now, service)));
+            arrivals.with_mut(|a| *a += 1);
+            if wake_per_request {
+                return Op::FutexWake(WORK_KEY, 1);
+            }
+            return Op::Compute(Ns(0));
+        }
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let gap = (-u.ln() * inter) as u64;
+        if next_at.is_zero() {
+            next_at = ctx.now;
+        }
+        next_at += Ns(gap);
+        sleeping_done = true;
+        if next_at > ctx.now {
+            Op::Sleep(next_at - ctx.now)
+        } else {
+            Op::Compute(Ns(0))
+        }
+    });
+    bed.machine.spawn(
+        TaskSpec::new("mutilate", class, dispatcher)
+            .affinity(CpuSet::single(0))
+            .precise()
+            .nice(-10),
+    );
+}
+
+/// CFS thread-pool server.
+///
+/// Like real memcached, connections are statically partitioned over the
+/// worker threads, and the ETC connection mix is skewed: some connections
+/// are much hotter than others. Kernel threads cannot rebalance that skew
+/// (user-level threads can, which is Arachne's core advantage), so the
+/// hot threads saturate first and the tail grows at high load.
+fn run_cfs_pool(cfg: MemcachedConfig) -> MemcachedResult {
+    let mut bed = build(
+        Topology::i7_9700(),
+        CostModel::calibrated_no_slack(),
+        SchedKind::Cfs,
+        BedOptions::default(),
+    );
+    let class = bed.class_idx;
+    let hist = SharedHist::new();
+    let completed = SharedCell::with(0u64);
+    let measuring = SharedCell::with(false);
+
+    // Per-thread connection queues, threads 0 and 1 serving the hot
+    // connections (1.3x the traffic of the others).
+    let queues: Vec<SharedCell<VecDeque<(Ns, Ns)>>> = (0..8).map(|_| SharedCell::new()).collect();
+    const HOT: f64 = 1.6;
+    let weights: [f64; 8] = [HOT, HOT, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+
+    for (i, queue) in queues.iter().enumerate() {
+        let q = queue.clone();
+        let h = hist.clone();
+        let done = completed.clone();
+        let meas = measuring.clone();
+        let mut inflight: Option<Ns> = None;
+        let behavior = closure_behavior(move |ctx| {
+            if let Some(arrived) = inflight.take() {
+                if meas.with_ref(|m| *m) {
+                    h.record(ctx.now.saturating_sub(arrived));
+                    done.with_mut(|d| *d += 1);
+                }
+            }
+            match q.with_mut(|q| q.pop_front()) {
+                Some((arrived, service)) => {
+                    inflight = Some(arrived);
+                    Op::Compute(service)
+                }
+                None => Op::FutexWait(WORK_KEY | i as u64),
+            }
+        });
+        bed.machine
+            .spawn(TaskSpec::new(format!("mc{i}"), class, behavior).tag(3));
+    }
+
+    // Dispatcher: route each request to its connection's thread, on a
+    // self-correcting Poisson clock.
+    let inter = 1_000_000_000.0 / cfg.load_rps as f64;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let total_w: f64 = weights.iter().sum();
+    let qs: Vec<_> = queues.clone();
+    let mut next_at = Ns::ZERO;
+    let mut sleeping_done = false;
+    let dispatcher = closure_behavior(move |ctx| {
+        if sleeping_done {
+            sleeping_done = false;
+            let service = if rng.gen_bool(UPDATE_FRACTION) {
+                UPDATE_SERVICE
+            } else {
+                GET_SERVICE
+            };
+            // Pick the serving thread by connection weight.
+            let mut pick = rng.gen_range(0.0..total_w);
+            let mut thread = 0;
+            for (i, w) in weights.iter().enumerate() {
+                if pick < *w {
+                    thread = i;
+                    break;
+                }
+                pick -= w;
+            }
+            qs[thread].with_mut(|q| q.push_back((ctx.now, service)));
+            return Op::FutexWake(WORK_KEY | thread as u64, 1);
+        }
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let gap = (-u.ln() * inter) as u64;
+        if next_at.is_zero() {
+            next_at = ctx.now;
+        }
+        next_at += Ns(gap);
+        sleeping_done = true;
+        if next_at > ctx.now {
+            Op::Sleep(next_at - ctx.now)
+        } else {
+            Op::Compute(Ns(0))
+        }
+    });
+    bed.machine.spawn(
+        TaskSpec::new("mutilate", class, dispatcher)
+            .affinity(CpuSet::single(0))
+            .precise()
+            .nice(-10),
+    );
+
+    bed.machine.run_until(cfg.warmup).expect("no kernel panic");
+    measuring.with_mut(|v| *v = true);
+    bed.machine
+        .run_until(cfg.warmup + cfg.duration)
+        .expect("no kernel panic");
+
+    MemcachedResult {
+        p99: hist.quantile(0.99).unwrap_or(Ns::ZERO),
+        p50: hist.quantile(0.50).unwrap_or(Ns::ZERO),
+        completed: completed.with_ref(|c| *c),
+    }
+}
+
+/// Arachne server: spinning activations with user-level dispatch, core
+/// scaling driven by a runtime control loop.
+fn run_arachne(cfg: MemcachedConfig, enoki: bool) -> MemcachedResult {
+    let kind = if enoki {
+        SchedKind::Arbiter
+    } else {
+        SchedKind::Cfs
+    };
+    let opts = BedOptions {
+        arbiter_cores: Some(CpuSet::from_iter(1..8)),
+        ..BedOptions::default()
+    };
+    let mut bed = build(
+        Topology::i7_9700(),
+        CostModel::calibrated_no_slack(),
+        kind,
+        opts,
+    );
+    let class = bed.class_idx;
+    let queue: SharedCell<VecDeque<(Ns, Ns)>> = SharedCell::new();
+    let hist = SharedHist::new();
+    let completed = SharedCell::with(0u64);
+    let measuring = SharedCell::with(false);
+    let arrivals = SharedCell::with(0u64);
+    // park_flags[i]: the runtime asks activation i to park.
+    let park_flags = SharedCell::with(vec![false; MAX_CORES]);
+    // active[i]: activation i currently holds a core (original Arachne's
+    // bookkeeping; the Enoki variant derives this from the arbiter).
+    let active = SharedCell::with(vec![false; MAX_CORES]);
+
+    // The reverse queue for reclamation messages (Enoki variant).
+    let rev_q = if enoki {
+        Some(
+            bed.enoki
+                .as_ref()
+                .expect("arbiter class")
+                .register_reverse_queue(256)
+                .1,
+        )
+    } else {
+        None
+    };
+
+    // Activations (pids 0..MAX_CORES).
+    for i in 0..MAX_CORES {
+        let q = queue.clone();
+        let h = hist.clone();
+        let done = completed.clone();
+        let meas = measuring.clone();
+        let flags = park_flags.clone();
+        let mut inflight: Option<Ns> = None;
+        let mut startup = 0u8;
+        let behavior = closure_behavior(move |ctx| {
+            if startup < 2 {
+                startup += 1;
+                if startup == 1 && enoki {
+                    // Join the app, then park until granted a core.
+                    return Op::Hint(HintVal {
+                        kind: HINT_JOIN,
+                        a: 1,
+                        b: i as i64,
+                        c: 0,
+                    });
+                }
+                startup = 2;
+                return Op::FutexWait(park_key(i));
+            }
+            if let Some(arrived) = inflight.take() {
+                if meas.with_ref(|m| *m) {
+                    h.record(ctx.now.saturating_sub(arrived));
+                    done.with_mut(|d| *d += 1);
+                }
+            }
+            if flags.with_ref(|f| f[i]) {
+                flags.with_mut(|f| f[i] = false);
+                return Op::FutexWait(park_key(i));
+            }
+            match q.with_mut(|q| q.pop_front()) {
+                Some((arrived, service)) => {
+                    inflight = Some(arrived);
+                    Op::Compute(service + USER_DISPATCH)
+                }
+                None => Op::Compute(POLL), // poll for work (Arachne spins)
+            }
+        });
+        let mut spec = TaskSpec::new(format!("act{i}"), class, behavior)
+            .tag(3)
+            .precise();
+        if !enoki {
+            // Original Arachne pins each activation to its own core via
+            // cpuset.
+            spec = spec.affinity(CpuSet::single(1 + i));
+        }
+        let pid = bed.machine.spawn(spec);
+        debug_assert_eq!(pid, i);
+    }
+
+    // Runtime control loop: every 10 ms, estimate offered cores and adjust
+    // the grant. The Enoki variant requests cores from the arbiter and
+    // drains reclamation messages; the original variant parks/unparks
+    // directly (its userspace arbiter + cpuset path).
+    let mean_service = GET_SERVICE.as_nanos() as f64 * (1.0 - UPDATE_FRACTION)
+        + UPDATE_SERVICE.as_nanos() as f64 * UPDATE_FRACTION;
+    let arr = arrivals.clone();
+    let flags = park_flags.clone();
+    let act = active.clone();
+    let rq = rev_q.clone();
+    let mut last_arrivals = 0u64;
+    let mut current_target = 0usize;
+    let mut step = 0u8;
+    let mut wake_queue: VecDeque<usize> = VecDeque::new();
+    let runtime = closure_behavior(move |_ctx| {
+        // Deliver queued unpark wakes one op at a time.
+        if let Some(i) = wake_queue.pop_front() {
+            return Op::FutexWake(park_key(i), 1);
+        }
+        if step == 1 {
+            step = 0;
+            return Op::Sleep(Ns::from_ms(10));
+        }
+        step = 1;
+        // Drain reclamation messages (Enoki): park the named activations.
+        if let Some(rq) = &rq {
+            while let Some(msg) = rq.pop() {
+                if msg.kind == REV_RECLAIM {
+                    // Park the highest-numbered active activation.
+                    act.with_mut(|a| {
+                        if let Some(i) = (0..MAX_CORES).rev().find(|&i| a[i]) {
+                            a[i] = false;
+                            flags.with_mut(|f| f[i] = true);
+                        }
+                    });
+                }
+            }
+        }
+        let now_arr = arr.with_ref(|a| *a);
+        let window_arr = now_arr - last_arrivals;
+        last_arrivals = now_arr;
+        let offered = window_arr as f64 * mean_service / 10_000_000.0; // cores over 10ms
+        let target = ((offered * 1.3).ceil() as usize + 1).clamp(MIN_CORES, MAX_CORES);
+        if target == current_target {
+            return Op::Sleep(Ns::from_ms(10));
+        }
+        current_target = target;
+        if enoki {
+            // Ask the arbiter; grants wake parked activations, shrinks
+            // arrive as reclamation messages handled above.
+            act.with_mut(|a| {
+                let mut granted = 0;
+                for slot in a.iter_mut() {
+                    if granted < target && !*slot {
+                        *slot = true;
+                    }
+                    if *slot {
+                        granted += 1;
+                    }
+                }
+            });
+            return Op::Hint(HintVal {
+                kind: HINT_CORE_REQUEST,
+                a: 1,
+                b: target as i64,
+                c: 0,
+            });
+        }
+        // Original Arachne: wake/park directly.
+        let mut wakes: Vec<usize> = Vec::new();
+        act.with_mut(|a| {
+            let active_now = a.iter().filter(|&&x| x).count();
+            if active_now < target {
+                for i in 0..MAX_CORES {
+                    if !a[i] && a.iter().filter(|&&x| x).count() < target {
+                        a[i] = true;
+                        wakes.push(i);
+                    }
+                }
+            } else {
+                for i in (0..MAX_CORES).rev() {
+                    if a[i] && a.iter().filter(|&&x| x).count() > target {
+                        a[i] = false;
+                        flags.with_mut(|f| f[i] = true);
+                    }
+                }
+            }
+        });
+        if !wakes.is_empty() {
+            wake_queue.extend(wakes);
+            let i = wake_queue.pop_front().expect("non-empty");
+            return Op::FutexWake(park_key(i), 1);
+        }
+        Op::Sleep(Ns::from_ms(10))
+    });
+    // The runtime task lives on core 0 with the dispatcher.
+    let rt_class = if enoki { class } else { bed.class_idx };
+    bed.machine.spawn(
+        TaskSpec::new("runtime", rt_class, runtime)
+            .affinity(CpuSet::single(0))
+            .precise(),
+    );
+
+    let disp_class = bed.class_idx;
+    spawn_dispatcher(&mut bed, disp_class, cfg, queue, arrivals, false);
+
+    bed.machine.run_until(cfg.warmup).expect("no kernel panic");
+    measuring.with_mut(|v| *v = true);
+    bed.machine
+        .run_until(cfg.warmup + cfg.duration)
+        .expect("no kernel panic");
+
+    MemcachedResult {
+        p99: hist.quantile(0.99).unwrap_or(Ns::ZERO),
+        p50: hist.quantile(0.50).unwrap_or(Ns::ZERO),
+        completed: completed.with_ref(|c| *c),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(server: MemcachedServer, rps: u64) -> MemcachedResult {
+        let mut cfg = MemcachedConfig::at(rps);
+        cfg.warmup = Ns::from_ms(100);
+        cfg.duration = Ns::from_ms(400);
+        run_memcached(server, cfg)
+    }
+
+    #[test]
+    fn cfs_pool_serves_requests() {
+        let r = quick(MemcachedServer::Cfs, 100_000);
+        assert!(r.completed > 20_000, "completed={}", r.completed);
+        assert!(r.p50 < Ns::from_us(200), "p50={}", r.p50);
+    }
+
+    #[test]
+    fn enoki_arachne_serves_requests() {
+        let r = quick(MemcachedServer::EnokiArachne, 100_000);
+        assert!(r.completed > 20_000, "completed={}", r.completed);
+        assert!(r.p99 < Ns::from_ms(5), "p99={}", r.p99);
+    }
+
+    #[test]
+    fn original_arachne_serves_requests() {
+        let r = quick(MemcachedServer::Arachne, 100_000);
+        assert!(r.completed > 20_000, "completed={}", r.completed);
+    }
+
+    #[test]
+    fn arachne_core_count_scales_with_load() {
+        // The runtime grows its core grant with offered load, so served
+        // throughput tracks a 4x load increase with a bounded tail. Use
+        // a long enough window for the control loop to converge and the
+        // scale-up backlog to drain.
+        let run = |rps: u64| {
+            let mut cfg = MemcachedConfig::at(rps);
+            cfg.warmup = Ns::from_ms(400);
+            cfg.duration = Ns::from_ms(800);
+            run_memcached(MemcachedServer::EnokiArachne, cfg)
+        };
+        let lo = run(60_000);
+        let hi = run(240_000);
+        let ratio = hi.completed as f64 / lo.completed.max(1) as f64;
+        assert!(
+            (3.2..4.8).contains(&ratio),
+            "completions must track a 4x load increase, ratio={ratio}"
+        );
+        // And the tail stays bounded while scaling up.
+        assert!(hi.p99 < Ns::from_ms(2), "p99={}", hi.p99);
+    }
+
+    #[test]
+    fn arachne_beats_cfs_at_high_load() {
+        let cfs = quick(MemcachedServer::Cfs, 300_000);
+        let ar = quick(MemcachedServer::EnokiArachne, 300_000);
+        assert!(
+            ar.p99 < cfs.p99,
+            "Enoki-Arachne p99 {} should beat CFS {} at high load",
+            ar.p99,
+            cfs.p99
+        );
+    }
+}

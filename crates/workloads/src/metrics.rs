@@ -1,0 +1,146 @@
+//! Shared measurement plumbing for workloads.
+//!
+//! Workload behaviors run on the single simulator thread and share
+//! measurement state with their harness through `Rc<RefCell<_>>` handles.
+
+use enoki_sim::stats::Histogram;
+use enoki_sim::Ns;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A shared latency histogram handle.
+#[derive(Clone, Default)]
+pub struct SharedHist {
+    inner: Rc<RefCell<Histogram>>,
+}
+
+impl SharedHist {
+    /// Creates an empty shared histogram.
+    pub fn new() -> SharedHist {
+        SharedHist::default()
+    }
+
+    /// Records a sample.
+    pub fn record(&self, v: Ns) {
+        self.inner.borrow_mut().record(v);
+    }
+
+    /// Quantile of the recorded samples.
+    pub fn quantile(&self, q: f64) -> Option<Ns> {
+        self.inner.borrow().quantile(q)
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.inner.borrow().count()
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> Option<Ns> {
+        self.inner.borrow().mean()
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Ns {
+        self.inner.borrow().max()
+    }
+
+    /// Clears the samples (end of warmup).
+    pub fn reset(&self) {
+        self.inner.borrow_mut().reset();
+    }
+}
+
+/// A shared counter handle.
+#[derive(Clone, Default)]
+pub struct SharedCounter {
+    inner: Rc<RefCell<u64>>,
+}
+
+impl SharedCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> SharedCounter {
+        SharedCounter::default()
+    }
+
+    /// Adds to the counter.
+    pub fn add(&self, v: u64) {
+        *self.inner.borrow_mut() += v;
+    }
+
+    /// Reads the counter.
+    pub fn get(&self) -> u64 {
+        *self.inner.borrow()
+    }
+
+    /// Resets the counter.
+    pub fn reset(&self) {
+        *self.inner.borrow_mut() = 0;
+    }
+}
+
+/// A shared cell for arbitrary workload state.
+#[derive(Clone, Default)]
+pub struct SharedCell<T> {
+    inner: Rc<RefCell<T>>,
+}
+
+impl<T: Default> SharedCell<T> {
+    /// Creates a cell holding `T::default()`.
+    pub fn new() -> SharedCell<T> {
+        SharedCell::default()
+    }
+}
+
+impl<T> SharedCell<T> {
+    /// Creates a cell holding `value`.
+    pub fn with(value: T) -> SharedCell<T> {
+        SharedCell {
+            inner: Rc::new(RefCell::new(value)),
+        }
+    }
+
+    /// Runs `f` with mutable access to the value.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.inner.borrow_mut())
+    }
+
+    /// Runs `f` with shared access to the value.
+    pub fn with_ref<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        f(&self.inner.borrow())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_hist_records_across_clones() {
+        let h = SharedHist::new();
+        let h2 = h.clone();
+        h.record(Ns(100));
+        h2.record(Ns(200));
+        assert_eq!(h.count(), 2);
+        h.reset();
+        assert_eq!(h2.count(), 0);
+    }
+
+    #[test]
+    fn shared_counter() {
+        let c = SharedCounter::new();
+        let c2 = c.clone();
+        c.add(5);
+        c2.add(7);
+        assert_eq!(c.get(), 12);
+        c.reset();
+        assert_eq!(c2.get(), 0);
+    }
+
+    #[test]
+    fn shared_cell() {
+        let cell: SharedCell<Vec<u32>> = SharedCell::new();
+        cell.with_mut(|v| v.push(3));
+        assert_eq!(cell.with_ref(|v| v[0]), 3);
+    }
+}

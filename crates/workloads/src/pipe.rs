@@ -1,0 +1,235 @@
+//! The `perf bench sched pipe` microbenchmark (paper Table 3).
+//!
+//! Two tasks bounce messages through a pair of pipes; after each message
+//! the sender sleeps until the peer responds. The benchmark reports µs per
+//! wakeup. Run with the pair on separate cores (the default placement on
+//! every scheduler) or forced onto one core.
+//!
+//! The Arachne row is special: its userspace runtime manages *user-level
+//! threads*, so a "message" is a user-level context switch with no kernel
+//! involvement (paper: "The Enoki version of Arachne is much faster than
+//! the others because it uses userspace threads instead of processes for
+//! blocking and waking threads"). See [`run_arachne_pipe`].
+
+use crate::testbed::{build, BedOptions, SchedKind, TestBed};
+use enoki_sched::arbiter::{park_key, HINT_CORE_REQUEST, HINT_JOIN};
+use enoki_sim::behavior::{Op, ProgramBehavior};
+use enoki_sim::{CostModel, CpuSet, HintVal, Ns, TaskSpec, Topology};
+
+/// Result of a pipe benchmark run.
+#[derive(Clone, Copy, Debug)]
+pub struct PipeResult {
+    /// Average microseconds per message (per wakeup).
+    pub us_per_msg: f64,
+    /// Total messages exchanged.
+    pub messages: u64,
+}
+
+/// Configuration for the pipe benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct PipeConfig {
+    /// Round trips (each round trip is two messages).
+    pub round_trips: u64,
+    /// Force both tasks onto one core.
+    pub one_core: bool,
+}
+
+impl Default for PipeConfig {
+    fn default() -> PipeConfig {
+        // The real benchmark sends 1M messages; 20k round trips give
+        // stable averages in simulation at a fraction of the event count.
+        PipeConfig {
+            round_trips: 20_000,
+            one_core: false,
+        }
+    }
+}
+
+/// Runs the pipe benchmark on a scheduler configuration.
+pub fn run_pipe(kind: SchedKind, cfg: PipeConfig) -> PipeResult {
+    if kind == SchedKind::Arbiter {
+        return run_arachne_pipe(cfg);
+    }
+    let mut bed = build(
+        Topology::i7_9700(),
+        CostModel::calibrated(),
+        kind,
+        BedOptions::default(),
+    );
+    run_pipe_on(&mut bed, cfg)
+}
+
+/// Runs the pipe benchmark on an already built testbed.
+pub fn run_pipe_on(bed: &mut TestBed, cfg: PipeConfig) -> PipeResult {
+    let m = &mut bed.machine;
+    let ab = m.create_pipe();
+    let ba = m.create_pipe();
+    let aff = if cfg.one_core {
+        Some(CpuSet::single(0))
+    } else {
+        None
+    };
+    let mk = |spec: TaskSpec| match aff {
+        Some(a) => spec.affinity(a),
+        None => spec,
+    };
+    let ping = m.spawn(mk(TaskSpec::new(
+        "ping",
+        bed.class_idx,
+        Box::new(ProgramBehavior::repeat(
+            vec![Op::PipeWrite(ab), Op::PipeRead(ba)],
+            cfg.round_trips,
+        )),
+    )));
+    let pong = m.spawn(mk(TaskSpec::new(
+        "pong",
+        bed.class_idx,
+        Box::new(ProgramBehavior::repeat(
+            vec![Op::PipeRead(ab), Op::PipeWrite(ba)],
+            cfg.round_trips,
+        )),
+    )));
+    // Run until the pair exits (spinning ghOSt agents keep the machine
+    // busy forever, so poll in chunks instead of running to quiescence).
+    crate::run_until_dead(m, &[ping, pong], Ns::from_secs(600));
+    let end = [ping, pong]
+        .iter()
+        .filter_map(|&p| m.task(p).exited_at)
+        .max()
+        .expect("benchmark completed");
+    let messages = cfg.round_trips * 2;
+    PipeResult {
+        us_per_msg: end.as_nanos() as f64 / messages as f64 / 1000.0,
+        messages,
+    }
+}
+
+/// The Arachne pipe benchmark: the "tasks" are user-level threads inside
+/// scheduler activations granted cores by the Enoki core arbiter.
+///
+/// One core: both user threads share one activation; a message is a
+/// user-level switch. Two cores: one activation per core; a message
+/// additionally crosses a shared-memory line between the cores.
+pub fn run_arachne_pipe(cfg: PipeConfig) -> PipeResult {
+    let mut bed = build(
+        Topology::i7_9700(),
+        CostModel::calibrated(),
+        SchedKind::Arbiter,
+        BedOptions::default(),
+    );
+    let m = &mut bed.machine;
+    let costs = m.costs().clone();
+    // User-level switch: swap registers + stack in userspace (~50 ns) plus
+    // the runtime's dispatch bookkeeping.
+    let user_switch = Ns(50);
+    let messages = cfg.round_trips * 2;
+    let nr_acts = if cfg.one_core { 1u64 } else { 2 };
+    // Per message on one activation: two user-thread switches per round
+    // trip = one per message. Across two activations: the cacheline
+    // carrying the message bounces between the cores.
+    let per_msg = if cfg.one_core {
+        user_switch
+    } else {
+        user_switch + costs.cacheline_bounce / 4
+    };
+    let total_work = Ns(per_msg.as_nanos() * messages / nr_acts);
+
+    // Activations join app 1 and park; the runtime requests cores; each
+    // activation then executes the user-level message loop as compute.
+    for i in 0..nr_acts {
+        let pid_hint = i as i64;
+        m.spawn(TaskSpec::new(
+            format!("act{i}"),
+            bed.class_idx,
+            Box::new(ProgramBehavior::once(vec![
+                Op::Hint(HintVal {
+                    kind: HINT_JOIN,
+                    a: 1,
+                    b: pid_hint,
+                    c: 0,
+                }),
+                Op::FutexWait(park_key(i as usize)),
+                Op::Compute(total_work),
+            ])),
+        ));
+    }
+    m.spawn(
+        TaskSpec::new(
+            "runtime",
+            bed.class_idx,
+            Box::new(ProgramBehavior::once(vec![Op::Hint(HintVal {
+                kind: HINT_CORE_REQUEST,
+                a: 1,
+                b: nr_acts as i64,
+                c: 0,
+            })])),
+        )
+        .at(Ns::from_us(10)),
+    );
+    let acts: Vec<usize> = (0..nr_acts as usize).collect();
+    crate::run_until_dead(m, &acts, Ns::from_secs(600));
+    let end = (0..nr_acts as usize)
+        .filter_map(|p| m.task(p).exited_at)
+        .max()
+        .expect("activations completed");
+    let start = Ns::from_us(10);
+    let elapsed = end.saturating_sub(start);
+    PipeResult {
+        us_per_msg: elapsed.as_nanos() as f64 / messages as f64 / 1000.0,
+        messages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(kind: SchedKind, one_core: bool) -> f64 {
+        run_pipe(
+            kind,
+            PipeConfig {
+                round_trips: 3_000,
+                one_core,
+            },
+        )
+        .us_per_msg
+    }
+
+    #[test]
+    fn cfs_latency_in_paper_band() {
+        let one = quick(SchedKind::Cfs, true);
+        let two = quick(SchedKind::Cfs, false);
+        // Paper: 3.0 µs (one core), 3.6 µs (two cores).
+        assert!((1.5..5.0).contains(&one), "one-core {one} µs");
+        assert!((1.5..6.0).contains(&two), "two-core {two} µs");
+        assert!(two > one, "cross-core must be slower: {two} vs {one}");
+    }
+
+    #[test]
+    fn wfq_close_to_cfs_but_slower() {
+        let cfs = quick(SchedKind::Cfs, true);
+        let wfq = quick(SchedKind::Wfq, true);
+        // Enoki adds ~0.4-0.6 µs of framework overhead per message.
+        assert!(wfq > cfs, "wfq {wfq} must exceed cfs {cfs}");
+        assert!(wfq < cfs + 1.5, "wfq {wfq} too far above cfs {cfs}");
+    }
+
+    #[test]
+    fn ghost_much_slower_than_enoki() {
+        let wfq = quick(SchedKind::Wfq, false);
+        let sol = quick(SchedKind::GhostSol, false);
+        assert!(
+            sol > wfq + 0.5,
+            "ghOSt SOL {sol} should be well above WFQ {wfq}"
+        );
+    }
+
+    #[test]
+    fn arachne_is_fastest() {
+        let ar = quick(SchedKind::Arbiter, true);
+        assert!(
+            ar < 0.5,
+            "arachne user-level messages should be ~0.1 µs, got {ar}"
+        );
+    }
+}

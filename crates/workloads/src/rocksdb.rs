@@ -1,0 +1,288 @@
+//! The RocksDB dispersive-load benchmark (paper Figure 2, §5.4).
+//!
+//! An in-memory store served by 50 worker tasks on five cores receives
+//! 99.5% GET requests (4 µs) and 0.5% range queries (10 ms) from an
+//! open-loop Poisson load generator on a reserved core. A second reserved
+//! core hosts background work, and a third hosts the scheduler agent when
+//! one is needed (ghOSt). Optionally a batch application is co-located on
+//! the worker cores: RocksDB runs at high priority (nice −20 under CFS),
+//! the batch app at nice 19 (paper Figure 2b/2c).
+
+use crate::metrics::{SharedCell, SharedHist};
+use crate::testbed::{build, BedOptions, SchedKind};
+use enoki_sim::behavior::{closure_behavior, Op};
+use enoki_sim::{CostModel, CpuSet, Ns, TaskSpec, Topology};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// GET service time (paper: "each GET is assigned to take 4 µs").
+pub const GET_SERVICE: Ns = Ns::from_us(4);
+/// Range-query service time (paper: 10 ms).
+pub const RANGE_SERVICE: Ns = Ns::from_ms(10);
+/// Fraction of range queries (paper: 0.5%).
+pub const RANGE_FRACTION: f64 = 0.005;
+/// Worker task count (paper: 50 workers on five cores).
+pub const NR_WORKERS: usize = 50;
+
+const WORK_KEY: u64 = 0x20CD_B000;
+
+/// Configuration for one RocksDB measurement point.
+#[derive(Clone, Copy, Debug)]
+pub struct RocksConfig {
+    /// Offered load in requests per second.
+    pub load_rps: u64,
+    /// Co-locate a batch application on the worker cores.
+    pub with_batch: bool,
+    /// Warmup excluded from percentiles.
+    pub warmup: Ns,
+    /// Measurement window.
+    pub duration: Ns,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RocksConfig {
+    /// A measurement point at `load_rps` requests/second.
+    pub fn at(load_rps: u64) -> RocksConfig {
+        RocksConfig {
+            load_rps,
+            with_batch: false,
+            warmup: Ns::from_ms(300),
+            duration: Ns::from_secs(1),
+            seed: 0xDB,
+        }
+    }
+
+    /// Adds the co-located batch application.
+    pub fn with_batch(mut self) -> RocksConfig {
+        self.with_batch = true;
+        self
+    }
+}
+
+/// Result of one measurement point.
+#[derive(Clone, Copy, Debug)]
+pub struct RocksResult {
+    /// 99th percentile request latency.
+    pub p99: Ns,
+    /// Median request latency.
+    pub p50: Ns,
+    /// Requests completed in the window.
+    pub completed: u64,
+    /// Average cpus used by the batch application during the window
+    /// (Figure 2c's y-axis).
+    pub batch_cpus: f64,
+}
+
+/// Runs one RocksDB measurement point on a scheduler configuration.
+pub fn run_rocksdb(kind: SchedKind, cfg: RocksConfig) -> RocksResult {
+    let topo = Topology::i7_9700();
+    let nr = topo.nr_cpus();
+    // Core plan (paper §5.4): cpu 0 background, cpu 1 load generator,
+    // cpu 7 scheduler agent (ghOSt), cpus 2..=6 workers.
+    let worker_cpus = CpuSet::from_iter(2..7);
+    let opts = BedOptions {
+        with_cfs_below: true,
+        shinjuku_workers: Some(worker_cpus),
+        ..BedOptions::default()
+    };
+    let mut bed = build(topo, CostModel::calibrated_no_slack(), kind, opts);
+    let serve_class = bed.class_idx;
+    let cfs_class = bed.cfs_idx.expect("cfs stacked below");
+    let m = &mut bed.machine;
+    let _ = nr;
+
+    let queue: SharedCell<VecDeque<(Ns, Ns)>> = SharedCell::new();
+    let hist = SharedHist::new();
+    let completed = SharedCell::with(0u64);
+    let measuring = SharedCell::with(false);
+
+    // Load generator on cpu 1 (CFS, precise pacing on a self-correcting
+    // Poisson clock so generator overhead does not dilute the load).
+    let inter_arrival = 1_000_000_000.0 / cfg.load_rps as f64;
+    let q = queue.clone();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut next_at = Ns::ZERO;
+    let mut sleeping_done = false;
+    let dispatcher = closure_behavior(move |ctx| {
+        if sleeping_done {
+            // The arrival instant: publish the request and kick a worker.
+            sleeping_done = false;
+            let service = if rng.gen_bool(RANGE_FRACTION) {
+                RANGE_SERVICE
+            } else {
+                GET_SERVICE
+            };
+            q.with_mut(|q| q.push_back((ctx.now, service)));
+            return Op::FutexWake(WORK_KEY, 1);
+        }
+        // Pace to the next Poisson arrival on an absolute clock, so the
+        // generator's own overhead does not dilute the offered load.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let gap = (-u.ln() * inter_arrival) as u64;
+        if next_at.is_zero() {
+            next_at = ctx.now;
+        }
+        next_at += Ns(gap);
+        sleeping_done = true;
+        if next_at > ctx.now {
+            Op::Sleep(next_at - ctx.now)
+        } else {
+            Op::Compute(Ns(0))
+        }
+    });
+    m.spawn(
+        TaskSpec::new("dispatcher", cfs_class, dispatcher)
+            .affinity(CpuSet::single(1))
+            .precise()
+            .nice(-20),
+    );
+
+    // Workers.
+    let mut worker_nice = 0;
+    if kind == SchedKind::Cfs {
+        worker_nice = -20; // paper: RocksDB at nice −20 under CFS
+    }
+    for i in 0..NR_WORKERS {
+        let q = queue.clone();
+        let h = hist.clone();
+        let done = completed.clone();
+        let meas = measuring.clone();
+        let mut inflight: Option<Ns> = None;
+        let behavior = closure_behavior(move |ctx| {
+            if let Some(arrived) = inflight.take() {
+                if meas.with_ref(|m| *m) {
+                    h.record(ctx.now.saturating_sub(arrived));
+                    done.with_mut(|d| *d += 1);
+                }
+            }
+            match q.with_mut(|q| q.pop_front()) {
+                Some((arrived, service)) => {
+                    inflight = Some(arrived);
+                    Op::Compute(service)
+                }
+                None => Op::FutexWait(WORK_KEY),
+            }
+        });
+        m.spawn(
+            TaskSpec::new(format!("worker{i}"), serve_class, behavior)
+                .affinity(worker_cpus)
+                .nice(worker_nice)
+                .tag(2),
+        );
+    }
+
+    // Batch application: five always-runnable tasks on the worker cores.
+    let mut batch_pids = Vec::new();
+    if cfg.with_batch {
+        // Under ghOSt the batch runs as low-priority ghost tasks; under
+        // CFS/Enoki it runs on CFS at nice 19 (paper §5.4).
+        let (batch_class, batch_nice) = match kind {
+            SchedKind::GhostShinjuku | SchedKind::GhostSol | SchedKind::GhostPerCpuFifo => {
+                (serve_class, 19)
+            }
+            _ => (cfs_class, 19),
+        };
+        for i in 0..5 {
+            let behavior = closure_behavior(move |_ctx| Op::Compute(Ns::from_ms(1)));
+            batch_pids.push(
+                m.spawn(
+                    TaskSpec::new(format!("batch{i}"), batch_class, behavior)
+                        .affinity(worker_cpus)
+                        .nice(batch_nice),
+                ),
+            );
+        }
+    }
+
+    m.run_until(cfg.warmup).expect("no kernel panic");
+    let batch_rt_start: Ns = batch_pids.iter().map(|&p| m.task(p).runtime).sum();
+    measuring.with_mut(|v| *v = true);
+    m.run_until(cfg.warmup + cfg.duration)
+        .expect("no kernel panic");
+    let batch_rt_end: Ns = batch_pids.iter().map(|&p| m.task(p).runtime).sum();
+
+    let batch_cpus =
+        (batch_rt_end - batch_rt_start).as_nanos() as f64 / cfg.duration.as_nanos() as f64;
+    RocksResult {
+        p99: hist.quantile(0.99).unwrap_or(Ns::ZERO),
+        p50: hist.quantile(0.50).unwrap_or(Ns::ZERO),
+        completed: completed.with_ref(|c| *c),
+        batch_cpus,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(kind: SchedKind, rps: u64, batch: bool) -> RocksResult {
+        let mut cfg = RocksConfig::at(rps);
+        cfg.warmup = Ns::from_ms(100);
+        cfg.duration = Ns::from_ms(500);
+        if batch {
+            cfg = cfg.with_batch();
+        }
+        run_rocksdb(kind, cfg)
+    }
+
+    #[test]
+    fn low_load_everyone_is_fast() {
+        let r = quick(SchedKind::Shinjuku, 20_000, false);
+        assert!(r.completed > 5_000, "completed={}", r.completed);
+        assert!(r.p50 < Ns::from_us(50), "p50={}", r.p50);
+    }
+
+    #[test]
+    fn shinjuku_beats_cfs_at_high_load() {
+        let cfs = quick(SchedKind::Cfs, 70_000, false);
+        let shin = quick(SchedKind::Shinjuku, 70_000, false);
+        assert!(
+            shin.p99 * 5 < cfs.p99,
+            "Shinjuku p99 {} should be far below CFS {}",
+            shin.p99,
+            cfs.p99
+        );
+    }
+
+    #[test]
+    fn batch_gets_cpu_under_enoki_and_cfs() {
+        let shin = quick(SchedKind::Shinjuku, 40_000, true);
+        // ~40k × 4µs GETs + scans ≈ 2.2 cores of serving; the batch app
+        // should harvest a solid share of the remaining worker cores.
+        assert!(shin.batch_cpus > 1.0, "batch cpus {}", shin.batch_cpus);
+        let cfs = quick(SchedKind::Cfs, 40_000, true);
+        assert!(cfs.batch_cpus > 1.0, "batch cpus {}", cfs.batch_cpus);
+    }
+
+    #[test]
+    fn p99_far_exceeds_p50_with_scans_on_cfs() {
+        let r = quick(SchedKind::Cfs, 60_000, false);
+        // GETs dominate the median; the tail carries queueing behind
+        // scans.
+        assert!(r.p99 > r.p50 * 4, "p50={} p99={}", r.p50, r.p99);
+    }
+
+    #[test]
+    fn throughput_tracks_offered_load_until_saturation() {
+        let lo = quick(SchedKind::Shinjuku, 20_000, false);
+        let hi = quick(SchedKind::Shinjuku, 60_000, false);
+        // Completions scale ~3x with a 3x load increase (no drops below
+        // saturation).
+        let ratio = hi.completed as f64 / lo.completed.max(1) as f64;
+        assert!((2.5..3.5).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn ghost_batch_share_is_lower() {
+        let enoki = quick(SchedKind::Shinjuku, 40_000, true);
+        let ghost = quick(SchedKind::GhostShinjuku, 40_000, true);
+        assert!(
+            ghost.batch_cpus < enoki.batch_cpus,
+            "ghOSt batch {} should trail Enoki {}",
+            ghost.batch_cpus,
+            enoki.batch_cpus
+        );
+    }
+}

@@ -1,0 +1,397 @@
+//! The schbench benchmark (paper Tables 4 and 6).
+//!
+//! Schbench starts message threads and worker threads; each message thread
+//! wakes its workers, the workers respond, and the benchmark reports
+//! percentiles of worker wakeup latency. The futex wake path famously does
+//! not set `WF_SYNC`, so Linux cannot detect the message/worker affinity
+//! (paper §5.5).
+//!
+//! Two variants are implemented:
+//! - [`Variant::Standard`]: wake-to-run latency (Table 4, scalability);
+//! - [`Variant::Response`]: the paper's modified schbench (Table 6) —
+//!   workers touch data the message thread produced, so the measured
+//!   wake-to-response latency includes the cold-cache penalty unless the
+//!   scheduler co-locates each message thread with its workers.
+
+use crate::metrics::{SharedCell, SharedHist};
+use crate::testbed::TestBed;
+use enoki_sched::locality::HINT_LOCALITY;
+use enoki_sim::behavior::{closure_behavior, HintVal, Op};
+use enoki_sim::{CpuSet, Ns, TaskSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Which latency schbench reports.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Variant {
+    /// Wake-to-first-run latency of the workers.
+    Standard,
+    /// Wake-to-response latency including the workers' (cache-sensitive)
+    /// unit of work.
+    Response,
+}
+
+/// Schbench configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SchbenchConfig {
+    /// Number of message threads.
+    pub msg_threads: usize,
+    /// Workers per message thread.
+    pub workers_per_msg: usize,
+    /// Warmup time excluded from percentiles (paper: 5 s).
+    pub warmup: Ns,
+    /// Measurement window (paper: 30 s).
+    pub duration: Ns,
+    /// Latency variant.
+    pub variant: Variant,
+    /// Per-round worker work unit (Response variant).
+    pub work_unit: Ns,
+    /// Send locality hints grouping each message thread with its workers.
+    pub hints: bool,
+    /// Pin every thread to one core (the cgroup comparison in Table 6).
+    pub one_core: bool,
+}
+
+impl SchbenchConfig {
+    /// Table 4 configuration: `m` message threads, `w` workers each.
+    pub fn table4(m: usize, w: usize) -> SchbenchConfig {
+        SchbenchConfig {
+            msg_threads: m,
+            workers_per_msg: w,
+            warmup: Ns::from_secs(1),
+            duration: Ns::from_secs(4),
+            variant: Variant::Standard,
+            work_unit: Ns::from_us(1),
+            hints: false,
+            one_core: false,
+        }
+    }
+
+    /// Table 6 configuration: two message threads, two workers each.
+    pub fn table6() -> SchbenchConfig {
+        SchbenchConfig {
+            msg_threads: 2,
+            workers_per_msg: 2,
+            warmup: Ns::from_secs(1),
+            duration: Ns::from_secs(4),
+            variant: Variant::Response,
+            work_unit: Ns(500),
+            hints: false,
+            one_core: false,
+        }
+    }
+}
+
+/// Schbench percentiles.
+#[derive(Clone, Copy, Debug)]
+pub struct SchbenchResult {
+    /// Median latency.
+    pub p50: Ns,
+    /// 99th percentile latency.
+    pub p99: Ns,
+    /// Rounds completed in the measurement window.
+    pub rounds: u64,
+}
+
+const REPLY_KEY_BASE: u64 = 0x5CB0_0000_0000_0000;
+const WORKER_KEY_BASE: u64 = 0x5CB1_0000_0000_0000;
+
+fn reply_key(group: usize) -> u64 {
+    REPLY_KEY_BASE | group as u64
+}
+
+fn worker_key(group: usize, w: usize) -> u64 {
+    WORKER_KEY_BASE | ((group as u64) << 16) | w as u64
+}
+
+/// Runs schbench on a prepared testbed.
+pub fn run_schbench(bed: &mut TestBed, cfg: SchbenchConfig) -> SchbenchResult {
+    let hist = SharedHist::new();
+    let rounds = SharedCell::with(0u64);
+    // round_start[group] is written by the message thread at the start of
+    // each round and read by its workers.
+    let round_start = SharedCell::with(vec![Ns::ZERO; cfg.msg_threads]);
+    let measuring = SharedCell::with(false);
+
+    let aff = cfg.one_core.then(|| CpuSet::single(0));
+    let class = bed.class_idx;
+    let m = &mut bed.machine;
+
+    for g in 0..cfg.msg_threads {
+        // Predict pids: tasks are spawned in a fixed order.
+        let msg_pid = m.nr_tasks();
+        let worker_pids: Vec<usize> = (0..cfg.workers_per_msg).map(|w| msg_pid + 1 + w).collect();
+
+        // Message thread: optionally hint co-location for the whole group,
+        // then run wake/collect rounds forever.
+        let nw = cfg.workers_per_msg;
+        let rs = round_start.clone();
+        let rd = rounds.clone();
+        let meas = measuring.clone();
+        let mut phase = 0usize; // 0..hints, then round ops
+        let mut hinted = 0usize;
+        let mut rng = SmallRng::seed_from_u64(0x5CB0 + g as u64);
+        let group_members: Vec<usize> = std::iter::once(msg_pid)
+            .chain(worker_pids.iter().copied())
+            .collect();
+        let msg_behavior = closure_behavior(move |ctx| {
+            if cfg.hints && hinted < group_members.len() {
+                let pid = group_members[hinted];
+                hinted += 1;
+                return Op::Hint(HintVal {
+                    kind: HINT_LOCALITY,
+                    a: pid as i64,
+                    b: g as i64,
+                    c: 0,
+                });
+            }
+            // Round structure: wake all workers, then wait for all
+            // replies, then loop.
+            let steps = nw + nw; // wakes then waits
+            let step = phase % (steps + 1);
+            phase += 1;
+            if step == 0 {
+                rs.with_mut(|v| v[g] = ctx.now);
+                if meas.with_ref(|m| *m) {
+                    rd.with_mut(|r| *r += 1);
+                }
+                // Fall through to the first wake immediately.
+            }
+            if step < nw {
+                Op::FutexWake(worker_key(g, step), 1)
+            } else if step < steps {
+                Op::FutexWait(reply_key(g))
+            } else {
+                // Message-thread bookkeeping between rounds (schbench's
+                // message loop records results and prepares the next
+                // round); this is what competes with workers when every
+                // thread shares one core. Jittered so the groups' rounds
+                // drift in and out of phase, producing a realistic tail.
+                let base = match cfg.variant {
+                    Variant::Standard => 1_000,
+                    Variant::Response => 3_000,
+                };
+                Op::Compute(Ns(base + rng.gen_range(0..2 * base)))
+            }
+        });
+        let mut spec = TaskSpec::new(format!("msg{g}"), class, msg_behavior);
+        if let Some(a) = aff {
+            spec = spec.affinity(a);
+        }
+        let spawned = m.spawn(spec);
+        debug_assert_eq!(spawned, msg_pid);
+
+        for w in 0..cfg.workers_per_msg {
+            let rs = round_start.clone();
+            let h = hist.clone();
+            let meas = measuring.clone();
+            let variant = cfg.variant;
+            let work = cfg.work_unit;
+            let mut step = 0usize;
+            let mut woke_at_start = Ns::ZERO;
+            let worker_behavior = closure_behavior(move |ctx| {
+                // Cycle: FutexWait -> (record | work) -> reply.
+                let s = step;
+                step += 1;
+                match (variant, s % 3) {
+                    (_, 0) => Op::FutexWait(worker_key(g, w)),
+                    (Variant::Standard, 1) => {
+                        // Wake-to-run latency, measured at first run.
+                        let start = rs.with_ref(|v| v[g]);
+                        if meas.with_ref(|m| *m) {
+                            h.record(ctx.now.saturating_sub(start));
+                        }
+                        Op::Compute(work)
+                    }
+                    (Variant::Response, 1) => {
+                        woke_at_start = rs.with_ref(|v| v[g]);
+                        Op::Compute(work)
+                    }
+                    (Variant::Response, 2) => {
+                        // Wake-to-response: includes the (possibly cold)
+                        // work unit.
+                        if meas.with_ref(|m| *m) {
+                            h.record(ctx.now.saturating_sub(woke_at_start));
+                        }
+                        Op::FutexWake(reply_key(g), 1)
+                    }
+                    (_, _) => Op::FutexWake(reply_key(g), 1),
+                }
+            });
+            let mut spec = TaskSpec::new(format!("w{g}.{w}"), class, worker_behavior).tag(1);
+            if cfg.variant == Variant::Response {
+                spec = spec.cache_sensitive();
+            }
+            if let Some(a) = aff {
+                spec = spec.affinity(a);
+            }
+            let spawned = m.spawn(spec);
+            debug_assert_eq!(spawned, worker_pids[w]);
+        }
+    }
+
+    m.run_until(cfg.warmup).expect("no kernel panic");
+    m.reset_latency_stats();
+    hist.reset();
+    measuring.with_mut(|v| *v = true);
+    m.run_until(cfg.warmup + cfg.duration)
+        .expect("no kernel panic");
+
+    SchbenchResult {
+        p50: hist.quantile(0.50).unwrap_or(Ns::ZERO),
+        p99: hist.quantile(0.99).unwrap_or(Ns::ZERO),
+        rounds: rounds.with_ref(|r| *r),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::{build, BedOptions, SchedKind};
+    use enoki_sim::{CostModel, Topology};
+
+    fn quick(kind: SchedKind, cfg: SchbenchConfig, big: bool) -> SchbenchResult {
+        let topo = if big {
+            Topology::xeon_6138_2s()
+        } else {
+            Topology::i7_9700()
+        };
+        let mut bed = build(topo, CostModel::calibrated(), kind, BedOptions::default());
+        run_schbench(&mut bed, cfg)
+    }
+
+    fn short(mut cfg: SchbenchConfig) -> SchbenchConfig {
+        cfg.warmup = Ns::from_ms(100);
+        cfg.duration = Ns::from_ms(800);
+        cfg
+    }
+
+    #[test]
+    fn standard_schbench_measures_latency() {
+        let r = quick(SchedKind::Cfs, short(SchbenchConfig::table4(2, 2)), false);
+        assert!(r.rounds > 100, "rounds={}", r.rounds);
+        assert!(r.p50 > Ns::ZERO);
+        assert!(r.p99 >= r.p50);
+        assert!(r.p99 < Ns::from_ms(1), "p99={}", r.p99);
+    }
+
+    #[test]
+    fn ghost_tail_blows_up_under_load() {
+        let cfs = quick(SchedKind::Cfs, short(SchbenchConfig::table4(2, 8)), false);
+        let sol = quick(
+            SchedKind::GhostSol,
+            short(SchbenchConfig::table4(2, 8)),
+            false,
+        );
+        assert!(
+            sol.p99 > cfs.p99 * 2,
+            "ghOSt p99 {} should be well above CFS {}",
+            sol.p99,
+            cfs.p99
+        );
+    }
+
+    #[test]
+    fn response_variant_pays_cold_cache_on_cfs() {
+        let cfs = quick(SchedKind::Cfs, short(SchbenchConfig::table6()), false);
+        let penalty = CostModel::calibrated().cold_wake_penalty;
+        // CFS spreads workers, so responses include the cold penalty.
+        assert!(cfs.p50 >= penalty, "p50={} < penalty {penalty}", cfs.p50);
+    }
+
+    #[test]
+    fn hints_beat_cfs_on_table6() {
+        let cfs = quick(SchedKind::Cfs, short(SchbenchConfig::table6()), false);
+        let mut hint_cfg = short(SchbenchConfig::table6());
+        hint_cfg.hints = true;
+        let hints = quick(SchedKind::Locality, hint_cfg, false);
+        assert!(
+            hints.p99 * 2 < cfs.p99,
+            "hints p99 {} should be far below CFS {}",
+            hints.p99,
+            cfs.p99
+        );
+        assert!(
+            hints.p50 * 2 < cfs.p50,
+            "hints p50 {} vs CFS {}",
+            hints.p50,
+            cfs.p50
+        );
+    }
+
+    #[test]
+    fn one_core_trades_median_for_tail() {
+        let mut cfg = short(SchbenchConfig::table6());
+        cfg.one_core = true;
+        let pinned = quick(SchedKind::Cfs, cfg, false);
+        let spread = quick(SchedKind::Cfs, short(SchbenchConfig::table6()), false);
+        let mut hint_cfg = short(SchbenchConfig::table6());
+        hint_cfg.hints = true;
+        let hints = quick(SchedKind::Locality, hint_cfg, false);
+        // Warm cache: pinning everything beats CFS's cold spread at the
+        // median...
+        assert!(
+            pinned.p50 < spread.p50,
+            "pinned p50 {} vs spread {}",
+            pinned.p50,
+            spread.p50
+        );
+        // ...but the competition between all six threads on one core
+        // makes the tail much worse than hint-driven co-location.
+        assert!(
+            pinned.p99 > hints.p99 * 2,
+            "one-core p99 {} should dwarf hints p99 {}",
+            pinned.p99,
+            hints.p99
+        );
+    }
+}
+
+#[cfg(test)]
+mod config_tests {
+    use super::*;
+    use crate::testbed::{build, BedOptions, SchedKind};
+    use enoki_sim::{CostModel, Topology};
+
+    #[test]
+    fn table4_scales_worker_count() {
+        // More workers per message thread = more wakeups per round; the
+        // benchmark machinery must keep up without losing rounds.
+        let run = |w: usize| {
+            let mut cfg = SchbenchConfig::table4(2, w);
+            cfg.warmup = Ns::from_ms(50);
+            cfg.duration = Ns::from_ms(400);
+            let mut bed = build(
+                Topology::xeon_6138_2s(),
+                CostModel::calibrated(),
+                SchedKind::Cfs,
+                BedOptions::default(),
+            );
+            run_schbench(&mut bed, cfg)
+        };
+        let small = run(2);
+        let big = run(40);
+        assert!(small.rounds > 100);
+        assert!(big.rounds > 50);
+        // Bigger fan-out means longer rounds.
+        assert!(big.p99 >= small.p99, "big {} vs small {}", big.p99, small.p99);
+    }
+
+    #[test]
+    fn hints_are_ignored_by_hintless_schedulers() {
+        // Sending locality hints to WFQ (no queue, default parse_hint)
+        // must be harmless.
+        let mut cfg = SchbenchConfig::table6();
+        cfg.warmup = Ns::from_ms(50);
+        cfg.duration = Ns::from_ms(300);
+        cfg.hints = true;
+        let mut bed = build(
+            Topology::i7_9700(),
+            CostModel::calibrated(),
+            SchedKind::Wfq,
+            BedOptions::default(),
+        );
+        let r = run_schbench(&mut bed, cfg);
+        assert!(r.rounds > 50);
+    }
+}

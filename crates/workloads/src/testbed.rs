@@ -1,0 +1,264 @@
+//! Testbed construction: a machine with the scheduler(s) under test.
+//!
+//! Every experiment in the paper runs an application under one of a fixed
+//! set of scheduler configurations. [`build`] assembles the simulated
+//! machine for each: the scheduler under test as the top class, with a
+//! native CFS class stacked below it when the experiment co-locates
+//! background/batch work (paper §5.4: "when there are no RocksDB requests
+//! the Enoki scheduler seamlessly cedes cycles to CFS").
+
+use enoki_core::EnokiClass;
+use enoki_sched::ghost::{self, GhostConfig, GhostPolicy, GhostSetup};
+use enoki_sched::{Arbiter, Fifo, Locality, Shinjuku, Wfq};
+use enoki_sim::{CostModel, CpuSet, HintVal, Machine, Topology};
+use std::rc::Rc;
+
+/// The scheduler configurations evaluated in the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SchedKind {
+    /// Native CFS (zero framework overhead): the Linux baseline.
+    Cfs,
+    /// The Enoki WFQ scheduler.
+    Wfq,
+    /// The Enoki per-cpu FIFO scheduler.
+    Fifo,
+    /// The Enoki Shinjuku scheduler (µs-scale preemption).
+    Shinjuku,
+    /// The Enoki locality-aware scheduler (hints enabled by workloads).
+    Locality,
+    /// The Enoki Arachne core arbiter.
+    Arbiter,
+    /// ghOSt with the SOL centralized FIFO agent.
+    GhostSol,
+    /// ghOSt with per-cpu FIFO agents.
+    GhostPerCpuFifo,
+    /// ghOSt with the spinning Shinjuku agent.
+    GhostShinjuku,
+}
+
+impl SchedKind {
+    /// Display name matching the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedKind::Cfs => "CFS",
+            SchedKind::Wfq => "WFQ",
+            SchedKind::Fifo => "FIFO",
+            SchedKind::Shinjuku => "Shinjuku",
+            SchedKind::Locality => "Locality",
+            SchedKind::Arbiter => "Arachne",
+            SchedKind::GhostSol => "GhOSt SOL",
+            SchedKind::GhostPerCpuFifo => "GhOSt FIFO",
+            SchedKind::GhostShinjuku => "ghOSt-Shinjuku",
+        }
+    }
+
+    /// All schedulers in paper Table 3/4 column order.
+    pub fn table3_row() -> [SchedKind; 6] {
+        [
+            SchedKind::Cfs,
+            SchedKind::GhostSol,
+            SchedKind::GhostPerCpuFifo,
+            SchedKind::Wfq,
+            SchedKind::Shinjuku,
+            SchedKind::Locality,
+        ]
+    }
+}
+
+/// A machine plus handles to the scheduler under test.
+pub struct TestBed {
+    /// The simulated machine.
+    pub machine: Machine,
+    /// Class index workload tasks should use.
+    pub class_idx: usize,
+    /// Class index of the stacked CFS class (when requested).
+    pub cfs_idx: Option<usize>,
+    /// The Enoki dispatch handle (upgrades, hint queues, stats), when the
+    /// scheduler under test is an Enoki scheduler.
+    pub enoki: Option<Rc<EnokiClass<HintVal, HintVal>>>,
+    /// The ghOSt emulation handle, when the scheduler is a ghOSt agent.
+    pub ghost: Option<GhostSetup>,
+}
+
+/// Options for [`build`].
+#[derive(Clone, Copy, Debug)]
+pub struct BedOptions {
+    /// Stack a native CFS class below the scheduler under test.
+    pub with_cfs_below: bool,
+    /// Cpus the Shinjuku scheduler may place workers on (reserved-core
+    /// setups); `None` = all cpus.
+    pub shinjuku_workers: Option<CpuSet>,
+    /// Cpus the arbiter manages; `None` = all but cpu 0.
+    pub arbiter_cores: Option<CpuSet>,
+}
+
+impl Default for BedOptions {
+    fn default() -> BedOptions {
+        BedOptions {
+            with_cfs_below: false,
+            shinjuku_workers: None,
+            arbiter_cores: None,
+        }
+    }
+}
+
+/// Builds the testbed for a scheduler configuration.
+pub fn build(topo: Topology, costs: CostModel, kind: SchedKind, opts: BedOptions) -> TestBed {
+    let nr = topo.nr_cpus();
+    let mut machine = Machine::new(topo, costs);
+    let mut enoki = None;
+    let mut ghost = None;
+
+    let class_idx = match kind {
+        SchedKind::Cfs => {
+            let class = Rc::new(enoki_sched::cfs::native_cfs_class(nr));
+            enoki = Some(class.clone());
+            machine.add_class(class)
+        }
+        SchedKind::Wfq => {
+            let class = Rc::new(EnokiClass::load("wfq", nr, Box::new(Wfq::new(nr))));
+            enoki = Some(class.clone());
+            machine.add_class(class)
+        }
+        SchedKind::Fifo => {
+            let class = Rc::new(EnokiClass::load("fifo", nr, Box::new(Fifo::new(nr))));
+            enoki = Some(class.clone());
+            machine.add_class(class)
+        }
+        SchedKind::Shinjuku => {
+            let workers = opts.shinjuku_workers.unwrap_or_else(|| CpuSet::all(nr));
+            let class = Rc::new(EnokiClass::load(
+                "shinjuku",
+                nr,
+                Box::new(Shinjuku::with_workers(nr, workers)),
+            ));
+            enoki = Some(class.clone());
+            machine.add_class(class)
+        }
+        SchedKind::Locality => {
+            let class = Rc::new(EnokiClass::load(
+                "locality",
+                nr,
+                Box::new(Locality::new(nr)),
+            ));
+            class.register_user_queue(4096);
+            enoki = Some(class.clone());
+            machine.add_class(class)
+        }
+        SchedKind::Arbiter => {
+            let managed = opts.arbiter_cores.unwrap_or_else(|| {
+                let mut s = CpuSet::all(nr);
+                s.remove(0);
+                s
+            });
+            let class = Rc::new(EnokiClass::load(
+                "arbiter",
+                nr,
+                Box::new(Arbiter::new(nr, managed)),
+            ));
+            class.register_user_queue(4096);
+            enoki = Some(class.clone());
+            machine.add_class(class)
+        }
+        SchedKind::GhostSol => {
+            let setup = ghost::install(&mut machine, GhostConfig::new(GhostPolicy::Sol, nr));
+            let idx = setup.class_idx;
+            ghost = Some(setup);
+            idx
+        }
+        SchedKind::GhostPerCpuFifo => {
+            let setup = ghost::install(&mut machine, GhostConfig::new(GhostPolicy::PerCpuFifo, nr));
+            let idx = setup.class_idx;
+            ghost = Some(setup);
+            idx
+        }
+        SchedKind::GhostShinjuku => {
+            let setup = ghost::install(&mut machine, GhostConfig::new(GhostPolicy::Shinjuku, nr));
+            let idx = setup.class_idx;
+            ghost = Some(setup);
+            idx
+        }
+    };
+
+    let cfs_idx = if opts.with_cfs_below && kind != SchedKind::Cfs {
+        Some(machine.add_class(Rc::new(enoki_sched::cfs::native_cfs_class(nr))))
+    } else if kind == SchedKind::Cfs {
+        Some(class_idx)
+    } else {
+        None
+    };
+
+    TestBed {
+        machine,
+        class_idx,
+        cfs_idx,
+        enoki,
+        ghost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enoki_sim::behavior::{Op, ProgramBehavior};
+    use enoki_sim::{Ns, TaskSpec};
+
+    #[test]
+    fn every_kind_builds_and_runs() {
+        for kind in [
+            SchedKind::Cfs,
+            SchedKind::Wfq,
+            SchedKind::Fifo,
+            SchedKind::Shinjuku,
+            SchedKind::Locality,
+            SchedKind::GhostSol,
+            SchedKind::GhostPerCpuFifo,
+            SchedKind::GhostShinjuku,
+        ] {
+            let mut bed = build(
+                Topology::i7_9700(),
+                CostModel::calibrated(),
+                kind,
+                BedOptions::default(),
+            );
+            let pid = bed.machine.spawn(TaskSpec::new(
+                "probe",
+                bed.class_idx,
+                Box::new(ProgramBehavior::once(vec![Op::Compute(Ns::from_ms(1))])),
+            ));
+            bed.machine.run_until(Ns::from_ms(100)).unwrap();
+            assert_eq!(
+                bed.machine.task(pid).state,
+                enoki_sim::task::TaskState::Dead,
+                "{} did not run the probe",
+                kind.label()
+            );
+        }
+    }
+
+    #[test]
+    fn cfs_below_enoki_cedes_cycles() {
+        let mut bed = build(
+            Topology::i7_9700(),
+            CostModel::calibrated(),
+            SchedKind::Shinjuku,
+            BedOptions {
+                with_cfs_below: true,
+                ..BedOptions::default()
+            },
+        );
+        let cfs = bed.cfs_idx.unwrap();
+        // Only a CFS task is runnable: it gets the machine despite the
+        // Enoki class having priority.
+        let pid = bed.machine.spawn(TaskSpec::new(
+            "batch",
+            cfs,
+            Box::new(ProgramBehavior::once(vec![Op::Compute(Ns::from_ms(2))])),
+        ));
+        bed.machine.run_until(Ns::from_ms(100)).unwrap();
+        assert_eq!(
+            bed.machine.task(pid).state,
+            enoki_sim::task::TaskState::Dead
+        );
+    }
+}

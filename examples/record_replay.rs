@@ -1,0 +1,90 @@
+//! Record a scheduler run in the kernel, replay it in userspace.
+//!
+//! ```sh
+//! cargo run --release -p enoki --example record_replay
+//! ```
+//!
+//! In record mode, every call into the scheduler (with all its timing
+//! arguments), every hint, and every lock acquisition is streamed through
+//! a ring buffer to a log file by a separate writer thread. The replay
+//! utility then re-runs the *same scheduler code* in userspace — one real
+//! thread per recorded kernel thread, lock acquisitions forced into the
+//! recorded order — and validates every response against the recording
+//! (paper §3.4).
+
+use enoki::core::record;
+use enoki::core::EnokiClass;
+use enoki::replay::{replay_file, start_recording, stop_recording};
+use enoki::sched::Wfq;
+use enoki::sim::behavior::{Op, ProgramBehavior};
+use enoki::sim::{CostModel, Machine, Ns, TaskSpec, Topology};
+use std::rc::Rc;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("enoki-example-rr-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let log_path = dir.join("wfq-session.log");
+
+    // --- Record phase -------------------------------------------------
+    // Reset lock-id allocation BEFORE constructing the scheduler so the
+    // replay instance's locks line up with the recording.
+    record::reset_lock_ids();
+    let mut machine = Machine::new(Topology::i7_9700(), CostModel::calibrated());
+    machine.add_class(Rc::new(EnokiClass::load("wfq", 8, Box::new(Wfq::new(8)))));
+
+    let session = start_recording(&log_path, 1 << 20).expect("recorder");
+    let ab = machine.create_pipe();
+    let ba = machine.create_pipe();
+    machine.spawn(TaskSpec::new(
+        "ping",
+        0,
+        Box::new(ProgramBehavior::repeat(
+            vec![Op::PipeWrite(ab), Op::PipeRead(ba)],
+            2_000,
+        )),
+    ));
+    machine.spawn(TaskSpec::new(
+        "pong",
+        0,
+        Box::new(ProgramBehavior::repeat(
+            vec![Op::PipeRead(ab), Op::PipeWrite(ba)],
+            2_000,
+        )),
+    ));
+    for i in 0..6 {
+        machine.spawn(TaskSpec::new(
+            format!("bg{i}"),
+            0,
+            Box::new(ProgramBehavior::repeat(
+                vec![Op::Compute(Ns::from_us(300)), Op::Sleep(Ns::from_us(100))],
+                200,
+            )),
+        ));
+    }
+    machine
+        .run_to_completion(Ns::from_secs(30))
+        .expect("no kernel panic");
+    let records = stop_recording(session).expect("log flushed");
+    let bytes = std::fs::metadata(&log_path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "recorded {records} events ({:.1} KiB) to {}",
+        bytes as f64 / 1024.0,
+        log_path.display()
+    );
+
+    // --- Replay phase --------------------------------------------------
+    let report = replay_file(&log_path, 8, || Wfq::new(8)).expect("replay");
+    println!(
+        "replayed {} scheduler calls and {} lock acquisitions on {} userspace threads",
+        report.calls, report.lock_acquires, report.threads
+    );
+    if report.faithful() {
+        println!("replay faithful: every response matched the kernel recording");
+    } else {
+        println!("divergences detected:");
+        for d in report.divergences.iter().take(10) {
+            println!("  {d}");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,85 @@
+//! Determinism tests: the simulator is fully deterministic for a given
+//! seed, which is the foundation the record/replay guarantees sit on.
+
+use enoki::sim::Ns;
+use enoki::sim::{CostModel, Topology};
+use enoki::workloads::apps::{nas_benchmarks, phoronix_benchmarks, run_app};
+use enoki::workloads::pipe::{run_pipe, PipeConfig};
+use enoki::workloads::rocksdb::{run_rocksdb, RocksConfig};
+use enoki::workloads::schbench::{run_schbench, SchbenchConfig};
+use enoki::workloads::testbed::{build, BedOptions, SchedKind};
+
+#[test]
+fn pipe_results_are_bit_identical() {
+    for kind in [SchedKind::Cfs, SchedKind::Wfq, SchedKind::GhostSol] {
+        let a = run_pipe(
+            kind,
+            PipeConfig {
+                round_trips: 2_000,
+                one_core: false,
+            },
+        );
+        let b = run_pipe(
+            kind,
+            PipeConfig {
+                round_trips: 2_000,
+                one_core: false,
+            },
+        );
+        assert_eq!(a.us_per_msg, b.us_per_msg, "{kind:?}");
+    }
+}
+
+#[test]
+fn schbench_results_are_bit_identical() {
+    let mk = || {
+        let mut cfg = SchbenchConfig::table4(2, 4);
+        cfg.warmup = Ns::from_ms(100);
+        cfg.duration = Ns::from_ms(400);
+        let mut bed = build(
+            Topology::i7_9700(),
+            CostModel::calibrated(),
+            SchedKind::Wfq,
+            BedOptions::default(),
+        );
+        run_schbench(&mut bed, cfg)
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(a.p50, b.p50);
+    assert_eq!(a.p99, b.p99);
+    assert_eq!(a.rounds, b.rounds);
+}
+
+#[test]
+fn rocksdb_results_are_bit_identical() {
+    let mk = || {
+        let mut cfg = RocksConfig::at(40_000);
+        cfg.warmup = Ns::from_ms(100);
+        cfg.duration = Ns::from_ms(300);
+        run_rocksdb(SchedKind::Shinjuku, cfg)
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(a.p99, b.p99);
+    assert_eq!(a.completed, b.completed);
+}
+
+#[test]
+fn app_benchmarks_are_seed_deterministic_but_seed_sensitive() {
+    let bt = &nas_benchmarks()[0];
+    let a = run_app(SchedKind::Cfs, bt, 1);
+    let b = run_app(SchedKind::Cfs, bt, 1);
+    let c = run_app(SchedKind::Cfs, bt, 2);
+    assert_eq!(a.elapsed, b.elapsed);
+    assert_ne!(a.elapsed, c.elapsed, "different seeds should differ");
+}
+
+#[test]
+fn every_phoronix_model_is_deterministic() {
+    for bench in phoronix_benchmarks().iter().take(6) {
+        let a = run_app(SchedKind::Wfq, bench, 11);
+        let b = run_app(SchedKind::Wfq, bench, 11);
+        assert_eq!(a.elapsed, b.elapsed, "{}", bench.name);
+    }
+}

@@ -1,0 +1,209 @@
+//! Shape tests for every paper experiment, at reduced scale: the relative
+//! results that the paper's tables and figures report must hold in the
+//! reproduction (who wins, by roughly what factor, where crossovers are).
+
+use enoki::sim::{CostModel, Ns, Topology};
+use enoki::workloads::apps::{nas_benchmarks, run_app};
+use enoki::workloads::fairness::{equal_share, weighted_share};
+use enoki::workloads::memcached::{run_memcached, MemcachedConfig, MemcachedServer};
+use enoki::workloads::pipe::{run_pipe, PipeConfig};
+use enoki::workloads::rocksdb::{run_rocksdb, RocksConfig};
+use enoki::workloads::schbench::{run_schbench, SchbenchConfig};
+use enoki::workloads::testbed::{build, BedOptions, SchedKind};
+
+fn pipe_us(kind: SchedKind, one_core: bool) -> f64 {
+    run_pipe(
+        kind,
+        PipeConfig {
+            round_trips: 4_000,
+            one_core,
+        },
+    )
+    .us_per_msg
+}
+
+#[test]
+fn table3_ordering_holds() {
+    // CFS fastest of the kernel schedulers; Enoki WFQ within ~1 µs of it;
+    // both ghOSt variants clearly slower; Arachne an order of magnitude
+    // faster than everything (userspace threads).
+    let cfs = pipe_us(SchedKind::Cfs, true);
+    let wfq = pipe_us(SchedKind::Wfq, true);
+    let sol = pipe_us(SchedKind::GhostSol, true);
+    let fifo = pipe_us(SchedKind::GhostPerCpuFifo, true);
+    let arachne = pipe_us(SchedKind::Arbiter, true);
+    assert!(wfq > cfs && wfq < cfs + 1.5, "wfq {wfq} vs cfs {cfs}");
+    assert!(sol > wfq + 1.0, "sol {sol} vs wfq {wfq}");
+    assert!(fifo > wfq + 1.0, "fifo {fifo} vs wfq {wfq}");
+    assert!(arachne < cfs / 5.0, "arachne {arachne} vs cfs {cfs}");
+}
+
+#[test]
+fn table4_ghost_tail_collapses_at_scale() {
+    let mk = |kind| {
+        let mut cfg = SchbenchConfig::table4(2, 40);
+        cfg.warmup = Ns::from_ms(200);
+        cfg.duration = Ns::from_secs(1);
+        let mut bed = build(
+            Topology::xeon_6138_2s(),
+            CostModel::calibrated(),
+            kind,
+            BedOptions::default(),
+        );
+        run_schbench(&mut bed, cfg)
+    };
+    let cfs = mk(SchedKind::Cfs);
+    let wfq = mk(SchedKind::Wfq);
+    let sol = mk(SchedKind::GhostSol);
+    // Enoki WFQ stays within a small factor of CFS at the tail; the
+    // centralized ghOSt agent falls over by an order of magnitude.
+    assert!(wfq.p99 < cfs.p99 * 8, "wfq {} vs cfs {}", wfq.p99, cfs.p99);
+    assert!(sol.p99 > cfs.p99 * 5, "sol {} vs cfs {}", sol.p99, cfs.p99);
+}
+
+#[test]
+fn table5_wfq_within_a_few_percent_of_cfs() {
+    // Run the NAS suite (the stable half of Table 5) and check the
+    // geomean band the paper reports (0.74% mean, 8.57% worst).
+    let mut worst: f64 = 0.0;
+    let mut ratios = Vec::new();
+    for b in nas_benchmarks() {
+        let cfs = run_app(SchedKind::Cfs, &b, 7);
+        let wfq = run_app(SchedKind::Wfq, &b, 7);
+        let r = wfq.elapsed.as_nanos() as f64 / cfs.elapsed.as_nanos() as f64;
+        worst = worst.max((r - 1.0).abs());
+        ratios.push(r.ln());
+    }
+    let geomean = (ratios.iter().sum::<f64>() / ratios.len() as f64).exp();
+    assert!(
+        (geomean - 1.0).abs() < 0.05,
+        "geomean slowdown {:.2}% too large",
+        (geomean - 1.0) * 100.0
+    );
+    assert!(worst < 0.15, "worst-case delta {:.2}%", worst * 100.0);
+}
+
+#[test]
+fn figure2_shinjuku_beats_cfs_and_ghost_at_high_load() {
+    let mut cfg = RocksConfig::at(70_000);
+    cfg.warmup = Ns::from_ms(200);
+    cfg.duration = Ns::from_ms(600);
+    let cfs = run_rocksdb(SchedKind::Cfs, cfg);
+    let enoki = run_rocksdb(SchedKind::Shinjuku, cfg);
+    let ghost = run_rocksdb(SchedKind::GhostShinjuku, cfg);
+    // Both Shinjukus hold µs-scale tails while CFS is ms-scale.
+    assert!(enoki.p99 < Ns::from_us(200), "enoki p99 {}", enoki.p99);
+    assert!(
+        cfs.p99 > enoki.p99 * 10,
+        "cfs {} vs enoki {}",
+        cfs.p99,
+        enoki.p99
+    );
+    // Enoki below ghOSt at high load (paper: ~30% at 65k+).
+    assert!(
+        enoki.p99 < ghost.p99,
+        "enoki {} vs ghost {}",
+        enoki.p99,
+        ghost.p99
+    );
+}
+
+#[test]
+fn figure2c_batch_share_ordering() {
+    let mut cfg = RocksConfig::at(40_000).with_batch();
+    cfg.warmup = Ns::from_ms(200);
+    cfg.duration = Ns::from_ms(600);
+    let cfs = run_rocksdb(SchedKind::Cfs, cfg);
+    let enoki = run_rocksdb(SchedKind::Shinjuku, cfg);
+    let ghost = run_rocksdb(SchedKind::GhostShinjuku, cfg);
+    assert!(
+        enoki.batch_cpus > ghost.batch_cpus,
+        "enoki {} ghost {}",
+        enoki.batch_cpus,
+        ghost.batch_cpus
+    );
+    assert!(
+        cfs.batch_cpus > ghost.batch_cpus,
+        "cfs {} ghost {}",
+        cfs.batch_cpus,
+        ghost.batch_cpus
+    );
+    // Enoki's batch share is in the same league as CFS's (the Enoki class
+    // cedes idle cycles to CFS seamlessly).
+    assert!(enoki.batch_cpus > cfs.batch_cpus * 0.5);
+}
+
+#[test]
+fn table6_hint_ordering() {
+    let mk = |kind, hints, one_core| {
+        let mut cfg = SchbenchConfig::table6();
+        cfg.warmup = Ns::from_ms(200);
+        cfg.duration = Ns::from_secs(1);
+        cfg.hints = hints;
+        cfg.one_core = one_core;
+        let mut bed = build(
+            Topology::i7_9700(),
+            CostModel::calibrated(),
+            kind,
+            BedOptions::default(),
+        );
+        run_schbench(&mut bed, cfg)
+    };
+    let cfs = mk(SchedKind::Cfs, false, false);
+    let random = mk(SchedKind::Locality, false, false);
+    let hints = mk(SchedKind::Locality, true, false);
+    let pinned = mk(SchedKind::Cfs, false, true);
+    // CFS and random placement perform similarly (both spread, both pay
+    // the cold-cache penalty).
+    let ratio = cfs.p50.as_nanos() as f64 / random.p50.as_nanos().max(1) as f64;
+    assert!(
+        (0.6..1.6).contains(&ratio),
+        "cfs {} vs random {}",
+        cfs.p50,
+        random.p50
+    );
+    // Hints win decisively.
+    assert!(hints.p99.as_nanos() * 2 < cfs.p99.as_nanos());
+    // Pinning all threads to one core trades the median for the tail.
+    assert!(pinned.p50 < cfs.p50);
+    assert!(pinned.p99 > hints.p99 * 2);
+}
+
+#[test]
+fn figure3_arachne_matches_original_and_beats_cfs() {
+    let mk = |server| {
+        let mut cfg = MemcachedConfig::at(280_000);
+        cfg.warmup = Ns::from_ms(200);
+        cfg.duration = Ns::from_ms(600);
+        run_memcached(server, cfg)
+    };
+    let cfs = mk(MemcachedServer::Cfs);
+    let orig = mk(MemcachedServer::Arachne);
+    let enoki = mk(MemcachedServer::EnokiArachne);
+    assert!(
+        enoki.p99 < cfs.p99,
+        "enoki {} vs cfs {}",
+        enoki.p99,
+        cfs.p99
+    );
+    // "Similar performance to the original Arachne scheduler."
+    let ratio = enoki.p99.as_nanos() as f64 / orig.p99.as_nanos().max(1) as f64;
+    assert!(
+        (0.4..2.5).contains(&ratio),
+        "enoki {} vs orig {}",
+        enoki.p99,
+        orig.p99
+    );
+}
+
+#[test]
+fn appendix_fairness_equivalence() {
+    let work = Ns::from_ms(60);
+    for kind in [SchedKind::Cfs, SchedKind::Wfq] {
+        let spread = equal_share(kind, work, false);
+        let pinned = equal_share(kind, work, true);
+        assert!(pinned.mean > spread.mean * 4, "{kind:?}");
+        let w = weighted_share(kind, work);
+        assert!(w.low_done > w.others_done, "{kind:?}");
+    }
+}

@@ -1,0 +1,369 @@
+//! Property-based tests (proptest) over the core data structures and
+//! system invariants: the record codec, ring buffers, histograms, cpu
+//! sets, vruntime math, and whole-simulation invariants (work
+//! conservation, runtime accounting, token conservation).
+
+use enoki::core::queue::RingBuffer;
+use enoki::core::record::{CallArgs, FuncId, LockOp, Rec};
+use enoki::sched::fair::scale_vruntime;
+use enoki::sim::behavior::{Op, ProgramBehavior};
+use enoki::sim::stats::Histogram;
+use enoki::sim::{CostModel, CpuSet, Ns, TaskSpec, Topology};
+use enoki::workloads::testbed::{build, BedOptions, SchedKind};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+fn arb_func() -> impl Strategy<Value = FuncId> {
+    prop_oneof![
+        Just(FuncId::SelectTaskRq),
+        Just(FuncId::TaskNew),
+        Just(FuncId::TaskWakeup),
+        Just(FuncId::TaskBlocked),
+        Just(FuncId::TaskYield),
+        Just(FuncId::TaskPreempt),
+        Just(FuncId::TaskDead),
+        Just(FuncId::TaskDeparted),
+        Just(FuncId::TaskTick),
+        Just(FuncId::Balance),
+        Just(FuncId::PickNextTask),
+        Just(FuncId::MigrateTaskRq),
+        Just(FuncId::TaskPrioChanged),
+        Just(FuncId::TaskAffinityChanged),
+        Just(FuncId::BalanceErr),
+        Just(FuncId::PntErr),
+    ]
+}
+
+fn arb_rec() -> impl Strategy<Value = Rec> {
+    prop_oneof![
+        (any::<u32>(), any::<u64>()).prop_map(|(tid, lock)| Rec::LockCreate { tid, lock }),
+        (any::<u32>(), any::<u64>(), 0u8..3).prop_map(|(tid, lock, op)| Rec::LockAcquire {
+            tid,
+            lock,
+            op: match op {
+                0 => LockOp::Mutex,
+                1 => LockOp::Read,
+                _ => LockOp::Write,
+            },
+        }),
+        (any::<u32>(), any::<u64>()).prop_map(|(tid, lock)| Rec::LockRelease { tid, lock }),
+        (any::<u32>(), arb_func(), any::<i64>()).prop_map(|(tid, func, val)| Rec::Ret {
+            tid,
+            func,
+            val
+        }),
+        (
+            (
+                any::<u32>(),
+                arb_func(),
+                any::<u64>(),
+                any::<i64>(),
+                any::<u64>(),
+                any::<u64>()
+            ),
+            (
+                any::<i32>(),
+                any::<i32>(),
+                any::<u32>(),
+                any::<i32>(),
+                any::<u32>(),
+                any::<u64>(),
+                any::<u64>()
+            ),
+        )
+            .prop_map(
+                |(
+                    (tid, func, now, pid, runtime, delta),
+                    (cpu, prev_cpu, weight, nice, flags, lo, hi),
+                )| {
+                    Rec::Call {
+                        tid,
+                        func,
+                        args: CallArgs {
+                            now,
+                            pid,
+                            runtime,
+                            delta,
+                            cpu,
+                            prev_cpu,
+                            weight,
+                            nice,
+                            flags,
+                            aff_lo: lo,
+                            aff_hi: hi,
+                        },
+                    }
+                }
+            ),
+        (
+            any::<u32>(),
+            any::<i64>(),
+            any::<u32>(),
+            any::<i64>(),
+            any::<i64>(),
+            any::<i64>()
+        )
+            .prop_map(|(tid, pid, kind, a, b, c)| Rec::Hint {
+                tid,
+                pid,
+                kind,
+                a,
+                b,
+                c
+            }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn codec_round_trips_any_record_stream(recs in proptest::collection::vec(arb_rec(), 0..64)) {
+        let mut buf = Vec::new();
+        for r in &recs {
+            r.encode(&mut buf);
+        }
+        let mut off = 0;
+        let mut decoded = Vec::new();
+        while off < buf.len() {
+            let (r, used) = Rec::decode(&buf[off..]).expect("decodes");
+            decoded.push(r);
+            off += used;
+        }
+        prop_assert_eq!(decoded, recs);
+    }
+
+    #[test]
+    fn ring_buffer_matches_a_queue_model(ops in proptest::collection::vec(any::<Option<u64>>(), 0..200)) {
+        // Some(v) = push v, None = pop; compare against VecDeque.
+        let ring: RingBuffer<u64> = RingBuffer::with_capacity(16);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    let ok = ring.push(v).is_ok();
+                    if model.len() < 16 {
+                        prop_assert!(ok);
+                        model.push_back(v);
+                    } else {
+                        prop_assert!(!ok);
+                    }
+                }
+                None => {
+                    prop_assert_eq!(ring.pop(), model.pop_front());
+                }
+            }
+            prop_assert_eq!(ring.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_bounded(
+        samples in proptest::collection::vec(1u64..1_000_000_000, 1..300)
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(Ns(s));
+        }
+        let q50 = h.quantile(0.5).unwrap();
+        let q99 = h.quantile(0.99).unwrap();
+        let q100 = h.quantile(1.0).unwrap();
+        prop_assert!(q50 <= q99);
+        prop_assert!(q99 <= q100);
+        let max = *samples.iter().max().unwrap();
+        let min = *samples.iter().min().unwrap();
+        prop_assert!(q100.as_nanos() <= max);
+        prop_assert!(q50.as_nanos() >= min.min(max));
+        // Bucketing error bound: the top quantile is within 7% of max.
+        prop_assert!(q100.as_nanos() as f64 >= max as f64 * 0.93);
+    }
+
+    #[test]
+    fn cpuset_behaves_like_a_set(cpus in proptest::collection::vec(0usize..128, 0..64)) {
+        let set = CpuSet::from_iter(cpus.iter().copied());
+        let model: std::collections::BTreeSet<usize> = cpus.iter().copied().collect();
+        prop_assert_eq!(set.count(), model.len());
+        for c in 0..128 {
+            prop_assert_eq!(set.contains(c), model.contains(&c));
+        }
+        prop_assert_eq!(set.iter().collect::<Vec<_>>(), model.iter().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vruntime_scaling_is_monotonic_in_delta_and_antitone_in_weight(
+        d1 in 0u64..10_000_000,
+        d2 in 0u64..10_000_000,
+        w1 in 1u32..100_000,
+        w2 in 1u32..100_000,
+    ) {
+        if d1 <= d2 {
+            prop_assert!(scale_vruntime(Ns(d1), w1) <= scale_vruntime(Ns(d2), w1));
+        }
+        if w1 <= w2 {
+            prop_assert!(scale_vruntime(Ns(d1), w1) >= scale_vruntime(Ns(d1), w2));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whole-simulation invariant: with any mix of compute-only tasks, a
+    /// work-conserving scheduler accounts exactly the requested runtime to
+    /// every task, and total cpu busy time equals the sum of runtimes.
+    #[test]
+    fn runtime_accounting_is_exact(
+        works in proptest::collection::vec(50_000u64..5_000_000, 1..12),
+        kind in prop_oneof![Just(SchedKind::Cfs), Just(SchedKind::Wfq), Just(SchedKind::Fifo)],
+    ) {
+        let mut bed = build(
+            Topology::i7_9700(),
+            CostModel::free(),
+            kind,
+            BedOptions::default(),
+        );
+        let mut pids = Vec::new();
+        for (i, &w) in works.iter().enumerate() {
+            pids.push(bed.machine.spawn(TaskSpec::new(
+                format!("t{i}"),
+                bed.class_idx,
+                Box::new(ProgramBehavior::once(vec![Op::Compute(Ns(w))])),
+            )));
+        }
+        let done = bed.machine.run_to_completion(Ns::from_secs(30)).expect("no panic");
+        prop_assert!(done, "all tasks must finish under a work-conserving scheduler");
+        for (&p, &w) in pids.iter().zip(&works) {
+            prop_assert_eq!(bed.machine.task(p).runtime, Ns(w));
+        }
+        let busy: Ns = bed.machine.stats().cpu_busy.iter().copied().sum();
+        let total: u64 = works.iter().sum();
+        prop_assert_eq!(busy, Ns(total));
+    }
+
+    /// Token conservation: however tasks block, wake, migrate, and exit,
+    /// the framework never sees a wrong-core pick from the well-behaved
+    /// schedulers, and the machine never panics.
+    #[test]
+    fn no_pnt_errors_from_correct_schedulers(
+        seeds in proptest::collection::vec(any::<u16>(), 2..10),
+        kind in prop_oneof![Just(SchedKind::Wfq), Just(SchedKind::Shinjuku), Just(SchedKind::Fifo)],
+    ) {
+        let mut bed = build(
+            Topology::i7_9700(),
+            CostModel::calibrated(),
+            kind,
+            BedOptions::default(),
+        );
+        for (i, &s) in seeds.iter().enumerate() {
+            let compute = 10_000 + (s as u64 % 500) * 1_000;
+            let sleep = 5_000 + (s as u64 % 77) * 1_000;
+            bed.machine.spawn(TaskSpec::new(
+                format!("t{i}"),
+                bed.class_idx,
+                Box::new(ProgramBehavior::repeat(
+                    vec![Op::Compute(Ns(compute)), Op::Sleep(Ns(sleep)), Op::Yield],
+                    20,
+                )),
+            ));
+        }
+        bed.machine.run_until(Ns::from_secs(3)).expect("no kernel panic");
+        let stats = bed.machine.stats();
+        prop_assert_eq!(stats.nr_pick_rejects, 0);
+        if let Some(class) = &bed.enoki {
+            prop_assert_eq!(class.stats().pnt_errs, 0);
+            prop_assert_eq!(class.stats().token_mismatches, 0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Weighted fairness: two always-runnable tasks sharing one core get
+    /// cpu time proportional to their nice-derived weights, within 25%,
+    /// for moderate weight ratios. (Very large ratios are floored by the
+    /// minimum slice granularity — exactly as in CFS — so they are out of
+    /// scope for the proportionality property.)
+    #[test]
+    fn weighted_sharing_tracks_the_weight_table(
+        nice_hi in -20i32..0,
+        gap in 5i32..10,
+        kind in prop_oneof![Just(SchedKind::Cfs), Just(SchedKind::Wfq)],
+    ) {
+        let nice_lo = (nice_hi + gap).min(19);
+        let mut bed = build(
+            Topology::new(1, 1),
+            CostModel::free(),
+            kind,
+            BedOptions::default(),
+        );
+        let work = Ns::from_ms(400);
+        let hi = bed.machine.spawn(
+            TaskSpec::new(
+                "hi",
+                bed.class_idx,
+                Box::new(ProgramBehavior::once(vec![Op::Compute(work)])),
+            )
+            .nice(nice_hi),
+        );
+        let lo = bed.machine.spawn(
+            TaskSpec::new(
+                "lo",
+                bed.class_idx,
+                Box::new(ProgramBehavior::once(vec![Op::Compute(work)])),
+            )
+            .nice(nice_lo),
+        );
+        // Sample mid-run, while both are still runnable.
+        bed.machine.run_until(Ns::from_ms(200)).expect("no panic");
+        let rt_hi = bed.machine.task(hi).runtime.as_nanos() as f64;
+        let rt_lo = bed.machine.task(lo).runtime.as_nanos() as f64;
+        prop_assume!(rt_lo > 0.0 && rt_hi > 0.0);
+        let w_hi = enoki::sim::task::weight_of_nice(nice_hi) as f64;
+        let w_lo = enoki::sim::task::weight_of_nice(nice_lo) as f64;
+        let expected = w_hi / w_lo;
+        let measured = rt_hi / rt_lo;
+        // Slice quantization bounds the accuracy over a finite window.
+        let err = (measured / expected - 1.0).abs();
+        prop_assert!(
+            err < 0.25,
+            "{kind:?}: nice {nice_hi}/{nice_lo} expected ratio {expected:.2}, got {measured:.2}"
+        );
+    }
+
+    /// Live upgrade at arbitrary instants never loses tasks or panics the
+    /// kernel, for any schedule of upgrade times.
+    #[test]
+    fn upgrades_at_random_times_lose_nothing(
+        upgrade_ms in proptest::collection::vec(1u64..40, 1..6),
+    ) {
+        use enoki::core::EnokiClass;
+        use enoki::sched::Wfq;
+        let mut m = enoki::sim::Machine::new(Topology::i7_9700(), CostModel::calibrated());
+        let class = std::rc::Rc::new(EnokiClass::load("wfq", 8, Box::new(Wfq::new(8))));
+        m.add_class(class.clone());
+        let mut pids = Vec::new();
+        for i in 0..10 {
+            pids.push(m.spawn(TaskSpec::new(
+                format!("t{i}"),
+                0,
+                Box::new(ProgramBehavior::repeat(
+                    vec![Op::Compute(Ns::from_us(400)), Op::Sleep(Ns::from_us(150))],
+                    30,
+                )),
+            )));
+        }
+        let mut times: Vec<u64> = upgrade_ms.clone();
+        times.sort_unstable();
+        for t in times {
+            if Ns::from_ms(t) > m.now() {
+                m.run_until(Ns::from_ms(t)).expect("no panic");
+            }
+            let report = class.upgrade(Box::new(Wfq::new(8)));
+            prop_assert!(report.transferred);
+        }
+        prop_assert!(m.run_to_completion(Ns::from_secs(30)).expect("no panic"));
+        for &p in &pids {
+            prop_assert!(m.task(p).exited_at.is_some(), "task {p} lost");
+        }
+        prop_assert_eq!(class.stats().pnt_errs, 0);
+    }
+}

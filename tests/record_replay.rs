@@ -1,0 +1,186 @@
+//! Integration tests for record & replay (paper §3.4) across schedulers
+//! and workloads. Record/replay mode is process-global, so every test
+//! here serializes on one mutex.
+
+use enoki::core::record;
+use enoki::core::EnokiClass;
+use enoki::replay::{replay_file, start_recording, stop_recording};
+use enoki::sched::locality::HINT_LOCALITY;
+use enoki::sched::{Cfs, Locality, Shinjuku};
+use enoki::sim::behavior::{HintVal, Op, ProgramBehavior};
+use enoki::sim::{CostModel, Machine, Ns, TaskSpec, Topology};
+use std::path::PathBuf;
+use std::rc::Rc;
+
+static SERIAL: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("enoki-it-rr-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir.join(name)
+}
+
+#[test]
+fn cfs_record_replay_is_faithful() {
+    let _g = SERIAL.lock();
+    let path = tmp("cfs.log");
+    record::reset_lock_ids();
+    let mut m = Machine::new(Topology::i7_9700(), CostModel::calibrated());
+    m.add_class(Rc::new(EnokiClass::load_native(
+        "cfs",
+        8,
+        Box::new(Cfs::new(8)),
+    )));
+    let session = start_recording(&path, 1 << 20).expect("recorder");
+    for i in 0..10 {
+        m.spawn(TaskSpec::new(
+            format!("t{i}"),
+            0,
+            Box::new(ProgramBehavior::repeat(
+                vec![Op::Compute(Ns::from_us(300)), Op::Sleep(Ns::from_us(100))],
+                50,
+            )),
+        ));
+    }
+    m.run_to_completion(Ns::from_secs(10))
+        .expect("no kernel panic");
+    let written = stop_recording(session).expect("flushed");
+    assert!(written > 500);
+
+    let report = replay_file(&path, 8, || Cfs::new(8)).expect("replay");
+    assert!(
+        report.divergences.is_empty(),
+        "{:?}",
+        &report.divergences[..5.min(report.divergences.len())]
+    );
+    assert_eq!(report.sequencing_timeouts, 0);
+    assert!(report.calls > 200);
+}
+
+#[test]
+fn shinjuku_record_replay_is_faithful() {
+    let _g = SERIAL.lock();
+    let path = tmp("shinjuku.log");
+    record::reset_lock_ids();
+    let mut m = Machine::new(Topology::i7_9700(), CostModel::calibrated());
+    m.add_class(Rc::new(EnokiClass::load(
+        "shinjuku",
+        8,
+        Box::new(Shinjuku::new(8)),
+    )));
+    let session = start_recording(&path, 1 << 20).expect("recorder");
+    for i in 0..12 {
+        m.spawn(TaskSpec::new(
+            format!("t{i}"),
+            0,
+            Box::new(ProgramBehavior::once(vec![Op::Compute(Ns::from_us(200))])),
+        ));
+    }
+    m.run_to_completion(Ns::from_secs(10))
+        .expect("no kernel panic");
+    stop_recording(session).expect("flushed");
+
+    let report = replay_file(&path, 8, || Shinjuku::new(8)).expect("replay");
+    assert!(
+        report.divergences.is_empty(),
+        "{:?}",
+        &report.divergences[..5.min(report.divergences.len())]
+    );
+}
+
+#[test]
+fn hints_are_recorded_and_replayed() {
+    let _g = SERIAL.lock();
+    let path = tmp("locality.log");
+    record::reset_lock_ids();
+    let mut m = Machine::new(Topology::i7_9700(), CostModel::calibrated());
+    let class = Rc::new(EnokiClass::load("locality", 8, Box::new(Locality::new(8))));
+    m.add_class(class.clone());
+    // No user queue registered: hints go through parse_hint, which is how
+    // the replayer re-delivers them.
+    let session = start_recording(&path, 1 << 20).expect("recorder");
+    m.spawn(TaskSpec::new(
+        "hinter",
+        0,
+        Box::new(ProgramBehavior::with_prelude(
+            vec![
+                Op::Hint(HintVal {
+                    kind: HINT_LOCALITY,
+                    a: 1,
+                    b: 9,
+                    c: 0,
+                }),
+                Op::Hint(HintVal {
+                    kind: HINT_LOCALITY,
+                    a: 2,
+                    b: 9,
+                    c: 0,
+                }),
+            ],
+            vec![Op::Compute(Ns::from_us(50)), Op::Sleep(Ns::from_us(100))],
+            Some(30),
+        )),
+    ));
+    for i in 1..3 {
+        m.spawn(TaskSpec::new(
+            format!("w{i}"),
+            0,
+            Box::new(ProgramBehavior::repeat(
+                vec![Op::Compute(Ns::from_us(30)), Op::Sleep(Ns::from_us(150))],
+                30,
+            )),
+        ));
+    }
+    m.run_to_completion(Ns::from_secs(10))
+        .expect("no kernel panic");
+    stop_recording(session).expect("flushed");
+
+    let log = enoki::replay::load_log(&path).expect("log parses");
+    let hint_events = log
+        .iter()
+        .filter(|r| matches!(r, enoki::core::record::Rec::Hint { .. }))
+        .count();
+    assert_eq!(hint_events, 2, "both hints recorded");
+
+    let report = replay_file(&path, 8, || Locality::new(8)).expect("replay");
+    assert_eq!(report.hints, 2);
+    assert!(
+        report.divergences.is_empty(),
+        "{:?}",
+        &report.divergences[..5.min(report.divergences.len())]
+    );
+}
+
+#[test]
+fn replay_report_flags_truncated_logs() {
+    let _g = SERIAL.lock();
+    let path = tmp("truncated.log");
+    record::reset_lock_ids();
+    let mut m = Machine::new(Topology::i7_9700(), CostModel::calibrated());
+    m.add_class(Rc::new(EnokiClass::load("cfs", 8, Box::new(Cfs::new(8)))));
+    let session = start_recording(&path, 1 << 20).expect("recorder");
+    for i in 0..6 {
+        m.spawn(TaskSpec::new(
+            format!("t{i}"),
+            0,
+            Box::new(ProgramBehavior::repeat(
+                vec![Op::Compute(Ns::from_us(100)), Op::Sleep(Ns::from_us(50))],
+                40,
+            )),
+        ));
+    }
+    m.run_to_completion(Ns::from_secs(10))
+        .expect("no kernel panic");
+    stop_recording(session).expect("flushed");
+
+    // Chop the tail off the log: replay must still terminate (the
+    // coordinator times out on missing predecessors rather than hanging)
+    // and report that the run was not faithful.
+    let mut log = enoki::replay::load_log(&path).expect("parses");
+    let keep = log.len() * 2 / 3;
+    log.truncate(keep);
+    let report = enoki::replay::replay(&log, 8, || Cfs::new(8));
+    // A truncated log loses Ret records and lock predecessors; the replay
+    // may diverge or time out, but must not deadlock.
+    let _ = report.faithful();
+}

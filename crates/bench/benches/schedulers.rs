@@ -1,9 +1,10 @@
-//! Criterion benchmarks comparing scheduler implementations on identical
+//! Benchmarks comparing scheduler implementations on identical
 //! simulated workloads: events-per-second of the whole kernel+scheduler
 //! stack, per scheduler. The ratios track each policy's bookkeeping cost
 //! (vruntime trees vs FIFO queues vs agent emulation).
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use enoki_bench::harness::{BatchSize, BenchmarkId, Criterion};
+use enoki_bench::{criterion_group, criterion_main};
 use enoki_sim::behavior::{Op, ProgramBehavior};
 use enoki_sim::{CostModel, Topology};
 use enoki_sim::{Ns, TaskSpec};

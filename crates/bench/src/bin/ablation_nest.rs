@@ -12,8 +12,7 @@ use enoki_core::EnokiClass;
 use enoki_sched::Nest;
 use enoki_sim::behavior::{closure_behavior, Op};
 use enoki_sim::{CostModel, Machine, Ns, TaskSpec, Topology};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use enoki_sim::rng::SmallRng;
 use std::rc::Rc;
 
 struct Outcome {

@@ -16,8 +16,7 @@ use enoki_sim::behavior::{closure_behavior, Op};
 use enoki_sim::{CostModel, CpuSet, Ns, Topology};
 use enoki_sim::{Machine, TaskSpec};
 use enoki_workloads::metrics::{SharedCell, SharedHist};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use enoki_sim::rng::SmallRng;
 use std::collections::VecDeque;
 use std::rc::Rc;
 

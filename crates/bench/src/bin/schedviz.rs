@@ -1,10 +1,13 @@
 //! schedviz: runs a small scenario under a chosen scheduler with event
 //! tracing armed and prints a per-cpu text timeline — the debugging view
 //! the record/replay workflow complements (paper §2's "slow debugging"
-//! pain point).
+//! pain point). The same run is exported as Chrome `trace_event` JSON
+//! (load it in `chrome://tracing` or Perfetto) together with a metrics
+//! summary from the observability layer.
 //!
-//! Usage: `schedviz [cfs|wfq|fifo|shinjuku|locality] [bucket-µs]`
+//! Usage: `schedviz [cfs|wfq|fifo|shinjuku|locality] [bucket-µs] [trace.json]`
 
+use enoki_core::metrics::{self, export};
 use enoki_sim::behavior::{Op, ProgramBehavior};
 use enoki_sim::{Ns, TaskSpec};
 use enoki_workloads::testbed::{build, BedOptions, SchedKind};
@@ -19,6 +22,9 @@ fn main() {
         _ => SchedKind::Cfs,
     };
     let bucket_us: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(100);
+    let trace_path = std::env::args()
+        .nth(3)
+        .unwrap_or_else(|| "schedviz_trace.json".to_string());
 
     let mut bed = build(
         Topology::i7_9700(),
@@ -27,6 +33,9 @@ fn main() {
         BedOptions::default(),
     );
     bed.machine.enable_trace(1 << 16);
+    // Arm the structured sink on the dispatch layer's metrics handle too,
+    // so per-pick latency records ride along with the sim trace.
+    let sink = bed.enoki.as_ref().map(|c| c.metrics().arm_trace(1 << 14));
 
     // A mixed scene: four cpu hogs, four sleepy services, one latecomer.
     for i in 0..4 {
@@ -76,4 +85,33 @@ fn main() {
         "{} context switches, {} migrations, {} IPIs",
         stats.nr_context_switches, stats.nr_migrations, stats.nr_ipis
     );
+
+    // Chrome trace export: per-cpu spans from the sim tracer.
+    let nr_cpus = bed.machine.topology().nr_cpus();
+    let json = export::chrome_trace_from_sim(tracer, nr_cpus, bed.machine.now());
+    match std::fs::write(&trace_path, &json) {
+        Ok(()) => println!(
+            "\nwrote {} ({} bytes) — open in chrome://tracing or ui.perfetto.dev",
+            trace_path,
+            json.len()
+        ),
+        Err(e) => eprintln!("\ncould not write {trace_path}: {e}"),
+    }
+
+    // Metrics summary from the observability layer.
+    if let Some(class) = bed.enoki.as_ref() {
+        metrics::observe_machine(&bed.machine, class.metrics());
+        println!("\n{}", class.metrics().snapshot().to_text());
+        if let Some(sink) = sink {
+            let mut records = Vec::new();
+            while let Some(r) = sink.pop() {
+                records.push(r);
+            }
+            println!(
+                "{} structured trace records in the sink ({} dropped)",
+                records.len(),
+                sink.dropped()
+            );
+        }
+    }
 }

@@ -1,0 +1,227 @@
+//! A minimal wall-clock microbenchmark harness.
+//!
+//! The container builds offline, so the `benches/` targets run on this
+//! criterion-shaped shim instead of the criterion crate: same
+//! `Criterion` / `Bencher` / group surface (the subset the benches use),
+//! adaptive iteration counts, and a median-of-samples report printed as
+//! `name ... time: [..]`. It is deliberately tiny — no plots, no state
+//! directory — but the numbers are stable enough for the overhead
+//! comparisons the repo makes (e.g. instrumentation cost under 5%).
+
+use std::time::{Duration, Instant};
+
+/// How a batched benchmark's setup output is sized (API compatibility —
+/// the shim treats all variants the same).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// A benchmark identifier inside a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{param}", name.into()),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// The per-benchmark measurement driver passed to bench closures.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled in by `iter*`.
+    result_ns: f64,
+}
+
+const WARMUP: Duration = Duration::from_millis(60);
+const MEASURE: Duration = Duration::from_millis(300);
+const SAMPLES: usize = 12;
+
+impl Bencher {
+    /// Times `f`, subtracting nothing: the closure is the whole iteration.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm up and estimate the per-iteration cost.
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < WARMUP {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let est = WARMUP.as_nanos() as f64 / warm_iters.max(1) as f64;
+        let per_sample = ((MEASURE.as_nanos() as f64 / SAMPLES as f64 / est.max(1.0)) as u64).max(1);
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / per_sample as f64);
+        }
+        self.result_ns = median(&mut samples);
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+        _size: BatchSize,
+    ) {
+        // Warm up once to estimate the routine cost.
+        let input = setup();
+        let t = Instant::now();
+        std::hint::black_box(routine(input));
+        let est = t.elapsed().as_nanos() as f64;
+        let per_sample = ((MEASURE.as_nanos() as f64 / SAMPLES as f64 / est.max(1.0)) as u64)
+            .clamp(1, 1_000_000);
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let inputs: Vec<S> = (0..per_sample).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / per_sample as f64);
+        }
+        self.result_ns = median(&mut samples);
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    samples[samples.len() / 2]
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The harness entry point (criterion-shaped).
+#[derive(Default)]
+pub struct Criterion {
+    /// Results collected so far: `(name, ns-per-iter)`.
+    results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher { result_ns: 0.0 };
+        f(&mut b);
+        println!("{name:<48} time: [{}]", fmt_ns(b.result_ns));
+        self.results.push((name.to_string(), b.result_ns));
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// The median ns/iter of a completed benchmark, if it ran.
+    pub fn result_ns(&self, name: &str) -> Option<f64> {
+        self.results
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, ns)| ns)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher { result_ns: 0.0 };
+        f(&mut b, input);
+        let full = format!("{}/{}", self.name, id.id);
+        println!("{full:<48} time: [{}]", fmt_ns(b.result_ns));
+        self.c.results.push((full, b.result_ns));
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::harness::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 3.0);
+    }
+
+    #[test]
+    fn formats_scale() {
+        assert_eq!(fmt_ns(12.0), "12.0 ns");
+        assert_eq!(fmt_ns(2_500.0), "2.50 µs");
+        assert_eq!(fmt_ns(2_500_000.0), "2.50 ms");
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::from_parameter("cfs").id, "cfs");
+        assert_eq!(BenchmarkId::new("wake", 16).id, "wake/16");
+    }
+}

@@ -5,11 +5,13 @@
 //! Most functions track task state; `reregister_*` handle live upgrade;
 //! the queue functions and `parse_hint` carry user↔kernel communication.
 
+use crate::metrics::SchedulerMetrics;
 use crate::queue::RingBuffer;
 use crate::schedulable::{PickError, Schedulable};
 use enoki_sim::sched_class::KernelCtx;
 use enoki_sim::{CpuId, Ns, Pid, TaskView, Topology, WakeFlags};
 use std::any::Any;
+use std::sync::Arc;
 
 /// Task information passed in scheduler messages.
 ///
@@ -220,6 +222,17 @@ pub trait EnokiScheduler: Send + Sync {
 
     /// Synchronously parses one hint (used when no queue is registered).
     fn parse_hint(&self, ctx: &SchedCtx<'_>, from: Pid, hint: Self::UserMsg) {}
+
+    // --- Observability ---
+
+    /// Offers the scheduler its per-scheduler metrics handle.
+    ///
+    /// The dispatch layer calls this once at load and again for the new
+    /// module on every live upgrade; schedulers that want to report
+    /// policy-level metrics (queue depths, custom counters via
+    /// [`crate::metrics::EventKind::Custom`]) stash the handle. The
+    /// default implementation ignores it.
+    fn attach_metrics(&self, metrics: &Arc<SchedulerMetrics>) {}
 }
 
 #[cfg(test)]

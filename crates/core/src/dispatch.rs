@@ -16,6 +16,7 @@
 //!   (100–150 ns per call, §5.2).
 
 use crate::api::{EnokiScheduler, SchedCtx};
+use crate::metrics::{self, EventKind, SchedulerMetrics, StagedCounters, TraceRecord};
 use crate::queue::RingBuffer;
 use crate::record::{self, CallArgs, FuncId, Rec};
 use crate::schedulable::{PickError, Schedulable};
@@ -23,6 +24,7 @@ use enoki_sim::behavior::HintVal;
 use enoki_sim::sched_class::{KernelCtx, SchedClass};
 use enoki_sim::{CpuId, Ns, Pid, TaskView, WakeFlags};
 use std::cell::RefCell;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Per-invocation overhead of the Enoki framework, as measured in the
@@ -58,13 +60,18 @@ pub struct UpgradeReport {
     pub transferred: bool,
 }
 
+/// Pick-latency timing is sampled: one pick in `PICK_SAMPLE_MASK + 1`
+/// (per cpu, starting with the first) pays for the two clock reads; all
+/// picks are still counted exactly.
+const PICK_SAMPLE_MASK: u64 = 31;
+
 /// The loaded-scheduler slot: one registered Enoki scheduler, its
 /// quiescing lock, the kernel-held tokens, and its hint queues.
 pub struct EnokiClass<U: Copy + Send + 'static, R: Copy + Send + 'static> {
     name: String,
     /// The module pointer, behind the per-scheduler read-write lock: calls
     /// take it in read mode, upgrade takes it in write mode (paper §3.2).
-    module: parking_lot::RwLock<Box<dyn EnokiScheduler<UserMsg = U, RevMsg = R>>>,
+    module: std::sync::RwLock<Box<dyn EnokiScheduler<UserMsg = U, RevMsg = R>>>,
     /// Tokens for tasks currently *running*, held by the kernel side,
     /// indexed by cpu. Tokens for runnable-but-not-running tasks are owned
     /// by the scheduler.
@@ -74,6 +81,13 @@ pub struct EnokiClass<U: Copy + Send + 'static, R: Copy + Send + 'static> {
     overhead: Ns,
     periodic_balance: bool,
     stats: RefCell<DispatchStats>,
+    /// Per-scheduler observability handle (pick latency, hint counters,
+    /// upgrade blackouts — see [`crate::metrics`]).
+    metrics: Arc<SchedulerMetrics>,
+    /// Counter staging for the dispatch hot path. The dispatch layer is
+    /// single-threaded by construction (`Rc`/`RefCell`), so counts land in
+    /// plain cells and are published to `metrics` at read points.
+    staged: StagedCounters,
 }
 
 impl<U, R> EnokiClass<U, R>
@@ -109,15 +123,29 @@ where
         module: Box<dyn EnokiScheduler<UserMsg = U, RevMsg = R>>,
         overhead: Ns,
     ) -> EnokiClass<U, R> {
+        let name = name.into();
+        let metrics = SchedulerMetrics::standalone(name.clone(), nr_cpus);
+        module.attach_metrics(&metrics);
         EnokiClass {
-            name: name.into(),
-            module: parking_lot::RwLock::new(module),
+            name,
+            module: std::sync::RwLock::new(module),
             tokens: RefCell::new((0..nr_cpus).map(|_| None).collect()),
             user_queue: RefCell::new(None),
             overhead,
             periodic_balance: false,
             stats: RefCell::new(DispatchStats::default()),
+            metrics,
+            staged: StagedCounters::new(nr_cpus),
         }
+    }
+
+    /// This scheduler's observability handle. Attach it to a
+    /// [`crate::metrics::MetricsRegistry`] to include it in registry-wide
+    /// snapshots, or snapshot it directly. Staged hot-path counts are
+    /// published first, so a snapshot through this accessor is exact.
+    pub fn metrics(&self) -> &Arc<SchedulerMetrics> {
+        self.staged.flush(&self.metrics);
+        &self.metrics
     }
 
     /// Asks the kernel to invoke this scheduler's `balance` periodically
@@ -134,7 +162,7 @@ where
 
     /// The loaded module's policy number.
     pub fn policy(&self) -> i32 {
-        self.module.read().get_policy()
+        self.module().get_policy()
     }
 
     /// Runs `f` with shared access to the loaded module (the same read
@@ -143,7 +171,7 @@ where
         &self,
         f: impl FnOnce(&dyn EnokiScheduler<UserMsg = U, RevMsg = R>) -> T,
     ) -> T {
-        f(&**self.module.read())
+        f(&**self.module())
     }
 
     /// Live-upgrades the scheduler to `new` (paper §3.2).
@@ -156,8 +184,9 @@ where
         &self,
         mut new: Box<dyn EnokiScheduler<UserMsg = U, RevMsg = R>>,
     ) -> UpgradeReport {
+        new.attach_metrics(&self.metrics);
         let start = Instant::now();
-        let mut slot = self.module.write(); // quiesce: blocks new calls
+        let mut slot = self.module.write().unwrap_or_else(std::sync::PoisonError::into_inner); // quiesce: blocks new calls
         let state = slot.reregister_prepare();
         let transferred = state.is_some();
         new.reregister_init(state);
@@ -165,6 +194,9 @@ where
         drop(slot); // calls proceed, now routed to the new version
         let blackout = start.elapsed();
         self.stats.borrow_mut().upgrades += 1;
+        self.metrics.count(EventKind::Upgrades, 0);
+        self.metrics
+            .observe_duration(EventKind::UpgradeBlackout, 0, blackout);
         UpgradeReport {
             blackout,
             transferred,
@@ -175,7 +207,7 @@ where
     /// capacity, returning the queue id and the userspace handle.
     pub fn register_user_queue(&self, capacity: usize) -> (i32, RingBuffer<U>) {
         let q = RingBuffer::with_capacity(capacity);
-        let id = self.module.read().register_queue(q.clone());
+        let id = self.module().register_queue(q.clone());
         if id >= 0 {
             *self.user_queue.borrow_mut() = Some((id, q.clone()));
         }
@@ -185,19 +217,28 @@ where
     /// Unregisters the user→kernel hint queue.
     pub fn unregister_user_queue(&self) -> Option<RingBuffer<U>> {
         let (id, _) = self.user_queue.borrow_mut().take()?;
-        self.module.read().unregister_queue(id)
+        self.module().unregister_queue(id)
     }
 
     /// Creates and registers a kernel→user queue, returning the queue id
     /// and the userspace (consumer) handle.
     pub fn register_reverse_queue(&self, capacity: usize) -> (i32, RingBuffer<R>) {
         let q = RingBuffer::with_capacity(capacity);
-        let id = self.module.read().register_reverse_queue(q.clone());
+        let id = self.module().register_reverse_queue(q.clone());
         (id, q)
     }
 
-    fn bump(&self) {
+    /// Shared access to the module slot (poisoning is ignored, matching
+    /// the kernel-side semantics: a panicked call must not wedge the slot).
+    fn module(
+        &self,
+    ) -> std::sync::RwLockReadGuard<'_, Box<dyn EnokiScheduler<UserMsg = U, RevMsg = R>>> {
+        self.module.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn bump(&self, cpu: CpuId) {
         self.stats.borrow_mut().calls += 1;
+        self.staged.add(EventKind::DispatchCalls, cpu);
     }
 
     fn args_from(k: &KernelCtx, t: &TaskView, prev_cpu: i32, flags: WakeFlags) -> CallArgs {
@@ -273,65 +314,65 @@ where
     }
 
     fn select_task_rq(&self, k: &KernelCtx, t: &TaskView, prev: CpuId, flags: WakeFlags) -> CpuId {
-        self.bump();
+        self.bump(t.cpu);
         record::set_tid(t.cpu as u32);
         self.rec_call(k, FuncId::SelectTaskRq, t, prev as i32, flags);
-        let module = self.module.read();
+        let module = self.module();
         let cpu = module.select_task_rq(&SchedCtx::new(k), t, prev, flags);
         self.rec_ret(FuncId::SelectTaskRq, cpu as i64);
         cpu
     }
 
     fn task_new(&self, k: &KernelCtx, t: &TaskView) {
-        self.bump();
+        self.bump(t.cpu);
         self.rec_call(k, FuncId::TaskNew, t, -1, WakeFlags::default());
         let sched = Schedulable::mint(t.pid, t.cpu);
-        self.module.read().task_new(&SchedCtx::new(k), t, sched);
+        self.module().task_new(&SchedCtx::new(k), t, sched);
     }
 
     fn task_wakeup(&self, k: &KernelCtx, t: &TaskView, flags: WakeFlags) {
-        self.bump();
+        self.bump(t.cpu);
         self.rec_call(k, FuncId::TaskWakeup, t, -1, flags);
         let sched = Schedulable::mint(t.pid, t.cpu);
-        self.module
-            .read()
+        self
+            .module()
             .task_wakeup(&SchedCtx::new(k), t, flags, sched);
     }
 
     fn task_blocked(&self, k: &KernelCtx, t: &TaskView) {
-        self.bump();
+        self.bump(t.cpu);
         record::set_tid(t.cpu as u32);
         self.rec_call(k, FuncId::TaskBlocked, t, -1, WakeFlags::default());
         // The task is no longer runnable: the kernel-held token (if the
         // task was running) is destroyed; the scheduler gets no token.
         self.tokens.borrow_mut()[t.cpu] = None;
-        self.module.read().task_blocked(&SchedCtx::new(k), t);
+        self.module().task_blocked(&SchedCtx::new(k), t);
     }
 
     fn task_yield(&self, k: &KernelCtx, t: &TaskView) {
-        self.bump();
+        self.bump(t.cpu);
         record::set_tid(t.cpu as u32);
         self.rec_call(k, FuncId::TaskYield, t, -1, WakeFlags::default());
         let sched = self.tokens.borrow_mut()[t.cpu]
             .take()
             .filter(|s| s.pid() == t.pid)
             .unwrap_or_else(|| Schedulable::mint(t.pid, t.cpu));
-        self.module.read().task_yield(&SchedCtx::new(k), t, sched);
+        self.module().task_yield(&SchedCtx::new(k), t, sched);
     }
 
     fn task_preempt(&self, k: &KernelCtx, t: &TaskView) {
-        self.bump();
+        self.bump(t.cpu);
         record::set_tid(t.cpu as u32);
         self.rec_call(k, FuncId::TaskPreempt, t, -1, WakeFlags::default());
         let sched = self.tokens.borrow_mut()[t.cpu]
             .take()
             .filter(|s| s.pid() == t.pid)
             .unwrap_or_else(|| Schedulable::mint(t.pid, t.cpu));
-        self.module.read().task_preempt(&SchedCtx::new(k), t, sched);
+        self.module().task_preempt(&SchedCtx::new(k), t, sched);
     }
 
     fn task_dead(&self, k: &KernelCtx, pid: Pid) {
-        self.bump();
+        self.bump(0);
         if record::recording() {
             record::emit(Rec::Call {
                 tid: record::current_tid(),
@@ -349,44 +390,68 @@ where
                 *slot = None;
             }
         }
-        self.module.read().task_dead(&SchedCtx::new(k), pid);
+        self.module().task_dead(&SchedCtx::new(k), pid);
     }
 
     fn task_departed(&self, k: &KernelCtx, t: &TaskView) {
-        self.bump();
+        self.bump(t.cpu);
         self.rec_call(k, FuncId::TaskDeparted, t, -1, WakeFlags::default());
         // The scheduler must hand back the token it holds for the task.
-        let _token = self.module.read().task_departed(&SchedCtx::new(k), t);
+        let _token = self.module().task_departed(&SchedCtx::new(k), t);
     }
 
     fn task_affinity_changed(&self, k: &KernelCtx, t: &TaskView) {
-        self.bump();
+        self.bump(t.cpu);
         self.rec_call(k, FuncId::TaskAffinityChanged, t, -1, WakeFlags::default());
-        self.module
-            .read()
+        self
+            .module()
             .task_affinity_changed(&SchedCtx::new(k), t);
     }
 
     fn task_prio_changed(&self, k: &KernelCtx, t: &TaskView) {
-        self.bump();
+        self.bump(t.cpu);
         self.rec_call(k, FuncId::TaskPrioChanged, t, -1, WakeFlags::default());
-        self.module.read().task_prio_changed(&SchedCtx::new(k), t);
+        self.module().task_prio_changed(&SchedCtx::new(k), t);
     }
 
     fn task_tick(&self, k: &KernelCtx, cpu: CpuId, t: &TaskView) {
-        self.bump();
+        self.bump(cpu);
         record::set_tid(cpu as u32);
         self.rec_call(k, FuncId::TaskTick, t, cpu as i32, WakeFlags::default());
-        self.module.read().task_tick(&SchedCtx::new(k), cpu, t);
+        self.module().task_tick(&SchedCtx::new(k), cpu, t);
     }
 
     fn pick_next_task(&self, k: &KernelCtx, cpu: CpuId, _curr: Option<&TaskView>) -> Option<Pid> {
-        self.bump();
+        self.bump(cpu);
         record::set_tid(cpu as u32);
         self.rec_call_cpu(k, FuncId::PickNextTask, cpu);
-        let module = self.module.read();
+        let module = self.module();
         let ctx = SchedCtx::new(k);
+        // Every pick is counted; the wall-clock timer is sampled (first
+        // pick per cpu and every `PICK_SAMPLE_MASK + 1`th after) so the
+        // latency histogram fills without billing two clock reads to
+        // every pick.
+        let timed = self
+            .staged
+            .add(EventKind::Picks, cpu)
+            .filter(|seq| seq & PICK_SAMPLE_MASK == 0)
+            .map(|_| Instant::now());
         let res = module.pick_next_task(&ctx, cpu, None);
+        if res.is_none() {
+            self.staged.add(EventKind::IdlePicks, cpu);
+        }
+        if let Some(t0) = timed {
+            let lat = t0.elapsed();
+            self.metrics
+                .observe_duration(EventKind::PickLatency, cpu, lat);
+            self.metrics.emit(TraceRecord {
+                ts: k.now().as_nanos(),
+                kind: EventKind::PickLatency,
+                cpu: cpu as u32,
+                pid: res.as_ref().map_or(-1, |s| s.pid() as i64),
+                arg: lat.as_nanos().min(u64::MAX as u128) as u64,
+            });
+        }
         self.rec_ret(
             FuncId::PickNextTask,
             res.as_ref().map_or(-1, |s| s.pid() as i64),
@@ -403,6 +468,7 @@ where
                 // tried to run a task somewhere it is not queued. Return
                 // ownership via pnt_err instead of crashing (paper §3.1).
                 self.stats.borrow_mut().pnt_errs += 1;
+                self.staged.add(EventKind::PntErrs, cpu);
                 let err = PickError::WrongCpu {
                     wanted: cpu,
                     got: tok.cpu(),
@@ -415,24 +481,24 @@ where
     }
 
     fn balance(&self, k: &KernelCtx, cpu: CpuId) -> Option<Pid> {
-        self.bump();
+        self.bump(cpu);
         record::set_tid(cpu as u32);
         self.rec_call_cpu(k, FuncId::Balance, cpu);
-        let res = self.module.read().balance(&SchedCtx::new(k), cpu);
+        let res = self.module().balance(&SchedCtx::new(k), cpu);
         self.rec_ret(FuncId::Balance, res.map_or(-1, |p| p as i64));
         res.map(|p| p as Pid)
     }
 
     fn balance_err(&self, k: &KernelCtx, cpu: CpuId, pid: Pid) {
-        self.bump();
+        self.bump(cpu);
         self.rec_call_cpu(k, FuncId::BalanceErr, cpu);
-        self.module
-            .read()
+        self
+            .module()
             .balance_err(&SchedCtx::new(k), cpu, pid, None);
     }
 
     fn migrate_task_rq(&self, k: &KernelCtx, t: &TaskView, from: CpuId, to: CpuId) {
-        self.bump();
+        self.bump(to);
         self.rec_call(
             k,
             FuncId::MigrateTaskRq,
@@ -442,8 +508,7 @@ where
         );
         let new = Schedulable::mint(t.pid, to);
         let old = self
-            .module
-            .read()
+            .module()
             .migrate_task_rq(&SchedCtx::new(k), t, new);
         self.rec_ret(
             FuncId::MigrateTaskRq,
@@ -453,13 +518,15 @@ where
         // old token at compile time (paper §3.1); detect mismatches.
         match old {
             Some(s) if s.pid() == t.pid && s.cpu() == from => {}
-            Some(_) => self.stats.borrow_mut().token_mismatches += 1,
-            None => self.stats.borrow_mut().token_mismatches += 1,
+            Some(_) | None => {
+                self.stats.borrow_mut().token_mismatches += 1;
+                self.staged.add(EventKind::TokenMismatches, to);
+            }
         }
     }
 
     fn deliver_hint(&self, k: &KernelCtx, pid: Pid, hint: HintVal) {
-        self.bump();
+        self.bump(0);
         if record::recording() {
             record::emit(Rec::Hint {
                 tid: record::current_tid(),
@@ -473,20 +540,40 @@ where
         let msg = U::from(hint);
         let ctx = SchedCtx::new(k);
         let q = self.user_queue.borrow().clone();
+        let timed = metrics::enabled().then(Instant::now);
         match q {
             Some((id, q)) => {
                 if q.push(msg).is_ok() {
                     self.stats.borrow_mut().hints_delivered += 1;
-                    self.module.read().enter_queue(&ctx, id);
+                    self.staged.add(EventKind::HintsDelivered, 0);
+                    self.module().enter_queue(&ctx, id);
                 } else {
                     self.stats.borrow_mut().hints_dropped += 1;
+                    self.staged.add(EventKind::HintsDropped, 0);
                 }
+                // Ring-level drop count for the registered queue (covers
+                // drops from any producer holding a clone of the ring).
+                self.metrics
+                    .gauge_set(EventKind::QueueDrops, 0, q.dropped() as i64);
             }
             None => {
                 self.stats.borrow_mut().hints_delivered += 1;
-                self.module.read().parse_hint(&ctx, pid, msg);
+                self.staged.add(EventKind::HintsDelivered, 0);
+                self.module().parse_hint(&ctx, pid, msg);
             }
         }
+        if let Some(t0) = timed {
+            self.metrics
+                .observe_duration(EventKind::DeliveryLatency, 0, t0.elapsed());
+        }
+    }
+}
+
+impl<U: Copy + Send + 'static, R: Copy + Send + 'static> Drop for EnokiClass<U, R> {
+    fn drop(&mut self) {
+        // Publish any still-staged counts so registry-attached handles
+        // that outlive the class read exact totals.
+        self.staged.flush(&self.metrics);
     }
 }
 

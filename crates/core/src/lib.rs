@@ -18,6 +18,10 @@
 //!   module, transfers custom state, and swaps the module pointer with a
 //!   µs-scale measured blackout.
 //! - [`queue::RingBuffer`] — bidirectional user↔kernel hint queues (§3.3).
+//! - [`metrics`] — the unified observability layer: a lock-free metrics
+//!   registry (counters, gauges, latency histograms keyed by scheduler,
+//!   cpu, and event kind), a structured trace-event sink over the SPSC
+//!   ring, snapshot/diff reading, and Chrome `trace_event` export.
 //! - [`record`] / [`replay`] — record each call, hint, and lock
 //!   acquisition through a ring drained by a userspace writer thread, then
 //!   re-run the *same scheduler code* in userspace with the recorded lock
@@ -25,6 +29,7 @@
 
 pub mod api;
 pub mod dispatch;
+pub mod metrics;
 pub mod queue;
 pub mod record;
 pub mod registry;
@@ -34,6 +39,10 @@ pub mod sync;
 
 pub use api::{EnokiScheduler, SchedCtx, TaskInfo, TransferIn, TransferOut};
 pub use dispatch::{DispatchStats, EnokiClass, UpgradeReport, ENOKI_CALL_OVERHEAD};
+pub use metrics::{
+    EventKind, HistogramSnapshot, MetricKey, MetricsRegistry, MetricsSnapshot, SchedulerMetrics,
+    TraceRecord,
+};
 pub use queue::RingBuffer;
 pub use registry::Registry;
 pub use schedulable::{PickError, Schedulable};

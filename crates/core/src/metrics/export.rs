@@ -1,0 +1,443 @@
+//! Exporters for the observability layer: Chrome `trace_event` JSON (the
+//! format `chrome://tracing` / Perfetto / SchedViz-style viewers load) and
+//! a dependency-free JSON well-formedness checker used by tests and tools.
+//!
+//! Two sources export here:
+//! - a sim-side [`Tracer`] (per-cpu scheduling timeline as complete "X"
+//!   spans, wakeups and migrations as instant events), and
+//! - drained [`TraceRecord`]s from a [`super::SchedulerMetrics`] sink
+//!   (instant events carrying kind/cpu/pid/arg).
+
+use super::TraceRecord;
+use enoki_sim::trace::{TraceEvent, Tracer};
+use enoki_sim::Ns;
+use std::fmt::Write as _;
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Incrementally builds a Chrome `trace_event` JSON document.
+///
+/// Timestamps (`ts`) and durations (`dur`) are microseconds, per the
+/// format; nanosecond inputs are converted with fractional precision.
+#[derive(Default)]
+pub struct ChromeTraceBuilder {
+    events: Vec<String>,
+}
+
+impl ChromeTraceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> ChromeTraceBuilder {
+        ChromeTraceBuilder::default()
+    }
+
+    fn us(ns: u64) -> f64 {
+        ns as f64 / 1000.0
+    }
+
+    /// Adds a complete ("X") span on row `tid` from `start` for `dur`.
+    pub fn span(&mut self, name: &str, cat: &str, tid: usize, start: Ns, dur: Ns) {
+        self.events.push(format!(
+            r#"{{"name":"{}","cat":"{}","ph":"X","ts":{:.3},"dur":{:.3},"pid":0,"tid":{}}}"#,
+            json_escape(name),
+            json_escape(cat),
+            Self::us(start.0),
+            Self::us(dur.0),
+            tid
+        ));
+    }
+
+    /// Adds an instant ("i") event on row `tid` at `at`, with optional
+    /// pre-rendered JSON `args` (e.g. `r#"{"pid":3}"#`).
+    pub fn instant(&mut self, name: &str, cat: &str, tid: usize, at: Ns, args: Option<&str>) {
+        let args = args
+            .map(|a| format!(r#","args":{a}"#))
+            .unwrap_or_default();
+        self.events.push(format!(
+            r#"{{"name":"{}","cat":"{}","ph":"i","s":"t","ts":{:.3},"pid":0,"tid":{}{}}}"#,
+            json_escape(name),
+            json_escape(cat),
+            Self::us(at.0),
+            tid,
+            args
+        ));
+    }
+
+    /// Adds a counter ("C") sample named `name` at `at`.
+    pub fn counter(&mut self, name: &str, at: Ns, series: &str, value: f64) {
+        self.events.push(format!(
+            r#"{{"name":"{}","ph":"C","ts":{:.3},"pid":0,"args":{{"{}":{}}}}}"#,
+            json_escape(name),
+            Self::us(at.0),
+            json_escape(series),
+            value
+        ));
+    }
+
+    /// Number of events added so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events have been added.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Finishes the document: a `traceEvents` array wrapped in the
+    /// standard object form.
+    pub fn finish(self) -> String {
+        format!(
+            r#"{{"traceEvents":[{}],"displayTimeUnit":"ms"}}"#,
+            self.events.join(",")
+        )
+    }
+}
+
+/// Converts a sim [`Tracer`] into Chrome trace JSON: one row per cpu,
+/// running tasks as complete spans (closed at `end`, or at the next
+/// switch/idle on the same cpu), wakeups and migrations as instants.
+pub fn chrome_trace_from_sim(tracer: &Tracer, nr_cpus: usize, end: Ns) -> String {
+    let mut b = ChromeTraceBuilder::new();
+    // (pid, span start) of the task currently occupying each cpu row.
+    let mut open: Vec<Option<(u64, Ns)>> = vec![None; nr_cpus];
+    let close = |b: &mut ChromeTraceBuilder, slot: &mut Option<(u64, Ns)>, cpu: usize, at: Ns| {
+        if let Some((pid, start)) = slot.take() {
+            b.span(
+                &format!("pid {pid}"),
+                "sched",
+                cpu,
+                start,
+                at.saturating_sub(start),
+            );
+        }
+    };
+    for ev in tracer.events() {
+        match *ev {
+            TraceEvent::SwitchIn { at, cpu, pid } if cpu < nr_cpus => {
+                close(&mut b, &mut open[cpu], cpu, at);
+                open[cpu] = Some((pid as u64, at));
+            }
+            TraceEvent::Idle { at, cpu } if cpu < nr_cpus => {
+                close(&mut b, &mut open[cpu], cpu, at);
+            }
+            TraceEvent::Wakeup { at, pid, cpu } if cpu < nr_cpus => {
+                b.instant(
+                    &format!("wakeup pid {pid}"),
+                    "wakeup",
+                    cpu,
+                    at,
+                    Some(&format!(r#"{{"pid":{pid}}}"#)),
+                );
+            }
+            TraceEvent::Migrate { at, pid, from, to } if to < nr_cpus => {
+                b.instant(
+                    &format!("migrate pid {pid}"),
+                    "migrate",
+                    to,
+                    at,
+                    Some(&format!(r#"{{"pid":{pid},"from":{from},"to":{to}}}"#)),
+                );
+            }
+            _ => {}
+        }
+    }
+    for (cpu, slot) in open.iter_mut().enumerate().take(nr_cpus) {
+        close(&mut b, slot, cpu, end);
+    }
+    b.finish()
+}
+
+/// Converts drained sink records into Chrome trace JSON (instant events
+/// keyed by kind, one row per cpu).
+pub fn chrome_trace_from_records(records: &[TraceRecord]) -> String {
+    let mut b = ChromeTraceBuilder::new();
+    for r in records {
+        b.instant(
+            r.kind.name(),
+            "enoki",
+            r.cpu as usize,
+            Ns(r.ts),
+            Some(&format!(r#"{{"pid":{},"arg":{}}}"#, r.pid, r.arg)),
+        );
+    }
+    b.finish()
+}
+
+// ----------------------------------------------------------------------
+// JSON validation
+// ----------------------------------------------------------------------
+
+/// Checks that `s` is one well-formed JSON value (offline stand-in for a
+/// real parser; used by tests to keep the exporters honest).
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, "true"),
+        Some(b'f') => literal(b, pos, "false"),
+        Some(b'n') => literal(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:#x} at {pos}", pos = *pos)),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |b: &[u8], pos: &mut usize| {
+        let s = *pos;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        *pos > s
+    };
+    if !digits(b, pos) {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(b, pos) {
+            return Err(format!("bad fraction at byte {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(b, pos) {
+            return Err(format!("bad exponent at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        if b.len() < *pos + 5
+                            || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return Err(format!("bad \\u escape at byte {pos}", pos = *pos));
+                        }
+                        *pos += 5;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+            }
+            0x00..=0x1f => return Err(format!("raw control byte at {pos}", pos = *pos)),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected key at byte {pos}", pos = *pos));
+        }
+        string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::EventKind;
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        assert!(validate_json(r#"{"a":[1,2.5,-3e4,"x\n",true,null],"b":{}}"#).is_ok());
+        assert!(validate_json("[]").is_ok());
+        assert!(validate_json(r#"{"a":}"#).is_err());
+        assert!(validate_json(r#"{"a":1,}"#).is_err());
+        assert!(validate_json(r#"{"a":1} extra"#).is_err());
+        assert!(validate_json(r#""unterminated"#).is_err());
+    }
+
+    #[test]
+    fn escaping_round_trips_through_validation() {
+        let mut b = ChromeTraceBuilder::new();
+        b.span("weird \"name\"\n\\", "cat\t", 0, Ns(1000), Ns(500));
+        b.instant("i", "c", 1, Ns(2000), None);
+        b.counter("runq", Ns(3000), "cpu0", 4.0);
+        assert!(!b.is_empty());
+        assert_eq!(b.len(), 3);
+        let doc = b.finish();
+        validate_json(&doc).unwrap_or_else(|e| panic!("{e}: {doc}"));
+        assert!(doc.starts_with(r#"{"traceEvents":["#));
+    }
+
+    #[test]
+    fn empty_builder_is_valid_json() {
+        let doc = ChromeTraceBuilder::new().finish();
+        validate_json(&doc).unwrap();
+    }
+
+    #[test]
+    fn sim_trace_exports_spans_and_instants() {
+        let mut t = Tracer::new(64);
+        t.record(TraceEvent::Wakeup {
+            at: Ns(500),
+            pid: 7,
+            cpu: 0,
+        });
+        t.record(TraceEvent::SwitchIn {
+            at: Ns(1000),
+            cpu: 0,
+            pid: 7,
+        });
+        t.record(TraceEvent::Migrate {
+            at: Ns(1500),
+            pid: 9,
+            from: 1,
+            to: 0,
+        });
+        t.record(TraceEvent::Idle {
+            at: Ns(3000),
+            cpu: 0,
+        });
+        t.record(TraceEvent::SwitchIn {
+            at: Ns(4000),
+            cpu: 1,
+            pid: 8,
+        });
+        let doc = chrome_trace_from_sim(&t, 2, Ns(5000));
+        validate_json(&doc).unwrap_or_else(|e| panic!("{e}: {doc}"));
+        // pid 7 ran 1µs..3µs on cpu 0; pid 8's open span closes at end.
+        assert!(doc.contains(r#""name":"pid 7""#), "{doc}");
+        assert!(doc.contains(r#""dur":2.000"#), "{doc}");
+        assert!(doc.contains(r#""name":"pid 8""#), "{doc}");
+        assert!(doc.contains(r#""name":"migrate pid 9""#), "{doc}");
+        assert!(doc.contains(r#""name":"wakeup pid 7""#), "{doc}");
+    }
+
+    #[test]
+    fn sink_records_export_as_instants() {
+        let recs = [
+            TraceRecord {
+                ts: 100,
+                kind: EventKind::PickLatency,
+                cpu: 2,
+                pid: 5,
+                arg: 321,
+            },
+            TraceRecord {
+                ts: 900,
+                kind: EventKind::Upgrades,
+                cpu: 0,
+                pid: -1,
+                arg: 0,
+            },
+        ];
+        let doc = chrome_trace_from_records(&recs);
+        validate_json(&doc).unwrap_or_else(|e| panic!("{e}: {doc}"));
+        assert!(doc.contains(r#""name":"pick_latency""#), "{doc}");
+        assert!(doc.contains(r#""arg":321"#), "{doc}");
+    }
+}

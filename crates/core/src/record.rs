@@ -537,7 +537,7 @@ const MODE_REPLAY: u8 = 2;
 static MODE_TAG: AtomicU8 = AtomicU8::new(MODE_OFF);
 static NEXT_LOCK_ID: AtomicU64 = AtomicU64::new(1);
 
-static GLOBAL: parking_lot::RwLock<GlobalMode> = parking_lot::RwLock::new(GlobalMode::Off);
+static GLOBAL: std::sync::RwLock<GlobalMode> = std::sync::RwLock::new(GlobalMode::Off);
 
 enum GlobalMode {
     Off,
@@ -563,20 +563,20 @@ pub fn current_tid() -> u32 {
 /// Switches the process into record mode; all shim locks and framework
 /// dispatch calls start emitting records.
 pub fn enable_record(recorder: Recorder) {
-    *GLOBAL.write() = GlobalMode::Record(recorder);
+    *GLOBAL.write().unwrap_or_else(std::sync::PoisonError::into_inner) = GlobalMode::Record(recorder);
     MODE_TAG.store(MODE_RECORD, Ordering::Release);
 }
 
 /// Switches the process into replay mode with the given lock sequencer.
 pub fn enable_replay(seq: Arc<dyn LockSequencer>) {
-    *GLOBAL.write() = GlobalMode::Replay(seq);
+    *GLOBAL.write().unwrap_or_else(std::sync::PoisonError::into_inner) = GlobalMode::Replay(seq);
     MODE_TAG.store(MODE_REPLAY, Ordering::Release);
 }
 
 /// Turns record/replay off (the default).
 pub fn disable() {
     MODE_TAG.store(MODE_OFF, Ordering::Release);
-    *GLOBAL.write() = GlobalMode::Off;
+    *GLOBAL.write().unwrap_or_else(std::sync::PoisonError::into_inner) = GlobalMode::Off;
 }
 
 /// True when recording.
@@ -589,7 +589,7 @@ pub fn emit(rec: Rec) {
     if MODE_TAG.load(Ordering::Acquire) != MODE_RECORD {
         return;
     }
-    if let GlobalMode::Record(r) = &*GLOBAL.read() {
+    if let GlobalMode::Record(r) = &*GLOBAL.read().unwrap_or_else(std::sync::PoisonError::into_inner) {
         r.emit(rec);
     }
 }
@@ -610,7 +610,7 @@ pub fn with_sequencer(f: impl FnOnce(&dyn LockSequencer)) {
     if MODE_TAG.load(Ordering::Acquire) != MODE_REPLAY {
         return;
     }
-    if let GlobalMode::Replay(s) = &*GLOBAL.read() {
+    if let GlobalMode::Replay(s) = &*GLOBAL.read().unwrap_or_else(std::sync::PoisonError::into_inner) {
         f(&**s);
     }
 }

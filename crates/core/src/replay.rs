@@ -284,7 +284,7 @@ where
     });
 
     record::disable();
-    let report = ReplayReport {
+    ReplayReport {
         calls,
         hints,
         lock_acquires,
@@ -293,8 +293,7 @@ where
             .map(|m| m.into_inner().expect("not poisoned"))
             .unwrap_or_default(),
         sequencing_timeouts: coord.timeouts(),
-    };
-    report
+    }
 }
 
 fn returns_value(func: FuncId) -> bool {

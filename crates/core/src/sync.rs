@@ -1,20 +1,64 @@
 //! Lock shims for Enoki schedulers.
 //!
 //! Schedulers synchronize internal state with these wrappers instead of raw
-//! `parking_lot` types. The shims are the record/replay hook points the
+//! raw `std::sync` types. The shims are the record/replay hook points the
 //! paper describes: recording captures lock creation, acquisition, and
 //! release order (tagged with the kernel thread id); replay blocks each
 //! thread until it is its turn to acquire, reproducing the recorded
 //! interleaving. Because schedulers are safe Rust, lock order is the *only*
 //! source of nondeterminism that must be captured (paper §6).
 
+use crate::metrics::{self, EventKind};
 use crate::record::{self, LockOp, Rec};
+use std::cell::Cell;
 use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
+use std::time::Instant;
+
+/// Per-thread lock-acquisition sequence. Shim locks are taken on every
+/// scheduler call, so per-acquisition atomics are measurable against the
+/// dispatch hot path; instead each thread publishes its count to the
+/// global `locks` handle in blocks of [`LOCK_PUBLISH_BLOCK`] (up to
+/// `LOCK_PUBLISH_BLOCK - 1` acquisitions per thread are staged but not
+/// yet visible) and samples hold-time timing once per
+/// [`LOCK_SAMPLE_PERIOD`], starting with the thread's first acquisition.
+const LOCK_PUBLISH_BLOCK: u64 = 64;
+const LOCK_SAMPLE_PERIOD: u64 = 1024;
+thread_local! {
+    static LOCK_SEQ: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Counts an acquisition (block-published, see [`LOCK_SEQ`]) and starts
+/// the hold-time clock on sampled acquisitions. Skipped entirely when
+/// metrics are disabled; reports under the global `locks` scheduler name
+/// — see [`crate::metrics::lock_metrics`].
+#[inline]
+fn acquire_instrumented() -> Option<Instant> {
+    if !metrics::enabled() {
+        return None;
+    }
+    let seq = LOCK_SEQ.with(|c| {
+        let v = c.get().wrapping_add(1);
+        c.set(v);
+        v
+    });
+    if seq.is_multiple_of(LOCK_PUBLISH_BLOCK) {
+        metrics::lock_metrics().count_n(EventKind::LockAcquires, 0, LOCK_PUBLISH_BLOCK);
+    }
+    (seq % LOCK_SAMPLE_PERIOD == 1).then(Instant::now)
+}
+
+/// Ends the hold-time clock started by [`acquire_instrumented`].
+fn release_instrumented(held_since: Option<Instant>) {
+    if let Some(t0) = held_since {
+        metrics::lock_metrics().observe_duration(EventKind::LockHold, 0, t0.elapsed());
+    }
+}
 
 /// A mutex whose acquisition order is recorded and replayed.
 pub struct Mutex<T> {
     id: u64,
-    inner: parking_lot::Mutex<T>,
+    inner: std::sync::Mutex<T>,
 }
 
 impl<T> Mutex<T> {
@@ -27,7 +71,7 @@ impl<T> Mutex<T> {
         });
         Mutex {
             id,
-            inner: parking_lot::Mutex::new(value),
+            inner: std::sync::Mutex::new(value),
         }
     }
 
@@ -35,13 +79,19 @@ impl<T> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
         let tid = record::current_tid();
         record::with_sequencer(|s| s.wait_turn(self.id, tid));
-        let guard = self.inner.lock();
+        // Like `parking_lot`, the shim ignores poisoning: a panicking
+        // scheduler thread must not wedge replay of the surviving ones.
+        let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         record::emit(Rec::LockAcquire {
             tid,
             lock: self.id,
             op: LockOp::Mutex,
         });
-        MutexGuard { id: self.id, guard }
+        MutexGuard {
+            id: self.id,
+            held_since: acquire_instrumented(),
+            guard,
+        }
     }
 
     /// The framework-assigned lock id (stable across record/replay by
@@ -54,7 +104,8 @@ impl<T> Mutex<T> {
 /// Guard for [`Mutex`].
 pub struct MutexGuard<'a, T> {
     id: u64,
-    guard: parking_lot::MutexGuard<'a, T>,
+    held_since: Option<Instant>,
+    guard: std::sync::MutexGuard<'a, T>,
 }
 
 impl<T> Deref for MutexGuard<'_, T> {
@@ -72,6 +123,7 @@ impl<T> DerefMut for MutexGuard<'_, T> {
 
 impl<T> Drop for MutexGuard<'_, T> {
     fn drop(&mut self) {
+        release_instrumented(self.held_since.take());
         let tid = record::current_tid();
         record::emit(Rec::LockRelease { tid, lock: self.id });
         record::with_sequencer(|s| s.released(self.id, tid));
@@ -85,7 +137,7 @@ impl<T> Drop for MutexGuard<'_, T> {
 /// reads in recorded order is sufficient and simpler.
 pub struct RwLock<T> {
     id: u64,
-    inner: parking_lot::RwLock<T>,
+    inner: std::sync::RwLock<T>,
 }
 
 impl<T> RwLock<T> {
@@ -98,7 +150,7 @@ impl<T> RwLock<T> {
         });
         RwLock {
             id,
-            inner: parking_lot::RwLock::new(value),
+            inner: std::sync::RwLock::new(value),
         }
     }
 
@@ -106,26 +158,34 @@ impl<T> RwLock<T> {
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         let tid = record::current_tid();
         record::with_sequencer(|s| s.wait_turn(self.id, tid));
-        let guard = self.inner.read();
+        let guard = self.inner.read().unwrap_or_else(PoisonError::into_inner);
         record::emit(Rec::LockAcquire {
             tid,
             lock: self.id,
             op: LockOp::Read,
         });
-        RwLockReadGuard { id: self.id, guard }
+        RwLockReadGuard {
+            id: self.id,
+            held_since: acquire_instrumented(),
+            guard,
+        }
     }
 
     /// Acquires the lock in exclusive mode.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         let tid = record::current_tid();
         record::with_sequencer(|s| s.wait_turn(self.id, tid));
-        let guard = self.inner.write();
+        let guard = self.inner.write().unwrap_or_else(PoisonError::into_inner);
         record::emit(Rec::LockAcquire {
             tid,
             lock: self.id,
             op: LockOp::Write,
         });
-        RwLockWriteGuard { id: self.id, guard }
+        RwLockWriteGuard {
+            id: self.id,
+            held_since: acquire_instrumented(),
+            guard,
+        }
     }
 
     /// The framework-assigned lock id.
@@ -137,7 +197,8 @@ impl<T> RwLock<T> {
 /// Shared guard for [`RwLock`].
 pub struct RwLockReadGuard<'a, T> {
     id: u64,
-    guard: parking_lot::RwLockReadGuard<'a, T>,
+    held_since: Option<Instant>,
+    guard: std::sync::RwLockReadGuard<'a, T>,
 }
 
 impl<T> Deref for RwLockReadGuard<'_, T> {
@@ -149,6 +210,7 @@ impl<T> Deref for RwLockReadGuard<'_, T> {
 
 impl<T> Drop for RwLockReadGuard<'_, T> {
     fn drop(&mut self) {
+        release_instrumented(self.held_since.take());
         let tid = record::current_tid();
         record::emit(Rec::LockRelease { tid, lock: self.id });
         record::with_sequencer(|s| s.released(self.id, tid));
@@ -158,7 +220,8 @@ impl<T> Drop for RwLockReadGuard<'_, T> {
 /// Exclusive guard for [`RwLock`].
 pub struct RwLockWriteGuard<'a, T> {
     id: u64,
-    guard: parking_lot::RwLockWriteGuard<'a, T>,
+    held_since: Option<Instant>,
+    guard: std::sync::RwLockWriteGuard<'a, T>,
 }
 
 impl<T> Deref for RwLockWriteGuard<'_, T> {
@@ -176,6 +239,7 @@ impl<T> DerefMut for RwLockWriteGuard<'_, T> {
 
 impl<T> Drop for RwLockWriteGuard<'_, T> {
     fn drop(&mut self) {
+        release_instrumented(self.held_since.take());
         let tid = record::current_tid();
         record::emit(Rec::LockRelease { tid, lock: self.id });
         record::with_sequencer(|s| s.released(self.id, tid));

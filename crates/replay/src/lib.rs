@@ -74,18 +74,18 @@ mod tests {
 
     /// Record/replay mode is process-global; serialize the tests that
     /// toggle it.
-    static SERIAL: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+    static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
     use enoki_core::dispatch::EnokiClass;
     use enoki_sched::Wfq;
     use enoki_sim::behavior::{Op, ProgramBehavior};
-    use enoki_sim::{CostModel, HintVal, Machine, Ns, TaskSpec, Topology};
+    use enoki_sim::{CostModel, Machine, Ns, TaskSpec, Topology};
     use std::rc::Rc;
 
     /// End-to-end: record a WFQ run on the simulated kernel, then replay
     /// it in userspace with zero divergences.
     #[test]
     fn record_then_replay_wfq_faithfully() {
-        let _guard = SERIAL.lock();
+        let _guard = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let dir = std::env::temp_dir().join(format!("enoki-replay-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("wfq.log");
@@ -134,7 +134,7 @@ mod tests {
     /// Replaying against a *different* policy diverges and is reported.
     #[test]
     fn replay_detects_policy_changes() {
-        let _guard = SERIAL.lock();
+        let _guard = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let dir = std::env::temp_dir().join(format!("enoki-replay2-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("wfq2.log");

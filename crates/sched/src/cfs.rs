@@ -17,11 +17,13 @@
 //! - periodic balancing evens out run-queue lengths.
 
 use crate::fair::{scale_vruntime, Current, Entity, FairRq, WAKEUP_GRANULARITY};
+use enoki_core::metrics::{EventKind, SchedulerMetrics};
 use enoki_core::sync::Mutex;
 use enoki_core::{
     EnokiScheduler, PickError, SchedCtx, Schedulable, TaskInfo, TransferIn, TransferOut,
 };
 use enoki_sim::{CpuId, HintVal, Ns, Pid, WakeFlags};
+use std::sync::{Arc, OnceLock};
 use std::collections::HashMap;
 
 /// Minimum queue-length imbalance before stealing across NUMA nodes.
@@ -48,15 +50,25 @@ pub struct CfsTransfer {
 pub struct Cfs {
     rqs: Vec<Mutex<FairRq>>,
     meta: Mutex<HashMap<Pid, Meta>>,
+    /// Metrics handle attached by the dispatch layer.
+    metrics: OnceLock<Arc<SchedulerMetrics>>,
 }
 
 impl Cfs {
+
+    /// Counts one enqueue on `cpu` if a metrics handle is attached.
+    fn note_enqueue(&self, cpu: usize) {
+        if let Some(m) = self.metrics.get() {
+            m.count(EventKind::Enqueues, cpu);
+        }
+    }
     /// Policy number registered for CFS.
     pub const POLICY: i32 = 0;
 
     /// Creates a CFS instance for `nr_cpus` cores.
     pub fn new(nr_cpus: usize) -> Cfs {
         Cfs {
+            metrics: OnceLock::new(),
             rqs: (0..nr_cpus).map(|_| Mutex::new(FairRq::new())).collect(),
             meta: Mutex::new(HashMap::new()),
         }
@@ -96,6 +108,10 @@ impl Cfs {
 impl EnokiScheduler for Cfs {
     type UserMsg = HintVal;
     type RevMsg = HintVal;
+
+    fn attach_metrics(&self, metrics: &Arc<SchedulerMetrics>) {
+        let _ = self.metrics.set(metrics.clone());
+    }
 
     fn get_policy(&self) -> i32 {
         Self::POLICY
@@ -154,6 +170,7 @@ impl EnokiScheduler for Cfs {
     }
 
     fn task_new(&self, _ctx: &SchedCtx<'_>, t: &TaskInfo, sched: Schedulable) {
+        self.note_enqueue(sched.cpu());
         let cpu = sched.cpu();
         let mut rq = self.rqs[cpu].lock();
         // New tasks start at the queue floor and run at the end of the
@@ -176,6 +193,7 @@ impl EnokiScheduler for Cfs {
     }
 
     fn task_wakeup(&self, ctx: &SchedCtx<'_>, t: &TaskInfo, _flags: WakeFlags, sched: Schedulable) {
+        self.note_enqueue(sched.cpu());
         let cpu = sched.cpu();
         let mut rq = self.rqs[cpu].lock();
         let vruntime = {
@@ -206,7 +224,7 @@ impl EnokiScheduler for Cfs {
     fn task_blocked(&self, _ctx: &SchedCtx<'_>, t: &TaskInfo) {
         let _ = self.update_vruntime(t);
         let mut rq = self.rqs[t.cpu].lock();
-        if rq.current.map_or(false, |c| c.pid == t.pid) {
+        if rq.current.is_some_and(|c| c.pid == t.pid) {
             rq.current = None;
         } else if rq.contains(t.pid) {
             rq.remove(t.pid);
@@ -217,7 +235,7 @@ impl EnokiScheduler for Cfs {
     fn task_preempt(&self, _ctx: &SchedCtx<'_>, t: &TaskInfo, sched: Schedulable) {
         let vruntime = self.update_vruntime(t);
         let mut rq = self.rqs[t.cpu].lock();
-        if rq.current.map_or(false, |c| c.pid == t.pid) {
+        if rq.current.is_some_and(|c| c.pid == t.pid) {
             rq.current = None;
         }
         rq.enqueue(Entity {
@@ -236,7 +254,7 @@ impl EnokiScheduler for Cfs {
         self.meta.lock().remove(&pid);
         for rq in &self.rqs {
             let mut rq = rq.lock();
-            if rq.current.map_or(false, |c| c.pid == pid) {
+            if rq.current.is_some_and(|c| c.pid == pid) {
                 rq.current = None;
             }
         }
@@ -246,7 +264,7 @@ impl EnokiScheduler for Cfs {
         let cpu = self.meta.lock().get(&t.pid).map_or(t.cpu, |m| m.cpu);
         self.meta.lock().remove(&t.pid);
         let mut rq = self.rqs[cpu].lock();
-        if rq.current.map_or(false, |c| c.pid == t.pid) {
+        if rq.current.is_some_and(|c| c.pid == t.pid) {
             rq.current = None;
         }
         rq.remove(t.pid).map(|e| e.sched)
@@ -366,7 +384,7 @@ impl EnokiScheduler for Cfs {
                 total_other >= needed
             };
             if eligible
-                && best.map_or(true, |(blen, bcpu)| {
+                && best.is_none_or(|(blen, bcpu)| {
                     let bsame = topo.node_of(bcpu) == my_node;
                     (same_node, len) > (bsame, blen)
                 })

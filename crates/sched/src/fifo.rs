@@ -5,25 +5,37 @@
 //! scheduler and as the policy reference for the ghOSt per-CPU FIFO
 //! emulation.
 
+use enoki_core::metrics::{EventKind, SchedulerMetrics};
 use enoki_core::sync::Mutex;
 use enoki_core::{
     EnokiScheduler, PickError, SchedCtx, Schedulable, TaskInfo, TransferIn, TransferOut,
 };
 use enoki_sim::{CpuId, HintVal, Pid, WakeFlags};
+use std::sync::{Arc, OnceLock};
 use std::collections::VecDeque;
 
 /// The per-cpu FIFO scheduler.
 pub struct Fifo {
     queues: Vec<Mutex<VecDeque<Schedulable>>>,
+    /// Metrics handle attached by the dispatch layer.
+    metrics: OnceLock<Arc<SchedulerMetrics>>,
 }
 
 impl Fifo {
+
+    /// Counts one enqueue on `cpu` if a metrics handle is attached.
+    fn note_enqueue(&self, cpu: usize) {
+        if let Some(m) = self.metrics.get() {
+            m.count(EventKind::Enqueues, cpu);
+        }
+    }
     /// Policy number registered for FIFO.
     pub const POLICY: i32 = 20;
 
     /// Creates a FIFO scheduler for `nr_cpus` cores.
     pub fn new(nr_cpus: usize) -> Fifo {
         Fifo {
+            metrics: OnceLock::new(),
             queues: (0..nr_cpus).map(|_| Mutex::new(VecDeque::new())).collect(),
         }
     }
@@ -50,6 +62,10 @@ impl EnokiScheduler for Fifo {
     type UserMsg = HintVal;
     type RevMsg = HintVal;
 
+    fn attach_metrics(&self, metrics: &Arc<SchedulerMetrics>) {
+        let _ = self.metrics.set(metrics.clone());
+    }
+
     fn get_policy(&self) -> i32 {
         Self::POLICY
     }
@@ -72,6 +88,7 @@ impl EnokiScheduler for Fifo {
     }
 
     fn task_new(&self, _ctx: &SchedCtx<'_>, _t: &TaskInfo, sched: Schedulable) {
+        self.note_enqueue(sched.cpu());
         let cpu = sched.cpu();
         self.queues[cpu].lock().push_back(sched);
     }
@@ -83,6 +100,7 @@ impl EnokiScheduler for Fifo {
         _flags: WakeFlags,
         sched: Schedulable,
     ) {
+        self.note_enqueue(sched.cpu());
         let cpu = sched.cpu();
         self.queues[cpu].lock().push_back(sched);
     }

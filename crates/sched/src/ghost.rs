@@ -25,9 +25,11 @@ use enoki_sim::behavior::{Behavior, BehaviorCtx, HintVal, Op};
 use enoki_sim::machine::{Machine, TaskSpec};
 use enoki_sim::sched_class::{KernelCtx, SchedClass};
 use enoki_sim::{CpuId, CpuSet, Ns, Pid, TaskView, WakeFlags};
+use enoki_core::metrics::{EventKind, SchedulerMetrics};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Agent commit hint kind: run task `a` on cpu `b`.
 const COMMIT_RUN: u32 = 100;
@@ -183,7 +185,7 @@ impl GhostState {
     }
 
     fn is_agent(&self, pid: Pid) -> bool {
-        self.agents.iter().any(|a| *a == Some(pid))
+        self.agents.contains(&Some(pid))
     }
 
     fn is_batch(&self, pid: Pid) -> bool {
@@ -282,7 +284,7 @@ impl GhostState {
                 continue;
             }
             let allows = |aff_of: &std::collections::HashMap<Pid, u128>, pid: Pid| {
-                aff_of.get(&pid).map_or(true, |m| m & (1u128 << cpu) != 0)
+                aff_of.get(&pid).is_none_or(|m| m & (1u128 << cpu) != 0)
             };
             let next = match self.cfg.policy {
                 GhostPolicy::PerCpuFifo => {
@@ -333,9 +335,9 @@ impl GhostState {
             }
             if let Some((pid, since)) = self.running[cpu] {
                 let over = now.saturating_sub(since) >= slice;
-                // Preempt when something is waiting, or when a batch task
-                // occupies a cpu a high-priority task wants.
-                if over && (has_waiters || self.is_batch(pid)) && has_waiters {
+                // Preempt only when a high-priority task is waiting for the
+                // cpu; an over-slice task with no waiters keeps running.
+                if over && has_waiters {
                     self.pending_commits[agent_cpu].push_back(Commit {
                         kind: COMMIT_PREEMPT,
                         pid,
@@ -355,12 +357,20 @@ impl GhostState {
 /// applies committed transactions, and schedules the agents themselves.
 pub struct GhostClass {
     state: Rc<RefCell<GhostState>>,
+    /// Per-scheduler metrics (ghOSt bypasses the Enoki dispatch layer, so
+    /// the class owns a standalone handle instead of an attached one).
+    metrics: Arc<SchedulerMetrics>,
 }
 
 impl GhostClass {
     /// Commits discarded as stale (the asynchrony cost).
     pub fn stale_commits(&self) -> u64 {
         self.state.borrow().stale_commits
+    }
+
+    /// The class's metrics handle (enqueue counts per cpu).
+    pub fn metrics(&self) -> &Arc<SchedulerMetrics> {
+        &self.metrics
     }
 
     fn wake_agent(&self, k: &KernelCtx, agent_cpu: CpuId) {
@@ -417,6 +427,7 @@ impl SchedClass for GhostClass {
     }
 
     fn task_new(&self, k: &KernelCtx, t: &TaskView) {
+        self.metrics.count(EventKind::Enqueues, t.cpu);
         let agent_cpu = {
             let mut st = self.state.borrow_mut();
             if st.is_agent(t.pid) {
@@ -441,6 +452,7 @@ impl SchedClass for GhostClass {
     }
 
     fn task_wakeup(&self, k: &KernelCtx, t: &TaskView, _flags: WakeFlags) {
+        self.metrics.count(EventKind::Enqueues, t.cpu);
         let agent_cpu = {
             let mut st = self.state.borrow_mut();
             if st.is_agent(t.pid) {
@@ -750,6 +762,7 @@ pub fn install(m: &mut Machine, cfg: GhostConfig) -> GhostSetup {
     }));
     let class = Rc::new(GhostClass {
         state: state.clone(),
+        metrics: SchedulerMetrics::standalone("ghost", nr),
     });
     let class_idx = m.add_class(class.clone());
 

@@ -11,11 +11,13 @@
 //! preemption — deliberately simple (the paper's version is 203 lines).
 
 use enoki_core::queue::RingBuffer;
+use enoki_core::metrics::{EventKind, SchedulerMetrics};
 use enoki_core::sync::Mutex;
 use enoki_core::{
     EnokiScheduler, PickError, SchedCtx, Schedulable, TaskInfo, TransferIn, TransferOut,
 };
 use enoki_sim::{CpuId, HintVal, Pid, WakeFlags};
+use std::sync::{Arc, OnceLock};
 use std::collections::{HashMap, VecDeque};
 
 /// Hint kind: `a` = task id, `b` = locality group.
@@ -43,15 +45,25 @@ struct State {
 /// The locality-aware scheduler.
 pub struct Locality {
     state: Mutex<State>,
+    /// Metrics handle attached by the dispatch layer.
+    metrics: OnceLock<Arc<SchedulerMetrics>>,
 }
 
 impl Locality {
+
+    /// Counts one enqueue on `cpu` if a metrics handle is attached.
+    fn note_enqueue(&self, cpu: usize) {
+        if let Some(m) = self.metrics.get() {
+            m.count(EventKind::Enqueues, cpu);
+        }
+    }
     /// Policy number registered for the locality scheduler.
     pub const POLICY: i32 = 40;
 
     /// Creates a locality scheduler for `nr_cpus` cores.
     pub fn new(nr_cpus: usize) -> Locality {
         Locality {
+            metrics: OnceLock::new(),
             state: Mutex::new(State {
                 queues: (0..nr_cpus).map(|_| VecDeque::new()).collect(),
                 group_core: HashMap::new(),
@@ -92,6 +104,10 @@ impl EnokiScheduler for Locality {
     type UserMsg = HintVal;
     type RevMsg = HintVal;
 
+    fn attach_metrics(&self, metrics: &Arc<SchedulerMetrics>) {
+        let _ = self.metrics.set(metrics.clone());
+    }
+
     fn get_policy(&self) -> i32 {
         Self::POLICY
     }
@@ -122,6 +138,7 @@ impl EnokiScheduler for Locality {
     }
 
     fn task_new(&self, _ctx: &SchedCtx<'_>, _t: &TaskInfo, sched: Schedulable) {
+        self.note_enqueue(sched.cpu());
         let mut st = self.state.lock();
         let cpu = sched.cpu();
         st.placed[cpu] += 1;
@@ -135,6 +152,7 @@ impl EnokiScheduler for Locality {
         _flags: WakeFlags,
         sched: Schedulable,
     ) {
+        self.note_enqueue(sched.cpu());
         let mut st = self.state.lock();
         let cpu = sched.cpu();
         st.placed[cpu] += 1;

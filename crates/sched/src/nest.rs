@@ -16,11 +16,13 @@
 //! placement.
 
 use crate::fair::{scale_vruntime, Current, Entity, FairRq, WAKEUP_GRANULARITY};
+use enoki_core::metrics::{EventKind, SchedulerMetrics};
 use enoki_core::sync::Mutex;
 use enoki_core::{
     EnokiScheduler, PickError, SchedCtx, Schedulable, TaskInfo, TransferIn, TransferOut,
 };
 use enoki_sim::{CpuId, HintVal, Ns, Pid, WakeFlags};
+use std::sync::{Arc, OnceLock};
 use std::collections::HashMap;
 
 /// A nest core not used for this long falls out of the primary nest.
@@ -53,9 +55,18 @@ pub struct NestTransfer {
 /// The Nest-style scheduler.
 pub struct Nest {
     state: Mutex<State>,
+    /// Metrics handle attached by the dispatch layer.
+    metrics: OnceLock<Arc<SchedulerMetrics>>,
 }
 
 impl Nest {
+
+    /// Counts one enqueue on `cpu` if a metrics handle is attached.
+    fn note_enqueue(&self, cpu: usize) {
+        if let Some(m) = self.metrics.get() {
+            m.count(EventKind::Enqueues, cpu);
+        }
+    }
     /// Policy number registered for Nest.
     pub const POLICY: i32 = 60;
 
@@ -65,6 +76,7 @@ impl Nest {
         let mut in_nest = vec![false; nr_cpus];
         in_nest[0] = true;
         Nest {
+            metrics: OnceLock::new(),
             state: Mutex::new(State {
                 rqs: (0..nr_cpus).map(|_| FairRq::new()).collect(),
                 meta: HashMap::new(),
@@ -139,6 +151,10 @@ impl EnokiScheduler for Nest {
     type UserMsg = HintVal;
     type RevMsg = HintVal;
 
+    fn attach_metrics(&self, metrics: &Arc<SchedulerMetrics>) {
+        let _ = self.metrics.set(metrics.clone());
+    }
+
     fn get_policy(&self) -> i32 {
         Self::POLICY
     }
@@ -155,6 +171,7 @@ impl EnokiScheduler for Nest {
     }
 
     fn task_new(&self, ctx: &SchedCtx<'_>, t: &TaskInfo, sched: Schedulable) {
+        self.note_enqueue(sched.cpu());
         let cpu = sched.cpu();
         let mut st = self.state.lock();
         st.last_used[cpu] = ctx.now();
@@ -177,6 +194,7 @@ impl EnokiScheduler for Nest {
     }
 
     fn task_wakeup(&self, ctx: &SchedCtx<'_>, t: &TaskInfo, _flags: WakeFlags, sched: Schedulable) {
+        self.note_enqueue(sched.cpu());
         let cpu = sched.cpu();
         let mut st = self.state.lock();
         st.last_used[cpu] = ctx.now();
@@ -210,7 +228,7 @@ impl EnokiScheduler for Nest {
     fn task_blocked(&self, _ctx: &SchedCtx<'_>, t: &TaskInfo) {
         let mut st = self.state.lock();
         Self::update_vruntime(&mut st, t);
-        if st.rqs[t.cpu].current.map_or(false, |c| c.pid == t.pid) {
+        if st.rqs[t.cpu].current.is_some_and(|c| c.pid == t.pid) {
             st.rqs[t.cpu].current = None;
         } else if st.rqs[t.cpu].contains(t.pid) {
             st.rqs[t.cpu].remove(t.pid);
@@ -221,7 +239,7 @@ impl EnokiScheduler for Nest {
     fn task_preempt(&self, _ctx: &SchedCtx<'_>, t: &TaskInfo, sched: Schedulable) {
         let mut st = self.state.lock();
         let vruntime = Self::update_vruntime(&mut st, t);
-        if st.rqs[t.cpu].current.map_or(false, |c| c.pid == t.pid) {
+        if st.rqs[t.cpu].current.is_some_and(|c| c.pid == t.pid) {
             st.rqs[t.cpu].current = None;
         }
         st.rqs[t.cpu].enqueue(Entity {
@@ -239,7 +257,7 @@ impl EnokiScheduler for Nest {
         let mut st = self.state.lock();
         st.meta.remove(&pid);
         for rq in st.rqs.iter_mut() {
-            if rq.current.map_or(false, |c| c.pid == pid) {
+            if rq.current.is_some_and(|c| c.pid == pid) {
                 rq.current = None;
             }
         }

@@ -11,11 +11,13 @@
 //! (10 µs rather than Shinjuku's 5 µs, "to prevent overloading the
 //! scheduler"); preempted tasks go to the back of the queue.
 
+use enoki_core::metrics::{EventKind, SchedulerMetrics};
 use enoki_core::sync::Mutex;
 use enoki_core::{
     EnokiScheduler, PickError, SchedCtx, Schedulable, TaskInfo, TransferIn, TransferOut,
 };
 use enoki_sim::{CpuId, CpuSet, HintVal, Ns, Pid, WakeFlags};
+use std::sync::{Arc, OnceLock};
 use std::collections::BTreeMap;
 
 /// Preemption slice (paper: 10 µs instead of Shinjuku's 5 µs).
@@ -40,9 +42,18 @@ pub struct Shinjuku {
     worker_cpus: CpuSet,
     /// Preemption slice (defaults to [`PREEMPT_SLICE`]).
     slice: Ns,
+    /// Metrics handle attached by the dispatch layer.
+    metrics: OnceLock<Arc<SchedulerMetrics>>,
 }
 
 impl Shinjuku {
+
+    /// Counts one enqueue on `cpu` if a metrics handle is attached.
+    fn note_enqueue(&self, cpu: usize) {
+        if let Some(m) = self.metrics.get() {
+            m.count(EventKind::Enqueues, cpu);
+        }
+    }
     /// Policy number registered for Shinjuku.
     pub const POLICY: i32 = 30;
 
@@ -55,6 +66,7 @@ impl Shinjuku {
     /// `worker_cpus`.
     pub fn with_workers(nr_cpus: usize, worker_cpus: CpuSet) -> Shinjuku {
         Shinjuku {
+            metrics: OnceLock::new(),
             state: Mutex::new(State {
                 queues: (0..nr_cpus).map(|_| BTreeMap::new()).collect(),
                 busy: vec![false; nr_cpus],
@@ -95,6 +107,10 @@ impl EnokiScheduler for Shinjuku {
     type UserMsg = HintVal;
     type RevMsg = HintVal;
 
+    fn attach_metrics(&self, metrics: &Arc<SchedulerMetrics>) {
+        let _ = self.metrics.set(metrics.clone());
+    }
+
     fn get_policy(&self) -> i32 {
         Self::POLICY
     }
@@ -122,6 +138,7 @@ impl EnokiScheduler for Shinjuku {
     }
 
     fn task_new(&self, ctx: &SchedCtx<'_>, _t: &TaskInfo, sched: Schedulable) {
+        self.note_enqueue(sched.cpu());
         let cpu = sched.cpu();
         self.enqueue(sched, ctx.now());
         // "Starts a reschedule timer on every operation" (paper §5.2) —
@@ -137,6 +154,7 @@ impl EnokiScheduler for Shinjuku {
         _flags: WakeFlags,
         sched: Schedulable,
     ) {
+        self.note_enqueue(sched.cpu());
         let cpu = sched.cpu();
         self.enqueue(sched, ctx.now());
         ctx.start_preempt_timer(cpu, self.slice);

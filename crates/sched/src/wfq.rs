@@ -9,11 +9,13 @@
 //! recordable lock shims.
 
 use crate::fair::{scale_vruntime, Current, Entity, FairRq, WAKEUP_GRANULARITY};
+use enoki_core::metrics::{EventKind, SchedulerMetrics};
 use enoki_core::sync::Mutex;
 use enoki_core::{
     EnokiScheduler, PickError, SchedCtx, Schedulable, TaskInfo, TransferIn, TransferOut,
 };
 use enoki_sim::{CpuId, HintVal, Ns, Pid, WakeFlags};
+use std::sync::{Arc, OnceLock};
 use std::collections::HashMap;
 
 /// Per-task bookkeeping shared across the per-core queues.
@@ -36,15 +38,25 @@ pub struct WfqTransfer {
 pub struct Wfq {
     rqs: Vec<Mutex<FairRq>>,
     meta: Mutex<HashMap<Pid, Meta>>,
+    /// Metrics handle attached by the dispatch layer.
+    metrics: OnceLock<Arc<SchedulerMetrics>>,
 }
 
 impl Wfq {
+
+    /// Counts one enqueue on `cpu` if a metrics handle is attached.
+    fn note_enqueue(&self, cpu: usize) {
+        if let Some(m) = self.metrics.get() {
+            m.count(EventKind::Enqueues, cpu);
+        }
+    }
     /// Policy number registered for WFQ.
     pub const POLICY: i32 = 10;
 
     /// Creates a WFQ scheduler for `nr_cpus` cores.
     pub fn new(nr_cpus: usize) -> Wfq {
         Wfq {
+            metrics: OnceLock::new(),
             rqs: (0..nr_cpus).map(|_| Mutex::new(FairRq::new())).collect(),
             meta: Mutex::new(HashMap::new()),
         }
@@ -88,6 +100,10 @@ impl EnokiScheduler for Wfq {
     type UserMsg = HintVal;
     type RevMsg = HintVal;
 
+    fn attach_metrics(&self, metrics: &Arc<SchedulerMetrics>) {
+        let _ = self.metrics.set(metrics.clone());
+    }
+
     fn get_policy(&self) -> i32 {
         Self::POLICY
     }
@@ -113,6 +129,7 @@ impl EnokiScheduler for Wfq {
     }
 
     fn task_new(&self, _ctx: &SchedCtx<'_>, t: &TaskInfo, sched: Schedulable) {
+        self.note_enqueue(sched.cpu());
         let cpu = sched.cpu();
         let mut rq = self.rqs[cpu].lock();
         let vruntime = rq.min_vruntime;
@@ -133,6 +150,7 @@ impl EnokiScheduler for Wfq {
     }
 
     fn task_wakeup(&self, ctx: &SchedCtx<'_>, t: &TaskInfo, _flags: WakeFlags, sched: Schedulable) {
+        self.note_enqueue(sched.cpu());
         let cpu = sched.cpu();
         let mut rq = self.rqs[cpu].lock();
         let vruntime = {
@@ -165,7 +183,7 @@ impl EnokiScheduler for Wfq {
     fn task_blocked(&self, _ctx: &SchedCtx<'_>, t: &TaskInfo) {
         let _v = self.update_vruntime(t);
         let mut rq = self.rqs[t.cpu].lock();
-        if rq.current.map_or(false, |c| c.pid == t.pid) {
+        if rq.current.is_some_and(|c| c.pid == t.pid) {
             rq.current = None;
         } else if rq.contains(t.pid) {
             // Blocked while queued (forced park): drop its entity; the
@@ -178,7 +196,7 @@ impl EnokiScheduler for Wfq {
     fn task_preempt(&self, _ctx: &SchedCtx<'_>, t: &TaskInfo, sched: Schedulable) {
         let vruntime = self.update_vruntime(t);
         let mut rq = self.rqs[t.cpu].lock();
-        if rq.current.map_or(false, |c| c.pid == t.pid) {
+        if rq.current.is_some_and(|c| c.pid == t.pid) {
             rq.current = None;
         }
         rq.enqueue(Entity {
@@ -197,7 +215,7 @@ impl EnokiScheduler for Wfq {
         self.meta.lock().remove(&pid);
         for rq in &self.rqs {
             let mut rq = rq.lock();
-            if rq.current.map_or(false, |c| c.pid == pid) {
+            if rq.current.is_some_and(|c| c.pid == pid) {
                 rq.current = None;
             }
         }
@@ -207,7 +225,7 @@ impl EnokiScheduler for Wfq {
         let cpu = self.meta.lock().get(&t.pid).map_or(t.cpu, |m| m.cpu);
         self.meta.lock().remove(&t.pid);
         let mut rq = self.rqs[cpu].lock();
-        if rq.current.map_or(false, |c| c.pid == t.pid) {
+        if rq.current.is_some_and(|c| c.pid == t.pid) {
             rq.current = None;
         }
         rq.remove(t.pid).map(|e| e.sched)
@@ -285,7 +303,7 @@ impl EnokiScheduler for Wfq {
             let vruntime = self.meta.lock().get(&s.pid()).map_or(0, |m| m.vruntime);
             let weight = self.meta.lock().get(&s.pid()).map_or(1024, |m| m.weight);
             let mut rq = self.rqs[home].lock();
-            if rq.current.map_or(false, |c| c.pid == s.pid()) {
+            if rq.current.is_some_and(|c| c.pid == s.pid()) {
                 rq.current = None;
             }
             rq.enqueue(Entity {
@@ -311,7 +329,7 @@ impl EnokiScheduler for Wfq {
                 continue;
             }
             let len = rq.lock().nr_queued();
-            if len > 0 && longest.map_or(true, |(best, _)| len > best) {
+            if len > 0 && longest.is_none_or(|(best, _)| len > best) {
                 longest = Some((len, other));
             }
         }

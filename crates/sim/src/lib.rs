@@ -44,6 +44,7 @@ pub mod event;
 pub mod fifo_ref;
 pub mod ipc;
 pub mod machine;
+pub mod rng;
 pub mod sched_class;
 pub mod stats;
 pub mod task;

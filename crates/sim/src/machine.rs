@@ -147,6 +147,8 @@ struct Core {
     ipi_pending: bool,
     /// Runnable tasks (including the running one) per class.
     nr_runnable: Vec<usize>,
+    /// When the core last went idle (`Some` while idle; cores start idle).
+    idle_since: Option<Ns>,
 }
 
 /// The simulated machine.
@@ -186,6 +188,7 @@ impl Machine {
                     hr_gen: 0,
                     ipi_pending: false,
                     nr_runnable: Vec::new(),
+                    idle_since: Some(Ns::ZERO),
                 })
                 .collect(),
             tasks: Vec::new(),
@@ -275,6 +278,21 @@ impl Machine {
     /// Run statistics.
     pub fn stats(&self) -> &MachineStats {
         &self.stats
+    }
+
+    /// Current run-queue depth on `cpu`: runnable tasks queued there
+    /// (including the running one) summed across scheduling classes.
+    pub fn runqueue_depth(&self, cpu: CpuId) -> usize {
+        self.cores[cpu].nr_runnable.iter().sum()
+    }
+
+    /// Total idle time accumulated by `cpu`, including the in-progress
+    /// idle period if the core is idle right now.
+    pub fn idle_time(&self, cpu: CpuId) -> Ns {
+        let live = self.cores[cpu]
+            .idle_since
+            .map_or(Ns::ZERO, |since| self.now.saturating_sub(since));
+        self.stats.cpu_idle[cpu] + live
     }
 
     /// Read access to a task control block (for post-run reporting).
@@ -701,6 +719,7 @@ impl Machine {
                 self.stats.nr_idle_picks += 1;
                 self.stats.cpu_sched_overhead[cpu] += cost;
                 self.trace(TraceEvent::Idle { at: self.now, cpu });
+                self.cores[cpu].idle_since.get_or_insert(self.now);
                 // Core goes idle; ticks lapse on their own.
             }
             Some(pid) => {
@@ -803,6 +822,7 @@ impl Machine {
             t.cache_penalty_pending = t.cache_penalty_pending.max(refill);
         }
         self.stats.nr_migrations += 1;
+        self.stats.cpu_migrations[to] += 1;
         self.trace(TraceEvent::Migrate {
             at: self.now,
             pid,
@@ -824,8 +844,12 @@ impl Machine {
     ) -> Result<(), SimError> {
         let start = self.now + cost;
         self.stats.cpu_sched_overhead[cpu] += cost;
+        if let Some(since) = self.cores[cpu].idle_since.take() {
+            self.stats.cpu_idle[cpu] += self.now.saturating_sub(since);
+        }
         if is_switch {
             self.stats.nr_context_switches += 1;
+            self.stats.cpu_context_switches[cpu] += 1;
             self.trace(TraceEvent::SwitchIn {
                 at: start,
                 cpu,
@@ -879,169 +903,167 @@ impl Machine {
     /// Advances a running task's program until it computes, blocks, yields,
     /// or exits. `elapsed` carries kernel-path cost already spent at entry.
     fn advance_task(&mut self, cpu: CpuId, pid: Pid, mut elapsed: Ns) -> Result<(), SimError> {
-        loop {
-            debug_assert_eq!(self.cores[cpu].running, Some(pid));
-            let ctx = BehaviorCtx {
-                now: self.now,
-                pid,
-                cpu,
-            };
-            let op = {
-                let b = self.behaviors[pid]
-                    .as_mut()
-                    .expect("live task has behavior");
-                b.next_op(&ctx)
-            };
-            match op {
-                Op::Compute(d) => {
-                    let t = &mut self.tasks[pid];
-                    let dur = d + std::mem::take(&mut t.cache_penalty_pending);
-                    t.in_burst = true;
-                    t.pending_compute = dur;
-                    t.gen += 1;
-                    let gen = t.gen;
-                    self.events
-                        .push(self.now + elapsed + dur, Event::OpDone { cpu, pid, gen });
-                    return Ok(());
+        debug_assert_eq!(self.cores[cpu].running, Some(pid));
+        let ctx = BehaviorCtx {
+            now: self.now,
+            pid,
+            cpu,
+        };
+        let op = {
+            let b = self.behaviors[pid]
+                .as_mut()
+                .expect("live task has behavior");
+            b.next_op(&ctx)
+        };
+        match op {
+            Op::Compute(d) => {
+                let t = &mut self.tasks[pid];
+                let dur = d + std::mem::take(&mut t.cache_penalty_pending);
+                t.in_burst = true;
+                t.pending_compute = dur;
+                t.gen += 1;
+                let gen = t.gen;
+                self.events
+                    .push(self.now + elapsed + dur, Event::OpDone { cpu, pid, gen });
+                return Ok(());
+            }
+            Op::PipeWrite(id) => {
+                elapsed += self.costs.pipe_write;
+                if self.pipes[id].touch(cpu) {
+                    elapsed += self.costs.cacheline_bounce;
                 }
-                Op::PipeWrite(id) => {
-                    elapsed += self.costs.pipe_write;
-                    if self.pipes[id].touch(cpu) {
-                        elapsed += self.costs.cacheline_bounce;
-                    }
-                    match self.pipes[id].write() {
-                        PipeOpResult::Done(reader) => {
-                            if let Some(r) = reader {
-                                self.wake_task(
-                                    r,
-                                    WakeFlags {
-                                        sync: true,
-                                        fork: false,
-                                        waker: None,
-                                    },
-                                    Some(cpu),
-                                )?;
-                            }
-                        }
-                        PipeOpResult::WouldBlock => {
-                            self.pipes[id].add_writer(pid);
-                            return self.block_current(
-                                cpu,
-                                pid,
-                                BlockReason::PipeWrite(id),
-                                elapsed,
-                            );
+                match self.pipes[id].write() {
+                    PipeOpResult::Done(reader) => {
+                        if let Some(r) = reader {
+                            self.wake_task(
+                                r,
+                                WakeFlags {
+                                    sync: true,
+                                    fork: false,
+                                    waker: None,
+                                },
+                                Some(cpu),
+                            )?;
                         }
                     }
-                }
-                Op::PipeRead(id) => {
-                    elapsed += self.costs.pipe_read;
-                    if self.pipes[id].touch(cpu) {
-                        elapsed += self.costs.cacheline_bounce;
+                    PipeOpResult::WouldBlock => {
+                        self.pipes[id].add_writer(pid);
+                        return self.block_current(
+                            cpu,
+                            pid,
+                            BlockReason::PipeWrite(id),
+                            elapsed,
+                        );
                     }
-                    match self.pipes[id].read() {
-                        PipeOpResult::Done(writer) => {
-                            if let Some(w) = writer {
-                                self.wake_task(w, WakeFlags::default(), Some(cpu))?;
-                            }
+                }
+            }
+            Op::PipeRead(id) => {
+                elapsed += self.costs.pipe_read;
+                if self.pipes[id].touch(cpu) {
+                    elapsed += self.costs.cacheline_bounce;
+                }
+                match self.pipes[id].read() {
+                    PipeOpResult::Done(writer) => {
+                        if let Some(w) = writer {
+                            self.wake_task(w, WakeFlags::default(), Some(cpu))?;
                         }
-                        PipeOpResult::WouldBlock => {
-                            self.pipes[id].add_reader(pid);
-                            return self.block_current(
-                                cpu,
-                                pid,
-                                BlockReason::PipeRead(id),
-                                elapsed,
-                            );
-                        }
+                    }
+                    PipeOpResult::WouldBlock => {
+                        self.pipes[id].add_reader(pid);
+                        return self.block_current(
+                            cpu,
+                            pid,
+                            BlockReason::PipeRead(id),
+                            elapsed,
+                        );
                     }
                 }
-                Op::Sleep(d) => {
-                    elapsed += self.costs.sleep_syscall;
-                    let slack = if self.tasks[pid].precise_timers {
-                        Ns::ZERO
-                    } else {
-                        self.costs.timer_slack
-                    };
-                    let wake_at = self.now + elapsed + d + slack;
-                    return self.block_for_sleep(cpu, pid, wake_at, elapsed);
+            }
+            Op::Sleep(d) => {
+                elapsed += self.costs.sleep_syscall;
+                let slack = if self.tasks[pid].precise_timers {
+                    Ns::ZERO
+                } else {
+                    self.costs.timer_slack
+                };
+                let wake_at = self.now + elapsed + d + slack;
+                return self.block_for_sleep(cpu, pid, wake_at, elapsed);
+            }
+            Op::FutexWait(key) => {
+                elapsed += self.costs.futex_wait;
+                if !self.futexes.wait(key, pid) {
+                    return self.block_current(cpu, pid, BlockReason::Futex(key), elapsed);
                 }
-                Op::FutexWait(key) => {
-                    elapsed += self.costs.futex_wait;
-                    if !self.futexes.wait(key, pid) {
-                        return self.block_current(cpu, pid, BlockReason::Futex(key), elapsed);
-                    }
-                    // A pending wake was consumed; continue without blocking.
+                // A pending wake was consumed; continue without blocking.
+            }
+            Op::FutexWake(key, n) => {
+                elapsed += self.costs.futex_wake;
+                for p in self.futexes.wake(key, n) {
+                    self.wake_task(p, WakeFlags::default(), Some(cpu))?;
                 }
-                Op::FutexWake(key, n) => {
-                    elapsed += self.costs.futex_wake;
-                    for p in self.futexes.wake(key, n) {
-                        self.wake_task(p, WakeFlags::default(), Some(cpu))?;
-                    }
-                }
-                Op::Hint(h) => {
-                    elapsed += self.costs.hint_deliver;
-                    let ci = self.tasks[pid].class;
-                    self.class_call(ci, Some(cpu), |c, k| c.deliver_hint(k, pid, h))?;
-                }
-                Op::Yield => {
-                    return self.yield_current(cpu, pid, elapsed);
-                }
-                Op::SetNice(n) => {
+            }
+            Op::Hint(h) => {
+                elapsed += self.costs.hint_deliver;
+                let ci = self.tasks[pid].class;
+                self.class_call(ci, Some(cpu), |c, k| c.deliver_hint(k, pid, h))?;
+            }
+            Op::Yield => {
+                return self.yield_current(cpu, pid, elapsed);
+            }
+            Op::SetNice(n) => {
+                self.update_curr(cpu);
+                self.tasks[pid].set_nice(n);
+                let ci = self.tasks[pid].class;
+                let view = self.tasks[pid].view();
+                self.class_call(ci, Some(cpu), |c, k| c.task_prio_changed(k, &view))?;
+            }
+            Op::SetAffinity(mask) => {
+                let set = CpuSet::from_mask(mask).and(&self.topo.all_cpus());
+                assert!(!set.is_empty(), "empty affinity mask");
+                self.tasks[pid].affinity = set;
+                let ci = self.tasks[pid].class;
+                let view = self.tasks[pid].view();
+                self.class_call(ci, Some(cpu), |c, k| c.task_affinity_changed(k, &view))?;
+                if !set.contains(cpu) {
+                    // Must move off this cpu: park and rewake through
+                    // the placement path.
                     self.update_curr(cpu);
-                    self.tasks[pid].set_nice(n);
                     let ci = self.tasks[pid].class;
-                    let view = self.tasks[pid].view();
-                    self.class_call(ci, Some(cpu), |c, k| c.task_prio_changed(k, &view))?;
-                }
-                Op::SetAffinity(mask) => {
-                    let set = CpuSet::from_mask(mask).and(&self.topo.all_cpus());
-                    assert!(!set.is_empty(), "empty affinity mask");
-                    self.tasks[pid].affinity = set;
-                    let ci = self.tasks[pid].class;
-                    let view = self.tasks[pid].view();
-                    self.class_call(ci, Some(cpu), |c, k| c.task_affinity_changed(k, &view))?;
-                    if !set.contains(cpu) {
-                        // Must move off this cpu: park and rewake through
-                        // the placement path.
-                        self.update_curr(cpu);
-                        let ci = self.tasks[pid].class;
-                        {
-                            let t = &mut self.tasks[pid];
-                            t.state = TaskState::Blocked;
-                            t.block_reason = Some(BlockReason::Parked);
-                            t.on_rq = false;
-                            t.in_burst = false;
-                            t.gen += 1;
-                        }
-                        self.cores[cpu].nr_runnable[ci] -= 1;
-                        let view = self.tasks[pid].view();
-                        self.class_call(ci, Some(cpu), |c, k| c.task_blocked(k, &view))?;
-                        self.cores[cpu].running = None;
-                        self.wake_task(pid, WakeFlags::default(), Some(cpu))?;
-                        return self.resched(cpu, elapsed);
+                    {
+                        let t = &mut self.tasks[pid];
+                        t.state = TaskState::Blocked;
+                        t.block_reason = Some(BlockReason::Parked);
+                        t.on_rq = false;
+                        t.in_burst = false;
+                        t.gen += 1;
                     }
-                }
-                Op::Exit => {
-                    return self.exit_current(cpu, pid, elapsed);
+                    self.cores[cpu].nr_runnable[ci] -= 1;
+                    let view = self.tasks[pid].view();
+                    self.class_call(ci, Some(cpu), |c, k| c.task_blocked(k, &view))?;
+                    self.cores[cpu].running = None;
+                    self.wake_task(pid, WakeFlags::default(), Some(cpu))?;
+                    return self.resched(cpu, elapsed);
                 }
             }
-            if self.cores[cpu].need_resched {
-                // A wakeup we caused preempts us between ops.
-                self.tasks[pid].in_burst = false;
-                return self.resched(cpu, elapsed);
+            Op::Exit => {
+                return self.exit_current(cpu, pid, elapsed);
             }
-            // Requeue the rest of the program as a fresh event so events on
-            // other cpus interleave at op granularity (otherwise chains of
-            // non-blocking syscalls would execute atomically and, e.g.,
-            // pipe ping-pong would batch instead of alternating).
-            let t = &mut self.tasks[pid];
-            t.gen += 1;
-            let gen = t.gen;
-            self.events
-                .push(self.now + elapsed, Event::RunTask { cpu, pid, gen });
-            return Ok(());
         }
+        if self.cores[cpu].need_resched {
+            // A wakeup we caused preempts us between ops.
+            self.tasks[pid].in_burst = false;
+            return self.resched(cpu, elapsed);
+        }
+        // Requeue the rest of the program as a fresh event so events on
+        // other cpus interleave at op granularity (otherwise chains of
+        // non-blocking syscalls would execute atomically and, e.g.,
+        // pipe ping-pong would batch instead of alternating).
+        let t = &mut self.tasks[pid];
+        t.gen += 1;
+        let gen = t.gen;
+        self.events
+            .push(self.now + elapsed, Event::RunTask { cpu, pid, gen });
+        Ok(())
     }
 
     /// Blocks the current task on a sleep and arms its wake timer with the

@@ -1,0 +1,185 @@
+//! A small, dependency-free deterministic PRNG.
+//!
+//! The workload generators need reproducible pseudo-randomness (service
+//! times, zipfian key picks, jitter). The container builds offline, so
+//! instead of the `rand` crate this module provides a xoshiro256++
+//! generator with the few sampling helpers the workloads use. Streams are
+//! fully determined by the seed, which is what the determinism and
+//! record/replay tests rely on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seeded xoshiro256++ generator (API-compatible with the subset of
+/// `rand::rngs::SmallRng` the workloads used).
+///
+/// # Examples
+///
+/// ```
+/// use enoki_sim::rng::SmallRng;
+/// let mut a = SmallRng::seed_from_u64(7);
+/// let mut b = SmallRng::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> SmallRng {
+        // SplitMix64 expansion of the seed into the xoshiro state, per the
+        // generator authors' recommendation (never all-zero).
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SmallRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform float in `[0, 1)` (53 random mantissa bits).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Samples uniformly from `range`.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+/// A range that [`SmallRng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut SmallRng) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                // Lemire's widening-multiply mapping: unbiased enough for
+                // workload generation, and branch-free.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                if start == <$t>::MIN && end == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                rng.gen_range(start..end + 1)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u64, u32, usize, i64, i32);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut SmallRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample(self, rng: &mut SmallRng) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range");
+        start + rng.next_f64() * (end - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn int_range_stays_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(5u32..=7);
+            assert!((5..=7).contains(&w));
+        }
+    }
+
+    #[test]
+    fn float_range_stays_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let v = r.gen_range(0.5..1.5);
+            assert!((0.5..1.5).contains(&v));
+            let w = r.gen_range(-0.1..=0.1);
+            assert!((-0.1..=0.1).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SmallRng::seed_from_u64(5);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_bool_rate_tracks_p() {
+        let mut r = SmallRng::seed_from_u64(6);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate={rate}");
+    }
+}

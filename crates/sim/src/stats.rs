@@ -175,6 +175,14 @@ pub struct MachineStats {
     pub nr_pick_rejects: u64,
     /// Per-cpu busy time (task execution only).
     pub cpu_busy: Vec<Ns>,
+    /// Per-cpu context-switch counts (sums to `nr_context_switches`).
+    pub cpu_context_switches: Vec<u64>,
+    /// Per-cpu migration counts, attributed to the destination cpu (sums
+    /// to `nr_migrations`).
+    pub cpu_migrations: Vec<u64>,
+    /// Per-cpu accumulated idle time (completed idle periods only; see
+    /// [`crate::machine::Machine::idle_time`] for the live value).
+    pub cpu_idle: Vec<Ns>,
     /// Per-cpu time spent in kernel scheduling paths.
     pub cpu_sched_overhead: Vec<Ns>,
     /// Per-class cpu time (indexed by class registration order).
@@ -190,6 +198,9 @@ impl MachineStats {
     pub fn new(nr_cpus: usize) -> MachineStats {
         MachineStats {
             cpu_busy: vec![Ns::ZERO; nr_cpus],
+            cpu_context_switches: vec![0; nr_cpus],
+            cpu_migrations: vec![0; nr_cpus],
+            cpu_idle: vec![Ns::ZERO; nr_cpus],
             cpu_sched_overhead: vec![Ns::ZERO; nr_cpus],
             wakeup_latency: Histogram::new(),
             ..MachineStats::default()

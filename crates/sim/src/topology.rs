@@ -57,15 +57,6 @@ impl CpuSet {
         s
     }
 
-    /// A set built from an iterator of cpu ids.
-    pub fn from_iter<I: IntoIterator<Item = CpuId>>(iter: I) -> CpuSet {
-        let mut s = CpuSet::empty();
-        for cpu in iter {
-            s.add(cpu);
-        }
-        s
-    }
-
     /// Adds a cpu to the set.
     pub fn add(&mut self, cpu: CpuId) {
         assert!(cpu < 128);
@@ -104,6 +95,16 @@ impl CpuSet {
     }
 }
 
+impl FromIterator<CpuId> for CpuSet {
+    fn from_iter<I: IntoIterator<Item = CpuId>>(iter: I) -> CpuSet {
+        let mut s = CpuSet::empty();
+        for cpu in iter {
+            s.add(cpu);
+        }
+        s
+    }
+}
+
 /// Description of the simulated machine's core layout.
 #[derive(Clone, Debug)]
 pub struct Topology {
@@ -118,7 +119,7 @@ impl Topology {
     /// NUMA nodes (cpus are striped in contiguous blocks, like Linux's
     /// default enumeration on multi-socket Intel machines).
     pub fn new(nr_cpus: usize, nr_nodes: usize) -> Topology {
-        assert!(nr_cpus > 0 && nr_nodes > 0 && nr_cpus % nr_nodes == 0);
+        assert!(nr_cpus > 0 && nr_nodes > 0 && nr_cpus.is_multiple_of(nr_nodes));
         assert!(nr_cpus <= 128, "at most 128 cpus are supported");
         let per_node = nr_cpus / nr_nodes;
         let node_of = (0..nr_cpus).map(|c| c / per_node).collect();

@@ -21,8 +21,7 @@
 use crate::testbed::{build, BedOptions, SchedKind, TestBed};
 use enoki_sim::behavior::{closure_behavior, Op};
 use enoki_sim::{CostModel, Ns, TaskSpec, Topology};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use enoki_sim::rng::SmallRng;
 
 use crate::metrics::SharedCell;
 

@@ -22,8 +22,7 @@ use crate::testbed::{build, BedOptions, SchedKind, TestBed};
 use enoki_sched::arbiter::{park_key, HINT_CORE_REQUEST, HINT_JOIN, REV_RECLAIM};
 use enoki_sim::behavior::{closure_behavior, HintVal, Op};
 use enoki_sim::{CostModel, CpuSet, Ns, TaskSpec, Topology};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use enoki_sim::rng::SmallRng;
 use std::collections::VecDeque;
 
 /// GET service time (ETC-like small reads dominate).

@@ -12,8 +12,7 @@ use crate::metrics::{SharedCell, SharedHist};
 use crate::testbed::{build, BedOptions, SchedKind};
 use enoki_sim::behavior::{closure_behavior, Op};
 use enoki_sim::{CostModel, CpuSet, Ns, TaskSpec, Topology};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use enoki_sim::rng::SmallRng;
 use std::collections::VecDeque;
 
 /// GET service time (paper: "each GET is assigned to take 4 µs").

@@ -18,8 +18,7 @@ use crate::testbed::TestBed;
 use enoki_sched::locality::HINT_LOCALITY;
 use enoki_sim::behavior::{closure_behavior, HintVal, Op};
 use enoki_sim::{CpuSet, Ns, TaskSpec};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use enoki_sim::rng::SmallRng;
 
 /// Which latency schbench reports.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -167,7 +166,7 @@ pub fn run_schbench(bed: &mut TestBed, cfg: SchbenchConfig) -> SchbenchResult {
                 // round); this is what competes with workers when every
                 // thread shares one core. Jittered so the groups' rounds
                 // drift in and out of phase, producing a realistic tail.
-                let base = match cfg.variant {
+                let base: u64 = match cfg.variant {
                     Variant::Standard => 1_000,
                     Variant::Response => 3_000,
                 };
@@ -181,7 +180,7 @@ pub fn run_schbench(bed: &mut TestBed, cfg: SchbenchConfig) -> SchbenchResult {
         let spawned = m.spawn(spec);
         debug_assert_eq!(spawned, msg_pid);
 
-        for w in 0..cfg.workers_per_msg {
+        for (w, &worker_pid) in worker_pids.iter().enumerate().take(cfg.workers_per_msg) {
             let rs = round_start.clone();
             let h = hist.clone();
             let meas = measuring.clone();
@@ -226,7 +225,7 @@ pub fn run_schbench(bed: &mut TestBed, cfg: SchbenchConfig) -> SchbenchResult {
                 spec = spec.affinity(a);
             }
             let spawned = m.spawn(spec);
-            debug_assert_eq!(spawned, worker_pids[w]);
+            debug_assert_eq!(spawned, worker_pid);
         }
     }
 

@@ -81,7 +81,7 @@ pub struct TestBed {
 }
 
 /// Options for [`build`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct BedOptions {
     /// Stack a native CFS class below the scheduler under test.
     pub with_cfs_below: bool,
@@ -90,16 +90,6 @@ pub struct BedOptions {
     pub shinjuku_workers: Option<CpuSet>,
     /// Cpus the arbiter manages; `None` = all but cpu 0.
     pub arbiter_cores: Option<CpuSet>,
-}
-
-impl Default for BedOptions {
-    fn default() -> BedOptions {
-        BedOptions {
-            with_cfs_below: false,
-            shinjuku_workers: None,
-            arbiter_cores: None,
-        }
-    }
 }
 
 /// Builds the testbed for a scheduler configuration.

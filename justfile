@@ -1,0 +1,23 @@
+# Project task runner. `just` runs the default recipe (ci).
+
+default: ci
+
+# Everything CI runs, in CI's order.
+ci: build test lint
+
+build:
+    cargo build --release
+
+test:
+    cargo test -q
+
+lint:
+    cargo clippy --all-targets -- -D warnings
+
+# Criterion-style microbenchmarks (includes the metrics-overhead gate).
+bench:
+    cargo bench -p enoki-bench
+
+# Per-cpu timeline + Chrome trace for a scheduler run.
+schedviz sched="wfq":
+    cargo run --release -p enoki-bench --bin schedviz -- {{sched}}

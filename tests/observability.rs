@@ -1,0 +1,169 @@
+//! End-to-end test of the observability layer: drive a multicore sim,
+//! snapshot the metrics registry before and after, and check that the
+//! dispatch layer, the sim machine, and the exporters all agree.
+
+use enoki::core::metrics::{self, export, EventKind};
+use enoki::sim::behavior::{Op, ProgramBehavior};
+use enoki::sim::{CostModel, Ns, TaskSpec, Topology};
+use enoki::workloads::testbed::{build, BedOptions, SchedKind};
+
+#[test]
+fn multicore_run_populates_metrics_and_exports() {
+    let mut bed = build(
+        Topology::i7_9700(),
+        CostModel::calibrated(),
+        SchedKind::Wfq,
+        BedOptions::default(),
+    );
+    let nr_cpus = bed.machine.topology().nr_cpus();
+    assert!(nr_cpus >= 4, "needs a multicore topology");
+    bed.machine.enable_trace(1 << 16);
+    let class = bed.enoki.clone().expect("wfq is an Enoki scheduler");
+    let sink = class.metrics().arm_trace(1 << 14);
+
+    // Snapshot before any work: the handle is fresh, so nothing recorded.
+    let before = class.metrics().snapshot();
+
+    // Enough pinned work per cpu that every core context-switches.
+    for cpu in 0..nr_cpus {
+        for i in 0..3 {
+            bed.machine.spawn(
+                TaskSpec::new(
+                    format!("t{cpu}-{i}"),
+                    bed.class_idx,
+                    Box::new(ProgramBehavior::repeat(
+                        vec![Op::Compute(Ns::from_us(400)), Op::Sleep(Ns::from_us(200))],
+                        6,
+                    )),
+                )
+                .on_cpu(cpu),
+            );
+        }
+    }
+    assert!(bed
+        .machine
+        .run_to_completion(Ns::from_secs(1))
+        .expect("no kernel panic"));
+
+    metrics::observe_machine(&bed.machine, class.metrics());
+    let after = class.metrics().snapshot();
+    let delta = after.diff(&before);
+
+    // Context switches happened on every cpu, and the per-cpu counts the
+    // metrics layer carries must sum to the machine's own total.
+    let name = class.metrics().name().to_string();
+    let mut summed = 0;
+    for cpu in 0..nr_cpus {
+        let switches = delta.counter(&name, cpu, EventKind::ContextSwitches);
+        assert!(switches > 0, "cpu {cpu} never context-switched");
+        summed += switches;
+    }
+    assert_eq!(summed, bed.machine.stats().nr_context_switches);
+    assert!(delta.counter_total(&name, EventKind::DispatchCalls) > 0);
+    assert!(delta.counter_total(&name, EventKind::Enqueues) > 0);
+
+    // Per-cpu pick-latency quantiles are available wherever picks ran.
+    for cpu in 0..nr_cpus {
+        if delta.counter(&name, cpu, EventKind::Picks) == 0 {
+            continue;
+        }
+        let h = delta
+            .histogram(&name, cpu, EventKind::PickLatency)
+            .unwrap_or_else(|| panic!("cpu {cpu} picked but has no latency histogram"));
+        let p50 = h.quantile(0.5).expect("nonempty histogram has a median");
+        let p99 = h.quantile(0.99).expect("nonempty histogram has a p99");
+        assert!(p50 <= p99, "cpu {cpu}: p50 {p50} above p99 {p99}");
+        assert!(p99 <= h.max(), "cpu {cpu}: p99 {p99} above max {}", h.max());
+    }
+    // Pick timing is sampled (1-in-32 per cpu, first pick always timed),
+    // so the merged histogram holds a nonempty subset of all picks.
+    let merged = after
+        .histogram_merged(&name, EventKind::PickLatency)
+        .expect("at least one cpu picked");
+    assert!(merged.count() > 0);
+    assert!(merged.count() <= after.counter_total(&name, EventKind::Picks));
+
+    // The structured sink captured one record per timed pick.
+    let mut records = Vec::new();
+    while let Some(r) = sink.pop() {
+        records.push(r);
+    }
+    assert!(!records.is_empty(), "trace sink stayed empty");
+    assert!(records.iter().all(|r| (r.cpu as usize) < nr_cpus));
+
+    // Both exporters produce well-formed Chrome trace JSON.
+    let tracer = bed.machine.tracer().expect("tracing armed");
+    let sim_json = export::chrome_trace_from_sim(tracer, nr_cpus, bed.machine.now());
+    export::validate_json(&sim_json).expect("sim trace JSON is valid");
+    assert!(sim_json.contains(r#""traceEvents""#));
+    let sink_json = export::chrome_trace_from_records(&records);
+    export::validate_json(&sink_json).expect("sink trace JSON is valid");
+
+    // Diffing identical snapshots cancels all counters and histograms;
+    // gauges are point-in-time and ride through unchanged.
+    let zero = after.diff(&after);
+    assert!(zero.counters.is_empty());
+    assert!(zero.histograms.is_empty());
+    assert_eq!(zero.gauges, after.gauges);
+}
+
+#[test]
+fn sim_exposes_per_cpu_accounting() {
+    let mut bed = build(
+        Topology::i7_9700(),
+        CostModel::calibrated(),
+        SchedKind::Fifo,
+        BedOptions::default(),
+    );
+    // One long task pinned to cpu 0; the rest of the machine stays idle.
+    bed.machine.spawn(
+        TaskSpec::new(
+            "solo",
+            bed.class_idx,
+            Box::new(ProgramBehavior::once(vec![Op::Compute(Ns::from_ms(2))])),
+        )
+        .on_cpu(0),
+    );
+    assert!(bed.machine.run_to_completion(Ns::from_secs(1)).unwrap());
+
+    let stats = bed.machine.stats();
+    assert_eq!(
+        stats.cpu_context_switches.iter().sum::<u64>(),
+        stats.nr_context_switches
+    );
+    assert_eq!(stats.cpu_migrations.iter().sum::<u64>(), stats.nr_migrations);
+    // Untouched cpus idled for the whole run; cpu 0 for strictly less.
+    let elapsed = bed.machine.now();
+    assert!(bed.machine.idle_time(0) < elapsed);
+    for cpu in 1..bed.machine.topology().nr_cpus() {
+        assert!(
+            bed.machine.idle_time(cpu) >= elapsed - Ns::from_us(50),
+            "cpu {cpu} claims busy time it never had"
+        );
+    }
+    // Everything finished: no run queue holds a task any more.
+    for cpu in 0..bed.machine.topology().nr_cpus() {
+        assert_eq!(bed.machine.runqueue_depth(cpu), 0);
+    }
+}
+
+#[test]
+fn lock_shims_report_into_the_global_registry() {
+    let lock = enoki::core::sync::Mutex::new(0u64);
+    let before = metrics::lock_metrics().snapshot();
+    // Acquisition counts publish in per-thread blocks of 64 and hold-time
+    // timing samples once per 1024 acquisitions, so drive enough traffic
+    // that both must surface regardless of where this thread's staged
+    // sequence started. Other tests share the global handle, hence >=.
+    let rounds = 8192u64;
+    for _ in 0..rounds {
+        *lock.lock() += 1;
+    }
+    assert_eq!(*lock.lock(), rounds);
+    let delta = metrics::lock_metrics().snapshot().diff(&before);
+    assert!(delta.counter("locks", 0, EventKind::LockAcquires) >= rounds - 63);
+    let holds = delta
+        .histogram("locks", 0, EventKind::LockHold)
+        .expect("hold times recorded");
+    assert!(holds.count() >= rounds / 1024 - 1);
+}

@@ -1,122 +1,110 @@
-//! Property-based tests (proptest) over the core data structures and
-//! system invariants: the record codec, ring buffers, histograms, cpu
-//! sets, vruntime math, and whole-simulation invariants (work
-//! conservation, runtime accounting, token conservation).
+//! Randomized property tests over the core data structures and system
+//! invariants: the record codec, ring buffers, histograms, cpu sets,
+//! vruntime math, and whole-simulation invariants (work conservation,
+//! runtime accounting, token conservation).
+//!
+//! The build is offline, so instead of proptest these run a deterministic
+//! seeded-case loop over [`enoki::sim::rng::SmallRng`]: every case derives
+//! from a fixed seed, and failures report the case seed so they can be
+//! replayed by hand.
 
 use enoki::core::queue::RingBuffer;
 use enoki::core::record::{CallArgs, FuncId, LockOp, Rec};
 use enoki::sched::fair::scale_vruntime;
 use enoki::sim::behavior::{Op, ProgramBehavior};
+use enoki::sim::rng::SmallRng;
 use enoki::sim::stats::Histogram;
 use enoki::sim::{CostModel, CpuSet, Ns, TaskSpec, Topology};
 use enoki::workloads::testbed::{build, BedOptions, SchedKind};
-use proptest::prelude::*;
 use std::collections::VecDeque;
 
-fn arb_func() -> impl Strategy<Value = FuncId> {
-    prop_oneof![
-        Just(FuncId::SelectTaskRq),
-        Just(FuncId::TaskNew),
-        Just(FuncId::TaskWakeup),
-        Just(FuncId::TaskBlocked),
-        Just(FuncId::TaskYield),
-        Just(FuncId::TaskPreempt),
-        Just(FuncId::TaskDead),
-        Just(FuncId::TaskDeparted),
-        Just(FuncId::TaskTick),
-        Just(FuncId::Balance),
-        Just(FuncId::PickNextTask),
-        Just(FuncId::MigrateTaskRq),
-        Just(FuncId::TaskPrioChanged),
-        Just(FuncId::TaskAffinityChanged),
-        Just(FuncId::BalanceErr),
-        Just(FuncId::PntErr),
-    ]
+/// Runs `body` for `cases` deterministic seeds derived from `base_seed`.
+fn for_cases(base_seed: u64, cases: u64, mut body: impl FnMut(&mut SmallRng)) {
+    for case in 0..cases {
+        let seed = base_seed ^ (case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        body(&mut rng);
+    }
 }
 
-fn arb_rec() -> impl Strategy<Value = Rec> {
-    prop_oneof![
-        (any::<u32>(), any::<u64>()).prop_map(|(tid, lock)| Rec::LockCreate { tid, lock }),
-        (any::<u32>(), any::<u64>(), 0u8..3).prop_map(|(tid, lock, op)| Rec::LockAcquire {
-            tid,
-            lock,
-            op: match op {
+fn arb_func(rng: &mut SmallRng) -> FuncId {
+    const FUNCS: [FuncId; 16] = [
+        FuncId::SelectTaskRq,
+        FuncId::TaskNew,
+        FuncId::TaskWakeup,
+        FuncId::TaskBlocked,
+        FuncId::TaskYield,
+        FuncId::TaskPreempt,
+        FuncId::TaskDead,
+        FuncId::TaskDeparted,
+        FuncId::TaskTick,
+        FuncId::Balance,
+        FuncId::PickNextTask,
+        FuncId::MigrateTaskRq,
+        FuncId::TaskPrioChanged,
+        FuncId::TaskAffinityChanged,
+        FuncId::BalanceErr,
+        FuncId::PntErr,
+    ];
+    FUNCS[rng.gen_range(0usize..FUNCS.len())]
+}
+
+fn arb_rec(rng: &mut SmallRng) -> Rec {
+    match rng.gen_range(0u32..6) {
+        0 => Rec::LockCreate {
+            tid: rng.next_u64() as u32,
+            lock: rng.next_u64(),
+        },
+        1 => Rec::LockAcquire {
+            tid: rng.next_u64() as u32,
+            lock: rng.next_u64(),
+            op: match rng.gen_range(0u32..3) {
                 0 => LockOp::Mutex,
                 1 => LockOp::Read,
                 _ => LockOp::Write,
             },
-        }),
-        (any::<u32>(), any::<u64>()).prop_map(|(tid, lock)| Rec::LockRelease { tid, lock }),
-        (any::<u32>(), arb_func(), any::<i64>()).prop_map(|(tid, func, val)| Rec::Ret {
-            tid,
-            func,
-            val
-        }),
-        (
-            (
-                any::<u32>(),
-                arb_func(),
-                any::<u64>(),
-                any::<i64>(),
-                any::<u64>(),
-                any::<u64>()
-            ),
-            (
-                any::<i32>(),
-                any::<i32>(),
-                any::<u32>(),
-                any::<i32>(),
-                any::<u32>(),
-                any::<u64>(),
-                any::<u64>()
-            ),
-        )
-            .prop_map(
-                |(
-                    (tid, func, now, pid, runtime, delta),
-                    (cpu, prev_cpu, weight, nice, flags, lo, hi),
-                )| {
-                    Rec::Call {
-                        tid,
-                        func,
-                        args: CallArgs {
-                            now,
-                            pid,
-                            runtime,
-                            delta,
-                            cpu,
-                            prev_cpu,
-                            weight,
-                            nice,
-                            flags,
-                            aff_lo: lo,
-                            aff_hi: hi,
-                        },
-                    }
-                }
-            ),
-        (
-            any::<u32>(),
-            any::<i64>(),
-            any::<u32>(),
-            any::<i64>(),
-            any::<i64>(),
-            any::<i64>()
-        )
-            .prop_map(|(tid, pid, kind, a, b, c)| Rec::Hint {
-                tid,
-                pid,
-                kind,
-                a,
-                b,
-                c
-            }),
-    ]
+        },
+        2 => Rec::LockRelease {
+            tid: rng.next_u64() as u32,
+            lock: rng.next_u64(),
+        },
+        3 => Rec::Ret {
+            tid: rng.next_u64() as u32,
+            func: arb_func(rng),
+            val: rng.next_u64() as i64,
+        },
+        4 => Rec::Call {
+            tid: rng.next_u64() as u32,
+            func: arb_func(rng),
+            args: CallArgs {
+                now: rng.next_u64(),
+                pid: rng.next_u64() as i64,
+                runtime: rng.next_u64(),
+                delta: rng.next_u64(),
+                cpu: rng.next_u64() as i32,
+                prev_cpu: rng.next_u64() as i32,
+                weight: rng.next_u64() as u32,
+                nice: rng.next_u64() as i32,
+                flags: rng.next_u64() as u32,
+                aff_lo: rng.next_u64(),
+                aff_hi: rng.next_u64(),
+            },
+        },
+        _ => Rec::Hint {
+            tid: rng.next_u64() as u32,
+            pid: rng.next_u64() as i64,
+            kind: rng.next_u64() as u32,
+            a: rng.next_u64() as i64,
+            b: rng.next_u64() as i64,
+            c: rng.next_u64() as i64,
+        },
+    }
 }
 
-proptest! {
-    #[test]
-    fn codec_round_trips_any_record_stream(recs in proptest::collection::vec(arb_rec(), 0..64)) {
+#[test]
+fn codec_round_trips_any_record_stream() {
+    for_cases(0xC0DEC, 64, |rng| {
+        let recs: Vec<Rec> = (0..rng.gen_range(0usize..64)).map(|_| arb_rec(rng)).collect();
         let mut buf = Vec::new();
         for r in &recs {
             r.encode(&mut buf);
@@ -128,37 +116,40 @@ proptest! {
             decoded.push(r);
             off += used;
         }
-        prop_assert_eq!(decoded, recs);
-    }
+        assert_eq!(decoded, recs);
+    });
+}
 
-    #[test]
-    fn ring_buffer_matches_a_queue_model(ops in proptest::collection::vec(any::<Option<u64>>(), 0..200)) {
+#[test]
+fn ring_buffer_matches_a_queue_model() {
+    for_cases(0x21B6, 64, |rng| {
         // Some(v) = push v, None = pop; compare against VecDeque.
         let ring: RingBuffer<u64> = RingBuffer::with_capacity(16);
         let mut model: VecDeque<u64> = VecDeque::new();
-        for op in ops {
-            match op {
-                Some(v) => {
-                    let ok = ring.push(v).is_ok();
-                    if model.len() < 16 {
-                        prop_assert!(ok);
-                        model.push_back(v);
-                    } else {
-                        prop_assert!(!ok);
-                    }
+        for _ in 0..rng.gen_range(0usize..200) {
+            if rng.gen_bool(0.5) {
+                let v = rng.next_u64();
+                let ok = ring.push(v).is_ok();
+                if model.len() < 16 {
+                    assert!(ok);
+                    model.push_back(v);
+                } else {
+                    assert!(!ok);
                 }
-                None => {
-                    prop_assert_eq!(ring.pop(), model.pop_front());
-                }
+            } else {
+                assert_eq!(ring.pop(), model.pop_front());
             }
-            prop_assert_eq!(ring.len(), model.len());
+            assert_eq!(ring.len(), model.len());
         }
-    }
+    });
+}
 
-    #[test]
-    fn histogram_quantiles_are_ordered_and_bounded(
-        samples in proptest::collection::vec(1u64..1_000_000_000, 1..300)
-    ) {
+#[test]
+fn histogram_quantiles_are_ordered_and_bounded() {
+    for_cases(0x415706, 64, |rng| {
+        let samples: Vec<u64> = (0..rng.gen_range(1usize..300))
+            .map(|_| rng.gen_range(1u64..1_000_000_000))
+            .collect();
         let mut h = Histogram::new();
         for &s in &samples {
             h.record(Ns(s));
@@ -166,54 +157,63 @@ proptest! {
         let q50 = h.quantile(0.5).unwrap();
         let q99 = h.quantile(0.99).unwrap();
         let q100 = h.quantile(1.0).unwrap();
-        prop_assert!(q50 <= q99);
-        prop_assert!(q99 <= q100);
+        assert!(q50 <= q99);
+        assert!(q99 <= q100);
         let max = *samples.iter().max().unwrap();
         let min = *samples.iter().min().unwrap();
-        prop_assert!(q100.as_nanos() <= max);
-        prop_assert!(q50.as_nanos() >= min.min(max));
+        assert!(q100.as_nanos() <= max);
+        assert!(q50.as_nanos() >= min.min(max));
         // Bucketing error bound: the top quantile is within 7% of max.
-        prop_assert!(q100.as_nanos() as f64 >= max as f64 * 0.93);
-    }
-
-    #[test]
-    fn cpuset_behaves_like_a_set(cpus in proptest::collection::vec(0usize..128, 0..64)) {
-        let set = CpuSet::from_iter(cpus.iter().copied());
-        let model: std::collections::BTreeSet<usize> = cpus.iter().copied().collect();
-        prop_assert_eq!(set.count(), model.len());
-        for c in 0..128 {
-            prop_assert_eq!(set.contains(c), model.contains(&c));
-        }
-        prop_assert_eq!(set.iter().collect::<Vec<_>>(), model.iter().copied().collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn vruntime_scaling_is_monotonic_in_delta_and_antitone_in_weight(
-        d1 in 0u64..10_000_000,
-        d2 in 0u64..10_000_000,
-        w1 in 1u32..100_000,
-        w2 in 1u32..100_000,
-    ) {
-        if d1 <= d2 {
-            prop_assert!(scale_vruntime(Ns(d1), w1) <= scale_vruntime(Ns(d2), w1));
-        }
-        if w1 <= w2 {
-            prop_assert!(scale_vruntime(Ns(d1), w1) >= scale_vruntime(Ns(d1), w2));
-        }
-    }
+        assert!(q100.as_nanos() as f64 >= max as f64 * 0.93);
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+#[test]
+fn cpuset_behaves_like_a_set() {
+    for_cases(0xC1056, 64, |rng| {
+        let cpus: Vec<usize> = (0..rng.gen_range(0usize..64))
+            .map(|_| rng.gen_range(0usize..128))
+            .collect();
+        let set = CpuSet::from_iter(cpus.iter().copied());
+        let model: std::collections::BTreeSet<usize> = cpus.iter().copied().collect();
+        assert_eq!(set.count(), model.len());
+        for c in 0..128 {
+            assert_eq!(set.contains(c), model.contains(&c));
+        }
+        assert_eq!(
+            set.iter().collect::<Vec<_>>(),
+            model.iter().copied().collect::<Vec<_>>()
+        );
+    });
+}
 
-    /// Whole-simulation invariant: with any mix of compute-only tasks, a
-    /// work-conserving scheduler accounts exactly the requested runtime to
-    /// every task, and total cpu busy time equals the sum of runtimes.
-    #[test]
-    fn runtime_accounting_is_exact(
-        works in proptest::collection::vec(50_000u64..5_000_000, 1..12),
-        kind in prop_oneof![Just(SchedKind::Cfs), Just(SchedKind::Wfq), Just(SchedKind::Fifo)],
-    ) {
+#[test]
+fn vruntime_scaling_is_monotonic_in_delta_and_antitone_in_weight() {
+    for_cases(0x5CA1E, 256, |rng| {
+        let d1 = rng.gen_range(0u64..10_000_000);
+        let d2 = rng.gen_range(0u64..10_000_000);
+        let w1 = rng.gen_range(1u32..100_000);
+        let w2 = rng.gen_range(1u32..100_000);
+        if d1 <= d2 {
+            assert!(scale_vruntime(Ns(d1), w1) <= scale_vruntime(Ns(d2), w1));
+        }
+        if w1 <= w2 {
+            assert!(scale_vruntime(Ns(d1), w1) >= scale_vruntime(Ns(d1), w2));
+        }
+    });
+}
+
+/// Whole-simulation invariant: with any mix of compute-only tasks, a
+/// work-conserving scheduler accounts exactly the requested runtime to
+/// every task, and total cpu busy time equals the sum of runtimes.
+#[test]
+fn runtime_accounting_is_exact() {
+    const KINDS: [SchedKind; 3] = [SchedKind::Cfs, SchedKind::Wfq, SchedKind::Fifo];
+    for_cases(0xACC7, 12, |rng| {
+        let kind = KINDS[rng.gen_range(0usize..KINDS.len())];
+        let works: Vec<u64> = (0..rng.gen_range(1usize..12))
+            .map(|_| rng.gen_range(50_000u64..5_000_000))
+            .collect();
         let mut bed = build(
             Topology::i7_9700(),
             CostModel::free(),
@@ -228,24 +228,31 @@ proptest! {
                 Box::new(ProgramBehavior::once(vec![Op::Compute(Ns(w))])),
             )));
         }
-        let done = bed.machine.run_to_completion(Ns::from_secs(30)).expect("no panic");
-        prop_assert!(done, "all tasks must finish under a work-conserving scheduler");
+        let done = bed
+            .machine
+            .run_to_completion(Ns::from_secs(30))
+            .expect("no panic");
+        assert!(done, "all tasks must finish under a work-conserving scheduler");
         for (&p, &w) in pids.iter().zip(&works) {
-            prop_assert_eq!(bed.machine.task(p).runtime, Ns(w));
+            assert_eq!(bed.machine.task(p).runtime, Ns(w));
         }
         let busy: Ns = bed.machine.stats().cpu_busy.iter().copied().sum();
         let total: u64 = works.iter().sum();
-        prop_assert_eq!(busy, Ns(total));
-    }
+        assert_eq!(busy, Ns(total));
+    });
+}
 
-    /// Token conservation: however tasks block, wake, migrate, and exit,
-    /// the framework never sees a wrong-core pick from the well-behaved
-    /// schedulers, and the machine never panics.
-    #[test]
-    fn no_pnt_errors_from_correct_schedulers(
-        seeds in proptest::collection::vec(any::<u16>(), 2..10),
-        kind in prop_oneof![Just(SchedKind::Wfq), Just(SchedKind::Shinjuku), Just(SchedKind::Fifo)],
-    ) {
+/// Token conservation: however tasks block, wake, migrate, and exit, the
+/// framework never sees a wrong-core pick from the well-behaved
+/// schedulers, and the machine never panics.
+#[test]
+fn no_pnt_errors_from_correct_schedulers() {
+    const KINDS: [SchedKind; 3] = [SchedKind::Wfq, SchedKind::Shinjuku, SchedKind::Fifo];
+    for_cases(0x70CE4, 12, |rng| {
+        let kind = KINDS[rng.gen_range(0usize..KINDS.len())];
+        let seeds: Vec<u16> = (0..rng.gen_range(2usize..10))
+            .map(|_| rng.next_u64() as u16)
+            .collect();
         let mut bed = build(
             Topology::i7_9700(),
             CostModel::calibrated(),
@@ -264,30 +271,30 @@ proptest! {
                 )),
             ));
         }
-        bed.machine.run_until(Ns::from_secs(3)).expect("no kernel panic");
+        bed.machine
+            .run_until(Ns::from_secs(3))
+            .expect("no kernel panic");
         let stats = bed.machine.stats();
-        prop_assert_eq!(stats.nr_pick_rejects, 0);
+        assert_eq!(stats.nr_pick_rejects, 0);
         if let Some(class) = &bed.enoki {
-            prop_assert_eq!(class.stats().pnt_errs, 0);
-            prop_assert_eq!(class.stats().token_mismatches, 0);
+            assert_eq!(class.stats().pnt_errs, 0);
+            assert_eq!(class.stats().token_mismatches, 0);
         }
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// Weighted fairness: two always-runnable tasks sharing one core get
-    /// cpu time proportional to their nice-derived weights, within 25%,
-    /// for moderate weight ratios. (Very large ratios are floored by the
-    /// minimum slice granularity — exactly as in CFS — so they are out of
-    /// scope for the proportionality property.)
-    #[test]
-    fn weighted_sharing_tracks_the_weight_table(
-        nice_hi in -20i32..0,
-        gap in 5i32..10,
-        kind in prop_oneof![Just(SchedKind::Cfs), Just(SchedKind::Wfq)],
-    ) {
+/// Weighted fairness: two always-runnable tasks sharing one core get cpu
+/// time proportional to their nice-derived weights, within 25%, for
+/// moderate weight ratios. (Very large ratios are floored by the minimum
+/// slice granularity — exactly as in CFS — so they are out of scope for
+/// the proportionality property.)
+#[test]
+fn weighted_sharing_tracks_the_weight_table() {
+    const KINDS: [SchedKind; 2] = [SchedKind::Cfs, SchedKind::Wfq];
+    for_cases(0xFA12, 8, |rng| {
+        let kind = KINDS[rng.gen_range(0usize..KINDS.len())];
+        let nice_hi = rng.gen_range(0u32..20) as i32 - 20; // -20..0
+        let gap = rng.gen_range(5u32..10) as i32;
         let nice_lo = (nice_hi + gap).min(19);
         let mut bed = build(
             Topology::new(1, 1),
@@ -316,27 +323,32 @@ proptest! {
         bed.machine.run_until(Ns::from_ms(200)).expect("no panic");
         let rt_hi = bed.machine.task(hi).runtime.as_nanos() as f64;
         let rt_lo = bed.machine.task(lo).runtime.as_nanos() as f64;
-        prop_assume!(rt_lo > 0.0 && rt_hi > 0.0);
+        if rt_lo == 0.0 || rt_hi == 0.0 {
+            return; // degenerate sample window; skip like prop_assume
+        }
         let w_hi = enoki::sim::task::weight_of_nice(nice_hi) as f64;
         let w_lo = enoki::sim::task::weight_of_nice(nice_lo) as f64;
         let expected = w_hi / w_lo;
         let measured = rt_hi / rt_lo;
         // Slice quantization bounds the accuracy over a finite window.
         let err = (measured / expected - 1.0).abs();
-        prop_assert!(
+        assert!(
             err < 0.25,
             "{kind:?}: nice {nice_hi}/{nice_lo} expected ratio {expected:.2}, got {measured:.2}"
         );
-    }
+    });
+}
 
-    /// Live upgrade at arbitrary instants never loses tasks or panics the
-    /// kernel, for any schedule of upgrade times.
-    #[test]
-    fn upgrades_at_random_times_lose_nothing(
-        upgrade_ms in proptest::collection::vec(1u64..40, 1..6),
-    ) {
+/// Live upgrade at arbitrary instants never loses tasks or panics the
+/// kernel, for any schedule of upgrade times.
+#[test]
+fn upgrades_at_random_times_lose_nothing() {
+    for_cases(0x06AD, 8, |rng| {
         use enoki::core::EnokiClass;
         use enoki::sched::Wfq;
+        let upgrade_ms: Vec<u64> = (0..rng.gen_range(1usize..6))
+            .map(|_| rng.gen_range(1u64..40))
+            .collect();
         let mut m = enoki::sim::Machine::new(Topology::i7_9700(), CostModel::calibrated());
         let class = std::rc::Rc::new(EnokiClass::load("wfq", 8, Box::new(Wfq::new(8))));
         m.add_class(class.clone());
@@ -351,19 +363,19 @@ proptest! {
                 )),
             )));
         }
-        let mut times: Vec<u64> = upgrade_ms.clone();
+        let mut times = upgrade_ms;
         times.sort_unstable();
         for t in times {
             if Ns::from_ms(t) > m.now() {
                 m.run_until(Ns::from_ms(t)).expect("no panic");
             }
             let report = class.upgrade(Box::new(Wfq::new(8)));
-            prop_assert!(report.transferred);
+            assert!(report.transferred);
         }
-        prop_assert!(m.run_to_completion(Ns::from_secs(30)).expect("no panic"));
+        assert!(m.run_to_completion(Ns::from_secs(30)).expect("no panic"));
         for &p in &pids {
-            prop_assert!(m.task(p).exited_at.is_some(), "task {p} lost");
+            assert!(m.task(p).exited_at.is_some(), "task {p} lost");
         }
-        prop_assert_eq!(class.stats().pnt_errs, 0);
-    }
+        assert_eq!(class.stats().pnt_errs, 0);
+    });
 }

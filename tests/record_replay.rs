@@ -12,7 +12,7 @@ use enoki::sim::{CostModel, Machine, Ns, TaskSpec, Topology};
 use std::path::PathBuf;
 use std::rc::Rc;
 
-static SERIAL: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 fn tmp(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("enoki-it-rr-{}", std::process::id()));
@@ -22,7 +22,7 @@ fn tmp(name: &str) -> PathBuf {
 
 #[test]
 fn cfs_record_replay_is_faithful() {
-    let _g = SERIAL.lock();
+    let _g = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let path = tmp("cfs.log");
     record::reset_lock_ids();
     let mut m = Machine::new(Topology::i7_9700(), CostModel::calibrated());
@@ -59,7 +59,7 @@ fn cfs_record_replay_is_faithful() {
 
 #[test]
 fn shinjuku_record_replay_is_faithful() {
-    let _g = SERIAL.lock();
+    let _g = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let path = tmp("shinjuku.log");
     record::reset_lock_ids();
     let mut m = Machine::new(Topology::i7_9700(), CostModel::calibrated());
@@ -90,7 +90,7 @@ fn shinjuku_record_replay_is_faithful() {
 
 #[test]
 fn hints_are_recorded_and_replayed() {
-    let _g = SERIAL.lock();
+    let _g = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let path = tmp("locality.log");
     record::reset_lock_ids();
     let mut m = Machine::new(Topology::i7_9700(), CostModel::calibrated());
@@ -153,7 +153,7 @@ fn hints_are_recorded_and_replayed() {
 
 #[test]
 fn replay_report_flags_truncated_logs() {
-    let _g = SERIAL.lock();
+    let _g = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let path = tmp("truncated.log");
     record::reset_lock_ids();
     let mut m = Machine::new(Topology::i7_9700(), CostModel::calibrated());

@@ -385,5 +385,5 @@ fn work_conservation_violations_do_not_crash() {
         .filter(|&p| m.task(p).state == enoki::sim::task::TaskState::Dead)
         .count();
     // Roughly half the tasks ran; the others are starved but alive.
-    assert!(done >= 3 && done <= 5, "done={done}");
+    assert!((3..=5).contains(&done), "done={done}");
 }

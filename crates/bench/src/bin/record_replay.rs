@@ -105,6 +105,35 @@ fn main() {
             report.divergences.len(),
             report.sequencing_timeouts
         );
+        for d in report.divergences.iter().take(3) {
+            print!("{}", d.explain());
+        }
     }
+
+    // 4. Offline forensics over the same log (what `enoki-log` runs).
+    let t0 = Instant::now();
+    let log = enoki_replay::load_log(&log_path).expect("log parses");
+    let lat = enoki_core::forensics::attribute_latency(&log);
+    let locks = enoki_core::forensics::analyze_locks(&log);
+    let fore = t0.elapsed();
+    let mut wakeup = enoki_sim::stats::Histogram::new();
+    let mut runq = enoki_sim::stats::Histogram::new();
+    for t in lat.tasks.values() {
+        wakeup.merge(&t.wakeup_latency);
+        runq.merge(&t.runqueue_delay);
+    }
+    println!();
+    println!("forensics:        {:>8.3}s  (latency attribution + lock analysis)", fore.as_secs_f64());
+    println!(
+        "  wakeup latency p50/p99/max: {}  runqueue delay p50/p99/max: {}",
+        enoki_core::forensics::fmt_quantiles(&wakeup),
+        enoki_core::forensics::fmt_quantiles(&runq),
+    );
+    println!(
+        "  {} locks, {} handoffs, {} lock-order cycle(s)",
+        locks.locks.len(),
+        locks.locks.values().map(|l| l.handoffs).sum::<u64>(),
+        locks.cycles.len()
+    );
     std::fs::remove_dir_all(&dir).ok();
 }

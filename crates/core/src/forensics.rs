@@ -1,0 +1,1245 @@
+//! Offline forensics over record logs (paper §3.4, §5.8).
+//!
+//! Record & replay makes scheduler bugs *reproducible*; this module makes
+//! them *explainable*. It consumes the parsed `Call`/`Ret`/`Hint`/lock
+//! stream a [`crate::record::Recorder`] produced and reconstructs what the
+//! scheduler actually did, offline:
+//!
+//! - [`summarize`] — log composition (events per kind, calls per function,
+//!   threads, locks, covered virtual-time span);
+//! - [`attribute_latency`] — a per-task lifecycle state machine
+//!   (wakeup → runnable → picked → running → blocked) that attributes
+//!   scheduling latency per task and per cpu: wakeup latency, runqueue
+//!   delay, on-cpu slices, preemption/migration counts, as log-bucket
+//!   [`Histogram`]s;
+//! - [`analyze_locks`] — per-lock contention and hold-time statistics plus
+//!   a cross-thread lock-order cycle detector (a static deadlock-risk
+//!   analysis over the recorded acquisition graph);
+//! - [`chrome_trace_from_log`] — Chrome `trace_event` export with one lane
+//!   per recorded kernel thread and counter tracks for runnable tasks and
+//!   held locks;
+//! - [`Divergence`] — the typed replay-divergence report (call index, tid,
+//!   function, recorded vs. actual response, and a window of surrounding
+//!   records), produced by [`crate::replay::replay`] and rendered by
+//!   `enoki-log diff`.
+//!
+//! Lock records carry no timestamp of their own (the emit path cannot
+//! afford one); lock hold times are therefore measured on the log's
+//! *interpolated* virtual clock — the `now` of the nearest preceding
+//! `Call` record — which is exact up to one scheduler-call interval.
+
+use crate::metrics::export::ChromeTraceBuilder;
+use crate::record::{FuncId, LockOp, Rec};
+use enoki_sim::stats::Histogram;
+use enoki_sim::Ns;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------
+// Log composition
+// ---------------------------------------------------------------------
+
+/// Composition of a record log.
+#[derive(Debug, Default, Clone)]
+pub struct LogSummary {
+    /// Total records.
+    pub records: usize,
+    /// Scheduler calls.
+    pub calls: u64,
+    /// Scheduler returns.
+    pub rets: u64,
+    /// Userspace hints.
+    pub hints: u64,
+    /// Lock creations.
+    pub lock_creates: u64,
+    /// Lock acquisitions.
+    pub lock_acquires: u64,
+    /// Lock releases.
+    pub lock_releases: u64,
+    /// Kernel threads seen.
+    pub threads: BTreeSet<u32>,
+    /// Lock ids seen.
+    pub locks: BTreeSet<u64>,
+    /// Call counts per scheduler function.
+    pub calls_by_func: BTreeMap<&'static str, u64>,
+    /// Virtual time of the first `Call` record.
+    pub first_now: Option<u64>,
+    /// Virtual time of the last `Call` record.
+    pub last_now: Option<u64>,
+}
+
+impl LogSummary {
+    /// Virtual-time span covered by the log.
+    pub fn span(&self) -> Ns {
+        match (self.first_now, self.last_now) {
+            (Some(a), Some(b)) => Ns(b.saturating_sub(a)),
+            _ => Ns::ZERO,
+        }
+    }
+
+    /// Renders the summary as plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{} records total", self.records);
+        let _ = writeln!(
+            out,
+            "  {} calls, {} returns, {} hints, {} lock acquisitions ({} creates, {} releases)",
+            self.calls,
+            self.rets,
+            self.hints,
+            self.lock_acquires,
+            self.lock_creates,
+            self.lock_releases
+        );
+        let _ = writeln!(
+            out,
+            "  {} kernel threads, {} locks, {} of virtual time",
+            self.threads.len(),
+            self.locks.len(),
+            fmt_ns(self.span())
+        );
+        let _ = writeln!(out, "calls by function:");
+        for (func, count) in &self.calls_by_func {
+            let _ = writeln!(out, "  {func:<22} {count}");
+        }
+        out
+    }
+}
+
+/// Computes the composition of a record log.
+pub fn summarize(log: &[Rec]) -> LogSummary {
+    let mut s = LogSummary {
+        records: log.len(),
+        ..LogSummary::default()
+    };
+    for rec in log {
+        match rec {
+            Rec::Call { tid, func, args } => {
+                s.calls += 1;
+                s.threads.insert(*tid);
+                *s.calls_by_func.entry(func.name()).or_default() += 1;
+                if s.first_now.is_none() {
+                    s.first_now = Some(args.now);
+                }
+                s.last_now = Some(args.now);
+            }
+            Rec::Ret { .. } => s.rets += 1,
+            Rec::Hint { tid, .. } => {
+                s.hints += 1;
+                s.threads.insert(*tid);
+            }
+            Rec::LockCreate { lock, .. } => {
+                s.lock_creates += 1;
+                s.locks.insert(*lock);
+            }
+            Rec::LockAcquire { tid, lock, .. } => {
+                s.lock_acquires += 1;
+                s.threads.insert(*tid);
+                s.locks.insert(*lock);
+            }
+            Rec::LockRelease { lock, .. } => {
+                s.lock_releases += 1;
+                s.locks.insert(*lock);
+            }
+        }
+    }
+    s
+}
+
+// ---------------------------------------------------------------------
+// Latency attribution
+// ---------------------------------------------------------------------
+
+/// Where a task is in its reconstructed lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskState {
+    /// On a runqueue since `since`; `from_wakeup` marks a fresh wakeup
+    /// (as opposed to a preemption/yield requeue or a fork).
+    Runnable { since: u64, from_wakeup: bool },
+    /// Picked and executing on `cpu` since `since`.
+    Running { since: u64, cpu: i32 },
+    /// Blocked (sleeping / waiting on I/O).
+    Blocked,
+}
+
+/// Latency attribution for one recorded task.
+#[derive(Debug, Clone)]
+pub struct TaskLatency {
+    /// Task pid.
+    pub pid: i64,
+    /// Wakeups observed.
+    pub wakeups: u64,
+    /// Times the task was picked to run.
+    pub picks: u64,
+    /// Preemptions (`task_preempt` calls).
+    pub preemptions: u64,
+    /// Voluntary yields.
+    pub yields: u64,
+    /// Blocks (`task_blocked` calls).
+    pub blocks: u64,
+    /// Cross-cpu migrations (`migrate_task_rq` calls).
+    pub migrations: u64,
+    /// Last accumulated runtime the kernel reported for the task.
+    pub last_runtime: Ns,
+    /// Wakeup → first subsequent pick.
+    pub wakeup_latency: Histogram,
+    /// Any runnable transition (wakeup, fork, preempt, yield) → pick.
+    pub runqueue_delay: Histogram,
+    /// Pick → next block/yield/preempt/switch-out (on-cpu slice length).
+    pub on_cpu: Histogram,
+}
+
+impl TaskLatency {
+    fn new(pid: i64) -> TaskLatency {
+        TaskLatency {
+            pid,
+            wakeups: 0,
+            picks: 0,
+            preemptions: 0,
+            yields: 0,
+            blocks: 0,
+            migrations: 0,
+            last_runtime: Ns::ZERO,
+            wakeup_latency: Histogram::new(),
+            runqueue_delay: Histogram::new(),
+            on_cpu: Histogram::new(),
+        }
+    }
+}
+
+/// Latency attribution for one recorded cpu (kernel thread).
+#[derive(Debug, Clone)]
+pub struct CpuLatency {
+    /// Cpu id.
+    pub cpu: usize,
+    /// Scheduler calls issued from this cpu.
+    pub calls: u64,
+    /// `pick_next_task` invocations.
+    pub picks: u64,
+    /// Picks that found no task (the cpu went idle).
+    pub idle_picks: u64,
+    /// Runqueue delay of tasks picked on this cpu.
+    pub runqueue_delay: Histogram,
+}
+
+impl CpuLatency {
+    fn new(cpu: usize) -> CpuLatency {
+        CpuLatency {
+            cpu,
+            calls: 0,
+            picks: 0,
+            idle_picks: 0,
+            runqueue_delay: Histogram::new(),
+        }
+    }
+}
+
+/// Per-task and per-cpu scheduling-latency attribution for a record log.
+#[derive(Debug, Default, Clone)]
+pub struct LatencyReport {
+    /// Per-task attribution, keyed by pid.
+    pub tasks: BTreeMap<i64, TaskLatency>,
+    /// Per-cpu attribution, keyed by cpu id.
+    pub cpus: BTreeMap<usize, CpuLatency>,
+}
+
+impl Default for TaskLatency {
+    fn default() -> TaskLatency {
+        TaskLatency::new(-1)
+    }
+}
+
+impl LatencyReport {
+    /// Renders per-task and per-cpu tables as plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>6} {:>6} {:>6} {:>6} {:>5} {:>5}  {:>24}  {:>24}  {:>10}",
+            "pid",
+            "picks",
+            "wakeup",
+            "preempt",
+            "yield",
+            "migr",
+            "wakeup-lat p50/p99/max",
+            "runq-delay p50/p99/max",
+            "on-cpu avg"
+        );
+        for t in self.tasks.values() {
+            let _ = writeln!(
+                out,
+                "{:>6} {:>6} {:>6} {:>6} {:>5} {:>5}  {:>24}  {:>24}  {:>10}",
+                t.pid,
+                t.picks,
+                t.wakeups,
+                t.preemptions,
+                t.yields,
+                t.migrations,
+                fmt_quantiles(&t.wakeup_latency),
+                fmt_quantiles(&t.runqueue_delay),
+                t.on_cpu
+                    .mean()
+                    .map(fmt_ns)
+                    .unwrap_or_else(|| "-".to_string()),
+            );
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{:>5} {:>8} {:>8} {:>8}  {:>24}",
+            "cpu", "calls", "picks", "idle", "runq-delay p50/p99/max"
+        );
+        for c in self.cpus.values() {
+            let _ = writeln!(
+                out,
+                "{:>5} {:>8} {:>8} {:>8}  {:>24}",
+                c.cpu,
+                c.calls,
+                c.picks,
+                c.idle_picks,
+                fmt_quantiles(&c.runqueue_delay),
+            );
+        }
+        out
+    }
+}
+
+/// Formats `p50/p99/max` of a histogram, or `-` when empty.
+pub fn fmt_quantiles(h: &Histogram) -> String {
+    if h.count() == 0 {
+        return "-".to_string();
+    }
+    format!(
+        "{}/{}/{}",
+        fmt_ns(h.quantile(0.50).unwrap_or(Ns::ZERO)),
+        fmt_ns(h.quantile(0.99).unwrap_or(Ns::ZERO)),
+        fmt_ns(h.max()),
+    )
+}
+
+/// Formats a nanosecond quantity with a human-scale unit.
+pub fn fmt_ns(v: Ns) -> String {
+    let ns = v.0;
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Reconstructs the per-task lifecycle state machine from a record log and
+/// attributes scheduling latency per task and per cpu.
+pub fn attribute_latency(log: &[Rec]) -> LatencyReport {
+    let mut report = LatencyReport::default();
+    let mut state: HashMap<i64, TaskState> = HashMap::new();
+    // Pick calls whose Ret has not arrived yet, keyed by issuing thread.
+    let mut pending_pick: HashMap<u32, (u64, i32)> = HashMap::new(); // tid -> (now, cpu)
+    // Which task currently occupies each cpu (to close slices on switch).
+    let mut running_on: HashMap<i32, i64> = HashMap::new();
+
+    let close_slice = |report: &mut LatencyReport,
+                       state: &mut HashMap<i64, TaskState>,
+                       running_on: &mut HashMap<i32, i64>,
+                       pid: i64,
+                       now: u64| {
+        if let Some(TaskState::Running { since, cpu }) = state.get(&pid).copied() {
+            report
+                .tasks
+                .entry(pid)
+                .or_insert_with(|| TaskLatency::new(pid))
+                .on_cpu
+                .record(Ns(now.saturating_sub(since)));
+            if running_on.get(&cpu) == Some(&pid) {
+                running_on.remove(&cpu);
+            }
+        }
+    };
+
+    for rec in log {
+        match *rec {
+            Rec::Call { tid, func, args } => {
+                report
+                    .cpus
+                    .entry(tid as usize)
+                    .or_insert_with(|| CpuLatency::new(tid as usize))
+                    .calls += 1;
+                let pid = args.pid;
+                if pid >= 0 {
+                    let t = report
+                        .tasks
+                        .entry(pid)
+                        .or_insert_with(|| TaskLatency::new(pid));
+                    t.last_runtime = t.last_runtime.max(Ns(args.runtime));
+                }
+                match func {
+                    FuncId::TaskNew => {
+                        state.insert(
+                            pid,
+                            TaskState::Runnable {
+                                since: args.now,
+                                from_wakeup: false,
+                            },
+                        );
+                    }
+                    FuncId::TaskWakeup => {
+                        let t = report
+                            .tasks
+                            .entry(pid)
+                            .or_insert_with(|| TaskLatency::new(pid));
+                        t.wakeups += 1;
+                        // A wakeup for a task already on cpu carries no
+                        // queueing information; ignore it.
+                        if !matches!(state.get(&pid), Some(TaskState::Running { .. })) {
+                            state.insert(
+                                pid,
+                                TaskState::Runnable {
+                                    since: args.now,
+                                    from_wakeup: true,
+                                },
+                            );
+                        }
+                    }
+                    FuncId::TaskBlocked => {
+                        report
+                            .tasks
+                            .entry(pid)
+                            .or_insert_with(|| TaskLatency::new(pid))
+                            .blocks += 1;
+                        close_slice(&mut report, &mut state, &mut running_on, pid, args.now);
+                        state.insert(pid, TaskState::Blocked);
+                    }
+                    FuncId::TaskYield | FuncId::TaskPreempt => {
+                        let t = report
+                            .tasks
+                            .entry(pid)
+                            .or_insert_with(|| TaskLatency::new(pid));
+                        if func == FuncId::TaskYield {
+                            t.yields += 1;
+                        } else {
+                            t.preemptions += 1;
+                        }
+                        close_slice(&mut report, &mut state, &mut running_on, pid, args.now);
+                        state.insert(
+                            pid,
+                            TaskState::Runnable {
+                                since: args.now,
+                                from_wakeup: false,
+                            },
+                        );
+                    }
+                    FuncId::MigrateTaskRq => {
+                        report
+                            .tasks
+                            .entry(pid)
+                            .or_insert_with(|| TaskLatency::new(pid))
+                            .migrations += 1;
+                    }
+                    FuncId::TaskDead | FuncId::TaskDeparted => {
+                        close_slice(&mut report, &mut state, &mut running_on, pid, args.now);
+                        state.remove(&pid);
+                    }
+                    FuncId::PickNextTask => {
+                        pending_pick.insert(tid, (args.now, args.cpu));
+                    }
+                    _ => {}
+                }
+            }
+            Rec::Ret {
+                tid,
+                func: FuncId::PickNextTask,
+                val,
+            } => {
+                let Some((now, cpu)) = pending_pick.remove(&tid) else {
+                    continue;
+                };
+                let c = report
+                    .cpus
+                    .entry(cpu.max(0) as usize)
+                    .or_insert_with(|| CpuLatency::new(cpu.max(0) as usize));
+                c.picks += 1;
+                if val < 0 {
+                    c.idle_picks += 1;
+                    continue;
+                }
+                let pid = val;
+                // A pick implicitly switches out whoever held the cpu.
+                let prev = running_on.get(&cpu).copied();
+                if let Some(prev) = prev.filter(|&p| p != pid) {
+                    close_slice(&mut report, &mut state, &mut running_on, prev, now);
+                    state.insert(
+                        prev,
+                        TaskState::Runnable {
+                            since: now,
+                            from_wakeup: false,
+                        },
+                    );
+                }
+                if let Some(TaskState::Runnable { since, from_wakeup }) = state.get(&pid).copied() {
+                    let delay = Ns(now.saturating_sub(since));
+                    let t = report
+                        .tasks
+                        .entry(pid)
+                        .or_insert_with(|| TaskLatency::new(pid));
+                    t.runqueue_delay.record(delay);
+                    if from_wakeup {
+                        t.wakeup_latency.record(delay);
+                    }
+                    report
+                        .cpus
+                        .get_mut(&(cpu.max(0) as usize))
+                        .expect("cpu entry created above")
+                        .runqueue_delay
+                        .record(delay);
+                }
+                report
+                    .tasks
+                    .entry(pid)
+                    .or_insert_with(|| TaskLatency::new(pid))
+                    .picks += 1;
+                state.insert(pid, TaskState::Running { since: now, cpu });
+                running_on.insert(cpu, pid);
+            }
+            _ => {}
+        }
+    }
+    report
+}
+
+// ---------------------------------------------------------------------
+// Lock forensics
+// ---------------------------------------------------------------------
+
+/// Contention and hold-time statistics for one recorded lock.
+#[derive(Debug, Clone)]
+pub struct LockStats {
+    /// Lock id (creation order).
+    pub lock: u64,
+    /// Total acquisitions.
+    pub acquisitions: u64,
+    /// Acquisitions in mutex mode.
+    pub mutex: u64,
+    /// Acquisitions in shared (read) mode.
+    pub reads: u64,
+    /// Acquisitions in exclusive (write) mode.
+    pub writes: u64,
+    /// Kernel threads that acquired the lock.
+    pub owners: BTreeSet<u32>,
+    /// Consecutive acquisitions by *different* threads — the offline
+    /// contention proxy (the emit path records no wait times).
+    pub handoffs: u64,
+    /// Hold times on the interpolated virtual clock.
+    pub hold: Histogram,
+}
+
+impl LockStats {
+    fn new(lock: u64) -> LockStats {
+        LockStats {
+            lock,
+            acquisitions: 0,
+            mutex: 0,
+            reads: 0,
+            writes: 0,
+            owners: BTreeSet::new(),
+            handoffs: 0,
+            hold: Histogram::new(),
+        }
+    }
+}
+
+/// One edge of the recorded lock-acquisition graph: some thread acquired
+/// `to` while holding `from`.
+#[derive(Debug, Clone)]
+pub struct LockOrderEdge {
+    /// Held lock.
+    pub from: u64,
+    /// Acquired lock.
+    pub to: u64,
+    /// Times the ordering was observed.
+    pub count: u64,
+    /// Threads that performed the nested acquisition.
+    pub tids: BTreeSet<u32>,
+    /// Log index of the first observation (for `enoki-log dump` cross
+    /// reference).
+    pub first_index: usize,
+}
+
+/// A cycle in the lock-order graph: a static deadlock risk. The recorded
+/// run survived (the log exists), but two threads interleaving these
+/// acquisitions can deadlock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockCycle {
+    /// The locks on the cycle, smallest id first; the cycle closes back to
+    /// `locks[0]`.
+    pub locks: Vec<u64>,
+}
+
+/// Lock forensics over a record log.
+#[derive(Debug, Default, Clone)]
+pub struct LockReport {
+    /// Per-lock statistics, keyed by lock id.
+    pub locks: BTreeMap<u64, LockStats>,
+    /// Observed lock-order edges.
+    pub edges: Vec<LockOrderEdge>,
+    /// Lock-order cycles (deadlock risks); empty when the acquisition
+    /// graph is acyclic.
+    pub cycles: Vec<LockCycle>,
+}
+
+impl LockReport {
+    /// Renders lock tables, the order graph, and any cycles as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>6} {:>8} {:>6} {:>6} {:>6} {:>7} {:>9}  {:>24}",
+            "lock", "acq", "mutex", "read", "write", "owners", "handoffs", "hold p50/p99/max"
+        );
+        for l in self.locks.values() {
+            let _ = writeln!(
+                out,
+                "{:>6} {:>8} {:>6} {:>6} {:>6} {:>7} {:>9}  {:>24}",
+                l.lock,
+                l.acquisitions,
+                l.mutex,
+                l.reads,
+                l.writes,
+                l.owners.len(),
+                l.handoffs,
+                fmt_quantiles(&l.hold),
+            );
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(out, "lock-order edges (held -> acquired):");
+        for e in &self.edges {
+            let _ = writeln!(
+                out,
+                "  {} -> {}  ({}x, tids {:?}, first at record #{})",
+                e.from, e.to, e.count, e.tids, e.first_index
+            );
+        }
+        if self.cycles.is_empty() {
+            let _ = writeln!(out, "no lock-order cycles: acquisition graph is acyclic");
+        } else {
+            let _ = writeln!(
+                out,
+                "DEADLOCK RISK: {} lock-order cycle(s) detected:",
+                self.cycles.len()
+            );
+            for c in &self.cycles {
+                let mut path = c
+                    .locks
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(" -> ");
+                let _ = write!(path, " -> {}", c.locks[0]);
+                let _ = writeln!(out, "  {path}");
+            }
+        }
+        out
+    }
+}
+
+/// Computes per-lock contention/hold statistics and runs the lock-order
+/// cycle detector over a record log.
+pub fn analyze_locks(log: &[Rec]) -> LockReport {
+    let mut report = LockReport::default();
+    // Locks currently held per thread (a stack: release pops the most
+    // recent matching acquisition), with the acquisition's virtual time.
+    let mut held: HashMap<u32, Vec<(u64, u64)>> = HashMap::new();
+    let mut last_owner: HashMap<u64, u32> = HashMap::new();
+    let mut edges: BTreeMap<(u64, u64), LockOrderEdge> = BTreeMap::new();
+    let mut clock = 0u64;
+
+    for (idx, rec) in log.iter().enumerate() {
+        match *rec {
+            Rec::Call { args, .. } => clock = args.now,
+            Rec::LockCreate { lock, .. } => {
+                report.locks.entry(lock).or_insert_with(|| LockStats::new(lock));
+            }
+            Rec::LockAcquire { tid, lock, op } => {
+                let stats = report.locks.entry(lock).or_insert_with(|| LockStats::new(lock));
+                stats.acquisitions += 1;
+                match op {
+                    LockOp::Mutex => stats.mutex += 1,
+                    LockOp::Read => stats.reads += 1,
+                    LockOp::Write => stats.writes += 1,
+                }
+                stats.owners.insert(tid);
+                if let Some(prev) = last_owner.insert(lock, tid) {
+                    if prev != tid {
+                        stats.handoffs += 1;
+                    }
+                }
+                let stack = held.entry(tid).or_default();
+                for &(outer, _) in stack.iter() {
+                    if outer == lock {
+                        continue;
+                    }
+                    let e = edges.entry((outer, lock)).or_insert(LockOrderEdge {
+                        from: outer,
+                        to: lock,
+                        count: 0,
+                        tids: BTreeSet::new(),
+                        first_index: idx,
+                    });
+                    e.count += 1;
+                    e.tids.insert(tid);
+                }
+                stack.push((lock, clock));
+            }
+            Rec::LockRelease { tid, lock } => {
+                if let Some(stack) = held.get_mut(&tid) {
+                    if let Some(pos) = stack.iter().rposition(|&(l, _)| l == lock) {
+                        let (_, at) = stack.remove(pos);
+                        report
+                            .locks
+                            .entry(lock)
+                            .or_insert_with(|| LockStats::new(lock))
+                            .hold
+                            .record(Ns(clock.saturating_sub(at)));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    report.edges = edges.into_values().collect();
+    report.cycles = find_cycles(&report.edges);
+    report
+}
+
+/// Finds elementary cycles in the lock-order graph via DFS; each cycle is
+/// normalized (smallest lock first) and deduplicated.
+fn find_cycles(edges: &[LockOrderEdge]) -> Vec<LockCycle> {
+    let mut adj: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(e.from).or_default().push(e.to);
+        adj.entry(e.to).or_default();
+    }
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color: BTreeMap<u64, Color> = adj.keys().map(|&n| (n, Color::White)).collect();
+    let mut found: BTreeSet<Vec<u64>> = BTreeSet::new();
+
+    fn dfs(
+        node: u64,
+        adj: &BTreeMap<u64, Vec<u64>>,
+        color: &mut BTreeMap<u64, Color>,
+        stack: &mut Vec<u64>,
+        found: &mut BTreeSet<Vec<u64>>,
+    ) {
+        color.insert(node, Color::Gray);
+        stack.push(node);
+        for &next in adj.get(&node).map(Vec::as_slice).unwrap_or_default() {
+            match color.get(&next).copied().unwrap_or(Color::White) {
+                Color::Gray => {
+                    // Back edge: the cycle is the stack suffix from `next`.
+                    if let Some(pos) = stack.iter().position(|&n| n == next) {
+                        let mut cycle = stack[pos..].to_vec();
+                        // Normalize: rotate the smallest lock to the front.
+                        let min_pos = cycle
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, &l)| l)
+                            .map(|(i, _)| i)
+                            .unwrap_or(0);
+                        cycle.rotate_left(min_pos);
+                        found.insert(cycle);
+                    }
+                }
+                Color::White => dfs(next, adj, color, stack, found),
+                Color::Black => {}
+            }
+        }
+        stack.pop();
+        color.insert(node, Color::Black);
+    }
+
+    let nodes: Vec<u64> = adj.keys().copied().collect();
+    let mut stack = Vec::new();
+    for n in nodes {
+        if color.get(&n) == Some(&Color::White) {
+            dfs(n, &adj, &mut color, &mut stack, &mut found);
+        }
+    }
+    found.into_iter().map(|locks| LockCycle { locks }).collect()
+}
+
+// ---------------------------------------------------------------------
+// Typed replay divergences
+// ---------------------------------------------------------------------
+
+/// How many records of context a [`Divergence`] captures on each side of
+/// the diverging call.
+pub const DIVERGENCE_CONTEXT: usize = 5;
+
+/// One replayed response that differed from the recording, with enough
+/// context to explain it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Index of the diverging `Call` record in the parsed log.
+    pub call_index: usize,
+    /// Kernel thread that issued the call.
+    pub tid: u32,
+    /// Which scheduler function diverged.
+    pub func: FuncId,
+    /// Virtual time of the call.
+    pub now: u64,
+    /// The response the recording holds.
+    pub recorded: i64,
+    /// The response the replayed scheduler produced.
+    pub actual: i64,
+    /// Log index of `window[0]`.
+    pub window_start: usize,
+    /// Surrounding records (±[`DIVERGENCE_CONTEXT`] around the call).
+    pub window: Vec<Rec>,
+}
+
+/// Decodes a recorded return value into its domain meaning.
+fn ret_meaning(func: FuncId, val: i64) -> String {
+    match func {
+        FuncId::SelectTaskRq => format!("cpu {val}"),
+        FuncId::PickNextTask | FuncId::Balance | FuncId::MigrateTaskRq => {
+            if val < 0 {
+                "none (idle)".to_string()
+            } else {
+                format!("pid {val}")
+            }
+        }
+        _ => val.to_string(),
+    }
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "call #{}: tid {} {} at now={}ns returned {}, recording says {}",
+            self.call_index,
+            self.tid,
+            self.func.name(),
+            self.now,
+            ret_meaning(self.func, self.actual),
+            ret_meaning(self.func, self.recorded),
+        )
+    }
+}
+
+impl Divergence {
+    /// Renders the divergence with its context window, marking the
+    /// diverging call.
+    pub fn explain(&self) -> String {
+        let mut out = format!("{self}\n");
+        for (i, rec) in self.window.iter().enumerate() {
+            let idx = self.window_start + i;
+            let marker = if idx == self.call_index { ">>>" } else { "   " };
+            let _ = writeln!(out, "  {marker} #{idx:<6} {}", describe_rec(rec));
+        }
+        out
+    }
+}
+
+/// Pretty-prints one record for dumps and divergence context windows.
+pub fn describe_rec(rec: &Rec) -> String {
+    match *rec {
+        Rec::Call { tid, func, args } => format!(
+            "call {:<22} tid={tid} pid={} cpu={} prev={} now={} runtime={} flags={:#x}",
+            func.name(),
+            args.pid,
+            args.cpu,
+            args.prev_cpu,
+            args.now,
+            args.runtime,
+            args.flags
+        ),
+        Rec::Ret { tid, func, val } => format!(
+            "ret  {:<22} tid={tid} -> {}",
+            func.name(),
+            ret_meaning(func, val)
+        ),
+        Rec::Hint {
+            tid,
+            pid,
+            kind,
+            a,
+            b,
+            c,
+        } => format!("hint kind={kind} tid={tid} pid={pid} a={a} b={b} c={c}"),
+        Rec::LockCreate { tid, lock } => format!("lock-create  lock={lock} tid={tid}"),
+        Rec::LockAcquire { tid, lock, op } => {
+            let mode = match op {
+                LockOp::Mutex => "mutex",
+                LockOp::Read => "read",
+                LockOp::Write => "write",
+            };
+            format!("lock-acquire lock={lock} tid={tid} mode={mode}")
+        }
+        Rec::LockRelease { tid, lock } => format!("lock-release lock={lock} tid={tid}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace export
+// ---------------------------------------------------------------------
+
+/// Converts a record log into Chrome `trace_event` JSON: one lane per
+/// recorded kernel thread (cpu), on-cpu slices as complete spans, wakeups
+/// / migrations / hints as instants, plus counter tracks for the runnable
+/// task count and the number of held shim locks.
+pub fn chrome_trace_from_log(log: &[Rec]) -> String {
+    let mut b = ChromeTraceBuilder::new();
+    // Open on-cpu span per cpu lane: (pid, start).
+    let mut open: HashMap<i32, (i64, u64)> = HashMap::new();
+    let mut pending_pick: HashMap<u32, (u64, i32)> = HashMap::new();
+    // Runnable-set tracking for the counter track.
+    let mut runnable: BTreeSet<i64> = BTreeSet::new();
+    let mut held_locks = 0i64;
+    let mut clock = 0u64;
+
+    let close = |b: &mut ChromeTraceBuilder, open: &mut HashMap<i32, (i64, u64)>, cpu: i32, at: u64| {
+        if let Some((pid, start)) = open.remove(&cpu) {
+            b.span(
+                &format!("pid {pid}"),
+                "sched",
+                cpu.max(0) as usize,
+                Ns(start),
+                Ns(at.saturating_sub(start)),
+            );
+        }
+    };
+
+    for rec in log {
+        match *rec {
+            Rec::Call { tid, func, args } => {
+                clock = args.now;
+                match func {
+                    FuncId::PickNextTask => {
+                        pending_pick.insert(tid, (args.now, args.cpu));
+                    }
+                    FuncId::TaskWakeup | FuncId::TaskNew => {
+                        if func == FuncId::TaskWakeup {
+                            b.instant(
+                                &format!("wakeup pid {}", args.pid),
+                                "wakeup",
+                                tid as usize,
+                                Ns(args.now),
+                                Some(&format!(r#"{{"pid":{}}}"#, args.pid)),
+                            );
+                        }
+                        if runnable.insert(args.pid) {
+                            b.counter("runnable", Ns(args.now), "tasks", runnable.len() as f64);
+                        }
+                    }
+                    FuncId::TaskBlocked | FuncId::TaskDead | FuncId::TaskDeparted => {
+                        close(&mut b, &mut open, args.cpu, args.now);
+                        if runnable.remove(&args.pid) {
+                            b.counter("runnable", Ns(args.now), "tasks", runnable.len() as f64);
+                        }
+                    }
+                    FuncId::TaskYield | FuncId::TaskPreempt => {
+                        close(&mut b, &mut open, args.cpu, args.now);
+                    }
+                    FuncId::MigrateTaskRq => {
+                        b.instant(
+                            &format!("migrate pid {}", args.pid),
+                            "migrate",
+                            tid as usize,
+                            Ns(args.now),
+                            Some(&format!(
+                                r#"{{"pid":{},"from":{},"to":{}}}"#,
+                                args.pid, args.prev_cpu, args.cpu
+                            )),
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            Rec::Ret {
+                tid,
+                func: FuncId::PickNextTask,
+                val,
+            } => {
+                if let Some((now, cpu)) = pending_pick.remove(&tid) {
+                    close(&mut b, &mut open, cpu, now);
+                    if val >= 0 {
+                        open.insert(cpu, (val, now));
+                    }
+                }
+            }
+            Rec::Hint { tid, pid, kind, .. } => {
+                b.instant(
+                    &format!("hint kind {kind}"),
+                    "hint",
+                    tid as usize,
+                    Ns(clock),
+                    Some(&format!(r#"{{"pid":{pid}}}"#)),
+                );
+            }
+            Rec::LockAcquire { .. } => {
+                held_locks += 1;
+                b.counter("shim locks", Ns(clock), "held", held_locks as f64);
+            }
+            Rec::LockRelease { .. } => {
+                held_locks = (held_locks - 1).max(0);
+                b.counter("shim locks", Ns(clock), "held", held_locks as f64);
+            }
+            _ => {}
+        }
+    }
+    let cpus: Vec<i32> = open.keys().copied().collect();
+    for cpu in cpus {
+        close(&mut b, &mut open, cpu, clock);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::export::validate_json;
+    use crate::record::CallArgs;
+
+    fn call(tid: u32, func: FuncId, pid: i64, cpu: i32, now: u64) -> Rec {
+        Rec::Call {
+            tid,
+            func,
+            args: CallArgs {
+                now,
+                pid,
+                cpu,
+                ..CallArgs::default()
+            },
+        }
+    }
+
+    fn ret(tid: u32, func: FuncId, val: i64) -> Rec {
+        Rec::Ret { tid, func, val }
+    }
+
+    /// A tiny hand-built log: task 7 wakes at t=1000, cpu 0 picks it at
+    /// t=3000 (wakeup latency 2000ns), it is preempted at t=5000 (on-cpu
+    /// 2000ns) and re-picked at t=5500 (runqueue delay 500ns, not a
+    /// wakeup), then blocks at t=6000.
+    fn lifecycle_log() -> Vec<Rec> {
+        vec![
+            call(0, FuncId::TaskWakeup, 7, 0, 1000),
+            call(0, FuncId::PickNextTask, -1, 0, 3000),
+            ret(0, FuncId::PickNextTask, 7),
+            call(0, FuncId::TaskPreempt, 7, 0, 5000),
+            call(0, FuncId::PickNextTask, -1, 0, 5500),
+            ret(0, FuncId::PickNextTask, 7),
+            call(0, FuncId::TaskBlocked, 7, 0, 6000),
+            call(0, FuncId::PickNextTask, -1, 0, 6100),
+            ret(0, FuncId::PickNextTask, -1),
+        ]
+    }
+
+    #[test]
+    fn latency_attribution_reconstructs_the_lifecycle() {
+        let report = attribute_latency(&lifecycle_log());
+        let t = &report.tasks[&7];
+        assert_eq!(t.wakeups, 1);
+        assert_eq!(t.picks, 2);
+        assert_eq!(t.preemptions, 1);
+        assert_eq!(t.blocks, 1);
+        assert_eq!(t.wakeup_latency.count(), 1);
+        assert_eq!(t.wakeup_latency.max(), Ns(2000));
+        assert_eq!(t.runqueue_delay.count(), 2);
+        assert_eq!(t.runqueue_delay.min(), Ns(500));
+        assert_eq!(t.on_cpu.count(), 2);
+        assert_eq!(t.on_cpu.min(), Ns(500));
+        assert_eq!(t.on_cpu.max(), Ns(2000));
+        let c = &report.cpus[&0];
+        assert_eq!(c.picks, 3);
+        assert_eq!(c.idle_picks, 1);
+        assert_eq!(c.runqueue_delay.count(), 2);
+        let text = report.render();
+        assert!(text.contains("wakeup-lat"), "{text}");
+        assert!(text.contains("2.0µs"), "{text}");
+    }
+
+    #[test]
+    fn summary_counts_every_kind() {
+        let log = lifecycle_log();
+        let s = summarize(&log);
+        assert_eq!(s.records, log.len());
+        assert_eq!(s.calls, 6);
+        assert_eq!(s.rets, 3);
+        assert_eq!(s.calls_by_func["pick_next_task"], 3);
+        assert_eq!(s.first_now, Some(1000));
+        assert_eq!(s.last_now, Some(6100));
+        assert_eq!(s.span(), Ns(5100));
+        assert!(s.render().contains("pick_next_task"));
+    }
+
+    #[test]
+    fn lock_stats_measure_holds_and_handoffs() {
+        let log = vec![
+            call(0, FuncId::TaskTick, 1, 0, 1000),
+            Rec::LockCreate { tid: 0, lock: 1 },
+            Rec::LockAcquire {
+                tid: 0,
+                lock: 1,
+                op: LockOp::Mutex,
+            },
+            call(0, FuncId::TaskTick, 1, 0, 4000),
+            Rec::LockRelease { tid: 0, lock: 1 },
+            Rec::LockAcquire {
+                tid: 1,
+                lock: 1,
+                op: LockOp::Mutex,
+            },
+            Rec::LockRelease { tid: 1, lock: 1 },
+        ];
+        let report = analyze_locks(&log);
+        let l = &report.locks[&1];
+        assert_eq!(l.acquisitions, 2);
+        assert_eq!(l.owners.len(), 2);
+        assert_eq!(l.handoffs, 1);
+        assert_eq!(l.hold.count(), 2);
+        // First hold spans the t=1000 -> t=4000 clock advance.
+        assert_eq!(l.hold.max(), Ns(3000));
+        assert!(report.cycles.is_empty());
+        assert!(report.render().contains("acquisition graph is acyclic"));
+    }
+
+    #[test]
+    fn lock_order_inversion_is_flagged() {
+        // Thread 1: A then B (holding A). Thread 2: B then A (holding B).
+        // The classic AB/BA inversion must surface as a cycle.
+        let (a, b) = (10u64, 20u64);
+        let acq = |tid, lock| Rec::LockAcquire {
+            tid,
+            lock,
+            op: LockOp::Mutex,
+        };
+        let rel = |tid, lock| Rec::LockRelease { tid, lock };
+        let log = vec![
+            acq(1, a),
+            acq(1, b),
+            rel(1, b),
+            rel(1, a),
+            acq(2, b),
+            acq(2, a),
+            rel(2, a),
+            rel(2, b),
+        ];
+        let report = analyze_locks(&log);
+        assert_eq!(report.edges.len(), 2);
+        assert_eq!(report.cycles, vec![LockCycle { locks: vec![a, b] }]);
+        let text = report.render();
+        assert!(text.contains("DEADLOCK RISK"), "{text}");
+        assert!(text.contains("10 -> 20 -> 10"), "{text}");
+    }
+
+    #[test]
+    fn consistent_ordering_has_no_cycle() {
+        let acq = |tid, lock| Rec::LockAcquire {
+            tid,
+            lock,
+            op: LockOp::Mutex,
+        };
+        let rel = |tid, lock| Rec::LockRelease { tid, lock };
+        let log = vec![
+            acq(1, 1),
+            acq(1, 2),
+            rel(1, 2),
+            rel(1, 1),
+            acq(2, 1),
+            acq(2, 2),
+            rel(2, 2),
+            rel(2, 1),
+        ];
+        let report = analyze_locks(&log);
+        assert_eq!(report.edges.len(), 1);
+        assert!(report.cycles.is_empty());
+    }
+
+    #[test]
+    fn three_lock_cycle_is_found() {
+        let acq = |tid, lock| Rec::LockAcquire {
+            tid,
+            lock,
+            op: LockOp::Mutex,
+        };
+        let rel = |tid, lock| Rec::LockRelease { tid, lock };
+        // 1: A->B, 2: B->C, 3: C->A.
+        let log = vec![
+            acq(1, 1),
+            acq(1, 2),
+            rel(1, 2),
+            rel(1, 1),
+            acq(2, 2),
+            acq(2, 3),
+            rel(2, 3),
+            rel(2, 2),
+            acq(3, 3),
+            acq(3, 1),
+            rel(3, 1),
+            rel(3, 3),
+        ];
+        let report = analyze_locks(&log);
+        assert_eq!(report.cycles.len(), 1);
+        assert_eq!(report.cycles[0].locks, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_lanes_and_counters() {
+        let mut log = lifecycle_log();
+        log.push(Rec::LockAcquire {
+            tid: 0,
+            lock: 1,
+            op: LockOp::Mutex,
+        });
+        log.push(Rec::LockRelease { tid: 0, lock: 1 });
+        let doc = chrome_trace_from_log(&log);
+        validate_json(&doc).unwrap_or_else(|e| panic!("{e}: {doc}"));
+        assert!(doc.contains(r#""name":"pid 7""#), "{doc}");
+        assert!(doc.contains(r#""name":"wakeup pid 7""#), "{doc}");
+        assert!(doc.contains(r#""name":"runnable""#), "{doc}");
+        assert!(doc.contains(r#""name":"shim locks""#), "{doc}");
+        assert!(doc.contains(r#""ph":"C""#), "{doc}");
+    }
+
+    #[test]
+    fn divergence_explains_itself_with_context() {
+        let log = lifecycle_log();
+        let d = Divergence {
+            call_index: 4,
+            tid: 0,
+            func: FuncId::PickNextTask,
+            now: 5500,
+            recorded: 7,
+            actual: -1,
+            window_start: 2,
+            window: log[2..7].to_vec(),
+        };
+        let line = d.to_string();
+        assert!(line.contains("pick_next_task"), "{line}");
+        assert!(line.contains("returned none (idle)"), "{line}");
+        assert!(line.contains("recording says pid 7"), "{line}");
+        let full = d.explain();
+        assert!(full.contains(">>> #4"), "{full}");
+        assert!(full.contains("task_preempt"), "{full}");
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_ns(Ns(500)), "500ns");
+        assert_eq!(fmt_ns(Ns(1500)), "1.5µs");
+        assert_eq!(fmt_ns(Ns(2_500_000)), "2.50ms");
+        assert_eq!(fmt_ns(Ns(3_000_000_000)), "3.00s");
+        assert_eq!(fmt_quantiles(&Histogram::new()), "-");
+    }
+}

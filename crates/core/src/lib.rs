@@ -26,9 +26,15 @@
 //!   acquisition through a ring drained by a userspace writer thread, then
 //!   re-run the *same scheduler code* in userspace with the recorded lock
 //!   order enforced, validating every response (§3.4).
+//! - [`forensics`] — offline analysis of record logs: per-task latency
+//!   attribution, per-lock contention stats with a lock-order cycle
+//!   detector, typed replay divergences with context windows, and Chrome
+//!   `trace_event` export (the `enoki-log` CLI front-end lives in
+//!   `crates/replay`).
 
 pub mod api;
 pub mod dispatch;
+pub mod forensics;
 pub mod metrics;
 pub mod queue;
 pub mod record;
@@ -39,6 +45,7 @@ pub mod sync;
 
 pub use api::{EnokiScheduler, SchedCtx, TaskInfo, TransferIn, TransferOut};
 pub use dispatch::{DispatchStats, EnokiClass, UpgradeReport, ENOKI_CALL_OVERHEAD};
+pub use forensics::{Divergence, LatencyReport, LockReport, LogSummary};
 pub use metrics::{
     EventKind, HistogramSnapshot, MetricKey, MetricsRegistry, MetricsSnapshot, SchedulerMetrics,
     TraceRecord,

@@ -57,6 +57,28 @@ pub enum FuncId {
 }
 
 impl FuncId {
+    /// The kernel-facing name of the scheduler entry point.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FuncId::SelectTaskRq => "select_task_rq",
+            FuncId::TaskNew => "task_new",
+            FuncId::TaskWakeup => "task_wakeup",
+            FuncId::TaskBlocked => "task_blocked",
+            FuncId::TaskYield => "task_yield",
+            FuncId::TaskPreempt => "task_preempt",
+            FuncId::TaskDead => "task_dead",
+            FuncId::TaskDeparted => "task_departed",
+            FuncId::TaskTick => "task_tick",
+            FuncId::Balance => "balance",
+            FuncId::PickNextTask => "pick_next_task",
+            FuncId::MigrateTaskRq => "migrate_task_rq",
+            FuncId::TaskPrioChanged => "task_prio_changed",
+            FuncId::TaskAffinityChanged => "task_affinity_changed",
+            FuncId::BalanceErr => "balance_err",
+            FuncId::PntErr => "pnt_err",
+        }
+    }
+
     /// Decodes a tag byte.
     pub fn from_u8(v: u8) -> Option<FuncId> {
         Some(match v {
@@ -260,6 +282,13 @@ impl Rec {
 
     /// Decodes one record from `buf`, returning it and the bytes consumed.
     pub fn decode(buf: &[u8]) -> Option<(Rec, usize)> {
+        Rec::decode_ext(buf).ok()
+    }
+
+    /// Decodes one record from `buf`, distinguishing a record cut short by
+    /// the end of the buffer ([`DecodeError::Truncated`]) from bytes that
+    /// cannot be a record at all ([`DecodeError::Corrupt`]).
+    pub fn decode_ext(buf: &[u8]) -> Result<(Rec, usize), DecodeError> {
         fn u32_at(b: &[u8], o: usize) -> u32 {
             u32::from_le_bytes(b[o..o + 4].try_into().unwrap())
         }
@@ -272,13 +301,15 @@ impl Rec {
         fn i64_at(b: &[u8], o: usize) -> i64 {
             i64::from_le_bytes(b[o..o + 8].try_into().unwrap())
         }
-        let tag = *buf.first()?;
+        let Some(&tag) = buf.first() else {
+            return Err(DecodeError::Truncated);
+        };
         match tag {
             TAG_LOCK_CREATE => {
                 if buf.len() < 13 {
-                    return None;
+                    return Err(DecodeError::Truncated);
                 }
-                Some((
+                Ok((
                     Rec::LockCreate {
                         tid: u32_at(buf, 1),
                         lock: u64_at(buf, 5),
@@ -288,15 +319,19 @@ impl Rec {
             }
             TAG_LOCK_ACQUIRE => {
                 if buf.len() < 14 {
-                    return None;
+                    return Err(DecodeError::Truncated);
                 }
                 let op = match buf[13] {
                     0 => LockOp::Mutex,
                     1 => LockOp::Read,
                     2 => LockOp::Write,
-                    _ => return None,
+                    other => {
+                        return Err(DecodeError::Corrupt(format!(
+                            "invalid lock op byte {other:#04x}"
+                        )))
+                    }
                 };
-                Some((
+                Ok((
                     Rec::LockAcquire {
                         tid: u32_at(buf, 1),
                         lock: u64_at(buf, 5),
@@ -307,9 +342,9 @@ impl Rec {
             }
             TAG_LOCK_RELEASE => {
                 if buf.len() < 13 {
-                    return None;
+                    return Err(DecodeError::Truncated);
                 }
-                Some((
+                Ok((
                     Rec::LockRelease {
                         tid: u32_at(buf, 1),
                         lock: u64_at(buf, 5),
@@ -321,9 +356,11 @@ impl Rec {
                 // tag + tid + func + 4×u64 + 5×u32/i32 + 2×u64 affinity.
                 let need = 1 + 4 + 1 + 8 * 4 + 4 * 5 + 8 * 2;
                 if buf.len() < need {
-                    return None;
+                    return Err(DecodeError::Truncated);
                 }
-                let func = FuncId::from_u8(buf[5])?;
+                let func = FuncId::from_u8(buf[5]).ok_or_else(|| {
+                    DecodeError::Corrupt(format!("invalid func id {:#04x}", buf[5]))
+                })?;
                 let mut o = 6;
                 let mut rd8 = || {
                     let v = u64_at(buf, o);
@@ -341,7 +378,7 @@ impl Rec {
                 let flags = u32_at(buf, o + 16);
                 let aff_lo = u64_at(buf, o + 20);
                 let aff_hi = u64_at(buf, o + 28);
-                Some((
+                Ok((
                     Rec::Call {
                         tid: u32_at(buf, 1),
                         func,
@@ -364,10 +401,12 @@ impl Rec {
             }
             TAG_RET => {
                 if buf.len() < 14 {
-                    return None;
+                    return Err(DecodeError::Truncated);
                 }
-                let func = FuncId::from_u8(buf[5])?;
-                Some((
+                let func = FuncId::from_u8(buf[5]).ok_or_else(|| {
+                    DecodeError::Corrupt(format!("invalid func id {:#04x}", buf[5]))
+                })?;
+                Ok((
                     Rec::Ret {
                         tid: u32_at(buf, 1),
                         func,
@@ -378,9 +417,9 @@ impl Rec {
             }
             TAG_HINT => {
                 if buf.len() < 41 {
-                    return None;
+                    return Err(DecodeError::Truncated);
                 }
-                Some((
+                Ok((
                     Rec::Hint {
                         tid: u32_at(buf, 1),
                         pid: i64_at(buf, 5),
@@ -392,9 +431,21 @@ impl Rec {
                     41,
                 ))
             }
-            _ => None,
+            other => Err(DecodeError::Corrupt(format!(
+                "unknown record tag {other:#04x}"
+            ))),
         }
     }
+}
+
+/// Why a record failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ends before the record does. At the tail of a log this
+    /// means the writer was killed mid-flush; the prefix is still valid.
+    Truncated,
+    /// The bytes cannot be any record (unknown tag or invalid field).
+    Corrupt(String),
 }
 
 // ---------------------------------------------------------------------
@@ -405,7 +456,6 @@ impl Rec {
 #[derive(Clone)]
 pub struct Recorder {
     ring: RingBuffer<Rec>,
-    dropped: Arc<AtomicU64>,
 }
 
 impl Recorder {
@@ -413,22 +463,26 @@ impl Recorder {
     pub fn new(capacity: usize) -> Recorder {
         Recorder {
             ring: RingBuffer::with_capacity(capacity),
-            dropped: Arc::new(AtomicU64::new(0)),
         }
     }
 
     /// Emits one record (drops it if the ring is full).
+    ///
+    /// The ring itself counts rejected pushes, so the drop total has a
+    /// single source of truth — see [`Recorder::dropped`].
     pub fn emit(&self, rec: Rec) {
-        if self.ring.push(rec).is_err() {
-            self.dropped.fetch_add(1, Ordering::Relaxed);
-        }
+        let _ = self.ring.push(rec);
     }
 
     /// Records dropped due to ring overrun.
     pub fn dropped(&self) -> u64 {
-        self.dropped.load(Ordering::Relaxed) + self.ring.dropped()
+        self.ring.dropped()
     }
 }
+
+/// Empty drain rounds the writer spends yielding before it starts
+/// sleeping (see the backoff loop in [`RecordWriter::spawn`]).
+const IDLE_SPIN_ROUNDS: u32 = 16;
 
 /// The "userspace record task": a real thread that drains the recorder's
 /// ring and writes the log file asynchronously.
@@ -450,6 +504,8 @@ impl RecordWriter {
                 let mut w = BufWriter::new(file);
                 let mut buf = Vec::with_capacity(64);
                 let mut written = 0u64;
+                // Consecutive empty drain rounds; drives the idle backoff.
+                let mut idle_rounds = 0u32;
                 loop {
                     let mut idle = true;
                     while let Some(rec) = ring.pop() {
@@ -463,7 +519,20 @@ impl RecordWriter {
                         if stop2.load(Ordering::Acquire) && ring.is_empty() {
                             break;
                         }
-                        std::thread::yield_now();
+                        // Bounded backoff instead of a busy spin: yield for
+                        // the first rounds (low latency while the scheduler
+                        // is active), then sleep with exponential backoff
+                        // capped at ~1 ms so an idle recorder doesn't burn
+                        // a core and shutdown latency stays negligible.
+                        idle_rounds += 1;
+                        if idle_rounds <= IDLE_SPIN_ROUNDS {
+                            std::thread::yield_now();
+                        } else {
+                            let exp = (idle_rounds - IDLE_SPIN_ROUNDS).min(5);
+                            std::thread::sleep(std::time::Duration::from_micros(32u64 << exp));
+                        }
+                    } else {
+                        idle_rounds = 0;
                     }
                 }
                 w.flush()?;
@@ -495,27 +564,68 @@ impl Drop for RecordWriter {
     }
 }
 
+/// A parsed record log: the decoded records plus whether the log ended in
+/// a truncated final record (writer killed mid-flush).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParsedLog {
+    /// Decoded records — the readable prefix when `truncated` is set.
+    pub records: Vec<Rec>,
+    /// True when the log ended mid-record; the prefix in `records` is
+    /// still valid, but the tail of the run was lost.
+    pub truncated: bool,
+}
+
+impl std::ops::Deref for ParsedLog {
+    type Target = [Rec];
+    fn deref(&self) -> &[Rec] {
+        &self.records
+    }
+}
+
+impl ParsedLog {
+    /// Unwraps into the record vector, discarding the truncation flag.
+    pub fn into_records(self) -> Vec<Rec> {
+        self.records
+    }
+}
+
 /// Parses an entire record log from a reader.
-pub fn parse_log<R: Read>(mut r: R) -> std::io::Result<Vec<Rec>> {
+///
+/// A final record cut short by the end of input (the writer was killed
+/// mid-flush) is tolerated: the parsed prefix is returned with
+/// [`ParsedLog::truncated`] set. Mid-stream corruption — an unknown tag or
+/// an invalid field — is still a hard `InvalidData` error, because
+/// everything after it would be misframed.
+pub fn parse_log<R: Read>(mut r: R) -> std::io::Result<ParsedLog> {
     let mut data = Vec::new();
     r.read_to_end(&mut data)?;
     let mut out = Vec::new();
+    let mut truncated = false;
     let mut off = 0;
     while off < data.len() {
-        match Rec::decode(&data[off..]) {
-            Some((rec, used)) => {
+        match Rec::decode_ext(&data[off..]) {
+            Ok((rec, used)) => {
                 out.push(rec);
                 off += used;
             }
-            None => {
+            Err(DecodeError::Truncated) => {
+                // By construction this is the tail: decode only saw the
+                // remaining bytes and ran out.
+                truncated = true;
+                break;
+            }
+            Err(DecodeError::Corrupt(why)) => {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
-                    format!("corrupt record at offset {off}"),
+                    format!("corrupt record at offset {off}: {why}"),
                 ));
             }
         }
     }
-    Ok(out)
+    Ok(ParsedLog {
+        records: out,
+        truncated,
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -716,17 +826,95 @@ mod tests {
         let written = writer.finish().unwrap();
         assert_eq!(written, 100);
         let parsed = parse_log(File::open(&path).unwrap()).unwrap();
-        assert_eq!(parsed, events);
+        assert!(!parsed.truncated);
+        assert_eq!(parsed.records, events);
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
-    fn overrun_drops_and_counts() {
+    fn overrun_drops_and_counts_exactly_once() {
+        // 10 emits into a 2-slot ring with no consumer: exactly 8 drops.
+        // The recorder must not double-count (its own counter plus the
+        // ring's) — the ring is the single source of truth.
         let rec = Recorder::new(2);
         for i in 0..10 {
             rec.emit(Rec::LockRelease { tid: 0, lock: i });
         }
-        assert!(rec.dropped() >= 8);
+        assert_eq!(rec.dropped(), 8);
+    }
+
+    #[test]
+    fn idle_writer_wakes_up_for_late_records() {
+        // The writer backs off while idle; records emitted after the idle
+        // period must still be drained and written.
+        let dir = std::env::temp_dir().join(format!("enoki-rec-idle-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("idle.bin");
+        let rec = Recorder::new(64);
+        let writer = RecordWriter::spawn(&rec, &path).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        for i in 0..10 {
+            rec.emit(Rec::LockCreate { tid: 1, lock: i });
+        }
+        assert_eq!(writer.finish().unwrap(), 10);
+        assert_eq!(rec.dropped(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_log_tolerates_truncated_tail() {
+        let mut buf = Vec::new();
+        Rec::Ret {
+            tid: 1,
+            func: FuncId::Balance,
+            val: 3,
+        }
+        .encode(&mut buf);
+        let complete = buf.len();
+        Rec::Call {
+            tid: 2,
+            func: FuncId::PickNextTask,
+            args: CallArgs::default(),
+        }
+        .encode(&mut buf);
+        // Writer killed mid-flush: the final record loses its tail.
+        let parsed = parse_log(&buf[..complete + 10]).unwrap();
+        assert!(parsed.truncated);
+        assert_eq!(parsed.records.len(), 1);
+        assert_eq!(
+            parsed.records[0],
+            Rec::Ret {
+                tid: 1,
+                func: FuncId::Balance,
+                val: 3
+            }
+        );
+    }
+
+    #[test]
+    fn parse_log_hard_errors_on_corruption() {
+        let mut buf = Vec::new();
+        Rec::LockRelease { tid: 1, lock: 5 }.encode(&mut buf);
+        // An unknown tag mid-stream misframes everything after it.
+        buf.push(0x7F);
+        buf.extend_from_slice(&[0u8; 64]);
+        let err = parse_log(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+        // An invalid func id inside an otherwise complete record is also
+        // corruption, not truncation.
+        let mut call = Vec::new();
+        Rec::Call {
+            tid: 0,
+            func: FuncId::TaskNew,
+            args: CallArgs::default(),
+        }
+        .encode(&mut call);
+        call[5] = 0xEE;
+        assert!(matches!(
+            Rec::decode_ext(&call),
+            Err(DecodeError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! (paper §5.8).
 
 use crate::api::{EnokiScheduler, SchedCtx};
+use crate::forensics::{Divergence, DIVERGENCE_CONTEXT};
 use crate::record::{self, CallArgs, FuncId, LockSequencer, Rec};
 use crate::schedulable::{PickError, Schedulable};
 use enoki_sim::sched_class::KernelCtx;
@@ -21,6 +22,29 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
+
+/// Tuning knobs for a replay run. The defaults match live kernel logs;
+/// tests replaying deliberately lossy logs shrink both so the coordinator
+/// reaches give-up mode quickly.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayOptions {
+    /// After this many sequencing timeouts the coordinator gives up on
+    /// ordering and only provides mutual exclusion (see
+    /// [`ReplayCoordinator`]).
+    pub give_up_after: u64,
+    /// How long a thread waits for its recorded predecessor before
+    /// declaring a sequencing timeout.
+    pub wait_timeout: Duration,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> ReplayOptions {
+        ReplayOptions {
+            give_up_after: 50,
+            wait_timeout: Duration::from_millis(100),
+        }
+    }
+}
 
 /// Result of a replay run.
 #[derive(Debug, Default)]
@@ -33,8 +57,10 @@ pub struct ReplayReport {
     pub lock_acquires: u64,
     /// Kernel threads replayed (each becomes one real thread).
     pub threads: usize,
-    /// Responses that differed from the recording, with context.
-    pub divergences: Vec<String>,
+    /// Responses that differed from the recording, each typed with the
+    /// call index, recorded vs. actual value, and a window of surrounding
+    /// records (see [`Divergence`]).
+    pub divergences: Vec<Divergence>,
     /// Times a thread timed out waiting for its recorded lock turn
     /// (indicates a truncated or drop-lossy log) and proceeded anyway.
     pub sequencing_timeouts: u64,
@@ -63,11 +89,18 @@ pub struct ReplayCoordinator {
     /// ordering (the log has clearly diverged) and only provides mutual
     /// exclusion, so a diverged replay still terminates quickly.
     give_up_after: u64,
+    /// Per-wait timeout before declaring a missing predecessor.
+    wait_timeout: Duration,
 }
 
 impl ReplayCoordinator {
-    /// Builds the coordinator from a record log.
+    /// Builds the coordinator from a record log with default options.
     pub fn from_log(log: &[Rec]) -> Arc<ReplayCoordinator> {
+        ReplayCoordinator::from_log_with(log, ReplayOptions::default())
+    }
+
+    /// Builds the coordinator from a record log with explicit options.
+    pub fn from_log_with(log: &[Rec], opts: ReplayOptions) -> Arc<ReplayCoordinator> {
         let mut order: HashMap<u64, VecDeque<u32>> = HashMap::new();
         for rec in log {
             if let Rec::LockAcquire { tid, lock, .. } = rec {
@@ -81,7 +114,8 @@ impl ReplayCoordinator {
             }),
             cv: Condvar::new(),
             timeouts: AtomicU64::new(0),
-            give_up_after: 50,
+            give_up_after: opts.give_up_after,
+            wait_timeout: opts.wait_timeout,
         })
     }
 
@@ -89,11 +123,17 @@ impl ReplayCoordinator {
     pub fn timeouts(&self) -> u64 {
         self.timeouts.load(Ordering::Relaxed)
     }
+
+    /// True once the coordinator has stopped enforcing the recorded order
+    /// and only provides mutual exclusion.
+    pub fn gave_up(&self) -> bool {
+        self.timeouts.load(Ordering::Relaxed) >= self.give_up_after
+    }
 }
 
 impl LockSequencer for ReplayCoordinator {
     fn wait_turn(&self, lock: u64, tid: u32) {
-        let gave_up = self.timeouts.load(Ordering::Relaxed) >= self.give_up_after;
+        let gave_up = self.gave_up();
         let mut st = self.state.lock().expect("coordinator poisoned");
         loop {
             let my_turn = if gave_up {
@@ -118,7 +158,7 @@ impl LockSequencer for ReplayCoordinator {
             }
             let (next_st, timeout) = self
                 .cv
-                .wait_timeout(st, Duration::from_millis(100))
+                .wait_timeout(st, self.wait_timeout)
                 .expect("coordinator poisoned");
             st = next_st;
             if timeout.timed_out() {
@@ -169,6 +209,9 @@ fn flags_from(a: &CallArgs) -> WakeFlags {
 /// Events routed to a single replay thread.
 enum ThreadEvent {
     Call {
+        /// Index of the `Call` record in the full log (for divergence
+        /// context windows).
+        idx: usize,
         func: FuncId,
         args: CallArgs,
         ret: Option<i64>,
@@ -179,7 +222,19 @@ enum ThreadEvent {
     },
 }
 
-/// Replays a record log against a fresh instance of the same scheduler.
+/// A divergence observed by a replay thread, before the context window is
+/// attached (windows are cut from the shared log after the threads join).
+struct DivergenceSeed {
+    call_index: usize,
+    tid: u32,
+    func: FuncId,
+    now: u64,
+    recorded: i64,
+    actual: i64,
+}
+
+/// Replays a record log against a fresh instance of the same scheduler,
+/// with default [`ReplayOptions`].
 ///
 /// `make` is called (after lock-id reset) to build the scheduler exactly as
 /// the recorded kernel module was built; `nr_cpus` must match the recorded
@@ -191,13 +246,23 @@ where
     S::UserMsg: From<enoki_sim::HintVal>,
     F: FnOnce() -> S,
 {
+    replay_with(log, nr_cpus, ReplayOptions::default(), make)
+}
+
+/// [`replay`] with explicit coordinator options.
+pub fn replay_with<S, F>(log: &[Rec], nr_cpus: usize, opts: ReplayOptions, make: F) -> ReplayReport
+where
+    S: EnokiScheduler + 'static,
+    S::UserMsg: From<enoki_sim::HintVal>,
+    F: FnOnce() -> S,
+{
     // Phase 1 (paper: "the first 30 seconds are spent reading the file and
     // parsing lock operations"): split the log into per-thread message
     // streams and per-lock acquisition orders.
     let mut per_tid: HashMap<u32, Vec<ThreadEvent>> = HashMap::new();
     let mut pending_ret: HashMap<u32, usize> = HashMap::new(); // tid -> index of call awaiting ret
     let mut lock_acquires = 0u64;
-    for rec in log {
+    for (idx, rec) in log.iter().enumerate() {
         match *rec {
             Rec::Call { tid, func, args } => {
                 let stream = per_tid.entry(tid).or_default();
@@ -205,6 +270,7 @@ where
                     pending_ret.insert(tid, stream.len());
                 }
                 stream.push(ThreadEvent::Call {
+                    idx,
                     func,
                     args,
                     ret: None,
@@ -243,11 +309,11 @@ where
     // sequencer, and replay each kernel thread's stream on its own thread.
     record::reset_lock_ids();
     let scheduler = make();
-    let coord = ReplayCoordinator::from_log(log);
+    let coord = ReplayCoordinator::from_log_with(log, opts);
     record::enable_replay(coord.clone());
 
     let scheduler = Arc::new(scheduler);
-    let divergences = Arc::new(Mutex::new(Vec::new()));
+    let seeds = Arc::new(Mutex::new(Vec::new()));
     let mut calls = 0u64;
     let mut hints = 0u64;
     let threads = per_tid.len();
@@ -263,14 +329,19 @@ where
                 .filter(|e| matches!(e, ThreadEvent::Hint { .. }))
                 .count() as u64;
             let sched = scheduler.clone();
-            let div = divergences.clone();
+            let div = seeds.clone();
             scope.spawn(move || {
                 record::set_tid(tid);
                 let topo = std::rc::Rc::new(Topology::new(nr_cpus.max(1), 1));
                 for ev in stream {
                     match ev {
-                        ThreadEvent::Call { func, args, ret } => {
-                            replay_call(&*sched, &topo, tid, func, &args, ret, &div);
+                        ThreadEvent::Call {
+                            idx,
+                            func,
+                            args,
+                            ret,
+                        } => {
+                            replay_call(&*sched, &topo, idx, tid, func, &args, ret, &div);
                         }
                         ThreadEvent::Hint { pid, hint } => {
                             let k = KernelCtx::new(Ns::ZERO, topo.clone());
@@ -284,14 +355,34 @@ where
     });
 
     record::disable();
+    let mut seeds = Arc::try_unwrap(seeds)
+        .map(|m| m.into_inner().expect("not poisoned"))
+        .unwrap_or_default();
+    // Threads finish in nondeterministic order; report in log order.
+    seeds.sort_by_key(|s: &DivergenceSeed| s.call_index);
+    let divergences = seeds
+        .into_iter()
+        .map(|s| {
+            let start = s.call_index.saturating_sub(DIVERGENCE_CONTEXT);
+            let end = (s.call_index + DIVERGENCE_CONTEXT + 1).min(log.len());
+            Divergence {
+                call_index: s.call_index,
+                tid: s.tid,
+                func: s.func,
+                now: s.now,
+                recorded: s.recorded,
+                actual: s.actual,
+                window_start: start,
+                window: log[start..end].to_vec(),
+            }
+        })
+        .collect();
     ReplayReport {
         calls,
         hints,
         lock_acquires,
         threads,
-        divergences: Arc::try_unwrap(divergences)
-            .map(|m| m.into_inner().expect("not poisoned"))
-            .unwrap_or_default(),
+        divergences,
         sequencing_timeouts: coord.timeouts(),
     }
 }
@@ -307,11 +398,12 @@ fn returns_value(func: FuncId) -> bool {
 fn replay_call<S: EnokiScheduler>(
     sched: &S,
     topo: &std::rc::Rc<Topology>,
+    idx: usize,
     tid: u32,
     func: FuncId,
     args: &CallArgs,
     expected: Option<i64>,
-    divergences: &Mutex<Vec<String>>,
+    divergences: &Mutex<Vec<DivergenceSeed>>,
 ) {
     let k = KernelCtx::new(Ns(args.now), topo.clone());
     let ctx = SchedCtx::new(&k);
@@ -367,10 +459,17 @@ fn replay_call<S: EnokiScheduler>(
     }
     if let (Some(exp), Some(got)) = (expected, got) {
         if exp != got {
-            divergences.lock().expect("not poisoned").push(format!(
-                "tid {tid}: {func:?} returned {got}, recorded {exp} (now={})",
-                args.now
-            ));
+            divergences
+                .lock()
+                .expect("not poisoned")
+                .push(DivergenceSeed {
+                    call_index: idx,
+                    tid,
+                    func,
+                    now: args.now,
+                    recorded: exp,
+                    actual: got,
+                });
         }
     }
 }
@@ -447,6 +546,55 @@ mod tests {
         coord.wait_turn(5, 1);
         coord.released(5, 1);
         assert!(coord.timeouts() >= 1);
+    }
+
+    #[test]
+    fn coordinator_gives_up_after_repeated_timeouts() {
+        // Every lock's recorded predecessor (tid 9) never arrives; after
+        // `give_up_after` timeouts the coordinator stops enforcing order.
+        let log = vec![
+            Rec::LockAcquire {
+                tid: 9,
+                lock: 1,
+                op: LockOp::Mutex,
+            },
+            Rec::LockAcquire {
+                tid: 1,
+                lock: 1,
+                op: LockOp::Mutex,
+            },
+            Rec::LockAcquire {
+                tid: 9,
+                lock: 2,
+                op: LockOp::Mutex,
+            },
+            Rec::LockAcquire {
+                tid: 1,
+                lock: 2,
+                op: LockOp::Mutex,
+            },
+            Rec::LockAcquire {
+                tid: 9,
+                lock: 3,
+                op: LockOp::Mutex,
+            },
+        ];
+        let opts = ReplayOptions {
+            give_up_after: 2,
+            wait_timeout: Duration::from_millis(5),
+        };
+        let coord = ReplayCoordinator::from_log_with(&log, opts);
+        assert!(!coord.gave_up());
+        coord.wait_turn(1, 1);
+        coord.released(1, 1);
+        coord.wait_turn(2, 1);
+        coord.released(2, 1);
+        assert!(coord.gave_up());
+        // In give-up mode an out-of-order acquisition no longer waits out
+        // the timeout: only mutual exclusion is provided.
+        coord.wait_turn(3, 1);
+        coord.released(3, 1);
+        assert_eq!(coord.timeouts(), 2);
     }
 
     #[test]

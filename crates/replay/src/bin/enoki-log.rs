@@ -1,0 +1,104 @@
+//! The `enoki-log` command: offline forensics over record logs.
+//!
+//! Usage:
+//! - `enoki-log stat <log>` — log composition (events per kind, calls per
+//!   function, threads, locks, virtual-time span);
+//! - `enoki-log lat <log>` — per-task and per-cpu scheduling-latency
+//!   attribution (wakeup latency, runqueue delay, on-cpu slices);
+//! - `enoki-log locks <log>` — per-lock contention/hold stats and the
+//!   lock-order cycle detector (exits non-zero on a deadlock risk);
+//! - `enoki-log dump <log> [start] [end]` — pretty-print records;
+//! - `enoki-log diff <log> <scheduler> [nr-cpus]` — replay against a named
+//!   scheduler and explain every divergence with its context window;
+//! - `enoki-log export <log> [out.json]` — Chrome `trace_event` JSON for
+//!   `chrome://tracing` / Perfetto (stdout by default).
+
+use enoki_core::record::ParsedLog;
+use enoki_replay::{cli, load_log};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: enoki-log <subcommand> <log-file> [args]");
+    eprintln!("  stat   <log>                          log composition");
+    eprintln!("  lat    <log>                          latency attribution");
+    eprintln!("  locks  <log>                          lock contention + order cycles");
+    eprintln!("  dump   <log> [start] [end]            pretty-print records");
+    eprintln!("  diff   <log> <scheduler> [nr-cpus]    replay + divergence explainer");
+    eprintln!("  export <log> [out.json]               Chrome trace_event JSON");
+    eprintln!("schedulers: {}", cli::SCHEDULER_NAMES.join(", "));
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<ParsedLog, ExitCode> {
+    match load_log(&PathBuf::from(path)) {
+        Ok(log) => {
+            eprint!("{}", cli::truncation_note(&log));
+            Ok(log)
+        }
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let log = match load(path) {
+        Ok(log) => log,
+        Err(code) => return code,
+    };
+    match cmd.as_str() {
+        "stat" => print!("{}", cli::stat(&log)),
+        "lat" => print!("{}", cli::lat(&log)),
+        "locks" => {
+            let (text, cycles) = cli::locks(&log);
+            print!("{text}");
+            if cycles > 0 {
+                return ExitCode::FAILURE;
+            }
+        }
+        "dump" => {
+            let start = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0);
+            let end = args.get(3).and_then(|s| s.parse().ok());
+            print!("{}", cli::dump(&log, start, end));
+        }
+        "diff" => {
+            let Some(sched) = args.get(2) else {
+                return usage();
+            };
+            let nr_cpus = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(8);
+            match cli::diff(&log, sched, nr_cpus) {
+                Ok((text, faithful)) => {
+                    print!("{text}");
+                    if !faithful {
+                        return ExitCode::FAILURE;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        "export" => {
+            let doc = cli::export(&log);
+            match args.get(2) {
+                Some(out) => {
+                    if let Err(e) = std::fs::write(out, &doc) {
+                        eprintln!("error: {out}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("wrote {} bytes to {out}", doc.len());
+                }
+                None => println!("{doc}"),
+            }
+        }
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}

@@ -8,10 +8,8 @@
 //!   (events per kind, calls per function, threads, locks) without
 //!   replaying.
 
-use enoki_core::record::Rec;
-use enoki_replay::{load_log, replay_file};
+use enoki_replay::{cli, load_log, replay_file};
 use enoki_sched::{Cfs, Fifo, Locality, Shinjuku, Wfq};
-use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -23,42 +21,7 @@ fn print_stats(path: &Path) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut calls: BTreeMap<String, u64> = BTreeMap::new();
-    let mut tids: BTreeSet<u32> = BTreeSet::new();
-    let mut locks: BTreeSet<u64> = BTreeSet::new();
-    let (mut n_call, mut n_ret, mut n_hint, mut n_lock) = (0u64, 0u64, 0u64, 0u64);
-    for rec in &log {
-        match rec {
-            Rec::Call { tid, func, .. } => {
-                n_call += 1;
-                tids.insert(*tid);
-                *calls.entry(format!("{func:?}")).or_default() += 1;
-            }
-            Rec::Ret { .. } => n_ret += 1,
-            Rec::Hint { tid, .. } => {
-                n_hint += 1;
-                tids.insert(*tid);
-            }
-            Rec::LockAcquire { tid, lock, .. } => {
-                n_lock += 1;
-                tids.insert(*tid);
-                locks.insert(*lock);
-            }
-            Rec::LockCreate { lock, .. } => {
-                locks.insert(*lock);
-            }
-            Rec::LockRelease { .. } => {}
-        }
-    }
-    println!("{} records total", log.len());
-    println!(
-        "  {n_call} calls, {n_ret} returns, {n_hint} hints, {n_lock} lock acquisitions"
-    );
-    println!("  {} kernel threads, {} locks", tids.len(), locks.len());
-    println!("calls by function:");
-    for (func, count) in calls {
-        println!("  {func:<22} {count}");
-    }
+    print!("{}", cli::stat(&log));
     ExitCode::SUCCESS
 }
 
@@ -107,7 +70,10 @@ fn main() -> ExitCode {
                     r.divergences.len(),
                     r.sequencing_timeouts
                 );
-                for d in r.divergences.iter().take(20) {
+                for d in r.divergences.iter().take(3) {
+                    print!("{}", d.explain());
+                }
+                for d in r.divergences.iter().skip(3).take(17) {
                     println!("  {d}");
                 }
                 ExitCode::FAILURE

@@ -1,0 +1,122 @@
+//! Subcommand implementations for the `enoki-log` forensics CLI.
+//!
+//! Each subcommand is a plain function from a parsed log to a rendered
+//! string, so the test suite can exercise the whole CLI surface without
+//! spawning binaries; the `enoki-log` binary is a thin argv wrapper around
+//! this module. The analysis itself lives in [`enoki_core::forensics`].
+
+use enoki_core::forensics::{
+    analyze_locks, attribute_latency, chrome_trace_from_log, describe_rec, summarize,
+};
+use enoki_core::record::{ParsedLog, Rec};
+use enoki_core::replay::{replay_with, ReplayOptions, ReplayReport};
+use enoki_sched::{Cfs, Fifo, Locality, Shinjuku, Wfq};
+use std::fmt::Write as _;
+
+/// Scheduler names `diff` (and `enoki-replay`) can instantiate.
+pub const SCHEDULER_NAMES: &[&str] = &["wfq", "cfs", "fifo", "shinjuku", "locality"];
+
+/// Replays `log` against a fresh instance of the named scheduler.
+/// Returns `None` for an unknown scheduler name.
+pub fn replay_named(
+    log: &[Rec],
+    scheduler: &str,
+    nr_cpus: usize,
+    opts: ReplayOptions,
+) -> Option<ReplayReport> {
+    Some(match scheduler {
+        "wfq" => replay_with(log, nr_cpus, opts, || Wfq::new(nr_cpus)),
+        "cfs" => replay_with(log, nr_cpus, opts, || Cfs::new(nr_cpus)),
+        "fifo" => replay_with(log, nr_cpus, opts, || Fifo::new(nr_cpus)),
+        "shinjuku" => replay_with(log, nr_cpus, opts, || Shinjuku::new(nr_cpus)),
+        "locality" => replay_with(log, nr_cpus, opts, || Locality::new(nr_cpus)),
+        _ => return None,
+    })
+}
+
+/// A truncation warning when the log tail was cut off mid-record, or `""`.
+pub fn truncation_note(log: &ParsedLog) -> String {
+    if log.truncated {
+        "warning: log tail truncated mid-record (writer killed during a flush?); \
+         analyzing the parsed prefix\n"
+            .to_string()
+    } else {
+        String::new()
+    }
+}
+
+/// `enoki-log stat`: log composition.
+pub fn stat(log: &ParsedLog) -> String {
+    format!("{}{}", truncation_note(log), summarize(log).render())
+}
+
+/// `enoki-log lat`: per-task and per-cpu scheduling-latency attribution.
+pub fn lat(log: &[Rec]) -> String {
+    attribute_latency(log).render()
+}
+
+/// `enoki-log locks`: per-lock contention/hold stats and lock-order
+/// cycles. The second element is the number of cycles (deadlock risks)
+/// found, so callers can fail on it.
+pub fn locks(log: &[Rec]) -> (String, usize) {
+    let report = analyze_locks(log);
+    let cycles = report.cycles.len();
+    (report.render(), cycles)
+}
+
+/// `enoki-log dump`: pretty-prints records `start..end` (the whole log by
+/// default), one indexed line each.
+pub fn dump(log: &[Rec], start: usize, end: Option<usize>) -> String {
+    let end = end.unwrap_or(log.len()).min(log.len());
+    let start = start.min(end);
+    let mut out = String::new();
+    for (i, rec) in log[start..end].iter().enumerate() {
+        let _ = writeln!(out, "#{:<6} {}", start + i, describe_rec(rec));
+    }
+    out
+}
+
+/// `enoki-log diff`: replays the log against the named scheduler and
+/// renders every divergence with its context window. The second element
+/// is true when the replay was faithful. Returns `Err` for an unknown
+/// scheduler name.
+pub fn diff(log: &[Rec], scheduler: &str, nr_cpus: usize) -> Result<(String, bool), String> {
+    let report = replay_named(log, scheduler, nr_cpus, ReplayOptions::default())
+        .ok_or_else(|| format!("unknown scheduler '{scheduler}' (try {SCHEDULER_NAMES:?})"))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "replayed {} calls, {} hints, {} lock acquisitions on {} threads",
+        report.calls, report.hints, report.lock_acquires, report.threads
+    );
+    if report.faithful() {
+        let _ = writeln!(
+            out,
+            "replay faithful: '{scheduler}' matched the recording everywhere"
+        );
+        return Ok((out, true));
+    }
+    let _ = writeln!(
+        out,
+        "{} divergences, {} sequencing timeouts",
+        report.divergences.len(),
+        report.sequencing_timeouts
+    );
+    for d in report.divergences.iter().take(10) {
+        let _ = write!(out, "{}", d.explain());
+    }
+    if report.divergences.len() > 10 {
+        let _ = writeln!(
+            out,
+            "... {} further divergences elided",
+            report.divergences.len() - 10
+        );
+    }
+    Ok((out, false))
+}
+
+/// `enoki-log export`: Chrome `trace_event` JSON (load the output in
+/// `chrome://tracing` or Perfetto).
+pub fn export(log: &[Rec]) -> String {
+    chrome_trace_from_log(log)
+}

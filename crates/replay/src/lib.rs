@@ -17,10 +17,12 @@
 //!    enforcing the recorded lock order and validating every response.
 
 use enoki_core::api::EnokiScheduler;
-use enoki_core::record::{self, parse_log, Rec, RecordWriter, Recorder};
-pub use enoki_core::replay::{replay, ReplayCoordinator, ReplayReport};
+use enoki_core::record::{self, parse_log, ParsedLog, RecordWriter, Recorder};
+pub use enoki_core::replay::{replay, replay_with, ReplayCoordinator, ReplayOptions, ReplayReport};
 use std::fs::File;
 use std::path::Path;
+
+pub mod cli;
 
 /// A live recording session.
 pub struct RecordingSession {
@@ -53,7 +55,11 @@ pub fn stop_recording(session: RecordingSession) -> std::io::Result<u64> {
 }
 
 /// Loads a record log from disk.
-pub fn load_log(path: &Path) -> std::io::Result<Vec<Rec>> {
+///
+/// A log whose final record was cut off mid-write (writer killed during a
+/// flush) still loads: the parsed prefix is returned with
+/// [`ParsedLog::truncated`] set. Mid-stream corruption is a hard error.
+pub fn load_log(path: &Path) -> std::io::Result<ParsedLog> {
     parse_log(File::open(path)?)
 }
 

@@ -2,6 +2,8 @@
 //!
 //! ```sh
 //! cargo run --release -p enoki --example record_replay
+//! # keep the log for offline forensics with enoki-log:
+//! cargo run --release -p enoki --example record_replay -- /tmp/wfq.log
 //! ```
 //!
 //! In record mode, every call into the scheduler (with all its timing
@@ -11,6 +13,11 @@
 //! thread per recorded kernel thread, lock acquisitions forced into the
 //! recorded order — and validates every response against the recording
 //! (paper §3.4).
+//!
+//! Pass an output path to keep the log; the `enoki-log` CLI (see
+//! `DESIGN.md`, "Record-log forensics") can then attribute scheduling
+//! latency, analyze lock contention/ordering, and export a Chrome trace
+//! from it.
 
 use enoki::core::record;
 use enoki::core::EnokiClass;
@@ -21,9 +28,14 @@ use enoki::sim::{CostModel, Machine, Ns, TaskSpec, Topology};
 use std::rc::Rc;
 
 fn main() {
+    // With an argument, the log is written there and kept for enoki-log;
+    // without one it lands in a temp dir that is deleted at the end.
+    let keep_path = std::env::args().nth(1).map(std::path::PathBuf::from);
     let dir = std::env::temp_dir().join(format!("enoki-example-rr-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("tmp dir");
-    let log_path = dir.join("wfq-session.log");
+    let log_path = keep_path
+        .clone()
+        .unwrap_or_else(|| dir.join("wfq-session.log"));
 
     // --- Record phase -------------------------------------------------
     // Reset lock-id allocation BEFORE constructing the scheduler so the
@@ -85,6 +97,16 @@ fn main() {
         for d in report.divergences.iter().take(10) {
             println!("  {d}");
         }
+    }
+    if let Some(path) = keep_path {
+        println!("\nlog kept at {}; dig into it with:", path.display());
+        for sub in ["stat", "lat", "locks"] {
+            println!("  cargo run -p enoki-replay --bin enoki-log -- {sub} {}", path.display());
+        }
+        println!(
+            "  cargo run -p enoki-replay --bin enoki-log -- export {} trace.json",
+            path.display()
+        );
     }
     std::fs::remove_dir_all(&dir).ok();
 }

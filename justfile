@@ -21,3 +21,13 @@ bench:
 # Per-cpu timeline + Chrome trace for a scheduler run.
 schedviz sched="wfq":
     cargo run --release -p enoki-bench --bin schedviz -- {{sched}}
+
+# Record a run, then walk the log through every enoki-log analysis.
+forensics log="/tmp/enoki-forensics.log":
+    cargo run --release -p enoki --example record_replay -- {{log}}
+    cargo run --release -p enoki-replay --bin enoki-log -- stat {{log}}
+    cargo run --release -p enoki-replay --bin enoki-log -- lat {{log}}
+    cargo run --release -p enoki-replay --bin enoki-log -- locks {{log}}
+    cargo run --release -p enoki-replay --bin enoki-log -- dump {{log}} 0 20
+    cargo run --release -p enoki-replay --bin enoki-log -- diff {{log}} wfq
+    cargo run --release -p enoki-replay --bin enoki-log -- export {{log}} {{log}}.trace.json

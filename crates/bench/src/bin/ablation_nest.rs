@@ -8,6 +8,7 @@
 //! for Nest's frequency/warmth effects.
 
 use enoki_bench::header;
+use enoki_bench::report::Report;
 use enoki_core::EnokiClass;
 use enoki_sched::Nest;
 use enoki_sim::behavior::{closure_behavior, Op};
@@ -96,9 +97,20 @@ fn main() {
         ],
         &[6, 6, 11, 6, 11, 12],
     );
+    let mut report = Report::new("ablation_nest");
+    report.param("rounds_per_task", rounds);
     for tasks in [2usize, 3, 4, 6] {
         for nest in [false, true] {
             let o = run(nest, tasks, rounds);
+            report.row(&[
+                ("tasks", tasks.into()),
+                ("scheduler", if nest { "Nest" } else { "CFS" }.into()),
+                ("elapsed_ms", o.elapsed_ms.into()),
+                ("cores_touched", o.cores_touched.into()),
+                ("migrations", o.migrations.into()),
+                ("p99_wake_us", o.p99_wake_us.into()),
+                ("joules", o.joules.into()),
+            ]);
             println!(
                 "{:>6} {:>6} {:>11.1} {:>6} {:>11} {:>12.1} {:>8.2}",
                 tasks,
@@ -111,6 +123,7 @@ fn main() {
             );
         }
     }
+    report.emit();
     println!();
     println!("Nest reuses warm cores instead of rebalancing: markedly fewer migrations");
     println!("than CFS while the job is smaller than the machine, matching the paper's");

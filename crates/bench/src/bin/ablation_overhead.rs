@@ -6,6 +6,7 @@
 //! slower FFI layer would buy.
 
 use enoki_bench::header;
+use enoki_bench::report::Report;
 use enoki_core::EnokiClass;
 use enoki_sched::Wfq;
 use enoki_sim::behavior::{Op, ProgramBehavior};
@@ -54,10 +55,20 @@ fn main() {
     println!("Ablation: per-call framework overhead vs pipe latency ({rounds} round trips)\n");
     header(&["per-call ns", "µs/msg", "delta vs native"], &[12, 9, 16]);
     let native = pipe_with_overhead(Ns::ZERO, rounds);
+    let mut report = Report::new("ablation_overhead");
+    report
+        .param("round_trips", rounds)
+        .param("native_us_per_msg", native);
     for oh in [0u64, 50, 100, 125, 150, 250, 500, 1000] {
         let us = pipe_with_overhead(Ns(oh), rounds);
+        report.row(&[
+            ("per_call_ns", oh.into()),
+            ("us_per_msg", us.into()),
+            ("delta_vs_native_us", (us - native).into()),
+        ]);
         println!("{:>12} {:>9.2} {:>15.2}µs", oh, us, us - native);
     }
+    report.emit();
     println!();
     println!("paper: ~125 ns/call × 4-5 calls per schedule op = 0.4-0.6 µs per message,");
     println!("the 12-20% WFQ-over-CFS overhead in Table 3.");

@@ -10,6 +10,7 @@
 //! presence, is what can sink the scheduler.)
 
 use enoki_bench::header;
+use enoki_bench::report::Report;
 use enoki_core::EnokiClass;
 use enoki_sched::Shinjuku;
 use enoki_sim::behavior::{closure_behavior, Op};
@@ -113,10 +114,19 @@ fn main() {
         &["slice µs", "p99 µs", "preemptions", "sched-overhead µs"],
         &[9, 10, 12, 18],
     );
+    let mut report = Report::new("ablation_slice");
+    report.param("load_rps", load);
     for slice_us in [5u64, 10, 20, 50, 100, 750] {
         let (p99, preempts, oh) = run_point(Ns::from_us(slice_us), load);
+        report.row(&[
+            ("slice_us", slice_us.into()),
+            ("p99_us", p99.into()),
+            ("preemptions", preempts.into()),
+            ("sched_overhead_us", oh.into()),
+        ]);
         println!("{:>9} {:>10.1} {:>12} {:>18}", slice_us, p99, preempts, oh);
     }
+    report.emit();
     println!();
     println!("5 µs slices overload the scheduler (the paper's stated reason for 10 µs):");
     println!("~5x the preemptions, ~3x the scheduling time, and a ~4x worse tail than");

@@ -2,6 +2,7 @@
 //! and placement compared between CFS and the Enoki WFQ scheduler.
 
 use enoki_bench::header;
+use enoki_bench::report::Report;
 use enoki_sim::Ns;
 use enoki_workloads::fairness::{equal_share, placement, weighted_share};
 use enoki_workloads::testbed::SchedKind;
@@ -24,9 +25,18 @@ fn main() {
         &["sched", "spread mean", "pinned mean", "pinned spread"],
         &[8, 13, 13, 14],
     );
+    let mut report = Report::new("appendix_fairness");
+    report.param("work_ms", 200 * scale);
     for kind in [SchedKind::Cfs, SchedKind::Wfq] {
         let spread = equal_share(kind, work, false);
         let pinned = equal_share(kind, work, true);
+        report.row(&[
+            ("experiment", "equal_share".into()),
+            ("scheduler", kind.label().into()),
+            ("spread_mean_s", spread.mean.as_secs_f64().into()),
+            ("pinned_mean_s", pinned.mean.as_secs_f64().into()),
+            ("pinned_spread_s", pinned.spread.as_secs_f64().into()),
+        ]);
         println!(
             "{:>8} {:>13} {:>13} {:>14}",
             kind.label(),
@@ -44,6 +54,13 @@ fn main() {
     );
     for kind in [SchedKind::Cfs, SchedKind::Wfq] {
         let r = weighted_share(kind, work);
+        report.row(&[
+            ("experiment", "weighted_share".into()),
+            ("scheduler", kind.label().into()),
+            ("others_done_s", r.others_done.as_secs_f64().into()),
+            ("low_done_s", r.low_done.as_secs_f64().into()),
+            ("others_spread_s", r.others_spread.as_secs_f64().into()),
+        ]);
         println!(
             "{:>8} {:>13} {:>13} {:>14}",
             kind.label(),
@@ -59,6 +76,12 @@ fn main() {
     for kind in [SchedKind::Cfs, SchedKind::Wfq] {
         let still = placement(kind, work, false);
         let moved = placement(kind, work, true);
+        report.row(&[
+            ("experiment", "placement".into()),
+            ("scheduler", kind.label().into()),
+            ("still_stddev_s", still.stddev.as_secs_f64().into()),
+            ("moved_stddev_s", moved.stddev.as_secs_f64().into()),
+        ]);
         println!(
             "{:>8} {:>13} {:>13}",
             kind.label(),
@@ -68,4 +91,5 @@ fn main() {
     }
     println!("paper: CFS variance roughly unchanged by the move; WFQ variance grows");
     println!("(0.001s -> 0.018s) because its rebalancing is less sophisticated");
+    report.emit();
 }

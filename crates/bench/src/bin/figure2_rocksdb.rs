@@ -6,6 +6,7 @@
 //! - 2c: cpus harvested by the batch app vs offered load.
 
 use enoki_bench::header;
+use enoki_bench::report::Report;
 use enoki_workloads::rocksdb::{run_rocksdb, RocksConfig};
 use enoki_workloads::testbed::SchedKind;
 
@@ -21,6 +22,7 @@ fn main() {
         .map(|s| s.split(',').filter_map(|v| v.parse().ok()).collect())
         .unwrap_or_else(|| vec![20_000, 30_000, 40_000, 50_000, 60_000, 70_000, 80_000]);
 
+    let mut report = Report::new("figure2_rocksdb");
     println!("Figure 2a: RocksDB p99 latency (µs) vs offered load (kreq/s)\n");
     header(
         &["load", "CFS", "ghOSt-Shinjuku", "Enoki-Shinjuku"],
@@ -30,6 +32,12 @@ fn main() {
         print!("{:>7}", l / 1000);
         for kind in SCHEDS {
             let r = run_rocksdb(kind, RocksConfig::at(l));
+            report.row(&[
+                ("load_rps", l.into()),
+                ("scheduler", kind.label().into()),
+                ("batch", false.into()),
+                ("p99_us", r.p99.as_us_f64().into()),
+            ]);
             print!(" {:>14.1}", r.p99.as_us_f64());
         }
         println!();
@@ -55,6 +63,15 @@ fn main() {
             .iter()
             .map(|&kind| run_rocksdb(kind, RocksConfig::at(l).with_batch()))
             .collect();
+        for (kind, r) in SCHEDS.iter().zip(&results) {
+            report.row(&[
+                ("load_rps", l.into()),
+                ("scheduler", kind.label().into()),
+                ("batch", true.into()),
+                ("p99_us", r.p99.as_us_f64().into()),
+                ("batch_cpus", r.batch_cpus.into()),
+            ]);
+        }
         for r in &results {
             print!(" {:>10.1}", r.p99.as_us_f64());
         }
@@ -67,4 +84,5 @@ fn main() {
     println!("paper shape: both Shinjuku schedulers stay at tens of µs while CFS climbs to");
     println!("ms-scale at high load; Enoki ~30% below ghOSt above 65 kreq/s; batch cpus for");
     println!("Enoki track CFS while ghOSt's batch share is substantially lower.");
+    report.emit();
 }

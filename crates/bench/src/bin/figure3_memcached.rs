@@ -2,6 +2,7 @@
 //! Arachne, and Arachne with the Enoki core arbiter.
 
 use enoki_bench::header;
+use enoki_bench::report::Report;
 use enoki_workloads::memcached::{run_memcached, MemcachedConfig, MemcachedServer};
 
 fn main() {
@@ -15,14 +16,20 @@ fn main() {
         &["load", "CFS", "Arachne", "Enoki-Arachne"],
         &[7, 12, 12, 14],
     );
+    let mut report = Report::new("figure3_memcached");
     for &l in &loads {
         print!("{:>7}", l / 1000);
-        for server in [
-            MemcachedServer::Cfs,
-            MemcachedServer::Arachne,
-            MemcachedServer::EnokiArachne,
+        for (server, name) in [
+            (MemcachedServer::Cfs, "CFS"),
+            (MemcachedServer::Arachne, "Arachne"),
+            (MemcachedServer::EnokiArachne, "Enoki-Arachne"),
         ] {
             let r = run_memcached(server, MemcachedConfig::at(l));
+            report.row(&[
+                ("load_rps", l.into()),
+                ("server", name.into()),
+                ("p99_us", r.p99.as_us_f64().into()),
+            ]);
             print!(" {:>12.1}", r.p99.as_us_f64());
         }
         println!();
@@ -30,4 +37,5 @@ fn main() {
     println!();
     println!("paper shape: the Enoki version of Arachne achieves similar performance to the");
     println!("original Arachne scheduler, better than CFS at high load.");
+    report.emit();
 }

@@ -6,6 +6,7 @@
 //! in much less wall time, so what we compare is the *relative* cost of
 //! the three modes on identical work.
 
+use enoki_bench::report::Report;
 use enoki_core::record;
 use enoki_core::EnokiClass;
 use enoki_replay::{replay_file, start_recording, stop_recording};
@@ -136,4 +137,30 @@ fn main() {
         locks.cycles.len()
     );
     std::fs::remove_dir_all(&dir).ok();
+
+    let mut out = Report::new("record_replay");
+    out.param("round_trips", rounds)
+        .param("record_over_live", rec.as_secs_f64() / live.as_secs_f64())
+        .param("replay_over_live", rep.as_secs_f64() / live.as_secs_f64())
+        .param("replay_faithful", report.faithful());
+    out.row(&[("mode", "live".into()), ("seconds", live.as_secs_f64().into())]);
+    out.row(&[
+        ("mode", "record".into()),
+        ("seconds", rec.as_secs_f64().into()),
+        ("records", written.into()),
+        ("log_bytes", size.into()),
+    ]);
+    out.row(&[
+        ("mode", "replay".into()),
+        ("seconds", rep.as_secs_f64().into()),
+        ("calls", report.calls.into()),
+        ("divergences", report.divergences.len().into()),
+    ]);
+    out.row(&[
+        ("mode", "forensics".into()),
+        ("seconds", fore.as_secs_f64().into()),
+        ("locks", locks.locks.len().into()),
+        ("lock_order_cycles", locks.cycles.len().into()),
+    ]);
+    out.emit();
 }

@@ -5,8 +5,14 @@
 //! (load it in `chrome://tracing` or Perfetto) together with a metrics
 //! summary from the observability layer.
 //!
-//! Usage: `schedviz [cfs|wfq|fifo|shinjuku|locality] [bucket-µs] [trace.json]`
+//! Usage: `schedviz [--health] [cfs|wfq|fifo|shinjuku|locality] [bucket-µs] [trace.json]`
+//!
+//! With `--health` the run arms the live watchdog (`enoki_core::health`),
+//! then prints the `enoki-top` interval samples and the incident log next
+//! to the timeline.
 
+use enoki_bench::report::Report;
+use enoki_core::health::HealthConfig;
 use enoki_core::metrics::{self, export};
 use enoki_sim::behavior::{Op, ProgramBehavior};
 use enoki_sim::{Ns, TaskSpec};
@@ -14,16 +20,20 @@ use enoki_workloads::testbed::{build, BedOptions, SchedKind};
 use enoki_sim::{CostModel, Topology};
 
 fn main() {
-    let kind = match std::env::args().nth(1).as_deref() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let health = args.iter().any(|a| a == "--health");
+    args.retain(|a| a != "--health");
+    let kind = match args.first().map(|s| s.as_str()) {
         Some("wfq") => SchedKind::Wfq,
         Some("fifo") => SchedKind::Fifo,
         Some("shinjuku") => SchedKind::Shinjuku,
         Some("locality") => SchedKind::Locality,
         _ => SchedKind::Cfs,
     };
-    let bucket_us: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(100);
-    let trace_path = std::env::args()
-        .nth(3)
+    let bucket_us: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100);
+    let trace_path = args
+        .get(2)
+        .cloned()
         .unwrap_or_else(|| "schedviz_trace.json".to_string());
 
     let mut bed = build(
@@ -33,6 +43,17 @@ fn main() {
         BedOptions::default(),
     );
     bed.machine.enable_trace(1 << 16);
+    // Health must be armed before the first task spawns so the token
+    // ledger sees every Schedulable from birth.
+    let watchdog = if health {
+        let wd = bed.arm_health(HealthConfig::default());
+        if wd.is_none() {
+            eprintln!("--health: {} is not an Enoki class, watchdog unavailable", kind.label());
+        }
+        wd
+    } else {
+        None
+    };
     // Arm the structured sink on the dispatch layer's metrics handle too,
     // so per-pick latency records ride along with the sim trace.
     let sink = bed.enoki.as_ref().map(|c| c.metrics().arm_trace(1 << 14));
@@ -81,10 +102,9 @@ fn main() {
         tracer.dropped()
     );
     let stats = bed.machine.stats();
-    println!(
-        "{} context switches, {} migrations, {} IPIs",
-        stats.nr_context_switches, stats.nr_migrations, stats.nr_ipis
-    );
+    let (ctx_switches, migrations, ipis) =
+        (stats.nr_context_switches, stats.nr_migrations, stats.nr_ipis);
+    println!("{ctx_switches} context switches, {migrations} migrations, {ipis} IPIs");
 
     // Chrome trace export: per-cpu spans from the sim tracer.
     let nr_cpus = bed.machine.topology().nr_cpus();
@@ -114,4 +134,34 @@ fn main() {
             );
         }
     }
+
+    // Health view: interval samples plus the incident log.
+    if let Some(wd) = watchdog.as_ref() {
+        println!("\n{}", wd.render_top(10));
+    }
+
+    let mut report = Report::new("schedviz");
+    report
+        .param("scheduler", kind.label())
+        .param("bucket_us", bucket_us)
+        .param("health_armed", watchdog.is_some());
+    report.row(&[
+        ("context_switches", ctx_switches.into()),
+        ("migrations", migrations.into()),
+        ("ipis", ipis.into()),
+        ("traced_events", tracer.len().into()),
+    ]);
+    if let Some(wd) = watchdog.as_ref() {
+        report
+            .param("health_incidents", wd.incident_count())
+            .param("health_samples", wd.samples().len());
+        for inc in wd.incidents() {
+            report.row(&[
+                ("incident_kind", inc.event.kind().into()),
+                ("at_us", inc.at.as_us_f64().into()),
+                ("severity", inc.severity.to_string().into()),
+            ]);
+        }
+    }
+    report.emit();
 }

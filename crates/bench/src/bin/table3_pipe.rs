@@ -1,6 +1,7 @@
 //! Table 3: scheduler latency for `perf bench sched pipe`, µs per wakeup.
 
 use enoki_bench::header;
+use enoki_bench::report::Report;
 use enoki_workloads::pipe::{run_pipe, PipeConfig};
 use enoki_workloads::testbed::SchedKind;
 
@@ -11,6 +12,8 @@ fn main() {
         .unwrap_or(20_000);
     println!("Table 3: perf bench sched pipe (µs per wakeup), {rounds} round trips\n");
     header(&["scheduler", "one core", "two cores"], &[16, 10, 10]);
+    let mut report = Report::new("table3_pipe");
+    report.param("round_trips", rounds);
     let mut all = SchedKind::table3_row().to_vec();
     all.push(SchedKind::Arbiter);
     for kind in all {
@@ -34,8 +37,14 @@ fn main() {
             one.us_per_msg,
             two.us_per_msg
         );
+        report.row(&[
+            ("scheduler", kind.label().into()),
+            ("one_core_us_per_msg", one.us_per_msg.into()),
+            ("two_cores_us_per_msg", two.us_per_msg.into()),
+        ]);
     }
     println!();
     println!("paper Table 3:  CFS 3.0/3.6 | GhOSt SOL 6.0/5.8 | GhOSt FIFO 9.1/7.0");
     println!("                WFQ 3.6/4.0 | Shinjuku 4.0/4.4 | Locality 3.5/3.9 | Arachne 0.1/0.2");
+    report.emit();
 }

@@ -1,6 +1,7 @@
 //! Table 4: schbench scalability on the 80-core machine — p50/p99 thread
 //! wakeup latencies with 2 message threads and 2 or 40 workers each.
 
+use enoki_bench::report::Report;
 use enoki_bench::{header, us};
 use enoki_sim::{CostModel, Ns, Topology};
 use enoki_workloads::schbench::{run_schbench, SchbenchConfig};
@@ -16,6 +17,10 @@ fn main() {
         &["scheduler", "2w p50", "2w p99", "40w p50", "40w p99"],
         &[16, 9, 9, 9, 9],
     );
+    let mut report = Report::new("table4_schbench");
+    report
+        .param("duration_s", secs)
+        .param("topology", "xeon_6138_2s");
     for kind in SchedKind::table3_row() {
         let mut row = vec![kind.label().to_string()];
         for workers in [2usize, 40] {
@@ -29,6 +34,12 @@ fn main() {
                 BedOptions::default(),
             );
             let r = run_schbench(&mut bed, cfg);
+            report.row(&[
+                ("scheduler", kind.label().into()),
+                ("workers", workers.into()),
+                ("p50_us", r.p50.as_us_f64().into()),
+                ("p99_us", r.p99.as_us_f64().into()),
+            ]);
             row.push(us(r.p50));
             row.push(us(r.p99));
         }
@@ -42,4 +53,5 @@ fn main() {
         "paper Table 4 (µs): CFS 74/101 139/320 | SOL 66/132 192/1354 | FIFO 101/170 152/1806"
     );
     println!("                    WFQ 78/104 170/323 | Shinjuku 79/109 168/307 | Locality 80/105 175/324");
+    report.emit();
 }

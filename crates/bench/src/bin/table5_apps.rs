@@ -3,6 +3,7 @@
 //! to CFS (positive = WFQ slower), with the geometric mean of the
 //! magnitudes, matching the paper's presentation.
 
+use enoki_bench::report::Report;
 use enoki_bench::{geomean, header, pct};
 use enoki_workloads::apps::{nas_benchmarks, phoronix_benchmarks, run_app};
 use enoki_workloads::testbed::SchedKind;
@@ -17,6 +18,8 @@ fn main() {
 
     let mut ratios = Vec::new();
     let mut max_slowdown: f64 = 0.0;
+    let mut report = Report::new("table5_apps");
+    report.param("seed", seed);
 
     let mut section = |title: &str, benches: &[enoki_workloads::apps::AppBench]| {
         println!("{title}");
@@ -27,6 +30,12 @@ fn main() {
             let ratio = wfq.elapsed.as_nanos() as f64 / cfs.elapsed.as_nanos() as f64;
             ratios.push(ratio);
             max_slowdown = max_slowdown.max(ratio - 1.0);
+            report.row(&[
+                ("benchmark", b.name.into()),
+                ("cfs_throughput", cfs.throughput.into()),
+                ("wfq_throughput", wfq.throughput.into()),
+                ("slowdown_pct", ((ratio - 1.0) * 100.0).into()),
+            ]);
             println!(
                 "{:>26} {:>10.2} {:>10.2} {:>9}",
                 b.name,
@@ -53,4 +62,8 @@ fn main() {
         pct(gm),
         max_slowdown * 100.0
     );
+    report
+        .param("geomean_slowdown_pct", (gm - 1.0) * 100.0)
+        .param("max_slowdown_pct", max_slowdown * 100.0);
+    report.emit();
 }

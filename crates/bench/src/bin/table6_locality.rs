@@ -2,6 +2,7 @@
 //! locality-aware scheduler — CFS, CFS pinned to one core (cgroup),
 //! locality with random placement (no hints), and locality with hints.
 
+use enoki_bench::report::Report;
 use enoki_bench::{header, us};
 use enoki_sim::{CostModel, Ns, Topology};
 use enoki_workloads::schbench::{run_schbench, SchbenchConfig};
@@ -30,25 +31,26 @@ fn main() {
         run_schbench(&mut bed, cfg)
     };
 
+    let mut report = Report::new("table6_locality");
+    report.param("duration_s", secs);
+    let mut emit = |config: &str, r: &enoki_workloads::schbench::SchbenchResult| {
+        println!("{:>16} {:>9} {:>9}", config, us(r.p50), us(r.p99));
+        report.row(&[
+            ("config", config.into()),
+            ("p50_us", r.p50.as_us_f64().into()),
+            ("p99_us", r.p99.as_us_f64().into()),
+        ]);
+    };
     let cfs = run(SchedKind::Cfs, false, false);
-    println!("{:>16} {:>9} {:>9}", "CFS", us(cfs.p50), us(cfs.p99));
+    emit("CFS", &cfs);
     let pinned = run(SchedKind::Cfs, false, true);
-    println!(
-        "{:>16} {:>9} {:>9}",
-        "CFS One Core",
-        us(pinned.p50),
-        us(pinned.p99)
-    );
+    emit("CFS One Core", &pinned);
     let random = run(SchedKind::Locality, false, false);
-    println!(
-        "{:>16} {:>9} {:>9}",
-        "Random",
-        us(random.p50),
-        us(random.p99)
-    );
+    emit("Random", &random);
     let hints = run(SchedKind::Locality, true, false);
-    println!("{:>16} {:>9} {:>9}", "Hints", us(hints.p50), us(hints.p99));
+    emit("Hints", &hints);
 
     println!();
     println!("paper Table 6 (µs): CFS 33/50 | CFS One Core 17/32032 | Random 46/49 | Hints 2/4");
+    report.emit();
 }

@@ -5,12 +5,14 @@
 //! 80-core machine (2 and 40 workers per message thread).
 
 use enoki_bench::header;
+use enoki_bench::report::Report;
+use enoki_core::health::HealthConfig;
 use enoki_sched::Wfq;
 use enoki_sim::{CostModel, Ns, Topology};
 use enoki_workloads::schbench::{run_schbench, SchbenchConfig};
 use enoki_workloads::testbed::{build, BedOptions, SchedKind};
 
-fn measure(topo: Topology, workers: usize, runs: usize) -> (f64, bool) {
+fn measure(topo: Topology, workers: usize, runs: usize) -> (f64, bool, u64) {
     let nr = topo.nr_cpus();
     let mut bed = build(
         topo,
@@ -18,6 +20,11 @@ fn measure(topo: Topology, workers: usize, runs: usize) -> (f64, bool) {
         SchedKind::Wfq,
         BedOptions::default(),
     );
+    // Arm the blackout-SLO watchdog: an upgrade that quiesces longer than
+    // the budget shows up as a health incident, not just a bad average.
+    let watchdog = bed
+        .arm_health(HealthConfig::default())
+        .expect("wfq is an Enoki scheduler");
     // Start schbench so the upgrade happens under live scheduling load.
     let mut cfg = SchbenchConfig::table4(2, workers);
     cfg.warmup = Ns::from_ms(50);
@@ -40,7 +47,7 @@ fn measure(topo: Topology, workers: usize, runs: usize) -> (f64, bool) {
     bed.machine
         .run_until(next)
         .expect("post-upgrade scheduling works");
-    (total_us / runs as f64, transferred)
+    (total_us / runs as f64, transferred, watchdog.incident_count())
 }
 
 fn main() {
@@ -53,21 +60,23 @@ fn main() {
         &["machine", "workers", "blackout µs", "state moved"],
         &[22, 8, 12, 12],
     );
-    let (us, ok) = measure(Topology::i7_9700(), 2, runs);
-    println!(
-        "{:>22} {:>8} {:>12.2} {:>12}",
-        "8-core (1 socket)", 2, us, ok
-    );
-    let (us, ok) = measure(Topology::xeon_6138_2s(), 2, runs);
-    println!(
-        "{:>22} {:>8} {:>12.2} {:>12}",
-        "80-core (2 socket)", 2, us, ok
-    );
-    let (us, ok) = measure(Topology::xeon_6138_2s(), 40, runs);
-    println!(
-        "{:>22} {:>8} {:>12.2} {:>12}",
-        "80-core (2 socket)", 40, us, ok
-    );
+    let mut report = Report::new("upgrade_blackout");
+    report.param("upgrades_per_point", runs);
+    let mut point = |machine: &str, workers: usize, topo: Topology| {
+        let (us, ok, incidents) = measure(topo, workers, runs);
+        println!("{machine:>22} {workers:>8} {us:>12.2} {ok:>12}");
+        report.row(&[
+            ("machine", machine.into()),
+            ("workers", workers.into()),
+            ("mean_blackout_us", us.into()),
+            ("state_transferred", ok.into()),
+            ("health_incidents", incidents.into()),
+        ]);
+    };
+    point("8-core (1 socket)", 2, Topology::i7_9700());
+    point("80-core (2 socket)", 2, Topology::xeon_6138_2s());
+    point("80-core (2 socket)", 40, Topology::xeon_6138_2s());
     println!();
     println!("paper §5.7: 1.5 µs (one socket); 9.9 µs / 10.1 µs (two socket, 2 / 40 workers)");
+    report.emit();
 }

@@ -20,8 +20,12 @@
 //! Wall-clock microbenchmarks of the framework itself live in `benches/`
 //! and run on the in-repo [`harness`] (a criterion-shaped shim, since the
 //! build is offline).
+//!
+//! Alongside its table, every harness writes a machine-readable
+//! `results/BENCH_<name>.json` via [`report::Report`].
 
 pub mod harness;
+pub mod report;
 
 use enoki_sim::Ns;
 

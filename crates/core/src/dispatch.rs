@@ -19,7 +19,7 @@ use crate::api::{EnokiScheduler, SchedCtx};
 use crate::metrics::{self, EventKind, SchedulerMetrics, StagedCounters, TraceRecord};
 use crate::queue::RingBuffer;
 use crate::record::{self, CallArgs, FuncId, Rec};
-use crate::schedulable::{PickError, Schedulable};
+use crate::schedulable::{PickError, Schedulable, TokenLedger};
 use enoki_sim::behavior::HintVal;
 use enoki_sim::sched_class::{KernelCtx, SchedClass};
 use enoki_sim::{CpuId, Ns, Pid, TaskView, WakeFlags};
@@ -88,6 +88,11 @@ pub struct EnokiClass<U: Copy + Send + 'static, R: Copy + Send + 'static> {
     /// single-threaded by construction (`Rc`/`RefCell`), so counts land in
     /// plain cells and are published to `metrics` at read points.
     staged: StagedCounters,
+    /// Conservation ledger for minted tokens; unarmed by default so the
+    /// hot path pays nothing, armed once by [`EnokiClass::arm_token_ledger`]
+    /// (typically from a health watchdog). `&'static` because tokens hold
+    /// a borrow of it for their whole lifetime — see [`TokenLedger`].
+    ledger: std::sync::OnceLock<&'static TokenLedger>,
 }
 
 impl<U, R> EnokiClass<U, R>
@@ -136,6 +141,45 @@ where
             stats: RefCell::new(DispatchStats::default()),
             metrics,
             staged: StagedCounters::new(nr_cpus),
+            ledger: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Arms (or fetches) the token-conservation ledger: from this point on,
+    /// every [`Schedulable`] the framework mints reports its mint and its
+    /// eventual destruction there, so a watchdog can audit live-token count
+    /// against the class's runnable-plus-running task population. Tokens
+    /// minted before arming are not tracked, so arm before spawning work.
+    ///
+    /// The ledger is allocated once and intentionally leaked (a few dozen
+    /// bytes per armed class): tokens borrow it for `'static` so even one
+    /// stashed past the class's lifetime can still report its drop, and
+    /// tracking stays at a single relaxed `fetch_add` per mint and per
+    /// drop with no reference-count traffic on the dispatch hot path.
+    pub fn arm_token_ledger(&self) -> &'static TokenLedger {
+        self.ledger.get_or_init(|| Box::leak(Box::new(TokenLedger::new())))
+    }
+
+    /// The conservation ledger, if [`EnokiClass::arm_token_ledger`] has
+    /// been called. Unlike arming, this never changes minting behaviour.
+    pub fn token_ledger(&self) -> Option<&'static TokenLedger> {
+        self.ledger.get().copied()
+    }
+
+    /// Occupancy of the registered user→kernel hint queue:
+    /// `(len, capacity, dropped)`, or `None` when no queue is registered.
+    /// Watchdogs use this to spot a consumer that stopped draining.
+    pub fn user_queue_stats(&self) -> Option<(usize, usize, u64)> {
+        let q = self.user_queue.borrow();
+        let (_, ring) = q.as_ref()?;
+        Some((ring.len(), ring.capacity(), ring.dropped()))
+    }
+
+    /// Mints a token, reporting it to the conservation ledger when armed.
+    fn mint(&self, pid: Pid, cpu: CpuId) -> Schedulable {
+        match self.ledger.get().copied() {
+            Some(ledger) => Schedulable::mint_tracked(pid, cpu, ledger),
+            None => Schedulable::mint(pid, cpu),
         }
     }
 
@@ -326,14 +370,14 @@ where
     fn task_new(&self, k: &KernelCtx, t: &TaskView) {
         self.bump(t.cpu);
         self.rec_call(k, FuncId::TaskNew, t, -1, WakeFlags::default());
-        let sched = Schedulable::mint(t.pid, t.cpu);
+        let sched = self.mint(t.pid, t.cpu);
         self.module().task_new(&SchedCtx::new(k), t, sched);
     }
 
     fn task_wakeup(&self, k: &KernelCtx, t: &TaskView, flags: WakeFlags) {
         self.bump(t.cpu);
         self.rec_call(k, FuncId::TaskWakeup, t, -1, flags);
-        let sched = Schedulable::mint(t.pid, t.cpu);
+        let sched = self.mint(t.pid, t.cpu);
         self
             .module()
             .task_wakeup(&SchedCtx::new(k), t, flags, sched);
@@ -356,7 +400,7 @@ where
         let sched = self.tokens.borrow_mut()[t.cpu]
             .take()
             .filter(|s| s.pid() == t.pid)
-            .unwrap_or_else(|| Schedulable::mint(t.pid, t.cpu));
+            .unwrap_or_else(|| self.mint(t.pid, t.cpu));
         self.module().task_yield(&SchedCtx::new(k), t, sched);
     }
 
@@ -367,7 +411,7 @@ where
         let sched = self.tokens.borrow_mut()[t.cpu]
             .take()
             .filter(|s| s.pid() == t.pid)
-            .unwrap_or_else(|| Schedulable::mint(t.pid, t.cpu));
+            .unwrap_or_else(|| self.mint(t.pid, t.cpu));
         self.module().task_preempt(&SchedCtx::new(k), t, sched);
     }
 
@@ -506,7 +550,7 @@ where
             from as i32,
             WakeFlags::default(),
         );
-        let new = Schedulable::mint(t.pid, to);
+        let new = self.mint(t.pid, to);
         let old = self
             .module()
             .migrate_task_rq(&SchedCtx::new(k), t, new);

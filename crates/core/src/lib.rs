@@ -31,10 +31,16 @@
 //!   detector, typed replay divergences with context windows, and Chrome
 //!   `trace_event` export (the `enoki-log` CLI front-end lives in
 //!   `crates/replay`).
+//! - [`health`] — live health telemetry: a watchdog evaluating invariant
+//!   monitors (starvation, `Schedulable` conservation, hint-queue stalls,
+//!   runqueue imbalance, upgrade-blackout SLO, pnt_err storms) on a
+//!   periodic virtual-time cadence, plus a bounded time-series ring with
+//!   an `enoki-top`-style renderer and JSON export.
 
 pub mod api;
 pub mod dispatch;
 pub mod forensics;
+pub mod health;
 pub mod metrics;
 pub mod queue;
 pub mod record;
@@ -46,10 +52,13 @@ pub mod sync;
 pub use api::{EnokiScheduler, SchedCtx, TaskInfo, TransferIn, TransferOut};
 pub use dispatch::{DispatchStats, EnokiClass, UpgradeReport, ENOKI_CALL_OVERHEAD};
 pub use forensics::{Divergence, LatencyReport, LockReport, LogSummary};
+pub use health::{
+    HealthConfig, HealthEvent, HealthPolicy, HealthSample, Incident, Severity, Watchdog,
+};
 pub use metrics::{
     EventKind, HistogramSnapshot, MetricKey, MetricsRegistry, MetricsSnapshot, SchedulerMetrics,
     TraceRecord,
 };
 pub use queue::RingBuffer;
 pub use registry::Registry;
-pub use schedulable::{PickError, Schedulable};
+pub use schedulable::{PickError, Schedulable, TokenLedger};

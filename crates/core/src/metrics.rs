@@ -376,6 +376,60 @@ impl HistogramSnapshot {
             buckets,
         }
     }
+
+    /// Summarizes the window `self - earlier` (both cumulative) without
+    /// materializing it: count, bucket-bound max, and p50/p99 in one pass
+    /// over the buckets, no allocation. This is the read path for
+    /// periodic monitors; quantiles and max carry the same ~6% bucketing
+    /// error as [`saturating_sub`](Self::saturating_sub).
+    pub fn delta_stats(&self, earlier: &HistogramSnapshot) -> HistogramDelta {
+        let count = self.count.saturating_sub(earlier.count);
+        if count == 0 {
+            return HistogramDelta::empty();
+        }
+        let t50 = ((0.5 * count as f64).ceil() as u64).max(1);
+        let t99 = ((0.99 * count as f64).ceil() as u64).max(1);
+        let (mut p50, mut p99) = (None, None);
+        let mut max = Ns(0);
+        let mut seen = 0u64;
+        for (idx, (a, b)) in self.buckets.iter().zip(earlier.buckets.iter()).enumerate() {
+            let wc = a.saturating_sub(*b);
+            if wc == 0 {
+                continue;
+            }
+            seen += wc;
+            if p50.is_none() && seen >= t50 {
+                p50 = Some(Ns(AtomicHistogram::lower_bound_of(idx)));
+            }
+            if p99.is_none() && seen >= t99 {
+                p99 = Some(Ns(AtomicHistogram::lower_bound_of(idx)));
+            }
+            max = Ns(AtomicHistogram::lower_bound_of(idx + 1));
+        }
+        HistogramDelta { count, max, p50, p99 }
+    }
+}
+
+/// One-pass summary of a histogram window — see
+/// [`HistogramSnapshot::delta_stats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramDelta {
+    /// Samples that landed in the window.
+    pub count: u64,
+    /// Upper bucket bound of the largest windowed sample (zero when the
+    /// window is empty).
+    pub max: Ns,
+    /// Median of the windowed samples, if any landed.
+    pub p50: Option<Ns>,
+    /// 99th percentile of the windowed samples, if any landed.
+    pub p99: Option<Ns>,
+}
+
+impl HistogramDelta {
+    /// The summary of an empty window.
+    pub fn empty() -> HistogramDelta {
+        HistogramDelta { count: 0, max: Ns(0), p50: None, p99: None }
+    }
 }
 
 impl std::fmt::Debug for HistogramSnapshot {
@@ -564,6 +618,54 @@ impl SchedulerMetrics {
                 }
             }
         }
+    }
+
+    /// Counter `kind` summed across every cpu slot — a handful of relaxed
+    /// loads, no allocation. The cheap read path for periodic pollers
+    /// (the health watchdog) that would otherwise pay for a full
+    /// [`snapshot`](Self::snapshot) per sample.
+    pub fn counter_sum(&self, kind: EventKind) -> u64 {
+        let Some(k) = kind.counter_index() else {
+            return 0;
+        };
+        (0..self.nr_cpus)
+            .map(|cpu| self.counters[k * self.nr_cpus + cpu].load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total sample count of histogram `kind` across every cpu slot —
+    /// `nr_cpus` relaxed loads. The guard that lets a poller skip bucket
+    /// work entirely when nothing new has landed since its last read.
+    pub fn histogram_count(&self, kind: EventKind) -> u64 {
+        let Some(k) = kind.histo_index() else {
+            return 0;
+        };
+        (0..self.nr_cpus)
+            .map(|cpu| self.histos[k * self.nr_cpus + cpu].count.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Histogram `kind` merged across every cpu slot, accumulated
+    /// straight from the atomics into one snapshot (a single allocation).
+    /// Cpus with no samples cost one atomic load each.
+    pub fn histogram_sum(&self, kind: EventKind) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::empty();
+        if let Some(k) = kind.histo_index() {
+            for cpu in 0..self.nr_cpus {
+                let h = &self.histos[k * self.nr_cpus + cpu];
+                if h.count.load(Ordering::Relaxed) == 0 {
+                    continue;
+                }
+                for (acc, b) in out.buckets.iter_mut().zip(h.buckets.iter()) {
+                    *acc += b.load(Ordering::Relaxed);
+                }
+                out.count += h.count.load(Ordering::Relaxed);
+                out.sum += h.sum.load(Ordering::Relaxed) as u128;
+                out.min = out.min.min(h.min.load(Ordering::Relaxed));
+                out.max = out.max.max(h.max.load(Ordering::Relaxed));
+            }
+        }
+        out
     }
 
     fn key(&self, kind: EventKind, cpu: usize) -> MetricKey {

@@ -10,22 +10,82 @@
 //! type can be neither copied nor cloned, so a scheduler cannot keep a
 //! stale token as validation after handing it back.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use enoki_sim::{CpuId, Pid};
+
+/// Conservation ledger for [`Schedulable`] tokens.
+///
+/// When armed on an [`crate::EnokiClass`] (see
+/// `EnokiClass::arm_token_ledger`), every token the framework mints
+/// increments `minted` and every token destruction — wherever it happens,
+/// including inside a buggy scheduler that silently drops one — increments
+/// `dropped` from the token's `Drop` impl. The difference is the number of
+/// tokens currently live, which a health watchdog can compare against the
+/// number of runnable-or-running tasks in the class: a shortfall means a
+/// scheduler destroyed a token it should be holding (the task can never be
+/// picked again), a surplus means tokens outlive their tasks.
+///
+/// Armed ledgers are handed out as `&'static` references (the arming site
+/// leaks one per class): a token must be able to report its destruction no
+/// matter where a buggy scheduler squirrels it away — including past the
+/// class's own lifetime — and the static borrow keeps tracking to one
+/// relaxed `fetch_add` on mint and one on drop, with no reference-count
+/// traffic on the dispatch hot path.
+#[derive(Debug, Default)]
+pub struct TokenLedger {
+    minted: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl TokenLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> TokenLedger {
+        TokenLedger::default()
+    }
+
+    /// Total tokens minted since the ledger was armed.
+    pub fn minted(&self) -> u64 {
+        self.minted.load(Ordering::Relaxed)
+    }
+
+    /// Total tokens destroyed since the ledger was armed.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Tokens currently live (minted minus destroyed).
+    pub fn live(&self) -> u64 {
+        // Read dropped first: a concurrent mint between the two loads can
+        // only make `live` read high, never underflow.
+        let dropped = self.dropped.load(Ordering::Relaxed);
+        self.minted.load(Ordering::Relaxed).saturating_sub(dropped)
+    }
+}
 
 /// Proof that a task is runnable on a particular core.
 ///
 /// Deliberately neither `Clone` nor `Copy`: ownership is the safety
 /// argument. Only the framework (this crate) can construct one.
-#[derive(Debug, PartialEq, Eq)]
 pub struct Schedulable {
     pid: Pid,
     cpu: CpuId,
+    /// Set when the owning class has a conservation ledger armed; the
+    /// `Drop` impl reports destruction to it.
+    ledger: Option<&'static TokenLedger>,
 }
 
 impl Schedulable {
     /// Framework-internal constructor.
     pub(crate) fn mint(pid: Pid, cpu: CpuId) -> Schedulable {
-        Schedulable { pid, cpu }
+        Schedulable { pid, cpu, ledger: None }
+    }
+
+    /// Framework-internal constructor that reports the mint (and the
+    /// eventual drop) to a conservation ledger.
+    pub(crate) fn mint_tracked(pid: Pid, cpu: CpuId, ledger: &'static TokenLedger) -> Schedulable {
+        ledger.minted.fetch_add(1, Ordering::Relaxed);
+        Schedulable { pid, cpu, ledger: Some(ledger) }
     }
 
     /// The task this token vouches for.
@@ -38,6 +98,32 @@ impl Schedulable {
         self.cpu
     }
 }
+
+impl Drop for Schedulable {
+    fn drop(&mut self) {
+        if let Some(ledger) = self.ledger {
+            ledger.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl std::fmt::Debug for Schedulable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Schedulable")
+            .field("pid", &self.pid)
+            .field("cpu", &self.cpu)
+            .finish()
+    }
+}
+
+/// Identity is (pid, cpu); whether a ledger is attached is invisible.
+impl PartialEq for Schedulable {
+    fn eq(&self, other: &Schedulable) -> bool {
+        self.pid == other.pid && self.cpu == other.cpu
+    }
+}
+
+impl Eq for Schedulable {}
 
 /// Why a pick was rejected by the framework.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +156,29 @@ mod tests {
         let s = Schedulable::mint(7, 3);
         assert_eq!(s.pid(), 7);
         assert_eq!(s.cpu(), 3);
+    }
+
+    #[test]
+    fn ledger_counts_mints_and_drops() {
+        let ledger: &'static TokenLedger = Box::leak(Box::new(TokenLedger::new()));
+        let a = Schedulable::mint_tracked(1, 0, ledger);
+        let b = Schedulable::mint_tracked(2, 1, ledger);
+        assert_eq!(ledger.minted(), 2);
+        assert_eq!(ledger.live(), 2);
+        drop(a);
+        assert_eq!(ledger.dropped(), 1);
+        assert_eq!(ledger.live(), 1);
+        drop(b);
+        assert_eq!(ledger.live(), 0);
+        // Untracked tokens never touch the ledger.
+        drop(Schedulable::mint(3, 2));
+        assert_eq!(ledger.dropped(), 2);
+    }
+
+    #[test]
+    fn equality_ignores_ledger() {
+        let ledger: &'static TokenLedger = Box::leak(Box::new(TokenLedger::new()));
+        assert_eq!(Schedulable::mint(7, 3), Schedulable::mint_tracked(7, 3, ledger));
     }
 
     #[test]

@@ -112,10 +112,14 @@ impl EnokiScheduler for Fifo {
     }
 
     fn task_preempt(&self, _ctx: &SchedCtx<'_>, t: &TaskInfo, sched: Schedulable) {
+        // Requeues count as enqueues so starvation-adjacent churn is
+        // visible in the per-cpu enqueue rate.
+        self.note_enqueue(t.cpu);
         self.queues[t.cpu].lock().push_back(sched);
     }
 
     fn task_yield(&self, _ctx: &SchedCtx<'_>, t: &TaskInfo, sched: Schedulable) {
+        self.note_enqueue(t.cpu);
         self.queues[t.cpu].lock().push_back(sched);
     }
 
@@ -149,6 +153,7 @@ impl EnokiScheduler for Fifo {
     ) {
         if let Some(s) = sched {
             let cpu = s.cpu();
+            self.note_enqueue(cpu);
             self.queues[cpu].lock().push_front(s);
         }
     }

@@ -194,6 +194,10 @@ impl EnokiScheduler for Wfq {
     }
 
     fn task_preempt(&self, _ctx: &SchedCtx<'_>, t: &TaskInfo, sched: Schedulable) {
+        // Preempt/yield requeues count as enqueues too, so per-cpu enqueue
+        // rates line up with what a starvation watchdog sees: a waiting
+        // task's queue keeps churning while it never gets picked.
+        self.note_enqueue(t.cpu);
         let vruntime = self.update_vruntime(t);
         let mut rq = self.rqs[t.cpu].lock();
         if rq.current.is_some_and(|c| c.pid == t.pid) {
@@ -300,6 +304,7 @@ impl EnokiScheduler for Wfq {
         // core it is actually valid for.
         if let Some(s) = sched {
             let home = s.cpu();
+            self.note_enqueue(home);
             let vruntime = self.meta.lock().get(&s.pid()).map_or(0, |m| m.vruntime);
             let weight = self.meta.lock().get(&s.pid()).map_or(1024, |m| m.weight);
             let mut rq = self.rqs[home].lock();

@@ -135,6 +135,18 @@ impl TaskSpec {
     }
 }
 
+/// A periodic virtual-time observation callback (see
+/// [`Machine::set_sampler`]). The callback sees the machine between
+/// events, so task states, run-queue depths, and statistics are
+/// internally consistent at every invocation.
+pub type Sampler = Box<dyn FnMut(&Machine)>;
+
+struct SamplerSlot {
+    interval: Ns,
+    next_due: Ns,
+    cb: Sampler,
+}
+
 #[derive(Debug)]
 struct Core {
     running: Option<Pid>,
@@ -168,6 +180,7 @@ pub struct Machine {
     pending_overhead: Ns,
     balance_armed: bool,
     tracer: Option<Tracer>,
+    sampler: Option<SamplerSlot>,
 }
 
 impl Machine {
@@ -200,6 +213,7 @@ impl Machine {
             pending_overhead: Ns::ZERO,
             balance_armed: false,
             tracer: None,
+            sampler: None,
         }
     }
 
@@ -373,6 +387,44 @@ impl Machine {
         Ok(())
     }
 
+    /// Arms a periodic observation callback: `cb` runs with a shared view
+    /// of the machine every `interval` of virtual time, starting one
+    /// interval from now. Sampling happens between events — never inside
+    /// one — so the observed state is always consistent, and firing is
+    /// deterministic for a given event sequence. Replaces any previously
+    /// armed sampler. Watchdogs and time-series telemetry hook in here.
+    pub fn set_sampler(&mut self, interval: Ns, cb: Sampler) {
+        assert!(interval > Ns::ZERO, "sampler interval must be non-zero");
+        self.sampler = Some(SamplerSlot {
+            interval,
+            next_due: self.now + interval,
+            cb,
+        });
+    }
+
+    /// Disarms the periodic sampler, returning whether one was armed.
+    pub fn clear_sampler(&mut self) -> bool {
+        self.sampler.take().is_some()
+    }
+
+    /// Fires the sampler for every due point `<= limit`, advancing virtual
+    /// time to each due point. The slot is taken out of `self` for the
+    /// callback so the closure can borrow the machine shared.
+    fn fire_sampler_until(&mut self, limit: Ns) {
+        while let Some(due) = self.sampler.as_ref().map(|s| s.next_due) {
+            if due > limit {
+                break;
+            }
+            let mut slot = self.sampler.take().expect("sampler checked above");
+            self.now = self.now.max(due);
+            (slot.cb)(self);
+            slot.next_due = due + slot.interval;
+            // A re-arm from inside the callback is impossible (it only has
+            // `&Machine`), so the slot always goes back.
+            self.sampler = Some(slot);
+        }
+    }
+
     /// Runs the simulation until virtual time `t` (or until quiescent).
     pub fn run_until(&mut self, t: Ns) -> Result<(), SimError> {
         loop {
@@ -381,10 +433,18 @@ impl Machine {
                 Some(at) if at > t => break,
                 Some(at) => at,
             };
+            self.fire_sampler_until(at);
             let (_, ev) = self.events.pop().expect("peeked event");
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
             self.handle(ev)?;
+        }
+        // Flush sampler points across the trailing idle stretch — but not
+        // for a machine with nothing left alive (a run_to_completion chunk
+        // can overshoot the last task's exit by tens of ms; sampling a
+        // dead machine is pure overhead).
+        if self.live_tasks() > 0 {
+            self.fire_sampler_until(t);
         }
         self.now = self.now.max(t);
         Ok(())
@@ -657,6 +717,7 @@ impl Machine {
             t.block_reason = None;
             t.on_rq = true;
             t.last_wake = Some(self.now);
+            t.runnable_since = Some(self.now);
             t.cache_penalty_pending = t.cache_penalty_pending.max(penalty);
         }
         self.cores[cpu].nr_runnable[ci] += 1;
@@ -702,6 +763,7 @@ impl Machine {
             self.update_curr(cpu); // also refreshes pending_compute for bursts
             let t = &mut self.tasks[p];
             t.state = TaskState::Runnable;
+            t.runnable_since = Some(self.now);
             t.nr_preemptions += 1;
             t.gen += 1; // invalidate any in-flight OpDone
             let view = t.view();
@@ -865,6 +927,7 @@ impl Machine {
         {
             let t = &mut self.tasks[pid];
             t.state = TaskState::Running;
+            t.runnable_since = None;
             t.delta_runtime = Ns::ZERO;
             t.last_ran_at = start;
             if t.first_ran_at.is_none() {
@@ -1126,6 +1189,7 @@ impl Machine {
         {
             let t = &mut self.tasks[pid];
             t.state = TaskState::Runnable;
+            t.runnable_since = Some(self.now);
             t.in_burst = false;
             t.nr_voluntary += 1;
             t.gen += 1;

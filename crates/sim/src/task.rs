@@ -131,6 +131,13 @@ pub struct Task {
     pub delta_runtime: Ns,
     /// Virtual time when the task last became runnable (for wakeup latency).
     pub last_wake: Option<Ns>,
+    /// Virtual time since which the task has been continuously runnable
+    /// without running. Unlike [`Task::last_wake`] (consumed at switch-in
+    /// for wakeup-latency stats), this is maintained at *every* transition
+    /// into `Runnable` — wakeups, preemptions, and yields — and cleared at
+    /// switch-in, so starvation watchdogs can ask "how long has this task
+    /// been waiting for a cpu?". `None` while not waiting.
+    pub runnable_since: Option<Ns>,
     /// Virtual time when the task last started running.
     pub last_ran_at: Ns,
     /// Number of involuntary preemptions suffered.
@@ -181,6 +188,7 @@ impl Task {
             runtime: Ns::ZERO,
             delta_runtime: Ns::ZERO,
             last_wake: None,
+            runnable_since: None,
             last_ran_at: Ns::ZERO,
             nr_preemptions: 0,
             nr_voluntary: 0,

@@ -7,11 +7,13 @@
 //! background/batch work (paper §5.4: "when there are no RocksDB requests
 //! the Enoki scheduler seamlessly cedes cycles to CFS").
 
+use enoki_core::health::{HealthConfig, Watchdog};
 use enoki_core::EnokiClass;
 use enoki_sched::ghost::{self, GhostConfig, GhostPolicy, GhostSetup};
 use enoki_sched::{Arbiter, Fifo, Locality, Shinjuku, Wfq};
 use enoki_sim::{CostModel, CpuSet, HintVal, Machine, Topology};
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// The scheduler configurations evaluated in the paper.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -78,6 +80,27 @@ pub struct TestBed {
     pub enoki: Option<Rc<EnokiClass<HintVal, HintVal>>>,
     /// The ghOSt emulation handle, when the scheduler is a ghOSt agent.
     pub ghost: Option<GhostSetup>,
+}
+
+impl TestBed {
+    /// Arms live health telemetry on the scheduler under test: enables the
+    /// token-conservation ledger on the dispatch layer and installs a
+    /// [`Watchdog`] as the machine's periodic sampler. Returns `None` for
+    /// ghOSt configurations (no Enoki dispatch layer to audit).
+    ///
+    /// Call before spawning workload tasks so every minted `Schedulable`
+    /// is tracked from birth.
+    pub fn arm_health(&mut self, config: HealthConfig) -> Option<Arc<Watchdog>> {
+        let class = Rc::clone(self.enoki.as_ref()?);
+        class.arm_token_ledger();
+        let watchdog = Watchdog::new(config);
+        let (w, idx) = (Arc::clone(&watchdog), self.class_idx);
+        self.machine.set_sampler(
+            config.sample_interval,
+            Box::new(move |m| w.poll(m, idx, &class)),
+        );
+        Some(watchdog)
+    }
 }
 
 /// Options for [`build`].
@@ -224,6 +247,41 @@ mod tests {
                 kind.label()
             );
         }
+    }
+
+    #[test]
+    fn armed_health_on_clean_run_is_quiet() {
+        let mut bed = build(
+            Topology::i7_9700(),
+            CostModel::calibrated(),
+            SchedKind::Wfq,
+            BedOptions::default(),
+        );
+        let wd = bed.arm_health(HealthConfig::default()).expect("enoki class");
+        for i in 0..4 {
+            bed.machine.spawn(TaskSpec::new(
+                format!("w{i}"),
+                bed.class_idx,
+                Box::new(ProgramBehavior::repeat(
+                    vec![Op::Compute(Ns::from_us(300)), Op::Sleep(Ns::from_us(100))],
+                    10,
+                )),
+            ));
+        }
+        bed.machine.run_until(Ns::from_ms(50)).unwrap();
+        assert_eq!(wd.incident_count(), 0, "{:?}", wd.incidents());
+        assert!(!wd.samples().is_empty(), "sampler never fired");
+    }
+
+    #[test]
+    fn ghost_bed_has_no_health() {
+        let mut bed = build(
+            Topology::i7_9700(),
+            CostModel::calibrated(),
+            SchedKind::GhostSol,
+            BedOptions::default(),
+        );
+        assert!(bed.arm_health(HealthConfig::default()).is_none());
     }
 
     #[test]

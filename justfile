@@ -22,6 +22,12 @@ bench:
 schedviz sched="wfq":
     cargo run --release -p enoki-bench --bin schedviz -- {{sched}}
 
+# Live health telemetry: watchdog-armed schedviz run + the health suite.
+health sched="wfq":
+    cargo run --release -p enoki-bench --bin schedviz -- --health {{sched}}
+    cargo test -q -p enoki --test health
+    cargo test -q -p enoki --test safety
+
 # Record a run, then walk the log through every enoki-log analysis.
 forensics log="/tmp/enoki-forensics.log":
     cargo run --release -p enoki --example record_replay -- {{log}}

@@ -1,0 +1,361 @@
+//! Integration tests for the live health telemetry layer (DESIGN.md §3e):
+//! deliberately broken schedulers must light up the matching watchdog
+//! monitor *while the run is still going*, and healthy schedulers must
+//! stay silent under the same watchdog.
+
+use enoki::core::health::{HealthConfig, HealthEvent, Watchdog};
+use enoki::core::queue::RingBuffer;
+use enoki::core::sync::Mutex;
+use enoki::core::{EnokiClass, EnokiScheduler, PickError, SchedCtx, Schedulable, TaskInfo};
+use enoki::sim::behavior::{Op, ProgramBehavior};
+use enoki::sim::task::TaskState;
+use enoki::sim::{CostModel, CpuId, HintVal, Machine, Ns, Pid, TaskSpec, Topology, WakeFlags};
+use enoki::workloads::testbed::{build, BedOptions, SchedKind};
+use std::collections::VecDeque;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Arms the watchdog on a hand-built machine whose Enoki class sits at
+/// class index 0 (what `TestBed::arm_health` does for testbed scenarios).
+fn arm(
+    m: &mut Machine,
+    class: &Rc<EnokiClass<HintVal, HintVal>>,
+    config: HealthConfig,
+) -> Arc<Watchdog> {
+    class.arm_token_ledger();
+    let wd = Watchdog::new(config);
+    let (w, c) = (Arc::clone(&wd), Rc::clone(class));
+    m.set_sampler(config.sample_interval, Box::new(move |mm| w.poll(mm, 0, &c)));
+    wd
+}
+
+/// Which deliberate defect the scheduler carries.
+#[derive(Clone, Copy)]
+enum Bug {
+    /// Hold this pid's token forever without ever offering it to a cpu:
+    /// the task starves but the token population stays conserved.
+    StrandPid(Pid),
+    /// Destroy the token handed over by the n-th `task_wakeup`: the task
+    /// is stranded *and* the conservation audit sees a missing token.
+    DropNthWakeup(u64),
+    /// Accept a hint queue registration but never drain it (`enter_queue`
+    /// is left as the trait's no-op default).
+    ClogHints,
+}
+
+/// A per-cpu FIFO that is correct except for one injected [`Bug`].
+struct BuggySched {
+    queues: Mutex<Vec<VecDeque<Schedulable>>>,
+    /// Tokens deliberately held back (the strand bug parks them here so
+    /// they stay live — starvation without token loss).
+    benched: Mutex<Vec<Schedulable>>,
+    wakeups: Mutex<u64>,
+    hint_ring: Mutex<Option<RingBuffer<HintVal>>>,
+    bug: Bug,
+}
+
+impl BuggySched {
+    fn new(nr: usize, bug: Bug) -> BuggySched {
+        BuggySched {
+            queues: Mutex::new((0..nr).map(|_| VecDeque::new()).collect()),
+            benched: Mutex::new(Vec::new()),
+            wakeups: Mutex::new(0),
+            hint_ring: Mutex::new(None),
+            bug,
+        }
+    }
+
+    fn enqueue(&self, s: Schedulable) {
+        if let Bug::StrandPid(victim) = self.bug {
+            if s.pid() == victim {
+                self.benched.lock().push(s);
+                return;
+            }
+        }
+        let cpu = s.cpu();
+        self.queues.lock()[cpu].push_back(s);
+    }
+}
+
+impl EnokiScheduler for BuggySched {
+    type UserMsg = HintVal;
+    type RevMsg = HintVal;
+
+    fn get_policy(&self) -> i32 {
+        69
+    }
+    fn select_task_rq(&self, _c: &SchedCtx<'_>, t: &TaskInfo, prev: CpuId, _f: WakeFlags) -> CpuId {
+        if t.affinity.contains(prev) {
+            prev
+        } else {
+            t.affinity.iter().next().unwrap_or(prev)
+        }
+    }
+    fn task_new(&self, _c: &SchedCtx<'_>, _t: &TaskInfo, s: Schedulable) {
+        self.enqueue(s);
+    }
+    fn task_wakeup(&self, _c: &SchedCtx<'_>, _t: &TaskInfo, _f: WakeFlags, s: Schedulable) {
+        if let Bug::DropNthWakeup(n) = self.bug {
+            let mut w = self.wakeups.lock();
+            *w += 1;
+            if *w == n {
+                // BUG: the token is destroyed here; the task stays
+                // runnable but can never be picked again.
+                drop(s);
+                return;
+            }
+        }
+        self.enqueue(s);
+    }
+    fn task_blocked(&self, _c: &SchedCtx<'_>, _t: &TaskInfo) {}
+    fn task_preempt(&self, _c: &SchedCtx<'_>, _t: &TaskInfo, s: Schedulable) {
+        self.enqueue(s);
+    }
+    fn task_yield(&self, c: &SchedCtx<'_>, t: &TaskInfo, s: Schedulable) {
+        self.task_preempt(c, t, s);
+    }
+    fn task_dead(&self, _c: &SchedCtx<'_>, _p: Pid) {}
+    fn task_departed(&self, _c: &SchedCtx<'_>, _t: &TaskInfo) -> Option<Schedulable> {
+        None
+    }
+    fn task_tick(&self, _c: &SchedCtx<'_>, _cpu: CpuId, _t: &TaskInfo) {}
+    fn migrate_task_rq(
+        &self,
+        _c: &SchedCtx<'_>,
+        t: &TaskInfo,
+        new: Schedulable,
+    ) -> Option<Schedulable> {
+        let mut qs = self.queues.lock();
+        let mut old = None;
+        for q in qs.iter_mut() {
+            if let Some(pos) = q.iter().position(|s| s.pid() == t.pid) {
+                old = q.remove(pos);
+            }
+        }
+        let cpu = new.cpu();
+        qs[cpu].push_back(new);
+        old
+    }
+    fn pick_next_task(
+        &self,
+        _c: &SchedCtx<'_>,
+        cpu: CpuId,
+        _curr: Option<Schedulable>,
+    ) -> Option<Schedulable> {
+        self.queues.lock()[cpu].pop_front()
+    }
+    fn pnt_err(&self, _c: &SchedCtx<'_>, _cpu: CpuId, _e: PickError, s: Option<Schedulable>) {
+        if let Some(s) = s {
+            self.enqueue(s);
+        }
+    }
+    fn register_queue(&self, q: RingBuffer<HintVal>) -> i32 {
+        if matches!(self.bug, Bug::ClogHints) {
+            *self.hint_ring.lock() = Some(q);
+            7
+        } else {
+            -1
+        }
+    }
+    // `enter_queue` deliberately stays the default no-op: the clogger
+    // never drains what userspace pushes.
+}
+
+fn busy_spec(name: String, cpu: usize) -> TaskSpec {
+    TaskSpec::new(
+        name,
+        0,
+        Box::new(ProgramBehavior::repeat(
+            vec![Op::Compute(Ns::from_us(200)), Op::Sleep(Ns::from_us(100))],
+            200,
+        )),
+    )
+    .on_cpu(cpu)
+}
+
+#[test]
+fn stranded_runnable_task_fires_starvation_in_flight() {
+    let mut m = Machine::new(Topology::i7_9700(), CostModel::calibrated());
+    let class = Rc::new(EnokiClass::load(
+        "strander",
+        8,
+        Box::new(BuggySched::new(8, Bug::StrandPid(0))),
+    ));
+    m.add_class(class.clone());
+    let wd = arm(&mut m, &class, HealthConfig::default());
+    let victim = m.spawn(
+        TaskSpec::new(
+            "victim",
+            0,
+            Box::new(ProgramBehavior::once(vec![Op::Compute(Ns::from_ms(1))])),
+        )
+        .on_cpu(2),
+    );
+    assert_eq!(victim, 0, "the strand bug targets pid 0");
+    for i in 0..4 {
+        m.spawn(busy_spec(format!("busy{i}"), 3 + i));
+    }
+
+    // Stop mid-run: the starvation incident must already be on record
+    // while the victim is still runnable — that is the point of a *live*
+    // watchdog versus post-run stats.
+    m.run_until(Ns::from_ms(30)).expect("no kernel panic");
+    assert_eq!(m.task(victim).state, TaskState::Runnable, "victim still waiting");
+    let starved = wd.incidents().into_iter().find_map(|i| match i.event {
+        HealthEvent::Starvation { pid, cpu, runnable_for } => Some((pid, cpu, runnable_for)),
+        _ => None,
+    });
+    let (pid, cpu, waited) = starved.expect("starvation incident while the run is in flight");
+    assert_eq!((pid, cpu), (victim, 2));
+    assert!(waited >= wd.config().starvation_threshold);
+    // Tokens are conserved (the strander holds the victim's token), so
+    // the audit must not pile on.
+    assert!(
+        !wd.incidents().iter().any(|i| matches!(
+            i.event,
+            HealthEvent::TokenLost { .. } | HealthEvent::TokenLeak { .. }
+        )),
+        "{}",
+        wd.render_top(10)
+    );
+
+    // One episode fires once, and the run keeps going afterwards.
+    m.run_until(Ns::from_ms(60)).expect("watchdog does not disturb the run");
+    let episodes = wd
+        .incidents()
+        .iter()
+        .filter(|i| matches!(i.event, HealthEvent::Starvation { .. }))
+        .count();
+    assert_eq!(episodes, 1, "{}", wd.render_top(10));
+}
+
+#[test]
+fn dropped_schedulable_fires_token_lost() {
+    let mut m = Machine::new(Topology::i7_9700(), CostModel::calibrated());
+    // Drop the 20th wakeup's token: with four busy tasks cycling every
+    // ~300 µs that lands a few ms in, well after the first poll has
+    // established a zero-deficit baseline.
+    let class = Rc::new(EnokiClass::load(
+        "dropper",
+        8,
+        Box::new(BuggySched::new(8, Bug::DropNthWakeup(20))),
+    ));
+    m.add_class(class.clone());
+    let wd = arm(&mut m, &class, HealthConfig::default());
+    for i in 0..4 {
+        m.spawn(busy_spec(format!("t{i}"), i));
+    }
+    m.run_until(Ns::from_ms(30)).expect("losing a token is not fatal");
+    let lost = wd.incidents().into_iter().find_map(|i| match i.event {
+        HealthEvent::TokenLost { expected, live } => Some((expected, live)),
+        _ => None,
+    });
+    let (expected, live) = lost.expect("the destroyed token must be audited");
+    assert_eq!(expected, live + 1, "exactly one token went missing");
+}
+
+#[test]
+fn clogged_hint_queue_fires_hint_stall() {
+    let mut m = Machine::new(Topology::i7_9700(), CostModel::calibrated());
+    let class = Rc::new(EnokiClass::load(
+        "clogger",
+        8,
+        Box::new(BuggySched::new(8, Bug::ClogHints)),
+    ));
+    m.add_class(class.clone());
+    let wd = arm(&mut m, &class, HealthConfig::default());
+    let (id, _handle) = class.register_user_queue(64);
+    assert!(id >= 0, "the clogger accepts the queue — it just never drains it");
+    // One chatty task: a hint roughly every 300 µs of virtual time.
+    m.spawn(TaskSpec::new(
+        "chatty",
+        0,
+        Box::new(ProgramBehavior::repeat(
+            vec![
+                Op::Hint(HintVal { kind: 1, a: 2, b: 3, c: 4 }),
+                Op::Compute(Ns::from_us(200)),
+                Op::Sleep(Ns::from_us(100)),
+            ],
+            100,
+        )),
+    ));
+    m.run_until(Ns::from_ms(25)).expect("no kernel panic");
+    let stall = wd.incidents().into_iter().find_map(|i| match i.event {
+        HealthEvent::HintStall { occupancy, produced_in_window, samples } => {
+            Some((occupancy, produced_in_window, samples))
+        }
+        _ => None,
+    });
+    let (occupancy, produced, samples) = stall.expect("undrained queue must stall");
+    assert!(occupancy > 0);
+    assert!(produced > 0);
+    assert!(samples >= wd.config().stall_samples);
+}
+
+#[test]
+#[should_panic(expected = "starving")]
+fn fail_fast_policy_aborts_the_run_at_the_violation() {
+    let mut m = Machine::new(Topology::i7_9700(), CostModel::calibrated());
+    let class = Rc::new(EnokiClass::load(
+        "strander",
+        8,
+        Box::new(BuggySched::new(8, Bug::StrandPid(0))),
+    ));
+    m.add_class(class.clone());
+    let _wd = arm(&mut m, &class, HealthConfig::fail_fast());
+    m.spawn(
+        TaskSpec::new(
+            "victim",
+            0,
+            Box::new(ProgramBehavior::once(vec![Op::Compute(Ns::from_ms(1))])),
+        )
+        .on_cpu(2),
+    );
+    for i in 0..4 {
+        m.spawn(busy_spec(format!("busy{i}"), 3 + i));
+    }
+    let _ = m.run_until(Ns::from_ms(30));
+}
+
+fn assert_clean(kind: SchedKind) {
+    let mut bed = build(
+        Topology::i7_9700(),
+        CostModel::calibrated(),
+        kind,
+        BedOptions::default(),
+    );
+    let wd = bed
+        .arm_health(HealthConfig::default())
+        .expect("kind runs through the Enoki class");
+    for i in 0..6 {
+        bed.machine.spawn(TaskSpec::new(
+            format!("t{i}"),
+            bed.class_idx,
+            Box::new(ProgramBehavior::repeat(
+                vec![Op::Compute(Ns::from_us(500)), Op::Sleep(Ns::from_us(200))],
+                30,
+            )),
+        ));
+    }
+    bed.machine
+        .run_until(Ns::from_ms(50))
+        .expect("no kernel panic");
+    assert_eq!(wd.incident_count(), 0, "{}", wd.render_top(10));
+    assert!(!wd.samples().is_empty(), "the time series recorded samples");
+    // Renderer and exporter agree with the zero-incident state.
+    let top = wd.render_top(5);
+    assert!(top.contains("incidents: none"), "{top}");
+    let json = wd.to_json();
+    assert!(json.contains("\"incident_count\":0"), "{json}");
+    assert!(json.contains("\"samples\":[{"), "{json}");
+}
+
+#[test]
+fn clean_wfq_run_records_samples_and_zero_incidents() {
+    assert_clean(SchedKind::Wfq);
+}
+
+#[test]
+fn clean_cfs_run_records_samples_and_zero_incidents() {
+    assert_clean(SchedKind::Cfs);
+}

@@ -4,12 +4,14 @@
 //! hole the paper admits: a scheduler that keeps the wrong token after
 //! `migrate_task_rq` can still take the kernel down.
 
+use enoki::core::health::{HealthConfig, HealthEvent, Watchdog};
 use enoki::core::sync::Mutex;
 use enoki::core::{EnokiClass, EnokiScheduler, PickError, SchedCtx, Schedulable, TaskInfo};
 use enoki::sim::behavior::{Op, ProgramBehavior};
 use enoki::sim::{CostModel, CpuId, HintVal, Machine, Ns, Pid, TaskSpec, Topology, WakeFlags};
 use std::collections::VecDeque;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// A scheduler with a deliberate cross-cpu confusion bug: it queues tasks
 /// per cpu but hands out whatever token it finds first on *any* queue.
@@ -113,6 +115,17 @@ fn wrong_cpu_picks_are_contained_by_the_framework() {
         Box::new(ConfusedSched::new(8)),
     ));
     m.add_class(class.clone());
+    // Watch the run live: the cross-cpu confusion must surface as a
+    // pnt_err storm in the watchdog's incident log, not only in the
+    // post-run stats.
+    class.arm_token_ledger();
+    let cfg = HealthConfig {
+        pnt_err_storm: 3,
+        ..HealthConfig::default()
+    };
+    let watchdog = Watchdog::new(cfg);
+    let (w, c) = (Arc::clone(&watchdog), Rc::clone(&class));
+    m.set_sampler(cfg.sample_interval, Box::new(move |mm| w.poll(mm, 0, &c)));
     let mut pids = Vec::new();
     for i in 0..8 {
         pids.push(
@@ -136,6 +149,14 @@ fn wrong_cpu_picks_are_contained_by_the_framework() {
     m.run_until(Ns::from_secs(5))
         .expect("framework contains the bug");
     assert!(class.stats().pnt_errs > 0, "the bug should have fired");
+    assert!(
+        watchdog
+            .incidents()
+            .iter()
+            .any(|i| matches!(i.event, HealthEvent::PntErrStorm { .. })),
+        "wrong-cpu picks should appear live as a pnt_err storm: {}",
+        watchdog.render_top(10)
+    );
     // Containment is about the kernel, not the policy: some tasks may
     // starve (the paper is explicit that Enoki cannot prevent semantic
     // bugs like lost work conservation), but at least the tasks whose

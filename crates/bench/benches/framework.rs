@@ -2,8 +2,17 @@
 //! ring throughput, record codec, dispatch-call overhead, and live-upgrade
 //! blackout. These measure the real (wall-clock) cost of the framework
 //! code, complementing the virtual-time experiment harnesses.
+//!
+//! The hot-path harnesses (`hot_paths`) additionally measure the two
+//! structures every bench goes through — the event queue and the SPSC
+//! ring — against their pre-overhaul designs *in the same run*: the
+//! retained `HeapEventQueue` oracle and a bench-local copy of the seed
+//! ring (unpadded indices, no peer caches, no batching). The results go
+//! to `results/BENCH_framework.json`; `just bench-gate` compares that file
+//! against the committed baseline in `crates/bench/baselines/`.
 
-use enoki_bench::harness::{BatchSize, Criterion};
+use enoki_bench::harness::{fast_mode, BatchSize, Criterion};
+use enoki_bench::report::Report;
 use enoki_bench::{criterion_group, criterion_main};
 use enoki_core::health::{HealthConfig, Watchdog};
 use enoki_core::metrics;
@@ -12,8 +21,91 @@ use enoki_core::record::{CallArgs, FuncId, Rec};
 use enoki_core::EnokiClass;
 use enoki_sched::Wfq;
 use enoki_sim::behavior::{Op, ProgramBehavior};
+use enoki_sim::event::{Event, EventQueue};
 use enoki_sim::{CostModel, HintVal, Machine, Ns, TaskSpec, Topology};
 use std::rc::Rc;
+use std::time::Instant;
+
+/// The seed repo's ring buffer, kept verbatim as the same-run baseline
+/// for the SPSC throughput rows: indices side by side on one cache line,
+/// a cross-core acquire load on every operation, no batched transfer.
+mod seed_ring {
+    use std::cell::UnsafeCell;
+    use std::mem::MaybeUninit;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    struct Inner<T> {
+        slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+        capacity: usize,
+        head: AtomicU64,
+        tail: AtomicU64,
+    }
+
+    // SAFETY: identical slot-handoff discipline to `enoki_core::queue`.
+    unsafe impl<T: Copy + Send> Send for Inner<T> {}
+    // SAFETY: see `Send` above.
+    unsafe impl<T: Copy + Send> Sync for Inner<T> {}
+
+    pub struct SeedRing<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    impl<T> Clone for SeedRing<T> {
+        fn clone(&self) -> Self {
+            SeedRing {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T: Copy + Send> SeedRing<T> {
+        pub fn with_capacity(capacity: usize) -> SeedRing<T> {
+            let slots = (0..capacity)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice();
+            SeedRing {
+                inner: Arc::new(Inner {
+                    slots,
+                    capacity,
+                    head: AtomicU64::new(0),
+                    tail: AtomicU64::new(0),
+                }),
+            }
+        }
+
+        pub fn push(&self, msg: T) -> Result<(), T> {
+            let inner = &*self.inner;
+            let head = inner.head.load(Ordering::Relaxed);
+            let tail = inner.tail.load(Ordering::Acquire);
+            if head - tail >= inner.capacity as u64 {
+                return Err(msg);
+            }
+            let idx = (head % inner.capacity as u64) as usize;
+            // SAFETY: `head - tail < capacity`; single producer.
+            unsafe {
+                (*inner.slots[idx].get()).write(msg);
+            }
+            inner.head.store(head + 1, Ordering::Release);
+            Ok(())
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            let inner = &*self.inner;
+            let tail = inner.tail.load(Ordering::Relaxed);
+            let head = inner.head.load(Ordering::Acquire);
+            if tail == head {
+                return None;
+            }
+            let idx = (tail % inner.capacity as u64) as usize;
+            // SAFETY: `tail < head`; single consumer.
+            let msg = unsafe { (*inner.slots[idx].get()).assume_init_read() };
+            inner.tail.store(tail + 1, Ordering::Release);
+            Some(msg)
+        }
+    }
+}
 
 fn ring_buffer(c: &mut Criterion) {
     let q: RingBuffer<HintVal> = RingBuffer::with_capacity(1024);
@@ -61,6 +153,204 @@ fn codec(c: &mut Criterion) {
     c.bench_function("record_decode", |b| {
         b.iter(|| std::hint::black_box(Rec::decode(&buf)))
     });
+}
+
+/// Deterministic delta table matching the sim's event mix: dominated by
+/// same-microsecond IPC and tick-scale timers, with a tail of sleeps and
+/// rare far timers. Far timers are rare per push but, living long, they
+/// come to dominate the *pending set* — exactly the shape that hurts a
+/// global heap (log of total pending on every pop) and that the wheel
+/// shrugs off (inert far buckets cost nothing on the near path).
+fn delta_table() -> Vec<u64> {
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    (0..8192)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let r = x >> 33;
+            match r % 16 {
+                0..=6 => r % 50_000,            // short bursts (≤50 µs)
+                7..=12 => r % 4_000_000,        // tick-scale (≤4 ms)
+                13 | 14 => r % 100_000_000,     // sleeps (≤100 ms)
+                _ => r % 8_000_000_000,         // far timers (≤8 s)
+            }
+        })
+        .collect()
+}
+
+/// Steady-state event-queue throughput: `pending` timers in flight, each
+/// round pops the earliest and schedules a replacement. Returns push+pop
+/// operations per second (best of three samples — noise only adds time).
+fn event_queue_ops_per_sec(make: impl Fn() -> EventQueue, pending: usize, rounds: u64) -> f64 {
+    let deltas = delta_table();
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let mut q = make();
+        let mut di = 0usize;
+        for i in 0..pending {
+            di = (di + 1) % deltas.len();
+            q.push(Ns(deltas[di]), Event::External { tag: i as u64 });
+        }
+        let t0 = Instant::now();
+        for r in 0..rounds {
+            let (t, _) = q.pop().expect("steady state");
+            di = (di + 1) % deltas.len();
+            q.push(Ns(t.0 + deltas[di]), Event::External { tag: r });
+        }
+        let ops = 2.0 * rounds as f64 / t0.elapsed().as_secs_f64();
+        best = best.max(ops);
+    }
+    best
+}
+
+/// SPSC ring throughput in messages per second, measured as alternating
+/// bursts: push `BURST` messages, pop `BURST` messages, repeat. Both
+/// roles run on the calling thread — the container is single-core, so a
+/// producer/consumer thread pair would only measure the OS scheduler.
+/// The burst shape is the hint-queue/record-writer drain pattern, and it
+/// is exactly where the overhaul's costs live: per-op index math and
+/// atomic publications (the cross-core cache-bounce savings from padding
+/// need real parallelism to show and are not measured here).
+const BURST: usize = 256;
+
+fn ring_burst_msgs_per_sec(ring: &RingBuffer<u64>, n: u64, batched: bool) -> f64 {
+    let chunk: Vec<u64> = (0..BURST as u64).collect();
+    let mut out: Vec<u64> = Vec::with_capacity(BURST);
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let mut moved = 0u64;
+        let t0 = Instant::now();
+        while moved < n {
+            if batched {
+                let pushed = ring.push_slice(&chunk);
+                out.clear();
+                let popped = ring.pop_batch(&mut out, BURST);
+                assert_eq!(pushed, popped);
+                std::hint::black_box(&out);
+                moved += popped as u64;
+            } else {
+                for &v in &chunk {
+                    ring.push(v).unwrap();
+                }
+                for _ in 0..BURST {
+                    std::hint::black_box(ring.pop().unwrap());
+                }
+                moved += BURST as u64;
+            }
+        }
+        best = best.max(moved as f64 / t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Same burst measurement over the retained seed ring (single-message
+/// path only — the seed design had no batched transfer).
+fn seed_ring_burst_msgs_per_sec(n: u64) -> f64 {
+    let ring: seed_ring::SeedRing<u64> = seed_ring::SeedRing::with_capacity(1024);
+    let chunk: Vec<u64> = (0..BURST as u64).collect();
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let mut moved = 0u64;
+        let t0 = Instant::now();
+        while moved < n {
+            for &v in &chunk {
+                ring.push(v).unwrap();
+            }
+            for _ in 0..BURST {
+                std::hint::black_box(ring.pop().unwrap());
+            }
+            moved += BURST as u64;
+        }
+        best = best.max(moved as f64 / t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The hot-path throughput harnesses: timer wheel vs the heap oracle, and
+/// the padded/batched ring vs the seed ring, all measured in one run so
+/// the speedups are apples-to-apples on this machine. Writes
+/// `results/BENCH_framework.json`.
+fn hot_paths(_c: &mut Criterion) {
+    let (eq_rounds, ring_msgs) = if fast_mode() {
+        (200_000u64, 400_000u64)
+    } else {
+        (2_000_000u64, 4_000_000u64)
+    };
+    let pending = 65_536usize;
+
+    let heap_ops =
+        event_queue_ops_per_sec(EventQueue::reference_heap, pending, eq_rounds);
+    let wheel_ops = event_queue_ops_per_sec(EventQueue::new, pending, eq_rounds);
+    let eq_speedup = wheel_ops / heap_ops;
+    println!(
+        "event_queue_push_pop/heap_reference              thrpt: [{:.2} Mops/s]",
+        heap_ops / 1e6
+    );
+    println!(
+        "event_queue_push_pop/timer_wheel                 thrpt: [{:.2} Mops/s]  ({eq_speedup:.2}x vs heap)",
+        wheel_ops / 1e6
+    );
+
+    let seed_msgs = seed_ring_burst_msgs_per_sec(ring_msgs);
+    let ring: RingBuffer<u64> = RingBuffer::with_capacity(1024);
+    let single_msgs = ring_burst_msgs_per_sec(&ring, ring_msgs, false);
+    let batched_msgs = ring_burst_msgs_per_sec(&ring, ring_msgs, true);
+    let single_speedup = single_msgs / seed_msgs;
+    let batched_speedup = batched_msgs / seed_msgs;
+    println!(
+        "spsc_ring_burst/seed_reference                   thrpt: [{:.2} Mmsg/s]",
+        seed_msgs / 1e6
+    );
+    println!(
+        "spsc_ring_burst/padded_cached                    thrpt: [{:.2} Mmsg/s]  ({single_speedup:.2}x vs seed)",
+        single_msgs / 1e6
+    );
+    println!(
+        "spsc_ring_burst/padded_cached_batch256           thrpt: [{:.2} Mmsg/s]  ({batched_speedup:.2}x vs seed)",
+        batched_msgs / 1e6
+    );
+
+    let mut report = Report::new("framework");
+    report
+        .param("fast_mode", fast_mode())
+        .param("event_queue_pending", pending)
+        .param("event_queue_rounds", eq_rounds)
+        .param("ring_messages", ring_msgs)
+        .param("ring_capacity", 1024usize)
+        .param("ring_burst", BURST);
+    report.row(&[
+        ("bench", "event_queue_push_pop".into()),
+        ("impl", "heap_reference".into()),
+        ("ops_per_sec", heap_ops.into()),
+    ]);
+    report.row(&[
+        ("bench", "event_queue_push_pop".into()),
+        ("impl", "timer_wheel".into()),
+        ("ops_per_sec", wheel_ops.into()),
+        ("speedup_vs_ref", eq_speedup.into()),
+    ]);
+    report.row(&[
+        ("bench", "spsc_ring_burst".into()),
+        ("impl", "seed_reference".into()),
+        ("batch", 1usize.into()),
+        ("ops_per_sec", seed_msgs.into()),
+    ]);
+    report.row(&[
+        ("bench", "spsc_ring_burst".into()),
+        ("impl", "padded_cached".into()),
+        ("batch", 1usize.into()),
+        ("ops_per_sec", single_msgs.into()),
+        ("speedup_vs_ref", single_speedup.into()),
+    ]);
+    report.row(&[
+        ("bench", "spsc_ring_burst".into()),
+        ("impl", "padded_cached".into()),
+        ("batch", BURST.into()),
+        ("ops_per_sec", batched_msgs.into()),
+        ("speedup_vs_ref", batched_speedup.into()),
+    ]);
+    report.emit();
 }
 
 /// Wall-clock cost of simulated schedule operations through the full
@@ -179,8 +469,9 @@ fn metrics_overhead(_c: &mut Criterion) {
     time_one(true);
     time_one(false);
     time_armed();
+    let rounds = if fast_mode() { 40 } else { 500 };
     let (mut on, mut off, mut armed) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
-    for _ in 0..500 {
+    for _ in 0..rounds {
         on = on.min(time_one(true));
         off = off.min(time_one(false));
         armed = armed.min(time_armed());
@@ -213,6 +504,7 @@ criterion_group!(
     benches,
     ring_buffer,
     codec,
+    hot_paths,
     dispatch_pipe,
     metrics_overhead,
     live_upgrade

@@ -1,0 +1,431 @@
+//! bench_gate: the CI regression gate over the hot-path microbenchmarks.
+//!
+//! Reads the `BENCH_framework.json` a `cargo bench -p enoki-bench --bench
+//! framework` run just wrote, validates its schema, and compares every
+//! throughput row against the committed baseline in
+//! `crates/bench/baselines/BENCH_framework.json`. The tolerance is
+//! deliberately generous — a row fails only when its throughput drops to
+//! less than half of the baseline (a >2x regression) — because the gate
+//! runs in `ENOKI_BENCH_FAST` mode on shared CI machines where 10–30%
+//! swings are weather, but a halved throughput is a lost optimization.
+//!
+//! Two structural floors ride along, machine-independent by construction
+//! because both sides are measured in the same run: the timer wheel must
+//! stay ahead of the retained heap oracle, and the batched ring path must
+//! stay well ahead of the seed ring. If either inversion appears, the
+//! overhaul has regressed no matter what the absolute numbers say.
+//!
+//! Usage: `bench_gate [current.json] [baseline.json]`
+//! (defaults: `crates/bench/results/BENCH_framework.json`, falling back to
+//! `results/BENCH_framework.json`, vs `crates/bench/baselines/BENCH_framework.json`)
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Throughput drops below `baseline / REGRESSION_FACTOR` fail the gate.
+const REGRESSION_FACTOR: f64 = 2.0;
+/// The timer wheel must beat the heap oracle by at least this much.
+const WHEEL_FLOOR: f64 = 1.2;
+/// The batched ring path must beat the seed ring by at least this much.
+const BATCHED_RING_FLOOR: f64 = 1.5;
+
+// ----------------------------------------------------------------------
+// Minimal JSON reader (the workspace builds offline; no serde)
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(s: &'a str) -> Result<Json, String> {
+        let mut p = Parser {
+            b: s.as_bytes(),
+            pos: 0,
+        };
+        p.ws();
+        let v = p.value()?;
+        p.ws();
+        if p.pos != p.b.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.b.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.b.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            Some(c) => Err(format!("unexpected byte {c:#x} at {}", self.pos)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.b.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.b.get(self.pos), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.b.get(self.pos).copied();
+                    self.pos += 1;
+                    match esc {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                }
+                Some(&c) if c >= 0x20 => {
+                    // Multi-byte UTF-8 passes through byte by byte; the
+                    // input is a &str so the bytes are valid UTF-8.
+                    let len = match c {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .b
+                        .get(self.pos..self.pos + len)
+                        .ok_or("truncated UTF-8 sequence")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                    self.pos += len;
+                }
+                _ => return Err(format!("bad string at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.pos += 1; // [
+        let mut items = Vec::new();
+        self.ws();
+        if self.b.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.ws();
+            items.push(self.value()?);
+            self.ws();
+            match self.b.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.pos += 1; // {
+        let mut pairs = Vec::new();
+        self.ws();
+        if self.b.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.ws();
+            if self.b.get(self.pos) != Some(&b'"') {
+                return Err(format!("expected key at byte {}", self.pos));
+            }
+            let key = self.string()?;
+            self.ws();
+            if self.b.get(self.pos) != Some(&b':') {
+                return Err(format!("expected ':' at byte {}", self.pos));
+            }
+            self.pos += 1;
+            self.ws();
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.ws();
+            match self.b.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Schema + gate
+// ----------------------------------------------------------------------
+
+/// One throughput row, keyed by (bench, impl, batch).
+#[derive(Debug)]
+struct Row {
+    ops_per_sec: f64,
+    speedup_vs_ref: Option<f64>,
+}
+
+type RowKey = (String, String, u64);
+
+fn key_label(k: &RowKey) -> String {
+    if k.2 <= 1 {
+        format!("{}/{}", k.0, k.1)
+    } else {
+        format!("{}/{} (batch {})", k.0, k.1, k.2)
+    }
+}
+
+/// Parses and schema-checks one results file: the harness must be
+/// `framework`, and every throughput row must carry a string `bench`, a
+/// string `impl`, and a finite positive `ops_per_sec`.
+fn load(path: &str) -> Result<BTreeMap<RowKey, Row>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = Parser::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let harness = doc
+        .get("harness")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{path}: missing \"harness\""))?;
+    if harness != "framework" {
+        return Err(format!("{path}: harness is {harness:?}, not \"framework\""));
+    }
+    doc.get("params")
+        .ok_or_else(|| format!("{path}: missing \"params\""))?;
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: missing \"rows\" array"))?;
+    let mut out = BTreeMap::new();
+    for (i, row) in rows.iter().enumerate() {
+        let bench = row
+            .get("bench")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: row {i} has no \"bench\""))?;
+        let impl_name = row
+            .get("impl")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: row {i} has no \"impl\""))?;
+        let ops = row
+            .get("ops_per_sec")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("{path}: row {i} has no numeric \"ops_per_sec\""))?;
+        if !ops.is_finite() || ops <= 0.0 {
+            return Err(format!("{path}: row {i} ops_per_sec {ops} is not a positive number"));
+        }
+        let batch = row.get("batch").and_then(Json::as_num).unwrap_or(1.0) as u64;
+        let speedup = row.get("speedup_vs_ref").and_then(Json::as_num);
+        if let Some(s) = speedup {
+            if !s.is_finite() || s <= 0.0 {
+                return Err(format!("{path}: row {i} speedup_vs_ref {s} is not a positive number"));
+            }
+        }
+        let key = (bench.to_string(), impl_name.to_string(), batch);
+        if out
+            .insert(
+                key.clone(),
+                Row {
+                    ops_per_sec: ops,
+                    speedup_vs_ref: speedup,
+                },
+            )
+            .is_some()
+        {
+            return Err(format!("{path}: duplicate row {}", key_label(&key)));
+        }
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no throughput rows"));
+    }
+    Ok(out)
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let current_path = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| {
+            // `cargo bench` writes relative to the bench crate; the gate
+            // usually runs from the workspace root.
+            let nested = "crates/bench/results/BENCH_framework.json";
+            if std::path::Path::new(nested).exists() {
+                nested.to_string()
+            } else {
+                "results/BENCH_framework.json".to_string()
+            }
+        });
+    let baseline_path = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "crates/bench/baselines/BENCH_framework.json".to_string());
+
+    let current = load(&current_path)?;
+    let baseline = load(&baseline_path)?;
+    println!("bench gate: {current_path} vs baseline {baseline_path}");
+
+    let mut failures = Vec::new();
+    for (k, cur) in &current {
+        let label = key_label(k);
+        match cur.speedup_vs_ref {
+            Some(s) => println!("  {label:<46} {:>12.0} ops/s  ({s:.2}x vs ref)", cur.ops_per_sec),
+            None => println!("  {label:<46} {:>12.0} ops/s", cur.ops_per_sec),
+        }
+        if let Some(base) = baseline.get(k) {
+            let ratio = cur.ops_per_sec / base.ops_per_sec;
+            if ratio * REGRESSION_FACTOR < 1.0 {
+                failures.push(format!(
+                    "{label}: {:.0} ops/s is a {:.2}x regression from the baseline {:.0} ops/s (tolerance {REGRESSION_FACTOR}x)",
+                    cur.ops_per_sec,
+                    1.0 / ratio,
+                    base.ops_per_sec,
+                ));
+            }
+        } else {
+            println!("    (no baseline row — new benchmark, not gated)");
+        }
+    }
+    for k in baseline.keys() {
+        if !current.contains_key(k) {
+            failures.push(format!("{}: present in baseline but missing from this run", key_label(k)));
+        }
+    }
+
+    // Same-run structural floors: these compare two implementations
+    // measured seconds apart on the same machine, so they hold (or fail)
+    // regardless of how slow the CI runner is.
+    let wheel = current.get(&("event_queue_push_pop".into(), "timer_wheel".into(), 1));
+    match wheel.and_then(|r| r.speedup_vs_ref) {
+        Some(s) if s >= WHEEL_FLOOR => {}
+        Some(s) => failures.push(format!(
+            "timer wheel is only {s:.2}x the heap oracle (floor {WHEEL_FLOOR}x)"
+        )),
+        None => failures.push("missing timer_wheel row with speedup_vs_ref".to_string()),
+    }
+    let batched = current
+        .iter()
+        .filter(|((b, i, batch), _)| b == "spsc_ring_burst" && i == "padded_cached" && *batch > 1)
+        .map(|(_, r)| r)
+        .next();
+    match batched.and_then(|r| r.speedup_vs_ref) {
+        Some(s) if s >= BATCHED_RING_FLOOR => {}
+        Some(s) => failures.push(format!(
+            "batched ring path is only {s:.2}x the seed ring (floor {BATCHED_RING_FLOOR}x)"
+        )),
+        None => failures.push("missing batched spsc_ring_burst row with speedup_vs_ref".to_string()),
+    }
+
+    if failures.is_empty() {
+        println!("bench gate: OK ({} rows gated)", current.len());
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench gate: FAIL\n{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

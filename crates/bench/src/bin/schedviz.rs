@@ -123,10 +123,10 @@ fn main() {
         metrics::observe_machine(&bed.machine, class.metrics());
         println!("\n{}", class.metrics().snapshot().to_text());
         if let Some(sink) = sink {
+            // Batched drain of the structured-trace sink (the enoki-top
+            // path): one index publication per sweep, not per record.
             let mut records = Vec::new();
-            while let Some(r) = sink.pop() {
-                records.push(r);
-            }
+            while sink.drain(&mut records) > 0 {}
             println!(
                 "{} structured trace records in the sink ({} dropped)",
                 records.len(),

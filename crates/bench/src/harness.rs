@@ -49,24 +49,57 @@ pub struct Bencher {
     result_ns: f64,
 }
 
-const WARMUP: Duration = Duration::from_millis(60);
-const MEASURE: Duration = Duration::from_millis(300);
-const SAMPLES: usize = 12;
+/// True when `ENOKI_BENCH_FAST` is set (non-empty, not `0`): the CI gate
+/// mode, trading measurement duration for runtime. Relative comparisons
+/// (regression ratios, overhead gates) stay meaningful; absolute numbers
+/// are noisier.
+pub fn fast_mode() -> bool {
+    static FAST: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FAST.get_or_init(|| {
+        std::env::var("ENOKI_BENCH_FAST").is_ok_and(|v| !v.is_empty() && v != "0")
+    })
+}
+
+fn warmup() -> Duration {
+    if fast_mode() {
+        Duration::from_millis(10)
+    } else {
+        Duration::from_millis(60)
+    }
+}
+
+fn measure() -> Duration {
+    if fast_mode() {
+        Duration::from_millis(50)
+    } else {
+        Duration::from_millis(300)
+    }
+}
+
+fn samples() -> usize {
+    if fast_mode() {
+        5
+    } else {
+        12
+    }
+}
 
 impl Bencher {
     /// Times `f`, subtracting nothing: the closure is the whole iteration.
     pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
         // Warm up and estimate the per-iteration cost.
+        let (warmup, measure, nsamples) = (warmup(), measure(), samples());
         let start = Instant::now();
         let mut warm_iters = 0u64;
-        while start.elapsed() < WARMUP {
+        while start.elapsed() < warmup {
             std::hint::black_box(f());
             warm_iters += 1;
         }
-        let est = WARMUP.as_nanos() as f64 / warm_iters.max(1) as f64;
-        let per_sample = ((MEASURE.as_nanos() as f64 / SAMPLES as f64 / est.max(1.0)) as u64).max(1);
-        let mut samples = Vec::with_capacity(SAMPLES);
-        for _ in 0..SAMPLES {
+        let est = warmup.as_nanos() as f64 / warm_iters.max(1) as f64;
+        let per_sample =
+            ((measure.as_nanos() as f64 / nsamples as f64 / est.max(1.0)) as u64).max(1);
+        let mut samples = Vec::with_capacity(nsamples);
+        for _ in 0..nsamples {
             let t = Instant::now();
             for _ in 0..per_sample {
                 std::hint::black_box(f());
@@ -85,14 +118,15 @@ impl Bencher {
         _size: BatchSize,
     ) {
         // Warm up once to estimate the routine cost.
+        let (measure, nsamples) = (measure(), samples());
         let input = setup();
         let t = Instant::now();
         std::hint::black_box(routine(input));
         let est = t.elapsed().as_nanos() as f64;
-        let per_sample = ((MEASURE.as_nanos() as f64 / SAMPLES as f64 / est.max(1.0)) as u64)
+        let per_sample = ((measure.as_nanos() as f64 / nsamples as f64 / est.max(1.0)) as u64)
             .clamp(1, 1_000_000);
-        let mut samples = Vec::with_capacity(SAMPLES);
-        for _ in 0..SAMPLES {
+        let mut samples = Vec::with_capacity(nsamples);
+        for _ in 0..nsamples {
             let inputs: Vec<S> = (0..per_sample).map(|_| setup()).collect();
             let t = Instant::now();
             for input in inputs {

@@ -7,19 +7,59 @@
 //! the same restriction the paper enforces).
 //!
 //! The ring is lock-free: a producer index and a consumer index, each
-//! owned by one side, with release/acquire publication of slots.
+//! owned by one side, with release/acquire publication of slots. The
+//! indices live on separate cache lines so the producer and consumer do
+//! not false-share, and each side keeps a cached copy of the peer's index
+//! next to its own: the producer only re-reads the consumer's `tail`
+//! (a cross-core acquire load) when the ring *looks* full against its
+//! cache, and the consumer only re-reads `head` when it looks empty. In
+//! steady state both sides run on line-local data.
+//!
+//! Batched transfer ([`RingBuffer::push_slice`] / [`RingBuffer::pop_batch`])
+//! amortizes the index publication over a whole batch: one release store
+//! per batch instead of one per message. Batching never reorders — a batch
+//! occupies consecutive slots, so FIFO order across and within batches is
+//! identical to the one-message-at-a-time path.
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Producer-owned cache line: the write index plus the producer's cached
+/// view of the consumer's read index.
+#[repr(align(64))]
+struct ProducerSide {
+    /// Next slot to write (monotonic; slot = `head % capacity`).
+    head: AtomicU64,
+    /// Producer's cached copy of `tail`; refreshed only when the ring
+    /// appears full. Written exclusively by the producer.
+    tail_cache: AtomicU64,
+}
+
+/// Consumer-owned cache line: the read index plus the consumer's cached
+/// view of the producer's write index.
+#[repr(align(64))]
+struct ConsumerSide {
+    /// Next slot to read (monotonic).
+    tail: AtomicU64,
+    /// Consumer's cached copy of `head`; refreshed only when the ring
+    /// appears empty. Written exclusively by the consumer.
+    head_cache: AtomicU64,
+}
+
 struct Inner<T> {
-    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
-    capacity: usize,
-    head: AtomicU64, // next slot to write (producer-owned)
-    tail: AtomicU64, // next slot to read (consumer-owned)
+    prod: ProducerSide,
+    cons: ConsumerSide,
     dropped: AtomicU64,
+    /// Bound on buffered messages (as requested by the caller).
+    capacity: usize,
+    /// `slots.len() - 1`; the slot array is the capacity rounded up to a
+    /// power of two so slot indexing is a mask, not a division. Occupancy
+    /// is still bounded by `capacity`, so the extra slots (if any) simply
+    /// never hold more than `capacity` live messages.
+    mask: u64,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
 }
 
 // SAFETY: the ring hands each slot to exactly one side at a time: the
@@ -76,19 +116,42 @@ impl<T: Copy + Send> RingBuffer<T> {
     /// Creates a ring holding up to `capacity` messages.
     pub fn with_capacity(capacity: usize) -> RingBuffer<T> {
         assert!(capacity > 0);
-        let slots = (0..capacity)
+        let slot_count = capacity.next_power_of_two();
+        let slots = (0..slot_count)
             .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
             .collect::<Vec<_>>()
             .into_boxed_slice();
         RingBuffer {
             inner: Arc::new(Inner {
-                slots,
-                capacity,
-                head: AtomicU64::new(0),
-                tail: AtomicU64::new(0),
+                prod: ProducerSide {
+                    head: AtomicU64::new(0),
+                    tail_cache: AtomicU64::new(0),
+                },
+                cons: ConsumerSide {
+                    tail: AtomicU64::new(0),
+                    head_cache: AtomicU64::new(0),
+                },
                 dropped: AtomicU64::new(0),
+                capacity,
+                mask: slot_count as u64 - 1,
+                slots,
             }),
         }
+    }
+
+    /// How many slots the producer may write given its (possibly stale)
+    /// view of `tail`, refreshing the cached view once if that looks like
+    /// fewer than `want`.
+    #[inline]
+    fn free_slots(&self, head: u64, want: usize) -> usize {
+        let inner = &*self.inner;
+        let cap = inner.capacity as u64;
+        let mut tail = inner.prod.tail_cache.load(Ordering::Relaxed);
+        if cap - (head - tail) < want as u64 {
+            tail = inner.cons.tail.load(Ordering::Acquire);
+            inner.prod.tail_cache.store(tail, Ordering::Relaxed);
+        }
+        (cap - (head - tail)) as usize
     }
 
     /// Pushes a message; returns `Err(msg)` if the ring is full.
@@ -98,43 +161,132 @@ impl<T: Copy + Send> RingBuffer<T> {
     /// dropped").
     pub fn push(&self, msg: T) -> Result<(), T> {
         let inner = &*self.inner;
-        let head = inner.head.load(Ordering::Relaxed);
-        let tail = inner.tail.load(Ordering::Acquire);
-        if head - tail >= inner.capacity as u64 {
+        let head = inner.prod.head.load(Ordering::Relaxed);
+        if self.free_slots(head, 1) == 0 {
             inner.dropped.fetch_add(1, Ordering::Relaxed);
             return Err(msg);
         }
-        let idx = (head % inner.capacity as u64) as usize;
+        let idx = (head & inner.mask) as usize;
         // SAFETY: `head - tail < capacity`, so the consumer cannot be
         // reading this slot; we are the only producer (SPSC contract).
         unsafe {
             (*inner.slots[idx].get()).write(msg);
         }
-        inner.head.store(head + 1, Ordering::Release);
+        inner.prod.head.store(head + 1, Ordering::Release);
         Ok(())
+    }
+
+    /// Pushes as many messages from `msgs` as fit, in order, publishing
+    /// them with a single release store. Returns the number accepted; the
+    /// rejected remainder (`msgs[n..]`) is counted as dropped, like
+    /// [`push`](RingBuffer::push) on a full ring.
+    pub fn push_slice(&self, msgs: &[T]) -> usize {
+        if msgs.is_empty() {
+            return 0;
+        }
+        let inner = &*self.inner;
+        let head = inner.prod.head.load(Ordering::Relaxed);
+        let n = self.free_slots(head, msgs.len()).min(msgs.len());
+        if n > 0 {
+            let start = (head & inner.mask) as usize;
+            let first = n.min(inner.slots.len() - start);
+            // SAFETY: slots `head..head + n` are within `capacity` of
+            // `tail` (checked above), so the consumer cannot be reading
+            // them; `UnsafeCell<MaybeUninit<T>>` has `T`'s layout, and the
+            // two copies cover `start..start + first` and `0..n - first`,
+            // which cannot overlap each other or the source slice.
+            unsafe {
+                let base = inner.slots.as_ptr() as *mut T;
+                std::ptr::copy_nonoverlapping(msgs.as_ptr(), base.add(start), first);
+                std::ptr::copy_nonoverlapping(msgs.as_ptr().add(first), base, n - first);
+            }
+            inner.prod.head.store(head + n as u64, Ordering::Release);
+        }
+        let rejected = (msgs.len() - n) as u64;
+        if rejected > 0 {
+            inner.dropped.fetch_add(rejected, Ordering::Relaxed);
+        }
+        n
     }
 
     /// Pops the oldest message, if any.
     pub fn pop(&self) -> Option<T> {
         let inner = &*self.inner;
-        let tail = inner.tail.load(Ordering::Relaxed);
-        let head = inner.head.load(Ordering::Acquire);
+        let tail = inner.cons.tail.load(Ordering::Relaxed);
+        let mut head = inner.cons.head_cache.load(Ordering::Relaxed);
         if tail == head {
-            return None;
+            head = inner.prod.head.load(Ordering::Acquire);
+            inner.cons.head_cache.store(head, Ordering::Relaxed);
+            if tail == head {
+                return None;
+            }
         }
-        let idx = (tail % inner.capacity as u64) as usize;
+        let idx = (tail & inner.mask) as usize;
         // SAFETY: `tail < head`, so the producer published this slot with a
         // release store; we are the only consumer (SPSC contract).
         let msg = unsafe { (*inner.slots[idx].get()).assume_init_read() };
-        inner.tail.store(tail + 1, Ordering::Release);
+        inner.cons.tail.store(tail + 1, Ordering::Release);
         Some(msg)
     }
 
+    /// Pops up to `max` messages into `out` (appended in FIFO order),
+    /// advancing the read index once for the whole batch. Returns the
+    /// number popped.
+    pub fn pop_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let inner = &*self.inner;
+        let tail = inner.cons.tail.load(Ordering::Relaxed);
+        let mut head = inner.cons.head_cache.load(Ordering::Relaxed);
+        if (head - tail) < max as u64 {
+            head = inner.prod.head.load(Ordering::Acquire);
+            inner.cons.head_cache.store(head, Ordering::Relaxed);
+        }
+        let n = ((head - tail) as usize).min(max);
+        if n == 0 {
+            return 0;
+        }
+        out.reserve(n);
+        let start = (tail & inner.mask) as usize;
+        let first = n.min(inner.slots.len() - start);
+        // SAFETY: slots `tail..tail + n` are all published (`tail + n <=
+        // head`) and we are the only consumer; the reserve above makes the
+        // spare Vec capacity valid for `n` writes, and `T: Copy` means the
+        // byte copy is a complete read of each slot.
+        unsafe {
+            let base = inner.slots.as_ptr() as *const T;
+            let dst = out.as_mut_ptr().add(out.len());
+            std::ptr::copy_nonoverlapping(base.add(start), dst, first);
+            std::ptr::copy_nonoverlapping(base, dst.add(first), n - first);
+            out.set_len(out.len() + n);
+        }
+        inner.cons.tail.store(tail + n as u64, Ordering::Release);
+        n
+    }
+
+    /// Pops everything currently visible into `out`; returns the count.
+    ///
+    /// One batched sweep over the occupancy observed on entry — messages
+    /// pushed concurrently after the sweep starts are left for the next
+    /// call, so this cannot livelock against a fast producer.
+    pub fn drain(&self, out: &mut Vec<T>) -> usize {
+        self.pop_batch(out, self.inner.capacity)
+    }
+
     /// Number of messages currently buffered.
+    ///
+    /// Snapshots `tail` first, then `head`: `tail` never passes `head`, so
+    /// a stale `tail` paired with a fresher `head` can only over-report.
+    /// Reading the two the other way round could see `head` from before a
+    /// push and `tail` from after the matching pop, underflowing the
+    /// subtraction into a bogus huge length. Saturates and clamps to the
+    /// capacity so concurrent movement between the two loads can never
+    /// produce an impossible value.
     pub fn len(&self) -> usize {
-        let head = self.inner.head.load(Ordering::Acquire);
-        let tail = self.inner.tail.load(Ordering::Acquire);
-        (head - tail) as usize
+        let tail = self.inner.cons.tail.load(Ordering::Acquire);
+        let head = self.inner.prod.head.load(Ordering::Acquire);
+        (head.saturating_sub(tail) as usize).min(self.inner.capacity)
     }
 
     /// True if no messages are buffered.
@@ -199,6 +351,46 @@ mod tests {
     }
 
     #[test]
+    fn push_slice_partial_fill_counts_drops() {
+        let q = RingBuffer::with_capacity(4);
+        assert_eq!(q.push_slice(&[1u32, 2, 3, 4, 5, 6]), 4);
+        assert_eq!(q.dropped(), 2);
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(&mut out, 16), 4);
+        assert_eq!(out, vec![1, 2, 3, 4]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn batched_and_single_interleave_in_fifo_order() {
+        let q = RingBuffer::with_capacity(16);
+        q.push(0u64).unwrap();
+        assert_eq!(q.push_slice(&[1, 2, 3]), 3);
+        q.push(4).unwrap();
+        assert_eq!(q.push_slice(&[5, 6]), 2);
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(&mut out, 2), 2);
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.drain(&mut out), 4);
+        assert_eq!(out, vec![0, 1, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn pop_batch_respects_max_and_wraps() {
+        let q = RingBuffer::with_capacity(3);
+        let mut out = Vec::new();
+        // Walk the indices far past the first wraparound.
+        for round in 0..20u64 {
+            assert_eq!(q.push_slice(&[round * 2, round * 2 + 1]), 2);
+            assert_eq!(q.pop_batch(&mut out, 1), 1);
+            assert_eq!(q.pop_batch(&mut out, 8), 1);
+            assert_eq!(out, vec![round * 2, round * 2 + 1]);
+            out.clear();
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
     fn cross_thread_spsc() {
         let q: RingBuffer<u64> = RingBuffer::with_capacity(64);
         let producer = q.clone();
@@ -230,5 +422,74 @@ mod tests {
         assert!(q.is_empty(), "ring should be drained after the join");
         assert_eq!(q.len(), 0);
         assert_eq!(q.dropped(), rejected);
+    }
+
+    #[test]
+    fn cross_thread_spsc_batched() {
+        let q: RingBuffer<u64> = RingBuffer::with_capacity(64);
+        let producer = q.clone();
+        let n = 100_000u64;
+        let h = thread::spawn(move || {
+            let mut next = 0u64;
+            while next < n {
+                let hi = (next + 8).min(n);
+                let batch: Vec<u64> = (next..hi).collect();
+                next += producer.push_slice(&batch) as u64;
+            }
+        });
+        let mut expect = 0u64;
+        let mut out = Vec::new();
+        while expect < n {
+            out.clear();
+            q.pop_batch(&mut out, 16);
+            for &v in &out {
+                assert_eq!(v, expect);
+                expect += 1;
+            }
+        }
+        h.join().unwrap();
+        assert!(q.is_empty());
+    }
+
+    /// Hammers the ring from both sides while a third thread reads
+    /// `len()` continuously: the length must never exceed the capacity
+    /// and never wrap into the astronomically large values the old
+    /// head-then-tail load order could transiently report.
+    #[test]
+    fn len_is_always_sane_under_concurrency() {
+        let q: RingBuffer<u64> = RingBuffer::with_capacity(32);
+        let producer = q.clone();
+        let observer = q.clone();
+        let done = Arc::new(AtomicU64::new(0));
+        let done_obs = Arc::clone(&done);
+        let obs = thread::spawn(move || {
+            let mut max_seen = 0;
+            while done_obs.load(Ordering::Relaxed) == 0 {
+                let len = observer.len();
+                assert!(
+                    len <= observer.capacity(),
+                    "len {len} exceeds capacity {}",
+                    observer.capacity()
+                );
+                max_seen = max_seen.max(len);
+            }
+            max_seen
+        });
+        let prod = thread::spawn(move || {
+            for i in 0..200_000u64 {
+                let _ = producer.push(i);
+            }
+        });
+        let mut popped = 0u64;
+        let mut out = Vec::new();
+        while !prod.is_finished() || !q.is_empty() {
+            out.clear();
+            popped += q.pop_batch(&mut out, 8) as u64;
+        }
+        prod.join().unwrap();
+        done.store(1, Ordering::Relaxed);
+        let max_seen = obs.join().unwrap();
+        assert!(max_seen <= q.capacity());
+        assert!(popped > 0);
     }
 }

@@ -484,6 +484,12 @@ impl Recorder {
 /// sleeping (see the backoff loop in [`RecordWriter::spawn`]).
 const IDLE_SPIN_ROUNDS: u32 = 16;
 
+/// Records the writer pulls off the ring per batched pop. Each batch costs
+/// one read-index publication instead of one per record, and the whole
+/// batch encodes into a single contiguous buffer before touching the
+/// `BufWriter`.
+const WRITER_BATCH: usize = 256;
+
 /// The "userspace record task": a real thread that drains the recorder's
 /// ring and writes the log file asynchronously.
 pub struct RecordWriter {
@@ -502,18 +508,26 @@ impl RecordWriter {
             .name("enoki-record".into())
             .spawn(move || {
                 let mut w = BufWriter::new(file);
-                let mut buf = Vec::with_capacity(64);
+                let mut batch = Vec::with_capacity(WRITER_BATCH);
+                let mut buf = Vec::with_capacity(64 * WRITER_BATCH);
                 let mut written = 0u64;
                 // Consecutive empty drain rounds; drives the idle backoff.
                 let mut idle_rounds = 0u32;
                 loop {
                     let mut idle = true;
-                    while let Some(rec) = ring.pop() {
+                    loop {
+                        batch.clear();
+                        let n = ring.pop_batch(&mut batch, WRITER_BATCH);
+                        if n == 0 {
+                            break;
+                        }
                         idle = false;
                         buf.clear();
-                        rec.encode(&mut buf);
+                        for rec in &batch {
+                            rec.encode(&mut buf);
+                        }
                         w.write_all(&buf)?;
-                        written += 1;
+                        written += n as u64;
                     }
                     if idle {
                         if stop2.load(Ordering::Acquire) && ring.is_empty() {

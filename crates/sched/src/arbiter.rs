@@ -61,6 +61,8 @@ struct State {
     /// Registered queues.
     hint_queue: Option<RingBuffer<HintVal>>,
     rev_queue: Option<RingBuffer<HintVal>>,
+    /// Reusable scratch for the batched hint drain in `enter_queue`.
+    hint_buf: Vec<HintVal>,
     /// Pending wakes/reclaims decided during arbitration, applied via ctx.
     reclaims_sent: u64,
     grants_made: u64,
@@ -96,6 +98,7 @@ impl Arbiter {
                 queues: (0..nr_cpus).map(|_| VecDeque::new()).collect(),
                 hint_queue: None,
                 rev_queue: None,
+                hint_buf: Vec::new(),
                 reclaims_sent: 0,
                 grants_made: 0,
             }),
@@ -358,9 +361,21 @@ impl EnokiScheduler for Arbiter {
             return;
         }
         let mut st = self.state.lock();
-        while let Some(hint) = st.hint_queue.as_ref().and_then(|q| q.pop()) {
-            Self::apply_hint(&mut st, ctx, hint);
+        let Some(q) = st.hint_queue.clone() else { return };
+        // Batched drain: one read-index publication per batch instead of
+        // one per hint; each sweep takes what was visible on entry, so a
+        // producer racing the drain cannot livelock it.
+        let mut buf = std::mem::take(&mut st.hint_buf);
+        loop {
+            buf.clear();
+            if q.drain(&mut buf) == 0 {
+                break;
+            }
+            for &hint in &buf {
+                Self::apply_hint(&mut st, ctx, hint);
+            }
         }
+        st.hint_buf = buf;
     }
 
     fn unregister_queue(&self, id: i32) -> Option<RingBuffer<HintVal>> {

@@ -40,6 +40,8 @@ struct State {
     next_core: CpuId,
     /// The registered hint queue, if any.
     hint_queue: Option<RingBuffer<HintVal>>,
+    /// Reusable scratch for the batched hint drain in `enter_queue`.
+    hint_buf: Vec<HintVal>,
 }
 
 /// The locality-aware scheduler.
@@ -71,6 +73,7 @@ impl Locality {
                 placed: vec![0; nr_cpus],
                 next_core: 0,
                 hint_queue: None,
+                hint_buf: Vec::new(),
             }),
         }
     }
@@ -237,9 +240,19 @@ impl EnokiScheduler for Locality {
             return;
         }
         let mut st = self.state.lock();
-        while let Some(hint) = st.hint_queue.as_ref().and_then(|q| q.pop()) {
-            Self::apply_hint(&mut st, hint);
+        let Some(q) = st.hint_queue.clone() else { return };
+        // Batched drain; see `Arbiter::enter_queue` for the rationale.
+        let mut buf = std::mem::take(&mut st.hint_buf);
+        loop {
+            buf.clear();
+            if q.drain(&mut buf) == 0 {
+                break;
+            }
+            for &hint in &buf {
+                Self::apply_hint(&mut st, hint);
+            }
         }
+        st.hint_buf = buf;
     }
 
     fn unregister_queue(&self, id: i32) -> Option<RingBuffer<HintVal>> {

@@ -3,6 +3,22 @@
 //! Events are ordered by virtual time with a monotonically increasing
 //! sequence number as a tie-breaker, making the simulation fully
 //! deterministic for a given input.
+//!
+//! Two implementations share that contract:
+//!
+//! - [`TimerWheel`] (the default): a hierarchical timer wheel. Near-future
+//!   events land in O(1) hashed buckets across [`LEVELS`] levels of
+//!   geometrically coarser slots; events beyond the top level's horizon
+//!   wait in an overflow heap and migrate into the wheel as time advances.
+//!   Due buckets drain through a tiny "ready" heap (one bucket's worth of
+//!   events), which restores the exact `(time, seq)` total order, so pop
+//!   order is bit-identical to the reference heap.
+//! - [`HeapEventQueue`]: the original global `BinaryHeap`. Retained as the
+//!   ordering oracle for the differential tests and as the same-run
+//!   baseline for the event-queue benchmarks.
+//!
+//! [`EventQueue`] wraps whichever implementation a [`crate::Machine`] runs
+//! on; the wheel is the default.
 
 use crate::time::Ns;
 use crate::topology::CpuId;
@@ -72,7 +88,7 @@ pub enum Event {
     },
 }
 
-#[derive(Debug)]
+#[derive(Clone, Copy, Debug)]
 struct QueuedEvent {
     at: Ns,
     seq: u64,
@@ -102,17 +118,23 @@ impl Ord for QueuedEvent {
     }
 }
 
-/// Deterministic time-ordered event queue.
+/// The original `BinaryHeap` event queue.
+///
+/// This is the ordering oracle: the differential tests run it side by side
+/// with [`TimerWheel`] on randomized workloads and assert identical pop
+/// sequences, and the framework benchmarks measure it in the same run as
+/// the wheel so the speedup is computed against the pre-wheel design on
+/// the same machine.
 #[derive(Debug, Default)]
-pub struct EventQueue {
+pub struct HeapEventQueue {
     heap: BinaryHeap<QueuedEvent>,
     next_seq: u64,
 }
 
-impl EventQueue {
+impl HeapEventQueue {
     /// Creates an empty queue.
-    pub fn new() -> EventQueue {
-        EventQueue::default()
+    pub fn new() -> HeapEventQueue {
+        HeapEventQueue::default()
     }
 
     /// Schedules `event` to fire at absolute time `at`.
@@ -128,7 +150,7 @@ impl EventQueue {
     }
 
     /// Time of the earliest pending event.
-    pub fn peek_time(&self) -> Option<Ns> {
+    pub fn peek_time(&mut self) -> Option<Ns> {
         self.heap.peek().map(|q| q.at)
     }
 
@@ -143,44 +165,472 @@ impl EventQueue {
     }
 }
 
+/// Slot width of the finest level: `2^GRAIN_BITS` ns (~1 µs).
+const GRAIN_BITS: u32 = 10;
+/// log2 of the slots per level.
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Wheel levels. Level `l` slots are `2^(GRAIN_BITS + l*SLOT_BITS)` ns
+/// wide, so four levels cover ~17 s of future before the overflow heap
+/// takes over.
+const LEVELS: usize = 4;
+
+#[inline]
+const fn level_shift(level: usize) -> u32 {
+    GRAIN_BITS + level as u32 * SLOT_BITS
+}
+
+/// One wheel level: 64 hashed buckets plus an occupancy bitmap so the
+/// earliest non-empty bucket is found with a single `trailing_zeros`.
+#[derive(Debug)]
+struct Level {
+    slots: [Vec<QueuedEvent>; SLOTS],
+    occupied: u64,
+}
+
+impl Default for Level {
+    fn default() -> Level {
+        Level {
+            slots: std::array::from_fn(|_| Vec::new()),
+            occupied: 0,
+        }
+    }
+}
+
+/// Hierarchical timer-wheel event queue.
+///
+/// Invariants (checked by the differential tests):
+///
+/// - Everything already expired into `ready` is strictly earlier than
+///   `base`; everything still in the wheel or overflow is at `base` or
+///   later. `ready` therefore always holds the global minimum when it is
+///   non-empty, and its internal heap order restores exact `(at, seq)`
+///   ordering within the (at most bucket-sized) expired set.
+/// - An event sits in the lowest level whose 64-slot window around `base`
+///   reaches its deadline (slot-index distance < 64 — comparing slot
+///   indices rather than raw deltas is what makes the partially-consumed
+///   current slot unambiguous). Beyond the top level it waits in the
+///   overflow heap, which keeps it strictly after every wheel resident.
+/// - Pushes dated before `base` (the oracle heap accepts them, so the
+///   wheel must too) go straight into `ready`, preserving the contract
+///   even for "past" events.
+#[derive(Debug, Default)]
+pub struct TimerWheel {
+    levels: [Level; LEVELS],
+    /// Events beyond the top level's horizon, earliest first.
+    overflow: BinaryHeap<QueuedEvent>,
+    /// Expired events in exact pop order (min-heap via the inverted
+    /// `QueuedEvent` ordering); holds at most one bucket's worth plus any
+    /// pushes dated before `base`.
+    ready: BinaryHeap<QueuedEvent>,
+    /// Every event earlier than this lives in `ready`.
+    base: u64,
+    len: usize,
+    next_seq: u64,
+}
+
+impl TimerWheel {
+    /// Creates an empty wheel.
+    pub fn new() -> TimerWheel {
+        TimerWheel::default()
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    pub fn push(&mut self, at: Ns, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.len += 1;
+        let qe = QueuedEvent { at, seq, event };
+        if at.0 < self.base {
+            self.ready.push(qe);
+        } else {
+            self.insert(qe);
+        }
+    }
+
+    /// Places an event (dated at or after `base`) into the wheel or the
+    /// overflow heap.
+    fn insert(&mut self, qe: QueuedEvent) {
+        let at = qe.at.0;
+        for (l, level) in self.levels.iter_mut().enumerate() {
+            let shift = level_shift(l);
+            // Slot-index distance, not raw time delta: every bucket a
+            // level can address is strictly within one rotation of the
+            // bucket `base` occupies, so hashed indices never alias.
+            if (at >> shift) - (self.base >> shift) < SLOTS as u64 {
+                let idx = ((at >> shift) & (SLOTS as u64 - 1)) as usize;
+                level.slots[idx].push(qe);
+                level.occupied |= 1 << idx;
+                return;
+            }
+        }
+        self.overflow.push(qe);
+    }
+
+    /// Earliest occupied bucket across all levels, as (bucket start time,
+    /// level). Ties prefer the coarser level, which must cascade before
+    /// the finer bucket sharing its start can safely drain.
+    fn min_bucket(&self) -> Option<(u64, usize)> {
+        let mut best: Option<(u64, usize)> = None;
+        for (l, level) in self.levels.iter().enumerate() {
+            if level.occupied == 0 {
+                continue;
+            }
+            let shift = level_shift(l);
+            let width = 1u64 << shift;
+            let pos = ((self.base >> shift) & (SLOTS as u64 - 1)) as u32;
+            // Rotate so bit d = bucket (pos + d) % SLOTS: the earliest
+            // occupied bucket is the lowest set bit.
+            let d = level.occupied.rotate_right(pos).trailing_zeros() as u64;
+            let start = (self.base & !(width - 1)) + d * width;
+            match best {
+                Some((bs, _)) if bs < start => {}
+                Some((bs, bl)) if bs == start && bl >= l => {}
+                _ => best = Some((start, l)),
+            }
+        }
+        best
+    }
+
+    /// Refills `ready` until it holds the global minimum (or everything
+    /// is drained). Advances `base` past drained buckets and cascades
+    /// coarser buckets / overflow residents downward as they come due.
+    fn refill_ready(&mut self) {
+        while self.ready.is_empty() {
+            // Pull overflow residents that now fit the top level's window.
+            let top_shift = level_shift(LEVELS - 1);
+            while let Some(top) = self.overflow.peek() {
+                if (top.at.0 >> top_shift).saturating_sub(self.base >> top_shift)
+                    < SLOTS as u64
+                {
+                    let qe = self.overflow.pop().expect("peeked overflow event");
+                    self.insert(qe);
+                } else {
+                    break;
+                }
+            }
+            let Some((start, l)) = self.min_bucket() else {
+                match self.overflow.peek() {
+                    // The wheel is empty but the far future is not: jump
+                    // straight to the next deadline and migrate.
+                    Some(top) => {
+                        self.base = top.at.0;
+                        continue;
+                    }
+                    None => return,
+                }
+            };
+            let shift = level_shift(l);
+            let idx = ((start >> shift) & (SLOTS as u64 - 1)) as usize;
+            let bucket = std::mem::take(&mut self.levels[l].slots[idx]);
+            self.levels[l].occupied &= !(1 << idx);
+            if l == 0 {
+                // The finest bucket is due in full: everything in it is
+                // earlier than any other resident, so it becomes the new
+                // ready set and `base` moves past it — but never past the
+                // overflow minimum, or a past-dated push could later slip
+                // into `ready` ahead of an overflow resident it follows.
+                let mut nb = start + (1 << shift);
+                if let Some(top) = self.overflow.peek() {
+                    nb = nb.min(top.at.0);
+                }
+                self.base = nb.max(self.base);
+                self.ready.extend(bucket);
+            } else {
+                // Cascade: with `base` at the bucket's start, every event
+                // in it is within a finer level's window.
+                self.base = self.base.max(start);
+                for qe in bucket {
+                    self.insert(qe);
+                }
+            }
+        }
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Ns, Event)> {
+        self.refill_ready();
+        let qe = self.ready.pop()?;
+        self.len -= 1;
+        Some((qe.at, qe.event))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&mut self) -> Option<Ns> {
+        self.refill_ready();
+        self.ready.peek().map(|q| q.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Deterministic time-ordered event queue.
+///
+/// Defaults to the [`TimerWheel`]; [`EventQueue::reference_heap`] selects
+/// the [`HeapEventQueue`] oracle (differential tests, bench baselines).
+#[derive(Debug)]
+pub enum EventQueue {
+    /// Hierarchical timer wheel (the production implementation). Boxed:
+    /// the wheel's slot arrays make it ~6 KiB, and the enum moves by
+    /// value through `Machine` construction.
+    Wheel(Box<TimerWheel>),
+    /// Reference `BinaryHeap` oracle.
+    Heap(HeapEventQueue),
+}
+
+impl Default for EventQueue {
+    fn default() -> EventQueue {
+        EventQueue::Wheel(Box::new(TimerWheel::new()))
+    }
+}
+
+impl EventQueue {
+    /// Creates an empty queue backed by the timer wheel.
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// Creates an empty queue backed by the reference heap oracle.
+    pub fn reference_heap() -> EventQueue {
+        EventQueue::Heap(HeapEventQueue::new())
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    #[inline]
+    pub fn push(&mut self, at: Ns, event: Event) {
+        match self {
+            EventQueue::Wheel(w) => w.push(at, event),
+            EventQueue::Heap(h) => h.push(at, event),
+        }
+    }
+
+    /// Pops the earliest event, if any.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(Ns, Event)> {
+        match self {
+            EventQueue::Wheel(w) => w.pop(),
+            EventQueue::Heap(h) => h.pop(),
+        }
+    }
+
+    /// Time of the earliest pending event.
+    #[inline]
+    pub fn peek_time(&mut self) -> Option<Ns> {
+        match self {
+            EventQueue::Wheel(w) => w.peek_time(),
+            EventQueue::Heap(h) => h.peek_time(),
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        match self {
+            EventQueue::Wheel(w) => w.len(),
+            EventQueue::Heap(h) => h.len(),
+        }
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            EventQueue::Wheel(w) => w.is_empty(),
+            EventQueue::Heap(h) => h.is_empty(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::SmallRng;
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(Ns(30), Event::Tick { cpu: 3 });
-        q.push(Ns(10), Event::Tick { cpu: 1 });
-        q.push(Ns(20), Event::Tick { cpu: 2 });
-        let order: Vec<Ns> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
-        assert_eq!(order, vec![Ns(10), Ns(20), Ns(30)]);
+        for mut q in [EventQueue::new(), EventQueue::reference_heap()] {
+            q.push(Ns(30), Event::Tick { cpu: 3 });
+            q.push(Ns(10), Event::Tick { cpu: 1 });
+            q.push(Ns(20), Event::Tick { cpu: 2 });
+            let order: Vec<Ns> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+            assert_eq!(order, vec![Ns(10), Ns(20), Ns(30)]);
+        }
     }
 
     #[test]
     fn ties_break_by_insertion_order() {
-        let mut q = EventQueue::new();
-        q.push(Ns(5), Event::Tick { cpu: 0 });
-        q.push(Ns(5), Event::Tick { cpu: 1 });
-        q.push(Ns(5), Event::Tick { cpu: 2 });
-        let cpus: Vec<usize> = std::iter::from_fn(|| {
-            q.pop().map(|(_, e)| match e {
-                Event::Tick { cpu } => cpu,
-                _ => unreachable!(),
+        for mut q in [EventQueue::new(), EventQueue::reference_heap()] {
+            q.push(Ns(5), Event::Tick { cpu: 0 });
+            q.push(Ns(5), Event::Tick { cpu: 1 });
+            q.push(Ns(5), Event::Tick { cpu: 2 });
+            let cpus: Vec<usize> = std::iter::from_fn(|| {
+                q.pop().map(|(_, e)| match e {
+                    Event::Tick { cpu } => cpu,
+                    _ => unreachable!(),
+                })
             })
-        })
-        .collect();
-        assert_eq!(cpus, vec![0, 1, 2]);
+            .collect();
+            assert_eq!(cpus, vec![0, 1, 2]);
+        }
     }
 
     #[test]
     fn peek_matches_pop() {
-        let mut q = EventQueue::new();
-        assert!(q.peek_time().is_none());
-        q.push(Ns(7), Event::External { tag: 1 });
-        assert_eq!(q.peek_time(), Some(Ns(7)));
-        assert_eq!(q.len(), 1);
-        q.pop();
+        for mut q in [EventQueue::new(), EventQueue::reference_heap()] {
+            assert!(q.peek_time().is_none());
+            q.push(Ns(7), Event::External { tag: 1 });
+            assert_eq!(q.peek_time(), Some(Ns(7)));
+            assert_eq!(q.len(), 1);
+            q.pop();
+            assert!(q.is_empty());
+        }
+    }
+
+    /// Far-future events must survive the trip through the overflow heap
+    /// and multiple full wheel rotations ("epochs") without losing their
+    /// place in the total order.
+    #[test]
+    fn far_future_events_cross_wheel_epochs() {
+        let mut q = TimerWheel::new();
+        let top_span = (SLOTS as u64) << level_shift(LEVELS - 1);
+        // Beyond the top-level horizon: starts life in the overflow heap.
+        q.push(Ns(3 * top_span + 17), Event::External { tag: 3 });
+        q.push(Ns(2 * top_span), Event::External { tag: 2 });
+        q.push(Ns(5), Event::External { tag: 1 });
+        assert_eq!(q.pop(), Some((Ns(5), Event::External { tag: 1 })));
+        // While the first far event migrates, push more near-term work.
+        q.push(Ns(2 * top_span - 9), Event::External { tag: 10 });
+        assert_eq!(
+            q.pop(),
+            Some((Ns(2 * top_span - 9), Event::External { tag: 10 }))
+        );
+        assert_eq!(q.pop(), Some((Ns(2 * top_span), Event::External { tag: 2 })));
+        assert_eq!(
+            q.pop(),
+            Some((Ns(3 * top_span + 17), Event::External { tag: 3 }))
+        );
         assert!(q.is_empty());
+    }
+
+    /// Events at the exact same tick keep insertion order even when the
+    /// tick straddles a bucket boundary (the first pop advances `base`
+    /// past the bucket, so the later pushes for the same tick arrive
+    /// "in the past" and take the ready-heap path).
+    #[test]
+    fn same_tick_fifo_across_bucket_boundaries() {
+        let grain = 1u64 << GRAIN_BITS;
+        for boundary in [grain - 1, grain, grain * SLOTS as u64, grain * 7 + 3] {
+            let mut q = TimerWheel::new();
+            q.push(Ns(boundary), Event::External { tag: 0 });
+            q.push(Ns(boundary), Event::External { tag: 1 });
+            assert_eq!(q.pop(), Some((Ns(boundary), Event::External { tag: 0 })));
+            // Same tick, pushed after a pop already advanced the wheel.
+            q.push(Ns(boundary), Event::External { tag: 2 });
+            q.push(Ns(boundary), Event::External { tag: 3 });
+            assert_eq!(q.pop(), Some((Ns(boundary), Event::External { tag: 1 })));
+            assert_eq!(q.pop(), Some((Ns(boundary), Event::External { tag: 2 })));
+            assert_eq!(q.pop(), Some((Ns(boundary), Event::External { tag: 3 })));
+            assert!(q.pop().is_none());
+        }
+    }
+
+    /// `peek_time` must agree with the following `pop` after arbitrary
+    /// interleavings of pushes (including past-dated ones) and pops.
+    #[test]
+    fn peek_pop_agreement_under_mixed_interleavings() {
+        let mut rng = SmallRng::seed_from_u64(0xDECAF);
+        let mut q = TimerWheel::new();
+        let mut last_popped = 0u64;
+        for step in 0..20_000u64 {
+            if !rng.next_u64().is_multiple_of(3) {
+                // Mostly future pushes, a few dated at/before the last
+                // pop (the heap contract allows them).
+                let at = if rng.next_u64().is_multiple_of(16) {
+                    last_popped.saturating_sub(rng.next_u64() % 50)
+                } else {
+                    last_popped + rng.next_u64() % (1 << (rng.next_u64() % 36))
+                };
+                q.push(Ns(at), Event::External { tag: step });
+            } else {
+                let peeked = q.peek_time();
+                let popped = q.pop();
+                assert_eq!(peeked, popped.map(|(t, _)| t));
+                if let Some((t, _)) = popped {
+                    last_popped = t.0;
+                }
+            }
+        }
+        // Drain: peek always matches pop, times are non-decreasing from
+        // here on, and the count matches `len`.
+        let mut remaining = q.len();
+        let mut prev = None::<Ns>;
+        while let Some(t) = q.peek_time() {
+            let (pt, _) = q.pop().expect("peeked event");
+            assert_eq!(t, pt);
+            if let Some(p) = prev {
+                assert!(pt >= p, "pop times went backwards: {pt:?} after {p:?}");
+            }
+            prev = Some(pt);
+            remaining -= 1;
+        }
+        assert_eq!(remaining, 0);
+        assert!(q.is_empty());
+    }
+
+    /// The differential oracle test: the wheel and the reference heap,
+    /// fed the identical randomized push/pop script (uniform, clustered,
+    /// and far-future times; interleaved pops), must produce identical
+    /// pop sequences — times, tie-broken order, and events.
+    #[test]
+    fn differential_wheel_matches_heap_oracle() {
+        for seed in [1u64, 0xBEEF, 0x5EED_5EED, 42_424_242] {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut wheel = TimerWheel::new();
+            let mut heap = HeapEventQueue::new();
+            let mut clock = 0u64;
+            for step in 0..50_000u64 {
+                match rng.next_u64() % 5 {
+                    0..=2 => {
+                        // Exercise every band: same-tick, bucket-local,
+                        // cross-level, and past-the-horizon deltas.
+                        let delta = match rng.next_u64() % 8 {
+                            0 => 0,
+                            1 => rng.next_u64() % (1 << GRAIN_BITS),
+                            2..=5 => rng.next_u64() % (1 << 24),
+                            6 => rng.next_u64() % (1 << 34),
+                            _ => (1 << 34) + rng.next_u64() % (1 << 36),
+                        };
+                        let at = Ns(clock + delta);
+                        let ev = Event::External { tag: step };
+                        wheel.push(at, ev);
+                        heap.push(at, ev);
+                    }
+                    3 => {
+                        assert_eq!(wheel.peek_time(), heap.peek_time());
+                    }
+                    _ => {
+                        let (w, h) = (wheel.pop(), heap.pop());
+                        assert_eq!(w, h, "divergence at step {step} (seed {seed:#x})");
+                        if let Some((t, _)) = w {
+                            clock = t.0;
+                        }
+                    }
+                }
+            }
+            loop {
+                let (w, h) = (wheel.pop(), heap.pop());
+                assert_eq!(w, h, "drain divergence (seed {seed:#x})");
+                if w.is_none() {
+                    break;
+                }
+            }
+        }
     }
 }

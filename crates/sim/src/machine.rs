@@ -217,6 +217,21 @@ impl Machine {
         }
     }
 
+    /// Swaps the event queue for the reference `BinaryHeap` oracle.
+    ///
+    /// The differential determinism tests run the same workload on a
+    /// wheel-backed and a heap-backed machine and assert identical traces.
+    /// Anything already scheduled migrates over: popping in order and
+    /// re-pushing re-assigns insertion sequence numbers in that same
+    /// order, so the (time, seq) order is preserved exactly.
+    pub fn use_reference_event_queue(&mut self) {
+        let mut heap = EventQueue::reference_heap();
+        while let Some((at, ev)) = self.events.pop() {
+            heap.push(at, ev);
+        }
+        self.events = heap;
+    }
+
     /// Arms scheduling-event tracing with a bounded ring of `capacity`
     /// events (see [`crate::trace`]).
     pub fn enable_trace(&mut self, capacity: usize) {

@@ -394,8 +394,12 @@ fn run_arachne(cfg: MemcachedConfig, enoki: bool) -> MemcachedResult {
         }
         step = 1;
         // Drain reclamation messages (Enoki): park the named activations.
+        // Batched pop: the whole backlog since the last control tick comes
+        // off the ring with one index publication.
         if let Some(rq) = &rq {
-            while let Some(msg) = rq.pop() {
+            let mut msgs = Vec::new();
+            rq.drain(&mut msgs);
+            for msg in msgs {
                 if msg.kind == REV_RECLAIM {
                     // Park the highest-numbered active activation.
                     act.with_mut(|a| {

@@ -18,6 +18,13 @@ lint:
 bench:
     cargo bench -p enoki-bench
 
+# Fast-mode hot-path benches + regression gate against the committed
+# baseline (crates/bench/baselines/BENCH_framework.json). Fails on a >2x
+# throughput regression or a wheel-vs-heap / batched-vs-seed inversion.
+bench-gate:
+    ENOKI_BENCH_FAST=1 cargo bench -p enoki-bench --bench framework
+    cargo run --release -p enoki-bench --bin bench_gate
+
 # Per-cpu timeline + Chrome trace for a scheduler run.
 schedviz sched="wfq":
     cargo run --release -p enoki-bench --bin schedviz -- {{sched}}

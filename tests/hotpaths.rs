@@ -1,0 +1,125 @@
+//! Hot-path overhaul guarantees, proven at machine level: swapping the
+//! event queue's timer wheel for the retained heap oracle must not move a
+//! single traced event. The unit-level differential test in
+//! `enoki_sim::event` already proves identical pop order on raw event
+//! streams; these tests close the loop through the whole simulator —
+//! dispatch, ticks, sleeps, IPC, migrations — by hashing the schedviz
+//! trace of complete runs.
+
+use enoki::core::metrics::export;
+use enoki::sim::behavior::{Op, ProgramBehavior};
+use enoki::sim::rng::SmallRng;
+use enoki::sim::{CostModel, Ns, TaskSpec, Topology};
+use enoki::workloads::testbed::{build, BedOptions, SchedKind, TestBed};
+
+/// FNV-1a over the rendered trace: a stable, dependency-free fingerprint.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A seed-derived scene mixing every event source the machine has:
+/// compute bursts, sleeps (timer events), pipe IPC, staggered arrivals,
+/// and pinned tasks (migration pressure stays deterministic).
+fn spawn_random_scene(bed: &mut TestBed, seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let nr_cpus = bed.machine.topology().nr_cpus();
+    let (ab, ba) = (bed.machine.create_pipe(), bed.machine.create_pipe());
+    bed.machine.spawn(TaskSpec::new(
+        "ping",
+        bed.class_idx,
+        Box::new(ProgramBehavior::repeat(
+            vec![Op::PipeWrite(ab), Op::PipeRead(ba)],
+            40,
+        )),
+    ));
+    bed.machine.spawn(TaskSpec::new(
+        "pong",
+        bed.class_idx,
+        Box::new(ProgramBehavior::repeat(
+            vec![Op::PipeRead(ab), Op::PipeWrite(ba)],
+            40,
+        )),
+    ));
+    for i in 0..24 {
+        let mut ops = Vec::new();
+        for _ in 0..(1 + rng.next_u64() % 4) {
+            match rng.next_u64() % 3 {
+                0 => ops.push(Op::Compute(Ns::from_us(20 + rng.next_u64() % 3_000))),
+                1 => ops.push(Op::Sleep(Ns::from_us(50 + rng.next_u64() % 20_000))),
+                _ => ops.push(Op::Compute(Ns(200 + rng.next_u64() % 5_000))),
+            }
+        }
+        let reps = 1 + rng.next_u64() % 6;
+        let mut spec = TaskSpec::new(
+            format!("t{i}"),
+            bed.class_idx,
+            Box::new(ProgramBehavior::repeat(ops, reps)),
+        )
+        .at(Ns::from_us(rng.next_u64() % 5_000));
+        if rng.next_u64().is_multiple_of(3) {
+            spec = spec.on_cpu((rng.next_u64() % nr_cpus as u64) as usize);
+        }
+        bed.machine.spawn(spec);
+    }
+}
+
+/// Runs the scene to completion and returns (trace hash, traced-event
+/// count, context switches): the trace hash covers per-cpu spans and
+/// migrations with timestamps, so any divergence in event ordering
+/// between queue implementations lands in it.
+fn run_scene(kind: SchedKind, seed: u64, reference_queue: bool) -> (u64, usize, u64) {
+    let mut bed = build(
+        Topology::i7_9700(),
+        CostModel::calibrated(),
+        kind,
+        BedOptions::default(),
+    );
+    if reference_queue {
+        bed.machine.use_reference_event_queue();
+    }
+    bed.machine.enable_trace(1 << 16);
+    spawn_random_scene(&mut bed, seed);
+    assert!(bed
+        .machine
+        .run_to_completion(Ns::from_secs(2))
+        .expect("no kernel panic"));
+    let tracer = bed.machine.tracer().expect("tracing armed");
+    let nr_cpus = bed.machine.topology().nr_cpus();
+    let json = export::chrome_trace_from_sim(tracer, nr_cpus, bed.machine.now());
+    export::validate_json(&json).expect("trace JSON is valid");
+    (
+        fnv1a(json.as_bytes()),
+        tracer.len(),
+        bed.machine.stats().nr_context_switches,
+    )
+}
+
+#[test]
+fn timer_wheel_and_heap_produce_identical_schedviz_traces() {
+    for kind in [SchedKind::Wfq, SchedKind::Cfs] {
+        for seed in [7u64, 0xDEAD_BEEF, 31_337] {
+            let wheel = run_scene(kind, seed, false);
+            let heap = run_scene(kind, seed, true);
+            assert_eq!(
+                wheel, heap,
+                "{kind:?} seed {seed}: (trace hash, events, ctx switches) diverged between wheel and heap"
+            );
+            assert!(wheel.1 > 0, "{kind:?} seed {seed}: empty trace proves nothing");
+        }
+    }
+}
+
+/// The trace hash is not vacuously stable: different seeds must produce
+/// different traces, or the differential assertion above is comparing
+/// constants.
+#[test]
+fn trace_hash_is_seed_sensitive() {
+    let a = run_scene(SchedKind::Wfq, 1, false);
+    let b = run_scene(SchedKind::Wfq, 2, false);
+    assert_ne!(a.0, b.0, "seeds 1 and 2 hashed identically");
+}

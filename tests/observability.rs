@@ -83,11 +83,10 @@ fn multicore_run_populates_metrics_and_exports() {
     assert!(merged.count() > 0);
     assert!(merged.count() <= after.counter_total(&name, EventKind::Picks));
 
-    // The structured sink captured one record per timed pick.
+    // The structured sink captured one record per timed pick; the
+    // batched drain empties it in capacity-sized sweeps.
     let mut records = Vec::new();
-    while let Some(r) = sink.pop() {
-        records.push(r);
-    }
+    while sink.drain(&mut records) > 0 {}
     assert!(!records.is_empty(), "trace sink stayed empty");
     assert!(records.iter().all(|r| (r.cpu as usize) < nr_cpus));
 

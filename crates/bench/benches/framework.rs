@@ -14,11 +14,11 @@
 use enoki_bench::harness::{fast_mode, BatchSize, Criterion};
 use enoki_bench::report::Report;
 use enoki_bench::{criterion_group, criterion_main};
-use enoki_core::health::{HealthConfig, Watchdog};
+use enoki_core::health::HealthConfig;
 use enoki_core::metrics;
 use enoki_core::queue::RingBuffer;
 use enoki_core::record::{CallArgs, FuncId, Rec};
-use enoki_core::EnokiClass;
+use enoki_core::{EnokiClass, MachineBuilder};
 use enoki_sched::Wfq;
 use enoki_sim::behavior::{Op, ProgramBehavior};
 use enoki_sim::event::{Event, EventQueue};
@@ -393,10 +393,15 @@ fn dispatch_pipe(c: &mut Criterion) {
 
 /// Wall-clock overhead of the observability layer on the dispatch hot
 /// path: the same simulated pipe workload with metrics recording enabled
-/// (the default), with the global kill switch thrown, and with the full
-/// health watchdog armed (token ledger + periodic monitor polls). Two
-/// gates, each <5%: metrics-on vs metrics-off, and watchdog-armed vs
-/// metrics-on (its baseline — the watchdog reads the metrics layer).
+/// (the default), with the global kill switch thrown, with the full
+/// health watchdog armed (token ledger + periodic monitor polls), and
+/// with the failsafe shadow armed on top of that (panic boundary +
+/// per-cpu shadow run queues kept warm for takeover). Three gates, each
+/// <5%: metrics-on vs metrics-off, watchdog-armed vs metrics-on (its
+/// baseline — the watchdog reads the metrics layer), and failsafe-armed
+/// vs watchdog-armed (failsafe rides on an armed bed). The relative
+/// overheads go to `results/BENCH_framework_overhead.json`, which
+/// `bench_gate` enforces against the 5% ceiling.
 fn metrics_overhead(_c: &mut Criterion) {
     let spawn_pipe = |m: &mut Machine| {
         let ab = m.create_pipe();
@@ -424,22 +429,30 @@ fn metrics_overhead(_c: &mut Criterion) {
         spawn_pipe(&mut m);
         m
     };
+    // Default cadence, exactly as the harnesses arm it: what this
+    // measures is the watchdog's tax on the dispatch path itself —
+    // token-ledger accounting on every mint/drop plus the sampler
+    // scheduling check in the event loop. Poll cost amortizes across
+    // the sampling interval and is not a per-dispatch cost.
     let armed_machine = || {
-        let mut m = Machine::new(Topology::i7_9700(), CostModel::calibrated());
-        let class = Rc::new(EnokiClass::load("wfq", 8, Box::new(Wfq::new(8))));
-        class.arm_token_ledger();
-        m.add_class(Rc::clone(&class) as Rc<dyn enoki_sim::SchedClass>);
-        // Default cadence, exactly as the harnesses arm it: what this
-        // measures is the watchdog's tax on the dispatch path itself —
-        // token-ledger accounting on every mint/drop plus the sampler
-        // scheduling check in the event loop. Poll cost amortizes across
-        // the sampling interval and is not a per-dispatch cost.
-        let cfg = HealthConfig::default();
-        let watchdog = Watchdog::new(cfg);
-        m.set_sampler(
-            cfg.sample_interval,
-            Box::new(move |mm| watchdog.poll(mm, 0, &class)),
-        );
+        let built = MachineBuilder::new(Topology::i7_9700(), CostModel::calibrated())
+            .scheduler("wfq", Box::new(Wfq::new(8)))
+            .health(HealthConfig::default())
+            .build();
+        let mut m = built.machine;
+        spawn_pipe(&mut m);
+        m
+    };
+    // Watchdog plus the failsafe shadow: every dispatch additionally
+    // maintains the per-cpu shadow run queues the built-in FIFO would
+    // take over from, and every module call crosses the panic boundary.
+    let failsafe_machine = || {
+        let built = MachineBuilder::new(Topology::i7_9700(), CostModel::calibrated())
+            .scheduler("wfq", Box::new(Wfq::new(8)))
+            .health(HealthConfig::default())
+            .failsafe()
+            .build();
+        let mut m = built.machine;
         spawn_pipe(&mut m);
         m
     };
@@ -459,27 +472,31 @@ fn metrics_overhead(_c: &mut Criterion) {
         run(&mut m);
         t0.elapsed().as_nanos() as f64
     };
-    let time_armed = || {
+    let time_build = |mk: &dyn Fn() -> Machine| {
         metrics::set_enabled(true);
-        let mut m = armed_machine();
+        let mut m = mk();
         let t0 = std::time::Instant::now();
         run(&mut m);
         t0.elapsed().as_nanos() as f64
     };
     time_one(true);
     time_one(false);
-    time_armed();
+    time_build(&armed_machine);
+    time_build(&failsafe_machine);
     let rounds = if fast_mode() { 40 } else { 500 };
-    let (mut on, mut off, mut armed) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    let (mut on, mut off) = (f64::INFINITY, f64::INFINITY);
+    let (mut armed, mut failsafe) = (f64::INFINITY, f64::INFINITY);
     for _ in 0..rounds {
         on = on.min(time_one(true));
         off = off.min(time_one(false));
-        armed = armed.min(time_armed());
+        armed = armed.min(time_build(&armed_machine));
+        failsafe = failsafe.min(time_build(&failsafe_machine));
     }
     metrics::set_enabled(true);
     println!("dispatch_metrics_on                              time: [{:.2} µs]", on / 1e3);
     println!("dispatch_metrics_off                             time: [{:.2} µs]", off / 1e3);
     println!("dispatch_watchdog_armed                          time: [{:.2} µs]", armed / 1e3);
+    println!("dispatch_failsafe_armed                          time: [{:.2} µs]", failsafe / 1e3);
     let pct = (on - off) / off * 100.0;
     println!("metrics overhead on dispatch: {pct:+.2}% (target < 5%)");
     // The watchdog reads the metrics layer, so arming it only ever
@@ -488,6 +505,36 @@ fn metrics_overhead(_c: &mut Criterion) {
     // metrics cost.
     let armed_pct = (armed - on) / on * 100.0;
     println!("watchdog-armed overhead on dispatch: {armed_pct:+.2}% vs metrics-on (target < 5%)");
+    // The failsafe, in turn, is only ever armed on a health-armed bed.
+    let failsafe_pct = (failsafe - armed) / armed * 100.0;
+    println!("failsafe-armed overhead on dispatch: {failsafe_pct:+.2}% vs watchdog-armed (target < 5%)");
+
+    // Machine-readable overheads for `bench_gate`: each row is a same-run
+    // A/B delta from interleaved minima, so the ceiling holds regardless
+    // of how slow the runner is.
+    let mut report = Report::new("framework_overhead");
+    report
+        .param("fast_mode", fast_mode())
+        .param("rounds", rounds as u64);
+    report.row(&[
+        ("bench", "dispatch_overhead".into()),
+        ("impl", "metrics_on".into()),
+        ("baseline", "metrics_off".into()),
+        ("overhead_pct", pct.into()),
+    ]);
+    report.row(&[
+        ("bench", "dispatch_overhead".into()),
+        ("impl", "watchdog_armed".into()),
+        ("baseline", "metrics_on".into()),
+        ("overhead_pct", armed_pct.into()),
+    ]);
+    report.row(&[
+        ("bench", "dispatch_overhead".into()),
+        ("impl", "failsafe_armed".into()),
+        ("baseline", "watchdog_armed".into()),
+        ("overhead_pct", failsafe_pct.into()),
+    ]);
+    report.emit();
 }
 
 fn live_upgrade(c: &mut Criterion) {

@@ -15,6 +15,14 @@
 //! stay well ahead of the seed ring. If either inversion appears, the
 //! overhaul has regressed no matter what the absolute numbers say.
 //!
+//! When the same bench run also wrote `BENCH_framework_overhead.json`
+//! (the dispatch-path overhead A/B deltas: metrics-on, watchdog-armed,
+//! failsafe-armed), each overhead row is gated against a 15% ceiling —
+//! again same-run relative numbers, so runner speed cancels out. The
+//! design target is <5% (the bench prints it); the gate's ceiling sits
+//! above the fast-mode noise floor (single-run deltas swing several
+//! percent either way) so CI only fails on real regressions.
+//!
 //! Usage: `bench_gate [current.json] [baseline.json]`
 //! (defaults: `crates/bench/results/BENCH_framework.json`, falling back to
 //! `results/BENCH_framework.json`, vs `crates/bench/baselines/BENCH_framework.json`)
@@ -28,6 +36,12 @@ const REGRESSION_FACTOR: f64 = 2.0;
 const WHEEL_FLOOR: f64 = 1.2;
 /// The batched ring path must beat the seed ring by at least this much.
 const BATCHED_RING_FLOOR: f64 = 1.5;
+/// Dispatch-path overhead rows (metrics-on, watchdog-armed,
+/// failsafe-armed — each vs its own baseline, measured in the same run
+/// as interleaved minima) must stay under this ceiling. The design
+/// target is <5%; the gate ceiling adds headroom for fast-mode
+/// measurement noise so CI only trips on real regressions.
+const OVERHEAD_CEILING_PCT: f64 = 15.0;
 
 // ----------------------------------------------------------------------
 // Minimal JSON reader (the workspace builds offline; no serde)
@@ -337,6 +351,61 @@ fn load(path: &str) -> Result<BTreeMap<RowKey, Row>, String> {
     Ok(out)
 }
 
+/// One dispatch-overhead row: `impl` measured against `baseline`, as a
+/// same-run relative delta in percent.
+struct OverheadRow {
+    impl_name: String,
+    baseline: String,
+    overhead_pct: f64,
+}
+
+/// Parses and schema-checks the overhead report: every row must carry a
+/// string `impl`, a string `baseline`, and a finite `overhead_pct`.
+fn load_overheads(path: &str) -> Result<Vec<OverheadRow>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = Parser::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let harness = doc
+        .get("harness")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{path}: missing \"harness\""))?;
+    if harness != "framework_overhead" {
+        return Err(format!(
+            "{path}: harness is {harness:?}, not \"framework_overhead\""
+        ));
+    }
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: missing \"rows\" array"))?;
+    let mut out = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        let impl_name = row
+            .get("impl")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: row {i} has no \"impl\""))?;
+        let baseline = row
+            .get("baseline")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: row {i} has no \"baseline\""))?;
+        let pct = row
+            .get("overhead_pct")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("{path}: row {i} has no numeric \"overhead_pct\""))?;
+        if !pct.is_finite() {
+            return Err(format!("{path}: row {i} overhead_pct is not finite"));
+        }
+        out.push(OverheadRow {
+            impl_name: impl_name.to_string(),
+            baseline: baseline.to_string(),
+            overhead_pct: pct,
+        });
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no overhead rows"));
+    }
+    Ok(out)
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let current_path = args
@@ -412,8 +481,36 @@ fn run() -> Result<(), String> {
         None => failures.push("missing batched spsc_ring_burst row with speedup_vs_ref".to_string()),
     }
 
+    // Dispatch-path overhead ceiling: gated whenever the bench run wrote
+    // the overhead report next to the throughput report (CI always does;
+    // a standalone gate run against an older results file skips it).
+    let overhead_path = std::path::Path::new(&current_path)
+        .with_file_name("BENCH_framework_overhead.json");
+    let mut gated = current.len();
+    if overhead_path.exists() {
+        let rows = load_overheads(&overhead_path.to_string_lossy())?;
+        gated += rows.len();
+        for r in rows {
+            println!(
+                "  dispatch_overhead/{:<28} {:>+11.2}% vs {} (ceiling {OVERHEAD_CEILING_PCT}%)",
+                r.impl_name, r.overhead_pct, r.baseline
+            );
+            if r.overhead_pct > OVERHEAD_CEILING_PCT {
+                failures.push(format!(
+                    "dispatch overhead {} is {:+.2}% vs {} (ceiling {OVERHEAD_CEILING_PCT}%)",
+                    r.impl_name, r.overhead_pct, r.baseline
+                ));
+            }
+        }
+    } else {
+        println!(
+            "  (no {} — overhead ceiling not gated)",
+            overhead_path.display()
+        );
+    }
+
     if failures.is_empty() {
-        println!("bench gate: OK ({} rows gated)", current.len());
+        println!("bench gate: OK ({gated} rows gated)");
         Ok(())
     } else {
         Err(failures.join("\n"))

@@ -36,24 +36,25 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "schedviz_trace.json".to_string());
 
+    // Health is armed at build time so the token ledger sees every
+    // Schedulable from birth.
     let mut bed = build(
         Topology::i7_9700(),
         CostModel::calibrated(),
         kind,
-        BedOptions::default(),
+        BedOptions {
+            health: health.then(HealthConfig::default),
+            ..BedOptions::default()
+        },
     );
     bed.machine.enable_trace(1 << 16);
-    // Health must be armed before the first task spawns so the token
-    // ledger sees every Schedulable from birth.
-    let watchdog = if health {
-        let wd = bed.arm_health(HealthConfig::default());
-        if wd.is_none() {
-            eprintln!("--health: {} is not an Enoki class, watchdog unavailable", kind.label());
-        }
-        wd
-    } else {
-        None
-    };
+    let watchdog = bed.watchdog.clone();
+    if health && watchdog.is_none() {
+        eprintln!(
+            "--health: {} is not an Enoki class, watchdog unavailable",
+            kind.label()
+        );
+    }
     // Arm the structured sink on the dispatch layer's metrics handle too,
     // so per-pick latency records ride along with the sim trace.
     let sink = bed.enoki.as_ref().map(|c| c.metrics().arm_trace(1 << 14));

@@ -14,17 +14,18 @@ use enoki_workloads::testbed::{build, BedOptions, SchedKind};
 
 fn measure(topo: Topology, workers: usize, runs: usize) -> (f64, bool, u64) {
     let nr = topo.nr_cpus();
+    // Arm the blackout-SLO watchdog: an upgrade that quiesces longer than
+    // the budget shows up as a health incident, not just a bad average.
     let mut bed = build(
         topo,
         CostModel::calibrated(),
         SchedKind::Wfq,
-        BedOptions::default(),
+        BedOptions {
+            health: Some(HealthConfig::default()),
+            ..BedOptions::default()
+        },
     );
-    // Arm the blackout-SLO watchdog: an upgrade that quiesces longer than
-    // the budget shows up as a health incident, not just a bad average.
-    let watchdog = bed
-        .arm_health(HealthConfig::default())
-        .expect("wfq is an Enoki scheduler");
+    let watchdog = bed.watchdog.clone().expect("wfq is an Enoki scheduler");
     // Start schbench so the upgrade happens under live scheduling load.
     let mut cfg = SchbenchConfig::table4(2, workers);
     cfg.warmup = Ns::from_ms(50);

@@ -7,7 +7,7 @@
 
 use crate::metrics::SchedulerMetrics;
 use crate::queue::RingBuffer;
-use crate::schedulable::{PickError, Schedulable};
+use crate::schedulable::{SchedError, Schedulable};
 use enoki_sim::sched_class::KernelCtx;
 use enoki_sim::{CpuId, Ns, Pid, TaskView, Topology, WakeFlags};
 use std::any::Any;
@@ -179,8 +179,9 @@ pub trait EnokiScheduler: Send + Sync {
     ) -> Option<Schedulable>;
 
     /// The token returned from `pick_next_task` failed validation; its
-    /// ownership comes back to the scheduler (paper §3.1).
-    fn pnt_err(&self, ctx: &SchedCtx<'_>, cpu: CpuId, err: PickError, sched: Option<Schedulable>);
+    /// ownership comes back to the scheduler (paper §3.1). `err` says what
+    /// failed (see [`SchedError`]).
+    fn pnt_err(&self, ctx: &SchedCtx<'_>, cpu: CpuId, err: SchedError, sched: Option<Schedulable>);
 
     // --- Live upgrade (paper §3.2) ---
 

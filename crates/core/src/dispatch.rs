@@ -14,16 +14,29 @@
 //!   (§3.3) and emits record-log events in record mode (§3.4).
 //! - It charges the per-invocation framework overhead the paper measures
 //!   (100–150 ns per call, §5.2).
+//! - It is a panic boundary: every module callback runs inside
+//!   `catch_unwind`. With the failsafe armed, a caught panic or a
+//!   token-audit violation **quarantines** the module — dispatch fails
+//!   over to a built-in per-cpu FIFO built from its kernel-side shadow of
+//!   the runnable set, records a typed incident through [`crate::health`],
+//!   and hands the preserved task set to a replacement scheduler on the
+//!   next [`EnokiClass::upgrade`]. Unarmed, the panic is re-raised after
+//!   being recorded, preserving fail-fast behaviour for plain test runs.
 
 use crate::api::{EnokiScheduler, SchedCtx};
+use crate::faults::{FaultKind, FaultPlan, FaultState, FaultTarget};
+use crate::health::{HealthEvent, Severity, Watchdog};
 use crate::metrics::{self, EventKind, SchedulerMetrics, StagedCounters, TraceRecord};
 use crate::queue::RingBuffer;
-use crate::record::{self, CallArgs, FuncId, Rec};
-use crate::schedulable::{PickError, Schedulable, TokenLedger};
+use crate::record::{self, CallArgs, FaultTag, FuncId, Rec};
+use crate::schedulable::{SchedError, Schedulable, TokenLedger};
 use enoki_sim::behavior::HintVal;
 use enoki_sim::sched_class::{KernelCtx, SchedClass};
-use enoki_sim::{CpuId, Ns, Pid, TaskView, WakeFlags};
-use std::cell::RefCell;
+use enoki_sim::{CpuId, Ns, Pid, TaskView, Topology, WakeFlags};
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -48,6 +61,14 @@ pub struct DispatchStats {
     pub hints_dropped: u64,
     /// Live upgrades performed.
     pub upgrades: u64,
+    /// Module panics caught at the dispatch boundary.
+    pub panics_caught: u64,
+    /// Times the module was quarantined (failsafe took over).
+    pub quarantines: u64,
+    /// Picks served by the failsafe FIFO while quarantined.
+    pub failsafe_picks: u64,
+    /// Faults detonated from an armed [`FaultPlan`].
+    pub injected_faults: u64,
 }
 
 /// Report from a live upgrade.
@@ -58,6 +79,10 @@ pub struct UpgradeReport {
     pub blackout: Duration,
     /// Whether the old module exported transfer state.
     pub transferred: bool,
+    /// Whether this upgrade recovered a quarantined class: the replacement
+    /// was initialized from the failsafe's preserved task set instead of
+    /// the (untrusted) old module's `reregister_prepare`.
+    pub recovered: bool,
 }
 
 /// Pick-latency timing is sampled: one pick in `PICK_SAMPLE_MASK + 1`
@@ -93,6 +118,142 @@ pub struct EnokiClass<U: Copy + Send + 'static, R: Copy + Send + 'static> {
     /// (typically from a health watchdog). `&'static` because tokens hold
     /// a borrow of it for their whole lifetime — see [`TokenLedger`].
     ledger: std::sync::OnceLock<&'static TokenLedger>,
+    /// Failsafe machinery: the kernel-side shadow of the runnable set that
+    /// the built-in FIFO schedules from while the module is quarantined.
+    /// `None` until [`EnokiClass::arm_failsafe`]; the hot path gates on
+    /// `fs_armed` so unarmed dispatch pays one `Cell` read.
+    failsafe: RefCell<Option<FailsafeState>>,
+    fs_armed: Cell<bool>,
+    /// Armed fault plan runtime, if any (see [`crate::faults`]).
+    faults: RefCell<Option<FaultState>>,
+    faults_armed: Cell<bool>,
+    /// Set while the module is quarantined: no calls reach it, the
+    /// failsafe FIFO owns dispatch, and record emission is suspended
+    /// (replay ends the epoch at the quarantine marker).
+    quarantined: Cell<bool>,
+    /// Where typed incidents (panics, quarantines, recoveries) land; wired
+    /// by [`EnokiClass::set_incident_sink`] (the builder does this when
+    /// health is armed).
+    incident_sink: RefCell<Option<Arc<Watchdog>>>,
+}
+
+/// Kernel-side shadow state backing the failsafe FIFO policy.
+///
+/// Maintained *before* each module call whenever the failsafe is armed, so
+/// that a panic mid-callback leaves the shadow already consistent with the
+/// kernel's view of the runnable set. Queued tasks' affinity cannot change
+/// (the kernel only retargets running tasks), so a shadow entry pushed at
+/// `t.cpu` stays valid for that cpu until the task runs, blocks, migrates,
+/// or dies.
+struct FailsafeState {
+    /// Per-cpu FIFO of `(pid, seq)` entries. An entry is live iff it
+    /// matches `on[pid]` exactly; anything else is a stale leftover from a
+    /// re-enqueue, migration, or pick, dropped lazily on pop and by the
+    /// amortized compaction in [`FailsafeState::enqueue`]. The laziness
+    /// keeps shadow maintenance O(1) per dispatch event — this runs on
+    /// every wakeup/preempt/block of a healthy armed run, so it is the
+    /// failsafe's entire steady-state overhead.
+    queues: Vec<VecDeque<(Pid, u64)>>,
+    /// Per-pid shadow bookkeeping, indexed by pid — sim pids are small
+    /// dense ids, so a flat vector beats hashing on this per-event path.
+    slots: Vec<ShadowSlot>,
+    /// Live (non-stale) entry count per cpu, for least-loaded selection.
+    live: Vec<usize>,
+    /// Monotonic enqueue counter distinguishing re-enqueues of one pid.
+    seq: u64,
+    /// Virtual time of the most recent dispatch call — the clock used for
+    /// the synthesized kernel context during recovery.
+    last_now: Ns,
+    /// Topology stashed from kernel context (recovery needs an owned one).
+    topo: Option<Rc<Topology>>,
+    /// Recorded lock the `PanicInLock` fault detonates under, proving the
+    /// unwind path releases shim locks in the lock-order log.
+    rig: crate::sync::Mutex<()>,
+}
+
+/// One pid's entry in the failsafe shadow.
+#[derive(Clone, Default)]
+struct ShadowSlot {
+    /// Where the pid's one live queue entry sits (`(cpu, seq)`); `None` =
+    /// not queued (running, blocked, or gone).
+    on: Option<(CpuId, u64)>,
+    /// Last-seen task view, for re-feeding a replacement scheduler
+    /// through `task_new` during recovery.
+    view: Option<TaskView>,
+}
+
+impl FailsafeState {
+    fn new(nr_cpus: usize) -> FailsafeState {
+        FailsafeState {
+            queues: (0..nr_cpus).map(|_| VecDeque::new()).collect(),
+            slots: Vec::new(),
+            live: vec![0; nr_cpus],
+            seq: 0,
+            last_now: Ns::ZERO,
+            topo: None,
+            rig: crate::sync::Mutex::new(()),
+        }
+    }
+
+    /// Moves `pid` to the tail of `cpu`'s shadow queue, refreshing its
+    /// stored view if one is given. Any previous entry for the pid goes
+    /// stale in place.
+    fn enqueue(&mut self, pid: Pid, cpu: CpuId, view: Option<TaskView>) {
+        self.seq += 1;
+        let seq = self.seq;
+        if self.slots.len() <= pid {
+            self.slots.resize(pid + 1, ShadowSlot::default());
+        }
+        let slot = &mut self.slots[pid];
+        if let Some((old, _)) = slot.on.replace((cpu, seq)) {
+            self.live[old] -= 1;
+        }
+        if view.is_some() {
+            slot.view = view;
+        }
+        self.live[cpu] += 1;
+        self.queues[cpu].push_back((pid, seq));
+        // A healthy armed run never pops, so stale entries would pile up
+        // without this: compact once they outnumber live ones.
+        if self.queues[cpu].len() > self.live[cpu] * 2 + 16 {
+            let slots = &self.slots;
+            self.queues[cpu]
+                .retain(|&(p, s)| slots.get(p).and_then(|sl| sl.on) == Some((cpu, s)));
+        }
+    }
+
+    /// Logically removes `pid` from the shadow (its queue entry, if any,
+    /// goes stale).
+    fn dequeue(&mut self, pid: Pid) {
+        if let Some((cpu, _)) = self.slots.get_mut(pid).and_then(|sl| sl.on.take()) {
+            self.live[cpu] -= 1;
+        }
+    }
+
+    /// Pops the oldest live pid queued on `cpu`, discarding stale entries.
+    fn pop(&mut self, cpu: CpuId) -> Option<Pid> {
+        while let Some((pid, seq)) = self.queues[cpu].pop_front() {
+            if self.slots.get(pid).and_then(|sl| sl.on) == Some((cpu, seq)) {
+                self.slots[pid].on = None;
+                self.live[cpu] -= 1;
+                return Some(pid);
+            }
+        }
+        None
+    }
+
+    /// Live contents of `cpu`'s queue in FIFO order (recovery refeed).
+    fn live_fifo(&self, cpu: CpuId) -> impl Iterator<Item = Pid> + '_ {
+        self.queues[cpu]
+            .iter()
+            .filter(move |&&(pid, seq)| self.slots.get(pid).and_then(|sl| sl.on) == Some((cpu, seq)))
+            .map(|&(pid, _)| pid)
+    }
+
+    /// The pid's last-seen view, if it is still shadowed.
+    fn view(&self, pid: Pid) -> Option<&TaskView> {
+        self.slots.get(pid).and_then(|sl| sl.view.as_ref())
+    }
 }
 
 impl<U, R> EnokiClass<U, R>
@@ -142,7 +303,64 @@ where
             metrics,
             staged: StagedCounters::new(nr_cpus),
             ledger: std::sync::OnceLock::new(),
+            failsafe: RefCell::new(None),
+            fs_armed: Cell::new(false),
+            faults: RefCell::new(None),
+            faults_armed: Cell::new(false),
+            quarantined: Cell::new(false),
+            incident_sink: RefCell::new(None),
         }
+    }
+
+    /// Arms the failsafe policy: dispatch starts shadowing the runnable
+    /// set, and a caught panic or token-audit violation quarantines the
+    /// module instead of propagating. Idempotent.
+    pub fn arm_failsafe(&self) {
+        let nr_cpus = self.tokens.borrow().len();
+        let mut fs = self.failsafe.borrow_mut();
+        if fs.is_none() {
+            *fs = Some(FailsafeState::new(nr_cpus));
+            self.fs_armed.set(true);
+        }
+    }
+
+    /// Arms a deterministic fault plan (and, implicitly, the failsafe —
+    /// injected misbehaviour is only survivable with a fallback policy).
+    pub fn arm_faults(&self, plan: FaultPlan) {
+        self.arm_failsafe();
+        *self.faults.borrow_mut() = Some(FaultState::new(plan));
+        self.faults_armed.set(true);
+    }
+
+    /// Routes typed dispatch incidents (caught panics, quarantines,
+    /// recoveries) into a health watchdog's incident log.
+    pub fn set_incident_sink(&self, sink: &Arc<Watchdog>) {
+        *self.incident_sink.borrow_mut() = Some(sink.clone());
+    }
+
+    /// True while the module is quarantined and the failsafe FIFO owns
+    /// dispatch. Cleared by a recovering [`EnokiClass::upgrade`].
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined.get()
+    }
+
+    /// Injected faults that never detonated (the run ended first).
+    pub fn pending_faults(&self) -> usize {
+        self.faults.borrow().as_ref().map_or(0, |f| f.pending())
+    }
+
+    /// Quarantines the module for `error` (no-op unless the failsafe is
+    /// armed, or when already quarantined). Exposed so the health watchdog
+    /// can react to audit findings (e.g. token-conservation violations)
+    /// that are only visible from its monitors.
+    pub fn quarantine_now(&self, at: Ns, error: SchedError) {
+        if !self.fs_armed.get() || self.quarantined.get() {
+            return;
+        }
+        self.quarantined.set(true);
+        self.stats.borrow_mut().quarantines += 1;
+        self.record_fault(at, FaultTag::Quarantined, 0, 0);
+        self.incident(at, Severity::Critical, HealthEvent::Quarantined { error });
     }
 
     /// Arms (or fetches) the token-conservation ledger: from this point on,
@@ -224,6 +442,14 @@ where
     /// runs `reregister_prepare` on the old version, `reregister_init` on
     /// the new one with the transferred state, swaps the module pointer,
     /// and releases the lock. Returns the measured wall-clock blackout.
+    ///
+    /// When the class is **quarantined**, this is the recovery path: the
+    /// old module is not trusted to export state, so `reregister_init`
+    /// runs with `None` and the replacement is instead re-fed the failsafe
+    /// FIFO's preserved task set through `task_new` (fresh tokens, shadow
+    /// order) before calls resume. A [`FaultTag::Recovered`] marker is
+    /// written to the record log first, so replay treats everything after
+    /// it as a fresh epoch for the new module.
     pub fn upgrade(
         &self,
         mut new: Box<dyn EnokiScheduler<UserMsg = U, RevMsg = R>>,
@@ -231,20 +457,60 @@ where
         new.attach_metrics(&self.metrics);
         let start = Instant::now();
         let mut slot = self.module.write().unwrap_or_else(std::sync::PoisonError::into_inner); // quiesce: blocks new calls
-        let state = slot.reregister_prepare();
+        let recovered = self.quarantined.get();
+        let state = if recovered {
+            None
+        } else {
+            slot.reregister_prepare()
+        };
         let transferred = state.is_some();
         new.reregister_init(state);
         *slot = new;
+        if recovered {
+            self.refeed_shadow(&mut slot);
+            self.quarantined.set(false);
+        }
         drop(slot); // calls proceed, now routed to the new version
         let blackout = start.elapsed();
         self.stats.borrow_mut().upgrades += 1;
         self.metrics.count(EventKind::Upgrades, 0);
         self.metrics
             .observe_duration(EventKind::UpgradeBlackout, 0, blackout);
+        if recovered {
+            let at = self.failsafe.borrow().as_ref().map_or(Ns::ZERO, |fs| fs.last_now);
+            self.incident(at, Severity::Info, HealthEvent::SchedulerRecovered);
+        }
         UpgradeReport {
             blackout,
             transferred,
+            recovered,
         }
+    }
+
+    /// Replays the failsafe shadow into a freshly initialized replacement
+    /// module: one `task_new` per queued task, per cpu, in FIFO order,
+    /// with fresh tokens and a synthesized kernel context pinned at the
+    /// last dispatched virtual time. Deferred commands the replacement
+    /// queues during re-feed are dropped (there is no event loop under
+    /// us); the next real dispatch gives it a live context.
+    fn refeed_shadow(&self, slot: &mut Box<dyn EnokiScheduler<UserMsg = U, RevMsg = R>>) {
+        let fs = self.failsafe.borrow();
+        let Some(fs) = fs.as_ref() else { return };
+        let topo = fs
+            .topo
+            .clone()
+            .unwrap_or_else(|| Rc::new(Topology::new(fs.queues.len().max(1), 1)));
+        let k = KernelCtx::new(fs.last_now, topo);
+        self.record_fault(fs.last_now, FaultTag::Recovered, 0, 0);
+        for cpu in 0..fs.queues.len() {
+            for pid in fs.live_fifo(cpu) {
+                let Some(view) = fs.view(pid) else { continue };
+                self.rec_call(&k, FuncId::TaskNew, view, -1, WakeFlags::default());
+                let tok = self.mint(pid, view.cpu);
+                slot.task_new(&SchedCtx::new(&k), view, tok);
+            }
+        }
+        let _ = k.take_commands();
     }
 
     /// Creates and registers a user→kernel hint queue of the given
@@ -338,6 +604,176 @@ where
             });
         }
     }
+
+    fn record_fault(&self, at: Ns, kind: FaultTag, func: u8, arg: i64) {
+        if record::recording() {
+            record::emit(Rec::Fault {
+                tid: record::current_tid(),
+                at: at.as_nanos(),
+                kind,
+                func,
+                arg,
+            });
+        }
+    }
+
+    fn incident(&self, at: Ns, severity: Severity, event: HealthEvent) {
+        if let Some(sink) = self.incident_sink.borrow().as_ref() {
+            sink.record(at, severity, event);
+        }
+    }
+
+    fn nr_cpus(&self) -> usize {
+        self.tokens.borrow().len()
+    }
+
+    // --- Failsafe shadow maintenance (armed paths only) ---
+
+    /// Stashes the clock/topology a recovery will need. Called on every
+    /// dispatch entry while the failsafe is armed.
+    fn fs_note(&self, k: &KernelCtx) {
+        if let Some(fs) = self.failsafe.borrow_mut().as_mut() {
+            fs.last_now = k.now();
+            if fs.topo.is_none() {
+                fs.topo = Some(Rc::new(k.topology().clone()));
+            }
+        }
+    }
+
+    /// The task became runnable-not-running on `t.cpu` (new, wakeup,
+    /// yield, preempt): move it to the tail of that cpu's shadow queue.
+    fn fs_task_runnable(&self, t: &TaskView) {
+        if let Some(fs) = self.failsafe.borrow_mut().as_mut() {
+            fs.enqueue(t.pid, t.cpu, Some(*t));
+        }
+    }
+
+    /// The task left the runnable set (blocked, dead, departed).
+    fn fs_task_gone(&self, pid: Pid) {
+        if let Some(fs) = self.failsafe.borrow_mut().as_mut() {
+            fs.dequeue(pid);
+            if let Some(sl) = fs.slots.get_mut(pid) {
+                sl.view = None;
+            }
+        }
+    }
+
+    /// The kernel is migrating a queued task to `to`.
+    fn fs_migrate(&self, t: &TaskView, to: CpuId) {
+        if let Some(fs) = self.failsafe.borrow_mut().as_mut() {
+            let mut view = *t;
+            view.cpu = to;
+            fs.enqueue(t.pid, to, Some(view));
+        }
+    }
+
+    /// Refreshes the stored view (affinity / priority changes).
+    fn fs_update_view(&self, t: &TaskView) {
+        if let Some(fs) = self.failsafe.borrow_mut().as_mut() {
+            if let Some(sl) = fs.slots.get_mut(t.pid) {
+                if sl.view.is_some() {
+                    sl.view = Some(*t);
+                }
+            }
+        }
+    }
+
+    /// A valid pick put `pid` on cpu: it is running now, off the shadow.
+    fn fs_pick_confirm(&self, cpu: CpuId, pid: Pid) {
+        if let Some(fs) = self.failsafe.borrow_mut().as_mut() {
+            if matches!(fs.slots.get(pid).and_then(|sl| sl.on), Some((c, _)) if c == cpu) {
+                fs.dequeue(pid);
+            }
+        }
+    }
+
+    // --- Quarantined dispatch: the built-in failsafe FIFO ---
+
+    /// Serves a pick from the shadow queue, minting the token the kernel
+    /// expects for the chosen task.
+    fn failsafe_pick(&self, cpu: CpuId) -> Option<Pid> {
+        let pid = self.failsafe.borrow_mut().as_mut()?.pop(cpu)?;
+        self.stats.borrow_mut().failsafe_picks += 1;
+        let tok = self.mint(pid, cpu);
+        self.tokens.borrow_mut()[cpu] = Some(tok);
+        Some(pid)
+    }
+
+    /// Least-loaded shadow queue within the task's affinity.
+    fn failsafe_select(&self, t: &TaskView) -> CpuId {
+        let fs = self.failsafe.borrow();
+        let Some(fs) = fs.as_ref() else { return t.cpu };
+        (0..fs.queues.len())
+            .filter(|&c| t.affinity.contains(c))
+            .min_by_key(|&c| fs.live[c])
+            .unwrap_or(t.cpu)
+    }
+
+    // --- Fault plan + panic boundary ---
+
+    /// Pops the fault due at this dispatch point, if a plan is armed.
+    fn due_fault(&self, k: &KernelCtx, target: FaultTarget) -> Option<FaultKind> {
+        if !self.faults_armed.get() {
+            return None;
+        }
+        self.faults.borrow_mut().as_mut()?.take_due(k.now(), target)
+    }
+
+    /// Detonates an injected panic fault. Must run inside the same
+    /// `catch_unwind` scope as the module call it displaces, so injected
+    /// and organic panics share one unwind path.
+    fn detonate(&self, k: &KernelCtx, kind: FaultKind, func: FuncId) {
+        self.stats.borrow_mut().injected_faults += 1;
+        match kind {
+            FaultKind::Panic { .. } => {
+                self.record_fault(k.now(), FaultTag::InjectedPanic, func as u8, 0);
+                panic!("enoki fault injection: panic in {}", func.name());
+            }
+            FaultKind::PanicInLock { .. } => {
+                self.record_fault(k.now(), FaultTag::InjectedPanicInLock, func as u8, 0);
+                let fs = self.failsafe.borrow();
+                let rig = &fs.as_ref().expect("fault plans arm the failsafe").rig;
+                // The guard is alive when the panic unwinds: its Drop must
+                // still release the lock in the lock-order log.
+                let _held = rig.lock();
+                panic!(
+                    "enoki fault injection: panic in {} while holding a recorded lock",
+                    func.name()
+                );
+            }
+            other => unreachable!("fault {other:?} is handled at its dispatch site"),
+        }
+    }
+
+    /// The module panicked inside `func`. Record it, surface a typed
+    /// incident, and either quarantine (failsafe armed) or re-raise.
+    fn after_panic(&self, k: &KernelCtx, func: FuncId, payload: Box<dyn std::any::Any + Send>) {
+        self.stats.borrow_mut().panics_caught += 1;
+        self.record_fault(k.now(), FaultTag::CaughtPanic, func as u8, 0);
+        let error = SchedError::Panic { func };
+        self.incident(k.now(), Severity::Critical, HealthEvent::SchedFault { error });
+        if self.fs_armed.get() {
+            self.quarantine_now(k.now(), error);
+        } else {
+            // Unarmed: the boundary still records what happened, but the
+            // panic is the caller's problem (fail-fast test semantics).
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// Runs a unit-returning module callback inside the panic boundary,
+    /// detonating `due` (if any) in the same scope.
+    fn run_guarded(&self, k: &KernelCtx, func: FuncId, due: Option<FaultKind>, f: impl FnOnce()) {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(kind) = due {
+                self.detonate(k, kind, func);
+            }
+            f();
+        }));
+        if let Err(payload) = r {
+            self.after_panic(k, func, payload);
+        }
+    }
 }
 
 impl<U, R> SchedClass for EnokiClass<U, R>
@@ -360,63 +796,162 @@ where
     fn select_task_rq(&self, k: &KernelCtx, t: &TaskView, prev: CpuId, flags: WakeFlags) -> CpuId {
         self.bump(t.cpu);
         record::set_tid(t.cpu as u32);
+        if self.fs_armed.get() {
+            self.fs_note(k);
+            if self.quarantined.get() {
+                return self.failsafe_select(t);
+            }
+        }
         self.rec_call(k, FuncId::SelectTaskRq, t, prev as i32, flags);
-        let module = self.module();
-        let cpu = module.select_task_rq(&SchedCtx::new(k), t, prev, flags);
-        self.rec_ret(FuncId::SelectTaskRq, cpu as i64);
-        cpu
+        let due = self.due_fault(k, FaultTarget::Func(FuncId::SelectTaskRq));
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(kind) = due {
+                self.detonate(k, kind, FuncId::SelectTaskRq);
+            }
+            self.module().select_task_rq(&SchedCtx::new(k), t, prev, flags)
+        }));
+        match r {
+            Ok(cpu) => {
+                self.rec_ret(FuncId::SelectTaskRq, cpu as i64);
+                cpu
+            }
+            Err(payload) => {
+                self.after_panic(k, FuncId::SelectTaskRq, payload);
+                // Only reachable when armed (now quarantined): answer from
+                // the failsafe so the wakeup proceeds this tick.
+                self.failsafe_select(t)
+            }
+        }
     }
 
     fn task_new(&self, k: &KernelCtx, t: &TaskView) {
         self.bump(t.cpu);
+        if self.fs_armed.get() {
+            self.fs_note(k);
+            self.fs_task_runnable(t);
+            if self.quarantined.get() {
+                return;
+            }
+        }
         self.rec_call(k, FuncId::TaskNew, t, -1, WakeFlags::default());
+        let due = self.due_fault(k, FaultTarget::Func(FuncId::TaskNew));
         let sched = self.mint(t.pid, t.cpu);
-        self.module().task_new(&SchedCtx::new(k), t, sched);
+        self.run_guarded(k, FuncId::TaskNew, due, || {
+            self.module().task_new(&SchedCtx::new(k), t, sched);
+        });
     }
 
     fn task_wakeup(&self, k: &KernelCtx, t: &TaskView, flags: WakeFlags) {
         self.bump(t.cpu);
+        if self.fs_armed.get() {
+            self.fs_note(k);
+            self.fs_task_runnable(t);
+            if self.quarantined.get() {
+                return;
+            }
+        }
         self.rec_call(k, FuncId::TaskWakeup, t, -1, flags);
+        let due = self.due_fault(k, FaultTarget::Func(FuncId::TaskWakeup));
+        if matches!(due, Some(FaultKind::DropToken)) {
+            // The misbehaviour a buggy module exhibits when it leaks a
+            // token: the mint happens, the token dies, the module never
+            // learns the task is runnable. The watchdog's conservation
+            // audit sees live < expected.
+            self.stats.borrow_mut().injected_faults += 1;
+            self.record_fault(
+                k.now(),
+                FaultTag::DroppedToken,
+                FuncId::TaskWakeup as u8,
+                t.pid as i64,
+            );
+            drop(self.mint(t.pid, t.cpu));
+            return;
+        }
         let sched = self.mint(t.pid, t.cpu);
-        self
-            .module()
-            .task_wakeup(&SchedCtx::new(k), t, flags, sched);
+        self.run_guarded(k, FuncId::TaskWakeup, due, || {
+            self.module().task_wakeup(&SchedCtx::new(k), t, flags, sched);
+        });
     }
 
     fn task_blocked(&self, k: &KernelCtx, t: &TaskView) {
         self.bump(t.cpu);
         record::set_tid(t.cpu as u32);
+        if self.fs_armed.get() {
+            self.fs_note(k);
+            self.fs_task_gone(t.pid);
+            if self.quarantined.get() {
+                self.tokens.borrow_mut()[t.cpu] = None;
+                return;
+            }
+        }
         self.rec_call(k, FuncId::TaskBlocked, t, -1, WakeFlags::default());
+        let due = self.due_fault(k, FaultTarget::Func(FuncId::TaskBlocked));
         // The task is no longer runnable: the kernel-held token (if the
         // task was running) is destroyed; the scheduler gets no token.
         self.tokens.borrow_mut()[t.cpu] = None;
-        self.module().task_blocked(&SchedCtx::new(k), t);
+        self.run_guarded(k, FuncId::TaskBlocked, due, || {
+            self.module().task_blocked(&SchedCtx::new(k), t);
+        });
     }
 
     fn task_yield(&self, k: &KernelCtx, t: &TaskView) {
         self.bump(t.cpu);
         record::set_tid(t.cpu as u32);
+        if self.fs_armed.get() {
+            self.fs_note(k);
+            self.fs_task_runnable(t);
+            if self.quarantined.get() {
+                let _ = self.tokens.borrow_mut()[t.cpu].take();
+                return;
+            }
+        }
         self.rec_call(k, FuncId::TaskYield, t, -1, WakeFlags::default());
+        let due = self.due_fault(k, FaultTarget::Func(FuncId::TaskYield));
         let sched = self.tokens.borrow_mut()[t.cpu]
             .take()
             .filter(|s| s.pid() == t.pid)
             .unwrap_or_else(|| self.mint(t.pid, t.cpu));
-        self.module().task_yield(&SchedCtx::new(k), t, sched);
+        self.run_guarded(k, FuncId::TaskYield, due, || {
+            self.module().task_yield(&SchedCtx::new(k), t, sched);
+        });
     }
 
     fn task_preempt(&self, k: &KernelCtx, t: &TaskView) {
         self.bump(t.cpu);
         record::set_tid(t.cpu as u32);
+        if self.fs_armed.get() {
+            self.fs_note(k);
+            self.fs_task_runnable(t);
+            if self.quarantined.get() {
+                let _ = self.tokens.borrow_mut()[t.cpu].take();
+                return;
+            }
+        }
         self.rec_call(k, FuncId::TaskPreempt, t, -1, WakeFlags::default());
+        let due = self.due_fault(k, FaultTarget::Func(FuncId::TaskPreempt));
         let sched = self.tokens.borrow_mut()[t.cpu]
             .take()
             .filter(|s| s.pid() == t.pid)
             .unwrap_or_else(|| self.mint(t.pid, t.cpu));
-        self.module().task_preempt(&SchedCtx::new(k), t, sched);
+        self.run_guarded(k, FuncId::TaskPreempt, due, || {
+            self.module().task_preempt(&SchedCtx::new(k), t, sched);
+        });
     }
 
     fn task_dead(&self, k: &KernelCtx, pid: Pid) {
         self.bump(0);
+        if self.fs_armed.get() {
+            self.fs_note(k);
+            self.fs_task_gone(pid);
+            if self.quarantined.get() {
+                for slot in self.tokens.borrow_mut().iter_mut() {
+                    if slot.as_ref().is_some_and(|s| s.pid() == pid) {
+                        *slot = None;
+                    }
+                }
+                return;
+            }
+        }
         if record::recording() {
             record::emit(Rec::Call {
                 tid: record::current_tid(),
@@ -434,42 +969,147 @@ where
                 *slot = None;
             }
         }
-        self.module().task_dead(&SchedCtx::new(k), pid);
+        let due = self.due_fault(k, FaultTarget::Func(FuncId::TaskDead));
+        self.run_guarded(k, FuncId::TaskDead, due, || {
+            self.module().task_dead(&SchedCtx::new(k), pid);
+        });
     }
 
     fn task_departed(&self, k: &KernelCtx, t: &TaskView) {
         self.bump(t.cpu);
+        if self.fs_armed.get() {
+            self.fs_note(k);
+            self.fs_task_gone(t.pid);
+            if self.quarantined.get() {
+                return;
+            }
+        }
         self.rec_call(k, FuncId::TaskDeparted, t, -1, WakeFlags::default());
-        // The scheduler must hand back the token it holds for the task.
-        let _token = self.module().task_departed(&SchedCtx::new(k), t);
+        let due = self.due_fault(k, FaultTarget::Func(FuncId::TaskDeparted));
+        self.run_guarded(k, FuncId::TaskDeparted, due, || {
+            // The scheduler must hand back the token it holds for the task.
+            let _token = self.module().task_departed(&SchedCtx::new(k), t);
+        });
     }
 
     fn task_affinity_changed(&self, k: &KernelCtx, t: &TaskView) {
         self.bump(t.cpu);
+        if self.fs_armed.get() {
+            self.fs_note(k);
+            self.fs_update_view(t);
+            if self.quarantined.get() {
+                return;
+            }
+        }
         self.rec_call(k, FuncId::TaskAffinityChanged, t, -1, WakeFlags::default());
-        self
-            .module()
-            .task_affinity_changed(&SchedCtx::new(k), t);
+        let due = self.due_fault(k, FaultTarget::Func(FuncId::TaskAffinityChanged));
+        self.run_guarded(k, FuncId::TaskAffinityChanged, due, || {
+            self.module().task_affinity_changed(&SchedCtx::new(k), t);
+        });
     }
 
     fn task_prio_changed(&self, k: &KernelCtx, t: &TaskView) {
         self.bump(t.cpu);
+        if self.fs_armed.get() {
+            self.fs_note(k);
+            self.fs_update_view(t);
+            if self.quarantined.get() {
+                return;
+            }
+        }
         self.rec_call(k, FuncId::TaskPrioChanged, t, -1, WakeFlags::default());
-        self.module().task_prio_changed(&SchedCtx::new(k), t);
+        let due = self.due_fault(k, FaultTarget::Func(FuncId::TaskPrioChanged));
+        self.run_guarded(k, FuncId::TaskPrioChanged, due, || {
+            self.module().task_prio_changed(&SchedCtx::new(k), t);
+        });
     }
 
     fn task_tick(&self, k: &KernelCtx, cpu: CpuId, t: &TaskView) {
         self.bump(cpu);
         record::set_tid(cpu as u32);
+        if self.fs_armed.get() {
+            self.fs_note(k);
+            if self.quarantined.get() {
+                // Degraded-mode round robin: if the failsafe has runnable
+                // work queued behind the current task, request a resched so
+                // the next pick rotates within this tick.
+                let backlog = self
+                    .failsafe
+                    .borrow()
+                    .as_ref()
+                    .is_some_and(|fs| fs.live.get(cpu).is_some_and(|&n| n > 0));
+                if backlog {
+                    SchedCtx::new(k).resched(cpu);
+                }
+                return;
+            }
+        }
         self.rec_call(k, FuncId::TaskTick, t, cpu as i32, WakeFlags::default());
-        self.module().task_tick(&SchedCtx::new(k), cpu, t);
+        let due = self.due_fault(k, FaultTarget::Func(FuncId::TaskTick));
+        self.run_guarded(k, FuncId::TaskTick, due, || {
+            self.module().task_tick(&SchedCtx::new(k), cpu, t);
+        });
     }
 
     fn pick_next_task(&self, k: &KernelCtx, cpu: CpuId, _curr: Option<&TaskView>) -> Option<Pid> {
         self.bump(cpu);
         record::set_tid(cpu as u32);
+        if self.fs_armed.get() {
+            self.fs_note(k);
+            if self.quarantined.get() {
+                return self.failsafe_pick(cpu);
+            }
+        }
         self.rec_call_cpu(k, FuncId::PickNextTask, cpu);
-        let module = self.module();
+        let due = self.due_fault(k, FaultTarget::Func(FuncId::PickNextTask));
+        match due {
+            Some(FaultKind::ForgedToken) => {
+                // The misbehaviour of a module that fabricates its answer:
+                // the returned token names a core the task is not queued
+                // on. The framework treats it as a wrong-cpu pick and,
+                // with the failsafe armed, quarantines on the spot — the
+                // same pick is then answered by the failsafe policy.
+                self.stats.borrow_mut().injected_faults += 1;
+                self.record_fault(
+                    k.now(),
+                    FaultTag::ForgedToken,
+                    FuncId::PickNextTask as u8,
+                    cpu as i64,
+                );
+                self.stats.borrow_mut().pnt_errs += 1;
+                self.staged.add(EventKind::PntErrs, cpu);
+                let wrong = (cpu + 1) % self.nr_cpus().max(1);
+                self.quarantine_now(
+                    k.now(),
+                    SchedError::WrongCpu { wanted: cpu, got: wrong },
+                );
+                return self.failsafe_pick(cpu);
+            }
+            Some(FaultKind::PntErrStorm { count }) => {
+                // Detection-only fault: the next `count` picks each also
+                // report a pnt_err, driving the watchdog's error-rate
+                // monitor without perturbing the schedule. Counters are
+                // not part of the replayed call stream, so no per-burn
+                // fault record is needed.
+                self.stats.borrow_mut().injected_faults += 1;
+                if let Some(fs) = self.faults.borrow_mut().as_mut() {
+                    fs.storm_remaining = count;
+                }
+            }
+            _ => {}
+        }
+        let storming = self.faults.borrow_mut().as_mut().is_some_and(|fs| {
+            if fs.storm_remaining > 0 {
+                fs.storm_remaining -= 1;
+                true
+            } else {
+                false
+            }
+        });
+        if storming {
+            self.stats.borrow_mut().pnt_errs += 1;
+            self.staged.add(EventKind::PntErrs, cpu);
+        }
         let ctx = SchedCtx::new(k);
         // Every pick is counted; the wall-clock timer is sampled (first
         // pick per cpu and every `PICK_SAMPLE_MASK + 1`th after) so the
@@ -480,7 +1120,21 @@ where
             .add(EventKind::Picks, cpu)
             .filter(|seq| seq & PICK_SAMPLE_MASK == 0)
             .map(|_| Instant::now());
-        let res = module.pick_next_task(&ctx, cpu, None);
+        let picked = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(kind @ (FaultKind::Panic { .. } | FaultKind::PanicInLock { .. })) = due {
+                self.detonate(k, kind, FuncId::PickNextTask);
+            }
+            self.module().pick_next_task(&ctx, cpu, None)
+        }));
+        let res = match picked {
+            Ok(res) => res,
+            Err(payload) => {
+                self.after_panic(k, FuncId::PickNextTask, payload);
+                // Only reachable when armed (now quarantined): serve the
+                // same pick from the failsafe so the cpu never stalls.
+                return self.failsafe_pick(cpu);
+            }
+        };
         if res.is_none() {
             self.staged.add(EventKind::IdlePicks, cpu);
         }
@@ -504,6 +1158,9 @@ where
             None => None,
             Some(tok) if tok.cpu() == cpu => {
                 let pid = tok.pid();
+                if self.fs_armed.get() {
+                    self.fs_pick_confirm(cpu, pid);
+                }
                 self.tokens.borrow_mut()[cpu] = Some(tok);
                 Some(pid)
             }
@@ -513,12 +1170,18 @@ where
                 // ownership via pnt_err instead of crashing (paper §3.1).
                 self.stats.borrow_mut().pnt_errs += 1;
                 self.staged.add(EventKind::PntErrs, cpu);
-                let err = PickError::WrongCpu {
+                let err = SchedError::WrongCpu {
                     wanted: cpu,
                     got: tok.cpu(),
                 };
                 self.rec_call_cpu(k, FuncId::PntErr, cpu);
-                module.pnt_err(&ctx, cpu, err, Some(tok));
+                let pr = catch_unwind(AssertUnwindSafe(|| {
+                    self.module().pnt_err(&ctx, cpu, err, Some(tok));
+                }));
+                if let Err(payload) = pr {
+                    self.after_panic(k, FuncId::PntErr, payload);
+                    return self.failsafe_pick(cpu);
+                }
                 None
             }
         }
@@ -527,22 +1190,56 @@ where
     fn balance(&self, k: &KernelCtx, cpu: CpuId) -> Option<Pid> {
         self.bump(cpu);
         record::set_tid(cpu as u32);
+        if self.fs_armed.get() {
+            self.fs_note(k);
+            if self.quarantined.get() {
+                return None;
+            }
+        }
         self.rec_call_cpu(k, FuncId::Balance, cpu);
-        let res = self.module().balance(&SchedCtx::new(k), cpu);
-        self.rec_ret(FuncId::Balance, res.map_or(-1, |p| p as i64));
-        res.map(|p| p as Pid)
+        let due = self.due_fault(k, FaultTarget::Func(FuncId::Balance));
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(kind) = due {
+                self.detonate(k, kind, FuncId::Balance);
+            }
+            self.module().balance(&SchedCtx::new(k), cpu)
+        }));
+        match r {
+            Ok(res) => {
+                self.rec_ret(FuncId::Balance, res.map_or(-1, |p| p as i64));
+                res.map(|p| p as Pid)
+            }
+            Err(payload) => {
+                self.after_panic(k, FuncId::Balance, payload);
+                None
+            }
+        }
     }
 
     fn balance_err(&self, k: &KernelCtx, cpu: CpuId, pid: Pid) {
         self.bump(cpu);
+        if self.fs_armed.get() {
+            self.fs_note(k);
+            if self.quarantined.get() {
+                return;
+            }
+        }
         self.rec_call_cpu(k, FuncId::BalanceErr, cpu);
-        self
-            .module()
-            .balance_err(&SchedCtx::new(k), cpu, pid, None);
+        let due = self.due_fault(k, FaultTarget::Func(FuncId::BalanceErr));
+        self.run_guarded(k, FuncId::BalanceErr, due, || {
+            self.module().balance_err(&SchedCtx::new(k), cpu, pid, None);
+        });
     }
 
     fn migrate_task_rq(&self, k: &KernelCtx, t: &TaskView, from: CpuId, to: CpuId) {
         self.bump(to);
+        if self.fs_armed.get() {
+            self.fs_note(k);
+            self.fs_migrate(t, to);
+            if self.quarantined.get() {
+                return;
+            }
+        }
         self.rec_call(
             k,
             FuncId::MigrateTaskRq,
@@ -550,10 +1247,41 @@ where
             from as i32,
             WakeFlags::default(),
         );
+        let due = self.due_fault(k, FaultTarget::Func(FuncId::MigrateTaskRq));
+        if matches!(due, Some(FaultKind::WrongToken)) {
+            // The misbehaviour of a module that loses track of a migrating
+            // task: the new token dies inside the module and nothing comes
+            // back. The framework sees a token mismatch and quarantines.
+            self.stats.borrow_mut().injected_faults += 1;
+            self.record_fault(
+                k.now(),
+                FaultTag::DroppedToken,
+                FuncId::MigrateTaskRq as u8,
+                t.pid as i64,
+            );
+            drop(self.mint(t.pid, to));
+            self.stats.borrow_mut().token_mismatches += 1;
+            self.staged.add(EventKind::TokenMismatches, to);
+            self.quarantine_now(
+                k.now(),
+                SchedError::TokenMismatch { pid: t.pid, returned: -1 },
+            );
+            return;
+        }
         let new = self.mint(t.pid, to);
-        let old = self
-            .module()
-            .migrate_task_rq(&SchedCtx::new(k), t, new);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(kind) = due {
+                self.detonate(k, kind, FuncId::MigrateTaskRq);
+            }
+            self.module().migrate_task_rq(&SchedCtx::new(k), t, new)
+        }));
+        let old = match r {
+            Ok(old) => old,
+            Err(payload) => {
+                self.after_panic(k, FuncId::MigrateTaskRq, payload);
+                return;
+            }
+        };
         self.rec_ret(
             FuncId::MigrateTaskRq,
             old.as_ref().map_or(-1, |s| s.pid() as i64),
@@ -562,15 +1290,30 @@ where
         // old token at compile time (paper §3.1); detect mismatches.
         match old {
             Some(s) if s.pid() == t.pid && s.cpu() == from => {}
-            Some(_) | None => {
+            other => {
                 self.stats.borrow_mut().token_mismatches += 1;
                 self.staged.add(EventKind::TokenMismatches, to);
+                if self.fs_armed.get() {
+                    let returned = other.as_ref().map_or(-1, |s| s.pid() as i64);
+                    self.quarantine_now(
+                        k.now(),
+                        SchedError::TokenMismatch { pid: t.pid, returned },
+                    );
+                }
             }
         }
     }
 
     fn deliver_hint(&self, k: &KernelCtx, pid: Pid, hint: HintVal) {
         self.bump(0);
+        if self.fs_armed.get() {
+            self.fs_note(k);
+            if self.quarantined.get() {
+                self.stats.borrow_mut().hints_dropped += 1;
+                self.staged.add(EventKind::HintsDropped, 0);
+                return;
+            }
+        }
         if record::recording() {
             record::emit(Rec::Hint {
                 tid: record::current_tid(),
@@ -581,6 +1324,27 @@ where
                 c: hint.c,
             });
         }
+        if let Some(FaultKind::HintStall { window }) = self.due_fault(k, FaultTarget::Hint) {
+            self.stats.borrow_mut().injected_faults += 1;
+            if let Some(fs) = self.faults.borrow_mut().as_mut() {
+                fs.hint_stall_until = k.now() + window;
+            }
+        }
+        // While a stall window is open, hints still land in the queue but
+        // the consumer is never told (`enter_queue`/`parse_hint` skipped):
+        // produced advances while drained stands still, which is exactly
+        // the signature the hint-stall watchdog monitor fires on. Each
+        // suppressed delivery leaves a fault record so replay drops the
+        // matching hint event.
+        let stalled = self.faults_armed.get()
+            && self
+                .faults
+                .borrow()
+                .as_ref()
+                .is_some_and(|fs| k.now() < fs.hint_stall_until);
+        if stalled {
+            self.record_fault(k.now(), FaultTag::HintStall, 0, pid as i64);
+        }
         let msg = U::from(hint);
         let ctx = SchedCtx::new(k);
         let q = self.user_queue.borrow().clone();
@@ -590,7 +1354,11 @@ where
                 if q.push(msg).is_ok() {
                     self.stats.borrow_mut().hints_delivered += 1;
                     self.staged.add(EventKind::HintsDelivered, 0);
-                    self.module().enter_queue(&ctx, id);
+                    if !stalled {
+                        self.run_guarded(k, FuncId::PntErr, None, || {
+                            self.module().enter_queue(&ctx, id);
+                        });
+                    }
                 } else {
                     self.stats.borrow_mut().hints_dropped += 1;
                     self.staged.add(EventKind::HintsDropped, 0);
@@ -603,7 +1371,11 @@ where
             None => {
                 self.stats.borrow_mut().hints_delivered += 1;
                 self.staged.add(EventKind::HintsDelivered, 0);
-                self.module().parse_hint(&ctx, pid, msg);
+                if !stalled {
+                    self.run_guarded(k, FuncId::PntErr, None, || {
+                        self.module().parse_hint(&ctx, pid, msg);
+                    });
+                }
             }
         }
         if let Some(t0) = timed {
@@ -728,7 +1500,7 @@ mod tests {
             &self,
             _ctx: &SchedCtx<'_>,
             _cpu: CpuId,
-            _err: PickError,
+            _err: SchedError,
             sched: Option<Schedulable>,
         ) {
             if let Some(s) = sched {
@@ -897,7 +1669,7 @@ mod tests {
                 &self,
                 _c: &SchedCtx<'_>,
                 _cpu: CpuId,
-                _e: crate::PickError,
+                _e: crate::SchedError,
                 _s: Option<Schedulable>,
             ) {
             }
@@ -1047,7 +1819,7 @@ mod tests {
             &self,
             ctx: &SchedCtx<'_>,
             cpu: CpuId,
-            err: PickError,
+            err: SchedError,
             sched: Option<Schedulable>,
         ) {
             self.inner.pnt_err(ctx, cpu, err, sched)

@@ -56,6 +56,10 @@ pub struct LogSummary {
     pub lock_acquires: u64,
     /// Lock releases.
     pub lock_releases: u64,
+    /// Fault-injection / quarantine markers.
+    pub faults: u64,
+    /// Fault counts per fault kind.
+    pub faults_by_kind: BTreeMap<&'static str, u64>,
     /// Kernel threads seen.
     pub threads: BTreeSet<u32>,
     /// Lock ids seen.
@@ -102,6 +106,12 @@ impl LogSummary {
         for (func, count) in &self.calls_by_func {
             let _ = writeln!(out, "  {func:<22} {count}");
         }
+        if self.faults > 0 {
+            let _ = writeln!(out, "faults ({} records):", self.faults);
+            for (kind, count) in &self.faults_by_kind {
+                let _ = writeln!(out, "  {kind:<22} {count}");
+            }
+        }
         out
     }
 }
@@ -140,6 +150,11 @@ pub fn summarize(log: &[Rec]) -> LogSummary {
             Rec::LockRelease { lock, .. } => {
                 s.lock_releases += 1;
                 s.locks.insert(*lock);
+            }
+            Rec::Fault { tid, kind, .. } => {
+                s.faults += 1;
+                s.threads.insert(*tid);
+                *s.faults_by_kind.entry(kind.name()).or_default() += 1;
             }
         }
     }
@@ -798,8 +813,14 @@ pub struct Divergence {
     pub now: u64,
     /// The response the recording holds.
     pub recorded: i64,
-    /// The response the replayed scheduler produced.
+    /// The response the replayed scheduler produced
+    /// ([`crate::replay::PANIC_SENTINEL`] when the call panicked instead
+    /// of returning).
     pub actual: i64,
+    /// Typed error behind the divergence, when one exists (currently
+    /// [`crate::SchedError::Panic`] for a replay-side panic); `None` for a
+    /// plain recorded-vs-actual mismatch.
+    pub error: Option<crate::SchedError>,
     /// Log index of `window[0]`.
     pub window_start: usize,
     /// Surrounding records (±[`DIVERGENCE_CONTEXT`] around the call).
@@ -823,6 +844,16 @@ fn ret_meaning(func: FuncId, val: i64) -> String {
 
 impl std::fmt::Display for Divergence {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(error) = &self.error {
+            return write!(
+                f,
+                "call #{}: tid {} {} at now={}ns diverged with error: {error}",
+                self.call_index,
+                self.tid,
+                self.func.name(),
+                self.now,
+            );
+        }
         write!(
             f,
             "call #{}: tid {} {} at now={}ns returned {}, recording says {}",
@@ -886,6 +917,14 @@ pub fn describe_rec(rec: &Rec) -> String {
             format!("lock-acquire lock={lock} tid={tid} mode={mode}")
         }
         Rec::LockRelease { tid, lock } => format!("lock-release lock={lock} tid={tid}"),
+        Rec::Fault { tid, at, kind, func, arg } => {
+            let func = crate::record::FuncId::from_u8(func)
+                .map_or("-", |f| f.name());
+            format!(
+                "fault {:<21} tid={tid} at={at} func={func} arg={arg}",
+                kind.name()
+            )
+        }
     }
 }
 
@@ -1222,6 +1261,7 @@ mod tests {
             now: 5500,
             recorded: 7,
             actual: -1,
+            error: None,
             window_start: 2,
             window: log[2..7].to_vec(),
         };
@@ -1232,6 +1272,14 @@ mod tests {
         let full = d.explain();
         assert!(full.contains(">>> #4"), "{full}");
         assert!(full.contains("task_preempt"), "{full}");
+        let p = Divergence {
+            error: Some(crate::SchedError::Panic { func: FuncId::PickNextTask }),
+            actual: crate::replay::PANIC_SENTINEL,
+            ..d
+        };
+        let line = p.to_string();
+        assert!(line.contains("diverged with error"), "{line}");
+        assert!(line.contains("panicked in pick_next_task"), "{line}");
     }
 
     #[test]

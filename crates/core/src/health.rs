@@ -121,6 +121,22 @@ pub enum HealthEvent {
         /// pnt_err count inside one sampling window.
         count_in_window: u64,
     },
+    /// Dispatch caught a scheduler fault (a panic unwound out of a trait
+    /// callback, or a token-audit violation) at the message boundary.
+    SchedFault {
+        /// The typed misbehaviour.
+        error: crate::SchedError,
+    },
+    /// The framework quarantined the scheduler: the module no longer
+    /// receives callbacks and the built-in failsafe policy is serving
+    /// picks until a replacement re-registers via live upgrade.
+    Quarantined {
+        /// The fault that triggered the quarantine.
+        error: crate::SchedError,
+    },
+    /// A replacement scheduler re-registered through the live-upgrade
+    /// path and took back scheduling from the failsafe policy.
+    SchedulerRecovered,
 }
 
 impl HealthEvent {
@@ -134,6 +150,9 @@ impl HealthEvent {
             HealthEvent::RunqImbalance { .. } => "runq_imbalance",
             HealthEvent::UpgradeBlackoutSlo { .. } => "upgrade_blackout_slo",
             HealthEvent::PntErrStorm { .. } => "pnt_err_storm",
+            HealthEvent::SchedFault { .. } => "sched_fault",
+            HealthEvent::Quarantined { .. } => "quarantined",
+            HealthEvent::SchedulerRecovered => "scheduler_recovered",
         }
     }
 
@@ -142,11 +161,14 @@ impl HealthEvent {
         match self {
             HealthEvent::Starvation { .. }
             | HealthEvent::TokenLost { .. }
-            | HealthEvent::TokenLeak { .. } => Severity::Critical,
+            | HealthEvent::TokenLeak { .. }
+            | HealthEvent::SchedFault { .. }
+            | HealthEvent::Quarantined { .. } => Severity::Critical,
             HealthEvent::HintStall { .. }
             | HealthEvent::UpgradeBlackoutSlo { .. }
             | HealthEvent::PntErrStorm { .. } => Severity::Warning,
             HealthEvent::RunqImbalance { .. } => Severity::Warning,
+            HealthEvent::SchedulerRecovered => Severity::Info,
         }
     }
 }
@@ -180,6 +202,15 @@ impl std::fmt::Display for HealthEvent {
             }
             HealthEvent::PntErrStorm { count_in_window } => {
                 write!(f, "pnt_err storm: {count_in_window} wrong-cpu picks in one window")
+            }
+            HealthEvent::SchedFault { error } => {
+                write!(f, "scheduler fault caught at dispatch: {error}")
+            }
+            HealthEvent::Quarantined { error } => {
+                write!(f, "scheduler quarantined (failsafe policy engaged): {error}")
+            }
+            HealthEvent::SchedulerRecovered => {
+                write!(f, "replacement scheduler re-registered; failsafe disengaged")
             }
         }
     }
@@ -493,6 +524,12 @@ impl Watchdog {
 
         // --- starvation ------------------------------------------------
         let mut fire = Vec::new();
+        // Graceful degradation: with the failsafe armed, a conservation
+        // violation quarantines the module rather than letting a stranded
+        // task starve forever. Deferred past the state guard because
+        // `quarantine_now` reports back through this watchdog's own
+        // incident log.
+        let mut quarantine: Option<crate::SchedError> = None;
         let mut still_starving = BTreeSet::new();
         for pid in 0..m.nr_tasks() {
             let t = m.task(pid);
@@ -515,7 +552,11 @@ impl Watchdog {
         st.starved = still_starving;
 
         // --- schedulable conservation audit ----------------------------
-        if let Some(ledger) = class.token_ledger() {
+        // Skipped while the class is quarantined: the failsafe mints its
+        // own tokens while the quarantined module still holds stale ones,
+        // so the ledger is legitimately out of conservation until a
+        // replacement re-registers.
+        if let Some(ledger) = class.token_ledger().filter(|_| !class.is_quarantined()) {
             let expected = (0..m.nr_tasks())
                 .filter(|&pid| {
                     let t = m.task(pid);
@@ -537,11 +578,13 @@ impl Watchdog {
             if deficit > (*baseline).max(st.reported_deficit) {
                 st.reported_deficit = deficit;
                 fire.push((Severity::Critical, HealthEvent::TokenLost { expected, live }));
+                quarantine = Some(crate::SchedError::TokenConservation { expected, live });
             }
             let surplus = live.saturating_sub(expected);
             if surplus > st.reported_surplus {
                 st.reported_surplus = surplus;
                 fire.push((Severity::Critical, HealthEvent::TokenLeak { expected, live }));
+                quarantine = Some(crate::SchedError::TokenConservation { expected, live });
             }
         }
 
@@ -649,6 +692,9 @@ impl Watchdog {
 
         for (severity, event) in fire {
             self.record(now, severity, event);
+        }
+        if let Some(error) = quarantine {
+            class.quarantine_now(now, error);
         }
     }
 

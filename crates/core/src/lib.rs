@@ -36,9 +36,20 @@
 //!   runqueue imbalance, upgrade-blackout SLO, pnt_err storms) on a
 //!   periodic virtual-time cadence, plus a bounded time-series ring with
 //!   an `enoki-top`-style renderer and JSON export.
+//! - [`faults`] — deterministic fault injection: a seeded, virtual-time
+//!   [`faults::FaultPlan`] detonates scheduler misbehaviour (panics, forged
+//!   and dropped tokens, pnt_err storms, hint stalls) at the dispatch
+//!   boundary; the framework survives all of it by quarantining the module
+//!   and failing over to a built-in failsafe FIFO until a replacement
+//!   re-registers through the live-upgrade path.
+//! - [`builder`] — [`builder::MachineBuilder`], the single fluent config
+//!   path for a machine + scheduler class: metrics, health/watchdog,
+//!   sampler cadence, event-queue choice, token ledger, and fault plan.
 
 pub mod api;
+pub mod builder;
 pub mod dispatch;
+pub mod faults;
 pub mod forensics;
 pub mod health;
 pub mod metrics;
@@ -50,7 +61,9 @@ pub mod schedulable;
 pub mod sync;
 
 pub use api::{EnokiScheduler, SchedCtx, TaskInfo, TransferIn, TransferOut};
+pub use builder::{BuiltMachine, MachineBuilder};
 pub use dispatch::{DispatchStats, EnokiClass, UpgradeReport, ENOKI_CALL_OVERHEAD};
+pub use faults::{FaultKind, FaultPlan, FaultSpec};
 pub use forensics::{Divergence, LatencyReport, LockReport, LogSummary};
 pub use health::{
     HealthConfig, HealthEvent, HealthPolicy, HealthSample, Incident, Severity, Watchdog,
@@ -61,4 +74,6 @@ pub use metrics::{
 };
 pub use queue::RingBuffer;
 pub use registry::Registry;
-pub use schedulable::{PickError, Schedulable, TokenLedger};
+pub use schedulable::{SchedError, Schedulable, TokenLedger};
+#[allow(deprecated)]
+pub use schedulable::PickError;

@@ -103,6 +103,62 @@ impl FuncId {
     }
 }
 
+/// Discriminates [`Rec::Fault`] records: what happened at the dispatch
+/// boundary outside the normal call/return protocol.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum FaultTag {
+    /// A [`crate::faults::FaultPlan`] detonated a panic inside a callback.
+    InjectedPanic = 1,
+    /// The plan forged a wrong-cpu token in place of the module's pick.
+    ForgedToken = 2,
+    /// The plan destroyed a freshly minted token before the module saw it.
+    DroppedToken = 3,
+    /// The plan suppressed delivery of the preceding hint (queue stall).
+    HintStall = 4,
+    /// The plan detonated a panic while holding a recorded shim lock.
+    InjectedPanicInLock = 5,
+    /// Dispatch caught a module panic at the message boundary.
+    CaughtPanic = 6,
+    /// The framework quarantined the scheduler; the failsafe policy owns
+    /// dispatch from here until a replacement re-registers.
+    Quarantined = 7,
+    /// A replacement scheduler re-registered via live upgrade; replay
+    /// treats this as an epoch boundary.
+    Recovered = 8,
+}
+
+impl FaultTag {
+    /// Human-readable tag name (forensics output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultTag::InjectedPanic => "injected_panic",
+            FaultTag::ForgedToken => "forged_token",
+            FaultTag::DroppedToken => "dropped_token",
+            FaultTag::HintStall => "hint_stall",
+            FaultTag::InjectedPanicInLock => "injected_panic_in_lock",
+            FaultTag::CaughtPanic => "caught_panic",
+            FaultTag::Quarantined => "quarantined",
+            FaultTag::Recovered => "recovered",
+        }
+    }
+
+    /// Decodes a tag byte.
+    pub fn from_u8(v: u8) -> Option<FaultTag> {
+        Some(match v {
+            1 => FaultTag::InjectedPanic,
+            2 => FaultTag::ForgedToken,
+            3 => FaultTag::DroppedToken,
+            4 => FaultTag::HintStall,
+            5 => FaultTag::InjectedPanicInLock,
+            6 => FaultTag::CaughtPanic,
+            7 => FaultTag::Quarantined,
+            8 => FaultTag::Recovered,
+            _ => return None,
+        })
+    }
+}
+
 /// How a lock was acquired (for the lock-order log).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 #[repr(u8)]
@@ -206,6 +262,23 @@ pub enum Rec {
         /// Hint payload.
         c: i64,
     },
+    /// A fault-model event at the dispatch boundary: an injected fault
+    /// detonating, a caught panic, a quarantine transition, or a recovery.
+    /// Replay uses these to skip calls that never reached the module and
+    /// to cut epochs at recovery points.
+    Fault {
+        /// Kernel thread (cpu) the fault fired on.
+        tid: u32,
+        /// Virtual time of the fault.
+        at: u64,
+        /// What happened.
+        kind: FaultTag,
+        /// The callback involved as a [`FuncId`] byte, or 0 when the fault
+        /// is not tied to a specific callback (hints, quarantine markers).
+        func: u8,
+        /// Event-specific payload (pid, window length, error code…).
+        arg: i64,
+    },
 }
 
 // ---------------------------------------------------------------------
@@ -218,6 +291,7 @@ const TAG_LOCK_RELEASE: u8 = 0xC2;
 const TAG_CALL: u8 = 0xC3;
 const TAG_RET: u8 = 0xC4;
 const TAG_HINT: u8 = 0xC5;
+const TAG_FAULT: u8 = 0xC6;
 
 impl Rec {
     /// Appends the binary encoding of this record to `out`.
@@ -276,6 +350,20 @@ impl Rec {
                 out.extend_from_slice(&a.to_le_bytes());
                 out.extend_from_slice(&b.to_le_bytes());
                 out.extend_from_slice(&c.to_le_bytes());
+            }
+            Rec::Fault {
+                tid,
+                at,
+                kind,
+                func,
+                arg,
+            } => {
+                out.push(TAG_FAULT);
+                out.extend_from_slice(&tid.to_le_bytes());
+                out.extend_from_slice(&at.to_le_bytes());
+                out.push(kind as u8);
+                out.push(func);
+                out.extend_from_slice(&arg.to_le_bytes());
             }
         }
     }
@@ -429,6 +517,32 @@ impl Rec {
                         c: i64_at(buf, 33),
                     },
                     41,
+                ))
+            }
+            TAG_FAULT => {
+                // tag + tid + at + kind + func + arg.
+                let need = 1 + 4 + 8 + 1 + 1 + 8;
+                if buf.len() < need {
+                    return Err(DecodeError::Truncated);
+                }
+                let kind = FaultTag::from_u8(buf[13]).ok_or_else(|| {
+                    DecodeError::Corrupt(format!("invalid fault tag {:#04x}", buf[13]))
+                })?;
+                let func = buf[14];
+                if func != 0 && FuncId::from_u8(func).is_none() {
+                    return Err(DecodeError::Corrupt(format!(
+                        "invalid fault func id {func:#04x}"
+                    )));
+                }
+                Ok((
+                    Rec::Fault {
+                        tid: u32_at(buf, 1),
+                        at: u64_at(buf, 5),
+                        kind,
+                        func,
+                        arg: i64_at(buf, 15),
+                    },
+                    need,
                 ))
             }
             other => Err(DecodeError::Corrupt(format!(
@@ -729,6 +843,17 @@ pub fn reset_lock_ids() {
     NEXT_LOCK_ID.store(1, Ordering::Relaxed);
 }
 
+/// Sets the next shim-lock id to `next` (clamped to at least 1).
+///
+/// Replay uses this to line a fresh module's lock ids up with a recorded
+/// epoch whose module was constructed mid-run — a replacement that
+/// re-registered after a quarantine allocated its locks from a counter
+/// that had already advanced, and the recorded acquisition order is keyed
+/// by those ids.
+pub fn seed_lock_ids(next: u64) {
+    NEXT_LOCK_ID.store(next.max(1), Ordering::Relaxed);
+}
+
 /// Invokes `f` with the active sequencer if replaying.
 pub fn with_sequencer(f: impl FnOnce(&dyn LockSequencer)) {
     if MODE_TAG.load(Ordering::Acquire) != MODE_REPLAY {
@@ -803,6 +928,46 @@ mod tests {
             b: 6,
             c: 7,
         });
+        roundtrip(Rec::Fault {
+            tid: 3,
+            at: 987654321,
+            kind: FaultTag::CaughtPanic,
+            func: FuncId::PickNextTask as u8,
+            arg: -7,
+        });
+        roundtrip(Rec::Fault {
+            tid: 0,
+            at: 0,
+            kind: FaultTag::Recovered,
+            func: 0,
+            arg: 0,
+        });
+    }
+
+    #[test]
+    fn fault_decode_rejects_bad_tags() {
+        let mut buf = Vec::new();
+        Rec::Fault {
+            tid: 1,
+            at: 2,
+            kind: FaultTag::InjectedPanic,
+            func: FuncId::TaskTick as u8,
+            arg: 3,
+        }
+        .encode(&mut buf);
+        // Invalid fault kind byte.
+        let mut bad = buf.clone();
+        bad[13] = 0xEE;
+        assert!(matches!(Rec::decode_ext(&bad), Err(DecodeError::Corrupt(_))));
+        // Invalid (non-zero, unknown) func byte.
+        let mut bad = buf.clone();
+        bad[14] = 0xEE;
+        assert!(matches!(Rec::decode_ext(&bad), Err(DecodeError::Corrupt(_))));
+        // Truncated tail.
+        assert!(matches!(
+            Rec::decode_ext(&buf[..buf.len() - 1]),
+            Err(DecodeError::Truncated)
+        ));
     }
 
     #[test]

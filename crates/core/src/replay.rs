@@ -14,14 +14,19 @@
 
 use crate::api::{EnokiScheduler, SchedCtx};
 use crate::forensics::{Divergence, DIVERGENCE_CONTEXT};
-use crate::record::{self, CallArgs, FuncId, LockSequencer, Rec};
-use crate::schedulable::{PickError, Schedulable};
+use crate::record::{self, CallArgs, FaultTag, FuncId, LockSequencer, Rec};
+use crate::schedulable::{SchedError, Schedulable};
 use enoki_sim::sched_class::KernelCtx;
 use enoki_sim::{CpuSet, Ns, TaskView, Topology, WakeFlags};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
+
+/// Sentinel `actual` value for a divergence caused by a replay-side panic
+/// (there is no return value to compare; see [`Divergence::error`]).
+pub const PANIC_SENTINEL: i64 = i64::MIN;
 
 /// Tuning knobs for a replay run. The defaults match live kernel logs;
 /// tests replaying deliberately lossy logs shrink both so the coordinator
@@ -215,6 +220,10 @@ enum ThreadEvent {
         func: FuncId,
         args: CallArgs,
         ret: Option<i64>,
+        /// Set when a fault record marks this call as never having reached
+        /// the module (injected panic, forged/dropped token): replay skips
+        /// it instead of re-detonating.
+        skip: bool,
     },
     Hint {
         pid: i64,
@@ -231,6 +240,40 @@ struct DivergenceSeed {
     now: u64,
     recorded: i64,
     actual: i64,
+    error: Option<SchedError>,
+}
+
+/// The suffix of `log` belonging to the newest scheduler epoch.
+///
+/// A [`FaultTag::Recovered`] record marks the moment a replacement module
+/// re-registered after a quarantine: every call before it went to the old
+/// (quarantined) instance, and the records immediately after it are the
+/// framework re-feeding the preserved task set into the replacement via
+/// `task_new`. Replaying from the last such marker drives a fresh module
+/// instance through exactly what the replacement saw.
+///
+/// Also returns the lock-id seed for the epoch: the replacement was
+/// constructed mid-run, so its shim locks carry ids from an already
+/// advanced counter. Those creations are the contiguous [`Rec::LockCreate`]
+/// run just before the marker; seeding replay's counter at the first of
+/// them makes the fresh instance allocate the recorded ids, which is what
+/// keys the lock sequencer. Falls back to 1 (a plain reset) when the log
+/// has no epoch marker or no recorded creations.
+fn newest_epoch(log: &[Rec]) -> (&[Rec], u64) {
+    let Some(marker) = log
+        .iter()
+        .rposition(|r| matches!(r, Rec::Fault { kind: FaultTag::Recovered, .. }))
+    else {
+        return (log, 1);
+    };
+    let mut seed = 1;
+    for rec in log[..marker].iter().rev() {
+        match rec {
+            Rec::LockCreate { lock, .. } => seed = *lock,
+            _ => break,
+        }
+    }
+    (&log[marker + 1..], seed)
 }
 
 /// Replays a record log against a fresh instance of the same scheduler,
@@ -256,6 +299,10 @@ where
     S::UserMsg: From<enoki_sim::HintVal>,
     F: FnOnce() -> S,
 {
+    // Faulted runs may contain several scheduler epochs (quarantine, then
+    // a replacement re-registered); replay the newest one against a fresh
+    // module instance.
+    let (log, lock_seed) = newest_epoch(log);
     // Phase 1 (paper: "the first 30 seconds are spent reading the file and
     // parsing lock operations"): split the log into per-thread message
     // streams and per-lock acquisition orders.
@@ -274,6 +321,7 @@ where
                     func,
                     args,
                     ret: None,
+                    skip: false,
                 });
             }
             Rec::Ret { tid, func, val } => {
@@ -302,12 +350,46 @@ where
             }
             Rec::LockAcquire { .. } => lock_acquires += 1,
             Rec::LockCreate { .. } | Rec::LockRelease { .. } => {}
+            Rec::Fault { tid, kind, .. } => match kind {
+                // These mark the preceding call on `tid` as one the module
+                // never (successfully) executed — an injected or caught
+                // panic, or a token the framework forged/dropped in its
+                // place. Replay must not re-run it.
+                FaultTag::InjectedPanic
+                | FaultTag::InjectedPanicInLock
+                | FaultTag::CaughtPanic
+                | FaultTag::ForgedToken
+                | FaultTag::DroppedToken => {
+                    pending_ret.remove(&tid);
+                    if let Some(ThreadEvent::Call { skip, .. }) = per_tid
+                        .get_mut(&tid)
+                        .and_then(|s| s.iter_mut().rev().find(|e| matches!(e, ThreadEvent::Call { .. })))
+                    {
+                        *skip = true;
+                    }
+                }
+                // A suppressed hint delivery: the module never saw the
+                // hint, so drop the matching event from the stream.
+                FaultTag::HintStall => {
+                    if let Some(stream) = per_tid.get_mut(&tid) {
+                        if let Some(pos) =
+                            stream.iter().rposition(|e| matches!(e, ThreadEvent::Hint { .. }))
+                        {
+                            stream.remove(pos);
+                        }
+                    }
+                }
+                // Markers for the quarantine state machine itself; the
+                // epoch slicing above already accounts for them.
+                FaultTag::Quarantined | FaultTag::Recovered => {}
+            },
         }
     }
 
-    // Phase 2: rebuild the scheduler with matching lock identities, arm the
-    // sequencer, and replay each kernel thread's stream on its own thread.
-    record::reset_lock_ids();
+    // Phase 2: rebuild the scheduler with matching lock identities (seeded
+    // so a mid-run replacement's ids line up), arm the sequencer, and
+    // replay each kernel thread's stream on its own thread.
+    record::seed_lock_ids(lock_seed);
     let scheduler = make();
     let coord = ReplayCoordinator::from_log_with(log, opts);
     record::enable_replay(coord.clone());
@@ -335,11 +417,13 @@ where
                 let topo = std::rc::Rc::new(Topology::new(nr_cpus.max(1), 1));
                 for ev in stream {
                     match ev {
+                        ThreadEvent::Call { skip: true, .. } => {}
                         ThreadEvent::Call {
                             idx,
                             func,
                             args,
                             ret,
+                            skip: false,
                         } => {
                             replay_call(&*sched, &topo, idx, tid, func, &args, ret, &div);
                         }
@@ -372,6 +456,7 @@ where
                 now: s.now,
                 recorded: s.recorded,
                 actual: s.actual,
+                error: s.error,
                 window_start: start,
                 window: log[start..end].to_vec(),
             }
@@ -408,69 +493,86 @@ fn replay_call<S: EnokiScheduler>(
     let k = KernelCtx::new(Ns(args.now), topo.clone());
     let ctx = SchedCtx::new(&k);
     let t = view_from_args(args);
-    let mut got: Option<i64> = None;
-    match func {
-        FuncId::SelectTaskRq => {
-            let cpu =
-                sched.select_task_rq(&ctx, &t, args.prev_cpu.max(0) as usize, flags_from(args));
-            got = Some(cpu as i64);
-        }
-        FuncId::TaskNew => sched.task_new(&ctx, &t, Schedulable::mint(t.pid, t.cpu)),
-        FuncId::TaskWakeup => {
-            sched.task_wakeup(&ctx, &t, flags_from(args), Schedulable::mint(t.pid, t.cpu))
-        }
-        FuncId::TaskBlocked => sched.task_blocked(&ctx, &t),
-        FuncId::TaskYield => sched.task_yield(&ctx, &t, Schedulable::mint(t.pid, t.cpu)),
-        FuncId::TaskPreempt => sched.task_preempt(&ctx, &t, Schedulable::mint(t.pid, t.cpu)),
-        FuncId::TaskDead => sched.task_dead(&ctx, args.pid.max(0) as usize),
-        FuncId::TaskDeparted => {
-            let _ = sched.task_departed(&ctx, &t);
-        }
-        FuncId::TaskTick => sched.task_tick(&ctx, args.cpu.max(0) as usize, &t),
-        FuncId::Balance => {
-            let res = sched.balance(&ctx, args.cpu.max(0) as usize);
-            got = Some(res.map_or(-1, |p| p as i64));
-        }
-        FuncId::PickNextTask => {
-            let cpu = args.cpu.max(0) as usize;
-            let res = sched.pick_next_task(&ctx, cpu, None);
-            got = Some(res.as_ref().map_or(-1, |s| s.pid() as i64));
-            // Mirror the dispatch layer's token validation so scheduler
-            // state stays consistent through recorded pnt_err paths.
-            if let Some(tok) = res {
-                if tok.cpu() != cpu {
-                    let err = PickError::WrongCpu {
-                        wanted: cpu,
-                        got: tok.cpu(),
-                    };
-                    sched.pnt_err(&ctx, cpu, err, Some(tok));
+    // Replay is panic-safe like live dispatch: a module that panics on a
+    // replayed call yields a typed divergence instead of tearing down the
+    // replay thread (and with it the sequencing of every other thread).
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut got: Option<i64> = None;
+        match func {
+            FuncId::SelectTaskRq => {
+                let cpu =
+                    sched.select_task_rq(&ctx, &t, args.prev_cpu.max(0) as usize, flags_from(args));
+                got = Some(cpu as i64);
+            }
+            FuncId::TaskNew => sched.task_new(&ctx, &t, Schedulable::mint(t.pid, t.cpu)),
+            FuncId::TaskWakeup => {
+                sched.task_wakeup(&ctx, &t, flags_from(args), Schedulable::mint(t.pid, t.cpu))
+            }
+            FuncId::TaskBlocked => sched.task_blocked(&ctx, &t),
+            FuncId::TaskYield => sched.task_yield(&ctx, &t, Schedulable::mint(t.pid, t.cpu)),
+            FuncId::TaskPreempt => sched.task_preempt(&ctx, &t, Schedulable::mint(t.pid, t.cpu)),
+            FuncId::TaskDead => sched.task_dead(&ctx, args.pid.max(0) as usize),
+            FuncId::TaskDeparted => {
+                let _ = sched.task_departed(&ctx, &t);
+            }
+            FuncId::TaskTick => sched.task_tick(&ctx, args.cpu.max(0) as usize, &t),
+            FuncId::Balance => {
+                let res = sched.balance(&ctx, args.cpu.max(0) as usize);
+                got = Some(res.map_or(-1, |p| p as i64));
+            }
+            FuncId::PickNextTask => {
+                let cpu = args.cpu.max(0) as usize;
+                let res = sched.pick_next_task(&ctx, cpu, None);
+                got = Some(res.as_ref().map_or(-1, |s| s.pid() as i64));
+                // Mirror the dispatch layer's token validation so scheduler
+                // state stays consistent through recorded pnt_err paths.
+                if let Some(tok) = res {
+                    if tok.cpu() != cpu {
+                        let err = SchedError::WrongCpu {
+                            wanted: cpu,
+                            got: tok.cpu(),
+                        };
+                        sched.pnt_err(&ctx, cpu, err, Some(tok));
+                    }
                 }
             }
+            FuncId::MigrateTaskRq => {
+                let old = sched.migrate_task_rq(&ctx, &t, Schedulable::mint(t.pid, t.cpu));
+                got = Some(old.as_ref().map_or(-1, |s| s.pid() as i64));
+            }
+            FuncId::TaskPrioChanged => sched.task_prio_changed(&ctx, &t),
+            FuncId::TaskAffinityChanged => sched.task_affinity_changed(&ctx, &t),
+            // pnt_err / balance_err calls are regenerated by the validation
+            // mirror above, not replayed directly.
+            FuncId::PntErr | FuncId::BalanceErr => {}
         }
-        FuncId::MigrateTaskRq => {
-            let old = sched.migrate_task_rq(&ctx, &t, Schedulable::mint(t.pid, t.cpu));
-            got = Some(old.as_ref().map_or(-1, |s| s.pid() as i64));
-        }
-        FuncId::TaskPrioChanged => sched.task_prio_changed(&ctx, &t),
-        FuncId::TaskAffinityChanged => sched.task_affinity_changed(&ctx, &t),
-        // pnt_err / balance_err calls are regenerated by the validation
-        // mirror above, not replayed directly.
-        FuncId::PntErr | FuncId::BalanceErr => {}
-    }
-    if let (Some(exp), Some(got)) = (expected, got) {
-        if exp != got {
-            divergences
-                .lock()
-                .expect("not poisoned")
-                .push(DivergenceSeed {
-                    call_index: idx,
-                    tid,
-                    func,
-                    now: args.now,
-                    recorded: exp,
-                    actual: got,
-                });
-        }
+        got
+    }));
+    let seed = match outcome {
+        Ok(got) => match (expected, got) {
+            (Some(exp), Some(got)) if exp != got => Some(DivergenceSeed {
+                call_index: idx,
+                tid,
+                func,
+                now: args.now,
+                recorded: exp,
+                actual: got,
+                error: None,
+            }),
+            _ => None,
+        },
+        Err(_payload) => Some(DivergenceSeed {
+            call_index: idx,
+            tid,
+            func,
+            now: args.now,
+            recorded: expected.unwrap_or(-1),
+            actual: PANIC_SENTINEL,
+            error: Some(SchedError::Panic { func }),
+        }),
+    };
+    if let Some(seed) = seed {
+        divergences.lock().expect("not poisoned").push(seed);
     }
 }
 

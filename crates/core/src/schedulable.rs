@@ -125,27 +125,89 @@ impl PartialEq for Schedulable {
 
 impl Eq for Schedulable {}
 
-/// Why a pick was rejected by the framework.
+/// A typed scheduler misbehaviour caught at the dispatch boundary.
+///
+/// Replaces the raw `pnt_err`-style error codes that used to cross the
+/// dispatch boundary: the same enum is delivered to the module via
+/// [`crate::EnokiScheduler::pnt_err`], recorded in health incidents
+/// ([`crate::HealthEvent::SchedFault`] / [`crate::HealthEvent::Quarantined`]),
+/// and attached to replay divergences ([`crate::Divergence::error`]).
+///
+/// Marked `#[non_exhaustive]`: new misbehaviour classes are added as the
+/// fault model grows, so downstream matches need a wildcard arm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PickError {
-    /// The returned token's core does not match the core being scheduled.
+#[non_exhaustive]
+pub enum SchedError {
+    /// `pick_next_task` returned a token for a different core than the one
+    /// being scheduled.
     WrongCpu {
         /// Core the kernel asked to schedule.
         wanted: CpuId,
         /// Core named by the returned token.
         got: CpuId,
     },
+    /// `migrate_task_rq` did not hand back the token for the migrating
+    /// task (it returned `None`, or a token for a different task/core).
+    TokenMismatch {
+        /// Task the kernel was migrating.
+        pid: Pid,
+        /// Pid named by the token the module returned (-1 for `None`).
+        returned: i64,
+    },
+    /// The module panicked inside a trait callback; dispatch caught the
+    /// unwind at the message boundary.
+    Panic {
+        /// The callback that panicked.
+        func: crate::record::FuncId,
+    },
+    /// The token conservation audit found fewer (or more) live tokens than
+    /// runnable-or-running tasks — the module destroyed or leaked a
+    /// [`Schedulable`] it should be holding.
+    TokenConservation {
+        /// Live tokens the audit expected.
+        expected: u64,
+        /// Live tokens the ledger reports.
+        live: u64,
+    },
 }
 
-impl std::fmt::Display for PickError {
+impl SchedError {
+    /// Stable machine-readable tag (used by health/forensics output).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SchedError::WrongCpu { .. } => "wrong_cpu",
+            SchedError::TokenMismatch { .. } => "token_mismatch",
+            SchedError::Panic { .. } => "panic",
+            SchedError::TokenConservation { .. } => "token_conservation",
+        }
+    }
+}
+
+impl std::fmt::Display for SchedError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PickError::WrongCpu { wanted, got } => {
+            SchedError::WrongCpu { wanted, got } => {
                 write!(f, "schedulable is valid for cpu {got}, not cpu {wanted}")
+            }
+            SchedError::TokenMismatch { pid, returned } => {
+                write!(f, "migrate of pid {pid} returned token for pid {returned}")
+            }
+            SchedError::Panic { func } => {
+                write!(f, "scheduler panicked in {}", func.name())
+            }
+            SchedError::TokenConservation { expected, live } => {
+                write!(
+                    f,
+                    "token conservation violated: expected {expected} live, ledger has {live}"
+                )
             }
         }
     }
 }
+
+/// Former name of [`SchedError`], kept for one PR as a migration shim.
+#[deprecated(note = "renamed to SchedError; pnt_err and friends now take the typed enum")]
+pub type PickError = SchedError;
 
 #[cfg(test)]
 mod tests {
@@ -182,9 +244,26 @@ mod tests {
     }
 
     #[test]
-    fn pick_error_display() {
-        let e = PickError::WrongCpu { wanted: 1, got: 2 };
+    fn sched_error_display_and_kind() {
+        let e = SchedError::WrongCpu { wanted: 1, got: 2 };
         assert!(format!("{e}").contains("cpu 2"));
+        assert_eq!(e.kind(), "wrong_cpu");
+        let m = SchedError::TokenMismatch { pid: 9, returned: -1 };
+        assert!(format!("{m}").contains("pid 9"));
+        assert_eq!(m.kind(), "token_mismatch");
+        let p = SchedError::Panic { func: crate::record::FuncId::TaskWakeup };
+        assert!(format!("{p}").contains("task_wakeup"));
+        assert_eq!(p.kind(), "panic");
+        let c = SchedError::TokenConservation { expected: 4, live: 3 };
+        assert!(format!("{c}").contains("expected 4"));
+        assert_eq!(c.kind(), "token_conservation");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn pick_error_alias_still_resolves() {
+        let e: PickError = SchedError::WrongCpu { wanted: 1, got: 2 };
+        assert_eq!(e, SchedError::WrongCpu { wanted: 1, got: 2 });
     }
 
     // Compile-time property: Schedulable is not Clone/Copy. (Checked by

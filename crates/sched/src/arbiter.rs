@@ -22,7 +22,7 @@ use enoki_core::queue::RingBuffer;
 use enoki_core::metrics::{EventKind, SchedulerMetrics};
 use enoki_core::sync::Mutex;
 use enoki_core::{
-    EnokiScheduler, PickError, SchedCtx, Schedulable, TaskInfo, TransferIn, TransferOut,
+    EnokiScheduler, SchedCtx, SchedError, Schedulable, TaskInfo, TransferIn, TransferOut,
 };
 use enoki_sim::{CpuId, CpuSet, HintVal, Pid, WakeFlags};
 use std::sync::{Arc, OnceLock};
@@ -324,7 +324,7 @@ impl EnokiScheduler for Arbiter {
         &self,
         _ctx: &SchedCtx<'_>,
         _cpu: CpuId,
-        _err: PickError,
+        _err: SchedError,
         sched: Option<Schedulable>,
     ) {
         if let Some(s) = sched {

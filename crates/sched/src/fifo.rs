@@ -8,7 +8,7 @@
 use enoki_core::metrics::{EventKind, SchedulerMetrics};
 use enoki_core::sync::Mutex;
 use enoki_core::{
-    EnokiScheduler, PickError, SchedCtx, Schedulable, TaskInfo, TransferIn, TransferOut,
+    EnokiScheduler, SchedCtx, SchedError, Schedulable, TaskInfo, TransferIn, TransferOut,
 };
 use enoki_sim::{CpuId, HintVal, Pid, WakeFlags};
 use std::sync::{Arc, OnceLock};
@@ -148,7 +148,7 @@ impl EnokiScheduler for Fifo {
         &self,
         _ctx: &SchedCtx<'_>,
         _cpu: CpuId,
-        _err: PickError,
+        _err: SchedError,
         sched: Option<Schedulable>,
     ) {
         if let Some(s) = sched {

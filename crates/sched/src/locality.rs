@@ -14,7 +14,7 @@ use enoki_core::queue::RingBuffer;
 use enoki_core::metrics::{EventKind, SchedulerMetrics};
 use enoki_core::sync::Mutex;
 use enoki_core::{
-    EnokiScheduler, PickError, SchedCtx, Schedulable, TaskInfo, TransferIn, TransferOut,
+    EnokiScheduler, SchedCtx, SchedError, Schedulable, TaskInfo, TransferIn, TransferOut,
 };
 use enoki_sim::{CpuId, HintVal, Pid, WakeFlags};
 use std::sync::{Arc, OnceLock};
@@ -208,7 +208,7 @@ impl EnokiScheduler for Locality {
         &self,
         _ctx: &SchedCtx<'_>,
         _cpu: CpuId,
-        _err: PickError,
+        _err: SchedError,
         sched: Option<Schedulable>,
     ) {
         if let Some(s) = sched {

@@ -19,7 +19,7 @@ use crate::fair::{scale_vruntime, Current, Entity, FairRq, WAKEUP_GRANULARITY};
 use enoki_core::metrics::{EventKind, SchedulerMetrics};
 use enoki_core::sync::Mutex;
 use enoki_core::{
-    EnokiScheduler, PickError, SchedCtx, Schedulable, TaskInfo, TransferIn, TransferOut,
+    EnokiScheduler, SchedCtx, SchedError, Schedulable, TaskInfo, TransferIn, TransferOut,
 };
 use enoki_sim::{CpuId, HintVal, Ns, Pid, WakeFlags};
 use std::sync::{Arc, OnceLock};
@@ -309,7 +309,7 @@ impl EnokiScheduler for Nest {
         &self,
         _ctx: &SchedCtx<'_>,
         cpu: CpuId,
-        _err: PickError,
+        _err: SchedError,
         sched: Option<Schedulable>,
     ) {
         let mut st = self.state.lock();

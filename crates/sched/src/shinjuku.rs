@@ -14,7 +14,7 @@
 use enoki_core::metrics::{EventKind, SchedulerMetrics};
 use enoki_core::sync::Mutex;
 use enoki_core::{
-    EnokiScheduler, PickError, SchedCtx, Schedulable, TaskInfo, TransferIn, TransferOut,
+    EnokiScheduler, SchedCtx, SchedError, Schedulable, TaskInfo, TransferIn, TransferOut,
 };
 use enoki_sim::{CpuId, CpuSet, HintVal, Ns, Pid, WakeFlags};
 use std::sync::{Arc, OnceLock};
@@ -218,7 +218,7 @@ impl EnokiScheduler for Shinjuku {
         &self,
         ctx: &SchedCtx<'_>,
         _cpu: CpuId,
-        _err: PickError,
+        _err: SchedError,
         sched: Option<Schedulable>,
     ) {
         if let Some(s) = sched {

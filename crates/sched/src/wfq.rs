@@ -12,7 +12,7 @@ use crate::fair::{scale_vruntime, Current, Entity, FairRq, WAKEUP_GRANULARITY};
 use enoki_core::metrics::{EventKind, SchedulerMetrics};
 use enoki_core::sync::Mutex;
 use enoki_core::{
-    EnokiScheduler, PickError, SchedCtx, Schedulable, TaskInfo, TransferIn, TransferOut,
+    EnokiScheduler, SchedCtx, SchedError, Schedulable, TaskInfo, TransferIn, TransferOut,
 };
 use enoki_sim::{CpuId, HintVal, Ns, Pid, WakeFlags};
 use std::sync::{Arc, OnceLock};
@@ -297,7 +297,7 @@ impl EnokiScheduler for Wfq {
         &self,
         _ctx: &SchedCtx<'_>,
         cpu: CpuId,
-        _err: PickError,
+        _err: SchedError,
         sched: Option<Schedulable>,
     ) {
         // Ownership of the rejected token returns to us: requeue it on the

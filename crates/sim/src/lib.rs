@@ -54,7 +54,7 @@ pub mod trace;
 
 pub use behavior::{Behavior, BehaviorCtx, HintVal, Op, PipeId};
 pub use costs::CostModel;
-pub use machine::{Machine, SimError, TaskSpec};
+pub use machine::{Machine, Sampler, SimError, TaskSpec};
 pub use sched_class::{Command, KernelCtx, SchedClass};
 pub use task::{Pid, TaskView, WakeFlags};
 pub use time::Ns;

@@ -422,6 +422,16 @@ impl Machine {
         self.sampler.take().is_some()
     }
 
+    /// Schedules a dispatch probe: a reschedule interrupt on `cpu` at
+    /// virtual time `at` (clamped to now). The pick it forces guarantees
+    /// the scheduler class a dispatch point at a chosen instant even on an
+    /// otherwise quiet cpu. Fault plans armed in virtual time are wired
+    /// through this (see `MachineBuilder::faults`) so every fault's arm
+    /// time is promptly followed by a dispatch point able to detonate it.
+    pub fn schedule_probe(&mut self, at: Ns, cpu: CpuId) {
+        self.events.push(at.max(self.now), Event::ReschedIpi { cpu });
+    }
+
     /// Fires the sampler for every due point `<= limit`, advancing virtual
     /// time to each due point. The slot is taken out of `self` for the
     /// callback so the closure can borrow the machine shared.

@@ -80,20 +80,29 @@ pub struct TestBed {
     pub enoki: Option<Rc<EnokiClass<HintVal, HintVal>>>,
     /// The ghOSt emulation handle, when the scheduler is a ghOSt agent.
     pub ghost: Option<GhostSetup>,
+    /// The armed health watchdog, when [`BedOptions::health`] asked for
+    /// one and the scheduler under test is an Enoki scheduler.
+    pub watchdog: Option<Arc<Watchdog>>,
 }
 
 impl TestBed {
-    /// Arms live health telemetry on the scheduler under test: enables the
-    /// token-conservation ledger on the dispatch layer and installs a
-    /// [`Watchdog`] as the machine's periodic sampler. Returns `None` for
-    /// ghOSt configurations (no Enoki dispatch layer to audit).
-    ///
-    /// Call before spawning workload tasks so every minted `Schedulable`
-    /// is tracked from birth.
+    /// Arms live health telemetry on the scheduler under test.
+    #[deprecated(
+        note = "set BedOptions::health instead; build() arms the watchdog through MachineBuilder-style wiring"
+    )]
     pub fn arm_health(&mut self, config: HealthConfig) -> Option<Arc<Watchdog>> {
+        let wd = self.arm_health_inner(config);
+        self.watchdog.clone_from(&wd);
+        wd
+    }
+
+    /// Shared health-arming path: ledger + incident sink + sampler poll
+    /// (mirrors what `enoki_core::MachineBuilder::health` wires up).
+    fn arm_health_inner(&mut self, config: HealthConfig) -> Option<Arc<Watchdog>> {
         let class = Rc::clone(self.enoki.as_ref()?);
         class.arm_token_ledger();
         let watchdog = Watchdog::new(config);
+        class.set_incident_sink(&watchdog);
         let (w, idx) = (Arc::clone(&watchdog), self.class_idx);
         self.machine.set_sampler(
             config.sample_interval,
@@ -113,6 +122,10 @@ pub struct BedOptions {
     pub shinjuku_workers: Option<CpuSet>,
     /// Cpus the arbiter manages; `None` = all but cpu 0.
     pub arbiter_cores: Option<CpuSet>,
+    /// Arm live health telemetry (ledger + watchdog + incident sink) on
+    /// the scheduler under test; the watchdog lands in
+    /// [`TestBed::watchdog`]. Ignored for ghOSt configurations.
+    pub health: Option<HealthConfig>,
 }
 
 /// Builds the testbed for a scheduler configuration.
@@ -201,13 +214,18 @@ pub fn build(topo: Topology, costs: CostModel, kind: SchedKind, opts: BedOptions
         None
     };
 
-    TestBed {
+    let mut bed = TestBed {
         machine,
         class_idx,
         cfs_idx,
         enoki,
         ghost,
+        watchdog: None,
+    };
+    if let Some(config) = opts.health {
+        bed.watchdog = bed.arm_health_inner(config);
     }
+    bed
 }
 
 #[cfg(test)]
@@ -255,9 +273,12 @@ mod tests {
             Topology::i7_9700(),
             CostModel::calibrated(),
             SchedKind::Wfq,
-            BedOptions::default(),
+            BedOptions {
+                health: Some(HealthConfig::default()),
+                ..BedOptions::default()
+            },
         );
-        let wd = bed.arm_health(HealthConfig::default()).expect("enoki class");
+        let wd = bed.watchdog.clone().expect("enoki class");
         for i in 0..4 {
             bed.machine.spawn(TaskSpec::new(
                 format!("w{i}"),
@@ -275,13 +296,16 @@ mod tests {
 
     #[test]
     fn ghost_bed_has_no_health() {
-        let mut bed = build(
+        let bed = build(
             Topology::i7_9700(),
             CostModel::calibrated(),
             SchedKind::GhostSol,
-            BedOptions::default(),
+            BedOptions {
+                health: Some(HealthConfig::default()),
+                ..BedOptions::default()
+            },
         );
-        assert!(bed.arm_health(HealthConfig::default()).is_none());
+        assert!(bed.watchdog.is_none());
     }
 
     #[test]

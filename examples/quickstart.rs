@@ -12,11 +12,12 @@
 //! locks) is exactly what the full schedulers in `enoki-sched` use.
 
 use enoki::core::sync::Mutex;
-use enoki::core::{EnokiClass, EnokiScheduler, PickError, SchedCtx, Schedulable, TaskInfo};
+use enoki::core::{
+    BuiltMachine, EnokiScheduler, MachineBuilder, SchedCtx, SchedError, Schedulable, TaskInfo,
+};
 use enoki::sim::behavior::{Op, ProgramBehavior};
-use enoki::sim::{CostModel, CpuId, HintVal, Machine, Ns, Pid, TaskSpec, Topology, WakeFlags};
+use enoki::sim::{CostModel, CpuId, HintVal, Ns, Pid, TaskSpec, Topology, WakeFlags};
 use std::collections::VecDeque;
-use std::rc::Rc;
 
 /// A per-cpu FIFO scheduler: shortest queue on wake, run to block.
 struct MiniFifo {
@@ -122,7 +123,7 @@ impl EnokiScheduler for MiniFifo {
         &self,
         _ctx: &SchedCtx<'_>,
         _cpu: CpuId,
-        _err: PickError,
+        _err: SchedError,
         sched: Option<Schedulable>,
     ) {
         // The framework caught us returning a wrong-core token and gave
@@ -135,14 +136,16 @@ impl EnokiScheduler for MiniFifo {
 }
 
 fn main() {
-    // An 8-core machine with calibrated kernel costs.
-    let mut machine = Machine::new(Topology::i7_9700(), CostModel::calibrated());
-
-    // Load MiniFifo through the Enoki framework: the dispatch layer packs
-    // messages, mints tokens, guards the module with the upgrade lock, and
-    // charges the paper's per-call overhead.
-    let class = Rc::new(EnokiClass::load("mini-fifo", 8, Box::new(MiniFifo::new(8))));
-    machine.add_class(class.clone());
+    // An 8-core machine with calibrated kernel costs, with MiniFifo loaded
+    // through the Enoki framework: the dispatch layer packs messages,
+    // mints tokens, guards the module with the upgrade lock, and charges
+    // the paper's per-call overhead. `MachineBuilder` is the one config
+    // path — add `.health(..)` or `.faults(..)` here to arm the watchdog
+    // or a fault-injection plan on the same machine.
+    let built: BuiltMachine = MachineBuilder::new(Topology::i7_9700(), CostModel::calibrated())
+        .scheduler("mini-fifo", Box::new(MiniFifo::new(8)))
+        .build();
+    let (mut machine, class) = (built.machine, built.class);
 
     // Run a small mixed workload: compute bursts with sleeps in between.
     for i in 0..12 {

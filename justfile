@@ -20,7 +20,9 @@ bench:
 
 # Fast-mode hot-path benches + regression gate against the committed
 # baseline (crates/bench/baselines/BENCH_framework.json). Fails on a >2x
-# throughput regression or a wheel-vs-heap / batched-vs-seed inversion.
+# throughput regression, a wheel-vs-heap / batched-vs-seed inversion, or
+# a metrics/watchdog/failsafe dispatch overhead above 15% (design
+# target <5%; the gate leaves headroom for fast-mode noise).
 bench-gate:
     ENOKI_BENCH_FAST=1 cargo bench -p enoki-bench --bench framework
     cargo run --release -p enoki-bench --bin bench_gate
@@ -34,6 +36,12 @@ health sched="wfq":
     cargo run --release -p enoki-bench --bin schedviz -- --health {{sched}}
     cargo test -q -p enoki --test health
     cargo test -q -p enoki --test safety
+
+# Fault-injection matrix: panic/token/storm faults in every callback,
+# failsafe takeover, recovery via live upgrade, and faulted-run replay.
+faults:
+    cargo test -q -p enoki --test faults
+    cargo test -q -p enoki-core faults
 
 # Record a run, then walk the log through every enoki-log analysis.
 forensics log="/tmp/enoki-forensics.log":

@@ -1,0 +1,654 @@
+//! Integration tests for fault injection and graceful degradation
+//! (DESIGN.md §3g): a [`FaultPlan`] detonating a panic or token violation
+//! inside any scheduler callback must never abort the process — the
+//! framework quarantines the module, the failsafe FIFO takes over within
+//! one tick, a typed incident lands in the health log, a replacement
+//! re-registers via live upgrade, and faulted runs replay exactly.
+
+use enoki::core::health::HealthConfig;
+use enoki::core::record::{self, FaultTag, FuncId, Rec};
+use enoki::core::{
+    BuiltMachine, EnokiScheduler, FaultKind, FaultPlan, MachineBuilder, SchedCtx, SchedError,
+    Schedulable, TaskInfo,
+};
+use enoki::replay::{load_log, replay_file, start_recording, stop_recording};
+use enoki::sched::locality::HINT_LOCALITY;
+use enoki::sched::{Locality, Wfq};
+use enoki::sim::behavior::{Op, ProgramBehavior};
+use enoki::sim::{CostModel, CpuId, HintVal, Machine, Ns, Pid, TaskSpec, Topology, WakeFlags};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+/// Record mode is process-global, and the panic hook below is too, so every
+/// test in this binary serializes on one lock (cheap — each run is a few
+/// tens of virtual milliseconds).
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("enoki-it-faults-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir.join(name)
+}
+
+/// Injected panics are *expected* to unwind; silence the default hook's
+/// backtrace spam for them (and for the deliberate unarmed-module panic)
+/// while keeping real failures loud.
+fn quiet_expected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let expected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.starts_with("enoki fault injection"))
+                || info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|s| s.starts_with("unarmed module panic"));
+            if !expected {
+                default(info);
+            }
+        }));
+    });
+}
+
+const NR: usize = 4;
+
+/// Builds a watchdog-armed, fault-armed Wfq machine.
+fn faulted(plan: FaultPlan) -> BuiltMachine {
+    MachineBuilder::new(Topology::new(NR, 1), CostModel::calibrated())
+        .scheduler("wfq", Box::new(Wfq::new(NR)))
+        .health(HealthConfig::default())
+        .faults(plan)
+        .build()
+}
+
+/// A compute-heavy mix that exercises every dispatch path: long bursts keep
+/// ticks and preemptions coming (runnable backlog on every cpu), sleeps
+/// drive select/wakeup, and two stragglers arrive mid-run so `task_new`
+/// fires after any mid-run fault arms.
+fn spawn_mix(m: &mut Machine, class_idx: usize) {
+    for i in 0..NR * 2 {
+        m.spawn(TaskSpec::new(
+            format!("spin{i}"),
+            class_idx,
+            Box::new(ProgramBehavior::repeat(
+                vec![Op::Compute(Ns::from_ms(3)), Op::Sleep(Ns::from_us(200))],
+                10,
+            )),
+        ));
+    }
+    for i in 0..2 {
+        m.spawn(
+            TaskSpec::new(
+                format!("late{i}"),
+                class_idx,
+                Box::new(ProgramBehavior::repeat(
+                    vec![Op::Compute(Ns::from_ms(1)), Op::Sleep(Ns::from_us(300))],
+                    8,
+                )),
+            )
+            .at(Ns::from_ms(8 + i as u64)),
+        );
+    }
+}
+
+fn incident_kinds(built: &BuiltMachine) -> Vec<&'static str> {
+    let wd = built.watchdog.as_ref().expect("health was armed");
+    wd.incidents().iter().map(|i| i.event.kind()).collect()
+}
+
+/// The acceptance bar: a panic injected into *each* scheduler callback
+/// never aborts the run — the failsafe takes over, the run completes, and
+/// the health log carries the typed `sched_fault` + `quarantined` pair.
+#[test]
+fn panic_in_each_callback_fails_over_to_failsafe() {
+    let _g = serial();
+    quiet_expected_panics();
+    for func in [
+        FuncId::SelectTaskRq,
+        FuncId::TaskNew,
+        FuncId::TaskWakeup,
+        FuncId::TaskTick,
+        FuncId::PickNextTask,
+        FuncId::TaskPreempt,
+    ] {
+        let plan = FaultPlan::new().inject(Ns::from_ms(6), FaultKind::Panic { func });
+        let mut built = faulted(plan);
+        spawn_mix(&mut built.machine, built.class_idx);
+        let done = built
+            .machine
+            .run_to_completion(Ns::from_secs(2))
+            .expect("no sim error");
+        assert!(done, "{func:?}: faulted run must still drain the workload");
+
+        let stats = built.class.stats();
+        assert!(built.class.is_quarantined(), "{func:?}: must quarantine");
+        assert_eq!(stats.panics_caught, 1, "{func:?}: one caught panic");
+        assert_eq!(stats.quarantines, 1, "{func:?}: one quarantine");
+        assert_eq!(stats.injected_faults, 1, "{func:?}: the fault detonated");
+        assert!(
+            stats.failsafe_picks > 0,
+            "{func:?}: failsafe must have served picks after takeover"
+        );
+        let kinds = incident_kinds(&built);
+        assert!(
+            kinds.contains(&"sched_fault"),
+            "{func:?}: typed SchedFault incident, got {kinds:?}"
+        );
+        assert!(
+            kinds.contains(&"quarantined"),
+            "{func:?}: quarantine incident, got {kinds:?}"
+        );
+    }
+}
+
+/// After quarantine, a replacement module re-registers through the normal
+/// live-upgrade path: it is refed from the failsafe's preserved task set,
+/// the class leaves quarantine, and the run finishes under the new module.
+#[test]
+fn recovery_reattaches_replacement_via_live_upgrade() {
+    let _g = serial();
+    quiet_expected_panics();
+    let plan = FaultPlan::new().inject(
+        Ns::from_ms(5),
+        FaultKind::Panic {
+            func: FuncId::PickNextTask,
+        },
+    );
+    let mut built = faulted(plan);
+    spawn_mix(&mut built.machine, built.class_idx);
+    built.machine.run_until(Ns::from_ms(12)).expect("no sim error");
+    assert!(built.class.is_quarantined(), "fault must have detonated by 12ms");
+
+    let report = built.class.upgrade(Box::new(Wfq::new(NR)));
+    assert!(report.recovered, "upgrade of a quarantined class is a recovery");
+    assert!(
+        !report.transferred,
+        "recovery must not trust the faulty module's reregister_prepare"
+    );
+    assert!(!built.class.is_quarantined(), "recovery clears quarantine");
+
+    let done = built
+        .machine
+        .run_to_completion(Ns::from_secs(2))
+        .expect("no sim error");
+    assert!(done, "replacement module must drain the workload");
+    let stats = built.class.stats();
+    assert_eq!(stats.upgrades, 1);
+    assert_eq!(
+        stats.quarantines, 1,
+        "the recovered module must stay healthy (no re-quarantine)"
+    );
+    let kinds = incident_kinds(&built);
+    assert!(
+        kinds.contains(&"scheduler_recovered"),
+        "recovery incident in health log, got {kinds:?}"
+    );
+}
+
+/// A forged wrong-cpu token at `pick_next_task` is a token-audit violation:
+/// immediate quarantine with a typed `wrong_cpu` error.
+#[test]
+fn forged_token_quarantines_with_wrong_cpu() {
+    let _g = serial();
+    quiet_expected_panics();
+    let plan = FaultPlan::new().inject(Ns::from_ms(4), FaultKind::ForgedToken);
+    let mut built = faulted(plan);
+    spawn_mix(&mut built.machine, built.class_idx);
+    let done = built
+        .machine
+        .run_to_completion(Ns::from_secs(2))
+        .expect("no sim error");
+    assert!(done);
+    assert!(built.class.is_quarantined());
+    let stats = built.class.stats();
+    assert!(stats.pnt_errs >= 1, "the forged token counts as a pick error");
+    assert_eq!(stats.injected_faults, 1);
+
+    let wd = built.watchdog.as_ref().expect("health armed");
+    let quarantine_error = wd.incidents().iter().find_map(|i| match i.event {
+        enoki::core::health::HealthEvent::Quarantined { error } => Some(error),
+        _ => None,
+    });
+    assert_eq!(
+        quarantine_error.map(|e| e.kind()),
+        Some("wrong_cpu"),
+        "quarantine must carry the typed token-audit error"
+    );
+}
+
+/// A dropped token leaves the task unpickable by the module; the watchdog's
+/// conservation audit notices the shortfall and quarantines, after which
+/// the failsafe (which still tracks the task) finishes the run.
+#[test]
+fn dropped_token_trips_conservation_audit() {
+    let _g = serial();
+    quiet_expected_panics();
+    let plan = FaultPlan::new().inject(Ns::from_ms(4), FaultKind::DropToken);
+    let mut built = faulted(plan);
+    spawn_mix(&mut built.machine, built.class_idx);
+    let done = built
+        .machine
+        .run_to_completion(Ns::from_secs(2))
+        .expect("no sim error");
+    assert!(done, "failsafe must rescue the stranded task");
+    assert!(built.class.is_quarantined());
+    let kinds = incident_kinds(&built);
+    assert!(kinds.contains(&"token_lost"), "audit incident, got {kinds:?}");
+    assert!(kinds.contains(&"quarantined"), "got {kinds:?}");
+
+    let wd = built.watchdog.as_ref().expect("health armed");
+    let quarantine_error = wd.incidents().iter().find_map(|i| match i.event {
+        enoki::core::health::HealthEvent::Quarantined { error } => Some(error),
+        _ => None,
+    });
+    assert_eq!(quarantine_error.map(|e| e.kind()), Some("token_conservation"));
+}
+
+/// A pnt_err storm is detection-only: the watchdog's storm monitor is
+/// exercised but the module is *not* quarantined — wrong-cpu picks are a
+/// recoverable error class, unlike panics and token violations.
+#[test]
+fn pnt_err_storm_is_detection_only() {
+    let _g = serial();
+    quiet_expected_panics();
+    let plan = FaultPlan::new().inject(Ns::from_ms(4), FaultKind::PntErrStorm { count: 8 });
+    let mut built = faulted(plan);
+    spawn_mix(&mut built.machine, built.class_idx);
+    let done = built
+        .machine
+        .run_to_completion(Ns::from_secs(2))
+        .expect("no sim error");
+    assert!(done);
+    assert!(!built.class.is_quarantined(), "storms must not quarantine");
+    let stats = built.class.stats();
+    assert!(stats.pnt_errs >= 8, "all burned picks count, got {}", stats.pnt_errs);
+    assert_eq!(built.class.pending_faults(), 0, "the storm was consumed");
+    assert!(
+        !incident_kinds(&built).contains(&"quarantined"),
+        "no quarantine incident for a recoverable error class"
+    );
+}
+
+/// A stalled hint queue keeps accepting producer pushes but suppresses
+/// module notification for the window; delivery resumes afterwards and the
+/// run completes without quarantine.
+#[test]
+fn hint_stall_suppresses_module_delivery() {
+    let _g = serial();
+    quiet_expected_panics();
+    let plan = FaultPlan::new().inject(
+        Ns::from_ms(2),
+        FaultKind::HintStall {
+            window: Ns::from_ms(3),
+        },
+    );
+    let mut built = MachineBuilder::new(Topology::new(NR, 1), CostModel::calibrated())
+        .scheduler("locality", Box::new(Locality::new(NR)))
+        .health(HealthConfig::default())
+        .hint_queue(256)
+        .faults(plan)
+        .build();
+    for i in 0..NR * 2 {
+        built.machine.spawn(TaskSpec::new(
+            format!("hinter{i}"),
+            built.class_idx,
+            Box::new(ProgramBehavior::repeat(
+                vec![
+                    Op::Hint(HintVal {
+                        kind: HINT_LOCALITY,
+                        a: (i % 2) as i64 + 1,
+                        b: 9,
+                        c: 0,
+                    }),
+                    Op::Compute(Ns::from_us(400)),
+                    Op::Sleep(Ns::from_us(200)),
+                ],
+                25,
+            )),
+        ));
+    }
+    let done = built
+        .machine
+        .run_to_completion(Ns::from_secs(2))
+        .expect("no sim error");
+    assert!(done);
+    assert!(!built.class.is_quarantined(), "a stall is degradation, not a fault");
+    let stats = built.class.stats();
+    assert_eq!(stats.injected_faults, 1, "the stall detonated");
+    assert!(
+        stats.hints_delivered > 0,
+        "the producer side kept landing hints in the ring"
+    );
+}
+
+/// Regression (ISSUE 5 satellite): a panic raised while holding a recorded
+/// shim lock must release it during unwind *and* the release must appear in
+/// the lock-order log — otherwise replay's lock sequencer hangs forever on
+/// the next acquirer.
+#[test]
+fn panic_in_lock_releases_lock_in_record_log() {
+    let _g = serial();
+    quiet_expected_panics();
+    let path = tmp("panic_in_lock.log");
+    record::reset_lock_ids();
+    let plan = FaultPlan::new().inject(
+        Ns::from_ms(4),
+        FaultKind::PanicInLock {
+            func: FuncId::PickNextTask,
+        },
+    );
+    let mut built = faulted(plan);
+    let session = start_recording(&path, 1 << 20).expect("start recording");
+    spawn_mix(&mut built.machine, built.class_idx);
+    let done = built
+        .machine
+        .run_to_completion(Ns::from_secs(2))
+        .expect("no sim error");
+    let _ = stop_recording(session).expect("stop recording");
+    assert!(done);
+    assert!(built.class.is_quarantined());
+
+    let log = load_log(&path).expect("parse log");
+    assert!(!log.truncated);
+    let fault_idx = log
+        .records
+        .iter()
+        .position(
+            |r| matches!(r, Rec::Fault { kind, .. } if *kind == FaultTag::InjectedPanicInLock),
+        )
+        .expect("the in-lock fault is in the log");
+    let fault_tid = match log.records[fault_idx] {
+        Rec::Fault { tid, .. } => tid,
+        _ => unreachable!(),
+    };
+    // The next acquire by the faulting thread is the detonation rig; the
+    // unwind must put its release in the log.
+    let (acq_idx, rig_lock) = log.records[fault_idx..]
+        .iter()
+        .enumerate()
+        .find_map(|(i, r)| match r {
+            Rec::LockAcquire { tid, lock, .. } if *tid == fault_tid => Some((fault_idx + i, *lock)),
+            _ => None,
+        })
+        .expect("the rig lock acquire is recorded");
+    assert!(
+        log.records[acq_idx + 1..].iter().any(|r| matches!(
+            r,
+            Rec::LockRelease { tid, lock } if *tid == fault_tid && *lock == rig_lock
+        )),
+        "unwinding out of the panic must log the lock release"
+    );
+    for tag in [FaultTag::CaughtPanic, FaultTag::Quarantined] {
+        assert!(
+            log.records
+                .iter()
+                .any(|r| matches!(r, Rec::Fault { kind, .. } if *kind == tag)),
+            "{tag:?} marker must be in the log"
+        );
+    }
+
+    // And the log replays: the faulted call is skipped, the lock sequencer
+    // does not deadlock on the rig lock, and the module's answers match.
+    let report = replay_file(&path, NR, || Wfq::new(NR)).expect("replay");
+    assert!(report.calls > 0);
+    assert_eq!(report.divergences, Vec::new(), "faulted log must replay exactly");
+    assert_eq!(report.sequencing_timeouts, 0);
+}
+
+/// A faulted run records its injected faults, so replaying the log against
+/// the same module diverges nowhere — fault injection is part of the
+/// deterministic record/replay story, not outside it.
+#[test]
+fn faulted_run_replays_deterministically() {
+    let _g = serial();
+    quiet_expected_panics();
+    let path = tmp("faulted.log");
+    record::reset_lock_ids();
+    let plan = FaultPlan::new()
+        .inject(
+            Ns::from_ms(4),
+            FaultKind::Panic {
+                func: FuncId::TaskWakeup,
+            },
+        )
+        .inject(Ns::from_ms(2), FaultKind::PntErrStorm { count: 4 });
+    let mut built = faulted(plan);
+    let session = start_recording(&path, 1 << 20).expect("start recording");
+    spawn_mix(&mut built.machine, built.class_idx);
+    let done = built
+        .machine
+        .run_to_completion(Ns::from_secs(2))
+        .expect("no sim error");
+    let _ = stop_recording(session).expect("stop recording");
+    assert!(done);
+    assert!(built.class.is_quarantined());
+
+    let report = replay_file(&path, NR, || Wfq::new(NR)).expect("replay");
+    assert!(report.calls > 0);
+    assert_eq!(report.divergences, Vec::new());
+    assert_eq!(report.sequencing_timeouts, 0);
+}
+
+/// A run that recovers via live upgrade replays its *newest epoch*: the
+/// post-recovery slice, starting from the refeed of the failsafe's task
+/// set, runs against a fresh replacement and diverges nowhere.
+#[test]
+fn recovered_run_replays_newest_epoch() {
+    let _g = serial();
+    quiet_expected_panics();
+    let path = tmp("recovered.log");
+    record::reset_lock_ids();
+    let plan = FaultPlan::new().inject(
+        Ns::from_ms(5),
+        FaultKind::Panic {
+            func: FuncId::PickNextTask,
+        },
+    );
+    let mut built = faulted(plan);
+    let session = start_recording(&path, 1 << 20).expect("start recording");
+    spawn_mix(&mut built.machine, built.class_idx);
+    built.machine.run_until(Ns::from_ms(12)).expect("no sim error");
+    assert!(built.class.is_quarantined());
+    let report = built.class.upgrade(Box::new(Wfq::new(NR)));
+    assert!(report.recovered);
+    let done = built
+        .machine
+        .run_to_completion(Ns::from_secs(2))
+        .expect("no sim error");
+    let _ = stop_recording(session).expect("stop recording");
+    assert!(done);
+
+    let log = load_log(&path).expect("parse log");
+    assert!(
+        log.records
+            .iter()
+            .any(|r| matches!(r, Rec::Fault { kind, .. } if *kind == FaultTag::Recovered)),
+        "the epoch boundary marker must be in the log"
+    );
+    let report = replay_file(&path, NR, || Wfq::new(NR)).expect("replay");
+    assert!(report.calls > 0, "the recovered epoch has calls to replay");
+    assert_eq!(report.divergences, Vec::new());
+    assert_eq!(report.sequencing_timeouts, 0);
+}
+
+/// Seeded fault plans are the fuzzing entry point: any seed must (a) never
+/// abort the process and (b) be fully deterministic — two identical runs
+/// end at the same virtual time with identical dispatch stats.
+#[test]
+fn seeded_plans_never_abort_and_are_deterministic() {
+    let _g = serial();
+    quiet_expected_panics();
+    let run = |seed: u64| -> (Ns, String) {
+        let plan = FaultPlan::seeded(seed, 4, Ns::from_ms(20));
+        assert_eq!(plan.len(), 4);
+        let mut built = faulted(plan);
+        spawn_mix(&mut built.machine, built.class_idx);
+        let done = built
+            .machine
+            .run_to_completion(Ns::from_secs(2))
+            .expect("no sim error");
+        assert!(done, "seed {seed}: run must complete whatever the plan drew");
+        (built.machine.now(), format!("{:?}", built.class.stats()))
+    };
+    for seed in [3u64, 17, 4242] {
+        let first = run(seed);
+        let second = run(seed);
+        assert_eq!(first, second, "seed {seed}: faulted runs must be deterministic");
+    }
+}
+
+/// Without an armed failsafe the contract is unchanged from the seed: a
+/// module panic propagates (fail fast) instead of being silently eaten.
+#[test]
+fn unarmed_panic_still_fails_fast() {
+    let _g = serial();
+    quiet_expected_panics();
+    let mut built = MachineBuilder::new(Topology::new(2, 1), CostModel::calibrated())
+        .scheduler("grenade", Box::new(PanicOnPick::new(2, 20)))
+        .build();
+    for i in 0..4 {
+        built.machine.spawn(TaskSpec::new(
+            format!("t{i}"),
+            built.class_idx,
+            Box::new(ProgramBehavior::repeat(
+                vec![Op::Compute(Ns::from_us(500)), Op::Sleep(Ns::from_us(200))],
+                30,
+            )),
+        ));
+    }
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        built.machine.run_to_completion(Ns::from_secs(1))
+    }));
+    assert!(result.is_err(), "unarmed panics must propagate, not degrade");
+}
+
+/// A correct per-cpu FIFO that detonates on its n-th pick — the "organic"
+/// module bug the unarmed fail-fast test needs.
+struct PanicOnPick {
+    queues: enoki::core::sync::Mutex<Vec<VecDeque<Schedulable>>>,
+    picks: enoki::core::sync::Mutex<u64>,
+    fuse: u64,
+}
+
+impl PanicOnPick {
+    fn new(nr_cpus: usize, fuse: u64) -> PanicOnPick {
+        PanicOnPick {
+            queues: enoki::core::sync::Mutex::new(
+                (0..nr_cpus).map(|_| VecDeque::new()).collect(),
+            ),
+            picks: enoki::core::sync::Mutex::new(0),
+            fuse,
+        }
+    }
+}
+
+impl EnokiScheduler for PanicOnPick {
+    type UserMsg = HintVal;
+    type RevMsg = HintVal;
+
+    fn get_policy(&self) -> i32 {
+        97
+    }
+
+    fn select_task_rq(
+        &self,
+        _ctx: &SchedCtx<'_>,
+        t: &TaskInfo,
+        prev: CpuId,
+        _f: WakeFlags,
+    ) -> CpuId {
+        let qs = self.queues.lock();
+        (0..qs.len())
+            .filter(|&c| t.affinity.contains(c))
+            .min_by_key(|&c| (qs[c].len(), usize::from(c != prev)))
+            .unwrap_or(prev)
+    }
+
+    fn task_new(&self, _ctx: &SchedCtx<'_>, _t: &TaskInfo, sched: Schedulable) {
+        let cpu = sched.cpu();
+        self.queues.lock()[cpu].push_back(sched);
+    }
+
+    fn task_wakeup(&self, ctx: &SchedCtx<'_>, _t: &TaskInfo, _f: WakeFlags, sched: Schedulable) {
+        let cpu = sched.cpu();
+        self.queues.lock()[cpu].push_back(sched);
+        ctx.resched(cpu);
+    }
+
+    fn task_blocked(&self, _ctx: &SchedCtx<'_>, _t: &TaskInfo) {}
+
+    fn task_preempt(&self, _ctx: &SchedCtx<'_>, t: &TaskInfo, sched: Schedulable) {
+        self.queues.lock()[t.cpu].push_back(sched);
+    }
+
+    fn task_yield(&self, ctx: &SchedCtx<'_>, t: &TaskInfo, sched: Schedulable) {
+        self.task_preempt(ctx, t, sched);
+    }
+
+    fn task_dead(&self, _ctx: &SchedCtx<'_>, _pid: Pid) {}
+
+    fn task_departed(&self, _ctx: &SchedCtx<'_>, t: &TaskInfo) -> Option<Schedulable> {
+        let mut qs = self.queues.lock();
+        for q in qs.iter_mut() {
+            if let Some(pos) = q.iter().position(|s| s.pid() == t.pid) {
+                return q.remove(pos);
+            }
+        }
+        None
+    }
+
+    fn task_tick(&self, _ctx: &SchedCtx<'_>, _cpu: CpuId, _t: &TaskInfo) {}
+
+    fn migrate_task_rq(
+        &self,
+        _ctx: &SchedCtx<'_>,
+        t: &TaskInfo,
+        new: Schedulable,
+    ) -> Option<Schedulable> {
+        let mut qs = self.queues.lock();
+        let mut old = None;
+        for q in qs.iter_mut() {
+            if let Some(pos) = q.iter().position(|s| s.pid() == t.pid) {
+                old = q.remove(pos);
+            }
+        }
+        let cpu = new.cpu();
+        qs[cpu].push_back(new);
+        old
+    }
+
+    fn pick_next_task(
+        &self,
+        _ctx: &SchedCtx<'_>,
+        cpu: CpuId,
+        _curr: Option<Schedulable>,
+    ) -> Option<Schedulable> {
+        let mut picks = self.picks.lock();
+        *picks += 1;
+        if *picks >= self.fuse {
+            panic!("unarmed module panic (test): fuse burned");
+        }
+        self.queues.lock()[cpu].pop_front()
+    }
+
+    fn pnt_err(
+        &self,
+        _ctx: &SchedCtx<'_>,
+        _cpu: CpuId,
+        _err: SchedError,
+        sched: Option<Schedulable>,
+    ) {
+        if let Some(s) = sched {
+            let cpu = s.cpu();
+            self.queues.lock()[cpu].push_back(s);
+        }
+    }
+}

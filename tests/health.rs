@@ -6,7 +6,7 @@
 use enoki::core::health::{HealthConfig, HealthEvent, Watchdog};
 use enoki::core::queue::RingBuffer;
 use enoki::core::sync::Mutex;
-use enoki::core::{EnokiClass, EnokiScheduler, PickError, SchedCtx, Schedulable, TaskInfo};
+use enoki::core::{EnokiClass, EnokiScheduler, SchedCtx, SchedError, Schedulable, TaskInfo};
 use enoki::sim::behavior::{Op, ProgramBehavior};
 use enoki::sim::task::TaskState;
 use enoki::sim::{CostModel, CpuId, HintVal, Machine, Ns, Pid, TaskSpec, Topology, WakeFlags};
@@ -16,7 +16,8 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 /// Arms the watchdog on a hand-built machine whose Enoki class sits at
-/// class index 0 (what `TestBed::arm_health` does for testbed scenarios).
+/// class index 0 (the substrate wiring `MachineBuilder::health` and
+/// `BedOptions::health` perform for builder/testbed scenarios).
 fn arm(
     m: &mut Machine,
     class: &Rc<EnokiClass<HintVal, HintVal>>,
@@ -144,7 +145,7 @@ impl EnokiScheduler for BuggySched {
     ) -> Option<Schedulable> {
         self.queues.lock()[cpu].pop_front()
     }
-    fn pnt_err(&self, _c: &SchedCtx<'_>, _cpu: CpuId, _e: PickError, s: Option<Schedulable>) {
+    fn pnt_err(&self, _c: &SchedCtx<'_>, _cpu: CpuId, _e: SchedError, s: Option<Schedulable>) {
         if let Some(s) = s {
             self.enqueue(s);
         }
@@ -322,10 +323,14 @@ fn assert_clean(kind: SchedKind) {
         Topology::i7_9700(),
         CostModel::calibrated(),
         kind,
-        BedOptions::default(),
+        BedOptions {
+            health: Some(HealthConfig::default()),
+            ..BedOptions::default()
+        },
     );
     let wd = bed
-        .arm_health(HealthConfig::default())
+        .watchdog
+        .clone()
         .expect("kind runs through the Enoki class");
     for i in 0..6 {
         bed.machine.spawn(TaskSpec::new(

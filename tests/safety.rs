@@ -6,7 +6,7 @@
 
 use enoki::core::health::{HealthConfig, HealthEvent, Watchdog};
 use enoki::core::sync::Mutex;
-use enoki::core::{EnokiClass, EnokiScheduler, PickError, SchedCtx, Schedulable, TaskInfo};
+use enoki::core::{EnokiClass, EnokiScheduler, SchedCtx, SchedError, Schedulable, TaskInfo};
 use enoki::sim::behavior::{Op, ProgramBehavior};
 use enoki::sim::{CostModel, CpuId, HintVal, Machine, Ns, Pid, TaskSpec, Topology, WakeFlags};
 use std::collections::VecDeque;
@@ -97,7 +97,7 @@ impl EnokiScheduler for ConfusedSched {
         }
         None
     }
-    fn pnt_err(&self, _c: &SchedCtx<'_>, _cpu: CpuId, _e: PickError, s: Option<Schedulable>) {
+    fn pnt_err(&self, _c: &SchedCtx<'_>, _cpu: CpuId, _e: SchedError, s: Option<Schedulable>) {
         *self.pnt_errs_seen.lock() += 1;
         if let Some(s) = s {
             let cpu = s.cpu();
@@ -247,7 +247,7 @@ impl EnokiScheduler for TokenSwapper {
     ) -> Option<Schedulable> {
         self.inner.lock()[cpu].pop_front()
     }
-    fn pnt_err(&self, _c: &SchedCtx<'_>, _cpu: CpuId, _e: PickError, s: Option<Schedulable>) {
+    fn pnt_err(&self, _c: &SchedCtx<'_>, _cpu: CpuId, _e: SchedError, s: Option<Schedulable>) {
         if let Some(s) = s {
             let cpu = s.cpu();
             self.inner.lock()[cpu].push_back(s);
@@ -377,7 +377,7 @@ fn work_conservation_violations_do_not_crash() {
         ) -> Option<Schedulable> {
             self.queues.lock()[cpu].pop_front()
         }
-        fn pnt_err(&self, _c: &SchedCtx<'_>, _cpu: CpuId, _e: PickError, _s: Option<Schedulable>) {}
+        fn pnt_err(&self, _c: &SchedCtx<'_>, _cpu: CpuId, _e: SchedError, _s: Option<Schedulable>) {}
     }
 
     let mut m = Machine::new(Topology::i7_9700(), CostModel::calibrated());

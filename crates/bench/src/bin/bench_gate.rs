@@ -23,6 +23,16 @@
 //! above the fast-mode noise floor (single-run deltas swing several
 //! percent either way) so CI only fails on real regressions.
 //!
+//! When the same CI run also wrote `BENCH_meta.json` (the `meta_switch`
+//! harness: the closed control loop under the shifting mix), the gate
+//! pins the **deterministic switch history** — epoch, virtual time, and
+//! policy number of every switch, plus the final policy — exactly
+//! against the committed `crates/bench/baselines/BENCH_meta.json`:
+//! those are virtual-time facts, so any drift is a behaviour change,
+//! not noise. The wall-clock costs ride under generous absolute
+//! ceilings (per-switch blackout, per-sample decision latency) that
+//! only a real regression can cross.
+//!
 //! Usage: `bench_gate [current.json] [baseline.json]`
 //! (defaults: `crates/bench/results/BENCH_framework.json`, falling back to
 //! `results/BENCH_framework.json`, vs `crates/bench/baselines/BENCH_framework.json`)
@@ -42,6 +52,13 @@ const BATCHED_RING_FLOOR: f64 = 1.5;
 /// target is <5%; the gate ceiling adds headroom for fast-mode
 /// measurement noise so CI only trips on real regressions.
 const OVERHEAD_CEILING_PCT: f64 = 15.0;
+/// Per-switch live-upgrade blackout ceiling for the meta control loop
+/// (wall clock; the paper's figure is ~10 µs, the ceiling leaves room
+/// for slow shared runners).
+const META_BLACKOUT_CEILING_NS: f64 = 5_000_000.0;
+/// Per-sample chooser classification ceiling (wall clock; measured at
+/// single-digit nanoseconds, ceiling far above any plausible noise).
+const META_DECISION_CEILING_NS: f64 = 20_000.0;
 
 // ----------------------------------------------------------------------
 // Minimal JSON reader (the workspace builds offline; no serde)
@@ -406,6 +423,144 @@ fn load_overheads(path: &str) -> Result<Vec<OverheadRow>, String> {
     Ok(out)
 }
 
+/// One executed policy switch from the `meta_switch` harness. Everything
+/// but the blackout is a deterministic function of the mix.
+#[derive(Debug, PartialEq)]
+struct MetaSwitch {
+    epoch: i64,
+    at_ns: i64,
+    from: i64,
+    to: i64,
+}
+
+/// The meta control-loop report: the deterministic switch history plus
+/// the wall-clock costs.
+struct MetaReport {
+    final_policy: String,
+    decision_mean_ns: f64,
+    switches: Vec<MetaSwitch>,
+    blackouts_ns: Vec<f64>,
+}
+
+/// Parses and schema-checks one `BENCH_meta.json`: the harness must be
+/// `meta`, params must carry `final_policy` and a finite positive
+/// `decision_mean_ns`, and every row must carry integer `epoch`,
+/// `at_ns`, `from`, `to` and a finite non-negative `blackout_ns`.
+fn load_meta(path: &str) -> Result<MetaReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = Parser::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let harness = doc
+        .get("harness")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{path}: missing \"harness\""))?;
+    if harness != "meta" {
+        return Err(format!("{path}: harness is {harness:?}, not \"meta\""));
+    }
+    let params = doc
+        .get("params")
+        .ok_or_else(|| format!("{path}: missing \"params\""))?;
+    let final_policy = params
+        .get("final_policy")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{path}: params missing \"final_policy\""))?
+        .to_string();
+    let decision_mean_ns = params
+        .get("decision_mean_ns")
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("{path}: params missing numeric \"decision_mean_ns\""))?;
+    if !decision_mean_ns.is_finite() || decision_mean_ns <= 0.0 {
+        return Err(format!(
+            "{path}: decision_mean_ns {decision_mean_ns} is not a positive number"
+        ));
+    }
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: missing \"rows\" array"))?;
+    let mut switches = Vec::new();
+    let mut blackouts_ns = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        let int = |key: &str| -> Result<i64, String> {
+            row.get(key)
+                .and_then(Json::as_num)
+                .map(|n| n as i64)
+                .ok_or_else(|| format!("{path}: row {i} has no numeric \"{key}\""))
+        };
+        let blackout = row
+            .get("blackout_ns")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("{path}: row {i} has no numeric \"blackout_ns\""))?;
+        if !blackout.is_finite() || blackout < 0.0 {
+            return Err(format!("{path}: row {i} blackout_ns {blackout} is invalid"));
+        }
+        switches.push(MetaSwitch {
+            epoch: int("epoch")?,
+            at_ns: int("at_ns")?,
+            from: int("from")?,
+            to: int("to")?,
+        });
+        blackouts_ns.push(blackout);
+    }
+    if switches.is_empty() {
+        return Err(format!("{path}: no switch rows"));
+    }
+    Ok(MetaReport {
+        final_policy,
+        decision_mean_ns,
+        switches,
+        blackouts_ns,
+    })
+}
+
+/// Gates the meta control-loop report: exact switch history vs the
+/// baseline, absolute ceilings on the wall-clock costs. Returns the
+/// number of rows gated.
+fn gate_meta(current_path: &str, failures: &mut Vec<String>) -> Result<usize, String> {
+    let baseline_path = "crates/bench/baselines/BENCH_meta.json";
+    let cur = load_meta(current_path)?;
+    let base = load_meta(baseline_path)?;
+    println!("meta gate: {current_path} vs baseline {baseline_path}");
+    println!(
+        "  decision latency {:>31.1} ns/sample  (ceiling {META_DECISION_CEILING_NS} ns)",
+        cur.decision_mean_ns
+    );
+    if cur.decision_mean_ns > META_DECISION_CEILING_NS {
+        failures.push(format!(
+            "meta decision latency {:.1} ns exceeds the {META_DECISION_CEILING_NS} ns ceiling",
+            cur.decision_mean_ns
+        ));
+    }
+    for (s, blackout) in cur.switches.iter().zip(&cur.blackouts_ns) {
+        println!(
+            "  switch epoch {:<6} policy {:>3} -> {:<3} {:>12.2} µs blackout",
+            s.epoch,
+            s.from,
+            s.to,
+            blackout / 1e3
+        );
+        if *blackout > META_BLACKOUT_CEILING_NS {
+            failures.push(format!(
+                "meta switch at epoch {} blacked out for {:.0} ns (ceiling {META_BLACKOUT_CEILING_NS} ns)",
+                s.epoch, blackout
+            ));
+        }
+    }
+    // The switch history is a deterministic function of the mix: pin it.
+    if cur.switches != base.switches {
+        failures.push(format!(
+            "meta switch history drifted from the baseline:\n  current  {:?}\n  baseline {:?}",
+            cur.switches, base.switches
+        ));
+    }
+    if cur.final_policy != base.final_policy {
+        failures.push(format!(
+            "meta run ended on {:?}, baseline ended on {:?}",
+            cur.final_policy, base.final_policy
+        ));
+    }
+    Ok(cur.switches.len())
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let current_path = args
@@ -507,6 +662,17 @@ fn run() -> Result<(), String> {
             "  (no {} — overhead ceiling not gated)",
             overhead_path.display()
         );
+    }
+
+    // Meta control-loop gate: runs whenever a `meta_switch` report is
+    // present (CI writes it right before this gate; a standalone
+    // framework-only gate run skips it).
+    let meta_path = ["results/BENCH_meta.json", "crates/bench/results/BENCH_meta.json"]
+        .into_iter()
+        .find(|p| std::path::Path::new(p).exists());
+    match meta_path {
+        Some(p) => gated += gate_meta(p, &mut failures)?,
+        None => println!("  (no BENCH_meta.json — meta control loop not gated)"),
     }
 
     if failures.is_empty() {

@@ -1,0 +1,134 @@
+//! meta_switch: the closed control loop under the shifting workload mix.
+//!
+//! Runs the three-phase shifting mix (latency burst → throughput batch →
+//! locality ping-pong) under the meta-scheduler's standard arsenal and
+//! reports the numbers behind the control loop's cost claims:
+//!
+//! - **switch decision latency** — wall-clock nanoseconds per chooser
+//!   classification, measured over representative health samples (the
+//!   per-sample cost the sampler hook pays whether or not a switch
+//!   happens);
+//! - **per-switch blackout** — the wall-clock quiesce/transfer/swap cost
+//!   of each live upgrade the controller executed, straight from the
+//!   dispatch layer's measurement;
+//! - **the switch history itself** — epoch, virtual time, and policy
+//!   numbers of every switch. These are deterministic functions of the
+//!   mix, so `bench_gate` pins them exactly against the committed
+//!   baseline in `crates/bench/baselines/BENCH_meta.json`: a drift in
+//!   the history is a behaviour change, not noise.
+//!
+//! Writes `results/BENCH_meta.json`. `ENOKI_BENCH_FAST` shortens only
+//! the decision-latency loop — the mix itself always runs in full so
+//! the deterministic switch history never depends on the mode.
+
+use enoki_bench::harness::fast_mode;
+use enoki_bench::header;
+use enoki_bench::report::Report;
+use enoki_core::health::HealthSample;
+use enoki_sched::meta::{classify, ARSENAL_WFQ};
+use enoki_sim::{CostModel, Ns, Topology};
+use enoki_workloads::shifting::{run_shifting, Policy, ShiftingConfig};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Representative samples of the three phase archetypes the chooser
+/// sees in the mix (short-burst churn, deep queues, hint streaming),
+/// plus a quiet one — so the decision loop exercises every branch.
+fn decision_inputs(nr_cpus: usize) -> Vec<HealthSample> {
+    let mk = |runq: Vec<usize>, util: Vec<f64>, picks: u64, hints: u64| HealthSample {
+        epoch: 1,
+        at: Ns::from_ms(1),
+        util,
+        runq,
+        pick_p50: None,
+        pick_p99: None,
+        picks,
+        dispatch_calls: picks * 3,
+        hint_occupancy: 0,
+        hints,
+        incidents: 0,
+    };
+    vec![
+        // Phase-1 shape: furious short-burst churn at moderate util.
+        mk(vec![0; nr_cpus], vec![0.25; nr_cpus], 80, 0),
+        // Phase-2 shape: deep runqueues, saturated cores.
+        mk(vec![2; nr_cpus], vec![1.0; nr_cpus], 10, 0),
+        // Phase-3 shape: hints streaming.
+        mk(vec![0; nr_cpus], vec![0.3; nr_cpus], 30, 4),
+        // Quiet machine: the keep-active fall-through.
+        mk(vec![0; nr_cpus], vec![0.05; nr_cpus], 1, 0),
+    ]
+}
+
+/// Times the chooser over the representative samples and returns mean
+/// nanoseconds per classification.
+fn bench_decision(nr_cpus: usize) -> (f64, u64) {
+    let inputs = decision_inputs(nr_cpus);
+    let iters: u64 = if fast_mode() { 100_000 } else { 1_000_000 };
+    let mut active = ARSENAL_WFQ;
+    // Warmup.
+    for s in &inputs {
+        active = black_box(classify(black_box(s), black_box(active)));
+    }
+    let start = Instant::now();
+    for i in 0..iters {
+        let s = &inputs[(i % inputs.len() as u64) as usize];
+        active = black_box(classify(black_box(s), black_box(active)));
+    }
+    let total = start.elapsed();
+    (total.as_nanos() as f64 / iters as f64, iters)
+}
+
+fn main() {
+    let topo = Topology::i7_9700();
+    let nr_cpus = topo.nr_cpus();
+    let cfg = ShiftingConfig::standard();
+
+    println!("meta_switch: closed control loop under the shifting mix\n");
+    let result = run_shifting(Policy::Meta, topo, CostModel::calibrated(), cfg);
+    let (decision_ns, decision_iters) = bench_decision(nr_cpus);
+
+    println!(
+        "decision latency: {decision_ns:.1} ns/classification ({decision_iters} iters)"
+    );
+    println!(
+        "mix outcome: phase-1 p99 {}, phase-3 p50 {}, batch ops {}, final policy {}\n",
+        result.latency_p99, result.locality_p50, result.batch_ops, result.final_policy
+    );
+    header(&["epoch", "at ms", "from", "to", "blackout µs"], &[8, 10, 6, 6, 12]);
+    for s in &result.switches {
+        println!(
+            "{:>8} {:>10.1} {:>6} {:>6} {:>12.2}",
+            s.epoch,
+            s.at.as_nanos() as f64 / 1e6,
+            s.from,
+            s.to,
+            s.blackout.as_secs_f64() * 1e6
+        );
+    }
+
+    let mut report = Report::new("meta");
+    report
+        .param("nr_cpus", nr_cpus)
+        .param("phase_ms", cfg.phase.as_nanos() / 1_000_000)
+        .param("latency_tasks", cfg.latency_tasks)
+        .param("batch_tasks", cfg.batch_tasks)
+        .param("groups", cfg.groups)
+        .param("switch_count", result.switches.len())
+        .param("final_policy", result.final_policy.as_str())
+        .param("latency_p99_ns", result.latency_p99.as_nanos())
+        .param("locality_p50_ns", result.locality_p50.as_nanos())
+        .param("batch_ops", result.batch_ops)
+        .param("decision_mean_ns", decision_ns)
+        .param("decision_iters", decision_iters);
+    for s in &result.switches {
+        report.row(&[
+            ("epoch", s.epoch.into()),
+            ("at_ns", s.at.as_nanos().into()),
+            ("from", (s.from as i64).into()),
+            ("to", (s.to as i64).into()),
+            ("blackout_ns", (s.blackout.as_nanos() as u64).into()),
+        ]);
+    }
+    report.emit();
+}

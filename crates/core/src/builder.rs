@@ -25,9 +25,11 @@ use crate::api::EnokiScheduler;
 use crate::dispatch::EnokiClass;
 use crate::faults::FaultPlan;
 use crate::health::{HealthConfig, Watchdog};
+use crate::meta::{MetaController, MetaSpec, Switchable};
 use crate::queue::RingBuffer;
 use enoki_sim::behavior::HintVal;
 use enoki_sim::{CostModel, Machine, Ns, Topology};
+use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -54,14 +56,18 @@ where
     /// The producer side of the user→kernel hint queue, when
     /// [`MachineBuilder::hint_queue`] was used.
     pub user_queue: Option<RingBuffer<U>>,
+    /// The meta-scheduler controller, when [`MachineBuilder::meta`] was
+    /// used. Stepped automatically from the sampler hook; inspect it after
+    /// a run for the switch history ([`MetaController::switches`]).
+    pub meta: Option<Rc<RefCell<MetaController<U, R>>>>,
 }
 
 /// Fluent configuration for a machine plus one Enoki scheduler class.
 ///
 /// See the [module docs](self) for the shape of a typical call chain.
-/// Replaces the scattered `attach_metrics` / `arm_health` / `set_sampler`
-/// / `use_reference_event_queue` dance with one ordered, misuse-resistant
-/// path: [`MachineBuilder::build`] applies every option in the order the
+/// Replaces the scattered `attach_metrics` / `Watchdog::poll` /
+/// `set_sampler` / `use_reference_event_queue` dance with one ordered,
+/// misuse-resistant path: [`MachineBuilder::build`] applies every option in the order the
 /// substrate requires (event-queue choice before events exist, ledger
 /// before tasks spawn, sampler wired to the watchdog last).
 pub struct MachineBuilder<U = HintVal, R = HintVal>
@@ -82,6 +88,7 @@ where
     hint_queue: Option<usize>,
     faults: Option<FaultPlan>,
     failsafe: bool,
+    meta: Option<MetaSpec<U, R>>,
 }
 
 impl<U, R> MachineBuilder<U, R>
@@ -105,6 +112,7 @@ where
             hint_queue: None,
             faults: None,
             failsafe: false,
+            meta: None,
         }
     }
 
@@ -197,6 +205,21 @@ where
         self
     }
 
+    /// Arms the meta-scheduler: loads the spec's initial candidate wrapped
+    /// in [`Switchable`] and steps a [`MetaController`] after every
+    /// watchdog poll, live-switching policies when the telemetry says so
+    /// (see [`crate::meta`]).
+    ///
+    /// Implies [`health`](Self::health) with the default cadence when none
+    /// was configured — the controller's inputs *are* the health samples.
+    /// Mutually exclusive with [`scheduler`](Self::scheduler); `name`
+    /// names the class.
+    pub fn meta(mut self, name: impl Into<String>, spec: MetaSpec<U, R>) -> MachineBuilder<U, R> {
+        self.name = name.into();
+        self.meta = Some(spec);
+        self
+    }
+
     /// Builds the machine and class, applying every option in substrate
     /// order.
     ///
@@ -205,7 +228,27 @@ where
     /// Panics if [`scheduler`](Self::scheduler) was never called — there
     /// is nothing to build a class from.
     pub fn build(self) -> BuiltMachine<U, R> {
-        let module = self.module.expect("MachineBuilder: scheduler() is required");
+        let mut meta_spec = self.meta;
+        let module: Box<dyn EnokiScheduler<UserMsg = U, RevMsg = R>> =
+            match (&mut meta_spec, self.module) {
+                (Some(_), Some(_)) => {
+                    panic!("MachineBuilder: meta() and scheduler() are mutually exclusive")
+                }
+                (Some(spec), None) => {
+                    assert!(
+                        !spec.candidates.is_empty(),
+                        "MachineBuilder: meta() needs at least one candidate"
+                    );
+                    spec.initial = spec.initial.min(spec.candidates.len() - 1);
+                    Box::new(Switchable::new((spec.candidates[spec.initial].factory)()))
+                }
+                (None, m) => m.expect("MachineBuilder: scheduler() is required"),
+            };
+        // The controller's inputs are health samples; arm the watchdog on
+        // the default cadence if meta was requested without one.
+        let health = self
+            .health
+            .or_else(|| meta_spec.as_ref().map(|_| HealthConfig::default()));
         let nr_cpus = self.topo.nr_cpus();
         let mut machine = Machine::new(self.topo, self.costs);
         if self.reference_event_queue {
@@ -220,7 +263,7 @@ where
         }
         let class = Rc::new(class);
         let class_idx = machine.add_class(class.clone());
-        if self.token_ledger || self.health.is_some() {
+        if self.token_ledger || health.is_some() {
             class.arm_token_ledger();
         }
         if self.failsafe || self.faults.is_some() {
@@ -237,12 +280,22 @@ where
         let user_queue = self
             .hint_queue
             .map(|capacity| class.register_user_queue(capacity).1);
-        let watchdog = self.health.map(Watchdog::new);
+        let watchdog = health.map(Watchdog::new);
         if let Some(wd) = &watchdog {
             class.set_incident_sink(wd);
         }
+        let meta = match (meta_spec, &watchdog) {
+            (Some(spec), Some(wd)) => Some(Rc::new(RefCell::new(MetaController::new(
+                Rc::clone(&class),
+                Arc::clone(wd),
+                spec,
+            )))),
+            _ => None,
+        };
         // The machine exposes one sampler hook; multiplex the watchdog
-        // poll and any user callback onto it, each on its own cadence.
+        // poll (plus the meta-controller step right behind it) and any
+        // user callback onto it, each on its own cadence.
+        let ctl = meta.clone();
         match (watchdog.clone(), self.sampler) {
             (Some(wd), Some((interval, mut cb))) => {
                 let poll_every = wd.config().sample_interval;
@@ -259,6 +312,9 @@ where
                         if since_poll >= poll_every {
                             since_poll = Ns::ZERO;
                             wd.poll(m, class_idx, &c);
+                            if let Some(ctl) = &ctl {
+                                ctl.borrow_mut().step();
+                            }
                         }
                         if since_cb >= interval {
                             since_cb = Ns::ZERO;
@@ -271,13 +327,18 @@ where
                 let c = Rc::clone(&class);
                 machine.set_sampler(
                     wd.config().sample_interval,
-                    Box::new(move |m| wd.poll(m, class_idx, &c)),
+                    Box::new(move |m| {
+                        wd.poll(m, class_idx, &c);
+                        if let Some(ctl) = &ctl {
+                            ctl.borrow_mut().step();
+                        }
+                    }),
                 );
             }
             (None, Some((interval, cb))) => machine.set_sampler(interval, cb),
             (None, None) => {}
         }
-        BuiltMachine { machine, class, class_idx, watchdog, user_queue }
+        BuiltMachine { machine, class, class_idx, watchdog, user_queue, meta }
     }
 }
 
@@ -401,7 +462,7 @@ mod tests {
             .scheduler("mini", Box::new(MiniFifo::new(2)))
             .health(HealthConfig::default())
             .build();
-        let BuiltMachine { mut machine, class, class_idx, watchdog, user_queue } = built;
+        let BuiltMachine { mut machine, class, class_idx, watchdog, user_queue, .. } = built;
         assert!(user_queue.is_none());
         assert_eq!(class.policy(), 77);
         assert!(class.token_ledger().is_some(), "health implies the ledger");

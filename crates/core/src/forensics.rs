@@ -58,6 +58,8 @@ pub struct LogSummary {
     pub lock_releases: u64,
     /// Fault-injection / quarantine markers.
     pub faults: u64,
+    /// Meta-scheduler policy-switch markers.
+    pub switches: u64,
     /// Fault counts per fault kind.
     pub faults_by_kind: BTreeMap<&'static str, u64>,
     /// Kernel threads seen.
@@ -112,6 +114,9 @@ impl LogSummary {
                 let _ = writeln!(out, "  {kind:<22} {count}");
             }
         }
+        if self.switches > 0 {
+            let _ = writeln!(out, "policy switches: {}", self.switches);
+        }
         out
     }
 }
@@ -155,6 +160,10 @@ pub fn summarize(log: &[Rec]) -> LogSummary {
                 s.faults += 1;
                 s.threads.insert(*tid);
                 *s.faults_by_kind.entry(kind.name()).or_default() += 1;
+            }
+            Rec::Switch { tid, .. } => {
+                s.switches += 1;
+                s.threads.insert(*tid);
             }
         }
     }
@@ -924,6 +933,9 @@ pub fn describe_rec(rec: &Rec) -> String {
                 "fault {:<21} tid={tid} at={at} func={func} arg={arg}",
                 kind.name()
             )
+        }
+        Rec::Switch { tid, at, epoch, from, to } => {
+            format!("switch policy {from} -> {to} tid={tid} at={at} epoch={epoch}")
         }
     }
 }

@@ -296,6 +296,11 @@ impl HealthConfig {
 /// One interval's worth of telemetry.
 #[derive(Clone, Debug)]
 pub struct HealthSample {
+    /// Monotonic sample number (0-based, never reset, survives ring
+    /// eviction). Consumers that key decisions to samples — notably the
+    /// meta-scheduler's policy switcher — use this as the deterministic
+    /// virtual-time epoch of the observation.
+    pub epoch: u64,
     /// Virtual time of the sample.
     pub at: Ns,
     /// Per-cpu busy fraction (0.0–1.0) over the window ending at `at`.
@@ -338,6 +343,8 @@ struct MonitorState {
     imbalance_streak: u32,
     prev_idle: Vec<Ns>,
     prev_at: Ns,
+    /// Next sample epoch to assign (total samples ever taken).
+    epochs: u64,
     incidents: VecDeque<Incident>,
     samples: VecDeque<HealthSample>,
 }
@@ -385,7 +392,7 @@ impl Default for PrevTotals {
 ///     Box::new(move |m| w.poll(m, class_idx, &c)));
 /// ```
 ///
-/// The workload testbed wraps this dance as `TestBed::arm_health`.
+/// [`crate::MachineBuilder::health`] wraps this dance as one builder call.
 pub struct Watchdog {
     config: HealthConfig,
     state: Mutex<MonitorState>,
@@ -433,6 +440,26 @@ impl Watchdog {
     /// A copy of the time-series ring (most recent samples are retained).
     pub fn samples(&self) -> Vec<HealthSample> {
         self.lock().samples.iter().cloned().collect()
+    }
+
+    /// Pull-based sample subscription: every sample whose
+    /// [`HealthSample::epoch`] is at least `cursor`, plus the cursor to
+    /// pass next time (one past the newest epoch taken so far).
+    ///
+    /// Consumers start at cursor 0 and feed the returned cursor back in,
+    /// seeing each sample exactly once with no shared callback state —
+    /// the subscription pattern the meta-scheduler's controller uses from
+    /// the machine's sampler hook. Samples that fell off the bounded ring
+    /// before being pulled are lost (size the ring to the poll cadence).
+    pub fn samples_since(&self, cursor: u64) -> (Vec<HealthSample>, u64) {
+        let st = self.lock();
+        let fresh = st
+            .samples
+            .iter()
+            .filter(|s| s.epoch >= cursor)
+            .cloned()
+            .collect();
+        (fresh, st.epochs)
     }
 
     /// Records an incident, applying the configured policy.
@@ -487,6 +514,16 @@ impl Watchdog {
         let mut st = self.lock();
         if st.scheduler.is_empty() {
             st.scheduler = metrics.name().to_string();
+        }
+        // Zero-length window guard: when two polls land on the same
+        // virtual tick (a burst of same-time events re-enters the sampler
+        // hook), the second observes a window of zero wall time. Rather
+        // than computing rates over nothing — which would double-report
+        // streak monitors and hand storm detectors a spurious "window" —
+        // coalesce into the next real poll: leave every `prev` watermark
+        // untouched so the deferred counts land in the following window.
+        if now == st.prev_at && !st.samples.is_empty() {
+            return;
         }
         // Window = cumulative - previous poll's cumulative. On the first
         // poll the previous totals are zero/empty, so the window covers
@@ -672,7 +709,10 @@ impl Watchdog {
         }
         st.prev_at = now;
 
+        let epoch = st.epochs;
+        st.epochs += 1;
         let sample = HealthSample {
+            epoch,
             at: now,
             util,
             runq: depths,
@@ -767,7 +807,7 @@ impl Watchdog {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(out, "{{\"at_ns\":{},\"util\":[", s.at.as_nanos());
+            let _ = write!(out, "{{\"epoch\":{},\"at_ns\":{},\"util\":[", s.epoch, s.at.as_nanos());
             for (j, u) in s.util.iter().enumerate() {
                 if j > 0 {
                     out.push(',');

@@ -45,6 +45,12 @@
 //! - [`builder`] — [`builder::MachineBuilder`], the single fluent config
 //!   path for a machine + scheduler class: metrics, health/watchdog,
 //!   sampler cadence, event-queue choice, token ledger, and fault plan.
+//! - [`meta`] — the meta-scheduler: a [`meta::MetaController`] watches the
+//!   health time series and live-switches between registered policies
+//!   through the blackout-bounded upgrade path, hysteresis-guarded and
+//!   replay-deterministic; [`meta::Switchable`] makes arbitrary policy
+//!   pairs hot-swappable by draining and re-feeding the task set with its
+//!   real `Schedulable` tokens.
 
 pub mod api;
 pub mod builder;
@@ -52,6 +58,7 @@ pub mod dispatch;
 pub mod faults;
 pub mod forensics;
 pub mod health;
+pub mod meta;
 pub mod metrics;
 pub mod queue;
 pub mod record;
@@ -72,8 +79,10 @@ pub use metrics::{
     EventKind, HistogramSnapshot, MetricKey, MetricsRegistry, MetricsSnapshot, SchedulerMetrics,
     TraceRecord,
 };
+pub use meta::{
+    Candidate, Chooser, MetaConfig, MetaController, MetaSpec, PolicyFactory, SwitchRecord,
+    Switchable,
+};
 pub use queue::RingBuffer;
 pub use registry::Registry;
 pub use schedulable::{SchedError, Schedulable, TokenLedger};
-#[allow(deprecated)]
-pub use schedulable::PickError;

@@ -1,0 +1,918 @@
+//! The meta-scheduler: telemetry-driven live policy switching.
+//!
+//! This module closes the control loop the rest of the framework already
+//! measures. [`crate::health::Watchdog`] samples a scheduler's vitals on a
+//! virtual-time cadence; the [`MetaController`] subscribes to that time
+//! series ([`Watchdog::samples_since`]), feeds each sample through a
+//! pluggable chooser, and — behind a hysteresis guard so it never flaps —
+//! live-upgrades the running class to a different registered policy
+//! through the same blackout-bounded [`crate::dispatch::EnokiClass::upgrade`]
+//! path a human operator would use (paper §3.2).
+//!
+//! Two pieces make an *arbitrary* policy pair hot-swappable:
+//!
+//! - [`Switchable`] wraps any [`EnokiScheduler`] and maintains a kernel-side
+//!   shadow of which tasks the module currently holds tokens for. On
+//!   `reregister_prepare` it drains every queued task out of the old policy
+//!   via `task_departed` — carrying the **actual** [`Schedulable`] tokens,
+//!   so the conservation ledger stays balanced — and on `reregister_init`
+//!   it re-feeds them into the new policy via `task_new`. Tasks that were
+//!   *running* across the switch re-introduce themselves on their next
+//!   callback (the wrapper converts the first wakeup/preempt/yield of an
+//!   unknown task into a `task_new`).
+//! - Decisions are keyed to health-sample **epochs** (virtual time), and
+//!   every switch is logged as a typed [`crate::record::Rec::Switch`]
+//!   record, so a recorded switching run replays bit-exactly: replay cuts
+//!   the log at the last switch marker and drives the final policy —
+//!   wrapped in the same [`Switchable`] adapter — through the recorded
+//!   call stream.
+//!
+//! [`crate::builder::MachineBuilder::meta`] wires all of this up as one
+//! builder call.
+
+use crate::api::{EnokiScheduler, SchedCtx, TaskInfo, TransferIn, TransferOut};
+use crate::dispatch::EnokiClass;
+use crate::health::{HealthSample, Watchdog};
+use crate::metrics::SchedulerMetrics;
+use crate::queue::RingBuffer;
+use crate::record::{self, CallArgs, FuncId, Rec};
+use crate::schedulable::{SchedError, Schedulable};
+use enoki_sim::behavior::HintVal;
+use enoki_sim::sched_class::KernelCtx;
+use enoki_sim::{CpuId, CpuSet, Ns, Pid, TaskView, Topology, WakeFlags};
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Constructs one candidate policy instance. Called once per switch *to*
+/// that candidate (modules are consumed by the upgrade path, so each
+/// switch needs a fresh instance).
+pub type PolicyFactory<U = HintVal, R = HintVal> =
+    Box<dyn FnMut() -> Box<dyn EnokiScheduler<UserMsg = U, RevMsg = R>>>;
+
+/// Maps one health sample (plus the currently active candidate index) to
+/// the candidate index that *should* be running. Must be deterministic
+/// and read only virtual-time sample fields (`runq`, `util`, `picks`,
+/// `hints`, ...) — wall-clock fields like `pick_p99` differ between a
+/// recorded run and its replay.
+pub type Chooser = Box<dyn FnMut(&HealthSample, usize) -> usize>;
+
+/// Hysteresis tuning for the meta-scheduler's switch decisions.
+#[derive(Clone, Copy, Debug)]
+pub struct MetaConfig {
+    /// Minimum number of health samples that must elapse after a switch
+    /// (or after startup) before the next switch is allowed.
+    pub min_dwell: u32,
+    /// Number of *consecutive* samples that must agree on the same new
+    /// candidate before the controller acts on it.
+    pub confirm: u32,
+}
+
+impl Default for MetaConfig {
+    fn default() -> MetaConfig {
+        MetaConfig {
+            min_dwell: 4,
+            confirm: 2,
+        }
+    }
+}
+
+/// One executed policy switch, as the controller saw it.
+#[derive(Clone, Copy, Debug)]
+pub struct SwitchRecord {
+    /// Virtual time of the health sample that triggered the switch.
+    pub at: Ns,
+    /// Epoch of that sample.
+    pub epoch: u64,
+    /// Policy number of the outgoing scheduler.
+    pub from: i32,
+    /// Policy number of the incoming scheduler.
+    pub to: i32,
+    /// Measured upgrade blackout (wall clock).
+    pub blackout: Duration,
+}
+
+/// A named candidate policy the meta-scheduler can switch to.
+pub struct Candidate<U = HintVal, R = HintVal> {
+    /// Display name (used in logs and [`MetaController::active_name`]).
+    pub name: String,
+    /// Constructor for fresh instances of the policy.
+    pub factory: PolicyFactory<U, R>,
+}
+
+/// Declarative configuration for [`crate::builder::MachineBuilder::meta`]:
+/// the candidate policies, the chooser, and the hysteresis tuning.
+pub struct MetaSpec<U = HintVal, R = HintVal> {
+    /// The policies the controller arbitrates between.
+    pub candidates: Vec<Candidate<U, R>>,
+    /// The decision function (see [`Chooser`]).
+    pub chooser: Chooser,
+    /// Index of the candidate to boot with.
+    pub initial: usize,
+    /// Hysteresis tuning.
+    pub config: MetaConfig,
+}
+
+impl<U, R> MetaSpec<U, R> {
+    /// Starts a spec with the given chooser and no candidates yet.
+    pub fn new(chooser: Chooser) -> MetaSpec<U, R> {
+        MetaSpec {
+            candidates: Vec::new(),
+            chooser,
+            initial: 0,
+            config: MetaConfig::default(),
+        }
+    }
+
+    /// Adds a candidate policy.
+    pub fn candidate(
+        mut self,
+        name: impl Into<String>,
+        factory: PolicyFactory<U, R>,
+    ) -> MetaSpec<U, R> {
+        self.candidates.push(Candidate {
+            name: name.into(),
+            factory,
+        });
+        self
+    }
+
+    /// Sets the candidate to boot with (default: the first one).
+    pub fn initial(mut self, idx: usize) -> MetaSpec<U, R> {
+        self.initial = idx;
+        self
+    }
+
+    /// Overrides the hysteresis tuning.
+    pub fn config(mut self, config: MetaConfig) -> MetaSpec<U, R> {
+        self.config = config;
+        self
+    }
+}
+
+/// The pure hysteresis state machine behind [`MetaController`]: dwell
+/// counting plus consecutive-confirmation streaks, independent of any
+/// machine so it can be tested in isolation.
+#[derive(Debug)]
+struct Hysteresis {
+    config: MetaConfig,
+    active: usize,
+    dwell: u32,
+    streak_for: usize,
+    streak: u32,
+}
+
+impl Hysteresis {
+    fn new(config: MetaConfig, active: usize) -> Hysteresis {
+        Hysteresis {
+            config,
+            active,
+            dwell: 0,
+            streak_for: active,
+            streak: 0,
+        }
+    }
+
+    /// Feeds one per-sample desire; returns `Some(idx)` when a switch to
+    /// `idx` is confirmed (and resets the dwell clock).
+    fn observe(&mut self, want: usize) -> Option<usize> {
+        self.dwell = self.dwell.saturating_add(1);
+        if want == self.active {
+            self.streak = 0;
+            self.streak_for = self.active;
+            return None;
+        }
+        if self.streak_for == want {
+            self.streak = self.streak.saturating_add(1);
+        } else {
+            self.streak_for = want;
+            self.streak = 1;
+        }
+        if self.streak >= self.config.confirm && self.dwell >= self.config.min_dwell {
+            self.active = want;
+            self.dwell = 0;
+            self.streak = 0;
+            return Some(want);
+        }
+        None
+    }
+}
+
+/// The arbiter that watches health telemetry and live-switches policies.
+///
+/// Driven by [`MetaController::step`], which the builder calls from the
+/// machine's sampler hook right after each watchdog poll. Decisions are
+/// keyed to sample epochs, so stepping more or less often never changes
+/// *what* is decided — only how promptly it lands.
+pub struct MetaController<U = HintVal, R = HintVal>
+where
+    U: Copy + Send + From<HintVal> + 'static,
+    R: Copy + Send + 'static,
+{
+    class: Rc<EnokiClass<U, R>>,
+    watchdog: Arc<Watchdog>,
+    candidates: Vec<Candidate<U, R>>,
+    chooser: Chooser,
+    hysteresis: Hysteresis,
+    cursor: u64,
+    switches: Vec<SwitchRecord>,
+}
+
+impl<U, R> MetaController<U, R>
+where
+    U: Copy + Send + From<HintVal> + 'static,
+    R: Copy + Send + 'static,
+{
+    /// Builds a controller over an already-loaded class. The class's
+    /// current module must be the candidate at `spec.initial`, wrapped in
+    /// [`Switchable`] (the builder guarantees this).
+    pub fn new(
+        class: Rc<EnokiClass<U, R>>,
+        watchdog: Arc<Watchdog>,
+        spec: MetaSpec<U, R>,
+    ) -> MetaController<U, R> {
+        let active = spec.initial.min(spec.candidates.len().saturating_sub(1));
+        MetaController {
+            class,
+            watchdog,
+            candidates: spec.candidates,
+            chooser: spec.chooser,
+            hysteresis: Hysteresis::new(spec.config, active),
+            cursor: 0,
+            switches: Vec::new(),
+        }
+    }
+
+    /// Consumes any fresh health samples and acts on confirmed decisions.
+    pub fn step(&mut self) {
+        let (samples, _) = self.watchdog.samples_since(self.cursor);
+        for s in &samples {
+            self.cursor = s.epoch + 1;
+            let n = self.candidates.len();
+            if n < 2 {
+                continue;
+            }
+            let want = (self.chooser)(s, self.hysteresis.active).min(n - 1);
+            if let Some(idx) = self.hysteresis.observe(want) {
+                self.switch_to(idx, s);
+            }
+        }
+    }
+
+    /// Index of the candidate currently loaded.
+    pub fn active(&self) -> usize {
+        self.hysteresis.active
+    }
+
+    /// Name of the candidate currently loaded.
+    pub fn active_name(&self) -> &str {
+        &self.candidates[self.hysteresis.active].name
+    }
+
+    /// Every switch executed so far, in order.
+    pub fn switches(&self) -> &[SwitchRecord] {
+        &self.switches
+    }
+
+    fn switch_to(&mut self, idx: usize, s: &HealthSample) {
+        let from = self.class.policy();
+        // Construct the replacement *before* emitting the switch marker:
+        // its shim-lock creations must immediately precede the marker so
+        // `replay::newest_epoch` can seed the new epoch's lock ids from
+        // the contiguous run behind it (same contract as fault recovery).
+        let new_inner = (self.candidates[idx].factory)();
+        let to = new_inner.get_policy();
+        if record::recording() {
+            record::emit(Rec::Switch {
+                tid: record::current_tid(),
+                at: s.at.as_nanos(),
+                epoch: s.epoch,
+                from,
+                to,
+            });
+        }
+        let report = self.class.upgrade(Box::new(Switchable::new(new_inner)));
+        self.switches.push(SwitchRecord {
+            at: s.at,
+            epoch: s.epoch,
+            from,
+            to,
+            blackout: report.blackout,
+        });
+    }
+}
+
+struct ShadowTask {
+    view: TaskView,
+    /// The wrapped module currently holds this task's token.
+    queued: bool,
+    /// The wrapped module has been introduced to this task (`task_new`).
+    known: bool,
+}
+
+/// Wraps any scheduler so it can be live-switched to a *different* policy.
+///
+/// The stock upgrade path (paper §3.2) assumes old and new modules agree
+/// on a transfer type; across unrelated policies there is none. The
+/// wrapper keeps a dispatch-side shadow of which tasks the module holds
+/// tokens for and, at upgrade time, converts that into the universal
+/// transfer format: the tasks themselves. `reregister_prepare` drains
+/// every queued task out of the old policy (`task_departed`, carrying the
+/// real [`Schedulable`] tokens so conservation auditing stays exact);
+/// `reregister_init` feeds them to the new policy (`task_new`), emitting a
+/// synthetic call record per task so replay reconstructs the same state.
+///
+/// Tasks *running* across the switch hold no module-side token; the
+/// wrapper re-introduces each on its next callback — the first wakeup,
+/// preempt, or yield of a pid the new module has not seen is forwarded as
+/// `task_new` (same token, so nothing is minted or lost), and a tick for
+/// an unknown pid just requests a resched to reclaim its token promptly
+/// (`select_task_rq` is a read-only query and always forwards). All of
+/// these conversions are pure functions of the call stream, which is what
+/// lets a recorded switching run replay through the same wrapper.
+///
+/// The wrapper itself synchronizes with `std::sync` primitives, not the
+/// record-aware shim locks in [`crate::sync`] — it must be invisible to
+/// the lock-sequence log so a wrapped live run and its wrapped replay see
+/// identical lock histories.
+pub struct Switchable<U = HintVal, R = HintVal> {
+    inner: Box<dyn EnokiScheduler<UserMsg = U, RevMsg = R>>,
+    shadow: Mutex<BTreeMap<Pid, ShadowTask>>,
+    last_now: AtomicU64,
+    nr_cpus: AtomicUsize,
+    topo: Mutex<Option<Topology>>,
+    user_ring: Mutex<Option<RingBuffer<U>>>,
+}
+
+/// The policy-agnostic transfer format [`Switchable`] exports: the queued
+/// tasks with their live tokens, the clock/topology a re-feed needs, and
+/// the registered hint ring (re-registered with the new policy).
+struct PortableSnapshot<U: Copy + Send + 'static> {
+    now: Ns,
+    nr: usize,
+    topo: Option<Topology>,
+    tasks: Vec<(TaskView, Schedulable)>,
+    ring: Option<RingBuffer<U>>,
+}
+
+impl<U, R> Switchable<U, R>
+where
+    U: Copy + Send + 'static,
+    R: Copy + Send + 'static,
+{
+    /// Wraps a policy instance.
+    pub fn new(inner: Box<dyn EnokiScheduler<UserMsg = U, RevMsg = R>>) -> Switchable<U, R> {
+        Switchable {
+            inner,
+            shadow: Mutex::new(BTreeMap::new()),
+            last_now: AtomicU64::new(0),
+            nr_cpus: AtomicUsize::new(0),
+            topo: Mutex::new(None),
+            user_ring: Mutex::new(None),
+        }
+    }
+
+    fn sh(&self) -> MutexGuard<'_, BTreeMap<Pid, ShadowTask>> {
+        self.shadow.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn note(&self, ctx: &SchedCtx<'_>) {
+        self.last_now.store(ctx.now().as_nanos(), Ordering::Relaxed);
+        self.nr_cpus.store(ctx.nr_cpus(), Ordering::Relaxed);
+        let mut topo = self.topo.lock().unwrap_or_else(PoisonError::into_inner);
+        if topo.is_none() {
+            *topo = Some(ctx.topology().clone());
+        }
+    }
+
+    /// Marks `t` runnable-in-module; returns whether the module already
+    /// knew the task (false means the caller must introduce it).
+    fn mark_runnable(&self, t: &TaskView) -> bool {
+        match self.sh().entry(t.pid) {
+            Entry::Occupied(mut e) => {
+                let st = e.get_mut();
+                let was_known = st.known;
+                st.view = *t;
+                st.queued = true;
+                st.known = true;
+                was_known
+            }
+            Entry::Vacant(v) => {
+                v.insert(ShadowTask {
+                    view: *t,
+                    queued: true,
+                    known: true,
+                });
+                false
+            }
+        }
+    }
+
+    /// Refreshes the stored view; returns whether the module knows `t`.
+    fn update_view(&self, t: &TaskView) -> bool {
+        match self.sh().entry(t.pid) {
+            Entry::Occupied(mut e) => {
+                let st = e.get_mut();
+                st.view = *t;
+                st.known
+            }
+            Entry::Vacant(v) => {
+                v.insert(ShadowTask {
+                    view: *t,
+                    queued: false,
+                    known: false,
+                });
+                false
+            }
+        }
+    }
+
+    fn known(&self, pid: Pid) -> bool {
+        self.sh().get(&pid).is_some_and(|st| st.known)
+    }
+
+    /// A deterministic placeholder view for unreachable-in-practice paths
+    /// that hand the wrapper a bare token (no `TaskView`). Built only
+    /// from the token so live and replay agree bit-for-bit.
+    fn synth_view(&self, pid: Pid, cpu: CpuId) -> TaskView {
+        TaskView {
+            pid,
+            runtime: Ns::ZERO,
+            delta_runtime: Ns::ZERO,
+            cpu,
+            weight: 1024,
+            nice: 0,
+            affinity: CpuSet::all(self.nr_cpus.load(Ordering::Relaxed).clamp(1, 128)),
+        }
+    }
+
+    fn synth_args(k: &KernelCtx, t: &TaskView) -> CallArgs {
+        let mask = t.affinity.mask();
+        CallArgs {
+            now: k.now().as_nanos(),
+            pid: t.pid as i64,
+            runtime: t.runtime.as_nanos(),
+            delta: t.delta_runtime.as_nanos(),
+            cpu: t.cpu as i32,
+            prev_cpu: -1,
+            weight: t.weight,
+            nice: t.nice,
+            flags: 0,
+            aff_lo: mask as u64,
+            aff_hi: (mask >> 64) as u64,
+        }
+    }
+
+    /// The clock/topology the re-feed context uses when the wrapper has
+    /// seen no calls yet (fresh instance upgraded into immediately).
+    fn refeed_ctx(&self) -> (Ns, usize, Option<Topology>) {
+        let now = Ns(self.last_now.load(Ordering::Relaxed));
+        let nr = self.nr_cpus.load(Ordering::Relaxed).max(1);
+        let topo = self
+            .topo
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        (now, nr, topo)
+    }
+}
+
+impl<U, R> EnokiScheduler for Switchable<U, R>
+where
+    U: Copy + Send + 'static,
+    R: Copy + Send + 'static,
+{
+    type UserMsg = U;
+    type RevMsg = R;
+
+    fn get_policy(&self) -> i32 {
+        self.inner.get_policy()
+    }
+
+    fn task_new(&self, ctx: &SchedCtx<'_>, t: &TaskInfo, sched: Schedulable) {
+        self.note(ctx);
+        self.mark_runnable(t);
+        self.inner.task_new(ctx, t, sched);
+    }
+
+    fn task_wakeup(&self, ctx: &SchedCtx<'_>, t: &TaskInfo, flags: WakeFlags, sched: Schedulable) {
+        self.note(ctx);
+        if self.mark_runnable(t) {
+            self.inner.task_wakeup(ctx, t, flags, sched);
+        } else {
+            // First sighting since a policy switch: introduce the task to
+            // the new module with the token the kernel just handed us.
+            self.inner.task_new(ctx, t, sched);
+        }
+    }
+
+    fn task_blocked(&self, ctx: &SchedCtx<'_>, t: &TaskInfo) {
+        self.note(ctx);
+        let known = match self.sh().entry(t.pid) {
+            Entry::Occupied(mut e) => {
+                let st = e.get_mut();
+                st.view = *t;
+                st.queued = false;
+                st.known
+            }
+            Entry::Vacant(v) => {
+                v.insert(ShadowTask {
+                    view: *t,
+                    queued: false,
+                    known: false,
+                });
+                false
+            }
+        };
+        if known {
+            self.inner.task_blocked(ctx, t);
+        }
+    }
+
+    fn task_preempt(&self, ctx: &SchedCtx<'_>, t: &TaskInfo, sched: Schedulable) {
+        self.note(ctx);
+        if self.mark_runnable(t) {
+            self.inner.task_preempt(ctx, t, sched);
+        } else {
+            self.inner.task_new(ctx, t, sched);
+        }
+    }
+
+    fn task_yield(&self, ctx: &SchedCtx<'_>, t: &TaskInfo, sched: Schedulable) {
+        self.note(ctx);
+        if self.mark_runnable(t) {
+            self.inner.task_yield(ctx, t, sched);
+        } else {
+            self.inner.task_new(ctx, t, sched);
+        }
+    }
+
+    fn task_dead(&self, ctx: &SchedCtx<'_>, pid: Pid) {
+        self.note(ctx);
+        let known = self.sh().remove(&pid).is_some_and(|st| st.known);
+        if known {
+            self.inner.task_dead(ctx, pid);
+        }
+    }
+
+    fn task_departed(&self, ctx: &SchedCtx<'_>, t: &TaskInfo) -> Option<Schedulable> {
+        self.note(ctx);
+        let known = self.sh().remove(&t.pid).is_some_and(|st| st.known);
+        if known {
+            self.inner.task_departed(ctx, t)
+        } else {
+            None
+        }
+    }
+
+    fn task_affinity_changed(&self, ctx: &SchedCtx<'_>, t: &TaskInfo) {
+        self.note(ctx);
+        if self.update_view(t) {
+            self.inner.task_affinity_changed(ctx, t);
+        }
+    }
+
+    fn task_prio_changed(&self, ctx: &SchedCtx<'_>, t: &TaskInfo) {
+        self.note(ctx);
+        if self.update_view(t) {
+            self.inner.task_prio_changed(ctx, t);
+        }
+    }
+
+    fn task_tick(&self, ctx: &SchedCtx<'_>, cpu: CpuId, t: &TaskInfo) {
+        self.note(ctx);
+        if self.update_view(t) {
+            self.inner.task_tick(ctx, cpu, t);
+        } else {
+            // Unknown running task (it was on-cpu across a switch): ask
+            // for a resched so its token comes back through task_preempt
+            // and the introduction above can run.
+            ctx.resched(cpu);
+        }
+    }
+
+    fn select_task_rq(
+        &self,
+        ctx: &SchedCtx<'_>,
+        t: &TaskInfo,
+        prev_cpu: CpuId,
+        flags: WakeFlags,
+    ) -> CpuId {
+        self.note(ctx);
+        // Placement is a read-only query and the kernel issues it *before*
+        // the introducing task_new/task_wakeup, so it must always reach the
+        // module — answering `prev_cpu` for not-yet-shadowed tasks would
+        // defeat fork-time spreading.
+        self.inner.select_task_rq(ctx, t, prev_cpu, flags)
+    }
+
+    fn migrate_task_rq(
+        &self,
+        ctx: &SchedCtx<'_>,
+        t: &TaskInfo,
+        new: Schedulable,
+    ) -> Option<Schedulable> {
+        self.note(ctx);
+        let new_cpu = new.cpu();
+        let known = match self.sh().entry(t.pid) {
+            Entry::Occupied(mut e) => {
+                let st = e.get_mut();
+                let was_known = st.known;
+                st.view = *t;
+                st.view.cpu = new_cpu;
+                st.queued = true;
+                st.known = true;
+                was_known
+            }
+            Entry::Vacant(v) => {
+                let mut view = *t;
+                view.cpu = new_cpu;
+                v.insert(ShadowTask {
+                    view,
+                    queued: true,
+                    known: true,
+                });
+                false
+            }
+        };
+        if known {
+            self.inner.migrate_task_rq(ctx, t, new)
+        } else {
+            self.inner.task_new(ctx, t, new);
+            None
+        }
+    }
+
+    fn balance(&self, ctx: &SchedCtx<'_>, cpu: CpuId) -> Option<u64> {
+        self.note(ctx);
+        self.inner.balance(ctx, cpu)
+    }
+
+    fn balance_err(&self, ctx: &SchedCtx<'_>, cpu: CpuId, pid: Pid, sched: Option<Schedulable>) {
+        self.note(ctx);
+        match sched {
+            Some(tok) if self.known(tok.pid()) => {
+                if let Some(st) = self.sh().get_mut(&tok.pid()) {
+                    st.queued = true;
+                }
+                self.inner.balance_err(ctx, cpu, pid, Some(tok));
+            }
+            Some(tok) => {
+                // A token must never be dropped (the conservation audit
+                // counts it); fold the stray into the module as a new task.
+                let view = self.synth_view(tok.pid(), tok.cpu());
+                self.mark_runnable(&view);
+                self.inner.task_new(ctx, &view, tok);
+            }
+            None => {
+                if self.known(pid) {
+                    self.inner.balance_err(ctx, cpu, pid, None);
+                }
+            }
+        }
+    }
+
+    fn pick_next_task(
+        &self,
+        ctx: &SchedCtx<'_>,
+        cpu: CpuId,
+        curr: Option<Schedulable>,
+    ) -> Option<Schedulable> {
+        self.note(ctx);
+        let curr = match curr {
+            Some(c) if self.known(c.pid()) => {
+                if let Some(st) = self.sh().get_mut(&c.pid()) {
+                    st.queued = true;
+                }
+                Some(c)
+            }
+            Some(c) => {
+                let view = self.synth_view(c.pid(), c.cpu());
+                self.mark_runnable(&view);
+                self.inner.task_new(ctx, &view, c);
+                None
+            }
+            None => None,
+        };
+        let res = self.inner.pick_next_task(ctx, cpu, curr);
+        if let Some(tok) = &res {
+            if let Some(st) = self.sh().get_mut(&tok.pid()) {
+                st.queued = false;
+            }
+        }
+        res
+    }
+
+    fn pnt_err(&self, ctx: &SchedCtx<'_>, cpu: CpuId, err: SchedError, sched: Option<Schedulable>) {
+        self.note(ctx);
+        match sched {
+            Some(tok) if self.known(tok.pid()) => {
+                if let Some(st) = self.sh().get_mut(&tok.pid()) {
+                    st.queued = true;
+                }
+                self.inner.pnt_err(ctx, cpu, err, Some(tok));
+            }
+            Some(tok) => {
+                let view = self.synth_view(tok.pid(), tok.cpu());
+                self.mark_runnable(&view);
+                self.inner.task_new(ctx, &view, tok);
+            }
+            None => self.inner.pnt_err(ctx, cpu, err, None),
+        }
+    }
+
+    fn reregister_prepare(&mut self) -> Option<TransferOut> {
+        let (now, nr, topo_opt) = self.refeed_ctx();
+        let topo = Rc::new(
+            topo_opt
+                .clone()
+                .unwrap_or_else(|| Topology::new(nr, 1)),
+        );
+        let k = KernelCtx::new(now, topo);
+        let ctx = SchedCtx::new(&k);
+        // Collect first, call second: the module's own callbacks must not
+        // run under the shadow lock. BTreeMap order keeps the drain (and
+        // therefore the re-feed) deterministic.
+        let drain: Vec<TaskView> = {
+            let mut sh = self.sh();
+            let mut v = Vec::new();
+            for st in sh.values_mut() {
+                if st.queued && st.known {
+                    v.push(st.view);
+                }
+                st.queued = false;
+                st.known = false;
+            }
+            v
+        };
+        let mut tasks = Vec::with_capacity(drain.len());
+        for view in drain {
+            if let Some(tok) = self.inner.task_departed(&ctx, &view) {
+                tasks.push((view, tok));
+            }
+        }
+        let ring = self
+            .user_ring
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let _ = k.take_commands();
+        Some(Box::new(PortableSnapshot {
+            now,
+            nr,
+            topo: topo_opt,
+            tasks,
+            ring,
+        }))
+    }
+
+    fn reregister_init(&mut self, state: Option<TransferIn>) {
+        // No state: first load, or quarantine recovery (the failsafe
+        // re-feed introduces the task set through live task_new calls,
+        // which the shadow tracks like any others).
+        let Some(state) = state else { return };
+        let Ok(snap) = state.downcast::<PortableSnapshot<U>>() else {
+            return;
+        };
+        let snap = *snap;
+        self.last_now.store(snap.now.as_nanos(), Ordering::Relaxed);
+        self.nr_cpus.store(snap.nr, Ordering::Relaxed);
+        *self.topo.lock().unwrap_or_else(PoisonError::into_inner) = snap.topo.clone();
+        let topo = Rc::new(snap.topo.unwrap_or_else(|| Topology::new(snap.nr.max(1), 1)));
+        let k = KernelCtx::new(snap.now, topo);
+        for (view, tok) in snap.tasks {
+            // Mirror the failsafe re-feed: a synthetic call record per
+            // re-fed task, so replay drives the same task set into the
+            // fresh module right after the switch marker.
+            if record::recording() {
+                record::emit(Rec::Call {
+                    tid: record::current_tid(),
+                    func: FuncId::TaskNew,
+                    args: Self::synth_args(&k, &view),
+                });
+            }
+            self.sh().insert(
+                view.pid,
+                ShadowTask {
+                    view,
+                    queued: true,
+                    known: true,
+                },
+            );
+            self.inner.task_new(&SchedCtx::new(&k), &view, tok);
+        }
+        if let Some(ring) = snap.ring {
+            if self.inner.register_queue(ring.clone()) >= 0 {
+                *self.user_ring.lock().unwrap_or_else(PoisonError::into_inner) = Some(ring);
+            }
+        }
+        let _ = k.take_commands();
+    }
+
+    fn register_queue(&self, q: RingBuffer<U>) -> i32 {
+        let id = self.inner.register_queue(q.clone());
+        if id >= 0 {
+            *self.user_ring.lock().unwrap_or_else(PoisonError::into_inner) = Some(q);
+        }
+        id
+    }
+
+    fn register_reverse_queue(&self, q: RingBuffer<R>) -> i32 {
+        self.inner.register_reverse_queue(q)
+    }
+
+    fn enter_queue(&self, ctx: &SchedCtx<'_>, id: i32) {
+        self.note(ctx);
+        self.inner.enter_queue(ctx, id);
+    }
+
+    fn unregister_queue(&self, id: i32) -> Option<RingBuffer<U>> {
+        *self.user_ring.lock().unwrap_or_else(PoisonError::into_inner) = None;
+        self.inner.unregister_queue(id)
+    }
+
+    fn unregister_rev_queue(&self, id: i32) -> Option<RingBuffer<R>> {
+        self.inner.unregister_rev_queue(id)
+    }
+
+    fn parse_hint(&self, ctx: &SchedCtx<'_>, from: Pid, hint: U) {
+        self.note(ctx);
+        self.inner.parse_hint(ctx, from, hint);
+    }
+
+    fn attach_metrics(&self, metrics: &Arc<SchedulerMetrics>) {
+        self.inner.attach_metrics(metrics);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(h: &mut Hysteresis, wants: &[usize]) -> Vec<Option<usize>> {
+        wants.iter().map(|&w| h.observe(w)).collect()
+    }
+
+    #[test]
+    fn hysteresis_confirms_before_switching() {
+        let mut h = Hysteresis::new(
+            MetaConfig {
+                min_dwell: 2,
+                confirm: 2,
+            },
+            0,
+        );
+        // One dissenting sample is not enough; two consecutive are.
+        assert_eq!(drive(&mut h, &[0, 1]), vec![None, None]);
+        assert_eq!(h.observe(1), Some(1));
+        assert_eq!(h.active, 1);
+    }
+
+    #[test]
+    fn hysteresis_dwell_blocks_early_flap() {
+        let mut h = Hysteresis::new(
+            MetaConfig {
+                min_dwell: 4,
+                confirm: 1,
+            },
+            0,
+        );
+        // Confirmed immediately, but dwell holds the line until sample 4.
+        assert_eq!(drive(&mut h, &[1, 1, 1]), vec![None, None, None]);
+        assert_eq!(h.observe(1), Some(1));
+        // And the dwell clock restarts after the switch.
+        assert_eq!(drive(&mut h, &[0, 0, 0]), vec![None, None, None]);
+        assert_eq!(h.observe(0), Some(0));
+    }
+
+    #[test]
+    fn hysteresis_streak_resets_on_agreement() {
+        let mut h = Hysteresis::new(
+            MetaConfig {
+                min_dwell: 1,
+                confirm: 2,
+            },
+            0,
+        );
+        // 1, back to 0, then 1 again: the early vote must not count.
+        assert_eq!(drive(&mut h, &[1, 0, 1]), vec![None, None, None]);
+        assert_eq!(h.observe(1), Some(1));
+    }
+
+    #[test]
+    fn hysteresis_streak_tracks_latest_candidate() {
+        let mut h = Hysteresis::new(
+            MetaConfig {
+                min_dwell: 1,
+                confirm: 2,
+            },
+            0,
+        );
+        // Votes for 1 then 2: the streak follows the most recent want.
+        assert_eq!(drive(&mut h, &[1, 2]), vec![None, None]);
+        assert_eq!(h.observe(2), Some(2));
+    }
+}

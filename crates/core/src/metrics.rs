@@ -308,11 +308,18 @@ impl HistogramSnapshot {
     }
 
     /// The value (ns) at quantile `q` in `[0, 1]`, or `None` if empty.
+    ///
+    /// The extremes are exact (see `enoki_sim::stats::Histogram::quantile`,
+    /// which this snapshot mirrors): `q = 0.0` returns the tracked minimum,
+    /// `q = 1.0` the tracked maximum, never a bucket lower bound.
     pub fn quantile(&self, q: f64) -> Option<Ns> {
         if self.count == 0 {
             return None;
         }
         let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        if target >= self.count {
+            return Some(Ns(self.max));
+        }
         let mut seen = 0;
         for (idx, &c) in self.buckets.iter().enumerate() {
             seen += c;

@@ -279,6 +279,23 @@ pub enum Rec {
         /// Event-specific payload (pid, window length, error code…).
         arg: i64,
     },
+    /// A meta-scheduler policy switch: a telemetry-driven live upgrade
+    /// replaced the running policy. Like [`FaultTag::Recovered`], this is
+    /// an epoch boundary for replay — the switched-to module was freshly
+    /// constructed mid-run (its lock creations immediately precede this
+    /// marker) and everything after it is that module's history.
+    Switch {
+        /// Kernel thread (cpu) the switch decision ran on.
+        tid: u32,
+        /// Virtual time of the switch.
+        at: u64,
+        /// Health-sample epoch whose telemetry triggered the decision.
+        epoch: u64,
+        /// Policy number of the outgoing scheduler.
+        from: i32,
+        /// Policy number of the incoming scheduler.
+        to: i32,
+    },
 }
 
 // ---------------------------------------------------------------------
@@ -292,6 +309,7 @@ const TAG_CALL: u8 = 0xC3;
 const TAG_RET: u8 = 0xC4;
 const TAG_HINT: u8 = 0xC5;
 const TAG_FAULT: u8 = 0xC6;
+const TAG_SWITCH: u8 = 0xC7;
 
 impl Rec {
     /// Appends the binary encoding of this record to `out`.
@@ -364,6 +382,20 @@ impl Rec {
                 out.push(kind as u8);
                 out.push(func);
                 out.extend_from_slice(&arg.to_le_bytes());
+            }
+            Rec::Switch {
+                tid,
+                at,
+                epoch,
+                from,
+                to,
+            } => {
+                out.push(TAG_SWITCH);
+                out.extend_from_slice(&tid.to_le_bytes());
+                out.extend_from_slice(&at.to_le_bytes());
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&from.to_le_bytes());
+                out.extend_from_slice(&to.to_le_bytes());
             }
         }
     }
@@ -541,6 +573,23 @@ impl Rec {
                         kind,
                         func,
                         arg: i64_at(buf, 15),
+                    },
+                    need,
+                ))
+            }
+            TAG_SWITCH => {
+                // tag + tid + at + epoch + from + to.
+                let need = 1 + 4 + 8 + 8 + 4 + 4;
+                if buf.len() < need {
+                    return Err(DecodeError::Truncated);
+                }
+                Ok((
+                    Rec::Switch {
+                        tid: u32_at(buf, 1),
+                        at: u64_at(buf, 5),
+                        epoch: u64_at(buf, 13),
+                        from: i32_at(buf, 21),
+                        to: i32_at(buf, 25),
                     },
                     need,
                 ))
@@ -941,6 +990,13 @@ mod tests {
             kind: FaultTag::Recovered,
             func: 0,
             arg: 0,
+        });
+        roundtrip(Rec::Switch {
+            tid: 4,
+            at: 555_000,
+            epoch: 17,
+            from: 10,
+            to: -30,
         });
     }
 

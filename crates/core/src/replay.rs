@@ -252,6 +252,12 @@ struct DivergenceSeed {
 /// `task_new`. Replaying from the last such marker drives a fresh module
 /// instance through exactly what the replacement saw.
 ///
+/// A [`Rec::Switch`] marker is the same boundary for a telemetry-driven
+/// policy switch: the meta-scheduler constructed the incoming policy,
+/// emitted the marker, and live-upgraded to it, so the records after the
+/// marker (starting with the refeed `task_new` calls) are the new policy's
+/// complete history.
+///
 /// Also returns the lock-id seed for the epoch: the replacement was
 /// constructed mid-run, so its shim locks carry ids from an already
 /// advanced counter. Those creations are the contiguous [`Rec::LockCreate`]
@@ -260,10 +266,12 @@ struct DivergenceSeed {
 /// keys the lock sequencer. Falls back to 1 (a plain reset) when the log
 /// has no epoch marker or no recorded creations.
 fn newest_epoch(log: &[Rec]) -> (&[Rec], u64) {
-    let Some(marker) = log
-        .iter()
-        .rposition(|r| matches!(r, Rec::Fault { kind: FaultTag::Recovered, .. }))
-    else {
+    let Some(marker) = log.iter().rposition(|r| {
+        matches!(
+            r,
+            Rec::Fault { kind: FaultTag::Recovered, .. } | Rec::Switch { .. }
+        )
+    }) else {
         return (log, 1);
     };
     let mut seed = 1;
@@ -383,6 +391,10 @@ where
                 // epoch slicing above already accounts for them.
                 FaultTag::Quarantined | FaultTag::Recovered => {}
             },
+            // Policy-switch epoch markers: `newest_epoch` cuts the log at
+            // the last one, so any still in range belong to older epochs
+            // reached via an explicit full-log replay; they carry no call.
+            Rec::Switch { .. } => {}
         }
     }
 

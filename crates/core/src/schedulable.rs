@@ -205,10 +205,6 @@ impl std::fmt::Display for SchedError {
     }
 }
 
-/// Former name of [`SchedError`], kept for one PR as a migration shim.
-#[deprecated(note = "renamed to SchedError; pnt_err and friends now take the typed enum")]
-pub type PickError = SchedError;
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,13 +253,6 @@ mod tests {
         let c = SchedError::TokenConservation { expected: 4, live: 3 };
         assert!(format!("{c}").contains("expected 4"));
         assert_eq!(c.kind(), "token_conservation");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn pick_error_alias_still_resolves() {
-        let e: PickError = SchedError::WrongCpu { wanted: 1, got: 2 };
-        assert_eq!(e, SchedError::WrongCpu { wanted: 1, got: 2 });
     }
 
     // Compile-time property: Schedulable is not Clone/Copy. (Checked by

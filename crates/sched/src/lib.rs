@@ -15,6 +15,8 @@
 //! | [`locality`] | 4.2.3 | Hint-driven locality-aware scheduler |
 //! | [`arbiter`] | 4.2.4 | Arachne-style core arbiter (two-level scheduling) |
 //! | [`ghost`] | 4.2.2 | ghOSt emulation: userspace agents, async commits |
+//! | [`predictive`] | 3.2/3.3 | Online per-task runtime models driving slices + placement |
+//! | [`meta`] | 3.2 | Policy arsenal + chooser for the telemetry-driven meta-scheduler |
 
 pub mod arbiter;
 pub mod cfs;
@@ -22,7 +24,9 @@ pub mod fair;
 pub mod fifo;
 pub mod ghost;
 pub mod locality;
+pub mod meta;
 pub mod nest;
+pub mod predictive;
 pub mod shinjuku;
 pub mod wfq;
 
@@ -30,6 +34,8 @@ pub use arbiter::Arbiter;
 pub use cfs::Cfs;
 pub use fifo::Fifo;
 pub use locality::Locality;
+pub use meta::{arsenal, classify, default_chooser, PolicyRegistry};
 pub use nest::Nest;
+pub use predictive::Predictive;
 pub use shinjuku::Shinjuku;
 pub use wfq::Wfq;

@@ -1,0 +1,380 @@
+//! A predictive scheduler: per-task online runtime models drive slices
+//! and placement.
+//!
+//! For every task the scheduler learns, online and in integer arithmetic:
+//!
+//! - an EWMA of its **service bursts** (runtime between being picked and
+//!   blocking/yielding/being preempted),
+//! - a log-bucket histogram of the same bursts (for a tail-aware slice
+//!   once enough samples exist),
+//! - an EWMA of its **wakeup interval** (how often it becomes runnable).
+//!
+//! The predictions feed two decisions:
+//!
+//! - **Placement**: `select_task_rq` sends a waking task to the cpu with
+//!   the least *predicted* queued work (the sum of predicted bursts of
+//!   the tasks already waiting there), not the shortest queue by count.
+//! - **Slice**: each cpu runs shortest-predicted-burst-first, and a
+//!   preemption timer is armed for the picked task's predicted burst
+//!   (clamped to `[MIN_SLICE, MAX_SLICE]`), so an overrunning task is
+//!   clipped right where its own history says it should have finished.
+//!
+//! All model state lives behind the record-aware shim lock, and the
+//! primitives ([`Ewma`], [`Histogram`]) are deterministic fixed-point /
+//! bucket arithmetic, so the policy records and replays bit-exactly.
+
+use enoki_core::metrics::{EventKind, SchedulerMetrics};
+use enoki_core::sync::Mutex;
+use enoki_core::{
+    EnokiScheduler, SchedCtx, SchedError, Schedulable, TaskInfo, TransferIn, TransferOut,
+};
+use enoki_sim::stats::{Ewma, Histogram};
+use enoki_sim::{CpuId, HintVal, Ns, Pid, WakeFlags};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, OnceLock};
+
+/// Shortest slice the scheduler will arm (guards against a model that has
+/// learned a near-zero burst).
+pub const MIN_SLICE: Ns = Ns(50_000);
+/// Longest slice the scheduler will arm.
+pub const MAX_SLICE: Ns = Ns(5_000_000);
+/// Assumed burst for a task with no history yet.
+pub const DEFAULT_BURST: Ns = Ns(500_000);
+/// Histogram samples required before the tail quantile replaces the EWMA.
+const HIST_WARMUP: u64 = 8;
+
+/// Online model of one task's behaviour.
+struct TaskModel {
+    /// Smoothed service burst (ns).
+    service: Ewma,
+    /// Distribution of service bursts.
+    bursts: Histogram,
+    /// Smoothed gap between wakeups (ns).
+    wake_gap: Ewma,
+    last_wake: Option<Ns>,
+}
+
+impl TaskModel {
+    fn new() -> TaskModel {
+        TaskModel {
+            service: Ewma::new(2),
+            bursts: Histogram::new(),
+            wake_gap: Ewma::new(2),
+            last_wake: None,
+        }
+    }
+
+    /// The burst ended: `delta` ran since the task was last picked.
+    fn observe_burst(&mut self, delta: Ns) {
+        if !delta.is_zero() {
+            self.service.observe(delta.as_nanos());
+            self.bursts.record(delta);
+        }
+    }
+
+    fn observe_wake(&mut self, now: Ns) {
+        if let Some(prev) = self.last_wake {
+            if now > prev {
+                self.wake_gap.observe((now - prev).as_nanos());
+            }
+        }
+        self.last_wake = Some(now);
+    }
+
+    /// Predicted next burst: the p90 of the observed distribution once
+    /// warmed up (tail-aware, so the armed slice rarely truncates a
+    /// normal burst), the EWMA before that, a fixed default with no data.
+    fn predicted_burst(&self) -> Ns {
+        if self.bursts.count() >= HIST_WARMUP {
+            if let Some(q) = self.bursts.quantile(0.9) {
+                return q;
+            }
+        }
+        Ns(self.service.value_or(DEFAULT_BURST.as_nanos()))
+    }
+}
+
+struct State {
+    /// Per-cpu runnable tasks with the predicted-burst charge each added
+    /// to that cpu's load when enqueued.
+    queues: Vec<VecDeque<(Schedulable, u64)>>,
+    /// Per-cpu sum of queued predicted bursts (ns).
+    load: Vec<u64>,
+    models: HashMap<Pid, TaskModel>,
+}
+
+impl State {
+    fn enqueue(&mut self, pid: Pid, sched: Schedulable) {
+        let charge = self
+            .models
+            .get(&pid)
+            .map_or(DEFAULT_BURST.as_nanos(), |m| m.predicted_burst().as_nanos());
+        let cpu = sched.cpu();
+        self.load[cpu] += charge;
+        self.queues[cpu].push_back((sched, charge));
+    }
+
+    fn remove_anywhere(&mut self, pid: Pid) -> Option<Schedulable> {
+        for cpu in 0..self.queues.len() {
+            if let Some(pos) = self.queues[cpu].iter().position(|(s, _)| s.pid() == pid) {
+                let (sched, charge) = self.queues[cpu].remove(pos).unwrap();
+                self.load[cpu] = self.load[cpu].saturating_sub(charge);
+                return Some(sched);
+            }
+        }
+        None
+    }
+}
+
+/// The predictive scheduler.
+pub struct Predictive {
+    state: Mutex<State>,
+    metrics: OnceLock<Arc<SchedulerMetrics>>,
+}
+
+impl Predictive {
+    /// Policy number registered for the predictive scheduler.
+    pub const POLICY: i32 = 90;
+
+    /// Creates a predictive scheduler for `nr_cpus` cores.
+    pub fn new(nr_cpus: usize) -> Predictive {
+        Predictive {
+            state: Mutex::new(State {
+                queues: (0..nr_cpus).map(|_| VecDeque::new()).collect(),
+                load: vec![0; nr_cpus],
+                models: HashMap::new(),
+            }),
+            metrics: OnceLock::new(),
+        }
+    }
+
+    fn note_enqueue(&self, cpu: usize) {
+        if let Some(m) = self.metrics.get() {
+            m.count(EventKind::Enqueues, cpu);
+        }
+    }
+
+    fn slice_for(charge: u64) -> Ns {
+        Ns(charge.clamp(MIN_SLICE.as_nanos(), MAX_SLICE.as_nanos()))
+    }
+}
+
+impl EnokiScheduler for Predictive {
+    type UserMsg = HintVal;
+    type RevMsg = HintVal;
+
+    fn attach_metrics(&self, metrics: &Arc<SchedulerMetrics>) {
+        let _ = self.metrics.set(metrics.clone());
+    }
+
+    fn get_policy(&self) -> i32 {
+        Self::POLICY
+    }
+
+    fn task_new(&self, ctx: &SchedCtx<'_>, t: &TaskInfo, sched: Schedulable) {
+        self.note_enqueue(sched.cpu());
+        let mut st = self.state.lock();
+        st.models
+            .entry(t.pid)
+            .or_insert_with(TaskModel::new)
+            .observe_wake(ctx.now());
+        st.enqueue(t.pid, sched);
+    }
+
+    fn task_wakeup(&self, ctx: &SchedCtx<'_>, t: &TaskInfo, _flags: WakeFlags, sched: Schedulable) {
+        self.note_enqueue(sched.cpu());
+        let mut st = self.state.lock();
+        st.models
+            .entry(t.pid)
+            .or_insert_with(TaskModel::new)
+            .observe_wake(ctx.now());
+        st.enqueue(t.pid, sched);
+    }
+
+    fn task_blocked(&self, _ctx: &SchedCtx<'_>, t: &TaskInfo) {
+        let mut st = self.state.lock();
+        if let Some(m) = st.models.get_mut(&t.pid) {
+            m.observe_burst(t.delta_runtime);
+        }
+        let _ = st.remove_anywhere(t.pid);
+    }
+
+    fn task_preempt(&self, _ctx: &SchedCtx<'_>, t: &TaskInfo, sched: Schedulable) {
+        let mut st = self.state.lock();
+        if let Some(m) = st.models.get_mut(&t.pid) {
+            m.observe_burst(t.delta_runtime);
+        }
+        st.enqueue(t.pid, sched);
+    }
+
+    fn task_yield(&self, ctx: &SchedCtx<'_>, t: &TaskInfo, sched: Schedulable) {
+        self.task_preempt(ctx, t, sched);
+    }
+
+    fn task_dead(&self, _ctx: &SchedCtx<'_>, pid: Pid) {
+        let mut st = self.state.lock();
+        let _ = st.remove_anywhere(pid);
+        st.models.remove(&pid);
+    }
+
+    fn task_departed(&self, _ctx: &SchedCtx<'_>, t: &TaskInfo) -> Option<Schedulable> {
+        let mut st = self.state.lock();
+        st.models.remove(&t.pid);
+        st.remove_anywhere(t.pid)
+    }
+
+    fn task_tick(&self, ctx: &SchedCtx<'_>, cpu: CpuId, t: &TaskInfo) {
+        let st = self.state.lock();
+        let slice = st
+            .models
+            .get(&t.pid)
+            .map_or(DEFAULT_BURST, |m| m.predicted_burst());
+        // Clip a task that overran its own predicted burst, but only when
+        // someone is waiting for the core.
+        if t.delta_runtime >= Self::slice_for(slice.as_nanos()) && !st.queues[cpu].is_empty() {
+            ctx.resched(cpu);
+        }
+    }
+
+    fn select_task_rq(
+        &self,
+        _ctx: &SchedCtx<'_>,
+        t: &TaskInfo,
+        prev: CpuId,
+        _flags: WakeFlags,
+    ) -> CpuId {
+        let st = self.state.lock();
+        // Least predicted queued work, not shortest queue by count; ties
+        // break toward the lowest cpu id (deterministic).
+        (0..st.queues.len())
+            .filter(|&c| t.affinity.contains(c))
+            .min_by_key(|&c| st.load[c])
+            .unwrap_or(prev)
+    }
+
+    fn migrate_task_rq(
+        &self,
+        _ctx: &SchedCtx<'_>,
+        t: &TaskInfo,
+        new: Schedulable,
+    ) -> Option<Schedulable> {
+        let mut st = self.state.lock();
+        let old = st.remove_anywhere(t.pid);
+        st.enqueue(t.pid, new);
+        old
+    }
+
+    fn pick_next_task(
+        &self,
+        ctx: &SchedCtx<'_>,
+        cpu: CpuId,
+        _curr: Option<Schedulable>,
+    ) -> Option<Schedulable> {
+        let mut st = self.state.lock();
+        // Shortest-predicted-burst-first on this cpu (stable: first of
+        // equals wins, so FIFO among unmodelled tasks).
+        let idx = st.queues[cpu]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, charge))| *charge)
+            .map(|(i, _)| i)?;
+        let (sched, charge) = st.queues[cpu].remove(idx).unwrap();
+        st.load[cpu] = st.load[cpu].saturating_sub(charge);
+        ctx.start_preempt_timer(cpu, Self::slice_for(charge));
+        Some(sched)
+    }
+
+    fn pnt_err(&self, _ctx: &SchedCtx<'_>, _cpu: CpuId, _err: SchedError, sched: Option<Schedulable>) {
+        if let Some(s) = sched {
+            let mut st = self.state.lock();
+            let pid = s.pid();
+            st.enqueue(pid, s);
+        }
+    }
+
+    fn reregister_prepare(&mut self) -> Option<TransferOut> {
+        let mut st = self.state.lock();
+        let queues = std::mem::take(&mut st.queues);
+        let load = std::mem::take(&mut st.load);
+        Some(Box::new((queues, load)))
+    }
+
+    fn reregister_init(&mut self, state: Option<TransferIn>) {
+        let Some(state) = state else { return };
+        type T = (Vec<VecDeque<(Schedulable, u64)>>, Vec<u64>);
+        let Ok(s) = state.downcast::<T>() else { return };
+        let (queues, load) = *s;
+        if !queues.is_empty() {
+            let mut st = self.state.lock();
+            st.queues = queues;
+            st.load = load;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enoki_core::EnokiClass;
+    use enoki_sim::behavior::{Op, ProgramBehavior};
+    use enoki_sim::{CostModel, Machine, TaskSpec, Topology};
+    use std::rc::Rc;
+
+    #[test]
+    fn model_learns_burst_lengths() {
+        let mut m = TaskModel::new();
+        assert_eq!(m.predicted_burst(), DEFAULT_BURST);
+        for _ in 0..16 {
+            m.observe_burst(Ns::from_us(120));
+        }
+        let p = m.predicted_burst();
+        // p90 of a constant distribution lands in the sample's bucket.
+        assert!(
+            (Ns::from_us(110)..=Ns::from_us(130)).contains(&p),
+            "predicted {p:?}"
+        );
+    }
+
+    #[test]
+    fn model_tracks_wake_intervals() {
+        let mut m = TaskModel::new();
+        for i in 0..10u64 {
+            m.observe_wake(Ns(i * 1_000_000));
+        }
+        let gap = m.wake_gap.value_or(0);
+        assert!((900_000..=1_000_000).contains(&gap), "gap={gap}");
+    }
+
+    #[test]
+    fn placement_prefers_least_predicted_load() {
+        let p = Predictive::new(2);
+        {
+            let mut st = p.state.lock();
+            // cpu 0 is loaded with predicted work, cpu 1 is free.
+            st.load[0] = 10_000_000;
+        }
+        let st = p.state.lock();
+        let best = (0..st.queues.len()).min_by_key(|&c| st.load[c]).unwrap();
+        assert_eq!(best, 1);
+    }
+
+    #[test]
+    fn runs_a_workload_end_to_end() {
+        let mut m = Machine::new(Topology::new(4, 1), CostModel::calibrated());
+        let class = Rc::new(EnokiClass::load("predictive", 4, Box::new(Predictive::new(4))));
+        m.add_class(class.clone());
+        for i in 0..8 {
+            m.spawn(TaskSpec::new(
+                format!("t{i}"),
+                0,
+                Box::new(ProgramBehavior::repeat(
+                    vec![Op::Compute(Ns::from_us(80)), Op::Sleep(Ns::from_us(200))],
+                    40,
+                )),
+            ));
+        }
+        assert!(m.run_to_completion(Ns::from_secs(2)).unwrap());
+        assert!(m.stats().nr_context_switches > 0);
+        assert!(class.stats().calls > 0);
+    }
+}

@@ -89,11 +89,22 @@ impl Histogram {
     }
 
     /// The value at quantile `q` in `[0, 1]`, or `None` if empty.
+    ///
+    /// The extremes are exact: `q = 0.0` returns the tracked minimum and
+    /// `q = 1.0` the tracked maximum (interior quantiles carry the ~6%
+    /// bucketing error). In particular a single-sample histogram returns
+    /// that sample for every `q`.
     pub fn quantile(&self, q: f64) -> Option<Ns> {
         if self.count == 0 {
             return None;
         }
         let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        // The top quantile used to come back as the highest occupied
+        // bucket's *lower bound* — up to one bucket width below the true
+        // maximum. The max is tracked exactly; return it.
+        if target >= self.count {
+            return Some(self.max);
+        }
         let mut seen = 0;
         for (idx, &c) in self.buckets.iter().enumerate() {
             seen += c;
@@ -153,6 +164,73 @@ impl core::fmt::Debug for Histogram {
             .field("p99", &self.quantile(0.99))
             .field("max", &self.max)
             .finish()
+    }
+}
+
+/// An exponentially weighted moving average over `u64` samples.
+///
+/// Integer-only fixed-point arithmetic (8 fractional bits, smoothing
+/// factor `1/2^shift`), so updates are bit-exact across runs — safe to
+/// use inside schedulers that must replay deterministically.
+///
+/// # Examples
+///
+/// ```
+/// use enoki_sim::stats::Ewma;
+/// let mut e = Ewma::new(2); // alpha = 1/4
+/// e.observe(1000);
+/// assert_eq!(e.get(), Some(1000));
+/// e.observe(2000);
+/// assert_eq!(e.get(), Some(1250));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Ewma {
+    scaled: u64,
+    shift: u32,
+    primed: bool,
+}
+
+const EWMA_FRAC_BITS: u32 = 8;
+
+impl Ewma {
+    /// Creates an average with smoothing factor `1/2^shift`.
+    ///
+    /// `shift = 0` tracks the last sample verbatim; larger shifts weight
+    /// history more heavily (`shift = 3` is the classic 1/8 of rto_srtt
+    /// fame).
+    pub fn new(shift: u32) -> Ewma {
+        Ewma {
+            scaled: 0,
+            shift: shift.min(32),
+            primed: false,
+        }
+    }
+
+    /// Folds one sample in. The first sample seeds the average exactly.
+    pub fn observe(&mut self, v: u64) {
+        let s = v << EWMA_FRAC_BITS;
+        if !self.primed {
+            self.scaled = s;
+            self.primed = true;
+        } else {
+            // new = old + (sample - old) / 2^shift, in fixed point.
+            self.scaled = self.scaled - (self.scaled >> self.shift) + (s >> self.shift);
+        }
+    }
+
+    /// Current estimate, or `None` before the first sample.
+    pub fn get(&self) -> Option<u64> {
+        self.primed.then_some(self.scaled >> EWMA_FRAC_BITS)
+    }
+
+    /// Current estimate, or `default` before the first sample.
+    pub fn value_or(&self, default: u64) -> u64 {
+        self.get().unwrap_or(default)
+    }
+
+    /// Whether at least one sample has been observed.
+    pub fn primed(&self) -> bool {
+        self.primed
     }
 }
 
@@ -283,6 +361,61 @@ mod tests {
         let q = h.quantile(1.0).unwrap().0 as f64;
         let err = (q - v as f64).abs() / v as f64;
         assert!(err < 0.07, "err={err}");
+    }
+
+    #[test]
+    fn quantile_zero_returns_exact_min() {
+        // q=0.0 on a populated histogram must return the smallest sample,
+        // never None or a neighbouring bucket bound.
+        let mut h = Histogram::new();
+        h.record(Ns(123_456));
+        h.record(Ns(777_777));
+        h.record(Ns(9_999_999));
+        assert_eq!(h.quantile(0.0), Some(Ns(123_456)));
+    }
+
+    #[test]
+    fn single_sample_every_quantile_is_the_sample() {
+        let mut h = Histogram::new();
+        h.record(Ns(123_456_789));
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(Ns(123_456_789)), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_one_is_exact_max_across_buckets() {
+        // Regression: q=1.0 used to return the top bucket's lower bound,
+        // up to ~6% below the true maximum, once samples spanned buckets.
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(Ns(i * 1003));
+        }
+        assert_eq!(h.quantile(1.0), Some(Ns(1_003_000)));
+    }
+
+    #[test]
+    fn ewma_seeds_then_smooths() {
+        let mut e = Ewma::new(3);
+        assert_eq!(e.get(), None);
+        assert!(!e.primed());
+        e.observe(800);
+        assert_eq!(e.get(), Some(800));
+        e.observe(1600);
+        // 800 + (1600 - 800)/8 = 900
+        assert_eq!(e.get(), Some(900));
+        assert_eq!(e.value_or(0), 900);
+    }
+
+    #[test]
+    fn ewma_converges_to_steady_state() {
+        let mut e = Ewma::new(2);
+        e.observe(0);
+        for _ in 0..64 {
+            e.observe(10_000);
+        }
+        let v = e.get().unwrap();
+        assert!((9_990..=10_000).contains(&v), "v={v}");
     }
 
     #[test]

@@ -13,6 +13,7 @@ pub mod metrics;
 pub mod pipe;
 pub mod rocksdb;
 pub mod schbench;
+pub mod shifting;
 pub mod testbed;
 
 use enoki_sim::{Machine, Ns, Pid};

@@ -1,0 +1,505 @@
+//! A shifting workload mix for evaluating the meta-scheduler.
+//!
+//! Three back-to-back phases, each the natural habitat of a different
+//! policy in the arsenal:
+//!
+//! 1. **Latency burst** — equal-duty pairs of medium-burst tasks per
+//!    core; fair queuing gives a woken task no vruntime edge over its
+//!    sibling, so only µs-scale preemption (Shinjuku) keeps the wakeup
+//!    tail below a full burst.
+//! 2. **Throughput batch** — more cpu-bound tasks than cores, working
+//!    until the phase ends; deep runqueues reward fair time slicing
+//!    (WFQ), and preemption overhead shows up as lost iterations.
+//! 3. **Locality** — producer/consumer groups playing futex ping-pong
+//!    and streaming placement hints; cache-sensitive consumers pay the
+//!    cold-wake penalty on every hop unless the scheduler co-locates
+//!    each group (Locality).
+//!
+//! [`run_shifting`] runs the same deterministic task mix under a static
+//! policy or under `MachineBuilder::meta(...)` with the standard
+//! arsenal, and reports the overall wakeup-latency percentiles, phase-2
+//! batch throughput, and (for meta runs) the observed policy switches —
+//! the numbers behind the claim that the closed control loop beats any
+//! single static choice.
+
+use crate::metrics::{SharedCell, SharedHist};
+use enoki_core::{BuiltMachine, HealthConfig, MachineBuilder, SwitchRecord};
+use enoki_sched::locality::HINT_LOCALITY;
+use enoki_sched::{arsenal, Locality, Shinjuku, Wfq};
+use enoki_sim::behavior::{closure_behavior, Op, ProgramBehavior};
+use enoki_sim::{CostModel, CpuSet, HintVal, Ns, TaskSpec, Topology};
+
+/// Which scheduler arbitration to run the mix under.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Policy {
+    /// The meta-scheduler over the standard arsenal.
+    Meta,
+    /// Static WFQ for the whole run.
+    Wfq,
+    /// Static Shinjuku for the whole run.
+    Shinjuku,
+    /// Static locality scheduler for the whole run.
+    Locality,
+}
+
+impl Policy {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Policy::Meta => "meta",
+            Policy::Wfq => "wfq",
+            Policy::Shinjuku => "shinjuku",
+            Policy::Locality => "locality",
+        }
+    }
+
+    /// The static policies the meta run is compared against.
+    pub fn statics() -> [Policy; 3] {
+        [Policy::Wfq, Policy::Shinjuku, Policy::Locality]
+    }
+}
+
+/// Mix dimensions.
+#[derive(Clone, Copy, Debug)]
+pub struct ShiftingConfig {
+    /// Duration of each of the three phases.
+    pub phase: Ns,
+    /// Short-task count in the latency phase.
+    pub latency_tasks: usize,
+    /// Cpu-bound task count in the batch phase (should exceed the core
+    /// count to build real queues).
+    pub batch_tasks: usize,
+    /// Producer/consumer groups in the locality phase.
+    pub groups: usize,
+    /// Consumers per group.
+    pub workers_per_group: usize,
+}
+
+impl ShiftingConfig {
+    /// The standard mix used by the tests and the `meta_switch` bench.
+    pub fn standard() -> ShiftingConfig {
+        ShiftingConfig {
+            phase: Ns::from_ms(150),
+            latency_tasks: 16,
+            batch_tasks: 20,
+            groups: 3,
+            workers_per_group: 2,
+        }
+    }
+
+    /// Total run horizon (all three phases).
+    pub fn horizon(&self) -> Ns {
+        Ns(self.phase.as_nanos() * 3)
+    }
+
+    /// Warmup window excluded from latency percentiles: long enough for
+    /// the meta-controller's first decision to settle, short relative to
+    /// the phase so the bulk of phase 1 is measured.
+    pub fn warmup(&self) -> Ns {
+        Ns(self.phase.as_nanos() / 5)
+    }
+}
+
+/// What one run of the mix produced. Latencies are reported per task
+/// tag, because each phase stresses a different population: an
+/// all-samples percentile would be dominated by the batch phase's
+/// (intentional) queueing and hide the per-phase differences.
+#[derive(Clone, Debug)]
+pub struct ShiftingResult {
+    /// p99 wakeup-to-run latency of the phase-1 short tasks.
+    pub latency_p99: Ns,
+    /// Median phase-3 ping-pong hop latency (leader wake → consumer
+    /// burst → ack back at the leader).
+    pub locality_p50: Ns,
+    /// p99 phase-3 ping-pong hop latency.
+    pub locality_p99: Ns,
+    /// Compute iterations the batch phase completed (throughput proxy).
+    pub batch_ops: u64,
+    /// Policy switches the meta-controller performed (empty for statics).
+    pub switches: Vec<SwitchRecord>,
+    /// Name of the policy active when the run ended.
+    pub final_policy: String,
+}
+
+fn futex_key(group: usize, worker: usize) -> u64 {
+    0x5817_0000_0000_0000 | ((group as u64) << 16) | worker as u64
+}
+
+/// Spawns the three-phase mix on a built machine. Task spawn order (and
+/// therefore pid assignment) is a pure function of `cfg`, so two runs
+/// with the same config see identical streams.
+fn spawn_mix(
+    built: &mut BuiltMachine,
+    cfg: ShiftingConfig,
+    batch_ops: &SharedCell<u64>,
+    hops: &SharedHist,
+) {
+    let class = built.class_idx;
+    let m = &mut built.machine;
+    let phase = cfg.phase;
+
+    // Phase 1 (t = 0): two *equal-duty* latency tasks pinned to each
+    // core, cycling medium bursts. Symmetry is the point: a fair queuer
+    // gives a woken task no vruntime lag against its equally-entitled
+    // sibling, so its wakeup preemption never fires and the woken task
+    // waits out the sibling's full in-flight burst — while µs-scale
+    // slicing gets it on cpu within a couple of preemption quanta. The
+    // pinning (a realistic deployment choice for latency services)
+    // closes the other escape hatch: migrating the woken task to an
+    // idle core instead of preempting. Periods are staggered per task
+    // (same 25% duty) so task phases sweep past each other and
+    // collisions keep happening instead of locking into one lattice.
+    // Work is sized to ~85% of the phase so stragglers drain before the
+    // batch arrives.
+    let nr_cpus = m.topology().nr_cpus();
+    for i in 0..cfg.latency_tasks {
+        let burst = 130 + (i as u64 % 5) * 15; // 130..190 µs, duty 1/4
+        let period = burst * 4;
+        let cycles = phase.as_nanos() * 85 / (100 * period * 1_000);
+        m.spawn(
+            TaskSpec::new(
+                format!("lat{i}"),
+                class,
+                Box::new(ProgramBehavior::repeat(
+                    vec![
+                        Op::Compute(Ns::from_us(burst)),
+                        Op::Sleep(Ns::from_us(burst * 3)),
+                    ],
+                    cycles,
+                )),
+            )
+            .tag(1)
+            .affinity(CpuSet::single(i % nr_cpus)),
+        );
+    }
+
+    // Phase 2 (t = phase): cpu-bound batch tasks, more than cores, each
+    // counting completed compute iterations. Brief sleeps keep wakeups
+    // (and therefore latency samples + runqueue churn) flowing. The
+    // batch is *time-bounded* — tasks work until the phase ends rather
+    // than running a fixed op count — so completed iterations measure
+    // real throughput: a policy that burns cycles on preemption
+    // overhead finishes fewer.
+    let batch_end = Ns(phase.as_nanos() * 2);
+    for i in 0..cfg.batch_tasks {
+        let ops = batch_ops.clone();
+        let mut step = 0u64;
+        m.spawn(
+            TaskSpec::new(
+                format!("batch{i}"),
+                class,
+                closure_behavior(move |ctx| {
+                    if ctx.now >= batch_end {
+                        return Op::Exit;
+                    }
+                    let s = step;
+                    step += 1;
+                    if s.is_multiple_of(2) {
+                        Op::Compute(Ns::from_us(500))
+                    } else {
+                        ops.with_mut(|o| *o += 1);
+                        Op::Sleep(Ns::from_us(20))
+                    }
+                }),
+            )
+            .tag(2)
+            .at(phase),
+        );
+    }
+
+    // Phase 3 (t = 2 × phase): producer/consumer groups. Each round the
+    // leader hints one member (rotating, so the whole group is soon
+    // co-located and the hint signal stays alive for the chooser), then
+    // wakes every consumer and does a little work of its own before its
+    // think-time sleep. That trailing compute matters: it keeps the
+    // leader's cpu busy until the remotely-woken consumers have started
+    // running, so a fair queuer's idle-balance cannot steal a
+    // still-queued consumer onto the waker's cpu and co-locate the
+    // group by accident. Consumers are cache-sensitive, so a scheduler
+    // that ignores the hints pays the cold-wake penalty — charged as
+    // extra compute on the consumer's burst — on every round. The hop
+    // histogram measures wake-issue → consumer burst complete, which is
+    // where that penalty lands.
+    let start3 = Ns(phase.as_nanos() * 2);
+    let rounds = phase.as_nanos() * 85 / (100 * 250_000);
+    for g in 0..cfg.groups {
+        let nw = cfg.workers_per_group;
+        let leader_pid = m.nr_tasks();
+        let worker_pids: Vec<usize> = (0..nw).map(|w| leader_pid + 1 + w).collect();
+        let members: Vec<usize> = std::iter::once(leader_pid)
+            .chain(worker_pids.iter().copied())
+            .collect();
+        let stamps: Vec<SharedCell<Ns>> = (0..nw).map(|_| SharedCell::with(Ns::ZERO)).collect();
+        let leader_stamps = stamps.clone();
+        let mut step = 0u64;
+        let leader = closure_behavior(move |ctx| {
+            if step == 0 {
+                // Let the consumers park on their futexes before the
+                // first wake, or it would be lost.
+                step = 1;
+                return Op::Sleep(Ns::from_us(20));
+            }
+            let per_round = nw as u64 + 3;
+            let r = (step - 1) / per_round;
+            let s = (step - 1) % per_round;
+            step += 1;
+            if r >= rounds {
+                return Op::Exit;
+            }
+            if s == 0 {
+                let pid = members[(r as usize) % members.len()];
+                Op::Hint(HintVal {
+                    kind: HINT_LOCALITY,
+                    a: pid as i64,
+                    b: g as i64,
+                    c: 0,
+                })
+            } else if s <= nw as u64 {
+                let w = (s - 1) as usize;
+                leader_stamps[w].with_mut(|t| *t = ctx.now);
+                Op::FutexWake(futex_key(g, w), 1)
+            } else if s == nw as u64 + 1 {
+                Op::Compute(Ns::from_us(5))
+            } else {
+                Op::Sleep(Ns::from_us(170))
+            }
+        });
+        let spawned = m.spawn(TaskSpec::new(format!("prod{g}"), class, leader).at(start3));
+        debug_assert_eq!(spawned, leader_pid);
+        for (w, &wp) in worker_pids.iter().enumerate() {
+            let stamp = stamps[w].clone();
+            let hist = hops.clone();
+            let mut step = 0u64;
+            let consumer = closure_behavior(move |ctx| {
+                let s = step;
+                step += 1;
+                if s % 2 == 1 {
+                    return Op::Compute(Ns::from_us(5));
+                }
+                if s > 0 {
+                    // Called right after the burst completed: close out
+                    // this round's hop.
+                    hist.record(ctx.now - stamp.with_ref(|t| *t));
+                }
+                if s / 2 >= rounds {
+                    return Op::Exit;
+                }
+                Op::FutexWait(futex_key(g, w))
+            });
+            let spawned = m.spawn(
+                TaskSpec::new(format!("cons{g}.{w}"), class, consumer)
+                    .tag(3)
+                    .cache_sensitive()
+                    .at(start3),
+            );
+            debug_assert_eq!(spawned, wp);
+        }
+    }
+}
+
+/// Runs the shifting mix under `policy` and reports the outcome.
+pub fn run_shifting(policy: Policy, topo: Topology, costs: CostModel, cfg: ShiftingConfig) -> ShiftingResult {
+    let nr = topo.nr_cpus();
+    let builder = MachineBuilder::new(topo, costs).health(HealthConfig::default());
+    let mut built = match policy {
+        Policy::Meta => builder.meta("shifting-meta", arsenal(nr)),
+        Policy::Wfq => builder.scheduler("wfq", Box::new(Wfq::new(nr))),
+        Policy::Shinjuku => builder.scheduler("shinjuku", Box::new(Shinjuku::new(nr))),
+        Policy::Locality => builder.scheduler("locality", Box::new(Locality::new(nr))),
+    }
+    .build();
+
+    let batch_ops = SharedCell::with(0u64);
+    let hops = SharedHist::new();
+    spawn_mix(&mut built, cfg, &batch_ops, &hops);
+    built
+        .machine
+        .run_until(cfg.warmup())
+        .expect("no kernel panic");
+    built.machine.reset_latency_stats();
+    // Phase-3 warmup: drop the hops measured while the groups were
+    // still being herded together (and, for meta runs, while the
+    // controller was still reacting to the phase change).
+    let start3 = Ns(cfg.phase.as_nanos() * 2);
+    built
+        .machine
+        .run_until(start3 + Ns(cfg.phase.as_nanos() / 20))
+        .expect("no kernel panic");
+    hops.reset();
+    built
+        .machine
+        .run_until(cfg.horizon())
+        .expect("no kernel panic");
+
+    let (switches, final_policy) = match &built.meta {
+        Some(ctl) => {
+            let ctl = ctl.borrow();
+            (ctl.switches().to_vec(), ctl.active_name().to_string())
+        }
+        None => (Vec::new(), policy.label().to_string()),
+    };
+    let stats = built.machine.stats();
+    let tag_q = |tag: u32, q: f64| {
+        stats
+            .wakeup_by_tag
+            .get(&tag)
+            .and_then(|h| h.quantile(q))
+            .unwrap_or(Ns::ZERO)
+    };
+    ShiftingResult {
+        latency_p99: tag_q(1, 0.99),
+        locality_p50: hops.quantile(0.50).unwrap_or(Ns::ZERO),
+        locality_p99: hops.quantile(0.99).unwrap_or(Ns::ZERO),
+        batch_ops: batch_ops.with_ref(|o| *o),
+        switches,
+        final_policy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(policy: Policy) -> ShiftingResult {
+        run_shifting(
+            policy,
+            Topology::i7_9700(),
+            CostModel::calibrated(),
+            ShiftingConfig::standard(),
+        )
+    }
+
+    #[test]
+    #[ignore]
+    fn debug_dump_results() {
+        for p in [Policy::Meta, Policy::Wfq, Policy::Shinjuku, Policy::Locality] {
+            let r = run(p);
+            eprintln!(
+                "{:>9}: lat_p99={} loc_p50={} loc_p99={} batch={} switches={} final={}",
+                p.label(),
+                r.latency_p99,
+                r.locality_p50,
+                r.locality_p99,
+                r.batch_ops,
+                r.switches.len(),
+                r.final_policy
+            );
+            for s in &r.switches {
+                eprintln!("    {:?}", s);
+            }
+        }
+    }
+
+    #[test]
+    fn mix_completes_under_every_policy() {
+        for p in [Policy::Meta, Policy::Wfq, Policy::Shinjuku, Policy::Locality] {
+            let r = run(p);
+            assert!(r.batch_ops > 0, "{}: no batch progress", p.label());
+            assert!(r.latency_p99 > Ns::ZERO, "{}: no phase-1 samples", p.label());
+            assert!(r.locality_p99 > Ns::ZERO, "{}: no phase-3 samples", p.label());
+        }
+    }
+
+    #[test]
+    fn meta_switches_without_flapping() {
+        let r = run(Policy::Meta);
+        assert!(
+            r.switches.len() >= 2,
+            "expected the controller to follow at least two phase changes, got {:?}",
+            r.switches
+        );
+        // Zero flapping: at most one switch per phase change plus a small
+        // hysteresis allowance.
+        assert!(
+            r.switches.len() <= 4,
+            "controller flapped: {:?}",
+            r.switches
+        );
+        assert_eq!(r.final_policy, "locality");
+    }
+
+    #[test]
+    fn meta_beats_every_static() {
+        // Each static policy has a phase it is the wrong answer for; the
+        // meta run must be strictly better there while staying within
+        // tolerance of the static's own best metric everywhere else.
+        let meta = run(Policy::Meta);
+        for p in Policy::statics() {
+            let s = run(p);
+            // No-worse guards (25% latency / 10% throughput tolerance for
+            // switch blackouts and transition windows).
+            assert!(
+                meta.latency_p99 * 4 <= s.latency_p99 * 5,
+                "meta phase-1 p99 {} much worse than {} {}",
+                meta.latency_p99,
+                p.label(),
+                s.latency_p99
+            );
+            assert!(
+                meta.locality_p99 * 4 <= s.locality_p99 * 5,
+                "meta phase-3 p99 {} much worse than {} {}",
+                meta.locality_p99,
+                p.label(),
+                s.locality_p99
+            );
+            assert!(
+                meta.batch_ops * 10 >= s.batch_ops * 9,
+                "meta batch ops {} much worse than {} {}",
+                meta.batch_ops,
+                p.label(),
+                s.batch_ops
+            );
+        }
+        // Strict wins on each static's weak phase.
+        let wfq = run(Policy::Wfq);
+        let loc = run(Policy::Locality);
+        let shj = run(Policy::Shinjuku);
+        assert!(
+            meta.latency_p99 * 2 < wfq.latency_p99,
+            "meta phase-1 p99 {} should be well below wfq's {}",
+            meta.latency_p99,
+            wfq.latency_p99
+        );
+        assert!(
+            meta.latency_p99 * 2 < loc.latency_p99,
+            "meta phase-1 p99 {} should be well below locality's {}",
+            meta.latency_p99,
+            loc.latency_p99
+        );
+        assert!(
+            meta.batch_ops * 100 > shj.batch_ops * 105,
+            "meta batch ops {} should be >5% above shinjuku's {}",
+            meta.batch_ops,
+            shj.batch_ops
+        );
+        // The cold-wake penalty: policies that ignore hints pay it on
+        // every phase-3 round, which shows up at the median.
+        assert!(
+            meta.locality_p50 * 3 < wfq.locality_p50 * 2,
+            "meta phase-3 p50 {} should be well below wfq's {}",
+            meta.locality_p50,
+            wfq.locality_p50
+        );
+        assert!(
+            meta.locality_p50 * 3 < shj.locality_p50 * 2,
+            "meta phase-3 p50 {} should be well below shinjuku's {}",
+            meta.locality_p50,
+            shj.locality_p50
+        );
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_results() {
+        let a = run(Policy::Meta);
+        let b = run(Policy::Meta);
+        assert_eq!(a.latency_p99, b.latency_p99);
+        assert_eq!(a.locality_p50, b.locality_p50);
+        assert_eq!(a.locality_p99, b.locality_p99);
+        assert_eq!(a.batch_ops, b.batch_ops);
+        assert_eq!(a.switches.len(), b.switches.len());
+        for (x, y) in a.switches.iter().zip(&b.switches) {
+            assert_eq!((x.epoch, x.from, x.to), (y.epoch, y.from, y.to));
+            assert_eq!(x.at, y.at);
+        }
+    }
+}

@@ -86,16 +86,6 @@ pub struct TestBed {
 }
 
 impl TestBed {
-    /// Arms live health telemetry on the scheduler under test.
-    #[deprecated(
-        note = "set BedOptions::health instead; build() arms the watchdog through MachineBuilder-style wiring"
-    )]
-    pub fn arm_health(&mut self, config: HealthConfig) -> Option<Arc<Watchdog>> {
-        let wd = self.arm_health_inner(config);
-        self.watchdog.clone_from(&wd);
-        wd
-    }
-
     /// Shared health-arming path: ledger + incident sink + sampler poll
     /// (mirrors what `enoki_core::MachineBuilder::health` wires up).
     fn arm_health_inner(&mut self, config: HealthConfig) -> Option<Arc<Watchdog>> {

@@ -27,6 +27,15 @@ bench-gate:
     ENOKI_BENCH_FAST=1 cargo bench -p enoki-bench --bench framework
     cargo run --release -p enoki-bench --bin bench_gate
 
+# Closed control loop: the shifting-mix switching matrix (meta beats
+# every static policy, zero flapping, bit-identical reruns), the
+# switching record/replay suite, and the meta_switch bench
+# (results/BENCH_meta.json; gated by bench-gate when present).
+meta:
+    cargo test -q -p enoki-workloads shifting
+    cargo test -q -p enoki --test meta_switching
+    cargo run --release -p enoki-bench --bin meta_switch
+
 # Per-cpu timeline + Chrome trace for a scheduler run.
 schedviz sched="wfq":
     cargo run --release -p enoki-bench --bin schedviz -- {{sched}}

@@ -17,7 +17,7 @@ use enoki_bench::{criterion_group, criterion_main};
 use enoki_core::health::HealthConfig;
 use enoki_core::metrics;
 use enoki_core::queue::RingBuffer;
-use enoki_core::record::{CallArgs, FuncId, Rec};
+use enoki_core::record::{self, CallArgs, FuncId, Rec};
 use enoki_core::{EnokiClass, MachineBuilder};
 use enoki_sched::Wfq;
 use enoki_sim::behavior::{Op, ProgramBehavior};
@@ -479,19 +479,46 @@ fn metrics_overhead(_c: &mut Criterion) {
         run(&mut m);
         t0.elapsed().as_nanos() as f64
     };
+    // Armed span path: the same pipe workload with record mode on, with
+    // and without pick-decision emission. Both sides pay the record ring
+    // and writer thread; the delta is exactly the per-pick decision
+    // encode the tracing layer adds, which is what the trace_overhead
+    // ceiling guards.
+    let trace_log = std::env::temp_dir().join(format!(
+        "enoki-bench-trace-{}.log",
+        std::process::id()
+    ));
+    let time_traced = |decisions: bool| {
+        enoki_core::tracing::set_decision_trace(decisions);
+        record::reset_lock_ids();
+        let mut m = pipe_machine();
+        let session = enoki_replay::start_recording(&trace_log, 1 << 22).unwrap();
+        let t0 = std::time::Instant::now();
+        run(&mut m);
+        let dt = t0.elapsed().as_nanos() as f64;
+        enoki_replay::stop_recording(session).unwrap();
+        dt
+    };
     time_one(true);
     time_one(false);
     time_build(&armed_machine);
     time_build(&failsafe_machine);
+    time_traced(true);
+    time_traced(false);
     let rounds = if fast_mode() { 40 } else { 500 };
     let (mut on, mut off) = (f64::INFINITY, f64::INFINITY);
     let (mut armed, mut failsafe) = (f64::INFINITY, f64::INFINITY);
+    let (mut traced, mut recorded) = (f64::INFINITY, f64::INFINITY);
     for _ in 0..rounds {
         on = on.min(time_one(true));
         off = off.min(time_one(false));
         armed = armed.min(time_build(&armed_machine));
         failsafe = failsafe.min(time_build(&failsafe_machine));
+        traced = traced.min(time_traced(true));
+        recorded = recorded.min(time_traced(false));
     }
+    enoki_core::tracing::set_decision_trace(true);
+    std::fs::remove_file(&trace_log).ok();
     metrics::set_enabled(true);
     println!("dispatch_metrics_on                              time: [{:.2} µs]", on / 1e3);
     println!("dispatch_metrics_off                             time: [{:.2} µs]", off / 1e3);
@@ -508,6 +535,12 @@ fn metrics_overhead(_c: &mut Criterion) {
     // The failsafe, in turn, is only ever armed on a health-armed bed.
     let failsafe_pct = (failsafe - armed) / armed * 100.0;
     println!("failsafe-armed overhead on dispatch: {failsafe_pct:+.2}% vs watchdog-armed (target < 5%)");
+    println!("dispatch_record_armed                            time: [{:.2} µs]", recorded / 1e3);
+    println!("dispatch_trace_armed                             time: [{:.2} µs]", traced / 1e3);
+    // Decision tracing only exists on an armed recording run — that is
+    // its baseline; the record ring itself is gated by the rows above.
+    let trace_pct = (traced - recorded) / recorded * 100.0;
+    println!("trace-armed overhead on dispatch: {trace_pct:+.2}% vs record-armed (target < 5%)");
 
     // Machine-readable overheads for `bench_gate`: each row is a same-run
     // A/B delta from interleaved minima, so the ceiling holds regardless
@@ -533,6 +566,12 @@ fn metrics_overhead(_c: &mut Criterion) {
         ("impl", "failsafe_armed".into()),
         ("baseline", "watchdog_armed".into()),
         ("overhead_pct", failsafe_pct.into()),
+    ]);
+    report.row(&[
+        ("bench", "dispatch_overhead".into()),
+        ("impl", "trace_armed".into()),
+        ("baseline", "record_armed".into()),
+        ("overhead_pct", trace_pct.into()),
     ]);
     report.emit();
 }

@@ -33,6 +33,14 @@
 //! ceilings (per-switch blackout, per-sample decision latency) that
 //! only a real regression can cross.
 //!
+//! When the same CI run also wrote `BENCH_trace.json` (the `trace_bench`
+//! harness: the causal span graph over a recorded WFQ run), every
+//! metric — span/edge/decision counts, the reason census, the graph
+//! hash, the breakdown invariant — is pinned exactly against
+//! `crates/bench/baselines/BENCH_trace.json`: all are deterministic
+//! virtual-time facts, so any drift is a recorder, codec, or
+//! graph-builder behaviour change.
+//!
 //! Usage: `bench_gate [current.json] [baseline.json]`
 //! (defaults: `crates/bench/results/BENCH_framework.json`, falling back to
 //! `results/BENCH_framework.json`, vs `crates/bench/baselines/BENCH_framework.json`)
@@ -515,6 +523,86 @@ fn load_meta(path: &str) -> Result<MetaReport, String> {
 /// Gates the meta control-loop report: exact switch history vs the
 /// baseline, absolute ceilings on the wall-clock costs. Returns the
 /// number of rows gated.
+/// One deterministic span-graph fact from the `trace_bench` harness:
+/// either a numeric `value` or a `hex` string (the graph hash).
+#[derive(Debug, PartialEq)]
+enum TraceVal {
+    Num(i64),
+    Hex(String),
+}
+
+/// Parses and schema-checks one `BENCH_trace.json`: the harness must be
+/// `trace`, and every row must carry a string `metric` plus either a
+/// numeric `value` or a string `hex`.
+fn load_trace(path: &str) -> Result<BTreeMap<String, TraceVal>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = Parser::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let harness = doc
+        .get("harness")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{path}: missing \"harness\""))?;
+    if harness != "trace" {
+        return Err(format!("{path}: harness is {harness:?}, not \"trace\""));
+    }
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: missing \"rows\" array"))?;
+    let mut out = BTreeMap::new();
+    for (i, row) in rows.iter().enumerate() {
+        let metric = row
+            .get("metric")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: row {i} has no \"metric\""))?;
+        let val = if let Some(n) = row.get("value").and_then(Json::as_num) {
+            TraceVal::Num(n as i64)
+        } else if let Some(h) = row.get("hex").and_then(Json::as_str) {
+            TraceVal::Hex(h.to_string())
+        } else {
+            return Err(format!("{path}: row {i} has neither \"value\" nor \"hex\""));
+        };
+        if out.insert(metric.to_string(), val).is_some() {
+            return Err(format!("{path}: duplicate metric {metric:?}"));
+        }
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no trace rows"));
+    }
+    Ok(out)
+}
+
+/// Gates the span-graph report: every metric is a deterministic
+/// virtual-time fact, so each one is pinned exactly against the
+/// committed baseline. Returns the number of rows gated.
+fn gate_trace(current_path: &str, failures: &mut Vec<String>) -> Result<usize, String> {
+    let baseline_path = "crates/bench/baselines/BENCH_trace.json";
+    let cur = load_trace(current_path)?;
+    let base = load_trace(baseline_path)?;
+    println!("trace gate: {current_path} vs baseline {baseline_path}");
+    for (metric, val) in &cur {
+        match val {
+            TraceVal::Num(n) => println!("  {metric:<46} {n:>12}"),
+            TraceVal::Hex(h) => println!("  {metric:<46} {h:>16}"),
+        }
+        match base.get(metric) {
+            Some(b) if b == val => {}
+            Some(b) => failures.push(format!(
+                "trace metric {metric}: current {val:?} != baseline {b:?} \
+                 (deterministic — this is a recorder/codec/graph behaviour change)"
+            )),
+            None => failures.push(format!("trace metric {metric}: not in the baseline")),
+        }
+    }
+    for metric in base.keys() {
+        if !cur.contains_key(metric) {
+            failures.push(format!(
+                "trace metric {metric}: present in baseline but missing from this run"
+            ));
+        }
+    }
+    Ok(cur.len())
+}
+
 fn gate_meta(current_path: &str, failures: &mut Vec<String>) -> Result<usize, String> {
     let baseline_path = "crates/bench/baselines/BENCH_meta.json";
     let cur = load_meta(current_path)?;
@@ -673,6 +761,16 @@ fn run() -> Result<(), String> {
     match meta_path {
         Some(p) => gated += gate_meta(p, &mut failures)?,
         None => println!("  (no BENCH_meta.json — meta control loop not gated)"),
+    }
+
+    // Span-graph gate: runs whenever a `trace_bench` report is present
+    // (CI writes it right before this gate).
+    let trace_path = ["results/BENCH_trace.json", "crates/bench/results/BENCH_trace.json"]
+        .into_iter()
+        .find(|p| std::path::Path::new(p).exists());
+    match trace_path {
+        Some(p) => gated += gate_trace(p, &mut failures)?,
+        None => println!("  (no BENCH_trace.json — span graph not gated)"),
     }
 
     if failures.is_empty() {

@@ -31,10 +31,12 @@ fn main() {
         _ => SchedKind::Cfs,
     };
     let bucket_us: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100);
+    // Default into results/ (gitignored) so ad-hoc runs never leave a
+    // trace artifact lying around the repo root.
     let trace_path = args
         .get(2)
         .cloned()
-        .unwrap_or_else(|| "schedviz_trace.json".to_string());
+        .unwrap_or_else(|| "results/schedviz_trace.json".to_string());
 
     // Health is armed at build time so the token ledger sees every
     // Schedulable from birth.
@@ -110,6 +112,11 @@ fn main() {
     // Chrome trace export: per-cpu spans from the sim tracer.
     let nr_cpus = bed.machine.topology().nr_cpus();
     let json = export::chrome_trace_from_sim(tracer, nr_cpus, bed.machine.now());
+    if let Some(dir) = std::path::Path::new(&trace_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
     match std::fs::write(&trace_path, &json) {
         Ok(()) => println!(
             "\nwrote {} ({} bytes) — open in chrome://tracing or ui.perfetto.dev",

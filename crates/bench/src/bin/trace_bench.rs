@@ -1,0 +1,147 @@
+//! trace_bench: deterministic facts of the causal span graph.
+//!
+//! Records a small WFQ run (mixed pipes + churn, all virtual time), then
+//! builds the causal span graph from the log and reports its
+//! deterministic shape: span / edge / decision counts, the reason-code
+//! census, the FNV graph hash, and the breakdown invariant (every task's
+//! latency components sum to its wall latency). Everything here is a
+//! virtual-time fact of the simulated run, so `bench_gate` pins each row
+//! exactly against the committed baseline in
+//! `crates/bench/baselines/BENCH_trace.json` — a drift is a behaviour
+//! change in the recorder, the codec, or the graph builder, not noise.
+//!
+//! The record log is left at `results/trace_smoke.log` (or argv[1]) so
+//! the CI smoke step can run `enoki-log spans / critpath / why / export`
+//! on the very same recording. Writes `results/BENCH_trace.json`.
+
+use enoki_bench::report::Report;
+use enoki_core::record::{self, DecisionReason};
+use enoki_core::tracing::{profile, EdgeKind, SpanGraph};
+use enoki_core::MachineBuilder;
+use enoki_replay::{load_log, start_recording, stop_recording};
+use enoki_sched::Wfq;
+use enoki_sim::behavior::{Op, ProgramBehavior};
+use enoki_sim::{CostModel, Ns, TaskSpec, Topology};
+
+/// The recorded scene: two pipe pairs (wakeup chains for the causal
+/// edges), four compute/sleep churners (queue-wait and preemption
+/// spans), and a latecomer hog (tail pressure). Deterministic in virtual
+/// time — same log bytes on every machine.
+fn run_recorded(log_path: &std::path::Path) -> u64 {
+    record::reset_lock_ids();
+    let built = MachineBuilder::new(Topology::i7_9700(), CostModel::calibrated())
+        .scheduler("wfq", Box::new(Wfq::new(8)))
+        .build();
+    let mut m = built.machine;
+    let session = start_recording(log_path, 1 << 24).expect("record log");
+    for p in 0..2 {
+        let ab = m.create_pipe();
+        let ba = m.create_pipe();
+        m.spawn(TaskSpec::new(
+            format!("ping{p}"),
+            0,
+            Box::new(ProgramBehavior::repeat(
+                vec![Op::PipeWrite(ab), Op::PipeRead(ba)],
+                60,
+            )),
+        ));
+        m.spawn(TaskSpec::new(
+            format!("pong{p}"),
+            0,
+            Box::new(ProgramBehavior::repeat(
+                vec![Op::PipeRead(ab), Op::PipeWrite(ba)],
+                60,
+            )),
+        ));
+    }
+    for i in 0..4 {
+        m.spawn(TaskSpec::new(
+            format!("churn{i}"),
+            0,
+            Box::new(ProgramBehavior::repeat(
+                vec![Op::Compute(Ns::from_us(200)), Op::Sleep(Ns::from_us(300))],
+                25,
+            )),
+        ));
+    }
+    m.spawn(
+        TaskSpec::new(
+            "late-hog",
+            0,
+            Box::new(ProgramBehavior::once(vec![Op::Compute(Ns::from_ms(2))])),
+        )
+        .at(Ns::from_ms(1)),
+    );
+    m.run_to_completion(Ns::from_secs(5)).expect("run");
+    stop_recording(session).expect("flush log")
+}
+
+fn main() {
+    let log_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/trace_smoke.log".to_string());
+    let log_path = std::path::PathBuf::from(log_path);
+    if let Some(dir) = log_path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("results dir");
+        }
+    }
+
+    println!("trace_bench: causal span graph over a recorded WFQ run\n");
+    let written = run_recorded(&log_path);
+    let parsed = load_log(&log_path).expect("parse log");
+    assert!(!parsed.truncated, "log truncated");
+    let g = SpanGraph::build(&parsed);
+
+    let edge_count = |kind: EdgeKind| g.edges.iter().filter(|e| e.kind == kind).count();
+    let wakeup_edges = edge_count(EdgeKind::Wakeup);
+    let hint_edges = edge_count(EdgeKind::Hint);
+    let lock_edges = edge_count(EdgeKind::LockHandoff);
+    let idle_decisions = g
+        .decisions
+        .iter()
+        .filter(|d| d.reason == DecisionReason::Idle)
+        .count();
+    let breakdown_ok = g
+        .tasks
+        .keys()
+        .filter(|&&pid| {
+            g.breakdown(pid)
+                .is_some_and(|b| b.sum() == b.wall())
+        })
+        .count();
+    let prof = profile(&parsed, 1);
+    let hash = g.graph_hash();
+
+    println!("{written} records, {} spans over {} tasks", g.spans.len(), g.tasks.len());
+    println!(
+        "{} decisions ({idle_decisions} idle), {wakeup_edges} wakeup / {hint_edges} hint / {lock_edges} lock edges",
+        g.decisions.len()
+    );
+    println!(
+        "breakdown invariant holds for {breakdown_ok}/{} tasks, graph hash {hash:016x}",
+        g.tasks.len()
+    );
+    println!("profiler: {} samples over {} policies", prof.samples, prof.policies.len());
+    println!("record log left at {}", log_path.display());
+
+    let mut report = Report::new("trace");
+    report
+        .param("nr_cpus", 8usize)
+        .param("records", written)
+        .param("log", log_path.to_string_lossy().to_string());
+    report.row(&[("metric", "spans".into()), ("value", g.spans.len().into())]);
+    report.row(&[("metric", "tasks".into()), ("value", g.tasks.len().into())]);
+    report.row(&[("metric", "decisions".into()), ("value", g.decisions.len().into())]);
+    report.row(&[("metric", "idle_decisions".into()), ("value", idle_decisions.into())]);
+    report.row(&[("metric", "wakeup_edges".into()), ("value", wakeup_edges.into())]);
+    report.row(&[("metric", "hint_edges".into()), ("value", hint_edges.into())]);
+    report.row(&[("metric", "lock_edges".into()), ("value", lock_edges.into())]);
+    report.row(&[("metric", "breakdown_ok".into()), ("value", breakdown_ok.into())]);
+    report.row(&[("metric", "profile_samples".into()), ("value", prof.samples.into())]);
+    report.row(&[
+        ("metric", "graph_hash".into()),
+        ("hex", format!("{hash:016x}").into()),
+    ]);
+    report.emit();
+}

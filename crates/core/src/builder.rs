@@ -89,6 +89,7 @@ where
     faults: Option<FaultPlan>,
     failsafe: bool,
     meta: Option<MetaSpec<U, R>>,
+    decision_trace: bool,
 }
 
 impl<U, R> MachineBuilder<U, R>
@@ -113,6 +114,7 @@ where
             faults: None,
             failsafe: false,
             meta: None,
+            decision_trace: true,
         }
     }
 
@@ -190,6 +192,14 @@ where
         self
     }
 
+    /// Enables or disables pick-decision tracing (default on). When off,
+    /// schedulers' [`crate::tracing::emit_decision`] calls are no-ops even
+    /// while recording, shaving the decision encode off the pick hot path.
+    pub fn decision_trace(mut self, on: bool) -> MachineBuilder<U, R> {
+        self.decision_trace = on;
+        self
+    }
+
     /// Arms a deterministic fault plan (implies
     /// [`failsafe`](Self::failsafe); see [`crate::faults`]).
     pub fn faults(mut self, plan: FaultPlan) -> MachineBuilder<U, R> {
@@ -249,6 +259,7 @@ where
         let health = self
             .health
             .or_else(|| meta_spec.as_ref().map(|_| HealthConfig::default()));
+        crate::tracing::set_decision_trace(self.decision_trace);
         let nr_cpus = self.topo.nr_cpus();
         let mut machine = Machine::new(self.topo, self.costs);
         if self.reference_event_queue {

@@ -45,6 +45,11 @@ use std::time::{Duration, Instant};
 /// midpoint).
 pub const ENOKI_CALL_OVERHEAD: Ns = Ns(125);
 
+/// Policy number stamped on pick decisions served by the built-in
+/// failsafe FIFO while a module is quarantined. Out of band of every
+/// registered scheduler policy (those are small non-negative values).
+pub const FAILSAFE_POLICY: i32 = 999;
+
 /// Dispatch-layer counters.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct DispatchStats {
@@ -691,9 +696,35 @@ where
 
     /// Serves a pick from the shadow queue, minting the token the kernel
     /// expects for the chosen task.
-    fn failsafe_pick(&self, cpu: CpuId) -> Option<Pid> {
-        let pid = self.failsafe.borrow_mut().as_mut()?.pop(cpu)?;
+    fn failsafe_pick(&self, now: Ns, cpu: CpuId) -> Option<Pid> {
+        let (pid, candidates) = {
+            let mut fs = self.failsafe.borrow_mut();
+            let fs = fs.as_mut()?;
+            let candidates = fs.live.get(cpu).copied().unwrap_or(0);
+            let Some(pid) = fs.pop(cpu) else {
+                crate::tracing::emit_decision(
+                    now,
+                    cpu,
+                    FAILSAFE_POLICY,
+                    -1,
+                    0,
+                    crate::record::DecisionReason::Idle,
+                    0,
+                );
+                return None;
+            };
+            (pid, candidates)
+        };
         self.stats.borrow_mut().failsafe_picks += 1;
+        crate::tracing::emit_decision(
+            now,
+            cpu,
+            FAILSAFE_POLICY,
+            pid as i64,
+            candidates,
+            crate::record::DecisionReason::Failsafe,
+            0,
+        );
         let tok = self.mint(pid, cpu);
         self.tokens.borrow_mut()[cpu] = Some(tok);
         Some(pid)
@@ -1057,7 +1088,7 @@ where
         if self.fs_armed.get() {
             self.fs_note(k);
             if self.quarantined.get() {
-                return self.failsafe_pick(cpu);
+                return self.failsafe_pick(k.now(), cpu);
             }
         }
         self.rec_call_cpu(k, FuncId::PickNextTask, cpu);
@@ -1083,7 +1114,7 @@ where
                     k.now(),
                     SchedError::WrongCpu { wanted: cpu, got: wrong },
                 );
-                return self.failsafe_pick(cpu);
+                return self.failsafe_pick(k.now(), cpu);
             }
             Some(FaultKind::PntErrStorm { count }) => {
                 // Detection-only fault: the next `count` picks each also
@@ -1132,7 +1163,7 @@ where
                 self.after_panic(k, FuncId::PickNextTask, payload);
                 // Only reachable when armed (now quarantined): serve the
                 // same pick from the failsafe so the cpu never stalls.
-                return self.failsafe_pick(cpu);
+                return self.failsafe_pick(k.now(), cpu);
             }
         };
         if res.is_none() {
@@ -1180,7 +1211,7 @@ where
                 }));
                 if let Err(payload) = pr {
                     self.after_panic(k, FuncId::PntErr, payload);
-                    return self.failsafe_pick(cpu);
+                    return self.failsafe_pick(k.now(), cpu);
                 }
                 None
             }

@@ -60,6 +60,8 @@ pub struct LogSummary {
     pub faults: u64,
     /// Meta-scheduler policy-switch markers.
     pub switches: u64,
+    /// Pick-decision annotations.
+    pub decisions: u64,
     /// Fault counts per fault kind.
     pub faults_by_kind: BTreeMap<&'static str, u64>,
     /// Kernel threads seen.
@@ -117,6 +119,9 @@ impl LogSummary {
         if self.switches > 0 {
             let _ = writeln!(out, "policy switches: {}", self.switches);
         }
+        if self.decisions > 0 {
+            let _ = writeln!(out, "pick decisions: {}", self.decisions);
+        }
         out
     }
 }
@@ -163,6 +168,10 @@ pub fn summarize(log: &[Rec]) -> LogSummary {
             }
             Rec::Switch { tid, .. } => {
                 s.switches += 1;
+                s.threads.insert(*tid);
+            }
+            Rec::Decision { tid, .. } => {
+                s.decisions += 1;
                 s.threads.insert(*tid);
             }
         }
@@ -937,6 +946,20 @@ pub fn describe_rec(rec: &Rec) -> String {
         Rec::Switch { tid, at, epoch, from, to } => {
             format!("switch policy {from} -> {to} tid={tid} at={at} epoch={epoch}")
         }
+        Rec::Decision {
+            tid,
+            at,
+            cpu,
+            policy,
+            chosen,
+            candidates,
+            reason,
+            predicted,
+        } => format!(
+            "decision pick pid {chosen} tid={tid} at={at} cpu={cpu} policy={policy} \
+             candidates={candidates} reason={} predicted={predicted}",
+            reason.name()
+        ),
     }
 }
 
@@ -955,6 +978,11 @@ pub fn chrome_trace_from_log(log: &[Rec]) -> String {
     let mut pending_pick: HashMap<u32, (u64, i32)> = HashMap::new();
     // Runnable-set tracking for the counter track.
     let mut runnable: BTreeSet<i64> = BTreeSet::new();
+    // pid -> flow id of a wakeup whose dispatch arrow is still pending;
+    // closing it at the next pick of that pid draws the causal arrow
+    // (waker lane → picked lane) in Perfetto.
+    let mut pending_wake: HashMap<i64, u64> = HashMap::new();
+    let mut next_flow = 0u64;
     let mut held_locks = 0i64;
     let mut clock = 0u64;
 
@@ -986,6 +1014,16 @@ pub fn chrome_trace_from_log(log: &[Rec]) -> String {
                                 tid as usize,
                                 Ns(args.now),
                                 Some(&format!(r#"{{"pid":{}}}"#, args.pid)),
+                            );
+                            let id = next_flow;
+                            next_flow += 1;
+                            pending_wake.insert(args.pid, id);
+                            b.flow_start(
+                                &format!("wake pid {}", args.pid),
+                                "wakeflow",
+                                id,
+                                tid as usize,
+                                Ns(args.now),
                             );
                         }
                         if runnable.insert(args.pid) {
@@ -1025,8 +1063,38 @@ pub fn chrome_trace_from_log(log: &[Rec]) -> String {
                     close(&mut b, &mut open, cpu, now);
                     if val >= 0 {
                         open.insert(cpu, (val, now));
+                        if let Some(id) = pending_wake.remove(&val) {
+                            b.flow_end(
+                                &format!("wake pid {val}"),
+                                "wakeflow",
+                                id,
+                                cpu.max(0) as usize,
+                                Ns(now),
+                            );
+                        }
                     }
                 }
+            }
+            Rec::Decision {
+                at,
+                cpu,
+                policy,
+                chosen,
+                candidates,
+                reason,
+                predicted,
+                ..
+            } => {
+                b.instant(
+                    &format!("pick pid {chosen}"),
+                    "decision",
+                    cpu.max(0) as usize,
+                    Ns(at),
+                    Some(&format!(
+                        r#"{{"policy":{policy},"chosen":{chosen},"candidates":{candidates},"reason":"{}","predicted":{predicted}}}"#,
+                        reason.name()
+                    )),
+                );
             }
             Rec::Hint { tid, pid, kind, .. } => {
                 b.instant(

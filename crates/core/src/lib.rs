@@ -42,6 +42,12 @@
 //!   boundary; the framework survives all of it by quarantining the module
 //!   and failing over to a built-in failsafe FIFO until a replacement
 //!   re-registers through the live-upgrade path.
+//! - [`tracing`] — causal span tracing over record logs: per-task span
+//!   chains with cross-task causal edges (waker, hint, lock handoff),
+//!   typed pick-decision records with reason codes, per-task latency
+//!   breakdowns that sum to wall latency, critical-path extraction, and a
+//!   virtual-time sampling profiler per policy (the `enoki-log spans` /
+//!   `critpath` / `why` CLI front-ends live in `crates/replay`).
 //! - [`builder`] — [`builder::MachineBuilder`], the single fluent config
 //!   path for a machine + scheduler class: metrics, health/watchdog,
 //!   sampler cadence, event-queue choice, token ledger, and fault plan.
@@ -66,6 +72,7 @@ pub mod registry;
 pub mod replay;
 pub mod schedulable;
 pub mod sync;
+pub mod tracing;
 
 pub use api::{EnokiScheduler, SchedCtx, TaskInfo, TransferIn, TransferOut};
 pub use builder::{BuiltMachine, MachineBuilder};
@@ -86,3 +93,4 @@ pub use meta::{
 pub use queue::RingBuffer;
 pub use registry::Registry;
 pub use schedulable::{SchedError, Schedulable, TokenLedger};
+pub use tracing::{LatencyBreakdown, ProfileReport, SpanGraph};

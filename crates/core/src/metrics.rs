@@ -379,7 +379,11 @@ impl HistogramSnapshot {
             count: self.count.saturating_sub(earlier.count),
             sum: self.sum.saturating_sub(earlier.sum),
             min: first.map_or(u64::MAX, AtomicHistogram::lower_bound_of),
-            max: last.map_or(0, |i| AtomicHistogram::lower_bound_of(i + 1)),
+            // The next bucket's lower bound is an *exclusive* bound: a
+            // sample exactly at a power-of-two boundary is classified
+            // into that next bucket, so the largest value bucket `i` can
+            // hold is one below it.
+            max: last.map_or(0, |i| AtomicHistogram::lower_bound_of(i + 1) - 1),
             buckets,
         }
     }
@@ -411,7 +415,9 @@ impl HistogramSnapshot {
             if p99.is_none() && seen >= t99 {
                 p99 = Some(Ns(AtomicHistogram::lower_bound_of(idx)));
             }
-            max = Ns(AtomicHistogram::lower_bound_of(idx + 1));
+            // Inclusive bucket maximum — see `saturating_sub` on why the
+            // next lower bound alone would overstate boundary samples.
+            max = Ns(AtomicHistogram::lower_bound_of(idx + 1) - 1);
         }
         HistogramDelta { count, max, p50, p99 }
     }
@@ -423,8 +429,8 @@ impl HistogramSnapshot {
 pub struct HistogramDelta {
     /// Samples that landed in the window.
     pub count: u64,
-    /// Upper bucket bound of the largest windowed sample (zero when the
-    /// window is empty).
+    /// Inclusive upper bucket bound of the largest windowed sample (zero
+    /// when the window is empty).
     pub max: Ns,
     /// Median of the windowed samples, if any landed.
     pub p50: Option<Ns>,
@@ -1075,6 +1081,57 @@ mod tests {
         let d = b.diff(&a);
         assert!(d.counters.is_empty());
         assert!(d.histograms.is_empty());
+    }
+
+    #[test]
+    fn bucket_classification_is_consistent_at_power_of_two_edges() {
+        // A sample exactly at a bucket boundary belongs to the bucket it
+        // indexes into, and that bucket's bounds must bracket it:
+        // lower_bound_of(index_of(v)) <= v < lower_bound_of(index_of(v)+1).
+        for k in 1..40u32 {
+            let edge = 1u64 << k;
+            for v in [edge - 1, edge, edge + 1] {
+                let idx = AtomicHistogram::index_of(v);
+                let lo = AtomicHistogram::lower_bound_of(idx);
+                let hi = AtomicHistogram::lower_bound_of(idx + 1);
+                if idx < NR_BUCKETS - 1 {
+                    assert!(lo <= v && v < hi, "v={v} idx={idx} lo={lo} hi={hi}");
+                } else {
+                    assert!(lo <= v, "v={v} idx={idx} lo={lo}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_max_is_inclusive_at_power_of_two_values() {
+        // Regression: a window whose largest sample is one below a
+        // power-of-two boundary (e.g. 31) used to report the *exclusive*
+        // bucket bound (32) — a power-of-two value that was never
+        // recorded and that classifies into the next bucket — as its max.
+        let m = SchedulerMetrics::standalone("w", 1);
+        let before = m.snapshot();
+        m.observe(EventKind::PickLatency, 0, Ns(31));
+        let after = m.snapshot();
+
+        let hb = before.histogram("w", 0, EventKind::PickLatency);
+        let ha = after.histogram("w", 0, EventKind::PickLatency).unwrap();
+        let empty = HistogramSnapshot::empty();
+        let window = ha.saturating_sub(hb.unwrap_or(&empty));
+        assert_eq!(window.count(), 1);
+        let max = window.max().0;
+        assert!(max <= 31, "window max {max} overstates the sample 31");
+        let idx_of_max = AtomicHistogram::index_of(max);
+        assert_eq!(
+            idx_of_max,
+            AtomicHistogram::index_of(31),
+            "window max {max} classifies into a bucket no sample landed in"
+        );
+
+        let delta = ha.delta_stats(hb.unwrap_or(&empty));
+        assert_eq!(delta.count, 1);
+        assert!(delta.max.0 <= 31, "delta max {} overstates the sample", delta.max.0);
+        assert_eq!(AtomicHistogram::index_of(delta.max.0), AtomicHistogram::index_of(31));
     }
 
     #[test]

@@ -79,6 +79,35 @@ impl ChromeTraceBuilder {
         ));
     }
 
+    /// Starts a flow arrow ("s") with the given `id` on row `tid` at
+    /// `at`. Pair with [`flow_end`](Self::flow_end) using the same `id`
+    /// and `cat`; Perfetto draws an arrow between the two points.
+    pub fn flow_start(&mut self, name: &str, cat: &str, id: u64, tid: usize, at: Ns) {
+        self.events.push(format!(
+            r#"{{"name":"{}","cat":"{}","ph":"s","id":{},"ts":{:.3},"pid":0,"tid":{}}}"#,
+            json_escape(name),
+            json_escape(cat),
+            id,
+            Self::us(at.0),
+            tid
+        ));
+    }
+
+    /// Ends a flow arrow ("f") started by [`flow_start`](Self::flow_start)
+    /// with the same `id` and `cat`. `bp:"e"` binds the arrowhead to the
+    /// enclosing slice rather than the next one, which is what a
+    /// wakeup→dispatch arrow should point at.
+    pub fn flow_end(&mut self, name: &str, cat: &str, id: u64, tid: usize, at: Ns) {
+        self.events.push(format!(
+            r#"{{"name":"{}","cat":"{}","ph":"f","bp":"e","id":{},"ts":{:.3},"pid":0,"tid":{}}}"#,
+            json_escape(name),
+            json_escape(cat),
+            id,
+            Self::us(at.0),
+            tid
+        ));
+    }
+
     /// Adds a counter ("C") sample named `name` at `at`.
     pub fn counter(&mut self, name: &str, at: Ns, series: &str, value: f64) {
         self.events.push(format!(
@@ -117,6 +146,11 @@ pub fn chrome_trace_from_sim(tracer: &Tracer, nr_cpus: usize, end: Ns) -> String
     let mut b = ChromeTraceBuilder::new();
     // (pid, span start) of the task currently occupying each cpu row.
     let mut open: Vec<Option<(u64, Ns)>> = vec![None; nr_cpus];
+    // pid -> (flow id, wakeup cpu) of a wakeup whose dispatch arrow has
+    // not landed yet. Flow ids are just the wakeup's ordinal.
+    let mut pending_wake: std::collections::HashMap<i64, (u64, usize)> =
+        std::collections::HashMap::new();
+    let mut next_flow = 0u64;
     let close = |b: &mut ChromeTraceBuilder, slot: &mut Option<(u64, Ns)>, cpu: usize, at: Ns| {
         if let Some((pid, start)) = slot.take() {
             b.span(
@@ -133,6 +167,9 @@ pub fn chrome_trace_from_sim(tracer: &Tracer, nr_cpus: usize, end: Ns) -> String
             TraceEvent::SwitchIn { at, cpu, pid } if cpu < nr_cpus => {
                 close(&mut b, &mut open[cpu], cpu, at);
                 open[cpu] = Some((pid as u64, at));
+                if let Some((id, _)) = pending_wake.remove(&(pid as i64)) {
+                    b.flow_end(&format!("wake pid {pid}"), "wakeflow", id, cpu, at);
+                }
             }
             TraceEvent::Idle { at, cpu } if cpu < nr_cpus => {
                 close(&mut b, &mut open[cpu], cpu, at);
@@ -145,6 +182,10 @@ pub fn chrome_trace_from_sim(tracer: &Tracer, nr_cpus: usize, end: Ns) -> String
                     at,
                     Some(&format!(r#"{{"pid":{pid}}}"#)),
                 );
+                let id = next_flow;
+                next_flow += 1;
+                pending_wake.insert(pid as i64, (id, cpu));
+                b.flow_start(&format!("wake pid {pid}"), "wakeflow", id, cpu, at);
             }
             TraceEvent::Migrate { at, pid, from, to } if to < nr_cpus => {
                 b.instant(

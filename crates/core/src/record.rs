@@ -159,6 +159,57 @@ impl FaultTag {
     }
 }
 
+/// Why a pick chose its task, as recorded in [`Rec::Decision`]. The
+/// discriminant is the wire-format byte.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum DecisionReason {
+    /// No runnable candidate: the cpu went idle.
+    Idle = 1,
+    /// Exactly one candidate was runnable; no comparison happened.
+    OnlyCandidate = 2,
+    /// Weighted-fair pick: smallest vruntime in the queue.
+    MinVruntime = 3,
+    /// FIFO/FCFS pick: the oldest waiting task.
+    QueueHead = 4,
+    /// Predictive pick: smallest predicted service burst.
+    ShortestPredictedBurst = 5,
+    /// Locality pick: a hint or history pinned the task to this cpu.
+    LocalityHint = 6,
+    /// The framework failsafe FIFO answered while the module was
+    /// quarantined.
+    Failsafe = 7,
+}
+
+impl DecisionReason {
+    /// Human-readable reason name (forensics / `enoki-log why` output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DecisionReason::Idle => "idle",
+            DecisionReason::OnlyCandidate => "only_candidate",
+            DecisionReason::MinVruntime => "min_vruntime",
+            DecisionReason::QueueHead => "queue_head",
+            DecisionReason::ShortestPredictedBurst => "shortest_predicted_burst",
+            DecisionReason::LocalityHint => "locality_hint",
+            DecisionReason::Failsafe => "failsafe",
+        }
+    }
+
+    /// Decodes a reason byte.
+    pub fn from_u8(v: u8) -> Option<DecisionReason> {
+        Some(match v {
+            1 => DecisionReason::Idle,
+            2 => DecisionReason::OnlyCandidate,
+            3 => DecisionReason::MinVruntime,
+            4 => DecisionReason::QueueHead,
+            5 => DecisionReason::ShortestPredictedBurst,
+            6 => DecisionReason::LocalityHint,
+            7 => DecisionReason::Failsafe,
+            _ => return None,
+        })
+    }
+}
+
 /// How a lock was acquired (for the lock-order log).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 #[repr(u8)]
@@ -296,6 +347,28 @@ pub enum Rec {
         /// Policy number of the incoming scheduler.
         to: i32,
     },
+    /// The "why" behind one `pick_next_task` answer: which policy chose
+    /// which task over how many waiting candidates and for what reason.
+    /// Pure observability — replay skips these — consumed by the span
+    /// graph in [`crate::tracing`].
+    Decision {
+        /// Kernel thread (cpu) the pick ran on.
+        tid: u32,
+        /// Virtual time of the pick.
+        at: u64,
+        /// The cpu the pick answered.
+        cpu: i32,
+        /// Policy number of the deciding scheduler.
+        policy: i32,
+        /// Chosen pid, or `-1` when the cpu went idle.
+        chosen: i64,
+        /// Runnable candidates the policy considered for this cpu.
+        candidates: u32,
+        /// Why the chosen task won ([`DecisionReason`] byte).
+        reason: DecisionReason,
+        /// Predicted service burst in ns (predictive policies), else 0.
+        predicted: u64,
+    },
 }
 
 // ---------------------------------------------------------------------
@@ -310,6 +383,7 @@ const TAG_RET: u8 = 0xC4;
 const TAG_HINT: u8 = 0xC5;
 const TAG_FAULT: u8 = 0xC6;
 const TAG_SWITCH: u8 = 0xC7;
+const TAG_DECISION: u8 = 0xC8;
 
 impl Rec {
     /// Appends the binary encoding of this record to `out`.
@@ -396,6 +470,26 @@ impl Rec {
                 out.extend_from_slice(&epoch.to_le_bytes());
                 out.extend_from_slice(&from.to_le_bytes());
                 out.extend_from_slice(&to.to_le_bytes());
+            }
+            Rec::Decision {
+                tid,
+                at,
+                cpu,
+                policy,
+                chosen,
+                candidates,
+                reason,
+                predicted,
+            } => {
+                out.push(TAG_DECISION);
+                out.extend_from_slice(&tid.to_le_bytes());
+                out.extend_from_slice(&at.to_le_bytes());
+                out.extend_from_slice(&cpu.to_le_bytes());
+                out.extend_from_slice(&policy.to_le_bytes());
+                out.extend_from_slice(&chosen.to_le_bytes());
+                out.extend_from_slice(&candidates.to_le_bytes());
+                out.push(reason as u8);
+                out.extend_from_slice(&predicted.to_le_bytes());
             }
         }
     }
@@ -590,6 +684,30 @@ impl Rec {
                         epoch: u64_at(buf, 13),
                         from: i32_at(buf, 21),
                         to: i32_at(buf, 25),
+                    },
+                    need,
+                ))
+            }
+            TAG_DECISION => {
+                // tag + tid + at + cpu + policy + chosen + candidates +
+                // reason + predicted.
+                let need = 1 + 4 + 8 + 4 + 4 + 8 + 4 + 1 + 8;
+                if buf.len() < need {
+                    return Err(DecodeError::Truncated);
+                }
+                let reason = DecisionReason::from_u8(buf[33]).ok_or_else(|| {
+                    DecodeError::Corrupt(format!("invalid decision reason {:#04x}", buf[33]))
+                })?;
+                Ok((
+                    Rec::Decision {
+                        tid: u32_at(buf, 1),
+                        at: u64_at(buf, 5),
+                        cpu: i32_at(buf, 13),
+                        policy: i32_at(buf, 17),
+                        chosen: i64_at(buf, 21),
+                        candidates: u32_at(buf, 29),
+                        reason,
+                        predicted: u64_at(buf, 34),
                     },
                     need,
                 ))
@@ -998,6 +1116,51 @@ mod tests {
             from: 10,
             to: -30,
         });
+        roundtrip(Rec::Decision {
+            tid: 2,
+            at: 777_000,
+            cpu: 3,
+            policy: 90,
+            chosen: 41,
+            candidates: 5,
+            reason: DecisionReason::ShortestPredictedBurst,
+            predicted: 120_000,
+        });
+        roundtrip(Rec::Decision {
+            tid: 0,
+            at: 0,
+            cpu: 0,
+            policy: 10,
+            chosen: -1,
+            candidates: 0,
+            reason: DecisionReason::Idle,
+            predicted: 0,
+        });
+    }
+
+    #[test]
+    fn decision_decode_rejects_bad_reason() {
+        let mut buf = Vec::new();
+        Rec::Decision {
+            tid: 1,
+            at: 2,
+            cpu: 0,
+            policy: 10,
+            chosen: 7,
+            candidates: 2,
+            reason: DecisionReason::MinVruntime,
+            predicted: 0,
+        }
+        .encode(&mut buf);
+        // Invalid reason byte.
+        let mut bad = buf.clone();
+        bad[33] = 0xEE;
+        assert!(matches!(Rec::decode_ext(&bad), Err(DecodeError::Corrupt(_))));
+        // Truncated tail.
+        assert!(matches!(
+            Rec::decode_ext(&buf[..buf.len() - 1]),
+            Err(DecodeError::Truncated)
+        ));
     }
 
     #[test]

@@ -395,6 +395,10 @@ where
             // the last one, so any still in range belong to older epochs
             // reached via an explicit full-log replay; they carry no call.
             Rec::Switch { .. } => {}
+            // Pick-decision annotations are pure observability: the pick
+            // itself replays from its Call/Ret pair, and decision emission
+            // is disabled during replay, so these carry no call.
+            Rec::Decision { .. } => {}
         }
     }
 

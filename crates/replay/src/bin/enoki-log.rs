@@ -11,7 +11,15 @@
 //! - `enoki-log diff <log> <scheduler> [nr-cpus]` — replay against a named
 //!   scheduler and explain every divergence with its context window;
 //! - `enoki-log export <log> [out.json]` — Chrome `trace_event` JSON for
-//!   `chrome://tracing` / Perfetto (stdout by default).
+//!   `chrome://tracing` / Perfetto (stdout by default);
+//! - `enoki-log spans <log>` — the causal span graph (per-task lifecycle
+//!   spans, cross-task causal edges, pick decisions);
+//! - `enoki-log critpath <log> [pid]` — critical path ending at `pid`
+//!   (default: the p99 wakeup-wait tail task);
+//! - `enoki-log why <log> <pid>` — "why is my task slow?": latency
+//!   breakdown, waker provenance, chosen-over decisions;
+//! - `enoki-log profile <log> [stride]` — virtual-time sampling profiler
+//!   attributing simulated time to scheduler callbacks per policy.
 
 use enoki_core::record::ParsedLog;
 use enoki_replay::{cli, load_log};
@@ -26,6 +34,10 @@ fn usage() -> ExitCode {
     eprintln!("  dump   <log> [start] [end]            pretty-print records");
     eprintln!("  diff   <log> <scheduler> [nr-cpus]    replay + divergence explainer");
     eprintln!("  export <log> [out.json]               Chrome trace_event JSON");
+    eprintln!("  spans  <log>                          causal span graph");
+    eprintln!("  critpath <log> [pid]                  critical path (default: p99 tail task)");
+    eprintln!("  why    <log> <pid>                    latency breakdown + causal chain");
+    eprintln!("  profile <log> [stride]                virtual-time profiler per policy");
     eprintln!("schedulers: {}", cli::SCHEDULER_NAMES.join(", "));
     ExitCode::from(2)
 }
@@ -97,6 +109,27 @@ fn main() -> ExitCode {
                 }
                 None => println!("{doc}"),
             }
+        }
+        "spans" => print!("{}", cli::spans(&log)),
+        "critpath" => {
+            let pid = args.get(2).and_then(|s| s.parse().ok());
+            match cli::critpath(&log, pid) {
+                Ok(text) => print!("{text}"),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "why" => {
+            let Some(pid) = args.get(2).and_then(|s| s.parse().ok()) else {
+                return usage();
+            };
+            print!("{}", cli::why(&log, pid));
+        }
+        "profile" => {
+            let stride = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+            print!("{}", cli::profile_cmd(&log, stride));
         }
         _ => return usage(),
     }

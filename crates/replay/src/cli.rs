@@ -10,6 +10,7 @@ use enoki_core::forensics::{
 };
 use enoki_core::record::{ParsedLog, Rec};
 use enoki_core::replay::{replay_with, ReplayOptions, ReplayReport};
+use enoki_core::tracing::{profile, SpanGraph};
 use enoki_sched::{Cfs, Fifo, Locality, Shinjuku, Wfq};
 use std::fmt::Write as _;
 
@@ -119,4 +120,35 @@ pub fn diff(log: &[Rec], scheduler: &str, nr_cpus: usize) -> Result<(String, boo
 /// `chrome://tracing` or Perfetto).
 pub fn export(log: &[Rec]) -> String {
     chrome_trace_from_log(log)
+}
+
+/// `enoki-log spans`: the causal span graph — per-task span chains,
+/// cross-task causal edges, and pick decisions.
+pub fn spans(log: &[Rec]) -> String {
+    SpanGraph::build(log).render_spans()
+}
+
+/// `enoki-log critpath [pid]`: walks the critical path ending at `pid`
+/// (or the p99 wakeup-wait tail task when no pid is given) backwards
+/// across waker edges. The `Err` case is an empty graph.
+pub fn critpath(log: &[Rec], pid: Option<i64>) -> Result<String, String> {
+    let g = SpanGraph::build(log);
+    let pid = match pid.or_else(|| g.tail_pid()) {
+        Some(p) => p,
+        None => return Err("no task spans in this log".to_string()),
+    };
+    Ok(g.render_critpath(pid))
+}
+
+/// `enoki-log why <pid>`: the "why is my task slow?" report — latency
+/// breakdown summing to wall latency, waker provenance, and the
+/// decisions that picked someone else while the task waited.
+pub fn why(log: &[Rec], pid: i64) -> String {
+    SpanGraph::build(log).render_why(pid)
+}
+
+/// `enoki-log profile [stride]`: the virtual-time sampling profiler —
+/// simulated time attributed to scheduler callbacks, per policy.
+pub fn profile_cmd(log: &[Rec], stride: usize) -> String {
+    profile(log, stride).render()
 }

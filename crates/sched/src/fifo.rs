@@ -6,7 +6,9 @@
 //! emulation.
 
 use enoki_core::metrics::{EventKind, SchedulerMetrics};
+use enoki_core::record::DecisionReason;
 use enoki_core::sync::Mutex;
+use enoki_core::tracing::emit_decision;
 use enoki_core::{
     EnokiScheduler, SchedCtx, SchedError, Schedulable, TaskInfo, TransferIn, TransferOut,
 };
@@ -137,11 +139,23 @@ impl EnokiScheduler for Fifo {
 
     fn pick_next_task(
         &self,
-        _ctx: &SchedCtx<'_>,
+        ctx: &SchedCtx<'_>,
         cpu: CpuId,
         _curr: Option<Schedulable>,
     ) -> Option<Schedulable> {
-        self.queues[cpu].lock().pop_front()
+        let mut q = self.queues[cpu].lock();
+        let candidates = q.len();
+        let Some(s) = q.pop_front() else {
+            emit_decision(ctx.now(), cpu, Self::POLICY, -1, 0, DecisionReason::Idle, 0);
+            return None;
+        };
+        let reason = if candidates == 1 {
+            DecisionReason::OnlyCandidate
+        } else {
+            DecisionReason::QueueHead
+        };
+        emit_decision(ctx.now(), cpu, Self::POLICY, s.pid() as i64, candidates, reason, 0);
+        Some(s)
     }
 
     fn pnt_err(

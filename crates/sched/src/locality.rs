@@ -12,7 +12,9 @@
 
 use enoki_core::queue::RingBuffer;
 use enoki_core::metrics::{EventKind, SchedulerMetrics};
+use enoki_core::record::DecisionReason;
 use enoki_core::sync::Mutex;
+use enoki_core::tracing::emit_decision;
 use enoki_core::{
     EnokiScheduler, SchedCtx, SchedError, Schedulable, TaskInfo, TransferIn, TransferOut,
 };
@@ -197,11 +199,25 @@ impl EnokiScheduler for Locality {
 
     fn pick_next_task(
         &self,
-        _ctx: &SchedCtx<'_>,
+        ctx: &SchedCtx<'_>,
         cpu: CpuId,
         _curr: Option<Schedulable>,
     ) -> Option<Schedulable> {
-        self.state.lock().queues[cpu].pop_front()
+        let mut st = self.state.lock();
+        let candidates = st.queues[cpu].len();
+        let Some(s) = st.queues[cpu].pop_front() else {
+            emit_decision(ctx.now(), cpu, Self::POLICY, -1, 0, DecisionReason::Idle, 0);
+            return None;
+        };
+        // Tasks land on their group's home cpu in select/wakeup, so a
+        // pick from the local queue is the locality placement paying off.
+        let reason = if candidates == 1 {
+            DecisionReason::OnlyCandidate
+        } else {
+            DecisionReason::LocalityHint
+        };
+        emit_decision(ctx.now(), cpu, Self::POLICY, s.pid() as i64, candidates, reason, 0);
+        Some(s)
     }
 
     fn pnt_err(

@@ -24,7 +24,9 @@
 //! bucket arithmetic, so the policy records and replays bit-exactly.
 
 use enoki_core::metrics::{EventKind, SchedulerMetrics};
+use enoki_core::record::DecisionReason;
 use enoki_core::sync::Mutex;
+use enoki_core::tracing::emit_decision;
 use enoki_core::{
     EnokiScheduler, SchedCtx, SchedError, Schedulable, TaskInfo, TransferIn, TransferOut,
 };
@@ -273,14 +275,33 @@ impl EnokiScheduler for Predictive {
         let mut st = self.state.lock();
         // Shortest-predicted-burst-first on this cpu (stable: first of
         // equals wins, so FIFO among unmodelled tasks).
-        let idx = st.queues[cpu]
+        let candidates = st.queues[cpu].len();
+        let Some(idx) = st.queues[cpu]
             .iter()
             .enumerate()
             .min_by_key(|(_, (_, charge))| *charge)
-            .map(|(i, _)| i)?;
+            .map(|(i, _)| i)
+        else {
+            emit_decision(ctx.now(), cpu, Self::POLICY, -1, 0, DecisionReason::Idle, 0);
+            return None;
+        };
         let (sched, charge) = st.queues[cpu].remove(idx).unwrap();
         st.load[cpu] = st.load[cpu].saturating_sub(charge);
         ctx.start_preempt_timer(cpu, Self::slice_for(charge));
+        let reason = if candidates == 1 {
+            DecisionReason::OnlyCandidate
+        } else {
+            DecisionReason::ShortestPredictedBurst
+        };
+        emit_decision(
+            ctx.now(),
+            cpu,
+            Self::POLICY,
+            sched.pid() as i64,
+            candidates,
+            reason,
+            charge,
+        );
         Some(sched)
     }
 

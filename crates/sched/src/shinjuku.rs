@@ -12,7 +12,9 @@
 //! scheduler"); preempted tasks go to the back of the queue.
 
 use enoki_core::metrics::{EventKind, SchedulerMetrics};
+use enoki_core::record::DecisionReason;
 use enoki_core::sync::Mutex;
+use enoki_core::tracing::emit_decision;
 use enoki_core::{
     EnokiScheduler, SchedCtx, SchedError, Schedulable, TaskInfo, TransferIn, TransferOut,
 };
@@ -199,10 +201,20 @@ impl EnokiScheduler for Shinjuku {
         let mut st = self.state.lock();
         let Some(seq) = st.queues[cpu].keys().next().copied() else {
             st.busy[cpu] = false;
+            emit_decision(ctx.now(), cpu, Self::POLICY, -1, 0, DecisionReason::Idle, 0);
             return None;
         };
+        let candidates = st.queues[cpu].len();
         let sched = st.queues[cpu].remove(&seq).map(|(s, _)| s);
         st.busy[cpu] = true;
+        if let Some(s) = &sched {
+            let reason = if candidates == 1 {
+                DecisionReason::OnlyCandidate
+            } else {
+                DecisionReason::QueueHead
+            };
+            emit_decision(ctx.now(), cpu, Self::POLICY, s.pid() as i64, candidates, reason, 0);
+        }
         // Arm the preemption slice when the dispatched task has local
         // competition. A task running alone needs no round-robin timer:
         // any new arrival's task_wakeup requests an immediate resched, so

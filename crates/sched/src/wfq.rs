@@ -10,7 +10,9 @@
 
 use crate::fair::{scale_vruntime, Current, Entity, FairRq, WAKEUP_GRANULARITY};
 use enoki_core::metrics::{EventKind, SchedulerMetrics};
+use enoki_core::record::DecisionReason;
 use enoki_core::sync::Mutex;
+use enoki_core::tracing::emit_decision;
 use enoki_core::{
     EnokiScheduler, SchedCtx, SchedError, Schedulable, TaskInfo, TransferIn, TransferOut,
 };
@@ -277,19 +279,29 @@ impl EnokiScheduler for Wfq {
 
     fn pick_next_task(
         &self,
-        _ctx: &SchedCtx<'_>,
+        ctx: &SchedCtx<'_>,
         cpu: CpuId,
         _curr: Option<Schedulable>,
     ) -> Option<Schedulable> {
         let mut rq = self.rqs[cpu].lock();
         rq.update_min();
-        let e = rq.pop_leftmost()?;
+        let candidates = rq.nr_queued();
+        let Some(e) = rq.pop_leftmost() else {
+            emit_decision(ctx.now(), cpu, Self::POLICY, -1, 0, DecisionReason::Idle, 0);
+            return None;
+        };
         rq.current = Some(Current {
             pid: e.sched.pid(),
             vruntime: e.vruntime,
             weight: e.weight,
             ran: Ns::ZERO,
         });
+        let reason = if candidates == 1 {
+            DecisionReason::OnlyCandidate
+        } else {
+            DecisionReason::MinVruntime
+        };
+        emit_decision(ctx.now(), cpu, Self::POLICY, e.sched.pid() as i64, candidates, reason, 0);
         Some(e.sched)
     }
 

@@ -364,6 +364,30 @@ mod tests {
     }
 
     #[test]
+    fn bucket_bounds_bracket_power_of_two_values() {
+        // The log-bucket layout must classify v into a bucket whose
+        // half-open range [lower_bound_of(i), lower_bound_of(i + 1))
+        // contains it — including exactly at powers of two, where the
+        // exponent and sub-bucket both change.
+        for k in 1..40u32 {
+            let p = 1u64 << k;
+            for v in [p - 1, p, p + 1] {
+                let idx = Histogram::index_of(v);
+                assert!(
+                    Histogram::lower_bound_of(idx) <= v,
+                    "v={v} below its bucket {idx}"
+                );
+                if idx + 1 < NR_BUCKETS {
+                    assert!(
+                        v < Histogram::lower_bound_of(idx + 1),
+                        "v={v} at or above the next bucket after {idx}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn quantile_zero_returns_exact_min() {
         // q=0.0 on a populated histogram must return the smallest sample,
         // never None or a neighbouring bucket bound.

@@ -52,6 +52,23 @@ faults:
     cargo test -q -p enoki --test faults
     cargo test -q -p enoki-core faults
 
+# Causal span tracing: record a small deterministic WFQ run
+# (trace_bench, which also emits results/BENCH_trace.json for the
+# regression gate), then walk the span graph — per-task spans, the
+# p99-tail critical path, the per-policy virtual-time profile, and the
+# Perfetto export with causal wakeup flow arrows.
+trace log="results/trace_smoke.log":
+    cargo run --release -p enoki-bench --bin trace_bench -- {{log}}
+    cargo run --release -p enoki-replay --bin enoki-log -- spans {{log}}
+    cargo run --release -p enoki-replay --bin enoki-log -- critpath {{log}}
+    cargo run --release -p enoki-replay --bin enoki-log -- profile {{log}}
+    cargo run --release -p enoki-replay --bin enoki-log -- export {{log}} {{log}}.trace.json
+    cargo test -q -p enoki --test tracing
+
+# "Why is my task slow?" for one pid of a recorded log (see `just trace`).
+why pid log="results/trace_smoke.log":
+    cargo run --release -p enoki-replay --bin enoki-log -- why {{log}} {{pid}}
+
 # Record a run, then walk the log through every enoki-log analysis.
 forensics log="/tmp/enoki-forensics.log":
     cargo run --release -p enoki --example record_replay -- {{log}}

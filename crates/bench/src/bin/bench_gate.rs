@@ -41,6 +41,14 @@
 //! virtual-time facts, so any drift is a recorder, codec, or
 //! graph-builder behaviour change.
 //!
+//! When the same CI run also wrote `BENCH_blackbox.json` (the
+//! `blackbox_bench` harness: a flight-recorder dump auto-triggered by a
+//! starvation incident on an unrecorded run), the dump's record count,
+//! its FNV byte hash, and the manifest's tail pid are pinned exactly
+//! against `crates/bench/baselines/BENCH_blackbox.json` — the dump is a
+//! deterministic function of the virtual-time scene, so a drifted hash
+//! means black-box reproducibility broke.
+//!
 //! Usage: `bench_gate [current.json] [baseline.json]`
 //! (defaults: `crates/bench/results/BENCH_framework.json`, falling back to
 //! `results/BENCH_framework.json`, vs `crates/bench/baselines/BENCH_framework.json`)
@@ -531,18 +539,19 @@ enum TraceVal {
     Hex(String),
 }
 
-/// Parses and schema-checks one `BENCH_trace.json`: the harness must be
-/// `trace`, and every row must carry a string `metric` plus either a
+/// Parses and schema-checks one metric/value report (the `trace` and
+/// `blackbox` harnesses share the shape): the harness name must match
+/// `expect`, and every row must carry a string `metric` plus either a
 /// numeric `value` or a string `hex`.
-fn load_trace(path: &str) -> Result<BTreeMap<String, TraceVal>, String> {
+fn load_kv(path: &str, expect: &str) -> Result<BTreeMap<String, TraceVal>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let doc = Parser::parse(&text).map_err(|e| format!("{path}: {e}"))?;
     let harness = doc
         .get("harness")
         .and_then(Json::as_str)
         .ok_or_else(|| format!("{path}: missing \"harness\""))?;
-    if harness != "trace" {
-        return Err(format!("{path}: harness is {harness:?}, not \"trace\""));
+    if harness != expect {
+        return Err(format!("{path}: harness is {harness:?}, not {expect:?}"));
     }
     let rows = doc
         .get("rows")
@@ -575,10 +584,29 @@ fn load_trace(path: &str) -> Result<BTreeMap<String, TraceVal>, String> {
 /// virtual-time fact, so each one is pinned exactly against the
 /// committed baseline. Returns the number of rows gated.
 fn gate_trace(current_path: &str, failures: &mut Vec<String>) -> Result<usize, String> {
-    let baseline_path = "crates/bench/baselines/BENCH_trace.json";
-    let cur = load_trace(current_path)?;
-    let base = load_trace(baseline_path)?;
-    println!("trace gate: {current_path} vs baseline {baseline_path}");
+    gate_kv(current_path, "trace", "crates/bench/baselines/BENCH_trace.json", failures)
+}
+
+/// Gates the flight-recorder report: the dump is cut from the in-memory
+/// ring of a virtual-time run, so its record count, FNV hash, and the
+/// manifest's tail pid are all deterministic facts — pinned exactly. A
+/// drifted `dump_fnv` means byte-for-byte reproducibility broke (the
+/// ring, the codec, or the emit funnel changed behaviour).
+fn gate_blackbox(current_path: &str, failures: &mut Vec<String>) -> Result<usize, String> {
+    gate_kv(current_path, "blackbox", "crates/bench/baselines/BENCH_blackbox.json", failures)
+}
+
+/// Exact bidirectional pin of a metric/value report against its
+/// committed baseline. Returns the number of rows gated.
+fn gate_kv(
+    current_path: &str,
+    harness: &str,
+    baseline_path: &str,
+    failures: &mut Vec<String>,
+) -> Result<usize, String> {
+    let cur = load_kv(current_path, harness)?;
+    let base = load_kv(baseline_path, harness)?;
+    println!("{harness} gate: {current_path} vs baseline {baseline_path}");
     for (metric, val) in &cur {
         match val {
             TraceVal::Num(n) => println!("  {metric:<46} {n:>12}"),
@@ -587,16 +615,16 @@ fn gate_trace(current_path: &str, failures: &mut Vec<String>) -> Result<usize, S
         match base.get(metric) {
             Some(b) if b == val => {}
             Some(b) => failures.push(format!(
-                "trace metric {metric}: current {val:?} != baseline {b:?} \
+                "{harness} metric {metric}: current {val:?} != baseline {b:?} \
                  (deterministic — this is a recorder/codec/graph behaviour change)"
             )),
-            None => failures.push(format!("trace metric {metric}: not in the baseline")),
+            None => failures.push(format!("{harness} metric {metric}: not in the baseline")),
         }
     }
     for metric in base.keys() {
         if !cur.contains_key(metric) {
             failures.push(format!(
-                "trace metric {metric}: present in baseline but missing from this run"
+                "{harness} metric {metric}: present in baseline but missing from this run"
             ));
         }
     }
@@ -771,6 +799,21 @@ fn run() -> Result<(), String> {
     match trace_path {
         Some(p) => gated += gate_trace(p, &mut failures)?,
         None => println!("  (no BENCH_trace.json — span graph not gated)"),
+    }
+
+    // Flight-recorder gate: runs whenever a `blackbox_bench` report is
+    // present (CI writes it right before this gate). Pins the dump's
+    // byte determinism (FNV), its record count, and the tail pid the
+    // manifest blames.
+    let blackbox_path = [
+        "results/BENCH_blackbox.json",
+        "crates/bench/results/BENCH_blackbox.json",
+    ]
+    .into_iter()
+    .find(|p| std::path::Path::new(p).exists());
+    match blackbox_path {
+        Some(p) => gated += gate_blackbox(p, &mut failures)?,
+        None => println!("  (no BENCH_blackbox.json — flight recorder not gated)"),
     }
 
     if failures.is_empty() {

@@ -1,0 +1,215 @@
+//! blackbox_bench: deterministic facts of the flight-recorder black box.
+//!
+//! Runs an **unrecorded** WFQ-topology machine whose scheduler carries a
+//! deliberate starvation bug (it strands pid 0's token on a bench, the
+//! same defect the health integration tests use), with the watchdog and
+//! the always-on flight recorder armed. The watchdog's starvation
+//! incident auto-triggers a black-box dump — an ordinary record log cut
+//! from the in-memory ring — plus its JSON manifest. The whole run is
+//! virtual time, so the dump bytes are a deterministic function of the
+//! scene: the bench runs the scenario **twice** from a cold start and
+//! asserts the two dumps are FNV-identical, then reports the record
+//! count, the manifest's tail pid (the starved victim), and the dump
+//! hash for `bench_gate` to pin exactly against
+//! `crates/bench/baselines/BENCH_blackbox.json`.
+//!
+//! The final dump and manifest are also copied to
+//! `results/blackbox_smoke.bin` / `.json` so the CI smoke step can run
+//! `enoki-log blackbox` on a stable path. Writes
+//! `results/BENCH_blackbox.json`.
+
+use enoki_bench::report::Report;
+use enoki_core::flight::{self, FlightSpec};
+use enoki_core::health::HealthConfig;
+use enoki_core::queue::RingBuffer;
+use enoki_core::record;
+use enoki_core::sync::Mutex;
+use enoki_core::{
+    EnokiScheduler, MachineBuilder, SchedCtx, SchedError, Schedulable, TaskInfo,
+};
+use enoki_replay::load_log;
+use enoki_sim::behavior::{Op, ProgramBehavior};
+use enoki_sim::{CostModel, CpuId, HintVal, Ns, Pid, TaskSpec, Topology, WakeFlags};
+use std::collections::VecDeque;
+use std::path::PathBuf;
+
+/// A per-cpu FIFO that is correct except for one deliberate bug: it
+/// strands `victim`'s token on a bench forever, so the task starves
+/// while the token population stays conserved — exactly the defect the
+/// watchdog's starvation monitor exists to catch in flight.
+struct Strander {
+    queues: Mutex<Vec<VecDeque<Schedulable>>>,
+    benched: Mutex<Vec<Schedulable>>,
+    victim: Pid,
+}
+
+impl Strander {
+    fn new(nr: usize, victim: Pid) -> Strander {
+        Strander {
+            queues: Mutex::new((0..nr).map(|_| VecDeque::new()).collect()),
+            benched: Mutex::new(Vec::new()),
+            victim,
+        }
+    }
+
+    fn enqueue(&self, s: Schedulable) {
+        if s.pid() == self.victim {
+            self.benched.lock().push(s);
+            return;
+        }
+        let cpu = s.cpu();
+        self.queues.lock()[cpu].push_back(s);
+    }
+}
+
+impl EnokiScheduler for Strander {
+    type UserMsg = HintVal;
+    type RevMsg = HintVal;
+
+    fn get_policy(&self) -> i32 {
+        66
+    }
+    fn select_task_rq(&self, _c: &SchedCtx<'_>, t: &TaskInfo, prev: CpuId, _f: WakeFlags) -> CpuId {
+        if t.affinity.contains(prev) {
+            prev
+        } else {
+            t.affinity.iter().next().unwrap_or(prev)
+        }
+    }
+    fn task_new(&self, _c: &SchedCtx<'_>, _t: &TaskInfo, s: Schedulable) {
+        self.enqueue(s);
+    }
+    fn task_wakeup(&self, _c: &SchedCtx<'_>, _t: &TaskInfo, _f: WakeFlags, s: Schedulable) {
+        self.enqueue(s);
+    }
+    fn task_blocked(&self, _c: &SchedCtx<'_>, _t: &TaskInfo) {}
+    fn task_preempt(&self, _c: &SchedCtx<'_>, _t: &TaskInfo, s: Schedulable) {
+        self.enqueue(s);
+    }
+    fn task_yield(&self, c: &SchedCtx<'_>, t: &TaskInfo, s: Schedulable) {
+        self.task_preempt(c, t, s);
+    }
+    fn task_dead(&self, _c: &SchedCtx<'_>, _p: Pid) {}
+    fn task_departed(&self, _c: &SchedCtx<'_>, _t: &TaskInfo) -> Option<Schedulable> {
+        None
+    }
+    fn task_tick(&self, _c: &SchedCtx<'_>, _cpu: CpuId, _t: &TaskInfo) {}
+    fn migrate_task_rq(
+        &self,
+        _c: &SchedCtx<'_>,
+        t: &TaskInfo,
+        new: Schedulable,
+    ) -> Option<Schedulable> {
+        let mut qs = self.queues.lock();
+        let mut old = None;
+        for q in qs.iter_mut() {
+            if let Some(pos) = q.iter().position(|s| s.pid() == t.pid) {
+                old = q.remove(pos);
+            }
+        }
+        let cpu = new.cpu();
+        qs[cpu].push_back(new);
+        old
+    }
+    fn pick_next_task(
+        &self,
+        _c: &SchedCtx<'_>,
+        cpu: CpuId,
+        _curr: Option<Schedulable>,
+    ) -> Option<Schedulable> {
+        self.queues.lock()[cpu].pop_front()
+    }
+    fn pnt_err(&self, _c: &SchedCtx<'_>, _cpu: CpuId, _e: SchedError, s: Option<Schedulable>) {
+        if let Some(s) = s {
+            self.enqueue(s);
+        }
+    }
+    fn register_queue(&self, _q: RingBuffer<HintVal>) -> i32 {
+        -1
+    }
+}
+
+/// One cold run of the starvation scene. Returns the auto-triggered
+/// dump's path and its raw bytes (read back immediately, because a
+/// repeat run lands on the same virtual-time filename).
+fn run_once() -> (PathBuf, Vec<u8>) {
+    record::reset_lock_ids();
+    let built = MachineBuilder::new(Topology::i7_9700(), CostModel::calibrated())
+        .scheduler("strander", Box::new(Strander::new(8, 0)))
+        .health(HealthConfig::default())
+        .flight(FlightSpec {
+            capacity: 1 << 15,
+            seed: Some(42),
+            ..Default::default()
+        })
+        .build();
+    let mut m = built.machine;
+    let victim = m.spawn(
+        TaskSpec::new(
+            "victim",
+            0,
+            Box::new(ProgramBehavior::once(vec![Op::Compute(Ns::from_ms(1))])),
+        )
+        .on_cpu(2),
+    );
+    assert_eq!(victim, 0, "the strand bug targets pid 0");
+    for i in 0..4 {
+        m.spawn(TaskSpec::new(
+            format!("busy{i}"),
+            0,
+            Box::new(ProgramBehavior::repeat(
+                vec![Op::Compute(Ns::from_us(200)), Op::Sleep(Ns::from_us(100))],
+                200,
+            )),
+        ).on_cpu(3 + i));
+    }
+    m.run_until(Ns::from_ms(30)).expect("starvation is not fatal");
+    let dump = flight::last_dump().expect("starvation must auto-trigger a black-box dump");
+    let bytes = std::fs::read(&dump).expect("read dump");
+    flight::disarm();
+    (dump, bytes)
+}
+
+fn main() {
+    std::fs::create_dir_all("results").expect("results dir");
+    println!("blackbox_bench: flight-recorder dump from an unrecorded starvation run\n");
+
+    let (dump_a, bytes_a) = run_once();
+    let (dump_b, bytes_b) = run_once();
+    assert_eq!(dump_a, dump_b, "virtual-time dump filenames must agree");
+    let fnv_a = flight::fnv1a(&bytes_a);
+    let fnv_b = flight::fnv1a(&bytes_b);
+    assert_eq!(
+        fnv_a, fnv_b,
+        "same seed + same scene must reproduce a byte-identical dump"
+    );
+
+    let parsed = load_log(&dump_a).expect("a dump is an ordinary record log");
+    let tail_pid = flight::manifest_tail_pid(&dump_a).expect("manifest names a tail pid");
+    println!(
+        "dump {} ({} records, fnv {fnv_a:016x}), manifest tail pid {tail_pid}",
+        dump_a.display(),
+        parsed.records.len()
+    );
+    println!("byte-identical across two cold runs");
+
+    // Stable smoke paths for CI's `enoki-log blackbox` step (the
+    // auto-named dump embeds a virtual timestamp).
+    let smoke_bin = PathBuf::from("results/blackbox_smoke.bin");
+    std::fs::copy(&dump_a, &smoke_bin).expect("copy dump");
+    std::fs::copy(dump_a.with_extension("json"), smoke_bin.with_extension("json"))
+        .expect("copy manifest");
+    println!("smoke copies left at {} (+ .json)", smoke_bin.display());
+
+    let mut report = Report::new("blackbox");
+    report
+        .param("nr_cpus", 8usize)
+        .param("dump", dump_a.to_string_lossy().to_string());
+    report.row(&[("metric", "records".into()), ("value", parsed.records.len().into())]);
+    report.row(&[("metric", "tail_pid".into()), ("value", tail_pid.into())]);
+    report.row(&[
+        ("metric", "dump_fnv".into()),
+        ("hex", format!("{fnv_a:016x}").into()),
+    ]);
+    report.emit();
+}

@@ -24,7 +24,8 @@
 use crate::api::EnokiScheduler;
 use crate::dispatch::EnokiClass;
 use crate::faults::FaultPlan;
-use crate::health::{HealthConfig, Watchdog};
+use crate::flight::FlightSpec;
+use crate::health::{HealthConfig, SloSpec, Watchdog};
 use crate::meta::{MetaController, MetaSpec, Switchable};
 use crate::queue::RingBuffer;
 use enoki_sim::behavior::HintVal;
@@ -90,6 +91,8 @@ where
     failsafe: bool,
     meta: Option<MetaSpec<U, R>>,
     decision_trace: bool,
+    flight: Option<FlightSpec>,
+    slo: Option<SloSpec>,
 }
 
 impl<U, R> MachineBuilder<U, R>
@@ -115,6 +118,8 @@ where
             failsafe: false,
             meta: None,
             decision_trace: true,
+            flight: None,
+            slo: None,
         }
     }
 
@@ -215,6 +220,30 @@ where
         self
     }
 
+    /// Arms the always-on flight recorder: the record stream is mirrored
+    /// into a fixed-budget overwrite-oldest ring, and black-box dumps
+    /// (dump + JSON manifest under `spec.dir`) are written on critical
+    /// health events, SLO burns, quarantines, or an explicit
+    /// [`crate::flight::SnapshotBlackbox::snapshot_blackbox`].
+    ///
+    /// Arming is process-global (like record mode): call
+    /// [`crate::flight::disarm`] when the run ends, and serialize tests
+    /// that arm it.
+    pub fn flight(mut self, spec: FlightSpec) -> MachineBuilder<U, R> {
+        self.flight = Some(spec);
+        self
+    }
+
+    /// Arms a pick-latency SLO with multi-window burn-rate alerting on
+    /// the watchdog (see [`SloSpec`]); a burn records a critical
+    /// [`crate::HealthEvent::SloBurn`], which also triggers a black-box
+    /// dump when [`flight`](Self::flight) is armed. Implies
+    /// [`health`](Self::health) with the default cadence.
+    pub fn slo(mut self, spec: SloSpec) -> MachineBuilder<U, R> {
+        self.slo = Some(spec);
+        self
+    }
+
     /// Arms the meta-scheduler: loads the spec's initial candidate wrapped
     /// in [`Switchable`] and steps a [`MetaController`] after every
     /// watchdog poll, live-switching policies when the telemetry says so
@@ -255,10 +284,13 @@ where
                 (None, m) => m.expect("MachineBuilder: scheduler() is required"),
             };
         // The controller's inputs are health samples; arm the watchdog on
-        // the default cadence if meta was requested without one.
+        // the default cadence if meta was requested without one. The SLO
+        // engine likewise lives in the watchdog's poll, so slo() implies
+        // health too.
         let health = self
             .health
-            .or_else(|| meta_spec.as_ref().map(|_| HealthConfig::default()));
+            .or_else(|| meta_spec.as_ref().map(|_| HealthConfig::default()))
+            .or_else(|| self.slo.map(|_| HealthConfig::default()));
         crate::tracing::set_decision_trace(self.decision_trace);
         let nr_cpus = self.topo.nr_cpus();
         let mut machine = Machine::new(self.topo, self.costs);
@@ -280,11 +312,13 @@ where
         if self.failsafe || self.faults.is_some() {
             class.arm_failsafe();
         }
+        let mut fault_probes = 0usize;
         if let Some(plan) = self.faults {
             // A probe per arm time guarantees a dispatch point right after
             // each fault arms, even on an otherwise quiet machine.
             for at in plan.fire_times() {
                 machine.schedule_probe(at, 0);
+                fault_probes += 1;
             }
             class.arm_faults(plan);
         }
@@ -294,6 +328,22 @@ where
         let watchdog = health.map(Watchdog::new);
         if let Some(wd) = &watchdog {
             class.set_incident_sink(wd);
+            if let Some(spec) = self.slo {
+                wd.arm_slo(spec);
+            }
+        }
+        if let Some(spec) = self.flight {
+            // The manifest's builder-config block: enough to re-create
+            // the scenario around a dump without the original harness.
+            let config = format!(
+                "{{\"scheduler\":\"{}\",\"nr_cpus\":{nr_cpus},\"failsafe\":{},\"faults\":{},\"health\":{},\"slo_objective_ns\":{}}}",
+                class.metrics().name().replace('"', ""),
+                self.failsafe || fault_probes > 0,
+                fault_probes,
+                health.is_some(),
+                self.slo.map_or(0, |s| s.objective.as_nanos()),
+            );
+            crate::flight::arm(spec, config, Some(Arc::clone(class.metrics())));
         }
         let meta = match (meta_spec, &watchdog) {
             (Some(spec), Some(wd)) => Some(Rc::new(RefCell::new(MetaController::new(

@@ -1171,8 +1171,16 @@ where
         }
         if let Some(t0) = timed {
             let lat = t0.elapsed();
-            self.metrics
-                .observe_duration(EventKind::PickLatency, cpu, lat);
+            // Tagged: the sample's power-of-two tier remembers which task
+            // (and when, in virtual time) produced its worst latency, so
+            // a histogram spike links straight into the span graph.
+            self.metrics.observe_duration_tagged(
+                EventKind::PickLatency,
+                cpu,
+                lat,
+                res.as_ref().map_or(-1, |s| s.pid() as i64),
+                k.now(),
+            );
             self.metrics.emit(TraceRecord {
                 ts: k.now().as_nanos(),
                 kind: EventKind::PickLatency,

@@ -137,6 +137,28 @@ pub enum HealthEvent {
     /// A replacement scheduler re-registered through the live-upgrade
     /// path and took back scheduling from the failsafe policy.
     SchedulerRecovered,
+    /// The pick-latency SLO is burning error budget faster than both the
+    /// fast- and slow-window thresholds allow (see [`SloSpec`]). Burn
+    /// rates are carried as hundredths (×100) so the event stays `Eq`
+    /// and byte-stable in logs.
+    SloBurn {
+        /// Fast-window burn rate, ×100.
+        fast_x100: u64,
+        /// Slow-window burn rate, ×100.
+        slow_x100: u64,
+        /// The latency objective being burned against.
+        objective: Ns,
+    },
+    /// Telemetry is silently losing data: the record ring or the metrics
+    /// trace sink dropped records since the last poll. The run still
+    /// works, but its logs under-report — worth knowing before trusting
+    /// a replay or a trace.
+    RecordLoss {
+        /// Cumulative records dropped by the file recorder's ring.
+        record_drops: u64,
+        /// Cumulative trace events dropped by the metrics trace sink.
+        trace_drops: u64,
+    },
 }
 
 impl HealthEvent {
@@ -153,6 +175,8 @@ impl HealthEvent {
             HealthEvent::SchedFault { .. } => "sched_fault",
             HealthEvent::Quarantined { .. } => "quarantined",
             HealthEvent::SchedulerRecovered => "scheduler_recovered",
+            HealthEvent::SloBurn { .. } => "slo_burn",
+            HealthEvent::RecordLoss { .. } => "record_loss",
         }
     }
 
@@ -163,10 +187,12 @@ impl HealthEvent {
             | HealthEvent::TokenLost { .. }
             | HealthEvent::TokenLeak { .. }
             | HealthEvent::SchedFault { .. }
-            | HealthEvent::Quarantined { .. } => Severity::Critical,
+            | HealthEvent::Quarantined { .. }
+            | HealthEvent::SloBurn { .. } => Severity::Critical,
             HealthEvent::HintStall { .. }
             | HealthEvent::UpgradeBlackoutSlo { .. }
-            | HealthEvent::PntErrStorm { .. } => Severity::Warning,
+            | HealthEvent::PntErrStorm { .. }
+            | HealthEvent::RecordLoss { .. } => Severity::Warning,
             HealthEvent::RunqImbalance { .. } => Severity::Warning,
             HealthEvent::SchedulerRecovered => Severity::Info,
         }
@@ -212,6 +238,18 @@ impl std::fmt::Display for HealthEvent {
             HealthEvent::SchedulerRecovered => {
                 write!(f, "replacement scheduler re-registered; failsafe disengaged")
             }
+            HealthEvent::SloBurn { fast_x100, slow_x100, objective } => write!(
+                f,
+                "SLO burn: pick latency over {objective} burning budget at {}.{:02}x (fast) / {}.{:02}x (slow)",
+                fast_x100 / 100,
+                fast_x100 % 100,
+                slow_x100 / 100,
+                slow_x100 % 100
+            ),
+            HealthEvent::RecordLoss { record_drops, trace_drops } => write!(
+                f,
+                "telemetry loss: {record_drops} record(s) and {trace_drops} trace event(s) dropped"
+            ),
         }
     }
 }
@@ -293,6 +331,170 @@ impl HealthConfig {
     }
 }
 
+/// A pick-latency service-level objective with multi-window burn-rate
+/// alerting (the SRE two-window pattern: a fast window for detection
+/// speed, a slow window to reject blips).
+///
+/// Every timed pick is classified good (latency ≤ `objective`) or bad;
+/// the burn rate of a window is `(bad / total) / (1 - target)` — how many
+/// times faster than "exactly on budget" the error budget is being
+/// spent. An alert fires only when *both* windows exceed their
+/// thresholds, and clears with hysteresis once both fall below
+/// `clear_factor` of them.
+#[derive(Clone, Copy, Debug)]
+pub struct SloSpec {
+    /// Picks slower than this consume error budget.
+    pub objective: Ns,
+    /// Promised fraction of good picks (e.g. `0.999`).
+    pub target: f64,
+    /// Short window: catches fast burns quickly.
+    pub fast_window: Ns,
+    /// Long window: confirms the burn is sustained, not a blip.
+    pub slow_window: Ns,
+    /// Fast-window burn-rate threshold.
+    pub fast_burn: f64,
+    /// Slow-window burn-rate threshold.
+    pub slow_burn: f64,
+    /// Hysteresis: a latched alert clears only when both burn rates drop
+    /// below `threshold * clear_factor`.
+    pub clear_factor: f64,
+}
+
+impl Default for SloSpec {
+    fn default() -> SloSpec {
+        SloSpec {
+            objective: Ns::from_us(10),
+            target: 0.999,
+            fast_window: Ns::from_ms(5),
+            slow_window: Ns::from_ms(60),
+            fast_burn: 14.4,
+            slow_burn: 6.0,
+            clear_factor: 0.5,
+        }
+    }
+}
+
+/// An edge-triggered SLO state change from [`SloState::evaluate`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SloSignal {
+    /// Both windows crossed their burn thresholds; carried ×100 so the
+    /// resulting [`HealthEvent::SloBurn`] stays `Eq`.
+    Burn {
+        /// Fast-window burn rate, ×100.
+        fast_x100: u64,
+        /// Slow-window burn rate, ×100.
+        slow_x100: u64,
+    },
+    /// A latched burn dropped back below the hysteresis floor.
+    Clear,
+}
+
+/// Windowed burn-rate evaluator for one [`SloSpec`].
+///
+/// Fed one `(good, bad)` bucket per watchdog poll (virtual time), it
+/// keeps only the buckets inside the slow window — memory is bounded by
+/// `slow_window / sample_interval`, not run length. Pure and
+/// deterministic: the same bucket sequence yields the same signals, which
+/// is what makes SLO-triggered black-box dumps reproducible.
+#[derive(Debug)]
+pub struct SloState {
+    spec: SloSpec,
+    /// `(at, good, bad)` per observed poll, pruned to the slow window.
+    buckets: VecDeque<(Ns, u64, u64)>,
+    /// Cumulative totals at the previous feed, for delta extraction by
+    /// the watchdog (unused when buckets are fed directly in tests).
+    prev_total: u64,
+    prev_bad: u64,
+    burning: bool,
+}
+
+impl SloState {
+    /// Creates an evaluator for `spec`.
+    pub fn new(spec: SloSpec) -> SloState {
+        SloState {
+            spec,
+            buckets: VecDeque::new(),
+            prev_total: 0,
+            prev_bad: 0,
+            burning: false,
+        }
+    }
+
+    /// The spec this evaluator runs with.
+    pub fn spec(&self) -> SloSpec {
+        self.spec
+    }
+
+    /// True while a burn alert is latched.
+    pub fn burning(&self) -> bool {
+        self.burning
+    }
+
+    /// Feeds one window's worth of classified picks and prunes buckets
+    /// that fell out of the slow window.
+    pub fn observe(&mut self, at: Ns, good: u64, bad: u64) {
+        self.buckets.push_back((at, good, bad));
+        let horizon = at.saturating_sub(self.spec.slow_window);
+        while self.buckets.front().is_some_and(|&(t, _, _)| t < horizon) {
+            self.buckets.pop_front();
+        }
+    }
+
+    /// Burn rate over the window ending at `now`; `None` when the window
+    /// saw no traffic (zero-traffic windows must not alert — and must
+    /// not divide).
+    fn window_burn(&self, now: Ns, window: Ns) -> Option<f64> {
+        let horizon = now.saturating_sub(window);
+        let (mut good, mut bad) = (0u64, 0u64);
+        for &(t, g, b) in &self.buckets {
+            if t >= horizon {
+                good += g;
+                bad += b;
+            }
+        }
+        let total = good + bad;
+        if total == 0 {
+            return None;
+        }
+        let budget = (1.0 - self.spec.target).max(1e-9);
+        Some((bad as f64 / total as f64) / budget)
+    }
+
+    /// Evaluates both windows at `now`; returns an edge-triggered signal
+    /// on state change, `None` otherwise (including all zero-traffic
+    /// windows).
+    pub fn evaluate(&mut self, now: Ns) -> Option<SloSignal> {
+        let fast = self.window_burn(now, self.spec.fast_window)?;
+        let slow = self.window_burn(now, self.spec.slow_window)?;
+        if !self.burning {
+            if fast >= self.spec.fast_burn && slow >= self.spec.slow_burn {
+                self.burning = true;
+                return Some(SloSignal::Burn {
+                    fast_x100: (fast * 100.0).min(u64::MAX as f64) as u64,
+                    slow_x100: (slow * 100.0).min(u64::MAX as f64) as u64,
+                });
+            }
+        } else if fast < self.spec.fast_burn * self.spec.clear_factor
+            && slow < self.spec.slow_burn * self.spec.clear_factor
+        {
+            self.burning = false;
+            return Some(SloSignal::Clear);
+        }
+        None
+    }
+
+    /// Watchdog-side feed: ingests *cumulative* totals (all-time timed
+    /// picks and all-time bad picks), converts them to this poll's bucket
+    /// via the saved previous totals, then observes it.
+    pub fn feed_cumulative(&mut self, at: Ns, total: u64, bad: u64) {
+        let w_total = total.saturating_sub(self.prev_total);
+        let w_bad = bad.saturating_sub(self.prev_bad);
+        self.prev_total = total;
+        self.prev_bad = bad;
+        self.observe(at, w_total.saturating_sub(w_bad), w_bad);
+    }
+}
+
 /// One interval's worth of telemetry.
 #[derive(Clone, Debug)]
 pub struct HealthSample {
@@ -343,6 +545,8 @@ struct MonitorState {
     imbalance_streak: u32,
     prev_idle: Vec<Ns>,
     prev_at: Ns,
+    /// Armed SLO evaluator, if any ([`Watchdog::arm_slo`]).
+    slo: Option<SloState>,
     /// Next sample epoch to assign (total samples ever taken).
     epochs: u64,
     incidents: VecDeque<Incident>,
@@ -362,6 +566,8 @@ struct PrevTotals {
     pnt_errs: u64,
     picks: u64,
     dispatch_calls: u64,
+    record_drops: u64,
+    trace_drops: u64,
     pick_latency: HistogramSnapshot,
     blackout: HistogramSnapshot,
 }
@@ -373,6 +579,8 @@ impl Default for PrevTotals {
             pnt_errs: 0,
             picks: 0,
             dispatch_calls: 0,
+            record_drops: 0,
+            trace_drops: 0,
             pick_latency: HistogramSnapshot::empty(),
             blackout: HistogramSnapshot::empty(),
         }
@@ -416,6 +624,15 @@ impl Watchdog {
     /// The configuration this watchdog runs with.
     pub fn config(&self) -> HealthConfig {
         self.config
+    }
+
+    /// Arms a pick-latency SLO: every poll classifies the window's timed
+    /// picks against [`SloSpec::objective`] and evaluates both burn-rate
+    /// windows; a burn records a critical [`HealthEvent::SloBurn`]
+    /// (which, with the flight recorder armed, also snapshots a black
+    /// box). [`crate::MachineBuilder::slo`] is the usual entry point.
+    pub fn arm_slo(&self, spec: SloSpec) {
+        self.lock().slo = Some(SloState::new(spec));
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, MonitorState> {
@@ -469,13 +686,34 @@ impl Watchdog {
     pub fn record(&self, at: Ns, severity: Severity, event: HealthEvent) {
         self.incident_count.fetch_add(1, Ordering::Relaxed);
         let incident = Incident { at, severity, event };
-        {
+        let recent = {
             let mut st = self.lock();
             if st.incidents.len() < self.config.incident_capacity {
                 st.incidents.push_back(incident);
             } else {
                 self.dropped.fetch_add(1, Ordering::Relaxed);
             }
+            // Snapshot the recent incident tail while we hold the lock;
+            // the flight dump below runs outside it.
+            if severity == Severity::Critical {
+                let mut r: Vec<Incident> =
+                    st.incidents.iter().rev().take(16).copied().collect();
+                r.reverse();
+                if r.last() != Some(&incident) {
+                    r.push(incident);
+                }
+                Some(r)
+            } else {
+                None
+            }
+        };
+        // Every critical incident is a black-box trigger (no-op unless
+        // the flight recorder is armed; rate-limited by its spec). This
+        // single hook covers starvation, token loss, scheduler faults,
+        // quarantines, and SLO burns — they all funnel through here.
+        // Before the policy match so FailFast runs still leave a dump.
+        if let Some(recent) = recent {
+            crate::flight::auto_dump(event.kind(), at, &recent);
         }
         match self.config.policy {
             HealthPolicy::Count => {}
@@ -559,8 +797,45 @@ impl Watchdog {
             d
         };
 
-        // --- starvation ------------------------------------------------
         let mut fire = Vec::new();
+
+        // --- SLO burn rate ----------------------------------------------
+        // `st.prev.pick_latency` is the cumulative snapshot as of this
+        // poll (refreshed above whenever new picks landed), so the SLO
+        // engine classifies against it without a second histogram walk.
+        {
+            let stm = &mut *st;
+            if let Some(slo) = stm.slo.as_mut() {
+                let objective = slo.spec().objective;
+                let total = stm.prev.pick_latency.count();
+                let bad = stm.prev.pick_latency.count_over(objective);
+                slo.feed_cumulative(now, total, bad);
+                if let Some(SloSignal::Burn { fast_x100, slow_x100 }) = slo.evaluate(now) {
+                    fire.push((
+                        Severity::Critical,
+                        HealthEvent::SloBurn { fast_x100, slow_x100, objective },
+                    ));
+                }
+            }
+        }
+
+        // --- silent telemetry loss --------------------------------------
+        // Record-ring and trace-sink drops were queryable but nothing
+        // watched them; surface them as gauges and warn when they grow.
+        let record_drops = crate::record::recorder_dropped().unwrap_or(st.prev.record_drops);
+        let trace_drops = metrics.trace_dropped();
+        metrics.gauge_set(EventKind::RecordDrops, 0, record_drops as i64);
+        metrics.gauge_set(EventKind::TraceSinkDrops, 0, trace_drops as i64);
+        if record_drops > st.prev.record_drops || trace_drops > st.prev.trace_drops {
+            fire.push((
+                Severity::Warning,
+                HealthEvent::RecordLoss { record_drops, trace_drops },
+            ));
+        }
+        st.prev.record_drops = record_drops;
+        st.prev.trace_drops = trace_drops;
+
+        // --- starvation ------------------------------------------------
         // Graceful degradation: with the failsafe armed, a conservation
         // violation quarantines the module rather than letting a stranded
         // task starve forever. Deferred past the state guard because
@@ -934,6 +1209,143 @@ mod tests {
         let mut s = String::new();
         json_string(&mut s, "a\"b\\c\nd\u{1}");
         assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    // --- SLO burn-rate math ------------------------------------------
+
+    /// Single-bucket windows: buckets spaced wider than the windows, so
+    /// every evaluation sees exactly the newest bucket in both windows
+    /// and the table reads as plain burn arithmetic.
+    fn tight_slo() -> SloState {
+        SloState::new(SloSpec {
+            objective: Ns::from_us(10),
+            target: 0.9, // budget 0.1 → burn = 10 × bad-fraction
+            fast_window: Ns::from_ms(10),
+            slow_window: Ns::from_ms(10),
+            fast_burn: 5.0,
+            slow_burn: 5.0,
+            clear_factor: 0.5, // clear floor at burn 2.5
+        })
+    }
+
+    #[test]
+    fn slo_burn_edges_and_hysteresis_table() {
+        // (at_ms, good, bad, expected signal)
+        let table: &[(u64, u64, u64, Option<SloSignal>)] = &[
+            // burn 5.0 == threshold: fires (≥), edge-triggered
+            (20, 5, 5, Some(SloSignal::Burn { fast_x100: 500, slow_x100: 500 })),
+            // burn 3.0: below threshold but above the 2.5 clear floor —
+            // hysteresis holds the latch
+            (40, 7, 3, None),
+            // burn 2.5 == clear floor exactly: clear requires strictly
+            // below, latch still held
+            (60, 15, 5, None),
+            // burn 2.0 < 2.5: clears
+            (80, 8, 2, Some(SloSignal::Clear)),
+            // healthy traffic while not burning: nothing
+            (100, 10, 0, None),
+            // full burn re-fires after a clear
+            (120, 0, 10, Some(SloSignal::Burn { fast_x100: 1000, slow_x100: 1000 })),
+            // staying terrible does not re-fire (still latched)
+            (140, 0, 10, None),
+        ];
+        let mut slo = tight_slo();
+        for &(ms, good, bad, want) in table {
+            slo.observe(Ns::from_ms(ms), good, bad);
+            let got = slo.evaluate(Ns::from_ms(ms));
+            assert_eq!(got, want, "at {ms}ms good={good} bad={bad}");
+        }
+    }
+
+    #[test]
+    fn slo_fast_window_spike_needs_slow_window_confirmation() {
+        // Distinct windows: fast 10ms, slow 50ms.
+        let mut slo = SloState::new(SloSpec {
+            fast_window: Ns::from_ms(10),
+            slow_window: Ns::from_ms(50),
+            fast_burn: 5.0,
+            slow_burn: 2.0,
+            target: 0.9,
+            ..SloSpec::default()
+        });
+        // A calm, busy run...
+        for ms in [5u64, 15, 25, 35] {
+            slo.observe(Ns::from_ms(ms), 100, 0);
+            assert_eq!(slo.evaluate(Ns::from_ms(ms)), None);
+        }
+        // ...then a fast-window spike: fast burn 10.0 (all bad), but the
+        // slow window still holds 400 good picks → no alert. This is the
+        // whole point of the second window: blips don't page.
+        slo.observe(Ns::from_ms(46), 0, 50);
+        assert_eq!(slo.evaluate(Ns::from_ms(46)), None);
+        assert!(!slo.burning());
+        // Sustained badness pushes the slow window over 2.0 too → burn.
+        slo.observe(Ns::from_ms(48), 0, 100);
+        slo.observe(Ns::from_ms(50), 0, 100);
+        match slo.evaluate(Ns::from_ms(50)) {
+            Some(SloSignal::Burn { fast_x100, slow_x100 }) => {
+                assert_eq!(fast_x100, 1000, "fast window is all-bad");
+                assert!(slow_x100 >= 200, "slow window crossed: {slow_x100}");
+            }
+            other => panic!("expected burn, got {other:?}"),
+        }
+        assert!(slo.burning());
+    }
+
+    #[test]
+    fn slo_zero_traffic_windows_never_divide_or_alert() {
+        let mut slo = tight_slo();
+        // No buckets at all.
+        assert_eq!(slo.evaluate(Ns::from_ms(5)), None);
+        // Buckets exist but carry no traffic (idle machine): the
+        // PR 6-style zero-window guard — no division, no state change.
+        for ms in [10u64, 30, 50] {
+            slo.observe(Ns::from_ms(ms), 0, 0);
+            assert_eq!(slo.evaluate(Ns::from_ms(ms)), None);
+        }
+        assert!(!slo.burning());
+        // A latched burn is *held* across zero-traffic windows, not
+        // cleared by silence.
+        slo.observe(Ns::from_ms(70), 0, 10);
+        assert!(matches!(
+            slo.evaluate(Ns::from_ms(70)),
+            Some(SloSignal::Burn { .. })
+        ));
+        slo.observe(Ns::from_ms(90), 0, 0);
+        assert_eq!(slo.evaluate(Ns::from_ms(90)), None);
+        assert!(slo.burning());
+    }
+
+    #[test]
+    fn slo_feed_cumulative_converts_totals_to_window_buckets() {
+        let mut slo = tight_slo();
+        // 10 picks so far, all bad → burn 10 ≥ 5: fires.
+        slo.feed_cumulative(Ns::from_ms(20), 10, 10);
+        assert!(matches!(
+            slo.evaluate(Ns::from_ms(20)),
+            Some(SloSignal::Burn { .. })
+        ));
+        // 990 more picks, zero new bad → this window is all good and the
+        // old bucket has aged out of the 10ms windows → clears.
+        slo.feed_cumulative(Ns::from_ms(40), 1000, 10);
+        assert_eq!(slo.evaluate(Ns::from_ms(40)), Some(SloSignal::Clear));
+    }
+
+    #[test]
+    fn slo_burn_event_kind_severity_display() {
+        let e = HealthEvent::SloBurn {
+            fast_x100: 1440,
+            slow_x100: 615,
+            objective: Ns::from_us(10),
+        };
+        assert_eq!(e.kind(), "slo_burn");
+        assert_eq!(e.severity(), Severity::Critical);
+        let text = e.to_string();
+        assert!(text.contains("14.40x"), "{text}");
+        assert!(text.contains("6.15x"), "{text}");
+        let loss = HealthEvent::RecordLoss { record_drops: 3, trace_drops: 0 };
+        assert_eq!(loss.kind(), "record_loss");
+        assert_eq!(loss.severity(), Severity::Warning);
     }
 
     #[test]

@@ -48,9 +48,16 @@
 //!   breakdowns that sum to wall latency, critical-path extraction, and a
 //!   virtual-time sampling profiler per policy (the `enoki-log spans` /
 //!   `critpath` / `why` CLI front-ends live in `crates/replay`).
+//! - [`flight`] — the always-on flight recorder: a fixed-budget
+//!   lock-free overwrite-oldest mirror of the record stream, snapshotted
+//!   to black-box dumps (ordinary record logs + a JSON manifest) on
+//!   critical health events, SLO burns, quarantines, or an explicit
+//!   [`flight::SnapshotBlackbox::snapshot_blackbox`] — the layer that
+//!   makes unrecorded runs diagnosable after the fact.
 //! - [`builder`] — [`builder::MachineBuilder`], the single fluent config
 //!   path for a machine + scheduler class: metrics, health/watchdog,
-//!   sampler cadence, event-queue choice, token ledger, and fault plan.
+//!   sampler cadence, event-queue choice, token ledger, fault plan,
+//!   flight recorder, and SLO.
 //! - [`meta`] — the meta-scheduler: a [`meta::MetaController`] watches the
 //!   health time series and live-switches between registered policies
 //!   through the blackout-bounded upgrade path, hysteresis-guarded and
@@ -62,6 +69,7 @@ pub mod api;
 pub mod builder;
 pub mod dispatch;
 pub mod faults;
+pub mod flight;
 pub mod forensics;
 pub mod health;
 pub mod meta;
@@ -78,9 +86,10 @@ pub use api::{EnokiScheduler, SchedCtx, TaskInfo, TransferIn, TransferOut};
 pub use builder::{BuiltMachine, MachineBuilder};
 pub use dispatch::{DispatchStats, EnokiClass, UpgradeReport, ENOKI_CALL_OVERHEAD};
 pub use faults::{FaultKind, FaultPlan, FaultSpec};
+pub use flight::{FlightSpec, SnapshotBlackbox};
 pub use forensics::{Divergence, LatencyReport, LockReport, LogSummary};
 pub use health::{
-    HealthConfig, HealthEvent, HealthPolicy, HealthSample, Incident, Severity, Watchdog,
+    HealthConfig, HealthEvent, HealthPolicy, HealthSample, Incident, Severity, SloSpec, Watchdog,
 };
 pub use metrics::{
     EventKind, HistogramSnapshot, MetricKey, MetricsRegistry, MetricsSnapshot, SchedulerMetrics,

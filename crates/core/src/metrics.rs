@@ -40,7 +40,7 @@ const NR_BUCKETS: usize = MAX_EXP * SUB_BUCKETS;
 pub const NR_CUSTOM_COUNTERS: u8 = 4;
 
 const NR_COUNTER_KINDS: usize = 12 + NR_CUSTOM_COUNTERS as usize;
-const NR_GAUGE_KINDS: usize = 3;
+const NR_GAUGE_KINDS: usize = 5;
 const NR_HISTO_KINDS: usize = 4;
 
 /// What a metric sample means. Kinds are partitioned into counters
@@ -83,6 +83,11 @@ pub enum EventKind {
     QueueDrops,
     /// Cumulative idle time in nanoseconds.
     IdleTime,
+    /// Records dropped by the file recorder's ring (silent record loss,
+    /// published by the health watchdog's poll).
+    RecordDrops,
+    /// Trace events dropped by this handle's trace sink (ring full).
+    TraceSinkDrops,
     // --- histograms ---
     /// Latency of `pick_next_task` module calls (wall-clock ns).
     PickLatency,
@@ -117,6 +122,8 @@ impl EventKind {
             EventKind::RunqDepth => "runq_depth",
             EventKind::QueueDrops => "queue_drops",
             EventKind::IdleTime => "idle_ns",
+            EventKind::RecordDrops => "record_drops",
+            EventKind::TraceSinkDrops => "trace_sink_drops",
             EventKind::PickLatency => "pick_latency",
             EventKind::DeliveryLatency => "delivery_latency",
             EventKind::UpgradeBlackout => "upgrade_blackout",
@@ -166,6 +173,8 @@ impl EventKind {
             EventKind::RunqDepth => 0,
             EventKind::QueueDrops => 1,
             EventKind::IdleTime => 2,
+            EventKind::RecordDrops => 3,
+            EventKind::TraceSinkDrops => 4,
             _ => return None,
         })
     }
@@ -174,7 +183,9 @@ impl EventKind {
         match idx {
             0 => EventKind::RunqDepth,
             1 => EventKind::QueueDrops,
-            _ => EventKind::IdleTime,
+            2 => EventKind::IdleTime,
+            3 => EventKind::RecordDrops,
+            _ => EventKind::TraceSinkDrops,
         }
     }
 
@@ -305,6 +316,20 @@ impl HistogramSnapshot {
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Samples strictly above `threshold` — the "bad pick" classifier the
+    /// SLO burn-rate engine runs against cumulative snapshots. Counted
+    /// from the first bucket whose *lower bound* exceeds the threshold,
+    /// so boundary samples within a bucket's ~6% width classify as good;
+    /// the tracked exact `max` reclaims the top end (a threshold at or
+    /// above `max` is never exceeded).
+    pub fn count_over(&self, threshold: Ns) -> u64 {
+        if self.count == 0 || self.max <= threshold.0 {
+            return 0;
+        }
+        let first_bad = AtomicHistogram::index_of(threshold.0) + 1;
+        self.buckets[first_bad..].iter().sum()
     }
 
     /// The value (ns) at quantile `q` in `[0, 1]`, or `None` if empty.
@@ -457,6 +482,54 @@ impl std::fmt::Debug for HistogramSnapshot {
 }
 
 // ----------------------------------------------------------------------
+// Exemplars
+// ----------------------------------------------------------------------
+
+/// The worst sample seen in one power-of-two latency tier, with the task
+/// and virtual time that produced it — the link from a histogram spike
+/// straight into the span graph (`enoki-log why <pid>` at `at`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The recorded latency.
+    pub value: Ns,
+    /// The task involved (`-1` for an idle pick).
+    pub pid: i64,
+    /// Virtual time of the sample.
+    pub at: Ns,
+}
+
+/// Sentinel pid marking an exemplar slot as never written.
+const EXEMPLAR_EMPTY: i64 = i64::MIN;
+
+/// One atomic exemplar slot per power-of-two tier. Updates are
+/// last-writer-wins per field under concurrency — an exemplar is a
+/// debugging breadcrumb, not an invariant — and exact in the
+/// single-threaded simulator.
+struct ExemplarSlot {
+    value: AtomicU64,
+    pid: AtomicI64,
+    at: AtomicU64,
+}
+
+impl ExemplarSlot {
+    fn new() -> ExemplarSlot {
+        ExemplarSlot {
+            value: AtomicU64::new(0),
+            pid: AtomicI64::new(EXEMPLAR_EMPTY),
+            at: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The power-of-two tier a value falls in (`0..MAX_EXP`).
+fn exemplar_tier(v: u64) -> usize {
+    if v == 0 {
+        return 0;
+    }
+    ((63 - v.leading_zeros()) as usize).min(MAX_EXP - 1)
+}
+
+// ----------------------------------------------------------------------
 // Trace sink
 // ----------------------------------------------------------------------
 
@@ -491,6 +564,9 @@ pub struct SchedulerMetrics {
     counters: Box<[AtomicU64]>,
     gauges: Box<[AtomicI64]>,
     histos: Box<[AtomicHistogram]>,
+    /// One slot per `(histogram kind, power-of-two tier)`, shared across
+    /// cpus — the per-tier worst sample with its task and virtual time.
+    exemplars: Box<[ExemplarSlot]>,
     trace: OnceLock<RingBuffer<TraceRecord>>,
 }
 
@@ -504,6 +580,7 @@ impl SchedulerMetrics {
             counters: (0..NR_COUNTER_KINDS * nr_cpus).map(|_| AtomicU64::new(0)).collect(),
             gauges: (0..NR_GAUGE_KINDS * nr_cpus).map(|_| AtomicI64::new(0)).collect(),
             histos: (0..NR_HISTO_KINDS * nr_cpus).map(|_| AtomicHistogram::new()).collect(),
+            exemplars: (0..NR_HISTO_KINDS * MAX_EXP).map(|_| ExemplarSlot::new()).collect(),
             trace: OnceLock::new(),
         })
     }
@@ -575,6 +652,65 @@ impl SchedulerMetrics {
     #[inline]
     pub fn observe_duration(&self, kind: EventKind, cpu: usize, d: Duration) {
         self.observe(kind, cpu, Ns(d.as_nanos().min(u64::MAX as u128) as u64));
+    }
+
+    /// Like [`observe`](Self::observe), but also updates the exemplar
+    /// slot of the sample's power-of-two tier when this sample is the
+    /// worst that tier has seen — recording which task, at which virtual
+    /// time, produced the bucket maximum.
+    #[inline]
+    pub fn observe_tagged(&self, kind: EventKind, cpu: usize, v: Ns, pid: i64, at: Ns) {
+        if !enabled() {
+            return;
+        }
+        let Some(k) = kind.histo_index() else { return };
+        self.histos[k * self.nr_cpus + self.slot(cpu)].record(v.0);
+        let slot = &self.exemplars[k * MAX_EXP + exemplar_tier(v.0)];
+        if v.0 >= slot.value.load(Ordering::Relaxed) {
+            slot.value.store(v.0, Ordering::Relaxed);
+            slot.pid.store(pid, Ordering::Relaxed);
+            slot.at.store(at.as_nanos(), Ordering::Relaxed);
+        }
+    }
+
+    /// [`observe_duration`](Self::observe_duration) with an exemplar tag.
+    #[inline]
+    pub fn observe_duration_tagged(
+        &self,
+        kind: EventKind,
+        cpu: usize,
+        d: Duration,
+        pid: i64,
+        at: Ns,
+    ) {
+        self.observe_tagged(kind, cpu, Ns(d.as_nanos().min(u64::MAX as u128) as u64), pid, at);
+    }
+
+    /// The populated exemplar slots of histogram `kind`, lowest tier
+    /// first. Each entry is the worst sample its power-of-two tier has
+    /// seen, tagged with the responsible task and virtual time.
+    pub fn exemplars(&self, kind: EventKind) -> Vec<Exemplar> {
+        let Some(k) = kind.histo_index() else {
+            return Vec::new();
+        };
+        self.exemplars[k * MAX_EXP..(k + 1) * MAX_EXP]
+            .iter()
+            .filter_map(|s| {
+                let pid = s.pid.load(Ordering::Relaxed);
+                (pid != EXEMPLAR_EMPTY).then(|| Exemplar {
+                    value: Ns(s.value.load(Ordering::Relaxed)),
+                    pid,
+                    at: Ns(s.at.load(Ordering::Relaxed)),
+                })
+            })
+            .collect()
+    }
+
+    /// Trace events dropped because the armed sink's ring was full
+    /// (zero when no sink is armed). Surfaced as the
+    /// [`EventKind::TraceSinkDrops`] gauge by the health watchdog.
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace.get().map_or(0, |q| q.dropped())
     }
 
     /// Arms the structured trace sink with a ring of `capacity` records and
@@ -1236,6 +1372,8 @@ mod tests {
             EventKind::RunqDepth,
             EventKind::QueueDrops,
             EventKind::IdleTime,
+            EventKind::RecordDrops,
+            EventKind::TraceSinkDrops,
             EventKind::PickLatency,
             EventKind::DeliveryLatency,
             EventKind::UpgradeBlackout,
@@ -1258,5 +1396,43 @@ mod tests {
         for i in 0..NR_HISTO_KINDS {
             assert_eq!(EventKind::histo_kind(i).histo_index(), Some(i));
         }
+    }
+
+    #[test]
+    fn count_over_classifies_against_thresholds() {
+        let m = SchedulerMetrics::standalone("s", 2);
+        for v in [1u64, 2, 100, 5_000, 20_000, 80_000] {
+            m.observe(EventKind::PickLatency, 0, Ns(v));
+        }
+        let snap = m.histogram_sum(EventKind::PickLatency);
+        // Threshold 0: every nonzero sample is bad (buckets 0..16 are
+        // exact single-value buckets).
+        assert_eq!(snap.count_over(Ns::ZERO), 6);
+        // Small thresholds are exact too.
+        assert_eq!(snap.count_over(Ns(2)), 4);
+        // Above the tracked max: nothing is bad, regardless of buckets.
+        assert_eq!(snap.count_over(Ns(80_000)), 0);
+        assert_eq!(snap.count_over(Ns(1_000_000)), 0);
+        // Empty snapshot: no division, no samples.
+        assert_eq!(HistogramSnapshot::empty().count_over(Ns::ZERO), 0);
+    }
+
+    #[test]
+    fn exemplars_track_per_tier_maxima_with_pid_and_vt() {
+        let m = SchedulerMetrics::standalone("s", 2);
+        assert!(m.exemplars(EventKind::PickLatency).is_empty());
+        // Two samples in the same power-of-two tier: the worse one wins.
+        m.observe_tagged(EventKind::PickLatency, 0, Ns(1_100), 7, Ns(10));
+        m.observe_tagged(EventKind::PickLatency, 1, Ns(1_900), 9, Ns(20));
+        // A different tier keeps its own exemplar.
+        m.observe_tagged(EventKind::PickLatency, 0, Ns(70_000), 3, Ns(30));
+        let ex = m.exemplars(EventKind::PickLatency);
+        assert_eq!(ex.len(), 2);
+        assert_eq!(ex[0], Exemplar { value: Ns(1_900), pid: 9, at: Ns(20) });
+        assert_eq!(ex[1], Exemplar { value: Ns(70_000), pid: 3, at: Ns(30) });
+        // Tagged observes land in the histogram like plain observes.
+        assert_eq!(m.histogram_count(EventKind::PickLatency), 3);
+        // Non-histogram kinds have no exemplars.
+        assert!(m.exemplars(EventKind::Picks).is_empty());
     }
 }

@@ -860,7 +860,8 @@ impl Drop for RecordWriter {
 }
 
 /// A parsed record log: the decoded records plus whether the log ended in
-/// a truncated final record (writer killed mid-flush).
+/// a truncated final record (writer killed mid-flush) or started inside
+/// one (flight-recorder dumps begin mid-stream).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ParsedLog {
     /// Decoded records — the readable prefix when `truncated` is set.
@@ -868,6 +869,12 @@ pub struct ParsedLog {
     /// True when the log ended mid-record; the prefix in `records` is
     /// still valid, but the tail of the run was lost.
     pub truncated: bool,
+    /// Bytes skipped before the first decodable record. Non-zero for
+    /// logs that begin inside a record — the overwrite-oldest flight
+    /// ring can hand back a window whose first surviving slot follows a
+    /// partially overwritten one; the head fragment is dropped the way a
+    /// truncated tail is.
+    pub head_skipped: usize,
 }
 
 impl std::ops::Deref for ParsedLog {
@@ -884,19 +891,65 @@ impl ParsedLog {
     }
 }
 
+/// How far into a log [`parse_log`] will hunt for a decodable head. A
+/// partial head record is at most one record long (tens of bytes); the
+/// bound keeps the quadratic resync scan from running away on a file
+/// that simply is not a record log.
+const MAX_HEAD_SKIP: usize = 4096;
+
+/// How many consecutive records must decode from a resync candidate
+/// before it is trusted — a single accidental decode inside a partial
+/// record's payload bytes will not chain.
+const RESYNC_CHAIN: usize = 4;
+
+/// Finds the first offset in `from..` where the stream re-frames: a run
+/// of [`RESYNC_CHAIN`] records decodes, or fewer decode but the stream
+/// then ends cleanly (exact end, or an ordinary truncated tail).
+fn resync_head(data: &[u8], from: usize) -> Option<usize> {
+    for cand in from..data.len().min(from + MAX_HEAD_SKIP) {
+        let mut off = cand;
+        let mut decoded = 0usize;
+        loop {
+            if off == data.len() {
+                if decoded > 0 {
+                    return Some(cand);
+                }
+                break;
+            }
+            match Rec::decode_ext(&data[off..]) {
+                Ok((_, used)) => {
+                    off += used;
+                    decoded += 1;
+                    if decoded >= RESYNC_CHAIN {
+                        return Some(cand);
+                    }
+                }
+                Err(DecodeError::Truncated) if decoded > 0 => return Some(cand),
+                Err(_) => break,
+            }
+        }
+    }
+    None
+}
+
 /// Parses an entire record log from a reader.
 ///
 /// A final record cut short by the end of input (the writer was killed
 /// mid-flush) is tolerated: the parsed prefix is returned with
-/// [`ParsedLog::truncated`] set. Mid-stream corruption — an unknown tag or
-/// an invalid field — is still a hard `InvalidData` error, because
-/// everything after it would be misframed.
+/// [`ParsedLog::truncated`] set. A partial *head* record — a log that
+/// starts mid-stream, as flight-recorder dumps can — is tolerated
+/// symmetrically: the head fragment is skipped up to the first offset
+/// where the stream decodes as a trusted chain, and the skip is reported
+/// in [`ParsedLog::head_skipped`]. Corruption after the first good
+/// record — an unknown tag or an invalid field — is still a hard
+/// `InvalidData` error, because everything after it would be misframed.
 pub fn parse_log<R: Read>(mut r: R) -> std::io::Result<ParsedLog> {
     let mut data = Vec::new();
     r.read_to_end(&mut data)?;
     let mut out = Vec::new();
     let mut truncated = false;
     let mut off = 0;
+    let mut head_skipped = 0;
     while off < data.len() {
         match Rec::decode_ext(&data[off..]) {
             Ok((rec, used)) => {
@@ -910,6 +963,13 @@ pub fn parse_log<R: Read>(mut r: R) -> std::io::Result<ParsedLog> {
                 break;
             }
             Err(DecodeError::Corrupt(why)) => {
+                if out.is_empty() && head_skipped == 0 {
+                    if let Some(resync) = resync_head(&data, off + 1) {
+                        head_skipped = resync;
+                        off = resync;
+                        continue;
+                    }
+                }
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
                     format!("corrupt record at offset {off}: {why}"),
@@ -920,6 +980,7 @@ pub fn parse_log<R: Read>(mut r: R) -> std::io::Result<ParsedLog> {
     Ok(ParsedLog {
         records: out,
         truncated,
+        head_skipped,
     })
 }
 
@@ -984,18 +1045,43 @@ pub fn disable() {
     *GLOBAL.write().unwrap_or_else(std::sync::PoisonError::into_inner) = GlobalMode::Off;
 }
 
-/// True when recording.
+/// True when records are being captured — by the file recorder, the
+/// flight ring, or both. Replay always reports false: a replayed run
+/// must never re-emit the stream it is consuming.
 pub fn recording() -> bool {
-    MODE_TAG.load(Ordering::Acquire) == MODE_RECORD
+    let tag = MODE_TAG.load(Ordering::Acquire);
+    tag == MODE_RECORD || (tag != MODE_REPLAY && crate::flight::armed())
 }
 
-/// Emits a record if recording (cheap no-op otherwise).
+/// Emits a record to every armed capture sink (cheap no-op otherwise).
+///
+/// The flight ring mirrors the stream whenever it is armed and the
+/// process is not replaying, independent of full recording — this single
+/// funnel is what makes the black box see lock traffic, dispatch calls,
+/// hints, and decisions without any per-site changes.
 pub fn emit(rec: Rec) {
-    if MODE_TAG.load(Ordering::Acquire) != MODE_RECORD {
+    let tag = MODE_TAG.load(Ordering::Acquire);
+    if tag != MODE_REPLAY && crate::flight::armed() {
+        crate::flight::mirror(rec);
+    }
+    if tag != MODE_RECORD {
         return;
     }
     if let GlobalMode::Record(r) = &*GLOBAL.read().unwrap_or_else(std::sync::PoisonError::into_inner) {
         r.emit(rec);
+    }
+}
+
+/// Dropped-record count of the active file recorder, if one is armed.
+/// Exposed so health polling can surface silent record loss instead of
+/// leaving it queryable-only.
+pub fn recorder_dropped() -> Option<u64> {
+    if MODE_TAG.load(Ordering::Acquire) != MODE_RECORD {
+        return None;
+    }
+    match &*GLOBAL.read().unwrap_or_else(std::sync::PoisonError::into_inner) {
+        GlobalMode::Record(r) => Some(r.dropped()),
+        _ => None,
     }
 }
 
@@ -1313,6 +1399,103 @@ mod tests {
             Rec::decode_ext(&call),
             Err(DecodeError::Corrupt(_))
         ));
+    }
+
+    /// A realistic multi-variant log for robustness tests.
+    fn sample_log() -> Vec<u8> {
+        let mut buf = Vec::new();
+        Rec::LockCreate { tid: 1, lock: 77 }.encode(&mut buf);
+        for i in 0..4u32 {
+            Rec::Call {
+                tid: i,
+                func: FuncId::PickNextTask,
+                args: CallArgs {
+                    now: 1000 + i as u64,
+                    pid: 40 + i as i64,
+                    cpu: i as i32,
+                    ..CallArgs::default()
+                },
+            }
+            .encode(&mut buf);
+            Rec::Ret {
+                tid: i,
+                func: FuncId::PickNextTask,
+                val: 40 + i as i64,
+            }
+            .encode(&mut buf);
+        }
+        Rec::LockAcquire {
+            tid: 2,
+            lock: 77,
+            op: LockOp::Mutex,
+        }
+        .encode(&mut buf);
+        Rec::LockRelease { tid: 2, lock: 77 }.encode(&mut buf);
+        buf
+    }
+
+    /// Fuzz-style sweep: every truncated prefix and every single-byte
+    /// corruption of a real log must come back from `decode_ext` as a
+    /// value or a typed `DecodeError` — never a panic, never an
+    /// out-of-bounds read.
+    #[test]
+    fn decode_ext_survives_truncated_and_corrupted_prefixes() {
+        let buf = sample_log();
+        // Every prefix: decode records until the data runs out or errors.
+        for end in 0..=buf.len() {
+            let mut off = 0;
+            while off < end {
+                match Rec::decode_ext(&buf[off..end]) {
+                    Ok((_, used)) => {
+                        assert!(used > 0, "zero-length record at {off}");
+                        off += used;
+                    }
+                    Err(DecodeError::Truncated) | Err(DecodeError::Corrupt(_)) => break,
+                }
+            }
+        }
+        // Every single-byte corruption, decoded from the start.
+        for flip in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[flip] ^= 0xFF;
+            let mut off = 0;
+            while off < bad.len() {
+                match Rec::decode_ext(&bad[off..]) {
+                    Ok((_, used)) => {
+                        assert!(used > 0);
+                        off += used;
+                    }
+                    Err(DecodeError::Truncated) | Err(DecodeError::Corrupt(_)) => break,
+                }
+            }
+        }
+    }
+
+    /// Flight dumps can begin inside a record; `parse_log` skips the head
+    /// fragment and resynchronizes on the first trusted record chain,
+    /// mirroring how it already tolerates a truncated tail.
+    #[test]
+    fn parse_log_skips_partial_head_record() {
+        let buf = sample_log();
+        let full = parse_log(&buf[..]).unwrap();
+        assert_eq!(full.head_skipped, 0);
+        let nr = full.records.len();
+        let first_len = {
+            let (_, used) = Rec::decode(&buf).unwrap();
+            used
+        };
+        // Start mid-way through the first record: its remains are not a
+        // valid record, but everything after decodes.
+        let parsed = parse_log(&buf[1..]).unwrap();
+        assert!(!parsed.truncated);
+        assert_eq!(parsed.head_skipped, first_len - 1);
+        assert_eq!(parsed.records, full.records[1..]);
+        assert_eq!(parsed.records.len(), nr - 1);
+
+        // Pure garbage with no record chain anywhere is still a hard
+        // error, not an empty success.
+        let garbage = vec![0x5Au8; 256];
+        assert!(parse_log(&garbage[..]).is_err());
     }
 
     #[test]

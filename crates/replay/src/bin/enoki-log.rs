@@ -19,7 +19,10 @@
 //! - `enoki-log why <log> <pid>` — "why is my task slow?": latency
 //!   breakdown, waker provenance, chosen-over decisions;
 //! - `enoki-log profile <log> [stride]` — virtual-time sampling profiler
-//!   attributing simulated time to scheduler callbacks per policy.
+//!   attributing simulated time to scheduler callbacks per policy;
+//! - `enoki-log blackbox <dump>` — one-command triage of a flight-recorder
+//!   black-box dump: manifest header (reason, seed, incidents) then
+//!   summary → critical path → `why` on the tail task the manifest names.
 
 use enoki_core::record::ParsedLog;
 use enoki_replay::{cli, load_log};
@@ -38,6 +41,7 @@ fn usage() -> ExitCode {
     eprintln!("  critpath <log> [pid]                  critical path (default: p99 tail task)");
     eprintln!("  why    <log> <pid>                    latency breakdown + causal chain");
     eprintln!("  profile <log> [stride]                virtual-time profiler per policy");
+    eprintln!("  blackbox <dump> [manifest.json]       triage a flight-recorder dump");
     eprintln!("schedulers: {}", cli::SCHEDULER_NAMES.join(", "));
     ExitCode::from(2)
 }
@@ -130,6 +134,22 @@ fn main() -> ExitCode {
         "profile" => {
             let stride = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
             print!("{}", cli::profile_cmd(&log, stride));
+        }
+        "blackbox" => {
+            // The manifest rides beside the dump as `<stem>.json` unless
+            // an explicit path is given; triage still works without it.
+            let manifest_path = args
+                .get(2)
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from(path).with_extension("json"));
+            let manifest = std::fs::read_to_string(&manifest_path).ok();
+            if manifest.is_none() {
+                eprintln!(
+                    "note: no manifest at {} (triaging from the dump alone)",
+                    manifest_path.display()
+                );
+            }
+            print!("{}", cli::blackbox(&log, manifest.as_deref()));
         }
         _ => return usage(),
     }

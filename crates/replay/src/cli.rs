@@ -152,3 +152,76 @@ pub fn why(log: &[Rec], pid: i64) -> String {
 pub fn profile_cmd(log: &[Rec], stride: usize) -> String {
     profile(log, stride).render()
 }
+
+/// A head-skip note when the log began mid-record (flight dumps), or `""`.
+pub fn head_note(log: &ParsedLog) -> String {
+    if log.head_skipped > 0 {
+        format!(
+            "note: skipped {} byte(s) of a partial head record (dump starts mid-stream)\n",
+            log.head_skipped
+        )
+    } else {
+        String::new()
+    }
+}
+
+/// `enoki-log blackbox <dump>`: the one-command triage for a black-box
+/// dump. Chains summary → critical path → `why` on the tail task the
+/// manifest names (falling back to the graph's own p99 tail), and leads
+/// with the manifest's reason / virtual time / incident list when
+/// `manifest` (the `<stem>.json` written beside the dump) is given.
+pub fn blackbox(log: &ParsedLog, manifest: Option<&str>) -> String {
+    let mut out = String::new();
+    let mut manifest_pid = None;
+    if let Some(text) = manifest {
+        let field = |key: &str| {
+            let needle = format!("\"{key}\":\"");
+            let at = text.find(&needle)? + needle.len();
+            text[at..].split('"').next().map(str::to_string)
+        };
+        let _ = writeln!(out, "=== black box ===");
+        if let Some(reason) = field("reason") {
+            let _ = writeln!(out, "reason:   {reason}");
+        }
+        if let Some(vt) = enoki_core::flight::json_i64_field(text, "vt_ns") {
+            let _ = writeln!(out, "dumped:   t = {}ns", vt);
+        }
+        if let Some(seed) = enoki_core::flight::json_i64_field(text, "seed") {
+            let _ = writeln!(out, "seed:     {seed}");
+        }
+        if let Some(fnv) = field("fnv") {
+            let _ = writeln!(out, "fnv:      {fnv}");
+        }
+        manifest_pid = enoki_core::flight::json_i64_field(text, "tail_pid");
+        if let Some(pid) = manifest_pid {
+            let _ = writeln!(out, "tail pid: {pid}");
+        }
+        // The manifest's incident tail: what health saw leading up to
+        // the dump, without needing the health JSON export.
+        let incidents: Vec<&str> = text
+            .split("\"detail\":\"")
+            .skip(1)
+            .filter_map(|s| s.split('"').next())
+            .collect();
+        if !incidents.is_empty() {
+            let _ = writeln!(out, "recent incidents:");
+            for d in &incidents {
+                let _ = writeln!(out, "  - {d}");
+            }
+        }
+        out.push('\n');
+    }
+    let _ = write!(out, "{}{}", head_note(log), truncation_note(log));
+    let _ = writeln!(out, "=== summary ===");
+    let _ = write!(out, "{}", summarize(log).render());
+    let g = SpanGraph::build(log);
+    let Some(pid) = manifest_pid.or_else(|| g.tail_pid()) else {
+        let _ = writeln!(out, "\n(no task spans in this dump; nothing to chase)");
+        return out;
+    };
+    let _ = writeln!(out, "\n=== critical path ===");
+    let _ = write!(out, "{}", g.render_critpath(pid));
+    let _ = writeln!(out, "\n=== why pid {pid} ===");
+    let _ = write!(out, "{}", g.render_why(pid));
+    out
+}

@@ -69,6 +69,15 @@ trace log="results/trace_smoke.log":
 why pid log="results/trace_smoke.log":
     cargo run --release -p enoki-replay --bin enoki-log -- why {{log}} {{pid}}
 
+# Flight recorder: induce starvation on an unrecorded run (blackbox_bench,
+# which also emits results/BENCH_blackbox.json for the regression gate and
+# pins byte-identical dumps across two cold runs), then triage the
+# auto-triggered black-box dump end to end.
+blackbox:
+    cargo run --release -p enoki-bench --bin blackbox_bench
+    cargo run --release -p enoki-replay --bin enoki-log -- blackbox results/blackbox_smoke.bin
+    cargo test -q -p enoki --test flight
+
 # Record a run, then walk the log through every enoki-log analysis.
 forensics log="/tmp/enoki-forensics.log":
     cargo run --release -p enoki --example record_replay -- {{log}}

@@ -1,0 +1,342 @@
+//! Integration tests for the always-on flight recorder (DESIGN.md §3j):
+//! an unrecorded run that goes wrong must leave a black-box dump — an
+//! ordinary record log cut from the in-memory ring — plus a JSON
+//! manifest naming the offending task, and the whole artifact must be
+//! byte-reproducible from the same seed and scene.
+//!
+//! Flight arming is process-global (it mirrors the `record` mode
+//! switch), so every test serializes on [`SERIAL`].
+
+use enoki::core::flight::{self, FlightSpec};
+use enoki::core::health::{HealthConfig, HealthEvent, Severity, SloSpec};
+use enoki::core::queue::RingBuffer;
+use enoki::core::record;
+use enoki::core::sync::Mutex;
+use enoki::core::{
+    EnokiScheduler, MachineBuilder, SchedCtx, SchedError, Schedulable, SnapshotBlackbox, TaskInfo,
+};
+use enoki::replay::{cli, load_log};
+use enoki::sched::Wfq;
+use enoki::sim::behavior::{Op, ProgramBehavior};
+use enoki::sim::{CostModel, CpuId, HintVal, Machine, Ns, Pid, TaskSpec, Topology, WakeFlags};
+use std::collections::VecDeque;
+use std::path::PathBuf;
+
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A per-test dump directory under the system temp dir.
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("enoki-flight-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("dump dir");
+    dir
+}
+
+/// A per-cpu FIFO that strands `victim`'s token on a bench forever —
+/// the same deliberate starvation defect `tests/health.rs` uses, here
+/// to prove the watchdog's incident auto-triggers a black-box dump.
+struct Strander {
+    queues: Mutex<Vec<VecDeque<Schedulable>>>,
+    benched: Mutex<Vec<Schedulable>>,
+    victim: Pid,
+}
+
+impl Strander {
+    fn new(nr: usize, victim: Pid) -> Strander {
+        Strander {
+            queues: Mutex::new((0..nr).map(|_| VecDeque::new()).collect()),
+            benched: Mutex::new(Vec::new()),
+            victim,
+        }
+    }
+
+    fn enqueue(&self, s: Schedulable) {
+        if s.pid() == self.victim {
+            self.benched.lock().push(s);
+            return;
+        }
+        let cpu = s.cpu();
+        self.queues.lock()[cpu].push_back(s);
+    }
+}
+
+impl EnokiScheduler for Strander {
+    type UserMsg = HintVal;
+    type RevMsg = HintVal;
+
+    fn get_policy(&self) -> i32 {
+        66
+    }
+    fn select_task_rq(&self, _c: &SchedCtx<'_>, t: &TaskInfo, prev: CpuId, _f: WakeFlags) -> CpuId {
+        if t.affinity.contains(prev) {
+            prev
+        } else {
+            t.affinity.iter().next().unwrap_or(prev)
+        }
+    }
+    fn task_new(&self, _c: &SchedCtx<'_>, _t: &TaskInfo, s: Schedulable) {
+        self.enqueue(s);
+    }
+    fn task_wakeup(&self, _c: &SchedCtx<'_>, _t: &TaskInfo, _f: WakeFlags, s: Schedulable) {
+        self.enqueue(s);
+    }
+    fn task_blocked(&self, _c: &SchedCtx<'_>, _t: &TaskInfo) {}
+    fn task_preempt(&self, _c: &SchedCtx<'_>, _t: &TaskInfo, s: Schedulable) {
+        self.enqueue(s);
+    }
+    fn task_yield(&self, c: &SchedCtx<'_>, t: &TaskInfo, s: Schedulable) {
+        self.task_preempt(c, t, s);
+    }
+    fn task_dead(&self, _c: &SchedCtx<'_>, _p: Pid) {}
+    fn task_departed(&self, _c: &SchedCtx<'_>, _t: &TaskInfo) -> Option<Schedulable> {
+        None
+    }
+    fn task_tick(&self, _c: &SchedCtx<'_>, _cpu: CpuId, _t: &TaskInfo) {}
+    fn migrate_task_rq(
+        &self,
+        _c: &SchedCtx<'_>,
+        t: &TaskInfo,
+        new: Schedulable,
+    ) -> Option<Schedulable> {
+        let mut qs = self.queues.lock();
+        let mut old = None;
+        for q in qs.iter_mut() {
+            if let Some(pos) = q.iter().position(|s| s.pid() == t.pid) {
+                old = q.remove(pos);
+            }
+        }
+        let cpu = new.cpu();
+        qs[cpu].push_back(new);
+        old
+    }
+    fn pick_next_task(
+        &self,
+        _c: &SchedCtx<'_>,
+        cpu: CpuId,
+        _curr: Option<Schedulable>,
+    ) -> Option<Schedulable> {
+        self.queues.lock()[cpu].pop_front()
+    }
+    fn pnt_err(&self, _c: &SchedCtx<'_>, _cpu: CpuId, _e: SchedError, s: Option<Schedulable>) {
+        if let Some(s) = s {
+            self.enqueue(s);
+        }
+    }
+    fn register_queue(&self, _q: RingBuffer<HintVal>) -> i32 {
+        -1
+    }
+}
+
+fn busy_spec(name: String, cpu: usize) -> TaskSpec {
+    TaskSpec::new(
+        name,
+        0,
+        Box::new(ProgramBehavior::repeat(
+            vec![Op::Compute(Ns::from_us(200)), Op::Sleep(Ns::from_us(100))],
+            200,
+        )),
+    )
+    .on_cpu(cpu)
+}
+
+fn spawn_pipes(m: &mut Machine, roundtrips: u64) {
+    let ab = m.create_pipe();
+    let ba = m.create_pipe();
+    m.spawn(TaskSpec::new(
+        "ping",
+        0,
+        Box::new(ProgramBehavior::repeat(
+            vec![Op::PipeWrite(ab), Op::PipeRead(ba)],
+            roundtrips,
+        )),
+    ));
+    m.spawn(TaskSpec::new(
+        "pong",
+        0,
+        Box::new(ProgramBehavior::repeat(
+            vec![Op::PipeRead(ab), Op::PipeWrite(ba)],
+            roundtrips,
+        )),
+    ));
+}
+
+#[test]
+fn starvation_auto_dumps_a_blackbox_naming_the_victim() {
+    let _g = serial();
+    let dir = tmp("starve");
+    let built = MachineBuilder::new(Topology::i7_9700(), CostModel::calibrated())
+        .scheduler("strander", Box::new(Strander::new(8, 0)))
+        .health(HealthConfig::default())
+        .flight(FlightSpec {
+            capacity: 1 << 14,
+            dir: dir.clone(),
+            seed: Some(7),
+            ..Default::default()
+        })
+        .build();
+    let mut m = built.machine;
+    let victim = m.spawn(
+        TaskSpec::new(
+            "victim",
+            0,
+            Box::new(ProgramBehavior::once(vec![Op::Compute(Ns::from_ms(1))])),
+        )
+        .on_cpu(2),
+    );
+    assert_eq!(victim, 0, "the strand bug targets pid 0");
+    for i in 0..4 {
+        m.spawn(busy_spec(format!("busy{i}"), 3 + i));
+    }
+    m.run_until(Ns::from_ms(30)).expect("starvation is not fatal");
+
+    // This run was never recorded to disk — the black box is the only
+    // evidence, and it must exist without anyone asking for it.
+    let dump = flight::last_dump().expect("starvation must auto-trigger a dump");
+    assert!(dump.starts_with(&dir), "dump {dump:?} not under {dir:?}");
+    let name = dump.file_name().unwrap().to_string_lossy().into_owned();
+    assert!(name.starts_with("blackbox_starvation_"), "{name}");
+
+    // The manifest blames the starved victim, not some busy bystander,
+    // and carries the run context.
+    assert_eq!(flight::manifest_tail_pid(&dump), Some(0));
+    let manifest = std::fs::read_to_string(dump.with_extension("json")).expect("manifest");
+    assert!(manifest.contains("\"reason\":\"starvation\""), "{manifest}");
+    assert!(manifest.contains("\"seed\":7"), "{manifest}");
+    assert!(manifest.contains("starving"), "{manifest}");
+
+    // The dump is an ordinary record log: parse it and run the full
+    // triage chain exactly as `enoki-log blackbox` would.
+    let log = load_log(&dump).expect("a dump is an ordinary record log");
+    assert!(!log.records.is_empty());
+    let triage = cli::blackbox(&log, Some(&manifest));
+    assert!(triage.contains("reason:   starvation"), "{triage}");
+    assert!(triage.contains("critical path to pid 0"), "{triage}");
+    assert!(triage.contains("=== why pid 0 ==="), "{triage}");
+
+    flight::disarm();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slo_burn_on_an_unrecorded_run_dumps_a_blackbox() {
+    let _g = serial();
+    let dir = tmp("slo");
+    // An impossible objective (0ns) classifies every timed pick as bad,
+    // so the budget burns deterministically from the first sample.
+    let built = MachineBuilder::new(Topology::i7_9700(), CostModel::calibrated())
+        .scheduler("wfq", Box::new(Wfq::new(8)))
+        .slo(SloSpec {
+            objective: Ns::ZERO,
+            ..Default::default()
+        })
+        .flight(FlightSpec {
+            capacity: 1 << 14,
+            dir: dir.clone(),
+            ..Default::default()
+        })
+        .build();
+    let wd = built.watchdog.clone().expect("slo implies health");
+    let mut m = built.machine;
+    spawn_pipes(&mut m, 100);
+    for i in 0..2 {
+        m.spawn(busy_spec(format!("busy{i}"), 4 + i));
+    }
+    m.run_until(Ns::from_ms(30)).expect("an SLO burn is not fatal");
+
+    let burn = wd.incidents().into_iter().find(|i| {
+        matches!(i.event, HealthEvent::SloBurn { .. })
+    });
+    let burn = burn.expect("every pick misses a 0ns objective: the budget must burn");
+    assert_eq!(burn.severity, Severity::Critical);
+
+    let dump = flight::last_dump().expect("an SLO burn must auto-trigger a dump");
+    let name = dump.file_name().unwrap().to_string_lossy().into_owned();
+    assert!(name.starts_with("blackbox_slo_burn_"), "{name}");
+    let manifest = std::fs::read_to_string(dump.with_extension("json")).expect("manifest");
+    assert!(manifest.contains("\"reason\":\"slo_burn\""), "{manifest}");
+    assert!(manifest.contains("SLO burn"), "{manifest}");
+    // A healthy-scheduler burn has no starving victim; the tail pid
+    // falls back to the span graph's p99 wakeup-wait tail.
+    let log = load_log(&dump).expect("parse dump");
+    let triage = cli::blackbox(&log, Some(&manifest));
+    assert!(triage.contains("=== critical path ==="), "{triage}");
+
+    flight::disarm();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn same_scene_reproduces_fnv_identical_dumps() {
+    let _g = serial();
+    let dir = tmp("fnv");
+    let run = |dir: &PathBuf| {
+        record::reset_lock_ids();
+        let built = MachineBuilder::new(Topology::i7_9700(), CostModel::calibrated())
+            .scheduler("wfq", Box::new(Wfq::new(8)))
+            .flight(FlightSpec {
+                capacity: 1 << 14,
+                dir: dir.clone(),
+                seed: Some(42),
+                ..Default::default()
+            })
+            .build();
+        let mut m = built.machine;
+        spawn_pipes(&mut m, 40);
+        for i in 0..2 {
+            m.spawn(busy_spec(format!("churn{i}"), 4 + i));
+        }
+        m.run_to_completion(Ns::from_secs(2)).expect("run");
+        let dump = m.snapshot_blackbox("determinism").expect("explicit dump");
+        let bytes = std::fs::read(&dump).expect("read dump");
+        flight::disarm();
+        (dump, bytes)
+    };
+    let (d1, b1) = run(&dir);
+    let (d2, b2) = run(&dir);
+    assert_eq!(d1, d2, "virtual-time filenames must agree");
+    assert_eq!(
+        flight::fnv1a(&b1),
+        flight::fnv1a(&b2),
+        "same seed + same scene must reproduce the dump bit-for-bit"
+    );
+    assert_eq!(b1, b2);
+    // And the explicit snapshot is a parseable record log like any
+    // auto-triggered one.
+    let log = load_log(&d1).expect("parse dump");
+    assert!(!log.records.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_sink_overflow_fires_a_record_loss_warning() {
+    let _g = serial();
+    let built = MachineBuilder::new(Topology::i7_9700(), CostModel::calibrated())
+        .scheduler("wfq", Box::new(Wfq::new(8)))
+        .health(HealthConfig::default())
+        .build();
+    // Arm a tiny structured-trace sink and never drain it: the dispatch
+    // path overflows it almost immediately, and that silent loss must
+    // surface as a Warning incident (plus the drop gauges), not vanish.
+    let _sink = built.class.metrics().arm_trace(4);
+    let wd = built.watchdog.clone().expect("health armed");
+    let mut m = built.machine;
+    for i in 0..4 {
+        m.spawn(busy_spec(format!("busy{i}"), i));
+    }
+    m.run_until(Ns::from_ms(10)).expect("losing telemetry is not fatal");
+
+    let loss = wd.incidents().into_iter().find_map(|i| match i.event {
+        HealthEvent::RecordLoss { record_drops, trace_drops } => {
+            Some((i.severity, record_drops, trace_drops))
+        }
+        _ => None,
+    });
+    let (sev, record_drops, trace_drops) = loss.expect("sink overflow must be surfaced");
+    assert_eq!(sev, Severity::Warning);
+    assert_eq!(record_drops, 0, "no file recorder armed on this run");
+    assert!(trace_drops > 0, "the 4-slot sink must have dropped events");
+}

@@ -403,6 +403,12 @@ fn dispatch_pipe(c: &mut Criterion) {
 /// overheads go to `results/BENCH_framework_overhead.json`, which
 /// `bench_gate` enforces against the 5% ceiling.
 fn metrics_overhead(_c: &mut Criterion) {
+    // Solo-machine harness: everything below measures one machine's
+    // dispatch path, so make sure this thread is not bound to a cluster
+    // record stream left over from other code in the process — stream
+    // routing would silently siphon the recorded sections' events into a
+    // sharded capture instead of the solo recorder measured here.
+    record::clear_record_stream();
     let spawn_pipe = |m: &mut Machine| {
         let ab = m.create_pipe();
         let ba = m.create_pipe();

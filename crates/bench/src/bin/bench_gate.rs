@@ -49,6 +49,16 @@
 //! deterministic function of the virtual-time scene, so a drifted hash
 //! means black-box reproducibility broke.
 //!
+//! When the same CI run also wrote `BENCH_cluster.json` (the
+//! `cluster_bench` harness: the sharded parallel simulation engine
+//! running the fleet workload at 1/2/4/8 worker threads), the gate pins
+//! the engine's **thread-count invariance** — every parallel run's fleet
+//! digest must equal the sequential oracle's from the same run — pins
+//! the digest itself against `crates/bench/baselines/BENCH_cluster.json`
+//! when the fleet config matches, and enforces the 4-vs-1-thread
+//! events/sec speedup floor when the recorded host had ≥ 4 cores (a
+//! small runner can prove determinism but not parallelism).
+//!
 //! Usage: `bench_gate [current.json] [baseline.json]`
 //! (defaults: `crates/bench/results/BENCH_framework.json`, falling back to
 //! `results/BENCH_framework.json`, vs `crates/bench/baselines/BENCH_framework.json`)
@@ -75,6 +85,14 @@ const META_BLACKOUT_CEILING_NS: f64 = 5_000_000.0;
 /// Per-sample chooser classification ceiling (wall clock; measured at
 /// single-digit nanoseconds, ceiling far above any plausible noise).
 const META_DECISION_CEILING_NS: f64 = 20_000.0;
+/// The sharded cluster engine must reach this events/sec speedup at 4
+/// worker threads over 1 on the fleet workload — enforced only when the
+/// recorded host had at least [`CLUSTER_MIN_HOST_CORES`] cores to scale
+/// onto (a 1-core runner measures scheduling overhead, not parallelism;
+/// its determinism pins still apply unconditionally).
+const CLUSTER_SPEEDUP_FLOOR: f64 = 2.5;
+/// Minimum recorded `host_cores` for the speedup floor to be meaningful.
+const CLUSTER_MIN_HOST_CORES: f64 = 4.0;
 
 // ----------------------------------------------------------------------
 // Minimal JSON reader (the workspace builds offline; no serde)
@@ -631,6 +649,138 @@ fn gate_kv(
     Ok(cur.len())
 }
 
+/// Gates the cluster scaling report (`cluster_bench`): every thread
+/// count's fleet digest must equal the sequential oracle's digest from
+/// the same run (the parallel engine's core determinism claim — pinned
+/// unconditionally), the digest is pinned against the committed baseline
+/// whenever the fleet configuration matches it, and the 4-vs-1-thread
+/// events/sec speedup must clear [`CLUSTER_SPEEDUP_FLOOR`] when the
+/// recorded host had enough cores for the floor to mean anything.
+fn gate_cluster(current_path: &str, failures: &mut Vec<String>) -> Result<usize, String> {
+    let baseline_path = "crates/bench/baselines/BENCH_cluster.json";
+    // The fleet digest is a function of these; the baseline digest pin
+    // only applies when all of them match the committed run.
+    const CONFIG_KEYS: [&str; 7] = [
+        "machines",
+        "cores_per_machine",
+        "shards",
+        "chains",
+        "steps_per_chain",
+        "seed",
+        "fast",
+    ];
+
+    let load_doc = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let doc = Parser::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        match doc.get("harness").and_then(Json::as_str) {
+            Some("cluster") => Ok(doc),
+            Some(h) => Err(format!("{path}: harness is {h:?}, not \"cluster\"")),
+            None => Err(format!("{path}: missing \"harness\"")),
+        }
+    };
+    let cur = load_doc(current_path)?;
+    let params = cur
+        .get("params")
+        .ok_or_else(|| format!("{current_path}: missing \"params\""))?;
+    let seq_digest = params
+        .get("seq_digest")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{current_path}: params missing \"seq_digest\""))?;
+    let host_cores = params
+        .get("host_cores")
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("{current_path}: params missing numeric \"host_cores\""))?;
+    let speedup = params
+        .get("speedup_4v1")
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("{current_path}: params missing numeric \"speedup_4v1\""))?;
+    let rows = cur
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{current_path}: missing \"rows\" array"))?;
+    if rows.is_empty() {
+        return Err(format!("{current_path}: no thread-count rows"));
+    }
+
+    println!("cluster gate: {current_path} vs baseline {baseline_path}");
+    for (i, row) in rows.iter().enumerate() {
+        let threads = row
+            .get("threads")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("{current_path}: row {i} has no numeric \"threads\""))?;
+        let eps = row
+            .get("events_per_sec")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("{current_path}: row {i} has no numeric \"events_per_sec\""))?;
+        if !eps.is_finite() || eps <= 0.0 {
+            return Err(format!(
+                "{current_path}: row {i} events_per_sec {eps} is not a positive number"
+            ));
+        }
+        let digest = row
+            .get("digest")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{current_path}: row {i} has no \"digest\""))?;
+        println!("  cluster {threads:>2.0} thread(s) {eps:>23.0} events/s  {digest}");
+        if digest != seq_digest {
+            failures.push(format!(
+                "cluster run at {threads:.0} threads produced digest {digest}, \
+                 sequential oracle produced {seq_digest} — the parallel engine \
+                 is no longer thread-count-invariant"
+            ));
+        }
+    }
+
+    // Digest pin vs the committed baseline, valid only for the same
+    // fleet configuration (fast vs full mode differ by design).
+    match load_doc(baseline_path) {
+        Ok(base) => {
+            let bparams = base
+                .get("params")
+                .ok_or_else(|| format!("{baseline_path}: missing \"params\""))?;
+            let config_matches = CONFIG_KEYS
+                .iter()
+                .all(|k| params.get(k) == bparams.get(k));
+            if config_matches {
+                match bparams.get("seq_digest").and_then(Json::as_str) {
+                    Some(b) if b == seq_digest => {
+                        println!("  cluster digest matches the committed baseline");
+                    }
+                    Some(b) => failures.push(format!(
+                        "cluster digest {seq_digest} != committed baseline {b} for the same \
+                         fleet config (deterministic — engine, workload, or RNG behaviour changed)"
+                    )),
+                    None => failures.push(format!(
+                        "{baseline_path}: baseline has no seq_digest to pin against"
+                    )),
+                }
+            } else {
+                println!("  (fleet config differs from the baseline — digest not pinned)");
+            }
+        }
+        Err(e) => failures.push(format!("cluster baseline unreadable: {e}")),
+    }
+
+    if host_cores >= CLUSTER_MIN_HOST_CORES {
+        println!(
+            "  cluster 4v1 speedup {speedup:>26.2}x  (floor {CLUSTER_SPEEDUP_FLOOR}x, host_cores {host_cores:.0})"
+        );
+        if speedup < CLUSTER_SPEEDUP_FLOOR {
+            failures.push(format!(
+                "cluster 4-thread speedup {speedup:.2}x is under the {CLUSTER_SPEEDUP_FLOOR}x \
+                 floor on a {host_cores:.0}-core host"
+            ));
+        }
+    } else {
+        println!(
+            "  (host_cores {host_cores:.0} < {CLUSTER_MIN_HOST_CORES:.0} — speedup floor not \
+             enforced; determinism pins above still apply)"
+        );
+    }
+    Ok(rows.len())
+}
+
 fn gate_meta(current_path: &str, failures: &mut Vec<String>) -> Result<usize, String> {
     let baseline_path = "crates/bench/baselines/BENCH_meta.json";
     let cur = load_meta(current_path)?;
@@ -814,6 +964,22 @@ fn run() -> Result<(), String> {
     match blackbox_path {
         Some(p) => gated += gate_blackbox(p, &mut failures)?,
         None => println!("  (no BENCH_blackbox.json — flight recorder not gated)"),
+    }
+
+    // Cluster scaling gate: runs whenever a `cluster_bench` report is
+    // present (CI writes it right before this gate). Pins the engine's
+    // thread-count invariance — every parallel digest == the sequential
+    // oracle's — plus the baseline digest for matching configs, and the
+    // parallel-speedup floor on hosts with cores to scale onto.
+    let cluster_path = [
+        "results/BENCH_cluster.json",
+        "crates/bench/results/BENCH_cluster.json",
+    ]
+    .into_iter()
+    .find(|p| std::path::Path::new(p).exists());
+    match cluster_path {
+        Some(p) => gated += gate_cluster(p, &mut failures)?,
+        None => println!("  (no BENCH_cluster.json — cluster engine not gated)"),
     }
 
     if failures.is_empty() {

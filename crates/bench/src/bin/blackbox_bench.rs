@@ -133,6 +133,10 @@ impl EnokiScheduler for Strander {
 /// dump's path and its raw bytes (read back immediately, because a
 /// repeat run lands on the same virtual-time filename).
 fn run_once() -> (PathBuf, Vec<u8>) {
+    // Byte-identity across cold runs depends on the solo (global) record
+    // path: clear any cluster stream binding this thread may carry so the
+    // flight recorder's events are not rerouted into a sharded capture.
+    record::clear_record_stream();
     record::reset_lock_ids();
     let built = MachineBuilder::new(Topology::i7_9700(), CostModel::calibrated())
         .scheduler("strander", Box::new(Strander::new(8, 0)))

@@ -62,6 +62,8 @@ pub struct LogSummary {
     pub switches: u64,
     /// Pick-decision annotations.
     pub decisions: u64,
+    /// Cluster epoch-barrier frames.
+    pub epoch_marks: u64,
     /// Fault counts per fault kind.
     pub faults_by_kind: BTreeMap<&'static str, u64>,
     /// Kernel threads seen.
@@ -122,6 +124,9 @@ impl LogSummary {
         if self.decisions > 0 {
             let _ = writeln!(out, "pick decisions: {}", self.decisions);
         }
+        if self.epoch_marks > 0 {
+            let _ = writeln!(out, "cluster epoch marks: {}", self.epoch_marks);
+        }
         out
     }
 }
@@ -172,6 +177,10 @@ pub fn summarize(log: &[Rec]) -> LogSummary {
             }
             Rec::Decision { tid, .. } => {
                 s.decisions += 1;
+                s.threads.insert(*tid);
+            }
+            Rec::EpochMark { tid, .. } => {
+                s.epoch_marks += 1;
                 s.threads.insert(*tid);
             }
         }
@@ -960,6 +969,12 @@ pub fn describe_rec(rec: &Rec) -> String {
              candidates={candidates} reason={} predicted={predicted}",
             reason.name()
         ),
+        Rec::EpochMark {
+            tid,
+            stream,
+            epoch,
+            at,
+        } => format!("epoch-mark stream={stream} epoch={epoch} tid={tid} at={at}"),
     }
 }
 

@@ -58,6 +58,12 @@
 //!   path for a machine + scheduler class: metrics, health/watchdog,
 //!   sampler cadence, event-queue choice, token ledger, fault plan,
 //!   flight recorder, and SLO.
+//! - [`cluster`] — framework glue for sharded fleet runs on the
+//!   [`enoki_sim::cluster`] engine: [`cluster::ClusterBuilder`] shapes the
+//!   shard/epoch spec, [`cluster::ClusterCapture`] gives every machine its
+//!   own replayable record stream (per-stream lock ids, epoch frames), and
+//!   [`cluster::aggregate_metrics`] folds per-shard snapshots into one
+//!   fleet-wide view.
 //! - [`meta`] — the meta-scheduler: a [`meta::MetaController`] watches the
 //!   health time series and live-switches between registered policies
 //!   through the blackout-bounded upgrade path, hysteresis-guarded and
@@ -67,6 +73,7 @@
 
 pub mod api;
 pub mod builder;
+pub mod cluster;
 pub mod dispatch;
 pub mod faults;
 pub mod flight;
@@ -84,6 +91,7 @@ pub mod tracing;
 
 pub use api::{EnokiScheduler, SchedCtx, TaskInfo, TransferIn, TransferOut};
 pub use builder::{BuiltMachine, MachineBuilder};
+pub use cluster::{ClusterBuilder, ClusterCapture, ClusterLogs};
 pub use dispatch::{DispatchStats, EnokiClass, UpgradeReport, ENOKI_CALL_OVERHEAD};
 pub use faults::{FaultKind, FaultPlan, FaultSpec};
 pub use flight::{FlightSpec, SnapshotBlackbox};

@@ -1038,6 +1038,27 @@ impl MetricsSnapshot {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
+    /// Folds another snapshot into this one: counters and gauges add,
+    /// histograms merge. This is the cross-shard aggregation step for
+    /// cluster runs — each shard snapshots its own machines' classes,
+    /// and the shards' snapshots absorb into one fleet-wide view.
+    /// Deterministic regardless of absorb order (all operations
+    /// commute).
+    pub fn absorb(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms
+                .entry(k.clone())
+                .or_insert_with(HistogramSnapshot::empty)
+                .merge(h);
+        }
+    }
+
     /// The change from `earlier` to `self`: counters and histograms
     /// subtract (saturating — a slot reset between snapshots reads as
     /// zero, not underflow); gauges keep `self`'s point-in-time values.
@@ -1205,6 +1226,33 @@ mod tests {
         // Only the window's sample survives the subtraction.
         assert!(h.quantile(0.5).unwrap().0 >= 1800, "{h:?}");
         assert_eq!(d.gauge("d", 1, EventKind::RunqDepth), 4);
+    }
+
+    #[test]
+    fn absorb_aggregates_across_shards_commutatively() {
+        let a = SchedulerMetrics::standalone("wfq", 2);
+        a.count_n(EventKind::Picks, 0, 10);
+        a.observe(EventKind::PickLatency, 0, Ns(100));
+        a.gauge_set(EventKind::RunqDepth, 1, 3);
+        let b = SchedulerMetrics::standalone("wfq", 2);
+        b.count_n(EventKind::Picks, 0, 5);
+        b.observe(EventKind::PickLatency, 0, Ns(900));
+        b.gauge_set(EventKind::RunqDepth, 1, 2);
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let mut ab = sa.clone();
+        ab.absorb(&sb);
+        let mut ba = sb.clone();
+        ba.absorb(&sa);
+        assert_eq!(ab.counter("wfq", 0, EventKind::Picks), 15);
+        assert_eq!(ab.gauge("wfq", 1, EventKind::RunqDepth), 5);
+        let h = ab.histogram("wfq", 0, EventKind::PickLatency).unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(ab.counters, ba.counters);
+        assert_eq!(ab.gauges, ba.gauges);
+        assert_eq!(
+            ab.histograms.keys().collect::<Vec<_>>(),
+            ba.histograms.keys().collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -114,6 +114,13 @@ pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
 
 impl<T: Copy + Send> RingBuffer<T> {
     /// Creates a ring holding up to `capacity` messages.
+    ///
+    /// The slot array is `capacity` rounded **up** to a power of two so
+    /// indexing is a mask; the logical bound stays at `capacity`. Callers
+    /// that size rings from a computed budget (record logs, cluster
+    /// mailboxes) should prefer [`with_capacity_pow2`]
+    /// (RingBuffer::with_capacity_pow2), which rejects a non-power-of-two
+    /// instead of silently over-allocating.
     pub fn with_capacity(capacity: usize) -> RingBuffer<T> {
         assert!(capacity > 0);
         let slot_count = capacity.next_power_of_two();
@@ -137,6 +144,36 @@ impl<T: Copy + Send> RingBuffer<T> {
                 slots,
             }),
         }
+    }
+
+    /// Creates a ring holding exactly `capacity` messages, where
+    /// `capacity` **must** be a non-zero power of two.
+    ///
+    /// [`with_capacity`](RingBuffer::with_capacity) quietly rounds the
+    /// slot array up to the next power of two; when a caller is
+    /// provisioning many rings from a memory budget (per-machine record
+    /// logs, a `shards²` mailbox matrix) that rounding can double the
+    /// real allocation without any visible signal. This constructor makes
+    /// the contract explicit: a non-power-of-two capacity is a bug at the
+    /// call site and panics immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or not a power of two.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use enoki_core::queue::RingBuffer;
+    /// let q: RingBuffer<u64> = RingBuffer::with_capacity_pow2(8);
+    /// assert_eq!(q.capacity(), 8);
+    /// ```
+    pub fn with_capacity_pow2(capacity: usize) -> RingBuffer<T> {
+        assert!(
+            capacity.is_power_of_two(),
+            "RingBuffer::with_capacity_pow2 requires a power-of-two capacity, got {capacity}"
+        );
+        RingBuffer::with_capacity(capacity)
     }
 
     /// How many slots the producer may write given its (possibly stale)
@@ -340,6 +377,34 @@ mod tests {
             assert_eq!(q.pop(), Some(round));
         }
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn with_capacity_pow2_accepts_powers_of_two() {
+        for cap in [1usize, 2, 4, 64, 1024] {
+            let q: RingBuffer<u64> = RingBuffer::with_capacity_pow2(cap);
+            assert_eq!(q.capacity(), cap);
+            // Exactly `cap` messages fit — no hidden extra slots.
+            for i in 0..cap as u64 {
+                q.push(i).unwrap();
+            }
+            assert_eq!(q.push(999), Err(999));
+            for i in 0..cap as u64 {
+                assert_eq!(q.pop(), Some(i));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn with_capacity_pow2_rejects_non_power_of_two() {
+        let _: RingBuffer<u64> = RingBuffer::with_capacity_pow2(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn with_capacity_pow2_rejects_zero() {
+        let _: RingBuffer<u64> = RingBuffer::with_capacity_pow2(0);
     }
 
     #[test]

@@ -369,6 +369,21 @@ pub enum Rec {
         /// Predicted service burst in ns (predictive policies), else 0.
         predicted: u64,
     },
+    /// An epoch-barrier frame in a sharded cluster capture: the owning
+    /// machine (stream) crossed cluster epoch `epoch` at virtual time
+    /// `at`. Pure framing — replay skips these like [`Rec::Decision`] —
+    /// but they let offline tooling align per-machine logs from one
+    /// parallel run against each other and against the barrier schedule.
+    EpochMark {
+        /// Kernel thread (cpu) that emitted the mark.
+        tid: u32,
+        /// Record stream (machine index within the cluster capture).
+        stream: u32,
+        /// Cluster epoch just completed (zero-indexed barrier rounds).
+        epoch: u64,
+        /// Virtual time of the epoch boundary.
+        at: u64,
+    },
 }
 
 // ---------------------------------------------------------------------
@@ -384,6 +399,7 @@ const TAG_HINT: u8 = 0xC5;
 const TAG_FAULT: u8 = 0xC6;
 const TAG_SWITCH: u8 = 0xC7;
 const TAG_DECISION: u8 = 0xC8;
+const TAG_EPOCH_MARK: u8 = 0xC9;
 
 impl Rec {
     /// Appends the binary encoding of this record to `out`.
@@ -490,6 +506,18 @@ impl Rec {
                 out.extend_from_slice(&candidates.to_le_bytes());
                 out.push(reason as u8);
                 out.extend_from_slice(&predicted.to_le_bytes());
+            }
+            Rec::EpochMark {
+                tid,
+                stream,
+                epoch,
+                at,
+            } => {
+                out.push(TAG_EPOCH_MARK);
+                out.extend_from_slice(&tid.to_le_bytes());
+                out.extend_from_slice(&stream.to_le_bytes());
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&at.to_le_bytes());
             }
         }
     }
@@ -712,6 +740,22 @@ impl Rec {
                     need,
                 ))
             }
+            TAG_EPOCH_MARK => {
+                // tag + tid + stream + epoch + at.
+                let need = 1 + 4 + 4 + 8 + 8;
+                if buf.len() < need {
+                    return Err(DecodeError::Truncated);
+                }
+                Ok((
+                    Rec::EpochMark {
+                        tid: u32_at(buf, 1),
+                        stream: u32_at(buf, 5),
+                        epoch: u64_at(buf, 9),
+                        at: u64_at(buf, 17),
+                    },
+                    need,
+                ))
+            }
             other => Err(DecodeError::Corrupt(format!(
                 "unknown record tag {other:#04x}"
             ))),
@@ -755,9 +799,38 @@ impl Recorder {
         let _ = self.ring.push(rec);
     }
 
+    /// Creates a recorder whose ring capacity must be a power of two —
+    /// the sizing contract for bulk allocations (one recorder per
+    /// machine in a cluster capture), via
+    /// [`RingBuffer::with_capacity_pow2`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or not a power of two.
+    pub fn with_slots_pow2(capacity: usize) -> Recorder {
+        Recorder {
+            ring: RingBuffer::with_capacity_pow2(capacity),
+        }
+    }
+
     /// Records dropped due to ring overrun.
     pub fn dropped(&self) -> u64 {
         self.ring.dropped()
+    }
+
+    /// Drains every buffered record into `out` (FIFO order); returns the
+    /// count. Cluster captures use this instead of a [`RecordWriter`]
+    /// thread per machine: the capture ends, then each recorder is
+    /// drained and encoded synchronously.
+    pub fn drain(&self, out: &mut Vec<Rec>) -> usize {
+        let mut n = 0;
+        loop {
+            let got = self.ring.drain(out);
+            if got == 0 {
+                return n;
+            }
+            n += got;
+        }
     }
 }
 
@@ -1008,11 +1081,24 @@ static GLOBAL: std::sync::RwLock<GlobalMode> = std::sync::RwLock::new(GlobalMode
 enum GlobalMode {
     Off,
     Record(Recorder),
+    /// Sharded capture for cluster runs: one recorder (and one lock-id
+    /// counter) per *stream* — a machine in the fleet. Worker threads
+    /// bind themselves to a stream with [`set_record_stream`] before
+    /// touching that machine; every record and every lock-id allocation
+    /// then routes to the bound stream, so each machine's log is a
+    /// self-contained, replayable history whose lock ids start at 1
+    /// exactly as a solo-recorded run's would.
+    RecordSharded {
+        recorders: Vec<Recorder>,
+        lock_ids: Vec<AtomicU64>,
+    },
     Replay(Arc<dyn LockSequencer>),
 }
 
 thread_local! {
     static TID: AtomicU32 = const { AtomicU32::new(0) };
+    /// The record stream this thread is bound to, plus one (0 = unbound).
+    static STREAM: AtomicU32 = const { AtomicU32::new(0) };
 }
 
 /// Sets the current thread's kernel-thread id used for tagging records
@@ -1031,6 +1117,60 @@ pub fn current_tid() -> u32 {
 pub fn enable_record(recorder: Recorder) {
     *GLOBAL.write().unwrap_or_else(std::sync::PoisonError::into_inner) = GlobalMode::Record(recorder);
     MODE_TAG.store(MODE_RECORD, Ordering::Release);
+}
+
+/// Switches the process into **sharded** record mode: one recorder per
+/// stream (machine), each with its own lock-id counter starting at 1.
+///
+/// Threads route records by binding to a stream with
+/// [`set_record_stream`]; records emitted by unbound threads are
+/// discarded (a cluster capture has no coherent place to put them).
+/// Callers keep clones of the recorders (they share rings) and drain
+/// them after [`disable`].
+pub fn enable_record_sharded(recorders: Vec<Recorder>) {
+    let lock_ids = (0..recorders.len()).map(|_| AtomicU64::new(1)).collect();
+    *GLOBAL.write().unwrap_or_else(std::sync::PoisonError::into_inner) =
+        GlobalMode::RecordSharded {
+            recorders,
+            lock_ids,
+        };
+    MODE_TAG.store(MODE_RECORD, Ordering::Release);
+}
+
+/// Binds the current thread to record stream `idx`: until cleared, every
+/// record this thread emits — and every shim-lock id it allocates — goes
+/// to that stream. Cluster workers call this before running or even
+/// *constructing* a machine (lock creation order is the replay
+/// identity), and again whenever they switch machines within an epoch.
+pub fn set_record_stream(idx: u32) {
+    STREAM.with(|s| s.store(idx + 1, Ordering::Relaxed));
+}
+
+/// Unbinds the current thread from any record stream.
+pub fn clear_record_stream() {
+    STREAM.with(|s| s.store(0, Ordering::Relaxed));
+}
+
+/// The record stream the current thread is bound to, if any.
+pub fn current_record_stream() -> Option<u32> {
+    STREAM.with(|s| s.load(Ordering::Relaxed)).checked_sub(1)
+}
+
+/// Emits the epoch-barrier frame for `stream` (cluster captures call
+/// this once per machine per epoch, from the thread bound to that
+/// stream).
+///
+/// The mark's tid is pinned to 0: an epoch frame belongs to the barrier,
+/// not to whichever cpu happened to dispatch last on the calling OS
+/// thread — a `current_tid()` here would leak the host thread layout
+/// into the log and break byte-equality across thread counts.
+pub fn mark_epoch(stream: u32, epoch: u64, at: u64) {
+    emit(Rec::EpochMark {
+        tid: 0,
+        stream,
+        epoch,
+        at,
+    });
 }
 
 /// Switches the process into replay mode with the given lock sequencer.
@@ -1067,8 +1207,16 @@ pub fn emit(rec: Rec) {
     if tag != MODE_RECORD {
         return;
     }
-    if let GlobalMode::Record(r) = &*GLOBAL.read().unwrap_or_else(std::sync::PoisonError::into_inner) {
-        r.emit(rec);
+    match &*GLOBAL.read().unwrap_or_else(std::sync::PoisonError::into_inner) {
+        GlobalMode::Record(r) => r.emit(rec),
+        GlobalMode::RecordSharded { recorders, .. } => {
+            if let Some(idx) = current_record_stream() {
+                if let Some(r) = recorders.get(idx as usize) {
+                    r.emit(rec);
+                }
+            }
+        }
+        _ => {}
     }
 }
 
@@ -1081,12 +1229,31 @@ pub fn recorder_dropped() -> Option<u64> {
     }
     match &*GLOBAL.read().unwrap_or_else(std::sync::PoisonError::into_inner) {
         GlobalMode::Record(r) => Some(r.dropped()),
+        GlobalMode::RecordSharded { recorders, .. } => {
+            Some(recorders.iter().map(Recorder::dropped).sum())
+        }
         _ => None,
     }
 }
 
 /// Allocates a fresh shim-lock id (creation order is the replay identity).
+///
+/// In sharded record mode a thread bound to a stream allocates from that
+/// stream's private counter (each starts at 1), so every machine's log
+/// numbers its locks exactly as a solo run would and replays with a
+/// plain [`reset_lock_ids`].
 pub fn next_lock_id() -> u64 {
+    if MODE_TAG.load(Ordering::Acquire) == MODE_RECORD {
+        if let Some(idx) = current_record_stream() {
+            if let GlobalMode::RecordSharded { lock_ids, .. } =
+                &*GLOBAL.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+            {
+                if let Some(ctr) = lock_ids.get(idx as usize) {
+                    return ctr.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
     NEXT_LOCK_ID.fetch_add(1, Ordering::Relaxed)
 }
 
@@ -1221,6 +1388,18 @@ mod tests {
             candidates: 0,
             reason: DecisionReason::Idle,
             predicted: 0,
+        });
+        roundtrip(Rec::EpochMark {
+            tid: 6,
+            stream: 42,
+            epoch: u64::MAX,
+            at: 1_234_567,
+        });
+        roundtrip(Rec::EpochMark {
+            tid: 0,
+            stream: 0,
+            epoch: 0,
+            at: 0,
         });
     }
 
@@ -1431,6 +1610,13 @@ mod tests {
         }
         .encode(&mut buf);
         Rec::LockRelease { tid: 2, lock: 77 }.encode(&mut buf);
+        Rec::EpochMark {
+            tid: 1,
+            stream: 3,
+            epoch: 9,
+            at: 2_000_000,
+        }
+        .encode(&mut buf);
         buf
     }
 
@@ -1496,6 +1682,64 @@ mod tests {
         // error, not an empty success.
         let garbage = vec![0x5Au8; 256];
         assert!(parse_log(&garbage[..]).is_err());
+    }
+
+    #[test]
+    fn recorder_pow2_drains_in_order() {
+        let rec = Recorder::with_slots_pow2(8);
+        for i in 0..8 {
+            rec.emit(Rec::LockRelease { tid: 0, lock: i });
+        }
+        let mut out = Vec::new();
+        assert_eq!(rec.drain(&mut out), 8);
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(*r, Rec::LockRelease { tid: 0, lock: i as u64 });
+        }
+        assert_eq!(rec.drain(&mut out), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn recorder_pow2_rejects_non_power_of_two() {
+        let _ = Recorder::with_slots_pow2(100);
+    }
+
+    #[test]
+    fn sharded_mode_routes_by_stream_and_numbers_locks_per_stream() {
+        // Mutates process-global record state; self-contained, restores
+        // Off at the end (same discipline as the sync.rs record tests).
+        let recs: Vec<Recorder> = (0..2).map(|_| Recorder::with_slots_pow2(64)).collect();
+        enable_record_sharded(recs.clone());
+        // Unbound threads drop records instead of polluting a stream.
+        assert_eq!(current_record_stream(), None);
+        emit(Rec::LockRelease { tid: 0, lock: 99 });
+        // Each stream gets its own records and its own lock ids from 1.
+        for idx in 0..2u32 {
+            set_record_stream(idx);
+            assert_eq!(current_record_stream(), Some(idx));
+            let lock = next_lock_id();
+            assert_eq!(lock, 1, "stream {idx} lock ids start at 1");
+            emit(Rec::LockCreate {
+                tid: idx,
+                lock,
+            });
+            assert_eq!(next_lock_id(), 2);
+        }
+        clear_record_stream();
+        assert_eq!(current_record_stream(), None);
+        assert_eq!(recorder_dropped(), Some(0));
+        disable();
+        for (idx, rec) in recs.iter().enumerate() {
+            let mut out = Vec::new();
+            assert_eq!(rec.drain(&mut out), 1, "stream {idx} got exactly its record");
+            assert_eq!(
+                out[0],
+                Rec::LockCreate {
+                    tid: idx as u32,
+                    lock: 1
+                }
+            );
+        }
     }
 
     #[test]

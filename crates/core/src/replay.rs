@@ -399,6 +399,11 @@ where
             // itself replays from its Call/Ret pair, and decision emission
             // is disabled during replay, so these carry no call.
             Rec::Decision { .. } => {}
+            // Cluster epoch frames are pure framing for offline log
+            // alignment; they carry no call and are NOT epoch cuts in the
+            // `newest_epoch` sense (the machine's module ran continuously
+            // across cluster barriers).
+            Rec::EpochMark { .. } => {}
         }
     }
 

@@ -1,0 +1,806 @@
+//! Sharded parallel simulation: fleets of machines on real OS threads
+//! with deterministic epoch barriers.
+//!
+//! A single [`crate::machine::Machine`] is inherently sequential — one
+//! event queue, one virtual clock. This module scales the simulator out
+//! by partitioning a fleet of machines into **logical shards** that run
+//! concurrently on real threads, while keeping results bit-identical for
+//! any host thread count:
+//!
+//! - **Shards, not threads, are the determinism unit.** A cluster run is
+//!   defined by its logical shard count. Worker threads own contiguous
+//!   shard ranges and run their shards sequentially in ascending shard
+//!   order; one thread running eight shards computes exactly what eight
+//!   threads running one shard each compute.
+//! - **Local clocks, global epochs.** Each shard advances its own
+//!   machines' virtual clocks independently inside a fixed virtual-time
+//!   quantum (the *epoch*). Shards only exchange information at the
+//!   epoch barrier, so no shard ever observes a peer mid-epoch.
+//! - **Per-peer SPSC mailboxes, canonical drain order.** Cross-shard
+//!   events (task migrations, IPC wakeups, load reports) travel as
+//!   fixed-size [`WireMsg`] values through one single-producer /
+//!   single-consumer ring per (source, destination) shard pair. At the
+//!   barrier, each destination drains its inbound mailboxes in ascending
+//!   source-shard order and, within a mailbox, in send order — a total
+//!   (shard-id, seq) order independent of thread interleaving.
+//! - **Quantized delivery.** A message produced during epoch `e` is
+//!   delivered at `end_of(e) + latency`, a function of the epoch index
+//!   only. Timing inside the epoch — and therefore host scheduling —
+//!   cannot leak into delivery times. This is conservative parallel
+//!   discrete-event simulation: the quantum is the lookahead, and any
+//!   cross-shard latency `>= 0` on top of the barrier is modelled
+//!   faithfully.
+//!
+//! The engine is generic over [`Shard`]: the workload supplies the
+//! machines and the logic between epochs, the engine supplies threads,
+//! barriers, mailboxes, and the termination protocol. A genuinely
+//! independent single-threaded interpreter ([`run_sequential`]) serves
+//! as the differential oracle: `tests/cluster.rs` proves both paths
+//! produce bit-identical trace hashes and record logs at 1, 2, and 4
+//! host threads.
+
+use crate::machine::SimError;
+use crate::time::Ns;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// A fixed-size cross-shard message. Plain `Copy` data (the same
+/// restriction the user↔kernel rings enforce): migrations travel as
+/// (template, step) coordinates re-materialized on the destination, not
+/// as live task state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireMsg {
+    /// Workload-defined discriminator (migration / wakeup / load report).
+    pub kind: u32,
+    /// First payload word.
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+    /// Third payload word.
+    pub c: u64,
+}
+
+/// Cluster-run configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterSpec {
+    /// Logical shard count — the determinism unit. Results are a
+    /// function of this number, never of the worker thread count.
+    pub shards: usize,
+    /// Epoch length: the virtual-time quantum between barriers.
+    pub quantum: Ns,
+    /// Cross-shard delivery latency added after the epoch boundary: a
+    /// message sent during epoch `e` is delivered at `end_of(e) +
+    /// latency`.
+    pub latency: Ns,
+    /// Per-peer mailbox capacity in messages; must be a power of two
+    /// (validated at ring construction, not silently rounded). Overflow
+    /// is a deterministic, reported error — never a dropped message.
+    pub mailbox_capacity: usize,
+    /// Upper bound on epochs before the run is declared hung.
+    pub max_epochs: u64,
+}
+
+impl ClusterSpec {
+    /// A spec with the given shard count and defaults: 200 µs quantum,
+    /// 50 µs cross-shard latency, 4096-message mailboxes, 1M epochs.
+    pub fn new(shards: usize) -> ClusterSpec {
+        assert!(shards > 0, "cluster needs at least one shard");
+        ClusterSpec {
+            shards,
+            quantum: Ns::from_us(200),
+            latency: Ns::from_us(50),
+            mailbox_capacity: 4096,
+            max_epochs: 1_000_000,
+        }
+    }
+
+    /// End of epoch `e` (epochs are zero-indexed).
+    fn epoch_end(&self, epoch: u64) -> Ns {
+        self.quantum * (epoch + 1)
+    }
+}
+
+/// Why a cluster run failed.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// A shard's machine hit a fatal simulation error.
+    Shard {
+        /// The shard that failed.
+        shard: usize,
+        /// The underlying simulation error.
+        error: SimError,
+    },
+    /// A per-peer mailbox filled up. Deterministic for a given spec and
+    /// seed — raise [`ClusterSpec::mailbox_capacity`].
+    MailboxOverflow {
+        /// Sending shard.
+        from: usize,
+        /// Receiving shard.
+        to: usize,
+        /// Epoch during which the overflow happened.
+        epoch: u64,
+    },
+    /// The run exceeded [`ClusterSpec::max_epochs`] without quiescing.
+    EpochLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Shard { shard, error } => {
+                write!(f, "shard {shard}: {error}")
+            }
+            ClusterError::MailboxOverflow { from, to, epoch } => write!(
+                f,
+                "mailbox {from}->{to} overflowed in epoch {epoch} \
+                 (raise ClusterSpec::mailbox_capacity)"
+            ),
+            ClusterError::EpochLimit { limit } => {
+                write!(f, "cluster did not quiesce within {limit} epochs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// One logical shard of a cluster run: a set of machines plus the
+/// workload logic that drives them between epoch barriers.
+///
+/// The engine calls the methods in a fixed per-epoch sequence:
+/// [`run_until`](Shard::run_until) (advance local virtual time to the
+/// epoch end), [`collect`](Shard::collect) (surrender outbound
+/// cross-shard messages), then — after the barrier —
+/// [`deliver`](Shard::deliver) once per inbound message in canonical
+/// (source-shard, send-order) order. Implementations need not be `Send`:
+/// each shard is constructed by its owning worker thread and never
+/// crosses threads (machines hold `Rc` internally). Only the final
+/// [`Output`](Shard::Output) travels back to the caller.
+pub trait Shard {
+    /// Per-shard result returned to the caller after the run (digests,
+    /// merged stats, encoded record logs…). Crosses threads, so `Send`.
+    type Output: Send;
+
+    /// Advances this shard's machines to virtual time `until` (the
+    /// current epoch's end). Machines end the call with their clocks
+    /// exactly at `until`.
+    fn run_until(&mut self, until: Ns) -> Result<(), SimError>;
+
+    /// Appends this epoch's outbound messages to `out` as
+    /// `(destination_shard, message)` pairs, in the deterministic order
+    /// the shard produced them. `now` is the epoch end just simulated.
+    fn collect(&mut self, now: Ns, out: &mut Vec<(usize, WireMsg)>);
+
+    /// Delivers one inbound message sent by shard `from`, to take effect
+    /// at virtual time `at` (the quantized delivery instant, `>=` every
+    /// local clock). Called in canonical order at the barrier.
+    fn deliver(&mut self, from: usize, msg: WireMsg, at: Ns) -> Result<(), SimError>;
+
+    /// True while this shard still has work that must keep the cluster
+    /// running (live chains, outstanding obligations). Pure idle load —
+    /// e.g. rearming balance timers on a drained machine — should report
+    /// `false` so the run can quiesce.
+    fn pending(&self) -> bool;
+
+    /// Total simulation events this shard's machines have processed.
+    fn events_processed(&self) -> u64;
+
+    /// Consumes the shard into its caller-visible output.
+    fn finish(self) -> Self::Output;
+}
+
+/// The aggregate result of a cluster run.
+#[derive(Debug)]
+pub struct ClusterReport<O> {
+    /// Per-shard outputs, in shard order.
+    pub outputs: Vec<O>,
+    /// Epochs executed (barrier rounds).
+    pub epochs: u64,
+    /// Total simulation events processed across all shards.
+    pub events: u64,
+    /// Cross-shard messages exchanged.
+    pub messages: u64,
+}
+
+// ---------------------------------------------------------------------
+// Per-peer SPSC mailbox
+// ---------------------------------------------------------------------
+
+/// A bounded single-producer / single-consumer ring of [`WireMsg`]s —
+/// the cross-shard mailbox for one (source, destination) pair.
+///
+/// Capacity must be a power of two and is validated, not rounded: the
+/// cluster allocates `shards²` of these in bulk, and silently rounding
+/// would hide a sizing mistake across the whole matrix (the same
+/// contract as `RingBuffer::with_capacity_pow2` in `enoki-core`).
+///
+/// The ordering protocol is the classic SPSC pair: the producer
+/// publishes a slot with a release store of `head`, the consumer
+/// acquires it, and neither index is written by the other side. In the
+/// cluster the epoch barrier additionally orders every push before
+/// every pop of the same epoch, so the ring's FIFO order — push order —
+/// is exactly the canonical drain order the determinism proof needs.
+struct Mailbox {
+    head: AtomicU64,
+    tail: AtomicU64,
+    mask: u64,
+    slots: Box<[UnsafeCell<MaybeUninit<WireMsg>>]>,
+}
+
+// SAFETY: slots are handed off producer→consumer through the
+// release/acquire head index; a slot is never written while readable and
+// never read while writable. `WireMsg: Copy` leaves no drop obligations.
+unsafe impl Send for Mailbox {}
+// SAFETY: see `Send`; all cross-thread access is index-synchronized.
+unsafe impl Sync for Mailbox {}
+
+impl Mailbox {
+    /// Creates a mailbox with exactly `capacity` slots. `capacity` must
+    /// be a non-zero power of two.
+    fn with_capacity_pow2(capacity: usize) -> Mailbox {
+        assert!(
+            capacity.is_power_of_two(),
+            "mailbox capacity must be a power of two, got {capacity}"
+        );
+        Mailbox {
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+            mask: capacity as u64 - 1,
+            slots: (0..capacity)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+        }
+    }
+
+    /// Pushes one message; `false` when full (the engine reports this as
+    /// a deterministic [`ClusterError::MailboxOverflow`], never a drop).
+    fn push(&self, msg: WireMsg) -> bool {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head - tail > self.mask {
+            return false;
+        }
+        let slot = &self.slots[(head & self.mask) as usize];
+        // SAFETY: `head - tail <= mask` means the consumer has retired
+        // this slot; only this producer writes between `tail` and `head`.
+        unsafe { (*slot.get()).write(msg) };
+        self.head.store(head + 1, Ordering::Release);
+        true
+    }
+
+    /// Pops the oldest message, if any.
+    fn pop(&self) -> Option<WireMsg> {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        if tail == head {
+            return None;
+        }
+        let slot = &self.slots[(tail & self.mask) as usize];
+        // SAFETY: `tail < head` means the producer published this slot
+        // (release store of `head` above) and will not rewrite it until
+        // `tail` advances past it.
+        let msg = unsafe { (*slot.get()).assume_init_read() };
+        self.tail.store(tail + 1, Ordering::Release);
+        Some(msg)
+    }
+}
+
+/// The full `shards × shards` mailbox matrix, allocated in bulk up
+/// front (no per-epoch heap churn).
+struct MailboxMatrix {
+    shards: usize,
+    /// Row-major `[src * shards + dst]`.
+    boxes: Vec<Mailbox>,
+}
+
+impl MailboxMatrix {
+    fn new(shards: usize, capacity: usize) -> MailboxMatrix {
+        MailboxMatrix {
+            shards,
+            boxes: (0..shards * shards)
+                .map(|_| Mailbox::with_capacity_pow2(capacity))
+                .collect(),
+        }
+    }
+
+    fn get(&self, src: usize, dst: usize) -> &Mailbox {
+        &self.boxes[src * self.shards + dst]
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parallel engine
+// ---------------------------------------------------------------------
+
+/// Contiguous shard range owned by worker `t` of `threads`.
+fn shard_range(shards: usize, threads: usize, t: usize) -> std::ops::Range<usize> {
+    let lo = shards * t / threads;
+    let hi = shards * (t + 1) / threads;
+    lo..hi
+}
+
+/// Shared coordination state for one parallel run.
+struct Coord {
+    barrier: Barrier,
+    /// Per-worker "my shards still have work or just received messages".
+    active: Vec<AtomicBool>,
+    /// First error wins; set before the failing worker reaches the next
+    /// barrier, checked by everyone right after it.
+    abort: AtomicBool,
+    failure: Mutex<Option<ClusterError>>,
+    messages: AtomicU64,
+    events: AtomicU64,
+    epochs: AtomicU64,
+}
+
+impl Coord {
+    fn fail(&self, err: ClusterError) {
+        let mut slot = self
+            .failure
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+        self.abort.store(true, Ordering::Release);
+    }
+}
+
+/// Runs a cluster on `threads` worker threads (clamped to `[1, shards]`).
+///
+/// `factory(shard_id)` constructs each shard *on its owning worker
+/// thread* — shards (and the machines inside them) never cross threads,
+/// so they are free to hold `Rc` state. The factory itself is shared
+/// across workers and must be `Sync`.
+///
+/// For a fixed spec and factory the result — every shard's output, every
+/// trace, every record log — is bit-identical for every `threads` value,
+/// including against the single-threaded oracle [`run_sequential`].
+pub fn run_parallel<S, F>(
+    spec: ClusterSpec,
+    threads: usize,
+    factory: F,
+) -> Result<ClusterReport<S::Output>, ClusterError>
+where
+    S: Shard,
+    F: Fn(usize) -> Result<S, SimError> + Sync,
+{
+    let threads = threads.clamp(1, spec.shards);
+    let coord = Coord {
+        barrier: Barrier::new(threads),
+        active: (0..threads).map(|_| AtomicBool::new(false)).collect(),
+        abort: AtomicBool::new(false),
+        failure: Mutex::new(None),
+        messages: AtomicU64::new(0),
+        events: AtomicU64::new(0),
+        epochs: AtomicU64::new(0),
+    };
+    let mail = MailboxMatrix::new(spec.shards, spec.mailbox_capacity);
+    let outputs: Vec<Mutex<Option<S::Output>>> =
+        (0..spec.shards).map(|_| Mutex::new(None)).collect();
+    // One worker claims the epoch counter bump per round.
+    let epoch_owner = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let coord = &coord;
+            let mail = &mail;
+            let factory = &factory;
+            let outputs = &outputs;
+            let epoch_owner = &epoch_owner;
+            scope.spawn(move || {
+                worker(spec, t, threads, coord, mail, factory, outputs, epoch_owner)
+            });
+        }
+    });
+
+    if let Some(err) = coord
+        .failure
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take()
+    {
+        return Err(err);
+    }
+    let outputs = outputs
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every shard produced an output")
+        })
+        .collect();
+    Ok(ClusterReport {
+        outputs,
+        epochs: coord.epochs.load(Ordering::Acquire),
+        events: coord.events.load(Ordering::Acquire),
+        messages: coord.messages.load(Ordering::Acquire),
+    })
+}
+
+/// The per-worker epoch loop. Every branch that affects barrier
+/// participation is decided from shared flags read *after* a barrier,
+/// so all workers always agree on how many more barriers there are.
+#[allow(clippy::too_many_arguments)]
+fn worker<S, F>(
+    spec: ClusterSpec,
+    t: usize,
+    threads: usize,
+    coord: &Coord,
+    mail: &MailboxMatrix,
+    factory: &F,
+    outputs: &[Mutex<Option<S::Output>>],
+    epoch_owner: &AtomicUsize,
+) where
+    S: Shard,
+    F: Fn(usize) -> Result<S, SimError> + Sync,
+{
+    let my = shard_range(spec.shards, threads, t);
+    // Construct shards locally, in ascending shard order.
+    let mut shards: Vec<(usize, S)> = Vec::with_capacity(my.len());
+    for id in my {
+        match factory(id) {
+            Ok(s) => shards.push((id, s)),
+            Err(error) => {
+                coord.fail(ClusterError::Shard { shard: id, error });
+                break;
+            }
+        }
+    }
+    // Everyone joins this barrier whether or not construction succeeded,
+    // then everyone agrees on abort-vs-run.
+    coord.barrier.wait();
+
+    let mut outbox: Vec<(usize, WireMsg)> = Vec::new();
+    let mut epoch: u64 = 0;
+    while !coord.abort.load(Ordering::Acquire) {
+        let end = spec.epoch_end(epoch);
+
+        // Phase A: advance own shards through the epoch, then publish
+        // their outbound messages (ascending shard order — the mailbox
+        // FIFO order *is* the canonical within-source order).
+        'phase_a: for (id, shard) in shards.iter_mut() {
+            if let Err(error) = shard.run_until(end) {
+                coord.fail(ClusterError::Shard { shard: *id, error });
+                break 'phase_a;
+            }
+            outbox.clear();
+            shard.collect(end, &mut outbox);
+            for &(dst, msg) in outbox.iter() {
+                debug_assert!(dst < spec.shards, "message to unknown shard {dst}");
+                if !mail.get(*id, dst).push(msg) {
+                    coord.fail(ClusterError::MailboxOverflow {
+                        from: *id,
+                        to: dst,
+                        epoch,
+                    });
+                    break 'phase_a;
+                }
+                coord.messages.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        coord.barrier.wait();
+        if coord.abort.load(Ordering::Acquire) {
+            break;
+        }
+
+        // Phase B: drain inbound mailboxes in canonical (source shard,
+        // send order) order; messages take effect at the quantized
+        // delivery instant.
+        let at = end + spec.latency;
+        let mut local_active = false;
+        'phase_b: for (id, shard) in shards.iter_mut() {
+            for src in 0..spec.shards {
+                let mb = mail.get(src, *id);
+                while let Some(msg) = mb.pop() {
+                    local_active = true;
+                    if let Err(error) = shard.deliver(src, msg, at) {
+                        coord.fail(ClusterError::Shard { shard: *id, error });
+                        break 'phase_b;
+                    }
+                }
+            }
+            if shard.pending() {
+                local_active = true;
+            }
+        }
+        coord.active[t].store(local_active, Ordering::Release);
+
+        coord.barrier.wait();
+        if coord.abort.load(Ordering::Acquire) {
+            break;
+        }
+        // Termination: every worker reads the same flags written before
+        // the barrier, so every worker reaches the same verdict.
+        if !coord.active.iter().any(|a| a.load(Ordering::Acquire)) {
+            epoch += 1;
+            break;
+        }
+        epoch += 1;
+        if epoch >= spec.max_epochs {
+            coord.fail(ClusterError::EpochLimit {
+                limit: spec.max_epochs,
+            });
+            // All workers hit this branch together; no further barriers.
+            break;
+        }
+    }
+
+    // Per-worker accounting + outputs (no barrier needed: the scope
+    // joins all workers before the caller reads these).
+    if epoch_owner
+        .compare_exchange(0, t + 1, Ordering::AcqRel, Ordering::Acquire)
+        .is_ok()
+        || epoch_owner.load(Ordering::Acquire) == t + 1
+    {
+        coord.epochs.store(epoch, Ordering::Release);
+    }
+    for (id, shard) in shards.into_iter() {
+        coord
+            .events
+            .fetch_add(shard.events_processed(), Ordering::Relaxed);
+        *outputs[id]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(shard.finish());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sequential oracle
+// ---------------------------------------------------------------------
+
+/// Runs the same cluster semantics on one thread with plain `Vec`
+/// mailboxes — a genuinely independent interpreter of the epoch-barrier
+/// model, used as the differential oracle for [`run_parallel`].
+pub fn run_sequential<S, F>(
+    spec: ClusterSpec,
+    factory: F,
+) -> Result<ClusterReport<S::Output>, ClusterError>
+where
+    S: Shard,
+    F: Fn(usize) -> Result<S, SimError>,
+{
+    let mut shards: Vec<S> = Vec::with_capacity(spec.shards);
+    for id in 0..spec.shards {
+        shards.push(factory(id).map_err(|error| ClusterError::Shard { shard: id, error })?);
+    }
+    // pending[src][dst]: messages in flight this epoch, FIFO per pair.
+    let mut pending: Vec<Vec<Vec<WireMsg>>> =
+        vec![vec![Vec::new(); spec.shards]; spec.shards];
+    let mut outbox: Vec<(usize, WireMsg)> = Vec::new();
+    let mut epoch: u64 = 0;
+    let mut messages: u64 = 0;
+    loop {
+        let end = spec.epoch_end(epoch);
+        for (id, shard) in shards.iter_mut().enumerate() {
+            shard
+                .run_until(end)
+                .map_err(|error| ClusterError::Shard { shard: id, error })?;
+            outbox.clear();
+            shard.collect(end, &mut outbox);
+            for &(dst, msg) in outbox.iter() {
+                assert!(dst < spec.shards, "message to unknown shard {dst}");
+                if pending[id][dst].len() >= spec.mailbox_capacity {
+                    return Err(ClusterError::MailboxOverflow {
+                        from: id,
+                        to: dst,
+                        epoch,
+                    });
+                }
+                pending[id][dst].push(msg);
+                messages += 1;
+            }
+        }
+        let at = end + spec.latency;
+        let mut active = false;
+        for (id, shard) in shards.iter_mut().enumerate() {
+            for (src, row) in pending.iter_mut().enumerate() {
+                for msg in std::mem::take(&mut row[id]) {
+                    active = true;
+                    shard
+                        .deliver(src, msg, at)
+                        .map_err(|error| ClusterError::Shard { shard: id, error })?;
+                }
+            }
+            if shard.pending() {
+                active = true;
+            }
+        }
+        epoch += 1;
+        if !active {
+            break;
+        }
+        if epoch >= spec.max_epochs {
+            return Err(ClusterError::EpochLimit {
+                limit: spec.max_epochs,
+            });
+        }
+    }
+    let events = shards.iter().map(Shard::events_processed).sum();
+    Ok(ClusterReport {
+        outputs: shards.into_iter().map(Shard::finish).collect(),
+        epochs: epoch,
+        events,
+        messages,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A shard with no machines at all: integer state, deterministic
+    /// token passing. Exercises the engine protocol (barriers, canonical
+    /// drain order, termination) without simulator noise.
+    struct TokenShard {
+        id: usize,
+        shards: usize,
+        /// Tokens held, each a (origin, hops_left) pair.
+        tokens: Vec<(u64, u64)>,
+        /// Deterministic transcript of everything observed, in order.
+        log: Vec<(u64, usize, u64, u64)>,
+        clock: Ns,
+        events: u64,
+    }
+
+    impl Shard for TokenShard {
+        type Output = Vec<(u64, usize, u64, u64)>;
+
+        fn run_until(&mut self, until: Ns) -> Result<(), SimError> {
+            self.clock = until;
+            self.events += self.tokens.len() as u64;
+            Ok(())
+        }
+
+        fn collect(&mut self, now: Ns, out: &mut Vec<(usize, WireMsg)>) {
+            for (origin, hops) in std::mem::take(&mut self.tokens) {
+                if hops == 0 {
+                    self.log.push((now.as_nanos(), self.id, origin, 0));
+                    continue;
+                }
+                let dst = (self.id + 1 + (origin as usize % 3)) % self.shards;
+                out.push((
+                    dst,
+                    WireMsg {
+                        kind: 1,
+                        a: origin,
+                        b: hops - 1,
+                        c: 0,
+                    },
+                ));
+            }
+        }
+
+        fn deliver(&mut self, from: usize, msg: WireMsg, at: Ns) -> Result<(), SimError> {
+            self.log.push((at.as_nanos(), from, msg.a, msg.b));
+            self.tokens.push((msg.a, msg.b));
+            Ok(())
+        }
+
+        fn pending(&self) -> bool {
+            !self.tokens.is_empty()
+        }
+
+        fn events_processed(&self) -> u64 {
+            self.events
+        }
+
+        fn finish(self) -> Self::Output {
+            self.log
+        }
+    }
+
+    fn token_factory(shards: usize) -> impl Fn(usize) -> Result<TokenShard, SimError> + Sync {
+        move |id| {
+            Ok(TokenShard {
+                id,
+                shards,
+                // Seed a few tokens per shard with varied hop counts.
+                tokens: (0..4).map(|k| ((id as u64) << 8 | k, 5 + k)).collect(),
+                log: Vec::new(),
+                clock: Ns::ZERO,
+                events: 0,
+            })
+        }
+    }
+
+    /// The engine's own determinism contract: every thread count,
+    /// including the sequential oracle, produces identical per-shard
+    /// transcripts, message counts, and epoch counts.
+    #[test]
+    fn thread_count_is_invisible() {
+        let spec = ClusterSpec::new(8);
+        let seq = run_sequential(spec, token_factory(8)).expect("sequential run");
+        assert!(seq.messages > 0, "token mix must cross shards");
+        for threads in [1, 2, 3, 4, 8] {
+            let par = run_parallel(spec, threads, token_factory(8)).expect("parallel run");
+            assert_eq!(par.outputs, seq.outputs, "transcripts @ {threads} threads");
+            assert_eq!(par.epochs, seq.epochs, "epochs @ {threads} threads");
+            assert_eq!(par.messages, seq.messages);
+            assert_eq!(par.events, seq.events);
+        }
+    }
+
+    /// Worker counts beyond the shard count clamp instead of deadlocking
+    /// on a barrier sized for absent participants.
+    #[test]
+    fn thread_count_clamps_to_shards() {
+        let spec = ClusterSpec::new(2);
+        let a = run_parallel(spec, 64, token_factory(2)).expect("clamped run");
+        let b = run_sequential(spec, token_factory(2)).expect("oracle");
+        assert_eq!(a.outputs, b.outputs);
+    }
+
+    /// Mailbox overflow is a reported, deterministic error — not a drop,
+    /// not a hang.
+    #[test]
+    fn overflow_is_reported() {
+        let mut spec = ClusterSpec::new(2);
+        spec.mailbox_capacity = 2;
+        // Every token hops every epoch; 4 tokens per shard overflow a
+        // 2-slot mailbox deterministically in epoch 0 or 1.
+        let err = run_parallel(spec, 2, token_factory(2)).expect_err("must overflow");
+        match err {
+            ClusterError::MailboxOverflow { .. } => {}
+            other => panic!("expected overflow, got {other:?}"),
+        }
+        let err = run_sequential(spec, token_factory(2)).expect_err("oracle overflows too");
+        assert!(matches!(err, ClusterError::MailboxOverflow { .. }));
+    }
+
+    /// The mailbox validates its power-of-two contract instead of
+    /// silently rounding.
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn mailbox_rejects_non_pow2() {
+        let _ = Mailbox::with_capacity_pow2(12);
+    }
+
+    /// SPSC ring basics: FIFO order, emptiness, wraparound.
+    #[test]
+    fn mailbox_fifo_and_wrap() {
+        let mb = Mailbox::with_capacity_pow2(4);
+        let msg = |a| WireMsg { kind: 0, a, b: 0, c: 0 };
+        for round in 0..10u64 {
+            assert!(mb.pop().is_none());
+            for i in 0..4 {
+                assert!(mb.push(msg(round * 10 + i)));
+            }
+            assert!(!mb.push(msg(99)), "5th push must report full");
+            for i in 0..4 {
+                assert_eq!(mb.pop().expect("queued").a, round * 10 + i);
+            }
+        }
+    }
+
+    /// An epoch-limit hang is reported identically by both engines.
+    #[test]
+    fn epoch_limit_is_reported() {
+        let mut spec = ClusterSpec::new(2);
+        spec.max_epochs = 3;
+        let err = run_parallel(spec, 2, token_factory(2)).expect_err("limit");
+        assert!(matches!(err, ClusterError::EpochLimit { limit: 3 }));
+        let err = run_sequential(spec, token_factory(2)).expect_err("limit");
+        assert!(matches!(err, ClusterError::EpochLimit { limit: 3 }));
+    }
+
+    /// Shard ranges tile the shard space contiguously and in order.
+    #[test]
+    fn shard_ranges_partition() {
+        for shards in 1..=16 {
+            for threads in 1..=shards {
+                let mut seen = Vec::new();
+                for t in 0..threads {
+                    seen.extend(shard_range(shards, threads, t));
+                }
+                assert_eq!(seen, (0..shards).collect::<Vec<_>>());
+            }
+        }
+    }
+}

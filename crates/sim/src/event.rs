@@ -81,9 +81,13 @@ pub enum Event {
         /// The balancing cpu.
         cpu: CpuId,
     },
-    /// A workload-registered callback.
+    /// A cross-machine stimulus injected from outside this machine's
+    /// timeline (see `Machine::inject_external`): in a cluster run, the
+    /// in-timeline half of a cross-shard message — an IPC wakeup kick
+    /// from a peer machine, delivered at its quantized epoch instant.
     External {
-        /// Workload-defined tag.
+        /// Workload-defined tag. Bit 0 requests a reschedule kick; bits
+        /// 1..8 carry the target cpu; the rest is payload.
         tag: u64,
     },
 }

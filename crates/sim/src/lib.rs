@@ -38,6 +38,7 @@
 //! ```
 
 pub mod behavior;
+pub mod cluster;
 pub mod costs;
 pub mod energy;
 pub mod event;
@@ -53,6 +54,7 @@ pub mod topology;
 pub mod trace;
 
 pub use behavior::{Behavior, BehaviorCtx, HintVal, Op, PipeId};
+pub use cluster::{ClusterError, ClusterReport, ClusterSpec, Shard, WireMsg};
 pub use costs::CostModel;
 pub use machine::{Machine, Sampler, SimError, TaskSpec};
 pub use sched_class::{Command, KernelCtx, SchedClass};

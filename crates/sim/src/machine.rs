@@ -181,6 +181,9 @@ pub struct Machine {
     balance_armed: bool,
     tracer: Option<Tracer>,
     sampler: Option<SamplerSlot>,
+    /// Events handled since construction (throughput accounting for the
+    /// cluster scaling harness).
+    nr_events: u64,
 }
 
 impl Machine {
@@ -214,6 +217,7 @@ impl Machine {
             balance_armed: false,
             tracer: None,
             sampler: None,
+            nr_events: 0,
         }
     }
 
@@ -332,6 +336,33 @@ impl Machine {
     /// Number of spawned tasks.
     pub fn nr_tasks(&self) -> usize {
         self.tasks.len()
+    }
+
+    /// Total simulation events handled since construction. The cluster
+    /// scaling harness sums this across machines to compute events/sec.
+    pub fn events_processed(&self) -> u64 {
+        self.nr_events
+    }
+
+    /// Events currently queued (timers, arrivals, pending work). Zero
+    /// means the machine is quiescent: `run_until` would only advance the
+    /// clock. The cluster engine uses this for its termination check.
+    pub fn nr_pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Injects an external event — a cross-machine stimulus such as an
+    /// IPC wakeup from a peer machine in a cluster — into this machine's
+    /// timeline at virtual time `at` (clamped to now).
+    ///
+    /// When handled, the event counts in
+    /// [`MachineStats::nr_externals`](crate::stats::MachineStats) and, if
+    /// the low bit of `tag` is set, kicks the cpu in bits `1..8` of the
+    /// tag with a reschedule interrupt — modelling the IPI a remote
+    /// machine's message would raise. The remaining tag bits are
+    /// workload-defined.
+    pub fn inject_external(&mut self, at: Ns, tag: u64) {
+        self.events.push(at.max(self.now), Event::External { tag });
     }
 
     /// Number of tasks not yet dead.
@@ -462,6 +493,7 @@ impl Machine {
             let (_, ev) = self.events.pop().expect("peeked event");
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
+            self.nr_events += 1;
             self.handle(ev)?;
         }
         // Flush sampler points across the trailing idle stretch — but not
@@ -558,7 +590,17 @@ impl Machine {
                 self.resched(cpu, base)
             }
             Event::BalanceTick { cpu } => self.handle_balance_tick(cpu),
-            Event::External { .. } => Ok(()),
+            Event::External { tag } => {
+                // A cross-machine stimulus (see `inject_external`). Tag
+                // bit 0 requests a reschedule kick on the cpu in bits
+                // 1..8 — the simulated IPI a remote machine's IPC raises.
+                self.stats.nr_externals += 1;
+                if tag & 1 != 0 {
+                    let cpu = ((tag >> 1) & 0x7f) as usize % self.cores.len();
+                    self.events.push(self.now, Event::ReschedIpi { cpu });
+                }
+                Ok(())
+            }
         }
     }
 

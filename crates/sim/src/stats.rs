@@ -251,6 +251,10 @@ pub struct MachineStats {
     pub nr_idle_picks: u64,
     /// Picks rejected because the chosen task was not runnable on the cpu.
     pub nr_pick_rejects: u64,
+    /// External (cross-machine) events delivered via
+    /// [`crate::machine::Machine::inject_external`] — remote IPC kicks in
+    /// a cluster run.
+    pub nr_externals: u64,
     /// Per-cpu busy time (task execution only).
     pub cpu_busy: Vec<Ns>,
     /// Per-cpu context-switch counts (sums to `nr_context_switches`).
@@ -285,6 +289,49 @@ impl MachineStats {
         }
     }
 
+    /// Folds another machine's statistics into this one: counters add,
+    /// histograms merge, per-cpu vectors add element-wise (machines in a
+    /// fleet share a shape, so cpu `k` aggregates across machines).
+    /// Vectors of unequal length are summed over the shared prefix and
+    /// extended with the longer machine's tail, so heterogeneous fleets
+    /// still aggregate without losing samples.
+    ///
+    /// This is the cross-shard metrics aggregation step of a cluster run:
+    /// each shard merges its machines locally, and the coordinator merges
+    /// the per-shard results in shard order — addition is commutative, so
+    /// the merged totals are identical for any host thread count.
+    pub fn merge(&mut self, other: &MachineStats) {
+        fn merge_vec<T: Copy + std::ops::AddAssign>(a: &mut Vec<T>, b: &[T]) {
+            for (x, y) in a.iter_mut().zip(b.iter()) {
+                *x += *y;
+            }
+            if b.len() > a.len() {
+                a.extend_from_slice(&b[a.len()..]);
+            }
+        }
+        self.nr_context_switches += other.nr_context_switches;
+        self.nr_migrations += other.nr_migrations;
+        self.nr_class_calls += other.nr_class_calls;
+        self.nr_ipis += other.nr_ipis;
+        self.nr_ticks += other.nr_ticks;
+        self.nr_idle_picks += other.nr_idle_picks;
+        self.nr_pick_rejects += other.nr_pick_rejects;
+        self.nr_externals += other.nr_externals;
+        merge_vec(&mut self.cpu_busy, &other.cpu_busy);
+        merge_vec(&mut self.cpu_context_switches, &other.cpu_context_switches);
+        merge_vec(&mut self.cpu_migrations, &other.cpu_migrations);
+        merge_vec(&mut self.cpu_idle, &other.cpu_idle);
+        merge_vec(&mut self.cpu_sched_overhead, &other.cpu_sched_overhead);
+        merge_vec(&mut self.class_busy, &other.class_busy);
+        self.wakeup_latency.merge(&other.wakeup_latency);
+        for (tag, h) in &other.wakeup_by_tag {
+            self.wakeup_by_tag
+                .entry(*tag)
+                .or_default()
+                .merge(h);
+        }
+    }
+
     /// Overall cpu utilization in `[0, 1]` over `elapsed` virtual time.
     pub fn utilization(&self, elapsed: Ns) -> f64 {
         if elapsed.is_zero() || self.cpu_busy.is_empty() {
@@ -298,6 +345,51 @@ impl MachineStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Cross-shard aggregation: counters add, per-cpu vectors sum
+    /// element-wise (extending over length mismatches), histograms merge,
+    /// and the result is independent of merge order.
+    #[test]
+    fn machine_stats_merge_is_commutative_aggregation() {
+        let mk = |cs: u64, lat: u64, tag_lat: u64| {
+            let mut s = MachineStats::new(2);
+            s.nr_context_switches = cs;
+            s.nr_externals = cs / 2;
+            s.cpu_busy[0] = Ns(10 * cs);
+            s.cpu_context_switches[1] = cs;
+            s.class_busy.push(Ns(cs));
+            s.wakeup_latency.record(Ns(lat));
+            s.wakeup_by_tag
+                .entry(7)
+                .or_default()
+                .record(Ns(tag_lat));
+            s
+        };
+        let (a, b) = (mk(4, 1000, 500), mk(6, 2000, 700));
+        let mut ab = MachineStats::new(2);
+        ab.merge(&a);
+        ab.merge(&b);
+        let mut ba = MachineStats::new(2);
+        ba.merge(&b);
+        ba.merge(&a);
+        for m in [&ab, &ba] {
+            assert_eq!(m.nr_context_switches, 10);
+            assert_eq!(m.nr_externals, 5);
+            assert_eq!(m.cpu_busy[0], Ns(100));
+            assert_eq!(m.cpu_context_switches[1], 10);
+            assert_eq!(m.class_busy, vec![Ns(10)]);
+            assert_eq!(m.wakeup_latency.count(), 2);
+            assert_eq!(m.wakeup_latency.max(), Ns(2000));
+            assert_eq!(m.wakeup_by_tag[&7].count(), 2);
+        }
+        // Unequal per-cpu shapes: shared prefix sums, tail carried over.
+        let mut wide = MachineStats::new(4);
+        wide.cpu_busy[3] = Ns(5);
+        let mut narrow = MachineStats::new(2);
+        narrow.cpu_busy[0] = Ns(1);
+        narrow.merge(&wide);
+        assert_eq!(narrow.cpu_busy, vec![Ns(1), Ns::ZERO, Ns::ZERO, Ns(5)]);
+    }
 
     #[test]
     fn records_and_quantiles() {

@@ -93,6 +93,21 @@ impl Ns {
     pub fn is_zero(self) -> bool {
         self.0 == 0
     }
+
+    /// Rounds this instant up to the next multiple of `quantum` (an
+    /// instant already on a boundary is returned unchanged). The cluster
+    /// engine uses this to clamp cross-shard deliveries to epoch
+    /// boundaries: a message sent at any point inside an epoch lands at
+    /// the same quantized instant regardless of host thread interleaving.
+    pub fn align_up(self, quantum: Ns) -> Ns {
+        assert!(!quantum.is_zero(), "zero quantum");
+        let rem = self.0 % quantum.0;
+        if rem == 0 {
+            self
+        } else {
+            Ns(self.0 + (quantum.0 - rem))
+        }
+    }
 }
 
 impl Add for Ns {
@@ -198,6 +213,16 @@ mod tests {
         assert_eq!(format!("{}", Ns::from_us(5)), "5.000us");
         assert_eq!(format!("{}", Ns::from_ms(5)), "5.000ms");
         assert_eq!(format!("{}", Ns::from_secs(5)), "5.000s");
+    }
+
+    #[test]
+    fn align_up_quantizes() {
+        let q = Ns(1000);
+        assert_eq!(Ns(0).align_up(q), Ns(0));
+        assert_eq!(Ns(1).align_up(q), Ns(1000));
+        assert_eq!(Ns(999).align_up(q), Ns(1000));
+        assert_eq!(Ns(1000).align_up(q), Ns(1000));
+        assert_eq!(Ns(1001).align_up(q), Ns(2000));
     }
 
     #[test]

@@ -426,6 +426,10 @@ pub fn run_app_on(bed: &mut TestBed, bench: &AppBench, seed: u64) -> AppResult {
     let m = &mut bed.machine;
     let mut pids = Vec::new();
     let mut total_work = Ns::ZERO;
+    // Per-task streams split from one root: independent by construction
+    // instead of by xor-shift folklore, and stable across platforms.
+    // Pattern salts keep each pattern's task streams in their own space.
+    let root = SmallRng::seed_from_u64(seed);
 
     match bench.pattern {
         Pattern::BarrierCompute {
@@ -438,7 +442,7 @@ pub fn run_app_on(bed: &mut TestBed, bench: &AppBench, seed: u64) -> AppResult {
             let barrier = SharedCell::with((0usize, 0u64)); // (arrived, generation)
             const BKEY: u64 = 0xBA44;
             for i in 0..tasks {
-                let mut rng = SmallRng::seed_from_u64(seed ^ (i as u64) << 8);
+                let mut rng = root.split(i as u64);
                 let bar = barrier.clone();
                 let mut it = 0u64;
                 let mut at_barrier = false;
@@ -504,7 +508,7 @@ pub fn run_app_on(bed: &mut TestBed, bench: &AppBench, seed: u64) -> AppResult {
             let barrier = SharedCell::with((0usize, 0u64));
             const WKEY: u64 = 0xF04C;
             for i in 0..tasks {
-                let mut rng = SmallRng::seed_from_u64(seed ^ 0xF00 ^ (i as u64) << 8);
+                let mut rng = root.split(0xF00_0000 | i as u64);
                 let bar = barrier.clone();
                 let mut wave = 0u64;
                 let mut at_barrier = false;
@@ -604,7 +608,7 @@ pub fn run_app_on(bed: &mut TestBed, bench: &AppBench, seed: u64) -> AppResult {
             sleep,
         } => {
             for i in 0..tasks {
-                let mut rng = SmallRng::seed_from_u64(seed ^ 0xB0B ^ (i as u64) << 8);
+                let mut rng = root.split(0xB0B_0000 | i as u64);
                 let mut left = rounds;
                 let mut sleeping = false;
                 let behavior = closure_behavior(move |_ctx| {

@@ -8,6 +8,7 @@
 
 pub mod apps;
 pub mod fairness;
+pub mod fleet;
 pub mod memcached;
 pub mod metrics;
 pub mod pipe;

@@ -115,6 +115,9 @@ pub fn run_schbench(bed: &mut TestBed, cfg: SchbenchConfig) -> SchbenchResult {
     let aff = cfg.one_core.then(|| CpuSet::single(0));
     let class = bed.class_idx;
     let m = &mut bed.machine;
+    // One root stream for the whole run; each message group draws an
+    // independent split instead of an additive ad-hoc reseed.
+    let root = SmallRng::seed_from_u64(0x5CB0);
 
     for g in 0..cfg.msg_threads {
         // Predict pids: tasks are spawned in a fixed order.
@@ -129,7 +132,7 @@ pub fn run_schbench(bed: &mut TestBed, cfg: SchbenchConfig) -> SchbenchResult {
         let meas = measuring.clone();
         let mut phase = 0usize; // 0..hints, then round ops
         let mut hinted = 0usize;
-        let mut rng = SmallRng::seed_from_u64(0x5CB0 + g as u64);
+        let mut rng = root.split(g as u64);
         let group_members: Vec<usize> = std::iter::once(msg_pid)
             .chain(worker_pids.iter().copied())
             .collect();

@@ -22,10 +22,24 @@ bench:
 # baseline (crates/bench/baselines/BENCH_framework.json). Fails on a >2x
 # throughput regression, a wheel-vs-heap / batched-vs-seed inversion, or
 # a metrics/watchdog/failsafe dispatch overhead above 15% (design
-# target <5%; the gate leaves headroom for fast-mode noise).
+# target <5%; the gate leaves headroom for fast-mode noise). Also runs
+# the cluster scaling harness so the gate can pin the parallel engine's
+# thread-count invariance (and, on >= 4-core hosts, its speedup floor).
 bench-gate:
     ENOKI_BENCH_FAST=1 cargo bench -p enoki-bench --bench framework
+    ENOKI_BENCH_FAST=1 cargo run --release -p enoki-bench --bin cluster_bench
     cargo run --release -p enoki-bench --bin bench_gate
+
+# Sharded parallel simulation engine: the fleet workload's unit tests,
+# the engine's own determinism suite, the 1/2/4-thread bit-identity
+# matrix (trace digests, per-machine record logs, parallel-run replay),
+# and the fast-mode scaling harness (results/BENCH_cluster.json; gated
+# by bench-gate when present).
+cluster:
+    cargo test -q -p enoki-sim cluster
+    cargo test -q -p enoki-workloads fleet
+    cargo test -q -p enoki --test cluster
+    ENOKI_BENCH_FAST=1 cargo run --release -p enoki-bench --bin cluster_bench
 
 # Closed control loop: the shifting-mix switching matrix (meta beats
 # every static policy, zero flapping, bit-identical reruns), the

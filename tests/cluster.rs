@@ -1,0 +1,137 @@
+//! Cluster determinism matrix: the sharded parallel engine must be a
+//! pure function of `(spec, shards, seed)` — never of the host thread
+//! count. The same seeded fleet runs at 1/2/4 worker threads and
+//! against the sequential oracle; trace digests, per-machine record
+//! logs, and engine counters must match bit for bit, and a log captured
+//! from a *parallel* run must replay divergence-free exactly like a
+//! solo-recorded one.
+//!
+//! Record mode is process-global, so tests serialize on one mutex (the
+//! same discipline as `tests/record_replay.rs`).
+
+use enoki::core::record;
+use enoki::core::replay::replay;
+use enoki::core::{ClusterBuilder, ClusterLogs};
+use enoki::sched::Wfq;
+use enoki::sim::cluster::{run_parallel, run_sequential, ClusterReport};
+use enoki::workloads::fleet::{self, factory, FleetOutput, FleetSpec};
+
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn spec() -> FleetSpec {
+    let mut s = FleetSpec::small(0xC1D5_7E55);
+    // Wider than the unit tests: enough machines that 4 shards each own
+    // several, enough steps that chains migrate repeatedly.
+    s.machines = 8;
+    s.chains = 24;
+    s.steps_per_chain = 10;
+    s
+}
+
+const SHARDS: usize = 4;
+
+fn digests(report: &ClusterReport<FleetOutput>) -> Vec<u64> {
+    report.outputs.iter().map(|o| o.digest).collect()
+}
+
+/// Same fleet, 1/2/4 host threads, plus the independent sequential
+/// oracle: every observable — per-shard digests, fleet digest, epoch
+/// count, event count, message count, completions — is identical.
+#[test]
+fn thread_matrix_is_bit_identical() {
+    let _g = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let s = spec();
+    let oracle = run_sequential(ClusterBuilder::new(s.machines).shards(SHARDS).spec(), factory(s, SHARDS))
+        .expect("sequential oracle");
+    assert_eq!(
+        oracle.outputs.iter().map(|o| o.completed).sum::<u64>(),
+        s.chains as u64
+    );
+    for threads in [1, 2, 4] {
+        let par = run_parallel(
+            ClusterBuilder::new(s.machines).shards(SHARDS).spec(),
+            threads,
+            factory(s, SHARDS),
+        )
+        .unwrap_or_else(|e| panic!("parallel run at {threads} threads: {e}"));
+        assert_eq!(digests(&par), digests(&oracle), "{threads} threads");
+        assert_eq!(
+            fleet::fleet_digest(&par.outputs),
+            fleet::fleet_digest(&oracle.outputs)
+        );
+        assert_eq!(par.epochs, oracle.epochs, "{threads} threads");
+        assert_eq!(par.events, oracle.events, "{threads} threads");
+        assert_eq!(par.messages, oracle.messages, "{threads} threads");
+        for (a, b) in par.outputs.iter().zip(oracle.outputs.iter()) {
+            assert_eq!(a.completed, b.completed);
+            assert_eq!(a.spawned, b.spawned);
+            assert_eq!(a.migrations, b.migrations);
+            assert_eq!(a.kicks, b.kicks);
+            assert_eq!(a.stats.nr_context_switches, b.stats.nr_context_switches);
+            assert_eq!(a.stats.nr_externals, b.stats.nr_externals);
+        }
+    }
+}
+
+fn captured_run(threads: usize) -> ClusterLogs {
+    let s = spec();
+    let builder = ClusterBuilder::new(s.machines)
+        .shards(SHARDS)
+        .record_slots(1 << 16);
+    let capture = builder.arm_record();
+    run_parallel(builder.spec(), threads, factory(s, SHARDS))
+        .unwrap_or_else(|e| panic!("recorded run at {threads} threads: {e}"));
+    let logs = capture.finish();
+    assert_eq!(logs.dropped, 0, "record ring overran at {threads} threads");
+    assert_eq!(logs.logs.len(), s.machines);
+    logs
+}
+
+/// The per-machine record logs of the same fleet are byte-equal at any
+/// worker thread count: each machine's stream sees exactly its own
+/// deterministic history (lock ids from 1, cpu-id tids, pinned epoch
+/// frames), so the host thread layout leaves no trace.
+#[test]
+fn record_logs_are_byte_equal_across_thread_counts() {
+    let _g = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let base = captured_run(1);
+    assert!(base.logs.iter().all(|l| !l.is_empty()));
+    for threads in [2, 4] {
+        let other = captured_run(threads);
+        for (m, (a, b)) in base.logs.iter().zip(other.logs.iter()).enumerate() {
+            assert_eq!(a, b, "machine {m} log differs at {threads} threads vs 1");
+        }
+    }
+}
+
+/// A record log captured from a 4-thread parallel run replays
+/// divergence-free against a fresh scheduler — the per-machine stream is
+/// as coherent as a solo recording, epoch frames and all.
+#[test]
+fn parallel_run_replays_divergence_free() {
+    let _g = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let s = spec();
+    let logs = captured_run(4);
+    let mut replayed = 0;
+    for (m, bytes) in logs.logs.iter().enumerate().take(3) {
+        let parsed = record::parse_log(&bytes[..]).expect("well-formed log");
+        assert!(
+            parsed
+                .records
+                .iter()
+                .any(|r| matches!(r, record::Rec::EpochMark { stream, .. } if *stream == m as u32)),
+            "machine {m} log lacks its epoch frames"
+        );
+        let nr = s.cores_per_machine;
+        let report = replay(&parsed.records, nr, || Wfq::new(nr));
+        assert!(
+            report.divergences.is_empty(),
+            "machine {m}: {:?}",
+            &report.divergences[..report.divergences.len().min(3)]
+        );
+        assert_eq!(report.sequencing_timeouts, 0, "machine {m}");
+        assert!(report.calls > 0, "machine {m} replayed no calls");
+        replayed += 1;
+    }
+    assert_eq!(replayed, 3);
+}

@@ -43,6 +43,7 @@ use crate::machine::SimError;
 use crate::time::Ns;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex};
 
@@ -112,8 +113,13 @@ pub enum ClusterError {
         /// The underlying simulation error.
         error: SimError,
     },
-    /// A per-peer mailbox filled up. Deterministic for a given spec and
-    /// seed — raise [`ClusterSpec::mailbox_capacity`].
+    /// A per-peer mailbox filled up. Whether an overflow occurs is
+    /// deterministic for a given spec and workload; when several
+    /// mailboxes overflow in the same epoch, a parallel run reports
+    /// whichever racing worker filed its error first, so the specific
+    /// `(from, to)` pair may vary with thread count. Only the
+    /// sequential oracle always reports the canonically first one.
+    /// Either way, raise [`ClusterSpec::mailbox_capacity`].
     MailboxOverflow {
         /// Sending shard.
         from: usize,
@@ -126,6 +132,16 @@ pub enum ClusterError {
     EpochLimit {
         /// The configured limit.
         limit: u64,
+    },
+    /// A [`Shard`] method (or the shard factory) panicked on a worker
+    /// thread. The engine captures the unwind and aborts the run at the
+    /// next barrier so peers see this error instead of hanging forever
+    /// on a barrier the panicking worker will never reach.
+    Panic {
+        /// The shard whose code panicked.
+        shard: usize,
+        /// The stringified panic payload, best-effort.
+        message: String,
     },
 }
 
@@ -143,11 +159,25 @@ impl std::fmt::Display for ClusterError {
             ClusterError::EpochLimit { limit } => {
                 write!(f, "cluster did not quiesce within {limit} epochs")
             }
+            ClusterError::Panic { shard, message } => {
+                write!(f, "shard {shard} panicked: {message}")
+            }
         }
     }
 }
 
 impl std::error::Error for ClusterError {}
+
+/// Best-effort stringification of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// One logical shard of a cluster run: a set of machines plus the
 /// workload logic that drives them between epoch barriers.
@@ -161,6 +191,13 @@ impl std::error::Error for ClusterError {}
 /// each shard is constructed by its owning worker thread and never
 /// crosses threads (machines hold `Rc` internally). Only the final
 /// [`Output`](Shard::Output) travels back to the caller.
+///
+/// Fatal workload conditions should be reported as `Err(SimError)`,
+/// but a panic in any of these methods (or in the factory) is also
+/// safe: the engine catches the unwind and surfaces it as
+/// [`ClusterError::Panic`] instead of stranding peer workers at a
+/// barrier. A shard that panicked is dropped without
+/// [`finish`](Shard::finish) being called.
 pub trait Shard {
     /// Per-shard result returned to the caller after the run (digests,
     /// merged stats, encoded record logs…). Crosses threads, so `Send`.
@@ -329,9 +366,21 @@ struct Coord {
     barrier: Barrier,
     /// Per-worker "my shards still have work or just received messages".
     active: Vec<AtomicBool>,
-    /// First error wins; set before the failing worker reaches the next
-    /// barrier, checked by everyone right after it.
-    abort: AtomicBool,
+    /// The barrier round at which a failure becomes observable;
+    /// `u64::MAX` while healthy. Workers number their barrier waits
+    /// (construction = 0, then epoch `e`'s Phase-A barrier = `2e + 1`
+    /// and Phase-B barrier = `2e + 2`) and a worker failing between
+    /// barriers `r - 1` and `r` stamps `r` *before* joining barrier
+    /// `r`. A plain bool is not enough here: a fast peer can pass
+    /// barrier `r`, fail in the *next* phase, and set the flag before a
+    /// slow peer has read it after barrier `r` — the slow peer would
+    /// exit early and strand the failing worker at barrier `r + 1`. The
+    /// round stamp makes the check `abort_round <= r` immune to that
+    /// race: failures filed before barrier `r` are visible to every
+    /// post-`r` check (barrier synchronization), and later failures
+    /// carry a larger stamp, so every worker reaches the same verdict
+    /// at every round.
+    abort_round: AtomicU64,
     failure: Mutex<Option<ClusterError>>,
     messages: AtomicU64,
     events: AtomicU64,
@@ -339,7 +388,10 @@ struct Coord {
 }
 
 impl Coord {
-    fn fail(&self, err: ClusterError) {
+    /// Files `err` (first error wins) and marks barrier `round` as the
+    /// point where every worker must stop. Must be called before the
+    /// failing worker joins barrier `round`.
+    fn fail(&self, round: u64, err: ClusterError) {
         let mut slot = self
             .failure
             .lock()
@@ -347,7 +399,19 @@ impl Coord {
         if slot.is_none() {
             *slot = Some(err);
         }
-        self.abort.store(true, Ordering::Release);
+        self.abort_round.fetch_min(round, Ordering::AcqRel);
+    }
+
+    /// True when some failure was filed for barrier `round` or earlier.
+    /// Called immediately after joining barrier `round`.
+    fn aborted_by(&self, round: u64) -> bool {
+        self.abort_round.load(Ordering::Acquire) <= round
+    }
+
+    /// True when any failure was filed at all. Only meaningful once no
+    /// worker can file further failures (after the epoch loop exits).
+    fn failed(&self) -> bool {
+        self.abort_round.load(Ordering::Acquire) != u64::MAX
     }
 }
 
@@ -374,7 +438,7 @@ where
     let coord = Coord {
         barrier: Barrier::new(threads),
         active: (0..threads).map(|_| AtomicBool::new(false)).collect(),
-        abort: AtomicBool::new(false),
+        abort_round: AtomicU64::new(u64::MAX),
         failure: Mutex::new(None),
         messages: AtomicU64::new(0),
         events: AtomicU64::new(0),
@@ -424,7 +488,8 @@ where
 }
 
 /// The per-worker epoch loop. Every branch that affects barrier
-/// participation is decided from shared flags read *after* a barrier,
+/// participation is decided from shared state read *after* a barrier
+/// and stamped with that barrier's round (see [`Coord::abort_round`]),
 /// so all workers always agree on how many more barriers there are.
 #[allow(clippy::too_many_arguments)]
 fn worker<S, F>(
@@ -441,95 +506,171 @@ fn worker<S, F>(
     F: Fn(usize) -> Result<S, SimError> + Sync,
 {
     let my = shard_range(spec.shards, threads, t);
-    // Construct shards locally, in ascending shard order.
+    // Construct shards locally, in ascending shard order. Factory
+    // panics are captured like factory errors: this worker must still
+    // be able to meet its peers at the construction barrier below.
     let mut shards: Vec<(usize, S)> = Vec::with_capacity(my.len());
     for id in my {
-        match factory(id) {
-            Ok(s) => shards.push((id, s)),
-            Err(error) => {
-                coord.fail(ClusterError::Shard { shard: id, error });
+        match catch_unwind(AssertUnwindSafe(|| factory(id))) {
+            Ok(Ok(s)) => shards.push((id, s)),
+            Ok(Err(error)) => {
+                coord.fail(0, ClusterError::Shard { shard: id, error });
+                break;
+            }
+            Err(payload) => {
+                coord.fail(
+                    0,
+                    ClusterError::Panic {
+                        shard: id,
+                        message: panic_message(payload.as_ref()),
+                    },
+                );
                 break;
             }
         }
     }
-    // Everyone joins this barrier whether or not construction succeeded,
-    // then everyone agrees on abort-vs-run.
+    // Everyone joins this barrier (round 0) whether or not construction
+    // succeeded, then everyone agrees on abort-vs-run. `aborted_by(0)`
+    // only matches construction failures: a fast peer that has already
+    // raced into epoch 0 and failed there stamped round 1, which this
+    // check correctly ignores — skipping the loop on it would strand
+    // that peer at the Phase-A barrier it is waiting at. Every exit
+    // below is likewise decided strictly after a barrier, against that
+    // barrier's round: a worker that starts an epoch always reaches the
+    // Phase-A barrier, and all workers reach the same verdict at every
+    // round (see `Coord::abort_round`).
     coord.barrier.wait();
 
     let mut outbox: Vec<(usize, WireMsg)> = Vec::new();
     let mut epoch: u64 = 0;
-    while !coord.abort.load(Ordering::Acquire) {
-        let end = spec.epoch_end(epoch);
+    if !coord.aborted_by(0) {
+        loop {
+            let end = spec.epoch_end(epoch);
+            // Barrier rounds for this epoch (construction was round 0).
+            let round_a = 2 * epoch + 1;
+            let round_b = 2 * epoch + 2;
 
-        // Phase A: advance own shards through the epoch, then publish
-        // their outbound messages (ascending shard order — the mailbox
-        // FIFO order *is* the canonical within-source order).
-        'phase_a: for (id, shard) in shards.iter_mut() {
-            if let Err(error) = shard.run_until(end) {
-                coord.fail(ClusterError::Shard { shard: *id, error });
-                break 'phase_a;
-            }
-            outbox.clear();
-            shard.collect(end, &mut outbox);
-            for &(dst, msg) in outbox.iter() {
-                debug_assert!(dst < spec.shards, "message to unknown shard {dst}");
-                if !mail.get(*id, dst).push(msg) {
-                    coord.fail(ClusterError::MailboxOverflow {
-                        from: *id,
-                        to: dst,
-                        epoch,
-                    });
-                    break 'phase_a;
+            // Phase A: advance own shards through the epoch, then publish
+            // their outbound messages (ascending shard order — the mailbox
+            // FIFO order *is* the canonical within-source order). Panics
+            // in shard code abort the run instead of unwinding past the
+            // barrier protocol.
+            'phase_a: for (id, shard) in shards.iter_mut() {
+                let id = *id;
+                let step = catch_unwind(AssertUnwindSafe(|| -> Result<(), ClusterError> {
+                    shard
+                        .run_until(end)
+                        .map_err(|error| ClusterError::Shard { shard: id, error })?;
+                    outbox.clear();
+                    shard.collect(end, &mut outbox);
+                    for &(dst, msg) in outbox.iter() {
+                        debug_assert!(dst < spec.shards, "message to unknown shard {dst}");
+                        if !mail.get(id, dst).push(msg) {
+                            return Err(ClusterError::MailboxOverflow {
+                                from: id,
+                                to: dst,
+                                epoch,
+                            });
+                        }
+                        coord.messages.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(())
+                }));
+                match step {
+                    Ok(Ok(())) => {}
+                    Ok(Err(err)) => {
+                        coord.fail(round_a, err);
+                        break 'phase_a;
+                    }
+                    Err(payload) => {
+                        coord.fail(
+                            round_a,
+                            ClusterError::Panic {
+                                shard: id,
+                                message: panic_message(payload.as_ref()),
+                            },
+                        );
+                        break 'phase_a;
+                    }
                 }
-                coord.messages.fetch_add(1, Ordering::Relaxed);
             }
-        }
 
-        coord.barrier.wait();
-        if coord.abort.load(Ordering::Acquire) {
-            break;
-        }
+            coord.barrier.wait();
+            if coord.aborted_by(round_a) {
+                break;
+            }
 
-        // Phase B: drain inbound mailboxes in canonical (source shard,
-        // send order) order; messages take effect at the quantized
-        // delivery instant.
-        let at = end + spec.latency;
-        let mut local_active = false;
-        'phase_b: for (id, shard) in shards.iter_mut() {
-            for src in 0..spec.shards {
-                let mb = mail.get(src, *id);
-                while let Some(msg) = mb.pop() {
-                    local_active = true;
-                    if let Err(error) = shard.deliver(src, msg, at) {
-                        coord.fail(ClusterError::Shard { shard: *id, error });
+            // Phase B: drain inbound mailboxes in canonical (source shard,
+            // send order) order; messages take effect at the quantized
+            // delivery instant.
+            let at = end + spec.latency;
+            let mut local_active = false;
+            'phase_b: for (id, shard) in shards.iter_mut() {
+                let id = *id;
+                let step = catch_unwind(AssertUnwindSafe(|| -> Result<bool, ClusterError> {
+                    let mut active = false;
+                    for src in 0..spec.shards {
+                        let mb = mail.get(src, id);
+                        while let Some(msg) = mb.pop() {
+                            active = true;
+                            shard
+                                .deliver(src, msg, at)
+                                .map_err(|error| ClusterError::Shard { shard: id, error })?;
+                        }
+                    }
+                    Ok(active || shard.pending())
+                }));
+                match step {
+                    Ok(Ok(active)) => local_active |= active,
+                    Ok(Err(err)) => {
+                        coord.fail(round_b, err);
+                        break 'phase_b;
+                    }
+                    Err(payload) => {
+                        coord.fail(
+                            round_b,
+                            ClusterError::Panic {
+                                shard: id,
+                                message: panic_message(payload.as_ref()),
+                            },
+                        );
                         break 'phase_b;
                     }
                 }
             }
-            if shard.pending() {
-                local_active = true;
+            coord.active[t].store(local_active, Ordering::Release);
+
+            coord.barrier.wait();
+            if coord.aborted_by(round_b) {
+                break;
+            }
+            // Termination: every worker reads the same flags written before
+            // the barrier, so every worker reaches the same verdict.
+            if !coord.active.iter().any(|a| a.load(Ordering::Acquire)) {
+                epoch += 1;
+                break;
+            }
+            epoch += 1;
+            if epoch >= spec.max_epochs {
+                // Deterministic: every worker takes this branch in the
+                // same round, so no further barriers are expected and
+                // the stamped round (never waited on) is moot.
+                coord.fail(
+                    round_b + 1,
+                    ClusterError::EpochLimit {
+                        limit: spec.max_epochs,
+                    },
+                );
+                break;
             }
         }
-        coord.active[t].store(local_active, Ordering::Release);
+    }
 
-        coord.barrier.wait();
-        if coord.abort.load(Ordering::Acquire) {
-            break;
-        }
-        // Termination: every worker reads the same flags written before
-        // the barrier, so every worker reaches the same verdict.
-        if !coord.active.iter().any(|a| a.load(Ordering::Acquire)) {
-            epoch += 1;
-            break;
-        }
-        epoch += 1;
-        if epoch >= spec.max_epochs {
-            coord.fail(ClusterError::EpochLimit {
-                limit: spec.max_epochs,
-            });
-            // All workers hit this branch together; no further barriers.
-            break;
-        }
+    if coord.failed() {
+        // The run failed: the caller returns the filed error without
+        // reading outputs, and a shard that panicked mid-method may not
+        // be safe to `finish()`. Drop everything as-is.
+        return;
     }
 
     // Per-worker accounting + outputs (no barrier needed: the scope
@@ -738,20 +879,91 @@ mod tests {
     }
 
     /// Mailbox overflow is a reported, deterministic error — not a drop,
-    /// not a hang.
+    /// not a hang. Repeated runs stress the abort path: a worker that
+    /// overflows mid-Phase-A waits at the Phase-A barrier, and its peers
+    /// must always join it no matter where host preemption lands.
     #[test]
     fn overflow_is_reported() {
         let mut spec = ClusterSpec::new(2);
         spec.mailbox_capacity = 2;
         // Every token hops every epoch; 4 tokens per shard overflow a
         // 2-slot mailbox deterministically in epoch 0 or 1.
-        let err = run_parallel(spec, 2, token_factory(2)).expect_err("must overflow");
-        match err {
-            ClusterError::MailboxOverflow { .. } => {}
-            other => panic!("expected overflow, got {other:?}"),
+        for _ in 0..32 {
+            let err = run_parallel(spec, 2, token_factory(2)).expect_err("must overflow");
+            match err {
+                ClusterError::MailboxOverflow { .. } => {}
+                other => panic!("expected overflow, got {other:?}"),
+            }
         }
         let err = run_sequential(spec, token_factory(2)).expect_err("oracle overflows too");
         assert!(matches!(err, ClusterError::MailboxOverflow { .. }));
+    }
+
+    /// A shard whose epoch body panics partway through the run; every
+    /// other shard keeps working normally.
+    struct PanicShard {
+        id: usize,
+        epochs: u64,
+    }
+
+    impl Shard for PanicShard {
+        type Output = ();
+
+        fn run_until(&mut self, _until: Ns) -> Result<(), SimError> {
+            self.epochs += 1;
+            if self.id == 1 && self.epochs == 3 {
+                panic!("injected shard panic");
+            }
+            Ok(())
+        }
+
+        fn collect(&mut self, _now: Ns, _out: &mut Vec<(usize, WireMsg)>) {}
+
+        fn deliver(&mut self, _from: usize, _msg: WireMsg, _at: Ns) -> Result<(), SimError> {
+            Ok(())
+        }
+
+        fn pending(&self) -> bool {
+            self.epochs < 10
+        }
+
+        fn events_processed(&self) -> u64 {
+            self.epochs
+        }
+
+        fn finish(self) -> Self::Output {}
+    }
+
+    /// A panic in shard code surfaces as `ClusterError::Panic` at every
+    /// thread count instead of stranding peer workers at a barrier.
+    #[test]
+    fn shard_panic_is_reported_not_hung() {
+        for threads in [1, 2] {
+            let err = run_parallel(ClusterSpec::new(2), threads, |id| {
+                Ok(PanicShard { id, epochs: 0 })
+            })
+            .expect_err("panic must surface as an error");
+            match err {
+                ClusterError::Panic { shard: 1, message } => {
+                    assert!(message.contains("injected shard panic"), "got {message:?}");
+                }
+                other => panic!("expected Panic, got {other:?}"),
+            }
+        }
+    }
+
+    /// A panic in the shard factory is likewise captured: peers still
+    /// meet the construction barrier and the run aborts cleanly.
+    #[test]
+    fn factory_panic_is_reported_not_hung() {
+        let err = run_parallel::<TokenShard, _>(ClusterSpec::new(2), 2, |id| {
+            if id == 1 {
+                panic!("injected factory panic");
+            }
+            token_factory(2)(id)
+        })
+        .expect_err("factory panic must surface as an error");
+        assert!(matches!(err, ClusterError::Panic { shard: 1, .. }));
     }
 
     /// The mailbox validates its power-of-two contract instead of

@@ -346,7 +346,10 @@ impl Machine {
 
     /// Events currently queued (timers, arrivals, pending work). Zero
     /// means the machine is quiescent: `run_until` would only advance the
-    /// clock. The cluster engine uses this for its termination check.
+    /// clock. An introspection helper for harnesses and diagnostics —
+    /// cluster termination is decided by `Shard::pending`, which
+    /// deliberately ignores pure idle load (e.g. rearmed balance timers)
+    /// that this count would include.
     pub fn nr_pending_events(&self) -> usize {
         self.events.len()
     }

@@ -95,10 +95,12 @@ impl Ns {
     }
 
     /// Rounds this instant up to the next multiple of `quantum` (an
-    /// instant already on a boundary is returned unchanged). The cluster
-    /// engine uses this to clamp cross-shard deliveries to epoch
-    /// boundaries: a message sent at any point inside an epoch lands at
-    /// the same quantized instant regardless of host thread interleaving.
+    /// instant already on a boundary is returned unchanged). A general
+    /// quantization helper for aligning stimuli or schedules to fixed
+    /// boundaries. Note the cluster engine does *not* call this:
+    /// cross-shard delivery instants are computed directly from the
+    /// epoch index (`epoch_end + latency`), never by re-quantizing a
+    /// mid-epoch timestamp.
     pub fn align_up(self, quantum: Ns) -> Ns {
         assert!(!quantum.is_zero(), "zero quantum");
         let rem = self.0 % quantum.0;
